@@ -1,0 +1,12 @@
+"""Sec. 6.2 ablation: virtual-operator vs plain operator-count embeddings.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import ablation_embedding
+
+
+def test_ablation_embedding(run_experiment):
+    result = run_experiment(ablation_embedding)
+    assert result.scalar("virtual_ops_mean_improvement_pct") > 0

@@ -1,0 +1,13 @@
+"""Sec. 4.3 ablation: FIND_BEST v1 / v2 / v3 under drifting data sizes.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import ablation_find_best
+
+
+def test_ablation_find_best(run_experiment):
+    result = run_experiment(ablation_find_best)
+    assert (result.scalar("v3_model_mean_regret")
+            < result.scalar("v1_raw_mean_regret"))

@@ -1,0 +1,12 @@
+"""Sec. 4.3 ablation: window size N and overshoot step alpha.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import ablation_window
+
+
+def test_ablation_window(run_experiment):
+    result = run_experiment(ablation_window)
+    assert result.scalar("window_10_final_median") < result.scalar("window_2_final_median")

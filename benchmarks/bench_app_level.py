@@ -1,0 +1,12 @@
+"""Sec. 4.4: app-level joint optimization (Algorithm 2).
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import app_level_joint
+
+
+def test_app_level_joint(run_experiment):
+    result = run_experiment(app_level_joint)
+    assert result.scalar("joint_speedup_pct") > 0

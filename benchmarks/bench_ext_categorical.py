@@ -1,0 +1,12 @@
+"""Extension: mixed continuous+categorical tuning vs continuous-only.
+
+Regenerates the experiment's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale sizes.
+"""
+
+from repro.experiments import ext_categorical
+
+
+def test_ext_categorical(run_experiment):
+    result = run_experiment(ext_categorical)
+    assert "categorical_extra_gain_pct_points" in result.scalars

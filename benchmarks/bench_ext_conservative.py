@@ -1,0 +1,13 @@
+"""Extension: the conservative explore-only-while-improving policy under an external regression.
+
+Regenerates the experiment's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale sizes.
+"""
+
+from repro.experiments import ext_conservative
+
+
+def test_ext_conservative(run_experiment):
+    result = run_experiment(ext_conservative)
+    assert (result.scalar("conservative_exploration_rate_during_regression")
+            < result.scalar("plain_exploration_rate_during_regression"))

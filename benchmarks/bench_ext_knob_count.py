@@ -1,0 +1,12 @@
+"""Extension: 3-knob vs 7-knob tuning, time and core-seconds cost.
+
+Regenerates the experiment's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale sizes.
+"""
+
+from repro.experiments import ext_knob_count
+
+
+def test_ext_knob_count(run_experiment):
+    result = run_experiment(ext_knob_count)
+    assert result.scalar("knobs_7_final_time_gain_pct") >= result.scalar("knobs_3_final_time_gain_pct")

@@ -1,0 +1,15 @@
+"""Extension: price-performance tuning (latency/cost blended objective).
+
+Regenerates the experiment's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale sizes.
+"""
+
+from repro.experiments import ext_price_performance
+
+
+def test_ext_price_performance(run_experiment):
+    result = run_experiment(ext_price_performance)
+    assert (result.scalar("weight_0_final_seconds")
+            <= result.scalar("weight_1_final_seconds"))
+    assert (result.scalar("weight_1_final_core_seconds")
+            <= result.scalar("weight_0_final_core_seconds"))

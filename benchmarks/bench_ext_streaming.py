@@ -1,0 +1,13 @@
+"""Extension: tuning streaming micro-batch workloads with bursty arrivals.
+
+Regenerates the experiment's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale sizes.
+"""
+
+from repro.experiments import ext_streaming
+
+
+def test_ext_streaming(run_experiment):
+    result = run_experiment(ext_streaming)
+    assert result.scalar("mean_latency_gain_pct") > 0
+    assert result.scalar("median_final_partitions") < 200

@@ -1,0 +1,12 @@
+"""Figure 1: execution time vs spark.sql.shuffle.partitions per query.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig01_shuffle_partitions
+
+
+def test_fig01_shuffle_partitions(run_experiment):
+    result = run_experiment(fig01_shuffle_partitions)
+    assert result.scalar("n_distinct_optima") >= 2

@@ -1,0 +1,12 @@
+"""Figure 2: BO / FLOW2 convergence under FL=SL=1 noise.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig02_noisy_convergence
+
+
+def test_fig02_noisy_convergence(run_experiment):
+    result = run_experiment(fig02_noisy_convergence)
+    assert result.scalar("bo_final_median") > result.scalar("optimal_value")

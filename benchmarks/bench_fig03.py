@@ -1,0 +1,12 @@
+"""Figure 3: scripted expert tuning vs Bayesian Optimization.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig03_manual_tuning
+
+
+def test_fig03_manual_tuning(run_experiment):
+    result = run_experiment(fig03_manual_tuning)
+    assert result.scalar("bo_faster_at_halfway_count") >= 3

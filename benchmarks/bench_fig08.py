@@ -1,0 +1,12 @@
+"""Figure 8: the synthetic objective before/after Eq.-8 noise.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig08_synthetic_function
+
+
+def test_fig08_synthetic_function(run_experiment):
+    result = run_experiment(fig08_synthetic_function)
+    assert result.scalar("high_noise_mean_inflation") > result.scalar("low_noise_mean_inflation")

@@ -1,0 +1,12 @@
+"""Figure 9: Centroid Learning with Level 1-9 pseudo-surrogates.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig09_pseudo_surrogates
+
+
+def test_fig09_pseudo_surrogates(run_experiment):
+    result = run_experiment(fig09_pseudo_surrogates)
+    assert result.scalar("level_1_final_median") <= result.scalar("level_9_final_median")

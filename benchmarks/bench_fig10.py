@@ -1,0 +1,12 @@
+"""Figure 10: Centroid Learning with a real SVR surrogate.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig10_svr_surrogate
+
+
+def test_fig10_svr_surrogate(run_experiment):
+    result = run_experiment(fig10_svr_surrogate)
+    assert result.scalar("final_median") < result.scalar("default_value")

@@ -1,0 +1,12 @@
+"""Figure 11: dynamic workloads (linear growth, periodic sizes).
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig11_dynamic_workloads
+
+
+def test_fig11_dynamic_workloads(run_experiment):
+    result = run_experiment(fig11_dynamic_workloads)
+    assert result.scalar("linear_final_gap_median") < result.scalar("linear_initial_gap_median")

@@ -1,0 +1,12 @@
+"""Figure 12: CBO transfer learning with varying baseline sample sizes.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig12_transfer_learning
+
+
+def test_fig12_transfer_learning(run_experiment):
+    result = run_experiment(fig12_transfer_learning)
+    assert result.scalar("oracle_speedup") > 1.0

@@ -1,0 +1,12 @@
+"""Figure 13: Centroid Learning vs CBO from a poor starting configuration.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig13_cl_vs_bo
+
+
+def test_fig13_cl_vs_bo(run_experiment):
+    result = run_experiment(fig13_cl_vs_bo)
+    assert result.scalar("cl_final_speedup") > result.scalar("cbo_final_speedup")

@@ -1,0 +1,12 @@
+"""Figure 14: TPC-H production tuning with a TPC-DS-trained baseline.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig14_tpch_production
+
+
+def test_fig14_tpch_production(run_experiment):
+    result = run_experiment(fig14_tpch_production)
+    assert result.scalar("total_speedup_pct") > 0

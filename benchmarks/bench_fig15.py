@@ -1,0 +1,12 @@
+"""Figure 15: internal-customer notebook speed-up distribution.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig15_internal_customers
+
+
+def test_fig15_internal_customers(run_experiment):
+    result = run_experiment(fig15_internal_customers)
+    assert result.scalar("mean_speedup_pct") > 0

@@ -1,0 +1,12 @@
+"""Figure 16: external-customer speed-ups + guardrail statistics.
+
+Regenerates the figure's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale replication counts.
+"""
+
+from repro.experiments import fig16_external_customers
+
+
+def test_fig16_external_customers(run_experiment):
+    result = run_experiment(fig16_external_customers)
+    assert result.scalar("n_never_disabled") > 0

@@ -1,0 +1,47 @@
+"""Shared machinery for the figure/table benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper figure or table: it runs the
+corresponding experiment (timed by pytest-benchmark), prints the series the
+paper reports, and writes the rendered report to ``benchmarks/output/``.
+
+By default the reduced *quick* configurations run; set ``REPRO_BENCH_FULL=1``
+for paper-scale replication counts.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import render_result, result_to_json
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_output_dir():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def run_experiment(benchmark, bench_output_dir):
+    """Run one experiment module under the benchmark timer and persist its
+    rendered report."""
+
+    def _run(module, **kwargs):
+        result = benchmark.pedantic(
+            module.run,
+            kwargs={"quick": not FULL_MODE, **kwargs},
+            rounds=1,
+            iterations=1,
+        )
+        text = render_result(result)
+        (bench_output_dir / f"{result.name}.txt").write_text(text)
+        (bench_output_dir / f"{result.name}.json").write_text(result_to_json(result))
+        print()
+        print(text)
+        return result
+
+    return _run

@@ -1,0 +1,94 @@
+"""App-level joint optimization (Algorithm 2) with the app_cache.
+
+A Spark application runs three queries.  Query-level knobs can differ per
+query, but executors/memory are fixed at startup.  This example:
+
+1. gathers observations over the joint (app × query) space,
+2. fits a per-query surrogate and runs Algorithm 2 to pick the app config,
+3. stores it in the AppCache keyed by the application's artifact_id, and
+4. shows the next submission starting from the cached configuration.
+
+    python examples/app_level_tuning.py
+"""
+
+import numpy as np
+
+from repro import AppCache, SparkSimulator, optimize_app_config, tpcds_plan
+from repro.core import QueryTuningContext
+from repro.core.app_level import AppCacheEntry
+from repro.ml import RandomForestRegressor
+from repro.sparksim import app_level_space, full_space, low_noise, query_level_space
+
+
+def main() -> None:
+    joint = full_space()
+    app_space = app_level_space()
+    query_space = query_level_space()
+    joint_index = {name: i for i, name in enumerate(joint.names)}
+    plans = [tpcds_plan(q, 50.0) for q in (8, 23, 51)]
+
+    rng = np.random.default_rng(0)
+    sim = SparkSimulator(noise=low_noise(), seed=1)
+
+    def assemble(v, w):
+        full = np.empty(joint.dim)
+        for j, name in enumerate(app_space.names):
+            full[joint_index[name]] = v[j]
+        for j, name in enumerate(query_space.names):
+            full[joint_index[name]] = w[j]
+        return full
+
+    print("== phase 1: observe each query over the joint space ==")
+    contexts = []
+    for plan in plans:
+        vectors = joint.latin_hypercube(60, rng)
+        times = np.array([
+            sim.run(plan, joint.to_dict(v)).elapsed_seconds for v in vectors
+        ])
+        X = np.column_stack([vectors, np.full(len(vectors), plan.total_leaf_cardinality)])
+        model = RandomForestRegressor(n_estimators=25, seed=0).fit(X, times)
+        best = vectors[int(np.argmin(times))]
+        centroid = np.array([best[joint_index[n]] for n in query_space.names])
+        p = plan.total_leaf_cardinality
+
+        def score(v, w, _m=model, _p=p):
+            row = np.concatenate([assemble(v, w), [_p]])[None, :]
+            return -float(_m.predict(row)[0])
+
+        contexts.append(QueryTuningContext(
+            query_space=query_space, centroid=centroid, score_fn=score, beta=0.2
+        ))
+        print(f"  {plan.name}: best observed {times.min():.2f}s over 60 samples")
+
+    print("\n== phase 2: Algorithm 2 picks the shared app config ==")
+    best_app = optimize_app_config(
+        app_space, app_space.default_vector(), contexts,
+        n_app_candidates=20, n_query_candidates=15, beta_app=0.3,
+        rng=np.random.default_rng(2),
+    )
+    chosen = app_space.to_dict(best_app)
+    for name, value in chosen.items():
+        print(f"  {name} = {value:g} (default {app_space[name].default:g})")
+
+    print("\n== phase 3: cache + reuse for the recurrent artifact ==")
+    cache = AppCache()
+    cache.put(AppCacheEntry(artifact_id="nightly-etl-notebook", config=chosen,
+                            n_queries=len(plans)))
+    hit = cache.get("nightly-etl-notebook")
+    print(f"  next submission reads app_cache: {hit.config}")
+
+    truth = SparkSimulator(noise=None, seed=0)
+    def total(app_vec):
+        return sum(
+            truth.true_time(plan, joint.to_dict(assemble(app_vec, query_space.default_vector())))
+            for plan in plans
+        )
+    t_default = total(app_space.default_vector())
+    t_joint = total(best_app)
+    print(f"\n  app total (default app knobs):  {t_default:.2f}s")
+    print(f"  app total (Algorithm 2 knobs):  {t_joint:.2f}s "
+          f"({(t_default / t_joint - 1) * 100:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""The full production architecture (Fig. 7): backend, client, dashboard.
+
+Simulates a customer's recurring notebook over two application runs:
+
+* the Autotune Client registers with the backend (SAS tokens), infers
+  configurations before each query, and streams listener events back;
+* the backend's Model Updater trains per-(user, signature) models and the
+  App Cache Generator pre-computes app-level knobs with Algorithm 2;
+* the Monitoring Dashboard explains what tuning did;
+* the Storage Manager's GDPR cleanup purges raw events but keeps models.
+
+    python examples/end_to_end_service.py
+"""
+
+import tempfile
+
+from repro import NoiseModel, SparkSimulator, tpcds_plan
+from repro.core import AppCache
+from repro.service import (
+    AutotuneBackend,
+    AutotuneClient,
+    MonitoringDashboard,
+    SasTokenIssuer,
+    StorageManager,
+)
+from repro.sparksim import app_level_space, full_space, query_level_space
+
+
+def run_application(backend, app_id, plans, sim, seed):
+    client = AutotuneClient(
+        backend, app_id, "customer-notebook-42", "contoso", query_level_space(),
+        seed=seed,
+    )
+    app_config = client.app_level_config()
+    source = "app_cache" if app_config else "defaults"
+    app_config = app_config or app_level_space().default_dict()
+    print(f"  [{app_id}] app-level config from {source}: "
+          f"{int(app_config['spark.executor.instances'])} executors × "
+          f"{int(app_config['spark.executor.memory'])} GB")
+    for t in range(8):
+        for plan in plans:
+            config = client.suggest_config(plan)
+            event = sim.run_to_event(
+                plan, {**app_config, **config},
+                app_id=app_id, artifact_id="customer-notebook-42",
+                user_id="contoso", iteration=t,
+                embedding=client.embedder.embed(plan),
+            )
+            client.on_query_end(event)
+        client.flush_events()
+    client.finish_app(app_config=app_config)
+    model_backed = sum(1 for s in client.suggestion_log if s.model_available)
+    print(f"  [{app_id}] {len(client.suggestion_log)} suggestions, "
+          f"{model_backed} backed by a backend-trained model")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        backend = AutotuneBackend(
+            storage=StorageManager(root),
+            issuer=SasTokenIssuer("production-secret"),
+            query_space=query_level_space(),
+            app_space=app_level_space(),
+            full_space=full_space(),
+            app_cache=AppCache(),
+        )
+        plans = [tpcds_plan(q, 20.0) for q in (14, 33)]
+        sim = SparkSimulator(noise=NoiseModel(0.25, 0.4), seed=7)
+
+        print("== application run 1 (cold start) ==")
+        run_application(backend, "app-0001", plans, sim, seed=0)
+        print(f"  backend: {backend.models_trained} model updates, "
+              f"app_cache entries: {len(backend.app_cache)}")
+
+        print("\n== application run 2 (warm start from app_cache) ==")
+        run_application(backend, "app-0002", plans, sim, seed=1)
+
+        print("\n== monitoring dashboard ==")
+        dash = MonitoringDashboard(window=4)
+        dash.ingest_many(backend.storage.read_artifact_events("customer-notebook-42"))
+        for summary in dash.all_summaries():
+            print(f"  {summary.query_signature}: {summary.iterations} runs, "
+                  f"speed-up {summary.speedup_pct:+.1f}%, "
+                  f"trend {summary.trend_slope:+.3f}s/iter")
+        print(f"  fleet speed-up: {dash.fleet_speedup_pct():+.1f}%")
+
+        print("\n== GDPR cleanup ==")
+        removed = backend.storage.cleanup(ttl_seconds=1e-9)
+        sig = plans[0].signature()
+        print(f"  purged {len(removed)} event files; "
+              f"model for {sig} retained: "
+              f"{backend.storage.read_model('contoso', sig) is not None}")
+        assert not backend.hub.failures
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Posterior analysis: replaying production traces for RCA + what-if audits.
+
+After weeks of autotuning, engineers ask three questions of the stored event
+logs (Sec. 6.3's monitoring workflow):
+
+1. *What did tuning actually change?* — trajectory replay + knob travel;
+2. *What moved performance — knobs, data, or something else?* — root-cause
+   correlations;
+3. *Would a different guardrail setting have disabled this query?* — what-if
+   audits re-running the guardrail over recorded history.
+
+    python examples/posterior_analysis.py
+"""
+
+import tempfile
+
+from repro import Guardrail, NoiseModel, SparkSimulator, tpcds_plan
+from repro.service import (
+    AutotuneBackend,
+    AutotuneClient,
+    MonitoringDashboard,
+    SasTokenIssuer,
+    StorageManager,
+    audit_guardrail,
+    replay_artifact,
+)
+from repro.sparksim import query_level_space
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        storage = StorageManager(root)
+        backend = AutotuneBackend(
+            storage=storage, issuer=SasTokenIssuer("secret"),
+            query_space=query_level_space(),
+        )
+        client = AutotuneClient(
+            backend, "app-1", "weekly-report", "contoso", query_level_space(),
+            seed=0,
+        )
+        plan = tpcds_plan(35, 50.0)
+        sim = SparkSimulator(noise=NoiseModel(0.2, 0.3), seed=4)
+        for t in range(25):
+            config = client.suggest_config(plan)
+            client.on_query_end(sim.run_to_event(
+                plan, config, app_id="app-1", artifact_id="weekly-report",
+                user_id="contoso", iteration=t,
+                embedding=client.embedder.embed(plan),
+            ))
+            client.flush_events()
+
+        print("== 1. what did tuning change? ==")
+        trajectories = replay_artifact(storage, "weekly-report")
+        trajectory = trajectories[plan.signature()]
+        travel = trajectory.knob_travel(query_level_space())
+        for knob, frac in travel.items():
+            print(f"  {knob}: moved {frac:+.2f} of its span")
+        partitions = trajectory.config_series("spark.sql.shuffle.partitions")
+        print(f"  partitions: {partitions[0]:.0f} -> {partitions[-1]:.0f}; "
+              f"duration {trajectory.durations[0]:.2f}s -> "
+              f"{trajectory.durations[-1]:.2f}s over {len(trajectory)} runs")
+
+        print("\n== 2. root-cause analysis ==")
+        dash = MonitoringDashboard(window=4)
+        dash.ingest_many(trajectory.events)
+        report = dash.explain(plan.signature())
+        print(f"  dominant factor: {report.dominant_factor}")
+        for knob, rho in report.knob_correlations.items():
+            print(f"  {knob}: correlation with residual duration {rho:+.2f}")
+
+        print("\n== 3. guardrail what-if audit ==")
+        for label, factory in (
+            ("production (30 iters, +20%)", lambda: Guardrail()),
+            ("strict (8 iters, +5%)",
+             lambda: Guardrail(min_iterations=8, threshold=0.05, patience=2)),
+        ):
+            audit = audit_guardrail(trajectory, query_level_space(),
+                                    guardrail_factory=factory)
+            verdict = (f"would disable at iteration {audit.disable_iteration}"
+                       if audit.would_disable else "would keep tuning")
+            print(f"  {label}: {verdict} "
+                  f"({len(audit.decisions)} checks recorded)")
+
+
+if __name__ == "__main__":
+    main()

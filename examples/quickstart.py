@@ -1,0 +1,52 @@
+"""Quickstart: tune one recurrent Spark query with Centroid Learning.
+
+Runs TPC-H Q3 on the bundled Spark simulator under low production noise,
+tuning the three query-level knobs the Fabric deployment tunes, and prints
+the per-iteration trace plus the speed-up over Spark's default configuration.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CentroidLearning,
+    SparkSimulator,
+    TuningSession,
+    WorkloadEmbedder,
+    low_noise,
+    query_level_space,
+    tpch_plan,
+)
+
+
+def main() -> None:
+    space = query_level_space()
+    plan = tpch_plan(3, scale_factor=10.0)
+
+    session = TuningSession(
+        plan=plan,
+        simulator=SparkSimulator(noise=low_noise(), seed=0),
+        optimizer=CentroidLearning(space, alpha=0.05, beta=0.1, seed=0),
+        embedder=WorkloadEmbedder(),
+    )
+
+    default_seconds = session.default_true_time()
+    print(f"query: {plan.name} (signature {plan.signature()})")
+    print(f"default configuration: {default_seconds:.2f}s (noiseless)\n")
+    print(f"{'iter':>4} {'observed(s)':>12} {'true(s)':>9}  partitions  maxPartitionMB")
+
+    trace = session.run(40)
+    for record in trace.records:
+        if record.iteration % 4 == 0 or record.iteration == len(trace) - 1:
+            partitions = record.config["spark.sql.shuffle.partitions"]
+            mpb = record.config["spark.sql.files.maxPartitionBytes"] / (1 << 20)
+            print(
+                f"{record.iteration:>4} {record.observed_seconds:>12.2f} "
+                f"{record.true_seconds:>9.2f} {partitions:>11.0f} {mpb:>15.1f}"
+            )
+
+    print(f"\nbest noiseless time found: {trace.best_true_so_far()[-1]:.2f}s")
+    print(f"speed-up vs default (last-5 mean): {trace.speedup_vs(default_seconds):+.1%}")
+
+
+if __name__ == "__main__":
+    main()

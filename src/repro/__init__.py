@@ -1,0 +1,113 @@
+"""repro — a reproduction of *Rockhopper: A Robust Optimizer for Spark
+Configuration Tuning in Production Environment* (SIGMOD-Companion 2025).
+
+Quickstart::
+
+    from repro import (
+        CentroidLearning, TuningSession, SparkSimulator,
+        query_level_space, tpch_plan, low_noise,
+    )
+
+    space = query_level_space()
+    session = TuningSession(
+        plan=tpch_plan(3, scale_factor=10.0),
+        simulator=SparkSimulator(noise=low_noise(), seed=0),
+        optimizer=CentroidLearning(space, seed=0),
+    )
+    trace = session.run(50)
+    print(f"speed-up vs default: {trace.speedup_vs(session.default_true_time()):+.1%}")
+
+Subpackages:
+
+* :mod:`repro.core` — Centroid Learning, guardrails, app-level joint tuning.
+* :mod:`repro.optimizers` — BO, contextual BO, FLOW2, hill climbing baselines.
+* :mod:`repro.sparksim` — the simulated Spark substrate (knobs, plans, cost
+  model, Eq.-8 noise).
+* :mod:`repro.workloads` — TPC-H/TPC-DS suites, synthetic objectives,
+  data-size dynamics, customer populations.
+* :mod:`repro.embedding` — workload embeddings with virtual operators.
+* :mod:`repro.offline` — flighting pipeline, ETL, baseline models, transfer.
+* :mod:`repro.service` — backend/client production architecture.
+* :mod:`repro.ml` — from-scratch ML substrate (GP, SVR, forests, ...).
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from .core import (
+    AppCache,
+    CentroidLearning,
+    ConfigSpace,
+    FindBestMode,
+    Guardrail,
+    Observation,
+    Optimizer,
+    Parameter,
+    TuningSession,
+    TuningTrace,
+    optimize_app_config,
+)
+from .embedding import VirtualOperatorScheme, WorkloadEmbedder
+from .offline import BaselineModelTrainer, FlightingConfig, FlightingPipeline
+from .optimizers import (
+    BayesianOptimization,
+    ContextualBayesianOptimization,
+    FLOW2,
+    HillClimbing,
+    RandomSearch,
+)
+from .sparksim import (
+    NoiseModel,
+    PhysicalPlan,
+    SparkSimulator,
+    app_level_space,
+    full_space,
+    high_noise,
+    low_noise,
+    no_noise,
+    query_level_space,
+)
+from .workloads import (
+    SyntheticObjective,
+    default_synthetic_objective,
+    tpcds_plan,
+    tpch_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppCache",
+    "BaselineModelTrainer",
+    "BayesianOptimization",
+    "CentroidLearning",
+    "ConfigSpace",
+    "ContextualBayesianOptimization",
+    "FLOW2",
+    "FindBestMode",
+    "FlightingConfig",
+    "FlightingPipeline",
+    "Guardrail",
+    "HillClimbing",
+    "NoiseModel",
+    "Observation",
+    "Optimizer",
+    "Parameter",
+    "PhysicalPlan",
+    "RandomSearch",
+    "SparkSimulator",
+    "SyntheticObjective",
+    "TuningSession",
+    "TuningTrace",
+    "VirtualOperatorScheme",
+    "WorkloadEmbedder",
+    "app_level_space",
+    "default_synthetic_objective",
+    "full_space",
+    "high_noise",
+    "low_noise",
+    "no_noise",
+    "optimize_app_config",
+    "query_level_space",
+    "tpcds_plan",
+    "tpch_plan",
+    "__version__",
+]

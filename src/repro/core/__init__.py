@@ -1,0 +1,66 @@
+"""Rockhopper's core: configuration spaces, the Centroid Learning algorithm,
+FIND_BEST / FIND_GRADIENT, guardrails, and app-level joint optimization."""
+
+from .app_level import AppCache, AppCacheEntry, QueryTuningContext, optimize_app_config
+from .candidates import generate_candidates
+from .categorical import (
+    CategoricalParameter,
+    CategoricalSpaceAdapter,
+    PerformanceOrderedEncoder,
+)
+from .centroid import CentroidLearning, default_window_model_factory
+from .config_space import ConfigSpace, Configuration, Parameter
+from .conservative import ConservativePolicy
+from .find_best import FindBestMode, find_best, fit_window_model
+from .gradient import linear_sign_gradient, ml_sign_gradient, probe_points
+from .guardrail import Guardrail, GuardrailDecision
+from .objective import LatencyObjective, PricePerformanceObjective
+from .observation import Observation, ObservationWindow
+from .optimizer_base import Optimizer
+from .selectors import (
+    BaselineModelAdapter,
+    CandidateSelector,
+    PseudoSurrogateSelector,
+    RandomSelector,
+    SurrogateSelector,
+)
+from .session import ApplicationSession, IterationRecord, TuningSession, TuningTrace
+
+__all__ = [
+    "AppCache",
+    "AppCacheEntry",
+    "ApplicationSession",
+    "BaselineModelAdapter",
+    "CategoricalParameter",
+    "CategoricalSpaceAdapter",
+    "PerformanceOrderedEncoder",
+    "CandidateSelector",
+    "CentroidLearning",
+    "ConfigSpace",
+    "ConservativePolicy",
+    "Configuration",
+    "FindBestMode",
+    "Guardrail",
+    "GuardrailDecision",
+    "IterationRecord",
+    "LatencyObjective",
+    "Observation",
+    "ObservationWindow",
+    "PricePerformanceObjective",
+    "Optimizer",
+    "Parameter",
+    "PseudoSurrogateSelector",
+    "QueryTuningContext",
+    "RandomSelector",
+    "SurrogateSelector",
+    "TuningSession",
+    "TuningTrace",
+    "default_window_model_factory",
+    "find_best",
+    "fit_window_model",
+    "generate_candidates",
+    "linear_sign_gradient",
+    "ml_sign_gradient",
+    "optimize_app_config",
+    "probe_points",
+]

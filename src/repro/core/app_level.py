@@ -1,0 +1,164 @@
+"""App-level configuration optimization (Sec. 4.4, Algorithm 2).
+
+Application-level knobs (executors, memory, ...) are fixed at startup and
+shared by every query in the application, while query-level knobs can vary
+per query.  Algorithm 2 scores ``M`` app-level candidates by pairing each
+with the best query-level candidate of every query (from each query's
+centroid neighborhood) and summing the per-query acquisition scores.
+
+Because workload embeddings are only known *after* queries run, the optimal
+app-level configuration is **pre-computed when an application completes**
+and stored in the :class:`AppCache` under the application's ``artifact_id``;
+the next submission of the same recurrent application reads it back with no
+inference on the critical path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from .candidates import generate_candidates
+from .config_space import ConfigSpace
+
+__all__ = ["QueryTuningContext", "optimize_app_config", "AppCache", "AppCacheEntry"]
+
+# f_q(app_vector, query_vector) -> acquisition score (higher is better)
+ScoreFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass
+class QueryTuningContext:
+    """Per-query inputs to Algorithm 2.
+
+    Attributes:
+        query_space: the query-level knob space.
+        centroid: the query's current centroid ``e_q`` (internal axes).
+        score_fn: acquisition ``f_q(v, w)`` over an (app-vector, query-vector)
+            pair; **higher is better** — use the negative predicted time when
+            scoring with a time model.
+        beta: neighborhood half-width for query-level candidates ``W_q``.
+    """
+
+    query_space: ConfigSpace
+    centroid: np.ndarray
+    score_fn: ScoreFn
+    beta: float = 0.1
+
+
+def optimize_app_config(
+    app_space: ConfigSpace,
+    current_app: np.ndarray,
+    queries: Sequence[QueryTuningContext],
+    n_app_candidates: int = 10,
+    n_query_candidates: int = 10,
+    beta_app: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Algorithm 2: return the best app-level configuration candidate.
+
+    Args:
+        app_space: app-level knob space.
+        current_app: current app-level setting (internal axes) — candidates
+            are generated around it.
+        queries: one :class:`QueryTuningContext` per query in the app.
+        n_app_candidates: ``M``.
+        n_query_candidates: ``N``.
+        beta_app: app-level neighborhood half-width.
+        rng: random generator.
+    """
+    if not queries:
+        raise ValueError("Algorithm 2 needs at least one query context")
+    rng = rng or np.random.default_rng()
+    app_candidates = generate_candidates(
+        app_space, current_app, beta_app, n_app_candidates, rng
+    )
+    # W_q is generated once per query and reused across all app candidates,
+    # matching the Alg.-2 pseudocode (the Cartesian product V × W_q).
+    query_candidates = [
+        generate_candidates(q.query_space, q.centroid, q.beta, n_query_candidates, rng)
+        for q in queries
+    ]
+    total_scores = np.zeros(len(app_candidates))
+    for q, W_q in zip(queries, query_candidates):
+        for i, v in enumerate(app_candidates):
+            # c*_q(v): the query-level candidate maximizing f_q given v.
+            best = max(q.score_fn(v, w) for w in W_q)
+            total_scores[i] += best
+    return app_candidates[int(np.argmax(total_scores))]
+
+
+@dataclass
+class AppCacheEntry:
+    """One pre-computed app-level configuration."""
+
+    artifact_id: str
+    config: Dict[str, float]
+    computed_at: float = field(default_factory=time.time)
+    n_queries: int = 0
+
+
+class AppCache:
+    """``artifact_id → pre-computed app config`` store (Sec. 4.4, Sec. 5).
+
+    In-memory by default; pass ``path`` for a JSON-file-backed cache shared
+    between the backend's App Cache Generator and clients.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self._path = Path(path) if path is not None else None
+        self._entries: Dict[str, AppCacheEntry] = {}
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, artifact_id: str) -> bool:
+        return artifact_id in self._entries
+
+    def put(self, entry: AppCacheEntry) -> None:
+        self._entries[entry.artifact_id] = entry
+        self._flush()
+
+    def get(self, artifact_id: str) -> Optional[AppCacheEntry]:
+        return self._entries.get(artifact_id)
+
+    def invalidate(self, artifact_id: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        existed = self._entries.pop(artifact_id, None) is not None
+        self._flush()
+        return existed
+
+    # -- persistence --------------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._path is None:
+            return
+        payload = {
+            aid: {
+                "config": e.config,
+                "computed_at": e.computed_at,
+                "n_queries": e.n_queries,
+            }
+            for aid, e in self._entries.items()
+        }
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.write_text(json.dumps(payload))
+
+    def _load(self) -> None:
+        payload = json.loads(self._path.read_text())
+        self._entries = {
+            aid: AppCacheEntry(
+                artifact_id=aid,
+                config={k: float(v) for k, v in item["config"].items()},
+                computed_at=item["computed_at"],
+                n_queries=item.get("n_queries", 0),
+            )
+            for aid, item in payload.items()
+        }

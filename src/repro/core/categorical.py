@@ -1,0 +1,255 @@
+"""Categorical configuration support.
+
+Sec. 4.3: "While this paper focuses on continuous configurations, categorical
+configurations can be handled by employing embedding algorithms that map
+categorical values into a continuous space to enable tuning [50]."
+
+This module provides that mapping:
+
+* :class:`CategoricalParameter` — a knob with a finite choice set (e.g.
+  ``spark.io.compression.codec ∈ {lz4, snappy, zstd}``).
+* :class:`PerformanceOrderedEncoder` — a target-style encoding that places
+  each choice on a continuous [0, 1] axis ordered by its observed mean
+  performance, re-fit as observations accumulate, so that *numerically close
+  encodings correspond to behaviorally similar choices* — which is exactly
+  the property neighborhood-based tuners like Centroid Learning need.
+* :class:`CategoricalSpaceAdapter` — wraps a mixed space so optimizers see a
+  purely continuous :class:`~repro.core.config_space.ConfigSpace`, while
+  callers convert suggestions back to concrete choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .config_space import ConfigSpace, Parameter
+
+__all__ = [
+    "CategoricalParameter",
+    "PerformanceOrderedEncoder",
+    "CategoricalSpaceAdapter",
+]
+
+
+@dataclass(frozen=True)
+class CategoricalParameter:
+    """A configuration knob with a finite set of choices.
+
+    Attributes:
+        name: fully qualified knob name.
+        choices: the admissible values, e.g. ``("lz4", "snappy", "zstd")``.
+        default: the default choice (must be in ``choices``).
+        scope: ``"query"`` or ``"app"`` (same semantics as
+            :class:`~repro.core.config_space.Parameter`).
+    """
+
+    name: str
+    choices: Tuple[str, ...]
+    default: str
+    scope: str = "query"
+
+    def __post_init__(self) -> None:
+        if len(self.choices) < 2:
+            raise ValueError(f"parameter {self.name!r} needs >= 2 choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"parameter {self.name!r} has duplicate choices")
+        if self.default not in self.choices:
+            raise ValueError(
+                f"parameter {self.name!r}: default {self.default!r} not in choices"
+            )
+        if self.scope not in ("query", "app"):
+            raise ValueError(f"parameter {self.name!r}: unknown scope {self.scope!r}")
+
+
+class PerformanceOrderedEncoder:
+    """Maps one categorical knob onto a continuous [0, 1] axis.
+
+    Initially the choices sit at their nominal (catalog-order) positions;
+    once performance observations arrive, :meth:`fit` re-orders them by mean
+    observed performance (best = 0, worst = 1), so a continuous optimizer
+    descending the axis moves toward better choices.
+
+    The encoder is deliberately conservative with sparse data: a choice with
+    no observations keeps its previous position.
+    """
+
+    def __init__(self, parameter: CategoricalParameter):
+        self.parameter = parameter
+        n = len(parameter.choices)
+        # Evenly spaced nominal positions in catalog order.
+        self._positions: Dict[str, float] = {
+            c: i / (n - 1) for i, c in enumerate(parameter.choices)
+        }
+        self.fitted = False
+
+    @property
+    def positions(self) -> Dict[str, float]:
+        return dict(self._positions)
+
+    def fit(
+        self,
+        choices: Sequence[str],
+        performances: Sequence[float],
+    ) -> "PerformanceOrderedEncoder":
+        """Re-order the axis by mean observed performance.
+
+        Args:
+            choices: the categorical value used in each observation.
+            performances: the observed times (lower is better).
+        """
+        if len(choices) != len(performances):
+            raise ValueError("choices and performances must align")
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for c, r in zip(choices, performances):
+            if c not in self._positions:
+                raise ValueError(
+                    f"unknown choice {c!r} for {self.parameter.name!r}"
+                )
+            sums[c] = sums.get(c, 0.0) + float(r)
+            counts[c] = counts.get(c, 0) + 1
+        if not sums:
+            return self
+        means = {c: sums[c] / counts[c] for c in sums}
+        # Observed choices, best first; unobserved keep relative order by
+        # their current position.
+        observed = sorted(means, key=means.get)
+        unobserved = sorted(
+            (c for c in self.parameter.choices if c not in means),
+            key=self._positions.get,
+        )
+        ordered = observed + unobserved
+        n = len(ordered)
+        self._positions = {
+            c: (i / (n - 1) if n > 1 else 0.0) for i, c in enumerate(ordered)
+        }
+        self.fitted = True
+        return self
+
+    def encode(self, choice: str) -> float:
+        try:
+            return self._positions[choice]
+        except KeyError:
+            raise ValueError(
+                f"unknown choice {choice!r} for {self.parameter.name!r}"
+            ) from None
+
+    def decode(self, position: float) -> str:
+        """The choice whose axis position is nearest to ``position``."""
+        return min(
+            self._positions,
+            key=lambda c: abs(self._positions[c] - float(position)),
+        )
+
+
+class CategoricalSpaceAdapter:
+    """Presents a mixed continuous/categorical space as purely continuous.
+
+    Usage::
+
+        adapter = CategoricalSpaceAdapter(continuous_params, categorical_params)
+        optimizer = CentroidLearning(adapter.space, ...)
+        ...
+        vector = optimizer.suggest(...)
+        config = adapter.to_config(vector)      # knob dict incl. choices
+        ...observe r...
+        adapter.record(config, r)               # feeds the encoders
+        adapter.refit()                          # re-order axes periodically
+    """
+
+    def __init__(
+        self,
+        continuous: Sequence[Parameter],
+        categorical: Sequence[CategoricalParameter],
+    ):
+        if not categorical:
+            raise ValueError("use a plain ConfigSpace when nothing is categorical")
+        names = [p.name for p in continuous] + [p.name for p in categorical]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names across the mixed space")
+        self.continuous = list(continuous)
+        self.categorical = list(categorical)
+        self.encoders: Dict[str, PerformanceOrderedEncoder] = {
+            p.name: PerformanceOrderedEncoder(p) for p in categorical
+        }
+        # Each categorical knob becomes one continuous [0, 1] axis whose
+        # default is the default choice's current position.
+        synthetic = [
+            Parameter(
+                name=p.name,
+                low=0.0,
+                high=1.0,
+                default=self.encoders[p.name].encode(p.default),
+                scope=p.scope,
+            )
+            for p in categorical
+        ]
+        self.space = ConfigSpace(list(continuous) + synthetic)
+        self._history: List[Tuple[Dict[str, object], float]] = []
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_config(self, vector: np.ndarray) -> Dict[str, object]:
+        """Internal vector → knob dict with concrete categorical choices."""
+        raw = self.space.to_dict(vector)
+        out: Dict[str, object] = {}
+        for p in self.continuous:
+            out[p.name] = raw[p.name]
+        for p in self.categorical:
+            out[p.name] = self.encoders[p.name].decode(raw[p.name])
+        return out
+
+    def to_vector(self, config: Mapping[str, object]) -> np.ndarray:
+        """Knob dict (with choices) → internal vector."""
+        values: Dict[str, float] = {}
+        for p in self.continuous:
+            values[p.name] = float(config[p.name])
+        for p in self.categorical:
+            values[p.name] = self.encoders[p.name].encode(str(config[p.name]))
+        return self.space.to_vector(values)
+
+    # -- warmup ---------------------------------------------------------------------
+
+    def warmup_configs(self, repeats: int = 1) -> List[Dict[str, object]]:
+        """Configurations that try every categorical choice (defaults
+        elsewhere), one knob at a time.
+
+        Neighborhood-based tuners never wander far enough to *discover* a
+        distant categorical value, so each choice is probed explicitly once
+        (``repeats`` times) before tuning; the observations feed
+        :meth:`refit`, which then places good choices near the axis origin
+        where the optimizer exploits them.
+        """
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        base: Dict[str, object] = {p.name: p.default for p in self.continuous}
+        base.update({p.name: p.default for p in self.categorical})
+        out: List[Dict[str, object]] = []
+        for p in self.categorical:
+            for choice in p.choices:
+                for _ in range(repeats):
+                    config = dict(base)
+                    config[p.name] = choice
+                    out.append(config)
+        return out
+
+    # -- encoder updates -----------------------------------------------------------
+
+    def record(self, config: Mapping[str, object], performance: float) -> None:
+        """Remember one (config, observed time) pair for encoder refits."""
+        self._history.append((dict(config), float(performance)))
+
+    def refit(self, min_observations: int = 2) -> List[str]:
+        """Re-order every categorical axis with enough data; returns the
+        names of the axes that were refit."""
+        refit: List[str] = []
+        for p in self.categorical:
+            choices = [str(cfg[p.name]) for cfg, _ in self._history if p.name in cfg]
+            perfs = [r for cfg, r in self._history if p.name in cfg]
+            if len(choices) >= min_observations and len(set(choices)) >= 2:
+                self.encoders[p.name].fit(choices, perfs)
+                refit.append(p.name)
+        return refit

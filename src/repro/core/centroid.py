@@ -1,0 +1,271 @@
+"""The Centroid Learning algorithm (Algorithm 1).
+
+Each iteration:
+
+1. generate candidates in the β-neighborhood of the centroid ``e_t``;
+2. let the surrogate + acquisition pick ``c_{t+1}`` (``argmax f``);
+3. execute, observe ``(c_{t+1}, p_{t+1}, r_{t+1})``;
+4. ``c* = FIND_BEST(Ω(t+1, N))`` — the statistically best recent config;
+5. ``Δ = FIND_GRADIENT(Ω(t+1, N))`` — a robust descent *direction*;
+6. ``e_{t+1} = c* ⊖ α·Δ`` — move from the best config along the descent
+   direction, deliberately *overshooting* (momentum-style) to escape local
+   minima.
+
+A :class:`~repro.core.guardrail.Guardrail` can disable tuning and reinstate
+the default configuration when sustained regressions are predicted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..ml.base import Regressor
+from ..ml.linear import PolynomialFeatures, RidgeRegression
+from ..ml.scaler import Pipeline, StandardScaler
+from .candidates import generate_candidates
+from .config_space import ConfigSpace
+from .find_best import FindBestMode, find_best, fit_window_model
+from .gradient import linear_sign_gradient, ml_sign_gradient
+from .guardrail import Guardrail
+from .observation import Observation, ObservationWindow
+from .optimizer_base import Optimizer
+from .selectors import CandidateSelector, SurrogateSelector
+
+__all__ = ["CentroidLearning", "default_window_model_factory"]
+
+
+def default_window_model_factory() -> Regressor:
+    """The default ``H(c, p)``: standardized quadratic ridge regression.
+
+    A degree-2 surface captures the local convexity of the response around
+    the centroid with very few observations, while ridge shrinkage keeps the
+    fit stable under Eq.-8 noise.
+    """
+    return Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("poly", PolynomialFeatures(degree=2)),
+            ("ridge", RidgeRegression(alpha=1.0)),
+        ]
+    )
+
+
+class CentroidLearning(Optimizer):
+    """Noise-robust hybrid of model-guided and gradient-based tuning.
+
+    Args:
+        space: configuration space.
+        alpha: centroid update (overshoot) step size — fraction of each
+            parameter's internal span moved per update.
+        alpha_decay: optional hyperbolic decay of α over centroid updates
+            (0 = the paper's constant step).
+        beta: candidate-generation neighborhood half-width (fraction of span).
+        window_size: ``N``, observations used for FIND_BEST / FIND_GRADIENT;
+            the paper recommends 10–20 under production noise.
+        n_candidates: candidates generated per iteration.
+        selector: candidate-selection policy; defaults to a
+            :class:`SurrogateSelector` over the window model.
+        find_best_mode: FIND_BEST refinement (default MODEL, Eq. 5).
+        gradient_mode: ``"ml"`` (Eq. 6 sign search; default) or ``"linear"``.
+        model_factory: constructor of ``H(c, p)``.
+        start: initial centroid ``e_0`` (internal axes); defaults to the
+            space default — production tunes outward from the defaults.
+        guardrail: optional regression guardrail; when it disables tuning,
+            :meth:`suggest` returns the default configuration forever after.
+        min_update_observations: window points required before the centroid
+            moves (needs enough data for a meaningful fit).
+        probe: gradient probe geometry, ``"span"`` or ``"multiplicative"``.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        alpha: float = 0.05,
+        alpha_decay: float = 0.0,
+        beta: float = 0.1,
+        window_size: int = 10,
+        n_candidates: int = 20,
+        selector: Optional[CandidateSelector] = None,
+        find_best_mode: FindBestMode = FindBestMode.MODEL,
+        gradient_mode: str = "ml",
+        model_factory: Optional[Callable[[], Regressor]] = None,
+        start: Optional[np.ndarray] = None,
+        guardrail: Optional[Guardrail] = None,
+        min_update_observations: int = 3,
+        probe: str = "span",
+        seed: Optional[int] = None,
+    ):
+        super().__init__(space, window_size=window_size)
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if alpha_decay < 0:
+            raise ValueError(f"alpha_decay must be >= 0, got {alpha_decay}")
+        if gradient_mode not in ("ml", "linear"):
+            raise ValueError(f"gradient_mode must be 'ml' or 'linear', got {gradient_mode!r}")
+        if min_update_observations < 2:
+            raise ValueError("min_update_observations must be >= 2")
+        self.alpha = alpha
+        self.alpha_decay = alpha_decay
+        self._n_updates = 0
+        self.beta = beta
+        self.n_candidates = n_candidates
+        self.find_best_mode = find_best_mode
+        self.gradient_mode = gradient_mode
+        self.model_factory = model_factory or default_window_model_factory
+        self.selector = selector or SurrogateSelector(self.model_factory)
+        self.guardrail = guardrail
+        self.min_update_observations = min_update_observations
+        self.probe = probe
+        self._rng = np.random.default_rng(seed)
+        e0 = space.default_vector() if start is None else np.asarray(start, dtype=float)
+        self._centroid = space.clip(e0)
+        self._last_gradient: Optional[np.ndarray] = None
+        self._last_best: Optional[np.ndarray] = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def centroid(self) -> np.ndarray:
+        """The current centroid ``e_t`` (internal axes)."""
+        return self._centroid.copy()
+
+    @property
+    def tuning_active(self) -> bool:
+        return self.guardrail.active if self.guardrail is not None else True
+
+    @property
+    def last_gradient(self) -> Optional[np.ndarray]:
+        """The Δ applied at the most recent centroid update."""
+        return None if self._last_gradient is None else self._last_gradient.copy()
+
+    @property
+    def last_best(self) -> Optional[np.ndarray]:
+        """The c* used at the most recent centroid update."""
+        return None if self._last_best is None else self._last_best.copy()
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable tuning state.
+
+        Production keeps per-(user, signature) tuning state across
+        application runs; this snapshot covers the centroid, the observation
+        history, update counters and guardrail internals.  Constructor
+        hyperparameters (α, β, N, selector, ...) are *code*, not state —
+        re-supply them when restoring.
+        """
+        history = [
+            {
+                "config": o.config.tolist(),
+                "data_size": o.data_size,
+                "performance": o.performance,
+                "iteration": o.iteration,
+                "embedding": None if o.embedding is None else o.embedding.tolist(),
+            }
+            for o in self.observations.history
+        ]
+        return {
+            "centroid": self._centroid.tolist(),
+            "n_updates": self._n_updates,
+            "history": history,
+            "guardrail": self.guardrail.to_state() if self.guardrail else None,
+        }
+
+    def restore_state(self, state: dict) -> "CentroidLearning":
+        """Restore a :meth:`to_state` snapshot in place."""
+        centroid = np.asarray(state["centroid"], dtype=float)
+        if centroid.shape != (self.space.dim,):
+            raise ValueError(
+                f"state centroid has shape {centroid.shape}, "
+                f"expected ({self.space.dim},)"
+            )
+        self._centroid = self.space.clip(centroid)
+        self._n_updates = int(state["n_updates"])
+        window = ObservationWindow(self.observations.window_size)
+        for item in state["history"]:
+            window.append(Observation(
+                config=np.asarray(item["config"], dtype=float),
+                data_size=item["data_size"],
+                performance=item["performance"],
+                iteration=item["iteration"],
+                embedding=(
+                    None if item["embedding"] is None
+                    else np.asarray(item["embedding"], dtype=float)
+                ),
+            ))
+        self.observations = window
+        if state.get("guardrail") is not None:
+            if self.guardrail is None:
+                raise ValueError(
+                    "state carries guardrail data but this optimizer has no guardrail"
+                )
+            self.guardrail.restore_state(state["guardrail"])
+        return self
+
+    # -- ask/tell -----------------------------------------------------------------
+
+    def suggest(self, data_size: Optional[float] = None, embedding=None) -> np.ndarray:
+        if not self.tuning_active:
+            return self.space.default_vector()
+        data_size = 1.0 if data_size is None else float(data_size)
+        candidates = generate_candidates(
+            self.space, self._centroid, self.beta, self.n_candidates, self._rng
+        )
+        index = self.selector.select(
+            candidates, self.observations, data_size, embedding, self._rng
+        )
+        return candidates[index]
+
+    def observe(self, obs: Observation) -> None:
+        super().observe(obs)
+        if self.guardrail is not None:
+            self.guardrail.update(obs)
+            if not self.guardrail.active:
+                return
+        if len(self.observations.window) < self.min_update_observations:
+            return
+        self._update_centroid(obs)
+
+    @property
+    def effective_alpha(self) -> float:
+        """The current overshoot step: ``α / (1 + decay · n_updates)``."""
+        return self.alpha / (1.0 + self.alpha_decay * self._n_updates)
+
+    # -- the Alg.-1 update ------------------------------------------------------------
+
+    def _update_centroid(self, latest: Observation) -> None:
+        window = self.observations
+        model = None
+        if self.find_best_mode is FindBestMode.MODEL or self.gradient_mode == "ml":
+            model = fit_window_model(window, self.model_factory)
+
+        best_obs = find_best(
+            window,
+            mode=self.find_best_mode,
+            model=model,
+            model_factory=self.model_factory,
+            fixed_data_size=latest.data_size,
+        )
+        c_star = best_obs.config
+
+        alpha = self.effective_alpha
+        if self.gradient_mode == "ml":
+            delta = ml_sign_gradient(
+                self.space, model, c_star, latest.data_size, alpha, probe=self.probe
+            )
+        else:
+            delta = linear_sign_gradient(window)
+
+        bounds = self.space.internal_bounds
+        span = bounds[:, 1] - bounds[:, 0]
+        if self.probe == "multiplicative":
+            new_centroid = c_star * (1.0 - alpha * delta)
+        else:
+            new_centroid = c_star - alpha * delta * span
+        self._centroid = self.space.clip(new_centroid)
+        self._n_updates += 1
+        self._last_gradient = np.asarray(delta, dtype=float)
+        self._last_best = np.asarray(c_star, dtype=float)

@@ -1,0 +1,111 @@
+"""The conservative exploration policy (Sec. 6.3).
+
+"In production, we employ a conservative guardrail policy that enables
+autotuning only when query performance improves, which contributes to the
+overall performance gains observed."
+
+Unlike the hard :class:`~repro.core.guardrail.Guardrail` (which disables
+tuning permanently), this wrapper *pauses* exploration whenever the recent
+window performs worse than the incumbent best configuration, replaying the
+incumbent during a cool-down while the inner optimizer keeps learning from
+every observation ("even when the ML model fails to recommend an optimal
+candidate, the centroid update process still derives value from those
+observations").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .observation import Observation
+from .optimizer_base import Optimizer
+
+__all__ = ["ConservativePolicy"]
+
+
+class ConservativePolicy(Optimizer):
+    """Explore only while performance beats the incumbent.
+
+    Args:
+        inner: the wrapped optimizer (typically ``CentroidLearning``).
+        margin: relative regression of the recent-window mean (data-size
+            normalized) over the incumbent that triggers a cool-down.
+        recent_window: observations in the regression check.
+        cooldown: iterations spent replaying the incumbent after a trigger.
+        min_observations: observations before any check happens.
+    """
+
+    def __init__(
+        self,
+        inner: Optimizer,
+        margin: float = 0.15,
+        recent_window: int = 5,
+        cooldown: int = 5,
+        min_observations: int = 8,
+    ):
+        super().__init__(inner.space, window_size=max(recent_window, 2))
+        if margin <= 0:
+            raise ValueError("margin must be > 0")
+        if recent_window < 2:
+            raise ValueError("recent_window must be >= 2")
+        if cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+        self.inner = inner
+        self.margin = margin
+        self.recent_window = recent_window
+        self.cooldown = cooldown
+        self.min_observations = min_observations
+        self._incumbent_config: Optional[np.ndarray] = None
+        self._best_window_mean: Optional[float] = None
+        self._cooldown_left = 0
+        self._checks_resume_at = 0
+        self.pause_count = 0
+
+    @property
+    def exploring(self) -> bool:
+        """Whether the next suggestion comes from the inner optimizer."""
+        return self._cooldown_left == 0
+
+    @property
+    def incumbent(self) -> Optional[np.ndarray]:
+        return None if self._incumbent_config is None else self._incumbent_config.copy()
+
+    def suggest(self, data_size=None, embedding=None) -> np.ndarray:
+        if self._cooldown_left > 0 and self._incumbent_config is not None:
+            self._cooldown_left -= 1
+            return self._incumbent_config.copy()
+        return self.inner.suggest(data_size=data_size, embedding=embedding)
+
+    def observe(self, obs: Observation) -> None:
+        super().observe(obs)
+        # The inner optimizer learns from every run, paused or not.
+        self.inner.observe(obs)
+
+        recent = self.observations.window[-self.recent_window:]
+        if len(recent) < self.recent_window:
+            return
+        # Rolling-window means carry the same multiplicative noise inflation
+        # on both sides of the comparison, so their ratio tracks the *true*
+        # performance ratio — a single lucky draw cannot anchor the check.
+        recent_mean = float(np.mean([o.performance / o.data_size for o in recent]))
+        if self._best_window_mean is None or recent_mean < self._best_window_mean:
+            self._best_window_mean = recent_mean
+            best = min(recent, key=lambda o: o.performance / o.data_size)
+            self._incumbent_config = best.config.copy()
+
+        if (
+            len(self.observations) < self.min_observations
+            or self._cooldown_left > 0
+            or len(self.observations) < self._checks_resume_at
+        ):
+            return
+        if recent_mean > self._best_window_mean * (1.0 + self.margin):
+            self._cooldown_left = self.cooldown
+            # Regression checks need a fully post-pause window, otherwise the
+            # runs that caused this pause immediately re-trigger it.
+            self._checks_resume_at = (
+                len(self.observations) + self.cooldown + self.recent_window
+            )
+            self.pause_count += 1

@@ -1,0 +1,157 @@
+"""The regression guardrail (Sec. 4.3, "Additional guardrail").
+
+A simple regression model predicts execution time from the *iteration
+number* and the *input cardinality*.  Starting at iteration 30, if the
+predicted next-iteration time exceeds the previous observation by more than
+a threshold for several consecutive checks, autotuning is disabled for the
+query and the default configuration is reinstated.  Queries improving over
+time keep tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..ml.linear import LinearRegression
+from .observation import Observation
+
+__all__ = ["Guardrail", "GuardrailDecision"]
+
+
+@dataclass(frozen=True)
+class GuardrailDecision:
+    """Outcome of one guardrail check (kept for the monitoring dashboard)."""
+
+    iteration: int
+    predicted_next: float
+    previous: float
+    violated: bool
+
+
+class Guardrail:
+    """Disables tuning on sustained predicted regressions.
+
+    Args:
+        min_iterations: checks start after this many observations — the
+            paper guarantees "every query undergoes at least 30 iterations
+            of tuning" before the guardrail can fire.
+        threshold: relative excess of the predicted next time over the
+            previous observation that counts as a violation (0.2 = +20%).
+        patience: consecutive violations required before disabling.
+        fit_window: number of most-recent observations the regression is fit
+            on.  A local fit tracks accelerating (convex) regressions that a
+            whole-history line would lag behind.
+        robust: fit the trend with the Theil–Sen estimator instead of OLS —
+            a single Eq.-8 spike inside the window then cannot tilt the
+            prediction.
+    """
+
+    def __init__(
+        self,
+        min_iterations: int = 30,
+        threshold: float = 0.2,
+        patience: int = 3,
+        fit_window: int = 10,
+        robust: bool = False,
+    ):
+        if min_iterations < 2:
+            raise ValueError("min_iterations must be >= 2")
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if fit_window < 3:
+            raise ValueError("fit_window must be >= 3")
+        self.min_iterations = min_iterations
+        self.threshold = threshold
+        self.patience = patience
+        self.fit_window = fit_window
+        self.robust = robust
+        self._iterations: List[float] = []
+        self._data_sizes: List[float] = []
+        self._times: List[float] = []
+        self._consecutive_violations = 0
+        self._disabled = False
+        self.decisions: List[GuardrailDecision] = []
+
+    @property
+    def active(self) -> bool:
+        """Whether autotuning is still enabled for this query."""
+        return not self._disabled
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._times)
+
+    def update(self, obs: Observation) -> bool:
+        """Record an observation and run the check; returns :attr:`active`."""
+        self._iterations.append(float(obs.iteration))
+        self._data_sizes.append(obs.data_size)
+        self._times.append(obs.performance)
+        if self._disabled or len(self._times) < self.min_iterations:
+            return self.active
+
+        predicted_next, predicted_current = self._predict()
+        # Eq.-8 noise only ever inflates observations, so a noisy `previous`
+        # can mask a genuine upward trend; referencing the smaller of the
+        # observation and the model's de-noised current estimate keeps the
+        # check sensitive without firing on healthy queries.
+        previous = min(self._times[-1], predicted_current)
+        violated = predicted_next > previous * (1.0 + self.threshold)
+        self.decisions.append(
+            GuardrailDecision(
+                iteration=int(self._iterations[-1]),
+                predicted_next=predicted_next,
+                previous=previous,
+                violated=violated,
+            )
+        )
+        if violated:
+            self._consecutive_violations += 1
+            if self._consecutive_violations >= self.patience:
+                self._disabled = True
+        else:
+            self._consecutive_violations = 0
+        return self.active
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot (for cross-application persistence)."""
+        return {
+            "iterations": list(self._iterations),
+            "data_sizes": list(self._data_sizes),
+            "times": list(self._times),
+            "consecutive_violations": self._consecutive_violations,
+            "disabled": self._disabled,
+        }
+
+    def restore_state(self, state: dict) -> "Guardrail":
+        """Restore a :meth:`to_state` snapshot in place."""
+        self._iterations = [float(v) for v in state["iterations"]]
+        self._data_sizes = [float(v) for v in state["data_sizes"]]
+        self._times = [float(v) for v in state["times"]]
+        self._consecutive_violations = int(state["consecutive_violations"])
+        self._disabled = bool(state["disabled"])
+        return self
+
+    def _predict(self) -> tuple:
+        """Regress time on (iteration, input cardinality) over the recent
+        window; return (prediction at t+1, prediction at t)."""
+        w = self.fit_window
+        X = np.column_stack([self._iterations[-w:], self._data_sizes[-w:]])
+        y = np.array(self._times[-w:])
+        if self.robust:
+            from ..ml.robust import TheilSenRegressor
+
+            model = TheilSenRegressor()
+        else:
+            model = LinearRegression()
+        model.fit(X, y)
+        t, p = self._iterations[-1], self._data_sizes[-1]
+        rows = np.array([[t + 1.0, p], [t, p]])
+        pred_next, pred_current = model.predict(rows)
+        return float(pred_next), float(pred_current)

@@ -1,0 +1,80 @@
+"""Tuning objectives beyond raw latency.
+
+The Sec.-2.1 user study: "All customers valued execution time, but some
+teams with particularly large resource utilization or fixed budgets also
+noted the importance of cost."  The paper's own related work includes
+predictive *price-performance* optimization (AutoExecutor / Sen et al.) and
+multi-objective tuning (UDAO).
+
+Every optimizer in this library minimizes a single scalar "performance";
+these objectives produce that scalar from an execution's latency and its
+resource allocation, so cost-awareness composes with *any* tuner — including
+Centroid Learning — without touching the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..sparksim.cluster import ExecutorLayout, Pool
+
+__all__ = ["LatencyObjective", "PricePerformanceObjective"]
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """Plain execution time — the paper's deployed objective."""
+
+    def score(self, elapsed_seconds: float, config: Mapping[str, float],
+              pool: Pool = None) -> float:
+        if elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds must be >= 0")
+        return float(elapsed_seconds)
+
+
+@dataclass(frozen=True)
+class PricePerformanceObjective:
+    """Blend latency with allocated-resource cost.
+
+    ``score = seconds^(1−weight) · (seconds · cores · rate)^weight``
+
+    * ``weight = 0`` → pure latency;
+    * ``weight = 1`` → pure cost (core-seconds × hourly rate);
+    * intermediate values trade speed against spend, the fixed-budget teams'
+      preference.
+
+    The geometric blend keeps the score scale-free: halving latency at equal
+    cores always improves the score, while doubling cores must cut latency by
+    more than ``2^(weight/(1−weight))``-ish to pay off.
+
+    Attributes:
+        weight: cost emphasis in [0, 1].
+        core_rate_per_second: price of one core-second (any currency).
+    """
+
+    weight: float = 0.5
+    core_rate_per_second: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise ValueError("weight must be in [0, 1]")
+        if self.core_rate_per_second <= 0:
+            raise ValueError("core_rate_per_second must be > 0")
+
+    def cost(self, elapsed_seconds: float, config: Mapping[str, float],
+             pool: Pool = None) -> float:
+        """Dollar(-ish) cost of the run: core-seconds × rate."""
+        layout = ExecutorLayout.from_config(config, pool)
+        return elapsed_seconds * layout.total_cores * self.core_rate_per_second
+
+    def score(self, elapsed_seconds: float, config: Mapping[str, float],
+              pool: Pool = None) -> float:
+        if elapsed_seconds < 0:
+            raise ValueError("elapsed_seconds must be >= 0")
+        if elapsed_seconds == 0:
+            return 0.0
+        cost = self.cost(elapsed_seconds, config, pool)
+        return float(
+            elapsed_seconds ** (1.0 - self.weight) * cost ** self.weight
+        )

@@ -1,0 +1,64 @@
+"""Common optimizer interface.
+
+All optimizers — the Centroid Learning algorithm and every baseline it is
+compared against — implement the same ask/tell loop over *internal-axis*
+configuration vectors:
+
+    vector = opt.suggest(data_size=p, embedding=e)
+    ...execute and measure r...
+    opt.observe(Observation(config=vector, data_size=p, performance=r,
+                            iteration=t))
+
+Performance is execution time: **lower is better** everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .config_space import ConfigSpace
+from .observation import Observation, ObservationWindow
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class for ask/tell configuration optimizers."""
+
+    def __init__(self, space: ConfigSpace, window_size: int = 10):
+        self.space = space
+        self.observations = ObservationWindow(window_size)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def iteration(self) -> int:
+        return len(self.observations)
+
+    def suggest(
+        self,
+        data_size: Optional[float] = None,
+        embedding: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Propose the next internal-axis configuration vector."""
+        raise NotImplementedError
+
+    def observe(self, obs: Observation) -> None:
+        """Record the outcome of executing a suggested configuration."""
+        if obs.config.shape != (self.space.dim,):
+            raise ValueError(
+                f"observation config has shape {obs.config.shape}, "
+                f"expected ({self.space.dim},)"
+            )
+        self.observations.append(obs)
+
+    def best_observation(self) -> Observation:
+        """The raw-time best observation so far (no data-size correction)."""
+        history = self.observations.history
+        if not history:
+            raise RuntimeError("no observations yet")
+        return min(history, key=lambda o: o.performance)

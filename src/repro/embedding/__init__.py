@@ -1,0 +1,12 @@
+"""Workload embeddings with virtual operators (Sec. 4.1)."""
+
+from .embedder import WorkloadEmbedder
+from .structure import STRUCTURE_FEATURE_NAMES, structural_features
+from .virtual_ops import VirtualOperatorScheme
+
+__all__ = [
+    "STRUCTURE_FEATURE_NAMES",
+    "VirtualOperatorScheme",
+    "WorkloadEmbedder",
+    "structural_features",
+]

@@ -1,0 +1,93 @@
+"""Workload embedding (Sec. 4.1).
+
+Each embedding vector has three components:
+
+1. the estimated cardinality of the root node operator,
+2. the total input cardinality of all leaf node operators,
+3. the frequency of operator occurrences within the execution plan —
+   either plain physical types (the [53] baseline) or *virtual operators*
+   that additionally bucket by input/output sizes.
+
+Cardinalities are ``log10``-scaled so that workloads spanning orders of
+magnitude remain comparable inside a single surrogate model.  Embeddings
+are available at compile time and need no extra training.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..sparksim.plan import OP_TYPES, PhysicalPlan
+from .structure import STRUCTURE_FEATURE_NAMES, structural_features
+from .virtual_ops import VirtualOperatorScheme
+
+__all__ = ["WorkloadEmbedder"]
+
+
+def _log_cardinality(value: float) -> float:
+    return math.log10(max(value, 1.0))
+
+
+@dataclass
+class WorkloadEmbedder:
+    """Maps a :class:`PhysicalPlan` to a fixed-length embedding vector.
+
+    Args:
+        use_virtual_operators: bucket operator counts by (input size,
+            selectivity) — the paper's enhanced embedding.  When ``False``
+            the embedding reduces to the plain operator-count scheme of
+            Phoebe [53], the ablation baseline of Sec. 6.2.
+        scheme: bucketing thresholds (only used with virtual operators).
+        include_structure: append the structural plan features of
+            :mod:`repro.embedding.structure` — the paper's future-work
+            direction for "complex execution plan structures".
+    """
+
+    use_virtual_operators: bool = True
+    scheme: VirtualOperatorScheme = field(default_factory=VirtualOperatorScheme)
+    include_structure: bool = False
+
+    @property
+    def dim(self) -> int:
+        """Embedding vector length (stable across all plans)."""
+        per_type = self.scheme.buckets_per_type if self.use_virtual_operators else 1
+        extra = len(STRUCTURE_FEATURE_NAMES) if self.include_structure else 0
+        return 2 + len(OP_TYPES) * per_type + extra
+
+    def feature_names(self) -> List[str]:
+        """Human-readable name of each vector entry (for dashboards/debugging)."""
+        names = ["log10_root_cardinality", "log10_total_leaf_cardinality"]
+        for op_type in OP_TYPES:
+            if self.use_virtual_operators:
+                for i in range(self.scheme.n_input_buckets):
+                    for j in range(self.scheme.n_ratio_buckets):
+                        names.append(f"count:{op_type}[in={i},sel={j}]")
+            else:
+                names.append(f"count:{op_type}")
+        if self.include_structure:
+            names.extend(f"structure:{n}" for n in STRUCTURE_FEATURE_NAMES)
+        return names
+
+    def embed(self, plan: PhysicalPlan) -> np.ndarray:
+        """Compute the embedding vector of ``plan``."""
+        per_type = self.scheme.buckets_per_type if self.use_virtual_operators else 1
+        counts_dim = 2 + len(OP_TYPES) * per_type
+        vec = np.zeros(self.dim)
+        vec[0] = _log_cardinality(plan.root_cardinality)
+        vec[1] = _log_cardinality(plan.total_leaf_cardinality)
+        type_index = {t: k for k, t in enumerate(OP_TYPES)}
+        for op in plan.operators:
+            base = 2 + type_index[op.op_type] * per_type
+            offset = self.scheme.virtual_index(op) if self.use_virtual_operators else 0
+            vec[base + offset] += 1.0
+        if self.include_structure:
+            vec[counts_dim:] = structural_features(plan)
+        return vec
+
+    def embed_many(self, plans) -> np.ndarray:
+        """Stack embeddings for a sequence of plans, shape ``(n, dim)``."""
+        return np.array([self.embed(p) for p in plans])

@@ -1,0 +1,102 @@
+"""Structural plan features — the paper's future-work embedding direction.
+
+Sec. 4.1: "A potential direction for future work is to introduce more
+comprehensive workload characterization methods that incorporate complex
+execution plan structures, such as those proposed in [43]."
+
+These features summarize the plan *graph* beyond operator counts: depth,
+fan-in, pipeline-breaker structure, and join-tree shape — properties that
+determine how sensitive a plan is to shuffle/broadcast knobs.  They are
+computed from the DAG with networkx and are scale-invariant (cardinalities
+never enter), complementing the count-based components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+import numpy as np
+
+from ..sparksim.plan import OpType, PhysicalPlan
+
+__all__ = ["STRUCTURE_FEATURE_NAMES", "structural_features"]
+
+# Operators that materialize their input (break pipelined execution).
+_PIPELINE_BREAKERS = frozenset({
+    OpType.EXCHANGE, OpType.SORT, OpType.HASH_AGGREGATE, OpType.JOIN, OpType.WINDOW,
+})
+
+STRUCTURE_FEATURE_NAMES: List[str] = [
+    "plan_depth",
+    "n_operators",
+    "max_fan_in",
+    "mean_fan_in",
+    "n_pipeline_breakers",
+    "longest_breaker_chain",
+    "join_count",
+    "join_left_deep_fraction",
+    "leaf_count",
+    "bushiness",
+]
+
+
+def _longest_breaker_chain(plan: PhysicalPlan) -> int:
+    """Length of the longest root-ward path counting only pipeline breakers."""
+    graph = plan.graph
+    memo: Dict[int, int] = {}
+
+    def chain(node: int) -> int:
+        if node in memo:
+            return memo[node]
+        is_breaker = 1 if plan.operator(node).op_type in _PIPELINE_BREAKERS else 0
+        preds = list(graph.predecessors(node))
+        memo[node] = is_breaker + (max(chain(p) for p in preds) if preds else 0)
+        return memo[node]
+
+    return max(chain(n) for n in graph.nodes)
+
+
+def structural_features(plan: PhysicalPlan) -> np.ndarray:
+    """Compute the :data:`STRUCTURE_FEATURE_NAMES` vector for ``plan``.
+
+    Returns:
+        float vector of length ``len(STRUCTURE_FEATURE_NAMES)``.
+    """
+    graph = plan.graph
+    n = len(plan)
+    depth = nx.dag_longest_path_length(graph) if n > 1 else 0
+    fan_ins = [graph.in_degree(node) for node in graph.nodes]
+    joins = [op for op in plan.operators if op.op_type == OpType.JOIN]
+    breakers = sum(
+        1 for op in plan.operators if op.op_type in _PIPELINE_BREAKERS
+    )
+
+    # Left-deep joins have at most one join among their inputs; a bushy join
+    # has joins on both sides.
+    left_deep = 0
+    for op in joins:
+        child_joins = sum(
+            1 for c in op.children if plan.operator(c).op_type == OpType.JOIN
+        )
+        if child_joins <= 1:
+            left_deep += 1
+
+    leaves = len(plan.leaves)
+    # Bushiness: 0 for a pure chain, approaching 1 for a balanced tree.
+    bushiness = 0.0
+    if depth > 0 and leaves > 1:
+        bushiness = min((leaves - 1) / depth, 1.0)
+
+    return np.array([
+        float(depth),
+        float(n),
+        float(max(fan_ins)),
+        float(np.mean(fan_ins)),
+        float(breakers),
+        float(_longest_breaker_chain(plan)),
+        float(len(joins)),
+        float(left_deep / len(joins)) if joins else 1.0,
+        float(leaves),
+        bushiness,
+    ])

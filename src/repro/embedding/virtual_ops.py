@@ -1,0 +1,74 @@
+"""Virtual operators (Sec. 4.1, Fig. 4).
+
+A *virtual operator* refines a physical operator type by bucketing the
+optimizer's input-size and output/input-ratio estimates: two ``Filter``
+nodes land in the same virtual type when both their input magnitude and
+their selectivity fall in the same buckets.  The bucket thresholds are the
+"clustering thresholds for input and output sizes" the paper fine-tunes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..sparksim.plan import Operator
+
+__all__ = ["VirtualOperatorScheme"]
+
+
+@dataclass(frozen=True)
+class VirtualOperatorScheme:
+    """Bucketing rules that map an operator to its virtual type.
+
+    Attributes:
+        input_thresholds: ascending row-count boundaries for input-size
+            buckets (``len + 1`` buckets).
+        ratio_thresholds: ascending boundaries on ``rows_out / rows_in``
+            (selectivity) for output buckets.
+    """
+
+    input_thresholds: Tuple[float, ...] = (1e4, 1e6, 1e8)
+    ratio_thresholds: Tuple[float, ...] = (0.01, 0.5)
+
+    def __post_init__(self) -> None:
+        if list(self.input_thresholds) != sorted(self.input_thresholds):
+            raise ValueError("input_thresholds must be ascending")
+        if list(self.ratio_thresholds) != sorted(self.ratio_thresholds):
+            raise ValueError("ratio_thresholds must be ascending")
+        if any(t <= 0 for t in self.input_thresholds):
+            raise ValueError("input_thresholds must be positive")
+        if any(not 0 < t for t in self.ratio_thresholds):
+            raise ValueError("ratio_thresholds must be positive")
+
+    @property
+    def n_input_buckets(self) -> int:
+        return len(self.input_thresholds) + 1
+
+    @property
+    def n_ratio_buckets(self) -> int:
+        return len(self.ratio_thresholds) + 1
+
+    @property
+    def buckets_per_type(self) -> int:
+        return self.n_input_buckets * self.n_ratio_buckets
+
+    def input_bucket(self, rows_in: float) -> int:
+        return bisect.bisect_right(self.input_thresholds, rows_in)
+
+    def ratio_bucket(self, rows_in: float, rows_out: float) -> int:
+        ratio = rows_out / rows_in if rows_in > 0 else 1.0
+        return bisect.bisect_right(self.ratio_thresholds, ratio)
+
+    def virtual_index(self, op: Operator) -> int:
+        """Flat index of the operator's virtual bucket within its type."""
+        i = self.input_bucket(op.est_rows_in)
+        j = self.ratio_bucket(op.est_rows_in, op.est_rows_out)
+        return i * self.n_ratio_buckets + j
+
+    def virtual_type(self, op: Operator) -> str:
+        """Human-readable virtual type, e.g. ``Filter[in=2,sel=0]``."""
+        i = self.input_bucket(op.est_rows_in)
+        j = self.ratio_bucket(op.est_rows_in, op.est_rows_out)
+        return f"{op.op_type}[in={i},sel={j}]"

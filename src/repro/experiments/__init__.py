@@ -1,0 +1,67 @@
+"""One module per paper figure/table, plus shared runner/report machinery.
+
+Every module exposes ``run(quick: bool = False, seed: int = 0) ->
+ExperimentResult``; ``python -m repro.experiments`` renders them all (quick
+mode by default, ``--full`` for paper-scale replication counts).
+"""
+
+from . import (
+    ablation_embedding,
+    ablation_find_best,
+    ablation_window,
+    app_level_joint,
+    ext_categorical,
+    ext_conservative,
+    ext_knob_count,
+    ext_price_performance,
+    ext_streaming,
+    fig01_shuffle_partitions,
+    fig02_noisy_convergence,
+    fig03_manual_tuning,
+    fig08_synthetic_function,
+    fig09_pseudo_surrogates,
+    fig10_svr_surrogate,
+    fig11_dynamic_workloads,
+    fig12_transfer_learning,
+    fig13_cl_vs_bo,
+    fig14_tpch_production,
+    fig15_internal_customers,
+    fig16_external_customers,
+)
+from .runner import ConvergenceBands, ExperimentResult, run_replicated, run_single
+from .report import format_bands, format_series_table, render_result
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_shuffle_partitions,
+    "fig02": fig02_noisy_convergence,
+    "fig03": fig03_manual_tuning,
+    "fig08": fig08_synthetic_function,
+    "fig09": fig09_pseudo_surrogates,
+    "fig10": fig10_svr_surrogate,
+    "fig11": fig11_dynamic_workloads,
+    "fig12": fig12_transfer_learning,
+    "fig13": fig13_cl_vs_bo,
+    "fig14": fig14_tpch_production,
+    "fig15": fig15_internal_customers,
+    "fig16": fig16_external_customers,
+    "ablation_embedding": ablation_embedding,
+    "ablation_find_best": ablation_find_best,
+    "ablation_window": ablation_window,
+    "app_level_joint": app_level_joint,
+    "ext_categorical": ext_categorical,
+    "ext_conservative": ext_conservative,
+    "ext_knob_count": ext_knob_count,
+    "ext_price_performance": ext_price_performance,
+    "ext_streaming": ext_streaming,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ConvergenceBands",
+    "ExperimentResult",
+    "format_bands",
+    "format_series_table",
+    "render_result",
+    "run_replicated",
+    "run_single",
+]

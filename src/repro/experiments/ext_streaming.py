@@ -1,0 +1,97 @@
+"""Extension: tuning streaming micro-batch workloads.
+
+The Sec.-2.1 user study includes streaming workloads; per-query tuning suits
+them unusually well — the same tiny plan recurs every batch interval, so the
+tuner gets hundreds of iterations, and Spark's batch-oriented defaults
+(200 shuffle partitions, 128 MB scan partitions) are dramatically oversized
+for a few-MB micro-batch.
+
+A fleet of streams with bursty, diurnal arrivals is tuned with Centroid
+Learning; reported: per-batch latency reduction and where the partitions
+knob converges.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.centroid import CentroidLearning
+from ..core.session import TuningSession
+from ..sparksim.configs import query_level_space
+from ..sparksim.executor import SparkSimulator
+from ..sparksim.noise import NoiseModel
+from ..workloads.streaming import MicroBatchStream
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    n_streams = 4 if quick else 12
+    n_batches = 60 if quick else 200
+    space = query_level_space()
+    noise = NoiseModel(fluctuation_level=0.2, spike_level=0.3)
+
+    result = ExperimentResult(
+        name="ext_streaming",
+        description=(
+            "Micro-batch streams with bursty diurnal arrivals tuned with CL: "
+            "per-batch latency of the tuned configs vs the defaults at the "
+            "same batch volumes (last window), and the final "
+            "spark.sql.shuffle.partitions per stream (defaults: 200)."
+        ),
+    )
+    truth = SparkSimulator(noise=None, seed=0)
+    default_config = space.default_dict()
+    latency_gains: List[float] = []
+    final_partitions: List[float] = []
+    improved = 0
+    for k in range(n_streams):
+        stream = MicroBatchStream.create(
+            events_per_batch=float(10 ** np.random.default_rng(seed + k).uniform(4.5, 6.0)),
+            seed=seed * 7 + k,
+        )
+        session = TuningSession(
+            stream.plan,
+            SparkSimulator(noise=noise, seed=seed * 11 + k),
+            CentroidLearning(space, alpha=0.08, beta=0.15, seed=seed + k),
+            scale_fn=stream.scale,
+        )
+        trace = session.run(n_batches)
+        w = max(5, n_batches // 8)
+        tail = trace.records[-w:]
+        # Burst sizes vary, so the fair comparison is tuned-vs-default at
+        # the *same* batch volumes.
+        tuned = float(np.sum([r.true_seconds for r in tail]))
+        base_rows = stream.plan.total_leaf_cardinality
+        default = float(np.sum([
+            truth.true_time(stream.plan, default_config,
+                            data_scale=r.data_size / base_rows)
+            for r in tail
+        ]))
+        latency_gains.append((default / tuned - 1.0) * 100.0)
+        improved += int(tuned < default)
+        final_partitions.append(float(np.mean([
+            r.config["spark.sql.shuffle.partitions"] for r in tail
+        ])))
+
+    result.series["per_stream_latency_gain_pct"] = np.array(latency_gains)
+    result.series["final_partitions_per_stream"] = np.array(final_partitions)
+    result.scalars["n_streams"] = float(n_streams)
+    result.scalars["mean_latency_gain_pct"] = float(np.mean(latency_gains))
+    result.scalars["median_final_partitions"] = float(np.median(final_partitions))
+    result.scalars["fraction_streams_improved"] = float(improved / n_streams)
+    result.notes.append(
+        "Expected shape: every stream beats the default configuration at "
+        "equal batch volumes; the tuner drives shuffle partitions far below "
+        "the 200 default for micro-batch volumes."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .report import render_result
+
+    print(render_result(run(quick=True)))

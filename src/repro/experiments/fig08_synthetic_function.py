@@ -1,0 +1,58 @@
+"""Figure 8: the synthetic objective before and after noise injection.
+
+Sweeps one configuration axis of the Sec.-6.1 convex objective and shows the
+noiseless curve (dashed line in the paper) against a noisy draw (solid) for
+the high-noise (FL=SL=1) and low-noise (FL=SL=0.1) regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparksim.noise import high_noise, low_noise
+from ..workloads.synthetic import default_synthetic_objective
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    n_points = 20 if quick else 60
+    objective = default_synthetic_objective(noise=None, seed=7)
+    space = objective.space
+    bounds = space.internal_bounds
+    grid = np.linspace(bounds[0, 0], bounds[0, 1], n_points)
+    base = space.default_vector()
+
+    vectors = np.tile(base, (n_points, 1))
+    vectors[:, 0] = grid
+    true = np.array([objective.true_value(v) for v in vectors])
+
+    result = ExperimentResult(
+        name="fig08_synthetic_function",
+        description=(
+            "Convex synthetic objective along conf1: noiseless curve vs one "
+            "noisy draw under high (FL=SL=1) and low (FL=SL=0.1) noise."
+        ),
+    )
+    result.series["conf1_grid"] = grid
+    result.series["true_seconds"] = true
+    for label, noise in (("high_noise", high_noise()), ("low_noise", low_noise())):
+        rng = np.random.default_rng(seed)
+        noisy = noise.apply_many(true, rng)
+        result.series[f"{label}_draw"] = noisy
+        result.scalars[f"{label}_mean_inflation"] = float(np.mean(noisy / true))
+        result.scalars[f"{label}_max_inflation"] = float(np.max(noisy / true))
+    result.scalars["optimum_conf1"] = float(objective.optimum[0])
+    result.notes.append(
+        "Shape check: noisy draws always lie on or above the true curve "
+        "(Eq. 8 only slows executions down), with ~10% of high-noise points "
+        "doubled by spikes."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .report import render_result
+
+    print(render_result(run(quick=True)))

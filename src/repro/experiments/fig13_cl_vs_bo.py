@@ -1,0 +1,115 @@
+"""Figure 13: Centroid Learning vs (Contextual) Bayesian Optimization.
+
+On the Lightweight Pipeline (V1) — here, the live noisy simulator — both
+algorithms tune TPC-DS queries "starting from an intentionally poor
+configuration (speedup = 1.0)".  The paper's finding: CL achieves
+significantly better *final convergence* than CBO even from a bad start.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.centroid import CentroidLearning
+from ..core.observation import Observation
+from ..optimizers.contextual_bo import ContextualBayesianOptimization
+from ..embedding.embedder import WorkloadEmbedder
+from ..sparksim.configs import query_level_space
+from ..sparksim.executor import SparkSimulator
+from ..sparksim.noise import NoiseModel
+from ..workloads.tpcds import tpcds_plan
+from .runner import ExperimentResult
+
+__all__ = ["run", "poor_start_vector"]
+
+DEFAULT_QUERIES = (5, 18, 27, 42, 64, 80)
+
+
+def poor_start_vector(space) -> np.ndarray:
+    """An intentionally bad configuration: tiny scan partitions, no
+    broadcast joins, minimum shuffle parallelism."""
+    return space.to_vector({
+        "spark.sql.files.maxPartitionBytes": space["spark.sql.files.maxPartitionBytes"].low,
+        "spark.sql.autoBroadcastJoinThreshold":
+            space["spark.sql.autoBroadcastJoinThreshold"].low,
+        "spark.sql.shuffle.partitions": space["spark.sql.shuffle.partitions"].low,
+    })
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    query_ids: Sequence[int] = DEFAULT_QUERIES,
+) -> ExperimentResult:
+    query_ids = query_ids[:3] if quick else query_ids
+    n_iterations = 15 if quick else 60
+    # Moderate production noise (the LWP runs on a real, shared cluster).
+    noise = NoiseModel(fluctuation_level=0.3, spike_level=0.5)
+    space = query_level_space()
+    embedder = WorkloadEmbedder()
+
+    cl_total = np.zeros(n_iterations)
+    cbo_total = np.zeros(n_iterations)
+    poor_total = 0.0
+    default_total = 0.0
+    for k, qid in enumerate(query_ids):
+        plan = tpcds_plan(qid, 100.0)
+        embedding = embedder.embed(plan)
+        data_size = max(plan.total_leaf_cardinality, 1.0)
+        truth = SparkSimulator(noise=None, seed=0)
+        start = poor_start_vector(space)
+        poor_total += truth.true_time(plan, space.to_dict(start))
+        default_total += truth.true_time(plan, space.default_dict())
+
+        cl = CentroidLearning(space, start=start, beta=0.15, seed=seed + k)
+        cbo = ContextualBayesianOptimization(
+            space, embedding_dim=embedder.dim, n_init=5, seed=seed + k
+        )
+        # First CBO observation is pinned to the poor start, matching the
+        # paper's setup where the starting point is fixed for both.
+        for name, opt, total in (("cl", cl, cl_total), ("cbo", cbo, cbo_total)):
+            sim = SparkSimulator(noise=noise, seed=seed * 7 + k)
+            for t in range(n_iterations):
+                if t == 0:
+                    vector = start.copy()
+                else:
+                    vector = opt.suggest(data_size=data_size, embedding=embedding)
+                res = sim.run(plan, space.to_dict(vector))
+                opt.observe(Observation(
+                    config=vector, data_size=res.data_size,
+                    performance=res.elapsed_seconds, iteration=t,
+                    embedding=embedding,
+                ))
+                total[t] += res.true_seconds
+
+    result = ExperimentResult(
+        name="fig13_cl_vs_bo",
+        description=(
+            "Total true execution time across TPC-DS queries per iteration, "
+            "tuning from an intentionally poor configuration (speedup=1.0)."
+        ),
+        series={
+            "cl_total_seconds": cl_total,
+            "cbo_total_seconds": cbo_total,
+            "cl_speedup": poor_total / cl_total,
+            "cbo_speedup": poor_total / cbo_total,
+        },
+    )
+    tail = max(3, n_iterations // 6)
+    result.scalars["poor_start_total_seconds"] = poor_total
+    result.scalars["default_total_seconds"] = default_total
+    result.scalars["cl_final_speedup"] = float(poor_total / cl_total[-tail:].mean())
+    result.scalars["cbo_final_speedup"] = float(poor_total / cbo_total[-tail:].mean())
+    result.notes.append(
+        "Expected shape: both improve on the poor start; CL's final speedup "
+        "exceeds CBO's."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .report import render_result
+
+    print(render_result(run(quick=True)))

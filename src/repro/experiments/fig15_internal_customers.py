@@ -1,0 +1,114 @@
+"""Figure 15: per-notebook speed-ups for internal customer workloads.
+
+"We also evaluate production performance using workloads from an internal
+customer, achieving an average performance improvement of 17% across more
+than 60 tested Fabric notebooks, with execution time improvements reaching
+up to 100%."  Each simulated notebook is a recurring multi-query workload
+with drifting input sizes; speed-up compares the first and last tuning
+windows on *data-size-normalized true* times (the paper filters out
+data-size effects the same way).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.centroid import CentroidLearning
+from ..core.observation import Observation
+from ..sparksim.configs import query_level_space
+from ..sparksim.executor import SparkSimulator
+from ..workloads.customer import CustomerWorkload, generate_population
+from .runner import ExperimentResult
+
+__all__ = ["run", "tune_workload"]
+
+
+def tune_workload(
+    workload: CustomerWorkload,
+    n_iterations: int,
+    seed: int,
+    guardrail_factory=None,
+) -> dict:
+    """Tune every query of one recurring notebook; returns summary stats.
+
+    Returns a dict with ``speedup_pct`` (first vs last window, normalized by
+    data scale), ``disabled`` (guardrail fired on any query), and
+    ``n_queries``.
+    """
+    space = query_level_space()
+    rng = np.random.default_rng(seed)
+    first_total, last_total = 0.0, 0.0
+    disabled = False
+    w = max(2, n_iterations // 6)
+    for q_index, plan in enumerate(workload.plans):
+        simulator = SparkSimulator(noise=workload.noise, seed=seed * 101 + q_index)
+        guardrail = guardrail_factory() if guardrail_factory else None
+        optimizer = CentroidLearning(
+            space, guardrail=guardrail, seed=seed * 13 + q_index
+        )
+        normed_true: List[float] = []
+        for t in range(n_iterations):
+            scale = workload.data_scale(t)
+            estimated = max(plan.total_leaf_cardinality * scale, 1.0)
+            vector = optimizer.suggest(data_size=estimated)
+            res = simulator.run(plan, space.to_dict(vector), data_scale=scale)
+            observed = res.elapsed_seconds * workload.pathology_multiplier(t, rng)
+            optimizer.observe(Observation(
+                config=vector, data_size=res.data_size,
+                performance=observed, iteration=t,
+            ))
+            # Normalize by scale so workload growth doesn't masquerade as a
+            # regression (the paper's posterior analysis does the same).
+            base = res.true_seconds / scale
+            if workload.pathology == "drift":
+                base *= workload.pathology_multiplier(t, rng)
+            normed_true.append(base)
+        first_total += float(np.mean(normed_true[:w]))
+        last_total += float(np.mean(normed_true[-w:]))
+        if guardrail is not None and not guardrail.active:
+            disabled = True
+    speedup_pct = (first_total / last_total - 1.0) * 100.0 if last_total > 0 else 0.0
+    return {
+        "speedup_pct": speedup_pct,
+        "disabled": disabled,
+        "n_queries": len(workload.plans),
+    }
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    n_workloads = 12 if quick else 60
+    n_iterations = 14 if quick else 40
+    population = generate_population(
+        n_workloads, seed=seed, pathological_fraction=0.03,
+        base_noise=(0.15, 0.45),
+    )
+    speedups = np.array([
+        tune_workload(w, n_iterations, seed=seed * 7 + i)["speedup_pct"]
+        for i, w in enumerate(population)
+    ])
+    result = ExperimentResult(
+        name="fig15_internal_customers",
+        description=(
+            "Percentage speed-up per internal-customer notebook (first vs "
+            "last tuning window, data-size normalized)."
+        ),
+        series={"speedup_pct_sorted": np.sort(speedups)},
+    )
+    result.scalars["n_notebooks"] = float(n_workloads)
+    result.scalars["mean_speedup_pct"] = float(speedups.mean())
+    result.scalars["median_speedup_pct"] = float(np.median(speedups))
+    result.scalars["max_speedup_pct"] = float(speedups.max())
+    result.scalars["fraction_improved"] = float(np.mean(speedups > 0))
+    result.notes.append(
+        "Expected shape: mean speed-up in the mid-teens (paper: ~17%), a "
+        "long positive tail (paper: up to 100%), most notebooks improved."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .report import render_result
+
+    print(render_result(run(quick=True)))

@@ -1,0 +1,138 @@
+"""Plain-text and JSON rendering of experiment results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .runner import ConvergenceBands, ExperimentResult
+
+__all__ = [
+    "downsample_indices",
+    "format_series_table",
+    "format_bands",
+    "render_result",
+    "result_to_json",
+]
+
+
+def downsample_indices(n: int, k: int) -> np.ndarray:
+    """``k`` roughly evenly spaced indices into ``range(n)`` (always incl. ends)."""
+    if n <= 0:
+        raise ValueError("n must be > 0")
+    if k >= n:
+        return np.arange(n)
+    return np.unique(np.linspace(0, n - 1, k).round().astype(int))
+
+
+def format_series_table(
+    x: Sequence[float],
+    columns: Dict[str, Sequence[float]],
+    x_label: str = "iteration",
+    max_rows: int = 12,
+    fmt: str = "{:.3g}",
+) -> str:
+    """Fixed-width table of aligned series, downsampled to ``max_rows``."""
+    x = np.asarray(x, dtype=float)
+    idx = downsample_indices(len(x), max_rows)
+    labels = [x_label] + list(columns)
+    widths = [max(12, len(label) + 2) for label in labels]
+    header = "".join(label.rjust(w) for label, w in zip(labels, widths))
+    lines = [header, "-" * len(header)]
+    for i in idx:
+        cells = [fmt.format(x[i])]
+        for series in columns.values():
+            cells.append(fmt.format(np.asarray(series, dtype=float)[i]))
+        lines.append("".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_bands(bands: Dict[str, ConvergenceBands], max_rows: int = 12) -> str:
+    """Table of per-label ``median [p5, p95]`` strings across iterations."""
+    if not bands:
+        return "(no series)"
+    n = next(iter(bands.values())).n_iterations
+    idx = downsample_indices(n, max_rows)
+    labels = ["iteration"] + list(bands)
+    widths = [11] + [max(26, len(label) + 2) for label in bands]
+    header = "".join(label.rjust(w) for label, w in zip(labels, widths))
+    lines = [header, "-" * len(header)]
+    for i in idx:
+        cells = [str(int(i))]
+        for b in bands.values():
+            cells.append(
+                f"{b.median[i]:.4g} [{b.p5[i]:.4g}, {b.p95[i]:.4g}]"
+            )
+        lines.append("".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def result_to_json(result: ExperimentResult, max_points: int = 50) -> str:
+    """Machine-readable dump of an experiment result.
+
+    Band series are reduced to (median, p5, p95) triples and long series are
+    downsampled to ``max_points`` — enough to diff reproductions across
+    machines without multi-megabyte payloads.
+    """
+    payload: Dict[str, object] = {
+        "name": result.name,
+        "description": result.description,
+        "scalars": {k: float(v) for k, v in result.scalars.items()},
+        "notes": list(result.notes),
+        "series": {},
+    }
+    for label, series in result.series.items():
+        if isinstance(series, ConvergenceBands):
+            idx = downsample_indices(series.n_iterations, max_points)
+            payload["series"][label] = {
+                "kind": "bands",
+                "iterations": idx.tolist(),
+                "median": series.median[idx].tolist(),
+                "p5": series.p5[idx].tolist(),
+                "p95": series.p95[idx].tolist(),
+                "n_runs": series.n_runs,
+            }
+        else:
+            arr = np.asarray(series, dtype=float)
+            idx = downsample_indices(len(arr), max_points)
+            payload["series"][label] = {
+                "kind": "array",
+                "index": idx.tolist(),
+                "values": arr[idx].tolist(),
+            }
+    return json.dumps(payload, indent=2)
+
+
+def render_result(result: ExperimentResult, max_rows: int = 12) -> str:
+    """Full text report for one experiment."""
+    lines = [f"== {result.name} ==", result.description, ""]
+    bands = {k: v for k, v in result.series.items() if isinstance(v, ConvergenceBands)}
+    if bands:
+        lines.append(format_bands(bands, max_rows=max_rows))
+        lines.append("")
+    arrays = {
+        k: np.asarray(v)
+        for k, v in result.series.items()
+        if not isinstance(v, ConvergenceBands)
+    }
+    if arrays:
+        lengths = {len(v) for v in arrays.values()}
+        if len(lengths) == 1:
+            n = lengths.pop()
+            lines.append(
+                format_series_table(np.arange(n), arrays, x_label="index", max_rows=max_rows)
+            )
+            lines.append("")
+        else:
+            for k, v in arrays.items():
+                lines.append(f"{k}: {np.array2string(v, precision=4, threshold=16)}")
+            lines.append("")
+    if result.scalars:
+        for key in sorted(result.scalars):
+            lines.append(f"  {key:<42s} = {result.scalars[key]:.6g}")
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

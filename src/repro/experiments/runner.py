@@ -1,0 +1,154 @@
+"""Shared experiment machinery.
+
+The paper's convergence figures plot, per iteration, the median **true**
+performance of the *suggested* configuration across many independent runs,
+with a 5th–95th percentile band.  :func:`run_replicated` produces that runs
+matrix for any optimizer on any synthetic objective, and
+:class:`ConvergenceBands` summarizes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.observation import Observation
+from ..core.optimizer_base import Optimizer
+from ..workloads.dynamics import ConstantSize, DataSizeProcess
+from ..workloads.synthetic import SyntheticObjective
+
+__all__ = ["ConvergenceBands", "ExperimentResult", "run_replicated", "run_single"]
+
+
+@dataclass
+class ConvergenceBands:
+    """Median + (p5, p95) band of a runs matrix, per iteration."""
+
+    runs: np.ndarray  # (n_runs, n_iterations)
+
+    def __post_init__(self) -> None:
+        self.runs = np.atleast_2d(np.asarray(self.runs, dtype=float))
+
+    @property
+    def n_runs(self) -> int:
+        return self.runs.shape[0]
+
+    @property
+    def n_iterations(self) -> int:
+        return self.runs.shape[1]
+
+    @property
+    def median(self) -> np.ndarray:
+        return np.percentile(self.runs, 50.0, axis=0)
+
+    @property
+    def p5(self) -> np.ndarray:
+        return np.percentile(self.runs, 5.0, axis=0)
+
+    @property
+    def p95(self) -> np.ndarray:
+        return np.percentile(self.runs, 95.0, axis=0)
+
+    def final_median(self, tail: int = 10) -> float:
+        """Median across runs of the mean of each run's last ``tail`` values."""
+        tail = min(tail, self.n_iterations)
+        return float(np.median(self.runs[:, -tail:].mean(axis=1)))
+
+    def final_p95(self, tail: int = 10) -> float:
+        tail = min(tail, self.n_iterations)
+        return float(np.percentile(self.runs[:, -tail:].mean(axis=1), 95.0))
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one paper figure/table reproduction."""
+
+    name: str
+    description: str
+    series: Dict[str, object] = field(default_factory=dict)   # label -> bands/arrays
+    scalars: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def scalar(self, key: str) -> float:
+        return self.scalars[key]
+
+
+def run_single(
+    optimizer: Optimizer,
+    objective: SyntheticObjective,
+    n_iterations: int,
+    size_process: Optional[DataSizeProcess] = None,
+    rng: Optional[np.random.Generator] = None,
+    track: str = "true",
+) -> np.ndarray:
+    """One tuning run on a synthetic objective.
+
+    Args:
+        optimizer: a fresh optimizer instance.
+        objective: the synthetic objective (carries the noise model).
+        n_iterations: loop length.
+        size_process: data-size dynamics (default constant at the
+            objective's reference size).
+        rng: noise RNG.
+        track: ``"true"`` (noiseless value of the suggested config),
+            ``"normed"`` (true / data size, the Fig.-11 view), or
+            ``"gap"`` (optimality gap along the most impactful dimension).
+
+    Returns:
+        array of length ``n_iterations`` with the tracked quantity.
+    """
+    if track not in ("true", "normed", "gap"):
+        raise ValueError(f"unknown track mode {track!r}")
+    size_process = size_process or ConstantSize(objective.reference_size)
+    rng = rng or np.random.default_rng()
+    out = np.empty(n_iterations)
+    impactful = objective.most_impactful_dimension
+    for t in range(n_iterations):
+        p = size_process(t)
+        vector = optimizer.suggest(data_size=p)
+        observed = objective.observe(vector, p, rng)
+        optimizer.observe(
+            Observation(config=vector, data_size=p, performance=observed, iteration=t)
+        )
+        if track == "true":
+            out[t] = objective.true_value(vector, objective.reference_size)
+        elif track == "normed":
+            out[t] = objective.true_value(vector, p) / p
+        else:
+            out[t] = objective.optimality_gap(vector, dimension=impactful)
+    return out
+
+
+def run_replicated(
+    optimizer_factory: Callable[[int], Optimizer],
+    objective: SyntheticObjective,
+    n_iterations: int,
+    n_runs: int,
+    size_process_factory: Optional[Callable[[int], DataSizeProcess]] = None,
+    seed: int = 0,
+    track: str = "true",
+) -> ConvergenceBands:
+    """Repeat :func:`run_single` over ``n_runs`` independent seeds.
+
+    Args:
+        optimizer_factory: ``run_index -> fresh optimizer``.
+        objective: shared synthetic objective.
+        n_iterations: iterations per run.
+        n_runs: replication count (the paper uses 100–200).
+        size_process_factory: ``run_index -> size process`` (default constant).
+        seed: base seed; run ``i`` draws noise from ``seed*10007 + i``.
+        track: see :func:`run_single`.
+    """
+    if n_runs < 1 or n_iterations < 1:
+        raise ValueError("n_runs and n_iterations must be >= 1")
+    runs = np.empty((n_runs, n_iterations))
+    for i in range(n_runs):
+        optimizer = optimizer_factory(i)
+        process = size_process_factory(i) if size_process_factory else None
+        rng = np.random.default_rng(seed * 10007 + i)
+        runs[i] = run_single(
+            optimizer, objective, n_iterations, size_process=process, rng=rng, track=track
+        )
+    return ConvergenceBands(runs)

@@ -1,0 +1,71 @@
+"""From-scratch ML substrate (no scikit-learn available in this environment).
+
+Provides the regression models, kernels, acquisition functions, and
+model-selection utilities that Rockhopper's surrogate models and baselines
+are built on.
+"""
+
+from .acquisition import (
+    AcquisitionFunction,
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    MeanMinimizer,
+    ProbabilityOfImprovement,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+from .base import ProbabilisticRegressor, Regressor
+from .boosting import GradientBoostingRegressor
+from .forest import RandomForestRegressor
+from .gp import GaussianProcessRegressor
+from .kernels import Kernel, Matern52Kernel, RBFKernel
+from .linear import LinearRegression, PolynomialFeatures, RidgeRegression
+from .metrics import mae, mape, quantile_band, r2_score, rmse, spearman_rho
+from .model_selection import KFold, cross_val_score, train_test_split
+from .robust import TheilSenRegressor
+from .scaler import MinMaxScaler, Pipeline, StandardScaler
+from .serialize import dumps_model, load_model, loads_model, save_model
+from .svr import SVR
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "AcquisitionFunction",
+    "DecisionTreeRegressor",
+    "ExpectedImprovement",
+    "GaussianProcessRegressor",
+    "GradientBoostingRegressor",
+    "KFold",
+    "Kernel",
+    "LinearRegression",
+    "LowerConfidenceBound",
+    "Matern52Kernel",
+    "MeanMinimizer",
+    "MinMaxScaler",
+    "Pipeline",
+    "PolynomialFeatures",
+    "ProbabilisticRegressor",
+    "ProbabilityOfImprovement",
+    "RBFKernel",
+    "RandomForestRegressor",
+    "Regressor",
+    "RidgeRegression",
+    "SVR",
+    "StandardScaler",
+    "TheilSenRegressor",
+    "cross_val_score",
+    "dumps_model",
+    "expected_improvement",
+    "load_model",
+    "loads_model",
+    "lower_confidence_bound",
+    "mae",
+    "mape",
+    "probability_of_improvement",
+    "quantile_band",
+    "r2_score",
+    "rmse",
+    "save_model",
+    "spearman_rho",
+    "train_test_split",
+]

@@ -1,0 +1,101 @@
+"""Acquisition functions for model-guided search.
+
+The paper's candidate-selection step ("Various acquisition functions, such as
+Expected Improvement (EI), can be used as selection criteria", Sec. 4.3)
+maximizes an acquisition score over a candidate set.  All scores here are
+*maximized*; performance (execution time) is *minimized*, so improvement is
+measured below the incumbent best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "AcquisitionFunction",
+    "ExpectedImprovement",
+    "ProbabilityOfImprovement",
+    "LowerConfidenceBound",
+    "MeanMinimizer",
+]
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for minimization: ``E[max(best − f − ξ, 0)]``."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    gap = best - mean - xi
+    z = gap / std
+    return gap * norm.cdf(z) + std * norm.pdf(z)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """PI for minimization."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    return norm.cdf((best - mean - xi) / std)
+
+
+def lower_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, kappa: float = 2.0
+) -> np.ndarray:
+    """Negated LCB so that *maximizing* the score explores low means.
+
+    ``score = −(mean − κ·std)``.
+    """
+    return -(np.asarray(mean, dtype=float) - kappa * np.asarray(std, dtype=float))
+
+
+@dataclass
+class AcquisitionFunction:
+    """Callable scoring interface: higher score = more attractive candidate."""
+
+    def __call__(self, mean: np.ndarray, std: np.ndarray, best: float) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass
+class ExpectedImprovement(AcquisitionFunction):
+    xi: float = 0.0
+
+    def __call__(self, mean, std, best):
+        return expected_improvement(mean, std, best, xi=self.xi)
+
+
+@dataclass
+class ProbabilityOfImprovement(AcquisitionFunction):
+    xi: float = 0.0
+
+    def __call__(self, mean, std, best):
+        return probability_of_improvement(mean, std, best, xi=self.xi)
+
+
+@dataclass
+class LowerConfidenceBound(AcquisitionFunction):
+    kappa: float = 2.0
+
+    def __call__(self, mean, std, best):
+        return lower_confidence_bound(mean, std, kappa=self.kappa)
+
+
+@dataclass
+class MeanMinimizer(AcquisitionFunction):
+    """Pure exploitation: score = −predicted mean.
+
+    This is the "configuration with the highest predicted performance"
+    selection mode mentioned in Sec. 4.1 for the deployed system, which runs
+    conservatively with little explicit exploration.
+    """
+
+    def __call__(self, mean, std, best):
+        return -np.asarray(mean, dtype=float)

@@ -1,0 +1,56 @@
+"""Base interfaces for the from-scratch ML substrate.
+
+The environment provides no scikit-learn, so ``repro.ml`` implements the
+estimators Rockhopper relies on (GP, SVR, forests, linear models) directly on
+top of numpy/scipy, with a deliberately sklearn-like ``fit``/``predict``
+surface so the rest of the codebase reads familiarly.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Regressor", "ProbabilisticRegressor", "check_X_y", "check_X"]
+
+
+@runtime_checkable
+class Regressor(Protocol):
+    """Anything with ``fit(X, y)`` and ``predict(X)``."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Regressor": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+@runtime_checkable
+class ProbabilisticRegressor(Regressor, Protocol):
+    """A regressor that also reports predictive uncertainty."""
+
+    def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]: ...
+
+
+def check_X(X: np.ndarray) -> np.ndarray:
+    """Validate and coerce a 2-D feature matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce a training pair."""
+    X = check_X(X)
+    y = np.asarray(y, dtype=float).ravel()
+    if len(y) != len(X):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)} entries")
+    if len(y) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("y contains NaN or infinite values")
+    return X, y

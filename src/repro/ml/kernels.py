@@ -1,0 +1,82 @@
+"""Covariance kernels for Gaussian process regression."""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+__all__ = ["Kernel", "RBFKernel", "Matern52Kernel", "cdist_sq"]
+
+
+def cdist_sq(A: np.ndarray, B: np.ndarray, length_scale: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distance after per-dimension scaling."""
+    A = np.asarray(A, dtype=float) / length_scale
+    B = np.asarray(B, dtype=float) / length_scale
+    a2 = np.sum(A * A, axis=1)[:, None]
+    b2 = np.sum(B * B, axis=1)[None, :]
+    d2 = a2 + b2 - 2.0 * (A @ B.T)
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+class Kernel:
+    """Base kernel with an amplitude and per-dimension length scales."""
+
+    def __init__(self, length_scale=1.0, variance: float = 1.0):
+        self.length_scale = np.atleast_1d(np.asarray(length_scale, dtype=float))
+        if np.any(self.length_scale <= 0):
+            raise ValueError("length scales must be positive")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.variance = float(variance)
+
+    def _broadcast_ls(self, dim: int) -> np.ndarray:
+        if self.length_scale.size == 1:
+            return np.full(dim, float(self.length_scale[0]))
+        if self.length_scale.size != dim:
+            raise ValueError(
+                f"length_scale has {self.length_scale.size} entries "
+                f"but inputs have {dim} dimensions"
+            )
+        return self.length_scale
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, A: np.ndarray) -> np.ndarray:
+        return np.full(len(A), self.variance)
+
+    # -- hyperparameter vector (log-space) for marginal-likelihood opt ---------
+
+    def get_theta(self) -> np.ndarray:
+        return np.log(np.concatenate([[self.variance], self.length_scale]))
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float)
+        self.variance = float(np.exp(theta[0]))
+        self.length_scale = np.exp(theta[1:])
+
+    def clone(self) -> "Kernel":
+        return type(self)(self.length_scale.copy(), self.variance)
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``σ² exp(−½ d²)``."""
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = np.atleast_2d(B)
+        ls = self._broadcast_ls(A.shape[1])
+        return self.variance * np.exp(-0.5 * cdist_sq(A, B, ls))
+
+
+class Matern52Kernel(Kernel):
+    """Matérn ν=5/2 kernel — a common default in BO packages."""
+
+    def __call__(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.atleast_2d(A)
+        B = np.atleast_2d(B)
+        ls = self._broadcast_ls(A.shape[1])
+        d = np.sqrt(cdist_sq(A, B, ls))
+        sqrt5_d = np.sqrt(5.0) * d
+        return self.variance * (1.0 + sqrt5_d + (5.0 / 3.0) * d * d) * np.exp(-sqrt5_d)

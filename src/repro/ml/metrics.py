@@ -1,0 +1,68 @@
+"""Regression metrics used by model validation and the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import rankdata
+
+__all__ = ["rmse", "mae", "r2_score", "mape", "spearman_rho", "quantile_band"]
+
+
+def _pair(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if len(y_true) == 0:
+        raise ValueError("empty arrays")
+    return y_true, y_pred
+
+
+def rmse(y_true, y_pred) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mape(y_true, y_pred) -> float:
+    y_true, y_pred = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), 1e-12)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def spearman_rho(y_true, y_pred) -> float:
+    """Rank correlation — the property that matters for candidate *selection*."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    if len(y_true) < 2:
+        return 0.0
+    r1 = rankdata(y_true)
+    r2 = rankdata(y_pred)
+    r1 = r1 - r1.mean()
+    r2 = r2 - r2.mean()
+    denom = np.sqrt(np.sum(r1 * r1) * np.sum(r2 * r2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(r1 * r2) / denom)
+
+
+def quantile_band(samples: np.ndarray, lower: float = 5.0, upper: float = 95.0):
+    """Median and (p-lower, p-upper) band along axis 0 — the paper's plots
+    report the median with a 5th–95th percentile shaded region."""
+    samples = np.asarray(samples, dtype=float)
+    med = np.percentile(samples, 50.0, axis=0)
+    lo = np.percentile(samples, lower, axis=0)
+    hi = np.percentile(samples, upper, axis=0)
+    return med, lo, hi

@@ -1,0 +1,73 @@
+"""Train/test splitting and cross-validation helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .base import Regressor, check_X_y
+from .metrics import rmse
+
+__all__ = ["train_test_split", "KFold", "cross_val_score"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split into train and test partitions."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    X, y = check_X_y(X, y)
+    rng = rng or np.random.default_rng()
+    n = len(X)
+    n_test = max(1, int(round(test_fraction * n)))
+    if n_test >= n:
+        raise ValueError("test_fraction leaves no training data")
+    perm = rng.permutation(n)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold index generator with optional shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: Optional[int] = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for k in range(self.n_splits):
+            test_idx = folds[k]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != k])
+            yield train_idx, test_idx
+
+
+def cross_val_score(
+    model_factory: Callable[[], Regressor],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    metric: Callable[[np.ndarray, np.ndarray], float] = rmse,
+    seed: Optional[int] = None,
+) -> List[float]:
+    """Fit a fresh model per fold and return per-fold metric values."""
+    X, y = check_X_y(X, y)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits, seed=seed).split(len(X)):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(metric(y[test_idx], model.predict(X[test_idx])))
+    return scores

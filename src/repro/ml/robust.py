@@ -1,0 +1,66 @@
+"""Robust regression: Theil–Sen estimator.
+
+The guardrail regresses execution time on (iteration, input size) with OLS,
+which a single Eq.-8 spike can tilt.  The Theil–Sen estimator — the median
+of pairwise slopes per feature, with a median-based intercept — has a 29%
+breakdown point and suits exactly this kind of spike-contaminated trend
+detection.  Features are handled one at a time (backfitting), which is
+adequate for the guardrail's two weakly-correlated features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import check_X, check_X_y
+
+__all__ = ["TheilSenRegressor"]
+
+
+def _pairwise_slopes(x: np.ndarray, r: np.ndarray) -> Optional[float]:
+    """Median slope over all point pairs with distinct x (None if none)."""
+    dx = x[:, None] - x[None, :]
+    dr = r[:, None] - r[None, :]
+    mask = np.triu(np.abs(dx) > 1e-12, k=1)
+    if not mask.any():
+        return None
+    return float(np.median(dr[mask] / dx[mask]))
+
+
+class TheilSenRegressor:
+    """Per-feature median-of-slopes regression with backfitting.
+
+    Args:
+        n_iterations: backfitting passes over the features (1 is usually
+            enough for near-orthogonal features like (iteration, size)).
+    """
+
+    def __init__(self, n_iterations: int = 2):
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        self.n_iterations = n_iterations
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "TheilSenRegressor":
+        X, y = check_X_y(X, y)
+        n, d = X.shape
+        if n < 2:
+            raise ValueError("need at least 2 samples")
+        coef = np.zeros(d)
+        for _ in range(self.n_iterations):
+            for j in range(d):
+                partial = y - X @ coef + X[:, j] * coef[j]
+                slope = _pairwise_slopes(X[:, j], partial)
+                coef[j] = 0.0 if slope is None else slope
+        self.coef_ = coef
+        self.intercept_ = float(np.median(y - X @ coef))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("TheilSenRegressor is not fitted")
+        X = check_X(X)
+        return X @ self.coef_ + self.intercept_

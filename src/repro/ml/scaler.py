@@ -1,0 +1,113 @@
+"""Feature scalers and a minimal pipeline."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Regressor, check_X
+
+__all__ = ["StandardScaler", "MinMaxScaler", "Pipeline"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling with degenerate-column protection."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant columns get scale 1 so they map to exactly 0 (no div by 0).
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = check_X(X)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = check_X(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into [0, 1] per column."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = check_X(X)
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0.0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        X = check_X(X)
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler is not fitted")
+        X = check_X(X)
+        return X * self.range_ + self.min_
+
+
+class Pipeline:
+    """A scaler(s) + final regressor chain with the Regressor interface.
+
+    Only the final step needs ``fit(X, y)``; earlier steps are transformers
+    with ``fit_transform``/``transform``.
+    """
+
+    def __init__(self, steps: Sequence[Tuple[str, object]]):
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        self.steps: List[Tuple[str, object]] = list(steps)
+
+    @property
+    def final(self) -> Regressor:
+        return self.steps[-1][1]  # type: ignore[return-value]
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Pipeline":
+        Xt = np.asarray(X, dtype=float)
+        for _, step in self.steps[:-1]:
+            Xt = step.fit_transform(Xt)  # type: ignore[union-attr]
+        self.final.fit(Xt, y)
+        return self
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        Xt = np.asarray(X, dtype=float)
+        for _, step in self.steps[:-1]:
+            Xt = step.transform(Xt)  # type: ignore[union-attr]
+        return Xt
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.final.predict(self._transform(X))
+
+    def predict_with_std(self, X: np.ndarray):
+        final = self.final
+        if not hasattr(final, "predict_with_std"):
+            raise AttributeError("final pipeline step has no predict_with_std")
+        return final.predict_with_std(self._transform(X))  # type: ignore[union-attr]

@@ -1,0 +1,221 @@
+"""Model serialization (JSON) — the repo's stand-in for ONNX export.
+
+The production system trains models in Python, converts them to ONNX, and
+loads them in Scala (Sec. 3.1).  The property that matters for the
+backend/client split is a faithful round-trip of a trained model through an
+opaque byte payload; this module provides that with a JSON codec covering
+the estimators used as surrogates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from .boosting import GradientBoostingRegressor
+from .forest import RandomForestRegressor
+from .gp import GaussianProcessRegressor
+from .kernels import Matern52Kernel, RBFKernel
+from .linear import LinearRegression, RidgeRegression
+from .svr import SVR
+from .tree import DecisionTreeRegressor, _Node
+
+__all__ = ["dumps_model", "loads_model", "save_model", "load_model"]
+
+_KERNELS = {"RBFKernel": RBFKernel, "Matern52Kernel": Matern52Kernel}
+
+
+def _arr(x) -> list:
+    return np.asarray(x, dtype=float).tolist()
+
+
+def _node_to_dict(node: _Node) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "prediction": float(node.prediction),
+        "feature": int(node.feature),
+        "threshold": float(node.threshold),
+    }
+    if not node.is_leaf:
+        out["left"] = _node_to_dict(node.left)
+        out["right"] = _node_to_dict(node.right)
+    return out
+
+
+def _node_from_dict(d: Dict[str, Any]) -> _Node:
+    node = _Node(prediction=d["prediction"], feature=d["feature"], threshold=d["threshold"])
+    if not node.is_leaf:
+        node.left = _node_from_dict(d["left"])
+        node.right = _node_from_dict(d["right"])
+    return node
+
+
+def _kernel_payload(kernel) -> Dict[str, Any]:
+    return {
+        "type": type(kernel).__name__,
+        "length_scale": _arr(kernel.length_scale),
+        "variance": kernel.variance,
+    }
+
+
+def _kernel_restore(payload: Dict[str, Any]):
+    cls = _KERNELS[payload["type"]]
+    return cls(np.array(payload["length_scale"]), payload["variance"])
+
+
+def dumps_model(model) -> str:
+    """Serialize a fitted model to a JSON string."""
+    if isinstance(model, (LinearRegression, RidgeRegression)):
+        if model.coef_ is None:
+            raise ValueError("cannot serialize an unfitted model")
+        payload = {
+            "type": type(model).__name__,
+            "coef": _arr(model.coef_),
+            "intercept": model.intercept_,
+            "fit_intercept": model.fit_intercept,
+        }
+        if isinstance(model, RidgeRegression):
+            payload["alpha"] = model.alpha
+    elif isinstance(model, DecisionTreeRegressor):
+        if model._root is None:
+            raise ValueError("cannot serialize an unfitted model")
+        payload = {
+            "type": "DecisionTreeRegressor",
+            "root": _node_to_dict(model._root),
+            "n_features": model.n_features_,
+        }
+    elif isinstance(model, RandomForestRegressor):
+        if not model._trees:
+            raise ValueError("cannot serialize an unfitted model")
+        payload = {
+            "type": "RandomForestRegressor",
+            "trees": [
+                {"root": _node_to_dict(t._root), "n_features": t.n_features_}
+                for t in model._trees
+            ],
+        }
+    elif isinstance(model, GradientBoostingRegressor):
+        if not model._trees:
+            raise ValueError("cannot serialize an unfitted model")
+        payload = {
+            "type": "GradientBoostingRegressor",
+            "init": model._init_,
+            "learning_rate": model.learning_rate,
+            "trees": [
+                {"root": _node_to_dict(t._root), "n_features": t.n_features_}
+                for t in model._trees
+            ],
+        }
+    elif isinstance(model, SVR):
+        if model._X is None:
+            raise ValueError("cannot serialize an unfitted model")
+        payload = {
+            "type": "SVR",
+            "kernel": _kernel_payload(model.kernel),
+            "C": model.C,
+            "epsilon": model.epsilon,
+            "X": [_arr(row) for row in model._X],
+            "beta": _arr(model._beta),
+            "y_mean": model._y_mean,
+            "y_std": model._y_std,
+        }
+    elif isinstance(model, GaussianProcessRegressor):
+        if model._X is None:
+            raise ValueError("cannot serialize an unfitted model")
+        payload = {
+            "type": "GaussianProcessRegressor",
+            "kernel": _kernel_payload(model.kernel),
+            "noise": model.noise,
+            "X": [_arr(row) for row in model._X],
+            "y_mean": model._y_mean,
+            "y_std": model._y_std,
+            "alpha": _arr(model._alpha),
+        }
+    else:
+        raise TypeError(f"unsupported model type: {type(model).__name__}")
+    return json.dumps(payload)
+
+
+def loads_model(data: str):
+    """Restore a model serialized by :func:`dumps_model`."""
+    payload = json.loads(data)
+    kind = payload["type"]
+    if kind in ("LinearRegression", "RidgeRegression"):
+        if kind == "LinearRegression":
+            model = LinearRegression(fit_intercept=payload["fit_intercept"])
+        else:
+            model = RidgeRegression(
+                alpha=payload["alpha"], fit_intercept=payload["fit_intercept"]
+            )
+        model.coef_ = np.array(payload["coef"])
+        model.intercept_ = payload["intercept"]
+        return model
+    if kind == "DecisionTreeRegressor":
+        model = DecisionTreeRegressor()
+        model._root = _node_from_dict(payload["root"])
+        model.n_features_ = payload["n_features"]
+        return model
+    if kind == "RandomForestRegressor":
+        model = RandomForestRegressor(n_estimators=len(payload["trees"]))
+        model._trees = []
+        for td in payload["trees"]:
+            tree = DecisionTreeRegressor()
+            tree._root = _node_from_dict(td["root"])
+            tree.n_features_ = td["n_features"]
+            model._trees.append(tree)
+        return model
+    if kind == "GradientBoostingRegressor":
+        model = GradientBoostingRegressor(
+            n_estimators=len(payload["trees"]),
+            learning_rate=payload["learning_rate"],
+        )
+        model._init_ = payload["init"]
+        model._trees = []
+        for td in payload["trees"]:
+            tree = DecisionTreeRegressor()
+            tree._root = _node_from_dict(td["root"])
+            tree.n_features_ = td["n_features"]
+            model._trees.append(tree)
+        return model
+    if kind == "SVR":
+        model = SVR(
+            kernel=_kernel_restore(payload["kernel"]),
+            C=payload["C"],
+            epsilon=payload["epsilon"],
+        )
+        model._X = np.array(payload["X"])
+        model._beta = np.array(payload["beta"])
+        model._y_mean = payload["y_mean"]
+        model._y_std = payload["y_std"]
+        return model
+    if kind == "GaussianProcessRegressor":
+        from scipy.linalg import cho_factor
+
+        model = GaussianProcessRegressor(
+            kernel=_kernel_restore(payload["kernel"]),
+            noise=payload["noise"],
+            optimize_hypers=False,
+        )
+        model._X = np.array(payload["X"])
+        model._y_mean = payload["y_mean"]
+        model._y_std = payload["y_std"]
+        model._alpha = np.array(payload["alpha"])
+        K = model.kernel(model._X, model._X)
+        K[np.diag_indices_from(K)] += model.noise + 1e-10
+        model._chol = cho_factor(K, lower=True)
+        return model
+    raise TypeError(f"unsupported serialized model type: {kind}")
+
+
+def save_model(model, path: Union[str, Path]) -> Path:
+    """Serialize ``model`` to ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_model(model))
+    return path
+
+
+def load_model(path: Union[str, Path]):
+    return loads_model(Path(path).read_text())

@@ -1,0 +1,143 @@
+"""CART regression trees (variance-reduction splits), numpy-vectorized."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import check_X, check_X_y
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    prediction: float
+    feature: int = -1            # -1 marks a leaf
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _best_split(X, y, feature_indices, min_samples_leaf):
+    """Return (feature, threshold, gain) of the best variance-reducing split.
+
+    Fully vectorized: per feature, prefix sums give every split's SSE in one
+    pass with no Python-level loop over rows.
+    """
+    n = len(y)
+    parent_sse = float(np.sum((y - y.mean()) ** 2))
+    best = (-1, 0.0, 0.0)
+    if n < 2 * min_samples_leaf:
+        return best
+    for j in feature_indices:
+        order = np.argsort(X[:, j], kind="mergesort")
+        xs = X[order, j]
+        ys = y[order]
+        csum = np.cumsum(ys)
+        csum_sq = np.cumsum(ys * ys)
+        total, total_sq = csum[-1], csum_sq[-1]
+        # Candidate split puts rows [0, i) left and [i, n) right.
+        i = np.arange(1, n)
+        left_sum, left_sq = csum[:-1], csum_sq[:-1]
+        right_sum, right_sq = total - left_sum, total_sq - left_sq
+        sse = (left_sq - left_sum * left_sum / i) + (
+            right_sq - right_sum * right_sum / (n - i)
+        )
+        valid = (xs[1:] != xs[:-1]) & (i >= min_samples_leaf) & (n - i >= min_samples_leaf)
+        if not valid.any():
+            continue
+        sse = np.where(valid, sse, np.inf)
+        k = int(np.argmin(sse))
+        gain = parent_sse - float(sse[k])
+        if gain > best[2]:
+            best = (int(j), float(0.5 * (xs[k + 1] + xs[k])), gain)
+    return best
+
+
+class DecisionTreeRegressor:
+    """A regression tree with depth / leaf-size / feature-subsampling controls.
+
+    Args:
+        max_depth: maximum tree depth (``None`` = unbounded).
+        min_samples_leaf: minimum samples per leaf.
+        min_samples_split: minimum samples to attempt a split.
+        max_features: per-split feature subsample count (``None`` = all) —
+            used by the random forest.
+        seed: RNG seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: Optional[int] = None,
+        seed: Optional[int] = None,
+    ):
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = max(min_samples_split, 2 * min_samples_leaf)
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()))
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(y == y[0])
+        ):
+            return node
+        d = X.shape[1]
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        else:
+            features = np.arange(d)
+        feature, threshold, gain = _best_split(X, y, features, self.min_samples_leaf)
+        if feature < 0 or gain <= 1e-12:
+            return node
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_X_y(X, y)
+        self.n_features_ = X.shape[1]
+        self._root = self._build(X, y, depth=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeRegressor is not fitted")
+        X = check_X(X)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        if self._root is None:
+            raise RuntimeError("DecisionTreeRegressor is not fitted")
+        return walk(self._root)

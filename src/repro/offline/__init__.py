@@ -1,0 +1,24 @@
+"""Offline phase: flighting pipeline, embedding ETL, baseline models,
+and transfer learning (Sec. 4.2)."""
+
+from .baseline import BaselineModelTrainer, default_baseline_model_factory
+from .etl import TrainingTable, build_training_table, filter_events, group_by_signature
+from .flighting import FlightingConfig, FlightingPipeline
+from .similarity import embedding_distances, nearest_signatures, select_similar
+from .transfer import FineTunedSurrogate, warm_start_cbo
+
+__all__ = [
+    "BaselineModelTrainer",
+    "FineTunedSurrogate",
+    "FlightingConfig",
+    "FlightingPipeline",
+    "TrainingTable",
+    "build_training_table",
+    "default_baseline_model_factory",
+    "embedding_distances",
+    "filter_events",
+    "group_by_signature",
+    "nearest_signatures",
+    "select_similar",
+    "warm_start_cbo",
+]

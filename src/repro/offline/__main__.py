@@ -1,0 +1,53 @@
+"""Run the offline phase from the command line.
+
+    python -m repro.offline flight.json --events events.jsonl --model baseline.json
+
+Executes the flighting pipeline described by the JSON configuration file
+(Sec. 4.2), optionally writes the collected listener events as JSON-lines,
+and optionally trains + saves a baseline model from them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..ml.serialize import save_model
+from ..sparksim.events import events_to_jsonl
+from .baseline import BaselineModelTrainer
+from .etl import build_training_table
+from .flighting import FlightingConfig, FlightingPipeline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("config", help="flighting configuration JSON file")
+    parser.add_argument("--events", type=Path, default=None,
+                        help="write collected events to this JSONL file")
+    parser.add_argument("--model", type=Path, default=None,
+                        help="train a baseline model and save it here")
+    args = parser.parse_args(argv)
+
+    config = FlightingConfig.from_file(args.config)
+    pipeline = FlightingPipeline(config)
+    events = pipeline.execute()
+    print(f"flighting complete: {len(events)} executions "
+          f"({config.benchmark}, {len(config.scale_factors)} scale factor(s))")
+
+    if args.events is not None:
+        args.events.parent.mkdir(parents=True, exist_ok=True)
+        args.events.write_text(events_to_jsonl(events) + "\n")
+        print(f"events written to {args.events}")
+
+    if args.model is not None:
+        table = build_training_table(events, pipeline.space)
+        model = BaselineModelTrainer().train(table)
+        save_model(model, args.model)
+        print(f"baseline model ({len(table)} rows, "
+              f"{table.feature_dim} features) saved to {args.model}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

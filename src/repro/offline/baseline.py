@@ -1,0 +1,90 @@
+"""Baseline model training (Sec. 4.2).
+
+"For each region, we develop a baseline surrogate model using execution
+traces" from the flighting pipeline.  The baseline predicts duration from
+``[embedding, config, data_size]`` and provides the iteration-0 warm start
+for every customer query in that region.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+
+from ..ml.base import Regressor
+from ..ml.boosting import GradientBoostingRegressor
+from ..ml.serialize import load_model, save_model
+from .etl import TrainingTable
+
+__all__ = ["BaselineModelTrainer", "default_baseline_model_factory"]
+
+
+def default_baseline_model_factory() -> Regressor:
+    """Boosted trees — the workhorse learner for tabular benchmark traces."""
+    return GradientBoostingRegressor(
+        n_estimators=80, learning_rate=0.1, max_depth=4, min_samples_leaf=3, seed=0
+    )
+
+
+class BaselineModelTrainer:
+    """Trains, stores, and loads per-region baseline models.
+
+    Args:
+        model_factory: constructor of the regression model.
+        model_dir: optional directory for persisted models (one file per
+            region) — the backend/client split ships these files.
+    """
+
+    def __init__(
+        self,
+        model_factory: Optional[Callable[[], Regressor]] = None,
+        model_dir: Optional[Union[str, Path]] = None,
+    ):
+        self.model_factory = model_factory or default_baseline_model_factory
+        self.model_dir = Path(model_dir) if model_dir is not None else None
+        self.models: Dict[str, Regressor] = {}
+
+    def train(self, table: TrainingTable, region: str = "default") -> Regressor:
+        """Train one region's baseline model from a training table."""
+        if len(table) < 5:
+            raise ValueError(f"too few rows ({len(table)}) to train a baseline model")
+        model = self.model_factory()
+        model.fit(table.X, table.y)
+        self.models[region] = model
+        if self.model_dir is not None:
+            save_model(model, self._model_path(region))
+        return model
+
+    def train_per_region(self, table: TrainingTable) -> Dict[str, Regressor]:
+        """Split the table by region and train one model each."""
+        regions = sorted(set(table.regions))
+        out: Dict[str, Regressor] = {}
+        for region in regions:
+            keep = [i for i, r in enumerate(table.regions) if r == region]
+            sub = TrainingTable(
+                X=table.X[keep],
+                y=table.y[keep],
+                embedding_dim=table.embedding_dim,
+                config_dim=table.config_dim,
+                signatures=[table.signatures[i] for i in keep],
+                regions=[table.regions[i] for i in keep],
+            )
+            out[region] = self.train(sub, region)
+        return out
+
+    def get(self, region: str = "default") -> Regressor:
+        """Return the region's model, loading from disk if needed."""
+        if region in self.models:
+            return self.models[region]
+        if self.model_dir is not None:
+            path = self._model_path(region)
+            if path.exists():
+                model = load_model(path)
+                self.models[region] = model
+                return model
+        raise KeyError(f"no baseline model for region {region!r}")
+
+    def _model_path(self, region: str) -> Path:
+        assert self.model_dir is not None
+        return self.model_dir / f"baseline-{region}.json"

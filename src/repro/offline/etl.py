@@ -1,0 +1,149 @@
+"""Embedding ETL: listener events → model training tables.
+
+The backend's "Embedding ETL ... processes Spark job logs" (Sec. 5) into the
+feature layout the surrogate models consume (Eq. 2):
+
+    row = [workload embedding | config (internal axes) | data size] → duration
+
+Privacy rule (Sec. 4.2): "Models are trained exclusively with baseline data
+and query traces originating from the same user and query signature" —
+enforced by the filter helpers here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..sparksim.events import QueryEndEvent
+
+__all__ = ["TrainingTable", "build_training_table", "filter_events", "group_by_signature"]
+
+
+@dataclass
+class TrainingTable:
+    """A dense training set plus its provenance."""
+
+    X: np.ndarray              # (n, embedding_dim + config_dim + 1)
+    y: np.ndarray              # (n,) durations in seconds
+    embedding_dim: int
+    config_dim: int
+    signatures: List[str]
+    regions: List[str]
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.embedding_dim + self.config_dim + 1
+
+    def subsample(self, n: int, rng: np.random.Generator) -> "TrainingTable":
+        """Random subsample of ``n`` rows (the Fig.-12 sample-size knob)."""
+        if n >= len(self):
+            return self
+        idx = rng.choice(len(self), size=n, replace=False)
+        return TrainingTable(
+            X=self.X[idx],
+            y=self.y[idx],
+            embedding_dim=self.embedding_dim,
+            config_dim=self.config_dim,
+            signatures=[self.signatures[i] for i in idx],
+            regions=[self.regions[i] for i in idx],
+        )
+
+    def exclude_signature(self, signature: str) -> "TrainingTable":
+        """Leave-one-query-out: drop all rows of one query signature."""
+        keep = [i for i, s in enumerate(self.signatures) if s != signature]
+        return TrainingTable(
+            X=self.X[keep],
+            y=self.y[keep],
+            embedding_dim=self.embedding_dim,
+            config_dim=self.config_dim,
+            signatures=[self.signatures[i] for i in keep],
+            regions=[self.regions[i] for i in keep],
+        )
+
+    def concat(self, other: "TrainingTable") -> "TrainingTable":
+        if (self.embedding_dim, self.config_dim) != (other.embedding_dim, other.config_dim):
+            raise ValueError("incompatible training tables")
+        return TrainingTable(
+            X=np.vstack([self.X, other.X]),
+            y=np.concatenate([self.y, other.y]),
+            embedding_dim=self.embedding_dim,
+            config_dim=self.config_dim,
+            signatures=self.signatures + other.signatures,
+            regions=self.regions + other.regions,
+        )
+
+
+def filter_events(
+    events: Iterable[QueryEndEvent],
+    user_id: Optional[str] = None,
+    query_signature: Optional[str] = None,
+    region: Optional[str] = None,
+) -> List[QueryEndEvent]:
+    """Apply the privacy filters before any model training."""
+    out = []
+    for e in events:
+        if user_id is not None and e.user_id != user_id:
+            continue
+        if query_signature is not None and e.query_signature != query_signature:
+            continue
+        if region is not None and e.region != region:
+            continue
+        out.append(e)
+    return out
+
+
+def group_by_signature(
+    events: Iterable[QueryEndEvent],
+) -> Dict[str, List[QueryEndEvent]]:
+    """Bucket events per query signature (per-query models)."""
+    groups: Dict[str, List[QueryEndEvent]] = {}
+    for e in events:
+        groups.setdefault(e.query_signature, []).append(e)
+    return groups
+
+
+def build_training_table(
+    events: Sequence[QueryEndEvent],
+    space: ConfigSpace,
+    embedding_dim: Optional[int] = None,
+) -> TrainingTable:
+    """Turn events into the Eq.-2 feature layout.
+
+    Args:
+        events: listener events (must all carry embeddings of one length).
+        space: the configuration space the events' configs live in.
+        embedding_dim: expected embedding length (inferred from the first
+            event when omitted; events with mismatched lengths raise).
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("no events to build a training table from")
+    if embedding_dim is None:
+        embedding_dim = len(events[0].embedding)
+    rows, targets, signatures, regions = [], [], [], []
+    for e in events:
+        if len(e.embedding) != embedding_dim:
+            raise ValueError(
+                f"event {e.app_id} has embedding length {len(e.embedding)}, "
+                f"expected {embedding_dim}"
+            )
+        config_vec = space.to_vector(e.config)
+        rows.append(np.concatenate([e.embedding, config_vec, [e.data_size]]))
+        targets.append(e.duration_seconds)
+        signatures.append(e.query_signature)
+        regions.append(e.region)
+    return TrainingTable(
+        X=np.array(rows),
+        y=np.array(targets),
+        embedding_dim=embedding_dim,
+        config_dim=space.dim,
+        signatures=signatures,
+        regions=regions,
+    )

@@ -1,0 +1,158 @@
+"""The flighting pipeline (Sec. 4.2): offline benchmark experimentation.
+
+"The flighting pipeline operates based on a configuration file that
+specifies essential parameters, including the benchmark database (e.g.,
+TPC-DS, TPC-H), query name, scaling factor, number of runs, pool ID (linked
+to node configurations), and the Spark configuration generation algorithm
+(currently set to 'Random')."  The pipeline executes the benchmark on the
+simulator and emits the listener events the ETL turns into training data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..embedding.embedder import WorkloadEmbedder
+from ..sparksim.cluster import STANDARD_POOLS
+from ..sparksim.configs import query_level_space
+from ..sparksim.events import QueryEndEvent
+from ..sparksim.executor import SparkSimulator
+from ..sparksim.noise import NoiseModel, low_noise
+from ..workloads.tpcds import TPCDS_QUERY_IDS, tpcds_plan
+from ..workloads.tpch import TPCH_QUERY_IDS, tpch_plan
+
+__all__ = ["FlightingConfig", "FlightingPipeline"]
+
+_BENCHMARKS = {"tpcds": (tpcds_plan, TPCDS_QUERY_IDS), "tpch": (tpch_plan, TPCH_QUERY_IDS)}
+
+
+@dataclass
+class FlightingConfig:
+    """Declarative flighting run description (the 'configuration file').
+
+    Attributes:
+        benchmark: ``"tpcds"`` or ``"tpch"``.
+        query_ids: queries to run (``None`` = the whole suite).
+        scale_factors: benchmark scale factors to sweep.
+        n_configs: configurations sampled per (query, scale factor).
+        runs_per_config: repeated executions per configuration.
+        pool_id: which standard pool to run on.
+        config_generation: ``"random"`` or ``"lhs"`` (Latin hypercube).
+        region: tag stamped on the emitted events.
+        seed: RNG seed.
+    """
+
+    benchmark: str = "tpcds"
+    query_ids: Optional[List[int]] = None
+    scale_factors: List[float] = field(default_factory=lambda: [1.0])
+    n_configs: int = 10
+    runs_per_config: int = 1
+    pool_id: str = "pool-large"
+    config_generation: str = "random"
+    region: str = "default"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in _BENCHMARKS:
+            raise ValueError(f"unknown benchmark {self.benchmark!r} (tpcds/tpch)")
+        if self.pool_id not in STANDARD_POOLS:
+            raise ValueError(f"unknown pool {self.pool_id!r}")
+        if self.config_generation not in ("random", "lhs"):
+            raise ValueError("config_generation must be 'random' or 'lhs'")
+        if self.n_configs < 1 or self.runs_per_config < 1:
+            raise ValueError("n_configs and runs_per_config must be >= 1")
+        if not self.scale_factors:
+            raise ValueError("scale_factors must be non-empty")
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FlightingConfig":
+        """Load from a JSON configuration file."""
+        payload = json.loads(Path(path).read_text())
+        return cls(**payload)
+
+    def to_file(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "benchmark": self.benchmark,
+            "query_ids": self.query_ids,
+            "scale_factors": self.scale_factors,
+            "n_configs": self.n_configs,
+            "runs_per_config": self.runs_per_config,
+            "pool_id": self.pool_id,
+            "config_generation": self.config_generation,
+            "region": self.region,
+            "seed": self.seed,
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+
+class FlightingPipeline:
+    """Executes a :class:`FlightingConfig` against the simulator.
+
+    Args:
+        config: the run description.
+        space: configuration space to sample (default: the three production
+            query-level knobs).
+        embedder: workload embedder attached to every event.
+        noise: execution noise — flighting runs on controlled clusters, so
+            the default is the low-noise regime.
+    """
+
+    def __init__(
+        self,
+        config: FlightingConfig,
+        space: Optional[ConfigSpace] = None,
+        embedder: Optional[WorkloadEmbedder] = None,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.config = config
+        self.space = space or query_level_space()
+        self.embedder = embedder or WorkloadEmbedder()
+        pool = STANDARD_POOLS[config.pool_id]
+        self.simulator = SparkSimulator(
+            pool=pool,
+            noise=noise if noise is not None else low_noise(),
+            seed=config.seed,
+        )
+        self._rng = np.random.default_rng(config.seed)
+
+    def _sample_configs(self, n: int) -> np.ndarray:
+        if self.config.config_generation == "lhs":
+            return self.space.latin_hypercube(n, self._rng)
+        return self.space.sample_vectors(n, self._rng)
+
+    def execute(self) -> List[QueryEndEvent]:
+        """Run the full sweep; returns one event per execution."""
+        plan_fn, all_ids = _BENCHMARKS[self.config.benchmark]
+        query_ids = self.config.query_ids or list(all_ids)
+        events: List[QueryEndEvent] = []
+        for sf in self.config.scale_factors:
+            for qid in query_ids:
+                plan = plan_fn(qid, sf)
+                embedding = self.embedder.embed(plan)
+                vectors = self._sample_configs(self.config.n_configs)
+                for k, vector in enumerate(vectors):
+                    config_dict = self.space.to_dict(vector)
+                    for run in range(self.config.runs_per_config):
+                        events.append(
+                            self.simulator.run_to_event(
+                                plan,
+                                config_dict,
+                                app_id=f"flight-{self.config.benchmark}-sf{sf}-q{qid}-{k}-{run}",
+                                artifact_id=f"flight-{self.config.benchmark}-q{qid}",
+                                user_id="flighting",
+                                iteration=run,
+                                data_scale=1.0,
+                                embedding=embedding,
+                                region=self.config.region,
+                            )
+                        )
+        return events

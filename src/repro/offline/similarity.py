@@ -1,0 +1,87 @@
+"""Workload-similarity selection for warm starts.
+
+Rover (cited in Sec. 7) transfers knowledge using *workload similarity
+metrics*; the same idea composes with Rockhopper's embeddings: rather than
+warm-starting from the whole benchmark table, keep only the rows whose
+query embeddings are closest to the target workload's.  With Fig.-12's
+adaptability mechanism in mind, fewer-but-relevant rows beat
+more-but-diluting ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .etl import TrainingTable
+
+__all__ = ["embedding_distances", "select_similar", "nearest_signatures"]
+
+
+def embedding_distances(
+    table: TrainingTable, target_embedding: np.ndarray, metric: str = "cosine"
+) -> np.ndarray:
+    """Distance from each table row's embedding to the target.
+
+    Args:
+        table: an Eq.-2 training table (embedding columns lead each row).
+        target_embedding: the target workload's embedding vector.
+        metric: ``"cosine"`` (1 − cosine similarity) or ``"euclidean"``.
+    """
+    target = np.asarray(target_embedding, dtype=float)
+    if target.shape != (table.embedding_dim,):
+        raise ValueError(
+            f"target embedding has shape {target.shape}, "
+            f"expected ({table.embedding_dim},)"
+        )
+    embeddings = table.X[:, : table.embedding_dim]
+    if metric == "euclidean":
+        return np.linalg.norm(embeddings - target, axis=1)
+    if metric == "cosine":
+        norms = np.linalg.norm(embeddings, axis=1) * np.linalg.norm(target)
+        norms = np.maximum(norms, 1e-12)
+        return 1.0 - (embeddings @ target) / norms
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def select_similar(
+    table: TrainingTable,
+    target_embedding: np.ndarray,
+    n_rows: int,
+    metric: str = "cosine",
+) -> TrainingTable:
+    """The ``n_rows`` training rows most similar to the target workload."""
+    if n_rows < 1:
+        raise ValueError("n_rows must be >= 1")
+    distances = embedding_distances(table, target_embedding, metric)
+    order = np.argsort(distances, kind="stable")[: min(n_rows, len(table))]
+    idx = np.sort(order)
+    return TrainingTable(
+        X=table.X[idx],
+        y=table.y[idx],
+        embedding_dim=table.embedding_dim,
+        config_dim=table.config_dim,
+        signatures=[table.signatures[i] for i in idx],
+        regions=[table.regions[i] for i in idx],
+    )
+
+
+def nearest_signatures(
+    table: TrainingTable,
+    target_embedding: np.ndarray,
+    k: int = 3,
+    metric: str = "cosine",
+) -> List[Tuple[str, float]]:
+    """The ``k`` most similar query signatures with their mean distances."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    distances = embedding_distances(table, target_embedding, metric)
+    per_sig: dict = {}
+    counts: dict = {}
+    for sig, dist in zip(table.signatures, distances):
+        per_sig[sig] = per_sig.get(sig, 0.0) + float(dist)
+        counts[sig] = counts.get(sig, 0) + 1
+    means = [(sig, per_sig[sig] / counts[sig]) for sig in per_sig]
+    means.sort(key=lambda item: item[1])
+    return means[:k]

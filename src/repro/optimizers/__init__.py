@@ -1,0 +1,19 @@
+"""Baseline optimizers Rockhopper is evaluated against."""
+
+from .base import Optimizer
+from .bayesian import BayesianOptimization
+from .contextual_bo import ContextualBayesianOptimization
+from .flow2 import FLOW2
+from .hill_climbing import HillClimbing
+from .policy_gradient import PolicyGradientTuner
+from .random_search import RandomSearch
+
+__all__ = [
+    "BayesianOptimization",
+    "ContextualBayesianOptimization",
+    "FLOW2",
+    "HillClimbing",
+    "Optimizer",
+    "PolicyGradientTuner",
+    "RandomSearch",
+]

@@ -1,0 +1,10 @@
+"""Re-export of the shared :class:`Optimizer` interface.
+
+The class lives in :mod:`repro.core.optimizer_base` (the Centroid Learning
+implementation subclasses it, and keeping it in ``core`` avoids a circular
+package dependency); baselines import it from here.
+"""
+
+from ..core.optimizer_base import Optimizer
+
+__all__ = ["Optimizer"]

@@ -1,0 +1,94 @@
+"""Vanilla Bayesian Optimization — the paper's primary baseline (Fig. 2a).
+
+A GP surrogate is fit on ``config → performance`` observations; the next
+configuration maximizes Expected Improvement over a random candidate pool
+spanning the whole space.  This is the "vanilla Bayesian Optimization"
+configuration whose convergence collapses under Eq.-8 noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..ml.acquisition import AcquisitionFunction, ExpectedImprovement
+from ..ml.gp import GaussianProcessRegressor
+from .base import Optimizer
+
+__all__ = ["BayesianOptimization"]
+
+
+class BayesianOptimization(Optimizer):
+    """GP + acquisition-function search over the full space.
+
+    Args:
+        space: configuration space.
+        n_init: random (Latin hypercube) initial designs before the GP kicks in.
+        n_candidates: random candidate pool size per suggestion.
+        acquisition: acquisition function (default EI).
+        model: the GP surrogate instance (persisted across iterations so that
+            tuned kernel hyperparameters carry over).
+        refit_hypers_every: re-optimize kernel hyperparameters every this
+            many iterations (refits of the GP itself happen every iteration).
+        max_train_points: cap on GP training-set size — the most recent
+            observations are kept (O(n³) fits stay tractable on long runs).
+        normalize_inputs: work on the unit cube (recommended).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        n_init: int = 5,
+        n_candidates: int = 256,
+        acquisition: Optional[AcquisitionFunction] = None,
+        model: Optional[GaussianProcessRegressor] = None,
+        refit_hypers_every: int = 10,
+        max_train_points: int = 150,
+        normalize_inputs: bool = True,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(space)
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        if refit_hypers_every < 1:
+            raise ValueError("refit_hypers_every must be >= 1")
+        if max_train_points < n_init:
+            raise ValueError("max_train_points must be >= n_init")
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        self.acquisition = acquisition or ExpectedImprovement()
+        self.refit_hypers_every = refit_hypers_every
+        self.max_train_points = max_train_points
+        self._model = model or GaussianProcessRegressor(
+            noise=1e-2, optimize_hypers=True, n_restarts=1, seed=seed
+        )
+        self.normalize_inputs = normalize_inputs
+        self._rng = np.random.default_rng(seed)
+        self._init_designs = None
+
+    def _features(self, vectors: np.ndarray) -> np.ndarray:
+        return self.space.normalize(vectors) if self.normalize_inputs else vectors
+
+    def suggest(self, data_size=None, embedding=None) -> np.ndarray:
+        t = self.iteration
+        if t < self.n_init:
+            if self._init_designs is None:
+                self._init_designs = self.space.latin_hypercube(self.n_init, self._rng)
+            return self._init_designs[t]
+
+        history = self.observations.history[-self.max_train_points:]
+        X = np.array([o.config for o in history])
+        y = np.array([o.performance for o in history])
+        # Hyperparameters are re-tuned periodically; in between, the GP is
+        # refit on the grown dataset with the cached kernel parameters.
+        self._model.optimize_hypers = (t - self.n_init) % self.refit_hypers_every == 0
+        self._model.fit(self._features(X), y)
+
+        candidates = self.space.sample_vectors(self.n_candidates, self._rng)
+        mean, std = self._model.predict_with_std(self._features(candidates))
+        best = float(y.min())
+        scores = self.acquisition(mean, std, best)
+        return candidates[int(np.argmax(scores))]

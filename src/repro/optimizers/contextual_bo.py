@@ -1,0 +1,138 @@
+"""Contextual Bayesian Optimization (CBO) with workload-embedding context.
+
+The surrogate follows Eq. 2: ``f([workload embedding, configs]) = perf``.
+A warm-start dataset collected offline from benchmark workloads (Sec. 4.2)
+can seed the model before any query-specific observation exists — the
+transfer-learning setting of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..ml.acquisition import AcquisitionFunction, ExpectedImprovement
+from ..ml.base import Regressor
+from ..ml.forest import RandomForestRegressor
+from .base import Optimizer
+
+__all__ = ["ContextualBayesianOptimization"]
+
+
+class ContextualBayesianOptimization(Optimizer):
+    """BO whose surrogate sees ``[embedding, config, data_size]`` features.
+
+    Args:
+        space: configuration space.
+        embedding_dim: length of the workload-embedding vectors.
+        warm_start: optional ``(X, y)`` benchmark dataset with feature rows
+            ``[embedding, config, data_size]`` — the offline baseline data.
+        model_factory: surrogate constructor with ``predict_with_std``
+            support (default: random forest, whose ensemble spread provides
+            the uncertainty).
+        n_candidates: candidate pool size per suggestion.
+        acquisition: acquisition function (default EI).
+        n_init: random designs before model-guided search *when no warm
+            start is available* (with a warm start the model guides from
+            iteration 0).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        embedding_dim: int,
+        warm_start: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        model_factory: Optional[Callable[[], Regressor]] = None,
+        n_candidates: int = 256,
+        acquisition: Optional[AcquisitionFunction] = None,
+        n_init: int = 3,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(space)
+        if embedding_dim < 0:
+            raise ValueError("embedding_dim must be >= 0")
+        self.embedding_dim = embedding_dim
+        self.n_candidates = n_candidates
+        self.n_init = n_init
+        self.acquisition = acquisition or ExpectedImprovement()
+        self._seed = seed
+        self._model_factory = model_factory or (
+            lambda: RandomForestRegressor(n_estimators=40, min_samples_leaf=2, seed=self._seed)
+        )
+        self._rng = np.random.default_rng(seed)
+        self._warm_X: Optional[np.ndarray] = None
+        self._warm_y: Optional[np.ndarray] = None
+        if warm_start is not None:
+            X, y = warm_start
+            X = np.asarray(X, dtype=float)
+            y = np.asarray(y, dtype=float).ravel()
+            expected = embedding_dim + space.dim + 1
+            if X.ndim != 2 or X.shape[1] != expected:
+                raise ValueError(
+                    f"warm-start features must have {expected} columns "
+                    f"([embedding({embedding_dim}), config({space.dim}), data_size]), "
+                    f"got shape {X.shape}"
+                )
+            self._warm_X, self._warm_y = X, y
+
+    # -- feature assembly ---------------------------------------------------------
+
+    def _row(self, config: np.ndarray, data_size: float, embedding) -> np.ndarray:
+        if self.embedding_dim == 0:
+            emb = np.empty(0)
+        elif embedding is None:
+            emb = np.zeros(self.embedding_dim)
+        else:
+            emb = np.asarray(embedding, dtype=float)
+            if emb.shape != (self.embedding_dim,):
+                raise ValueError(
+                    f"embedding has shape {emb.shape}, expected ({self.embedding_dim},)"
+                )
+        return np.concatenate([emb, config, [data_size]])
+
+    def _training_data(self) -> Tuple[np.ndarray, np.ndarray]:
+        rows, targets = [], []
+        if self._warm_X is not None:
+            rows.append(self._warm_X)
+            targets.append(self._warm_y)
+        history = self.observations.history
+        if history:
+            rows.append(
+                np.array([
+                    self._row(o.config, o.data_size, o.embedding) for o in history
+                ])
+            )
+            targets.append(np.array([o.performance for o in history]))
+        if not rows:
+            raise RuntimeError("no training data available")
+        return np.vstack(rows), np.concatenate(targets)
+
+    @property
+    def has_warm_start(self) -> bool:
+        return self._warm_X is not None
+
+    # -- ask ------------------------------------------------------------------------
+
+    def suggest(self, data_size: Optional[float] = None, embedding=None) -> np.ndarray:
+        data_size = 1.0 if data_size is None else float(data_size)
+        if not self.has_warm_start and self.iteration < self.n_init:
+            return self.space.sample_vector(self._rng)
+
+        X, y = self._training_data()
+        model = self._model_factory()
+        model.fit(X, y)
+
+        candidates = self.space.sample_vectors(self.n_candidates, self._rng)
+        rows = np.array([self._row(c, data_size, embedding) for c in candidates])
+        if hasattr(model, "predict_with_std"):
+            mean, std = model.predict_with_std(rows)
+        else:
+            mean = model.predict(rows)
+            std = np.full(len(rows), 1e-9)
+        history = self.observations.history
+        best = min((o.performance for o in history), default=float(np.min(y)))
+        scores = self.acquisition(mean, std, float(best))
+        return candidates[int(np.argmax(scores))]

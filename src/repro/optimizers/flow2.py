@@ -1,0 +1,109 @@
+"""FLOW2 — frugal randomized direct search (Wu, Wang & Huang, AAAI'21).
+
+The FLAML local-search baseline the paper evaluates in Fig. 2b.  FLOW2
+maintains an incumbent, samples a random unit direction ``u`` in the
+normalized space, and tries ``x + s·u``; on failure it tries the opposite
+direction before drawing a new one.  The step size shrinks after ``2^d``
+consecutive no-improvement proposals (lower-bounded), which gives FLOW2 its
+convergence guarantee — and, with production-grade noise, its tendency to
+wander, since a single lucky noisy observation moves the incumbent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..core.observation import Observation
+from .base import Optimizer
+
+__all__ = ["FLOW2"]
+
+
+class FLOW2(Optimizer):
+    """Randomized direct search on the unit cube.
+
+    Args:
+        space: configuration space.
+        step_size: initial step as a fraction of the (normalized) space.
+        step_lower_bound: step-size floor.
+        start: internal-axis start vector (default: the space default —
+            FLOW2 tunes from the current configuration).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        step_size: float = 0.1,
+        step_lower_bound: float = 0.005,
+        start: Optional[np.ndarray] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(space, window_size=2)
+        if not 0 < step_lower_bound <= step_size:
+            raise ValueError("need 0 < step_lower_bound <= step_size")
+        self._rng = np.random.default_rng(seed)
+        self.step_size = step_size
+        self.step_lower_bound = step_lower_bound
+        start_vec = space.default_vector() if start is None else np.asarray(start, float)
+        self._incumbent_unit = space.normalize(space.clip(start_vec))
+        self._incumbent_cost: Optional[float] = None
+        self._direction: Optional[np.ndarray] = None
+        self._tried_opposite = False
+        self._pending_unit: Optional[np.ndarray] = None
+        self._no_improvement = 0
+        # FLOW2 shrinks the step after 2^d failed proposals (capped for
+        # high-dimensional spaces where that would stall shrinking entirely).
+        self._shrink_after = min(2 ** space.dim, 4 * space.dim)
+
+    def _new_direction(self) -> np.ndarray:
+        u = self._rng.normal(size=self.space.dim)
+        norm = np.linalg.norm(u)
+        return u / norm if norm > 0 else np.ones(self.space.dim) / np.sqrt(self.space.dim)
+
+    def suggest(self, data_size=None, embedding=None) -> np.ndarray:
+        if self._incumbent_cost is None:
+            # First evaluation: measure the starting point itself.
+            self._pending_unit = self._incumbent_unit.copy()
+        elif self._direction is not None and not self._tried_opposite:
+            # We just failed on +u (observe() kept _direction): try −u.
+            unit = self._incumbent_unit - self.step_size * self._direction
+            self._pending_unit = np.clip(unit, 0.0, 1.0)
+            self._tried_opposite = True
+        else:
+            self._direction = self._new_direction()
+            self._tried_opposite = False
+            unit = self._incumbent_unit + self.step_size * self._direction
+            self._pending_unit = np.clip(unit, 0.0, 1.0)
+        return self.space.denormalize(self._pending_unit)
+
+    def observe(self, obs: Observation) -> None:
+        super().observe(obs)
+        unit = self.space.normalize(obs.config)
+        cost = obs.performance
+        if self._incumbent_cost is None:
+            self._incumbent_unit = unit
+            self._incumbent_cost = cost
+            return
+        if cost < self._incumbent_cost:
+            self._incumbent_unit = unit
+            self._incumbent_cost = cost
+            self._direction = None
+            self._tried_opposite = False
+            self._no_improvement = 0
+            return
+        self._no_improvement += 1
+        if self._tried_opposite:
+            # Both directions failed; next suggest() draws a fresh one.
+            self._direction = None
+        if self._no_improvement >= self._shrink_after:
+            self.step_size = max(self.step_size * 0.5, self.step_lower_bound)
+            self._no_improvement = 0
+
+    @property
+    def incumbent(self) -> np.ndarray:
+        """Current incumbent as an internal-axis vector."""
+        return self.space.denormalize(self._incumbent_unit)

@@ -1,0 +1,91 @@
+"""Coordinate-descent hill climbing [26] — a greedy-search baseline.
+
+Tries ± step moves on one coordinate at a time (round-robin), accepting a
+move iff the (noisy) observation improves on the incumbent; the step shrinks
+after a full unproductive cycle.  Like FLOW2 it "relies solely on the last
+two rounds of observations" (Sec. 4.3), which is exactly what makes it
+fragile under production noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..core.observation import Observation
+from .base import Optimizer
+
+__all__ = ["HillClimbing"]
+
+
+class HillClimbing(Optimizer):
+    """± coordinate steps with shrink-on-stall.
+
+    Args:
+        space: configuration space.
+        step_size: initial per-coordinate step (fraction of normalized span).
+        min_step: step floor.
+        start: internal starting vector (default: space default).
+        seed: RNG seed (used only to randomize coordinate order).
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        step_size: float = 0.1,
+        min_step: float = 0.005,
+        start: Optional[np.ndarray] = None,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(space, window_size=2)
+        if not 0 < min_step <= step_size:
+            raise ValueError("need 0 < min_step <= step_size")
+        self.step_size = step_size
+        self.min_step = min_step
+        rng = np.random.default_rng(seed)
+        self._coord_order = rng.permutation(space.dim)
+        start_vec = space.default_vector() if start is None else np.asarray(start, float)
+        self._incumbent = space.normalize(space.clip(start_vec))
+        self._incumbent_cost: Optional[float] = None
+        self._move_index = 0            # 2·dim moves per cycle (+ and − per coord)
+        self._improved_this_cycle = False
+        self._pending: Optional[np.ndarray] = None
+
+    def _current_move(self) -> np.ndarray:
+        k = self._move_index % (2 * self.space.dim)
+        coord = int(self._coord_order[k // 2])
+        sign = 1.0 if k % 2 == 0 else -1.0
+        delta = np.zeros(self.space.dim)
+        delta[coord] = sign * self.step_size
+        return delta
+
+    def suggest(self, data_size=None, embedding=None) -> np.ndarray:
+        if self._incumbent_cost is None:
+            self._pending = self._incumbent.copy()
+        else:
+            self._pending = np.clip(self._incumbent + self._current_move(), 0.0, 1.0)
+        return self.space.denormalize(self._pending)
+
+    def observe(self, obs: Observation) -> None:
+        super().observe(obs)
+        cost = obs.performance
+        unit = self.space.normalize(obs.config)
+        if self._incumbent_cost is None:
+            self._incumbent_cost = cost
+            self._incumbent = unit
+            return
+        if cost < self._incumbent_cost:
+            self._incumbent = unit
+            self._incumbent_cost = cost
+            self._improved_this_cycle = True
+        self._move_index += 1
+        if self._move_index % (2 * self.space.dim) == 0:
+            if not self._improved_this_cycle:
+                self.step_size = max(self.step_size * 0.5, self.min_step)
+            self._improved_this_cycle = False
+
+    @property
+    def incumbent(self) -> np.ndarray:
+        return self.space.denormalize(self._incumbent)

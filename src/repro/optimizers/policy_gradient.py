@@ -1,0 +1,105 @@
+"""A policy-gradient (REINFORCE-style) tuner — the RL baseline family.
+
+The related work the paper positions against includes reinforcement-learning
+tuners (CDBTune's actor-critic, OPPerTune's bandit/RL hybrid).  This
+implementation keeps the canonical core: a diagonal-Gaussian policy over the
+normalized configuration space, updated by the score-function estimator with
+a moving-average baseline,
+
+    μ ← μ + η · (b − r) · (x − μ) / σ²        (lower time = higher reward)
+
+with σ annealed multiplicatively.  The moving baseline and scale-free
+advantage make it markedly more noise-tolerant than last-two-rounds greedy
+search — on stationary synthetic objectives it is competitive with Centroid
+Learning's convergence.  What it lacks is everything else the production
+setting needs: no warm start from benchmark models, no restriction of the
+search to a safe neighborhood (every suggestion is a fresh Gaussian draw),
+no data-size attribution for FIND_BEST-style anchoring, and no guardrail.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..core.observation import Observation
+from .base import Optimizer
+
+__all__ = ["PolicyGradientTuner"]
+
+
+class PolicyGradientTuner(Optimizer):
+    """REINFORCE over a diagonal Gaussian in the unit cube.
+
+    Args:
+        space: configuration space.
+        learning_rate: η for the mean update.
+        sigma: initial per-dimension policy std (normalized units).
+        sigma_decay: multiplicative σ decay per observation.
+        sigma_min: σ floor.
+        baseline_momentum: moving-average factor for the reward baseline.
+        start: initial policy mean (internal axes); defaults to the space
+            default.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        space: ConfigSpace,
+        learning_rate: float = 0.1,
+        sigma: float = 0.12,
+        sigma_decay: float = 0.995,
+        sigma_min: float = 0.02,
+        start: Optional[np.ndarray] = None,
+        baseline_momentum: float = 0.9,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(space, window_size=2)
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be > 0")
+        if not 0 < sigma_min <= sigma:
+            raise ValueError("need 0 < sigma_min <= sigma")
+        if not 0 < sigma_decay <= 1:
+            raise ValueError("sigma_decay must be in (0, 1]")
+        if not 0 <= baseline_momentum < 1:
+            raise ValueError("baseline_momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.sigma = sigma
+        self.sigma_decay = sigma_decay
+        self.sigma_min = sigma_min
+        self.baseline_momentum = baseline_momentum
+        self._rng = np.random.default_rng(seed)
+        start_vec = space.default_vector() if start is None else np.asarray(start, float)
+        self._mean = space.normalize(space.clip(start_vec))
+        self._baseline: Optional[float] = None
+
+    @property
+    def policy_mean(self) -> np.ndarray:
+        """Current policy mean as an internal-axis vector."""
+        return self.space.denormalize(self._mean)
+
+    def suggest(self, data_size=None, embedding=None) -> np.ndarray:
+        sample = self._mean + self._rng.normal(0.0, self.sigma, size=self.space.dim)
+        return self.space.denormalize(np.clip(sample, 0.0, 1.0))
+
+    def observe(self, obs: Observation) -> None:
+        super().observe(obs)
+        x = self.space.normalize(obs.config)
+        r = obs.performance
+        if self._baseline is None:
+            self._baseline = r
+            return
+        # Advantage: positive when the run was faster than the baseline.
+        advantage = self._baseline - r
+        # Normalize by the baseline so the step size is scale-free.
+        scale = max(abs(self._baseline), 1e-12)
+        grad = advantage / scale * (x - self._mean) / (self.sigma ** 2)
+        step = self.learning_rate * self.sigma ** 2 * grad  # = η·(adv/scale)·(x−μ)
+        self._mean = np.clip(self._mean + step, 0.0, 1.0)
+        self._baseline = (
+            self.baseline_momentum * self._baseline
+            + (1.0 - self.baseline_momentum) * r
+        )
+        self.sigma = max(self.sigma * self.sigma_decay, self.sigma_min)

@@ -1,0 +1,23 @@
+"""Uniform random search — the weakest sensible baseline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from .base import Optimizer
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(Optimizer):
+    """Samples configurations uniformly on the internal axes."""
+
+    def __init__(self, space: ConfigSpace, seed: Optional[int] = None):
+        super().__init__(space)
+        self._rng = np.random.default_rng(seed)
+
+    def suggest(self, data_size=None, embedding=None) -> np.ndarray:
+        return self.space.sample_vector(self._rng)

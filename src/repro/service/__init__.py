@@ -1,0 +1,36 @@
+"""Production service architecture (Sec. 5): backend, client, storage,
+SAS-style auth, event hub, and the monitoring dashboard."""
+
+from .auth import SasToken, SasTokenIssuer, TokenError
+from .backend import AutotuneBackend, JobGrant
+from .client import (
+    AutotuneClient,
+    AutotuneCredentialManager,
+    ModelLoader,
+    RemoteModelSelector,
+)
+from .dashboard import MonitoringDashboard, QuerySummary, RootCauseReport
+from .events_hub import EventHub
+from .replay import GuardrailAudit, QueryTrajectory, audit_guardrail, replay_artifact
+from .storage import StorageManager
+
+__all__ = [
+    "AutotuneBackend",
+    "AutotuneClient",
+    "AutotuneCredentialManager",
+    "EventHub",
+    "GuardrailAudit",
+    "JobGrant",
+    "QueryTrajectory",
+    "audit_guardrail",
+    "replay_artifact",
+    "ModelLoader",
+    "MonitoringDashboard",
+    "QuerySummary",
+    "RemoteModelSelector",
+    "RootCauseReport",
+    "SasToken",
+    "SasTokenIssuer",
+    "StorageManager",
+    "TokenError",
+]

@@ -1,0 +1,109 @@
+"""SAS-style token authentication (Sec. 5, "Authentication").
+
+The Autotune Backend generates signed, expiring URLs granting scoped access
+to models (read) and event folders (write); clients cache and refresh them.
+Tokens are HMAC-signed strings — no cloud dependency, same control flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import time
+from dataclasses import dataclass
+from typing import Optional
+from urllib.parse import parse_qs, urlencode, urlparse
+
+__all__ = ["SasToken", "SasTokenIssuer", "TokenError"]
+
+
+class TokenError(Exception):
+    """Raised when a token is malformed, expired, or mis-scoped."""
+
+
+@dataclass(frozen=True)
+class SasToken:
+    """A parsed SAS-style URL: ``sas://<resource>?perm=..&exp=..&sig=..``."""
+
+    resource: str
+    permissions: str
+    expires_at: float
+    signature: str
+
+    @property
+    def url(self) -> str:
+        query = urlencode(
+            {"perm": self.permissions, "exp": f"{self.expires_at:.3f}", "sig": self.signature}
+        )
+        return f"sas://{self.resource}?{query}"
+
+    @classmethod
+    def parse(cls, url: str) -> "SasToken":
+        parsed = urlparse(url)
+        if parsed.scheme != "sas":
+            raise TokenError(f"not a SAS url: {url!r}")
+        params = parse_qs(parsed.query)
+        try:
+            resource = parsed.netloc + parsed.path
+            return cls(
+                resource=resource,
+                permissions=params["perm"][0],
+                expires_at=float(params["exp"][0]),
+                signature=params["sig"][0],
+            )
+        except (KeyError, IndexError, ValueError) as exc:
+            raise TokenError(f"malformed SAS url: {url!r}") from exc
+
+
+class SasTokenIssuer:
+    """Issues and validates HMAC-signed resource tokens.
+
+    Args:
+        secret: signing key held by the backend only.
+        default_ttl: token lifetime in seconds.
+        clock: injectable time source (for deterministic tests).
+    """
+
+    def __init__(self, secret: str, default_ttl: float = 3600.0, clock=time.time):
+        if not secret:
+            raise ValueError("secret must be non-empty")
+        if default_ttl <= 0:
+            raise ValueError("default_ttl must be > 0")
+        self._secret = secret.encode()
+        self.default_ttl = default_ttl
+        self._clock = clock
+
+    def _sign(self, resource: str, permissions: str, expires_at: float) -> str:
+        message = f"{resource}|{permissions}|{expires_at:.3f}".encode()
+        return hmac.new(self._secret, message, hashlib.sha256).hexdigest()
+
+    def issue(
+        self, resource: str, permissions: str = "r", ttl: Optional[float] = None
+    ) -> SasToken:
+        """Issue a token for ``resource`` with ``permissions`` ('r', 'w', 'rw')."""
+        if not set(permissions) <= {"r", "w"} or not permissions:
+            raise ValueError(f"invalid permissions {permissions!r}")
+        expires_at = self._clock() + (ttl if ttl is not None else self.default_ttl)
+        return SasToken(
+            resource=resource,
+            permissions=permissions,
+            expires_at=round(expires_at, 3),
+            signature=self._sign(resource, permissions, round(expires_at, 3)),
+        )
+
+    def validate(self, token: SasToken, resource: str, permission: str) -> None:
+        """Raise :class:`TokenError` unless the token grants ``permission``
+        on ``resource`` and has not expired."""
+        if token.resource != resource:
+            raise TokenError(
+                f"token scoped to {token.resource!r}, not {resource!r}"
+            )
+        if permission not in token.permissions:
+            raise TokenError(
+                f"token grants {token.permissions!r}, needs {permission!r}"
+            )
+        expected = self._sign(token.resource, token.permissions, token.expires_at)
+        if not hmac.compare_digest(expected, token.signature):
+            raise TokenError("invalid token signature")
+        if self._clock() > token.expires_at:
+            raise TokenError("token expired")

@@ -1,0 +1,241 @@
+"""The Autotune Backend (Sec. 5, Fig. 7).
+
+Hosts the three streaming jobs — the Embedding ETL, the Model Updater and
+the App Cache Generator — plus job registration (issuing SAS tokens) and
+model/event storage access.  Per-query models are trained from events that
+share a ``(user_id, query_signature)`` pair, never across users (the
+Sec.-4.2 privacy rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.app_level import AppCache, AppCacheEntry, QueryTuningContext, optimize_app_config
+from ..core.config_space import ConfigSpace
+from ..ml.base import Regressor
+from ..ml.forest import RandomForestRegressor
+from ..ml.serialize import dumps_model
+from ..sparksim.events import AppEndEvent, QueryEndEvent
+from .auth import SasToken, SasTokenIssuer
+from .events_hub import EventHub
+from .storage import StorageManager
+
+__all__ = ["JobGrant", "AutotuneBackend"]
+
+
+def _default_query_model_factory() -> Regressor:
+    # Forests serialize through ml.serialize (the ONNX stand-in) and handle
+    # the non-linear config→time response without feature engineering.
+    return RandomForestRegressor(n_estimators=20, min_samples_leaf=2, seed=0)
+
+
+@dataclass(frozen=True)
+class JobGrant:
+    """What a newly registered Spark job receives from the backend."""
+
+    app_id: str
+    artifact_id: str
+    event_write_token: SasToken
+    model_read_token: SasToken
+    app_config: Optional[Dict[str, float]] = None   # pre-computed app_cache hit
+
+
+class AutotuneBackend:
+    """Cloud-side half of Rockhopper's online phase.
+
+    Args:
+        storage: event/model storage.
+        issuer: SAS token issuer.
+        query_space: query-level knob space (model feature layout).
+        app_space: app-level knob space; enables the App Cache Generator.
+        full_space: joint space used when events carry both knob scopes.
+        app_cache: pre-computed app-config store.
+        hub: event hub (a private one is created when omitted).
+        model_factory: per-query surrogate constructor (must be
+            serialization-compatible).
+        min_events_for_model: events needed before a per-query model trains.
+        retrain_every: further retrains happen every this many new events per
+            (user, signature) — production batches model updates rather than
+            retraining on every single query completion.
+    """
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        issuer: SasTokenIssuer,
+        query_space: ConfigSpace,
+        app_space: Optional[ConfigSpace] = None,
+        full_space: Optional[ConfigSpace] = None,
+        app_cache: Optional[AppCache] = None,
+        hub: Optional[EventHub] = None,
+        model_factory: Optional[Callable[[], Regressor]] = None,
+        min_events_for_model: int = 3,
+        retrain_every: int = 1,
+    ):
+        if retrain_every < 1:
+            raise ValueError("retrain_every must be >= 1")
+        self.storage = storage
+        self.issuer = issuer
+        self.query_space = query_space
+        self.app_space = app_space
+        self.full_space = full_space
+        self.app_cache = app_cache if app_cache is not None else AppCache()
+        self.hub = hub if hub is not None else EventHub()
+        self.model_factory = model_factory or _default_query_model_factory
+        self.min_events_for_model = min_events_for_model
+        self.retrain_every = retrain_every
+        # In-memory per-(user, signature) event groups feeding the updater.
+        self._query_events: Dict[Tuple[str, str], List[QueryEndEvent]] = {}
+        self._trained_at: Dict[Tuple[str, str], int] = {}
+        self.models_trained = 0
+        self.hub.subscribe("model-updater", self._on_event)
+        if self.app_space is not None:
+            self.hub.subscribe("app-cache-generator", self._on_app_end)
+
+    # -- registration & access (tokens) -------------------------------------------
+
+    def register_job(self, app_id: str, artifact_id: str, user_id: str) -> JobGrant:
+        """Issue scoped tokens and return any pre-computed app config."""
+        cached = self.app_cache.get(artifact_id)
+        return JobGrant(
+            app_id=app_id,
+            artifact_id=artifact_id,
+            event_write_token=self.issuer.issue(f"events/{app_id}", "w"),
+            model_read_token=self.issuer.issue(f"models/{user_id}", "r"),
+            app_config=dict(cached.config) if cached is not None else None,
+        )
+
+    def submit_events(
+        self, token: SasToken, app_id: str, artifact_id: str,
+        events: Sequence[QueryEndEvent],
+    ) -> None:
+        """Client event upload: validate, persist, fan out to streaming jobs."""
+        self.issuer.validate(token, f"events/{app_id}", "w")
+        self.storage.append_events(app_id, artifact_id, events)
+        for event in events:
+            self.hub.publish(event)
+
+    def submit_app_end(self, token: SasToken, event: AppEndEvent) -> None:
+        self.issuer.validate(token, f"events/{event.app_id}", "w")
+        self.hub.publish(event)
+
+    def fetch_model(
+        self, token: SasToken, user_id: str, query_signature: str
+    ) -> Optional[str]:
+        """Serialized per-query model, or ``None`` if not trained yet."""
+        self.issuer.validate(token, f"models/{user_id}", "r")
+        return self.storage.read_model(user_id, query_signature)
+
+    # -- Model Updater streaming job ----------------------------------------------
+
+    def _on_event(self, event: object) -> None:
+        if not isinstance(event, QueryEndEvent):
+            return
+        key = (event.user_id, event.query_signature)
+        group = self._query_events.setdefault(key, [])
+        group.append(event)
+        if len(group) < self.min_events_for_model:
+            return
+        last = self._trained_at.get(key)
+        if last is not None and len(group) - last < self.retrain_every:
+            return
+        self._train_query_model(key, group)
+        self._trained_at[key] = len(group)
+
+    def _train_query_model(
+        self, key: Tuple[str, str], events: Sequence[QueryEndEvent]
+    ) -> None:
+        user_id, signature = key
+        X = np.array([
+            np.concatenate([self.query_space.to_vector(e.config), [e.data_size]])
+            for e in events
+        ])
+        y = np.array([e.duration_seconds for e in events])
+        model = self.model_factory()
+        model.fit(X, y)
+        self.storage.write_model(user_id, signature, dumps_model(model))
+        self.models_trained += 1
+
+    # -- App Cache Generator streaming job -------------------------------------------
+
+    def _on_app_end(self, event: object) -> None:
+        if not isinstance(event, AppEndEvent):
+            return
+        self._generate_app_cache(event)
+
+    def _generate_app_cache(self, event: AppEndEvent) -> None:
+        """Run Algorithm 2 over the artifact's history and cache the result."""
+        if self.app_space is None or self.full_space is None:
+            return
+        events = self.storage.read_artifact_events(event.artifact_id)
+        groups: Dict[str, List[QueryEndEvent]] = {}
+        for e in events:
+            groups.setdefault(e.query_signature, []).append(e)
+        contexts: List[QueryTuningContext] = []
+        app_names = self.app_space.names
+        query_names = self.query_space.names
+        full_index = {name: i for i, name in enumerate(self.full_space.names)}
+        # Events from query-level-only tuning omit app knobs: fill those from
+        # the application's own configuration, then space defaults.
+        base_config = dict(self.full_space.default_dict())
+        base_config.update(
+            {k: v for k, v in event.app_config.items() if k in self.full_space}
+        )
+        for signature, group in groups.items():
+            if len(group) < self.min_events_for_model:
+                continue
+            X = np.array([
+                np.concatenate([
+                    self.full_space.to_vector({**base_config, **{
+                        k: v for k, v in e.config.items() if k in self.full_space
+                    }}),
+                    [e.data_size],
+                ])
+                for e in group
+            ])
+            y = np.array([e.duration_seconds for e in group])
+            model = self.model_factory()
+            model.fit(X, y)
+            latest_size = group[-1].data_size
+            best = group[int(np.argmin(y))]
+            centroid = self.query_space.to_vector({
+                **{k: base_config[k] for k in query_names},
+                **{k: v for k, v in best.config.items() if k in self.query_space},
+            })
+
+            def score_fn(v, w, _model=model, _p=latest_size):
+                full = np.empty(len(full_index))
+                for j, name in enumerate(app_names):
+                    full[full_index[name]] = v[j]
+                for j, name in enumerate(query_names):
+                    full[full_index[name]] = w[j]
+                row = np.concatenate([full, [_p]])[None, :]
+                return -float(_model.predict(row)[0])
+
+            contexts.append(
+                QueryTuningContext(
+                    query_space=self.query_space, centroid=centroid, score_fn=score_fn
+                )
+            )
+        if not contexts:
+            return
+        app_defaults = self.app_space.default_dict()
+        app_defaults.update(
+            {k: v for k, v in event.app_config.items() if k in self.app_space}
+        )
+        current_app = self.app_space.to_vector(app_defaults)
+        best_vector = optimize_app_config(
+            self.app_space, current_app, contexts,
+            rng=np.random.default_rng(len(events)),
+        )
+        self.app_cache.put(
+            AppCacheEntry(
+                artifact_id=event.artifact_id,
+                config=self.app_space.to_dict(best_vector),
+                n_queries=len(contexts),
+            )
+        )

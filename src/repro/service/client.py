@@ -1,0 +1,316 @@
+"""The Autotune Client (Sec. 5): runs on the customer's Spark cluster.
+
+Components mirroring the paper's architecture:
+
+* :class:`AutotuneCredentialManager` — retrieves, caches, and refreshes SAS
+  tokens through the backend ("the Autotune Manager").
+* :class:`ModelLoader` — fetches and deserializes per-query models.
+* the query listener — buffers completed-query events and flushes them to
+  backend storage.
+* :class:`AutotuneClient` — configuration inference before physical
+  planning, honoring the ``spark.autotune.query.enabled`` knob and logging
+  "the suggested configurations along with their rationale".
+
+The client keeps one :class:`CentroidLearning` state per query signature; by
+design the *candidate selection model* comes from the backend's Model
+Updater (the production split: training server-side, inference client-side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.centroid import CentroidLearning
+from ..core.config_space import ConfigSpace
+from ..core.observation import Observation, ObservationWindow
+from ..embedding.embedder import WorkloadEmbedder
+from ..ml.serialize import loads_model
+from ..sparksim.events import AppEndEvent, QueryEndEvent
+from ..sparksim.plan import PhysicalPlan
+from .auth import TokenError
+from .backend import AutotuneBackend, JobGrant
+
+__all__ = ["AutotuneCredentialManager", "ModelLoader", "RemoteModelSelector", "AutotuneClient"]
+
+ENABLE_KNOB = "spark.autotune.query.enabled"
+
+
+class AutotuneCredentialManager:
+    """Caches the job grant and re-registers when a token expires."""
+
+    def __init__(self, backend: AutotuneBackend, app_id: str, artifact_id: str, user_id: str):
+        self.backend = backend
+        self.app_id = app_id
+        self.artifact_id = artifact_id
+        self.user_id = user_id
+        self._grant: Optional[JobGrant] = None
+        self.refresh_count = 0
+
+    @property
+    def grant(self) -> JobGrant:
+        if self._grant is None:
+            self._grant = self.backend.register_job(
+                self.app_id, self.artifact_id, self.user_id
+            )
+        return self._grant
+
+    def refresh(self) -> JobGrant:
+        self._grant = self.backend.register_job(self.app_id, self.artifact_id, self.user_id)
+        self.refresh_count += 1
+        return self._grant
+
+
+class ModelLoader:
+    """Fetches and caches per-query models from the backend.
+
+    A corrupt or incompatible payload must never crash query submission —
+    it is treated as "no model yet" (recorded in :attr:`decode_failures`)
+    and the optimizer falls back to exploration, exactly as on a cold start.
+    """
+
+    def __init__(self, credentials: AutotuneCredentialManager):
+        self.credentials = credentials
+        self._cache: Dict[str, object] = {}
+        self.fetch_count = 0
+        self.decode_failures = 0
+
+    def load(self, query_signature: str, use_cache: bool = True):
+        """The per-query model, or ``None`` if the backend has none yet."""
+        if use_cache and query_signature in self._cache:
+            return self._cache[query_signature]
+        creds = self.credentials
+        try:
+            payload = creds.backend.fetch_model(
+                creds.grant.model_read_token, creds.user_id, query_signature
+            )
+        except TokenError:
+            creds.refresh()
+            payload = creds.backend.fetch_model(
+                creds.grant.model_read_token, creds.user_id, query_signature
+            )
+        self.fetch_count += 1
+        if payload is None:
+            return None
+        try:
+            model = loads_model(payload)
+        except Exception:  # noqa: BLE001 — any decode failure = no model
+            self.decode_failures += 1
+            return None
+        self._cache[query_signature] = model
+        return model
+
+    def invalidate(self, query_signature: Optional[str] = None) -> None:
+        if query_signature is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(query_signature, None)
+
+
+class RemoteModelSelector:
+    """Candidate selector backed by the backend-trained model.
+
+    Falls back to uniform-random exploration while no model exists — the
+    backend needs a few events before the Model Updater produces one.
+    """
+
+    def __init__(self, loader: ModelLoader, query_signature: str):
+        self.loader = loader
+        self.query_signature = query_signature
+        self.used_model_last = False
+
+    def select(self, candidates, window: ObservationWindow, data_size, embedding, rng) -> int:
+        model = self.loader.load(self.query_signature, use_cache=False)
+        if model is None:
+            self.used_model_last = False
+            return int(rng.integers(0, len(candidates)))
+        self.used_model_last = True
+        rows = np.column_stack([candidates, np.full(len(candidates), data_size)])
+        return int(np.argmin(model.predict(rows)))
+
+
+@dataclass
+class SuggestionLog:
+    """One rationale entry ('enhancing transparency and facilitating
+    debugging')."""
+
+    query_signature: str
+    iteration: int
+    config: Dict[str, float]
+    model_available: bool
+    tuning_active: bool
+    n_candidates: int
+
+
+class AutotuneClient:
+    """Client-side inference + event emission for one Spark application.
+
+    Args:
+        backend: the Autotune backend handle.
+        app_id: this application's id.
+        artifact_id: recurrent-workload identity (e.g. notebook hash).
+        user_id: owning customer.
+        query_space: query-level knob space.
+        embedder: workload embedder (compile-time features).
+        enabled: the ``spark.autotune.query.enabled`` switch.
+        guardrail_factory: per-query guardrail constructor (``None`` = no
+            guardrail).
+        seed: RNG seed for the per-query optimizers.
+    """
+
+    def __init__(
+        self,
+        backend: AutotuneBackend,
+        app_id: str,
+        artifact_id: str,
+        user_id: str,
+        query_space: ConfigSpace,
+        embedder: Optional[WorkloadEmbedder] = None,
+        enabled: bool = True,
+        guardrail_factory=None,
+        seed: Optional[int] = None,
+        initial_state: Optional[Dict[str, dict]] = None,
+    ):
+        self.backend = backend
+        self.query_space = query_space
+        self.embedder = embedder or WorkloadEmbedder()
+        self.enabled = enabled
+        self.guardrail_factory = guardrail_factory
+        self.credentials = AutotuneCredentialManager(backend, app_id, artifact_id, user_id)
+        self.model_loader = ModelLoader(self.credentials)
+        self._optimizers: Dict[str, CentroidLearning] = {}
+        self._selectors: Dict[str, RemoteModelSelector] = {}
+        self._pending_events: List[QueryEndEvent] = []
+        self._seed = seed
+        self.suggestion_log: List[SuggestionLog] = []
+        self._completed_signatures: List[str] = []
+        self._total_duration = 0.0
+        self._initial_state = dict(initial_state or {})
+
+    @classmethod
+    def from_spark_conf(cls, backend: AutotuneBackend, conf: Dict[str, object],
+                        query_space: ConfigSpace, **kwargs) -> "AutotuneClient":
+        """Build a client from submission-time Spark configuration entries."""
+        enabled = str(conf.get(ENABLE_KNOB, "true")).lower() == "true"
+        return cls(
+            backend=backend,
+            app_id=str(conf["spark.app.id"]),
+            artifact_id=str(conf["spark.autotune.artifact.id"]),
+            user_id=str(conf["spark.autotune.user.id"]),
+            query_space=query_space,
+            enabled=enabled,
+            **kwargs,
+        )
+
+    # -- startup ------------------------------------------------------------------
+
+    def app_level_config(self) -> Optional[Dict[str, float]]:
+        """The pre-computed app_cache configuration, if any."""
+        return self.credentials.grant.app_config
+
+    # -- per-query inference -----------------------------------------------------------
+
+    def _optimizer_for(self, signature: str) -> CentroidLearning:
+        if signature not in self._optimizers:
+            selector = RemoteModelSelector(self.model_loader, signature)
+            self._selectors[signature] = selector
+            guardrail = self.guardrail_factory() if self.guardrail_factory else None
+            optimizer = CentroidLearning(
+                self.query_space,
+                selector=selector,
+                guardrail=guardrail,
+                seed=self._seed,
+            )
+            if signature in self._initial_state:
+                optimizer.restore_state(self._initial_state[signature])
+            self._optimizers[signature] = optimizer
+        return self._optimizers[signature]
+
+    def export_state(self) -> Dict[str, dict]:
+        """Per-signature tuning state for persistence across app runs.
+
+        Pass the returned mapping as ``initial_state`` to the next run's
+        client so centroids, windows and guardrail decisions carry over —
+        the recurrent-workload continuity that production stores alongside
+        the artifact.
+        """
+        return {sig: opt.to_state() for sig, opt in self._optimizers.items()}
+
+    def suggest_config(self, plan: PhysicalPlan) -> Dict[str, float]:
+        """Configuration for ``plan``, decided before physical planning."""
+        if not self.enabled:
+            return self.query_space.default_dict()
+        signature = plan.signature()
+        optimizer = self._optimizer_for(signature)
+        embedding = self.embedder.embed(plan)
+        estimated_size = max(plan.total_leaf_cardinality, 1.0)
+        vector = optimizer.suggest(data_size=estimated_size, embedding=embedding)
+        config = self.query_space.to_dict(vector)
+        self.suggestion_log.append(
+            SuggestionLog(
+                query_signature=signature,
+                iteration=optimizer.iteration,
+                config=config,
+                model_available=self._selectors[signature].used_model_last,
+                tuning_active=optimizer.tuning_active,
+                n_candidates=optimizer.n_candidates,
+            )
+        )
+        return config
+
+    # -- query listener --------------------------------------------------------------
+
+    def on_query_end(self, event: QueryEndEvent) -> None:
+        """Record a completed query; updates local state and buffers the event."""
+        if self.enabled:
+            optimizer = self._optimizer_for(event.query_signature)
+            embedding = np.array(event.embedding) if event.embedding else None
+            optimizer.observe(
+                Observation(
+                    config=self.query_space.to_vector(event.config),
+                    data_size=event.data_size,
+                    performance=event.duration_seconds,
+                    iteration=event.iteration,
+                    embedding=embedding,
+                )
+            )
+        self._pending_events.append(event)
+        self._completed_signatures.append(event.query_signature)
+        self._total_duration += event.duration_seconds
+
+    def flush_events(self) -> int:
+        """Upload buffered events via the SAS write token; returns count."""
+        if not self._pending_events:
+            return 0
+        creds = self.credentials
+        events, self._pending_events = self._pending_events, []
+        try:
+            self.backend.submit_events(
+                creds.grant.event_write_token, creds.app_id, creds.artifact_id, events
+            )
+        except TokenError:
+            creds.refresh()
+            self.backend.submit_events(
+                creds.grant.event_write_token, creds.app_id, creds.artifact_id, events
+            )
+        return len(events)
+
+    def finish_app(self, app_config: Optional[Dict[str, float]] = None) -> AppEndEvent:
+        """Flush events and notify the backend the application completed."""
+        self.flush_events()
+        event = AppEndEvent(
+            app_id=self.credentials.app_id,
+            artifact_id=self.credentials.artifact_id,
+            user_id=self.credentials.user_id,
+            app_config={k: float(v) for k, v in (app_config or {}).items()},
+            query_signatures=list(self._completed_signatures),
+            total_duration_seconds=self._total_duration,
+        )
+        try:
+            self.backend.submit_app_end(self.credentials.grant.event_write_token, event)
+        except TokenError:
+            self.credentials.refresh()
+            self.backend.submit_app_end(self.credentials.grant.event_write_token, event)
+        return event

@@ -1,0 +1,60 @@
+"""An in-process Event Hub.
+
+The backend's "Model Updater ... is triggered by new events in the Event
+Hub" (Sec. 5).  Subscribers receive each published event; failures in one
+subscriber never block others (they are collected for inspection instead of
+silently swallowed).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Tuple
+
+__all__ = ["EventHub"]
+
+Subscriber = Callable[[object], None]
+
+
+@dataclass
+class _Failure:
+    subscriber: str
+    event: object
+    error: Exception
+
+
+class EventHub:
+    """Synchronous publish/subscribe with a bounded replay buffer."""
+
+    def __init__(self, buffer_size: int = 1000):
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        self._subscribers: List[Tuple[str, Subscriber]] = []
+        self._buffer: Deque[object] = deque(maxlen=buffer_size)
+        self.failures: List[_Failure] = []
+        self.published_count = 0
+
+    def subscribe(self, name: str, callback: Subscriber) -> None:
+        if any(n == name for n, _ in self._subscribers):
+            raise ValueError(f"subscriber {name!r} already registered")
+        self._subscribers.append((name, callback))
+
+    def unsubscribe(self, name: str) -> bool:
+        before = len(self._subscribers)
+        self._subscribers = [(n, c) for n, c in self._subscribers if n != name]
+        return len(self._subscribers) < before
+
+    def publish(self, event: object) -> None:
+        self.published_count += 1
+        self._buffer.append(event)
+        for name, callback in self._subscribers:
+            try:
+                callback(event)
+            except Exception as exc:  # noqa: BLE001 — isolate subscribers
+                self.failures.append(_Failure(subscriber=name, event=event, error=exc))
+
+    def recent(self, n: int = 10) -> List[object]:
+        """The last ``n`` published events (newest last)."""
+        items = list(self._buffer)
+        return items[-n:]

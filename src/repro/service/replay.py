@@ -1,0 +1,131 @@
+"""Posterior trajectory replay from stored event logs (Sec. 6.3).
+
+The monitoring dashboard aggregates; this module *reconstructs*: given the
+event files the storage manager holds for an artifact, rebuild each query's
+tuning trajectory (configs, durations, data sizes per iteration), re-run the
+guardrail over it to audit when it fired (or should have), and summarize
+what the tuner changed — the deeper "posterior analysis" and RCA workflow
+the paper describes running on production traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..core.guardrail import Guardrail, GuardrailDecision
+from ..core.observation import Observation
+from ..sparksim.events import QueryEndEvent
+from .storage import StorageManager
+
+__all__ = ["QueryTrajectory", "GuardrailAudit", "replay_artifact", "audit_guardrail"]
+
+
+@dataclass
+class QueryTrajectory:
+    """One query signature's reconstructed tuning history."""
+
+    query_signature: str
+    user_id: str
+    events: List[QueryEndEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def durations(self) -> np.ndarray:
+        return np.array([e.duration_seconds for e in self.events])
+
+    @property
+    def data_sizes(self) -> np.ndarray:
+        return np.array([e.data_size for e in self.events])
+
+    def config_series(self, knob: str) -> np.ndarray:
+        return np.array([e.config.get(knob, np.nan) for e in self.events])
+
+    def knob_travel(self, space: ConfigSpace) -> Dict[str, float]:
+        """Net movement of every knob from the first to the last iteration,
+        as a fraction of its internal span — 'what did tuning change'."""
+        if len(self.events) < 2:
+            return {name: 0.0 for name in space.names}
+        first = space.to_vector({
+            k: v for k, v in self.events[0].config.items() if k in space
+        }) if all(n in self.events[0].config for n in space.names) else None
+        last = space.to_vector({
+            k: v for k, v in self.events[-1].config.items() if k in space
+        }) if all(n in self.events[-1].config for n in space.names) else None
+        if first is None or last is None:
+            return {name: float("nan") for name in space.names}
+        bounds = space.internal_bounds
+        span = bounds[:, 1] - bounds[:, 0]
+        travel = (last - first) / span
+        return {name: float(travel[i]) for i, name in enumerate(space.names)}
+
+    def to_observations(self, space: ConfigSpace) -> List[Observation]:
+        """Convert back to optimizer-facing observations (for re-fitting)."""
+        out = []
+        for i, e in enumerate(self.events):
+            config = {k: v for k, v in e.config.items() if k in space}
+            if len(config) != space.dim:
+                continue
+            out.append(Observation(
+                config=space.to_vector(config),
+                data_size=e.data_size,
+                performance=e.duration_seconds,
+                iteration=i,
+            ))
+        return out
+
+
+def replay_artifact(
+    storage: StorageManager, artifact_id: str
+) -> Dict[str, QueryTrajectory]:
+    """Rebuild per-signature trajectories from an artifact's event files."""
+    events = storage.read_artifact_events(artifact_id)
+    trajectories: Dict[str, QueryTrajectory] = {}
+    for e in events:
+        traj = trajectories.setdefault(
+            e.query_signature,
+            QueryTrajectory(query_signature=e.query_signature, user_id=e.user_id),
+        )
+        traj.events.append(e)
+    for traj in trajectories.values():
+        traj.events.sort(key=lambda e: (e.app_id, e.iteration))
+    return trajectories
+
+
+@dataclass(frozen=True)
+class GuardrailAudit:
+    """Outcome of re-running the guardrail over a recorded trajectory."""
+
+    query_signature: str
+    would_disable: bool
+    disable_iteration: Optional[int]
+    decisions: List[GuardrailDecision]
+
+
+def audit_guardrail(
+    trajectory: QueryTrajectory,
+    space: ConfigSpace,
+    guardrail_factory=None,
+) -> GuardrailAudit:
+    """Re-run a (possibly re-parameterized) guardrail over recorded history.
+
+    Production uses this to answer "with threshold X, when would this query
+    have been disabled?" without touching the live system.
+    """
+    guardrail = guardrail_factory() if guardrail_factory else Guardrail()
+    disable_iteration: Optional[int] = None
+    for i, obs in enumerate(trajectory.to_observations(space)):
+        active = guardrail.update(obs)
+        if not active and disable_iteration is None:
+            disable_iteration = i
+    return GuardrailAudit(
+        query_signature=trajectory.query_signature,
+        would_disable=not guardrail.active,
+        disable_iteration=disable_iteration,
+        decisions=list(guardrail.decisions),
+    )

@@ -1,0 +1,144 @@
+"""Autotune Backend storage (Sec. 5).
+
+"Each Spark application is assigned a dedicated folder for event files,
+organized by its job ID, and another folder for its artifact_id ... A
+Storage Manager oversees the cleanup of outdated event files to maintain
+GDPR compliance."  File layout under ``root``:
+
+    events/by-app/<app_id>/events.jsonl
+    events/by-artifact/<artifact_id>/<app_id>.jsonl
+    models/<user_id>/<query_signature>.json
+    manifest.json                       (creation timestamps for TTL cleanup)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..sparksim.events import QueryEndEvent, events_from_jsonl, events_to_jsonl
+
+__all__ = ["StorageManager"]
+
+
+class StorageManager:
+    """File-backed event/model storage with GDPR TTL cleanup.
+
+    Args:
+        root: storage root directory (created if missing).
+        clock: injectable time source.
+    """
+
+    def __init__(self, root: Union[str, Path], clock=time.time):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._manifest_path = self.root / "manifest.json"
+        self._manifest: Dict[str, float] = {}
+        self.manifest_recovered = False
+        if self._manifest_path.exists():
+            try:
+                self._manifest = json.loads(self._manifest_path.read_text())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                # A corrupt manifest must not take the backend down: rebuild
+                # it from the files on disk, stamping them "now" (they will
+                # age out one TTL later than they should — safe direction
+                # for availability, and GDPR cleanup still happens).
+                self.manifest_recovered = True
+                self._manifest = {
+                    str(p.relative_to(self.root)): self._clock()
+                    for p in self.root.rglob("*")
+                    if p.is_file() and p != self._manifest_path
+                }
+                self._manifest_path.write_text(json.dumps(self._manifest))
+
+    # -- paths -------------------------------------------------------------------
+
+    def _app_dir(self, app_id: str) -> Path:
+        return self.root / "events" / "by-app" / app_id
+
+    def _artifact_dir(self, artifact_id: str) -> Path:
+        return self.root / "events" / "by-artifact" / artifact_id
+
+    def model_path(self, user_id: str, query_signature: str) -> Path:
+        return self.root / "models" / user_id / f"{query_signature}.json"
+
+    def _record(self, path: Path) -> None:
+        self._manifest[str(path.relative_to(self.root))] = self._clock()
+        self._manifest_path.write_text(json.dumps(self._manifest))
+
+    # -- events ------------------------------------------------------------------
+
+    def append_events(
+        self, app_id: str, artifact_id: str, events: Sequence[QueryEndEvent]
+    ) -> None:
+        """Append events under both the app and the artifact folders."""
+        if not events:
+            return
+        payload = events_to_jsonl(events) + "\n"
+        app_file = self._app_dir(app_id) / "events.jsonl"
+        app_file.parent.mkdir(parents=True, exist_ok=True)
+        with open(app_file, "a") as f:
+            f.write(payload)
+        self._record(app_file)
+        artifact_file = self._artifact_dir(artifact_id) / f"{app_id}.jsonl"
+        artifact_file.parent.mkdir(parents=True, exist_ok=True)
+        with open(artifact_file, "a") as f:
+            f.write(payload)
+        self._record(artifact_file)
+
+    def read_app_events(self, app_id: str) -> List[QueryEndEvent]:
+        path = self._app_dir(app_id) / "events.jsonl"
+        if not path.exists():
+            return []
+        return [e for e in events_from_jsonl(path.read_text())
+                if isinstance(e, QueryEndEvent)]
+
+    def read_artifact_events(self, artifact_id: str) -> List[QueryEndEvent]:
+        directory = self._artifact_dir(artifact_id)
+        if not directory.exists():
+            return []
+        out: List[QueryEndEvent] = []
+        for path in sorted(directory.glob("*.jsonl")):
+            out.extend(
+                e for e in events_from_jsonl(path.read_text())
+                if isinstance(e, QueryEndEvent)
+            )
+        return out
+
+    # -- models ------------------------------------------------------------------
+
+    def write_model(self, user_id: str, query_signature: str, payload: str) -> Path:
+        path = self.model_path(user_id, query_signature)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload)
+        self._record(path)
+        return path
+
+    def read_model(self, user_id: str, query_signature: str) -> Optional[str]:
+        path = self.model_path(user_id, query_signature)
+        return path.read_text() if path.exists() else None
+
+    # -- GDPR cleanup ---------------------------------------------------------------
+
+    def cleanup(self, ttl_seconds: float) -> List[str]:
+        """Delete event files older than ``ttl_seconds``; returns what was
+        removed.  Models are retained (they contain no raw trace data)."""
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be > 0")
+        now = self._clock()
+        removed: List[str] = []
+        for rel, created in list(self._manifest.items()):
+            if not rel.startswith("events/"):
+                continue
+            if now - created > ttl_seconds:
+                path = self.root / rel
+                if path.exists():
+                    path.unlink()
+                removed.append(rel)
+                del self._manifest[rel]
+        if removed:
+            self._manifest_path.write_text(json.dumps(self._manifest))
+        return removed

@@ -1,0 +1,53 @@
+"""Simulated Spark substrate: knobs, plans, cost model, cluster, noise."""
+
+from .calibration import (
+    HeadroomReport,
+    KnobSensitivity,
+    knob_sensitivity,
+    measure_headroom,
+)
+from .cluster import ExecutorLayout, NodeType, Pool, STANDARD_POOLS, default_pool
+from .configs import (
+    app_level_space,
+    full_space,
+    manual_study_space,
+    query_level_space,
+)
+from .cost_model import CostBreakdown, CostModel, CostParameters
+from .events import AppEndEvent, QueryEndEvent, events_from_jsonl, events_to_jsonl
+from .executor import QueryRunResult, SparkSimulator
+from .noise import NoiseModel, high_noise, low_noise, no_noise
+from .plan import OP_TYPES, Operator, OpType, PhysicalPlan
+
+__all__ = [
+    "AppEndEvent",
+    "CostBreakdown",
+    "HeadroomReport",
+    "KnobSensitivity",
+    "knob_sensitivity",
+    "measure_headroom",
+    "CostModel",
+    "CostParameters",
+    "ExecutorLayout",
+    "NodeType",
+    "NoiseModel",
+    "OP_TYPES",
+    "Operator",
+    "OpType",
+    "PhysicalPlan",
+    "Pool",
+    "QueryEndEvent",
+    "QueryRunResult",
+    "STANDARD_POOLS",
+    "SparkSimulator",
+    "app_level_space",
+    "default_pool",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "full_space",
+    "high_noise",
+    "low_noise",
+    "manual_study_space",
+    "no_noise",
+    "query_level_space",
+]

@@ -1,0 +1,117 @@
+"""Cluster, pool and executor-layout model.
+
+The flighting pipeline runs benchmarks "with varying Spark cluster sizes"
+selected by a *pool ID linked to node configurations* (Sec. 4.2); this module
+provides those pools and derives the effective executor layout from app-level
+knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+__all__ = ["NodeType", "Pool", "ExecutorLayout", "STANDARD_POOLS", "default_pool"]
+
+GIB = 1024.0 ** 3
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A VM flavor backing a Spark pool."""
+
+    name: str
+    cores: int
+    memory_gb: float
+    disk_throughput_mb_s: float = 400.0
+    network_throughput_mb_s: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.memory_gb <= 0:
+            raise ValueError(f"invalid node type {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Pool:
+    """A named pool of identical nodes (Fabric 'Spark pool')."""
+
+    pool_id: str
+    node_type: NodeType
+    max_nodes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+
+    @property
+    def max_cores(self) -> int:
+        return self.node_type.cores * self.max_nodes
+
+    @property
+    def max_memory_gb(self) -> float:
+        return self.node_type.memory_gb * self.max_nodes
+
+
+@dataclass(frozen=True)
+class ExecutorLayout:
+    """The effective parallel layout an application runs with."""
+
+    executors: int
+    cores_per_executor: int
+    memory_gb_per_executor: float
+    offheap_gb_per_executor: float = 0.0
+
+    @property
+    def total_cores(self) -> int:
+        return self.executors * self.cores_per_executor
+
+    @property
+    def memory_gb_per_core(self) -> float:
+        usable = self.memory_gb_per_executor + self.offheap_gb_per_executor
+        return usable / self.cores_per_executor
+
+    @classmethod
+    def from_config(
+        cls, config: Mapping[str, float], pool: Optional[Pool] = None
+    ) -> "ExecutorLayout":
+        """Derive the layout from app-level knobs, capped by the pool.
+
+        Missing knobs fall back to Fabric-like defaults (4 executors,
+        4 cores, 8 GB each, off-heap disabled).
+        """
+        pool = pool or default_pool()
+        executors = int(config.get("spark.executor.instances", 4))
+        cores = int(config.get("spark.executor.cores", 4))
+        memory = float(config.get("spark.executor.memory", 8))
+        offheap_on = float(config.get("spark.memory.offHeap.enabled", 0)) >= 0.5
+        offheap = float(config.get("spark.memory.offHeap.size", 0)) if offheap_on else 0.0
+
+        # Cap by pool capacity: executors cannot exceed what nodes can host.
+        per_node = max(1, min(pool.node_type.cores // max(cores, 1), 8))
+        executors = max(1, min(executors, per_node * pool.max_nodes))
+        cores = max(1, min(cores, pool.node_type.cores))
+        memory = max(1.0, min(memory, pool.node_type.memory_gb))
+        return cls(
+            executors=executors,
+            cores_per_executor=cores,
+            memory_gb_per_executor=memory,
+            offheap_gb_per_executor=max(0.0, offheap),
+        )
+
+
+_MEDIUM = NodeType(name="Medium", cores=8, memory_gb=64.0)
+_LARGE = NodeType(name="Large", cores=16, memory_gb=128.0)
+_XLARGE = NodeType(
+    name="XLarge", cores=32, memory_gb=256.0, disk_throughput_mb_s=800.0,
+    network_throughput_mb_s=2000.0,
+)
+
+STANDARD_POOLS: Dict[str, Pool] = {
+    "pool-medium": Pool(pool_id="pool-medium", node_type=_MEDIUM, max_nodes=8),
+    "pool-large": Pool(pool_id="pool-large", node_type=_LARGE, max_nodes=16),
+    "pool-xlarge": Pool(pool_id="pool-xlarge", node_type=_XLARGE, max_nodes=32),
+}
+
+
+def default_pool() -> Pool:
+    return STANDARD_POOLS["pool-large"]

@@ -1,0 +1,185 @@
+"""Catalog of the Spark knobs tuned in the paper.
+
+Sec. 6.3: the production deployment tunes three **query-level** knobs —
+``spark.sql.files.maxPartitionBytes``, ``spark.sql.autoBroadcastJoinThreshold``
+and ``spark.sql.shuffle.partitions``.  The manual-tuning study (Sec. 2.2)
+additionally exposes four **app-level** knobs: ``spark.executor.instances``,
+``spark.executor.memory``, ``spark.memory.offHeap.enabled`` and
+``spark.memory.offHeap.size``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.categorical import CategoricalParameter
+from ..core.config_space import ConfigSpace, Parameter
+
+__all__ = [
+    "COMPRESSION_CODEC",
+    "SERIALIZER",
+    "categorical_query_knobs",
+    "MAX_PARTITION_BYTES",
+    "AUTO_BROADCAST_JOIN_THRESHOLD",
+    "SHUFFLE_PARTITIONS",
+    "EXECUTOR_INSTANCES",
+    "EXECUTOR_MEMORY",
+    "EXECUTOR_CORES",
+    "OFFHEAP_ENABLED",
+    "OFFHEAP_SIZE",
+    "query_level_space",
+    "app_level_space",
+    "manual_study_space",
+    "full_space",
+]
+
+MIB = 1024.0 * 1024.0
+GIB = 1024.0 * MIB
+
+MAX_PARTITION_BYTES = Parameter(
+    name="spark.sql.files.maxPartitionBytes",
+    low=1 * MIB,
+    high=1 * GIB,
+    default=128 * MIB,
+    log_scale=True,
+    integer=True,
+    scope="query",
+)
+
+AUTO_BROADCAST_JOIN_THRESHOLD = Parameter(
+    name="spark.sql.autoBroadcastJoinThreshold",
+    low=0.25 * MIB,
+    high=512 * MIB,
+    default=10 * MIB,
+    log_scale=True,
+    integer=True,
+    scope="query",
+)
+
+SHUFFLE_PARTITIONS = Parameter(
+    name="spark.sql.shuffle.partitions",
+    low=8,
+    high=4000,
+    default=200,
+    log_scale=True,
+    integer=True,
+    scope="query",
+)
+
+EXECUTOR_INSTANCES = Parameter(
+    name="spark.executor.instances",
+    low=1,
+    high=64,
+    default=4,
+    log_scale=True,
+    integer=True,
+    scope="app",
+)
+
+EXECUTOR_MEMORY = Parameter(  # gigabytes
+    name="spark.executor.memory",
+    low=2,
+    high=64,
+    default=8,
+    log_scale=True,
+    integer=True,
+    scope="app",
+)
+
+EXECUTOR_CORES = Parameter(
+    name="spark.executor.cores",
+    low=1,
+    high=16,
+    default=4,
+    integer=True,
+    scope="app",
+)
+
+# Boolean knob modeled on a continuous [0, 1] axis that rounds to {0, 1}; the
+# paper notes categorical knobs are handled by embedding them into a
+# continuous space (Sec. 4.3).
+OFFHEAP_ENABLED = Parameter(
+    name="spark.memory.offHeap.enabled",
+    low=0,
+    high=1,
+    default=0,
+    integer=True,
+    scope="app",
+)
+
+OFFHEAP_SIZE = Parameter(  # gigabytes
+    name="spark.memory.offHeap.size",
+    low=1,
+    high=32,
+    default=2,
+    log_scale=True,
+    integer=True,
+    scope="app",
+)
+
+
+# Categorical knobs (Sec. 4.3 notes these are tuned via continuous
+# embeddings — see repro.core.categorical).
+COMPRESSION_CODEC = CategoricalParameter(
+    name="spark.io.compression.codec",
+    choices=("lz4", "snappy", "zstd"),
+    default="lz4",
+    scope="query",
+)
+
+SERIALIZER = CategoricalParameter(
+    name="spark.serializer",
+    choices=("java", "kryo"),
+    default="java",
+    scope="app",
+)
+
+
+def categorical_query_knobs() -> List[CategoricalParameter]:
+    """Categorical knobs available to the mixed-space tuner."""
+    return [COMPRESSION_CODEC, SERIALIZER]
+
+
+def query_level_space() -> ConfigSpace:
+    """The three query-level knobs tuned by the production deployment."""
+    return ConfigSpace(
+        [MAX_PARTITION_BYTES, AUTO_BROADCAST_JOIN_THRESHOLD, SHUFFLE_PARTITIONS]
+    )
+
+
+def app_level_space() -> ConfigSpace:
+    """App-level knobs fixed at application startup."""
+    return ConfigSpace(
+        [EXECUTOR_INSTANCES, EXECUTOR_MEMORY, EXECUTOR_CORES, OFFHEAP_ENABLED, OFFHEAP_SIZE]
+    )
+
+
+def manual_study_space() -> ConfigSpace:
+    """The seven knobs exposed in the Sec. 2.2 manual-tuning user study."""
+    return ConfigSpace(
+        [
+            MAX_PARTITION_BYTES,
+            AUTO_BROADCAST_JOIN_THRESHOLD,
+            SHUFFLE_PARTITIONS,
+            EXECUTOR_INSTANCES,
+            EXECUTOR_MEMORY,
+            OFFHEAP_ENABLED,
+            OFFHEAP_SIZE,
+        ]
+    )
+
+
+def full_space() -> ConfigSpace:
+    """Query- plus app-level knobs (used by the joint optimizer, Alg. 2)."""
+    return ConfigSpace(
+        [
+            MAX_PARTITION_BYTES,
+            AUTO_BROADCAST_JOIN_THRESHOLD,
+            SHUFFLE_PARTITIONS,
+            EXECUTOR_INSTANCES,
+            EXECUTOR_MEMORY,
+            EXECUTOR_CORES,
+            OFFHEAP_ENABLED,
+            OFFHEAP_SIZE,
+        ]
+    )

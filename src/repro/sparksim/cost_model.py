@@ -1,0 +1,245 @@
+"""Analytic operator cost model.
+
+This stands in for real Spark cluster executions.  It maps
+``(physical plan, configuration, executor layout)`` to an execution time
+whose *shape* over each knob matches the behaviors the paper's knobs are
+known for (and that Fig. 1 shows):
+
+* ``spark.sql.files.maxPartitionBytes`` — small values create many tiny scan
+  tasks (scheduling overhead dominates); large values under-utilize cores.
+* ``spark.sql.shuffle.partitions`` — few partitions concentrate data (skew
+  stragglers + memory spills); many partitions pay per-task overhead.
+* ``spark.sql.autoBroadcastJoinThreshold`` — too low forces shuffle joins on
+  small build sides; too high broadcasts large tables and causes memory
+  pressure.
+
+Each knob therefore has a convex response with a query-dependent optimum,
+exactly the structure the Centroid Learning algorithm assumes locally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from .cluster import ExecutorLayout, GIB
+from .plan import Operator, OpType, PhysicalPlan
+
+__all__ = ["CostParameters", "CostBreakdown", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Physical constants of the simulated cluster software stack."""
+
+    scan_throughput_mb_s: float = 250.0       # per core, columnar scan
+    shuffle_throughput_mb_s: float = 80.0     # per core, write+read combined
+    network_throughput_mb_s: float = 900.0    # broadcast distribution
+    cpu_rows_per_s: float = 4.0e6             # per core, narrow transforms
+    task_overhead_s: float = 0.03             # JVM task launch + commit
+    scheduling_overhead_s: float = 0.0005     # driver-side, per task
+    skew_coefficient: float = 0.3             # straggler severity at P=reference
+    skew_reference_partitions: float = 200.0
+    spill_coefficient: float = 1.6            # slowdown per x of memory overflow
+    executor_memory_fraction: float = 0.6     # usable fraction of heap
+    broadcast_memory_fraction: float = 0.3    # safe broadcast share of memory
+    offheap_shuffle_discount: float = 0.85    # off-heap reduces GC-bound shuffles
+    fixed_query_overhead_s: float = 1.0       # planning + session setup
+
+
+# Categorical-knob effects (see repro.core.categorical for the tuning side).
+# Compression trades CPU for shuffle I/O: zstd compresses harder (faster
+# effective shuffle for large exchanges, slight CPU tax), snappy is cheap but
+# lighter than lz4's balance.
+_CODEC_SHUFFLE_FACTOR = {"lz4": 1.0, "snappy": 0.94, "zstd": 1.18}
+_CODEC_CPU_TAX = {"lz4": 1.0, "snappy": 0.98, "zstd": 1.06}
+# Kryo serializes rows ~25% faster than Java serialization.
+_SERIALIZER_CPU_FACTOR = {"java": 1.0, "kryo": 1.25}
+
+
+@dataclass
+class CostBreakdown:
+    """Estimated cost of one query execution (noiseless)."""
+
+    total_seconds: float
+    per_operator: Dict[int, float] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class CostModel:
+    """Maps (plan, config, layout) to a deterministic execution time."""
+
+    def __init__(self, params: Optional[CostParameters] = None):
+        self.params = params or CostParameters()
+
+    # -- primitive cost kernels ---------------------------------------------------
+
+    def _wave_time(self, n_tasks: float, per_task_s: float, total_cores: int) -> float:
+        """Tasks execute in waves of ``total_cores``; time = waves × task time."""
+        waves = math.ceil(max(n_tasks, 1.0) / max(total_cores, 1))
+        return waves * per_task_s
+
+    def _scan_cost(
+        self, op: Operator, config: Mapping[str, float], layout: ExecutorLayout
+    ) -> Tuple[float, Dict[str, float]]:
+        bytes_total = op.bytes_in
+        max_part = float(config.get("spark.sql.files.maxPartitionBytes", 128 * 1024 * 1024))
+        n_parts = max(1.0, math.ceil(bytes_total / max(max_part, 1.0)))
+        per_task_bytes = bytes_total / n_parts
+        per_task_s = (
+            per_task_bytes / (self.params.scan_throughput_mb_s * 1e6)
+            + self.params.task_overhead_s
+        )
+        time = self._wave_time(n_parts, per_task_s, layout.total_cores)
+        time += n_parts * self.params.scheduling_overhead_s
+        return time, {"scan_tasks": n_parts, "scan_bytes": bytes_total}
+
+    def _shuffle_cost(
+        self, rows: float, row_bytes: float, config: Mapping[str, float],
+        layout: ExecutorLayout,
+    ) -> Tuple[float, Dict[str, float]]:
+        data_bytes = rows * row_bytes
+        partitions = max(1.0, float(config.get("spark.sql.shuffle.partitions", 200)))
+        throughput = self.params.shuffle_throughput_mb_s * 1e6
+        if layout.offheap_gb_per_executor > 0:
+            throughput /= self.params.offheap_shuffle_discount  # faster with off-heap
+        codec = str(config.get("spark.io.compression.codec", "lz4"))
+        throughput *= _CODEC_SHUFFLE_FACTOR.get(codec, 1.0)
+        throughput /= _CODEC_CPU_TAX.get(codec, 1.0)
+
+        # Map side: write all data once, fully parallel.
+        write_s = data_bytes / (throughput * layout.total_cores)
+
+        # Reduce side: the slowest task governs each wave.  Skewed keys make
+        # the hottest partition larger; more partitions dilute the skew.
+        per_task_bytes = data_bytes / partitions
+        straggler = 1.0 + self.params.skew_coefficient * math.sqrt(
+            self.params.skew_reference_partitions / partitions
+        )
+        hot_task_bytes = per_task_bytes * straggler
+
+        # Memory spill: reducers that exceed their memory share hit disk.
+        mem_budget = (
+            layout.memory_gb_per_core * GIB * self.params.executor_memory_fraction
+        )
+        spill = 0.0
+        if hot_task_bytes > mem_budget:
+            overflow = hot_task_bytes / mem_budget - 1.0
+            spill = min(self.params.spill_coefficient * overflow, 8.0)
+        per_task_s = (hot_task_bytes / throughput) * (1.0 + spill) + self.params.task_overhead_s
+        read_s = self._wave_time(partitions, per_task_s, layout.total_cores)
+        sched_s = partitions * self.params.scheduling_overhead_s
+        total = write_s + read_s + sched_s
+        return total, {
+            "shuffle_bytes": data_bytes,
+            "shuffle_partitions": partitions,
+            "spilled": 1.0 if spill > 0 else 0.0,
+        }
+
+    def _cpu_cost(
+        self, rows: float, layout: ExecutorLayout, factor: float = 1.0,
+        config: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        rate = self.params.cpu_rows_per_s
+        if config is not None:
+            serializer = str(config.get("spark.serializer", "java"))
+            rate *= _SERIALIZER_CPU_FACTOR.get(serializer, 1.0)
+        return factor * rows / (rate * max(layout.total_cores, 1))
+
+    def _join_cost(
+        self, op: Operator, plan: PhysicalPlan, config: Mapping[str, float],
+        layout: ExecutorLayout,
+    ) -> Tuple[float, Dict[str, float]]:
+        children = [plan.operator(c) for c in op.children]
+        if len(children) >= 2:
+            sides = sorted(children, key=lambda c: c.bytes_out)
+            build, probe = sides[0], sides[-1]
+            build_bytes, probe_rows = build.bytes_out, probe.est_rows_out
+        else:
+            # Self-join / degenerate single-input join: split the input.
+            build_bytes = op.bytes_in * 0.2
+            probe_rows = op.est_rows_in * 0.8
+
+        threshold = float(
+            config.get("spark.sql.autoBroadcastJoinThreshold", 10 * 1024 * 1024)
+        )
+        metrics: Dict[str, float] = {}
+        if build_bytes <= threshold:
+            # Broadcast hash join: ship the build side to every executor.
+            broadcast_s = (
+                build_bytes * layout.executors
+                / (self.params.network_throughput_mb_s * 1e6)
+            )
+            hash_build_s = self._cpu_cost(build_bytes / max(op.row_bytes, 1.0), layout, 2.0, config)
+            probe_s = self._cpu_cost(probe_rows, layout, 1.5, config)
+            time = broadcast_s + hash_build_s + probe_s
+            # Memory pressure when a large build side is broadcast anyway.
+            mem_budget = (
+                layout.memory_gb_per_executor * GIB
+                * self.params.broadcast_memory_fraction
+            )
+            if build_bytes > mem_budget:
+                pressure = build_bytes / mem_budget
+                time *= 1.0 + min(pressure * pressure, 25.0)
+                metrics["broadcast_memory_pressure"] = pressure
+            metrics["broadcast_joins"] = 1.0
+        else:
+            # Sort-merge join: shuffle both sides on the join key, then merge.
+            shuffle_s, shuffle_m = self._shuffle_cost(
+                op.est_rows_in, op.row_bytes, config, layout
+            )
+            n = max(op.est_rows_in, 2.0)
+            sort_s = self._cpu_cost(n * math.log2(n) / 20.0, layout, 1.0, config)
+            merge_s = self._cpu_cost(op.est_rows_in, layout, 1.2, config)
+            time = shuffle_s + sort_s + merge_s
+            metrics.update(shuffle_m)
+            metrics["sort_merge_joins"] = 1.0
+        return time, metrics
+
+    # -- plan-level estimate ---------------------------------------------------------
+
+    def estimate(
+        self,
+        plan: PhysicalPlan,
+        config: Mapping[str, float],
+        layout: Optional[ExecutorLayout] = None,
+    ) -> CostBreakdown:
+        """Noiseless execution-time estimate for ``plan`` under ``config``."""
+        layout = layout or ExecutorLayout.from_config(config)
+        per_op: Dict[int, float] = {}
+        metrics: Dict[str, float] = {"tasks": 0.0}
+        for op in plan.operators:
+            if op.op_type == OpType.TABLE_SCAN:
+                cost, m = self._scan_cost(op, config, layout)
+                metrics["tasks"] += m.get("scan_tasks", 0.0)
+            elif op.op_type == OpType.EXCHANGE:
+                cost, m = self._shuffle_cost(op.est_rows_in, op.row_bytes, config, layout)
+                metrics["tasks"] += m.get("shuffle_partitions", 0.0)
+            elif op.op_type == OpType.JOIN:
+                cost, m = self._join_cost(op, plan, config, layout)
+                metrics["tasks"] += m.get("shuffle_partitions", 0.0)
+            elif op.op_type == OpType.HASH_AGGREGATE:
+                shuffle_s, m = self._shuffle_cost(
+                    op.est_rows_in * 0.5, op.row_bytes, config, layout
+                )
+                cost = shuffle_s + self._cpu_cost(op.est_rows_in, layout, 1.3, config)
+                metrics["tasks"] += m.get("shuffle_partitions", 0.0)
+            elif op.op_type in (OpType.SORT, OpType.WINDOW):
+                shuffle_s, m = self._shuffle_cost(op.est_rows_in, op.row_bytes, config, layout)
+                n = max(op.est_rows_in, 2.0)
+                factor = 1.5 if op.op_type == OpType.WINDOW else 1.0
+                cost = shuffle_s + self._cpu_cost(n * math.log2(n) / 25.0, layout, factor, config)
+                metrics["tasks"] += m.get("shuffle_partitions", 0.0)
+            else:  # Filter, Project, Union, Limit — narrow transforms
+                cost = self._cpu_cost(op.est_rows_in, layout, 0.5, config)
+                m = {}
+            per_op[op.op_id] = cost
+            for key, value in m.items():
+                if key not in ("scan_tasks", "shuffle_partitions"):
+                    metrics[key] = metrics.get(key, 0.0) + value
+
+        total = sum(per_op.values()) + self.params.fixed_query_overhead_s
+        metrics["input_bytes"] = plan.total_input_bytes
+        metrics["input_rows"] = plan.total_leaf_cardinality
+        return CostBreakdown(total_seconds=total, per_operator=per_op, metrics=metrics)

@@ -1,0 +1,87 @@
+"""Spark listener-style event records.
+
+After query/application completion "Spark events are recorded to retrain ML
+models and refine app-level configurations" (Sec. 5).  These records are the
+payload flowing through the storage manager, event hub, and ETL.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+__all__ = ["QueryEndEvent", "AppEndEvent", "events_to_jsonl", "events_from_jsonl"]
+
+
+@dataclass(frozen=True)
+class QueryEndEvent:
+    """Emitted by the query listener when a query finishes."""
+
+    app_id: str
+    artifact_id: str
+    query_signature: str
+    user_id: str
+    iteration: int
+    config: Dict[str, float]
+    data_size: float
+    duration_seconds: float
+    embedding: List[float] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    region: str = "default"
+    event_type: str = "QueryEnd"
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, data: str) -> "QueryEndEvent":
+        payload = json.loads(data)
+        payload.pop("event_type", None)
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class AppEndEvent:
+    """Emitted when a Spark application completes all its queries."""
+
+    app_id: str
+    artifact_id: str
+    user_id: str
+    app_config: Dict[str, float]
+    query_signatures: List[str]
+    total_duration_seconds: float
+    region: str = "default"
+    event_type: str = "AppEnd"
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, data: str) -> "AppEndEvent":
+        payload = json.loads(data)
+        payload.pop("event_type", None)
+        return cls(**payload)
+
+
+_EVENT_TYPES = {"QueryEnd": QueryEndEvent, "AppEnd": AppEndEvent}
+
+
+def events_to_jsonl(events) -> str:
+    """Serialize a sequence of events to JSON-lines."""
+    return "\n".join(e.to_json() for e in events)
+
+
+def events_from_jsonl(text: str) -> List[object]:
+    """Parse a JSON-lines event file back into event objects."""
+    out: List[object] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        kind = json.loads(line).get("event_type", "QueryEnd")
+        cls = _EVENT_TYPES.get(kind)
+        if cls is None:
+            raise ValueError(f"unknown event type {kind!r}")
+        out.append(cls.from_json(line))
+    return out

@@ -1,0 +1,121 @@
+"""The Spark simulator: runs plans under configurations with injected noise.
+
+``SparkSimulator`` is the substrate replacing live Fabric clusters (see
+DESIGN.md substitutions).  It composes the analytic :class:`CostModel` with
+the paper's Eq.-8 :class:`NoiseModel` and produces event records like a real
+cluster's listener would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .cluster import ExecutorLayout, Pool, default_pool
+from .cost_model import CostBreakdown, CostModel, CostParameters
+from .events import QueryEndEvent
+from .noise import NoiseModel, high_noise
+from .plan import PhysicalPlan
+
+__all__ = ["QueryRunResult", "SparkSimulator"]
+
+
+@dataclass(frozen=True)
+class QueryRunResult:
+    """Outcome of one simulated query execution."""
+
+    elapsed_seconds: float     # noisy, what production observes
+    true_seconds: float        # noiseless, for optimality-gap analysis
+    data_size: float           # input rows (the p_i of Algorithm 1)
+    config: Dict[str, float]
+    metrics: Dict[str, float] = field(default_factory=dict)
+    plan_signature: str = ""
+
+
+class SparkSimulator:
+    """Executes physical plans under a configuration, with noise.
+
+    Args:
+        pool: the Spark pool (node flavor + size) to run on.
+        noise: observational noise model; defaults to the paper's high-noise
+            production regime.
+        cost_params: physical constants of the cost model.
+        seed: RNG seed — two simulators with the same seed replay identical
+            noise sequences.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[Pool] = None,
+        noise: Optional[NoiseModel] = None,
+        cost_params: Optional[CostParameters] = None,
+        seed: Optional[int] = None,
+    ):
+        self.pool = pool or default_pool()
+        self.noise = noise if noise is not None else high_noise()
+        self.cost_model = CostModel(cost_params)
+        self._rng = np.random.default_rng(seed)
+        self.run_count = 0
+
+    def true_time(
+        self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float = 1.0
+    ) -> float:
+        """Noiseless execution time — the quantity tuning tries to minimize."""
+        return self._estimate(plan, config, data_scale).total_seconds
+
+    def _estimate(
+        self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float
+    ) -> CostBreakdown:
+        scaled = plan.scaled(data_scale) if data_scale != 1.0 else plan
+        layout = ExecutorLayout.from_config(config, self.pool)
+        return self.cost_model.estimate(scaled, config, layout)
+
+    def run(
+        self,
+        plan: PhysicalPlan,
+        config: Mapping[str, float],
+        data_scale: float = 1.0,
+    ) -> QueryRunResult:
+        """Execute ``plan`` once and return the (noisy) observed result."""
+        breakdown = self._estimate(plan, config, data_scale)
+        observed = self.noise.apply(breakdown.total_seconds, self._rng)
+        self.run_count += 1
+        return QueryRunResult(
+            elapsed_seconds=observed,
+            true_seconds=breakdown.total_seconds,
+            data_size=max(plan.total_leaf_cardinality * data_scale, 1.0),
+            config=dict(config),
+            metrics=dict(breakdown.metrics),
+            plan_signature=plan.signature(),
+        )
+
+    def run_to_event(
+        self,
+        plan: PhysicalPlan,
+        config: Mapping[str, float],
+        *,
+        app_id: str,
+        artifact_id: str,
+        user_id: str,
+        iteration: int,
+        data_scale: float = 1.0,
+        embedding=None,
+        region: str = "default",
+    ) -> QueryEndEvent:
+        """Execute and package the result as a listener event (Sec. 5)."""
+        result = self.run(plan, config, data_scale)
+        return QueryEndEvent(
+            app_id=app_id,
+            artifact_id=artifact_id,
+            query_signature=result.plan_signature,
+            user_id=user_id,
+            iteration=iteration,
+            config={k: float(v) for k, v in result.config.items()},
+            data_size=result.data_size,
+            duration_seconds=result.elapsed_seconds,
+            embedding=list(np.asarray(embedding, dtype=float)) if embedding is not None else [],
+            metrics={k: float(v) for k, v in result.metrics.items()},
+            region=region,
+        )

@@ -1,0 +1,46 @@
+"""Benchmark and synthetic workloads: TPC-H, TPC-DS, Sec.-6.1 objectives,
+data-size dynamics, and customer workload populations."""
+
+from .customer import CustomerWorkload, generate_population
+from .dynamics import (
+    ConstantSize,
+    DataSizeProcess,
+    LinearGrowth,
+    PeriodicSize,
+    RandomWalkSize,
+)
+from .generator import QuerySpec, build_plan
+from .streaming import BurstyArrivals, MicroBatchStream, micro_batch_plan
+from .synthetic import SyntheticObjective, default_synthetic_objective, synthetic_space
+from .tables import TPCDS_TABLES, TPCH_TABLES, Table
+from .tpcds import TPCDS_QUERY_IDS, tpcds_plan, tpcds_spec, tpcds_suite
+from .tpch import TPCH_QUERY_IDS, tpch_plan, tpch_spec, tpch_suite
+
+__all__ = [
+    "BurstyArrivals",
+    "ConstantSize",
+    "CustomerWorkload",
+    "MicroBatchStream",
+    "micro_batch_plan",
+    "DataSizeProcess",
+    "LinearGrowth",
+    "PeriodicSize",
+    "QuerySpec",
+    "RandomWalkSize",
+    "SyntheticObjective",
+    "TPCDS_QUERY_IDS",
+    "TPCDS_TABLES",
+    "TPCH_QUERY_IDS",
+    "TPCH_TABLES",
+    "Table",
+    "build_plan",
+    "default_synthetic_objective",
+    "generate_population",
+    "synthetic_space",
+    "tpcds_plan",
+    "tpcds_spec",
+    "tpcds_suite",
+    "tpch_plan",
+    "tpch_spec",
+    "tpch_suite",
+]

@@ -1,0 +1,113 @@
+"""Data-size processes for dynamic workloads (Sec. 6.1).
+
+The paper evaluates two dynamic regimes: "workloads with data sizes
+increasing linearly over time" and "workloads with periodic changes in data
+size, where the input data size follows f(t) = t %% K".  A drifting
+random-walk process is added for the customer-workload simulations, where
+"recurring workloads in production typically involve varying input sizes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DataSizeProcess",
+    "ConstantSize",
+    "LinearGrowth",
+    "PeriodicSize",
+    "RandomWalkSize",
+]
+
+
+class DataSizeProcess:
+    """Maps an iteration index ``t`` to an input data size ``p(t) > 0``."""
+
+    def size(self, t: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, t: int) -> float:
+        if t < 0:
+            raise ValueError("iteration index must be >= 0")
+        value = self.size(t)
+        if value <= 0:
+            raise RuntimeError(f"{type(self).__name__} produced non-positive size {value}")
+        return value
+
+
+@dataclass(frozen=True)
+class ConstantSize(DataSizeProcess):
+    """Fixed input size — the 'constant workloads' setting."""
+
+    value: float = 1000.0
+
+    def size(self, t: int) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class LinearGrowth(DataSizeProcess):
+    """``p(t) = p0 + slope · t`` — linearly increasing data."""
+
+    initial: float = 1000.0
+    slope: float = 20.0
+
+    def size(self, t: int) -> float:
+        return self.initial + self.slope * t
+
+
+@dataclass(frozen=True)
+class PeriodicSize(DataSizeProcess):
+    """``p(t) = p0 + slope · (t mod K)`` — the paper's periodic ``f(t) = t %% K``."""
+
+    initial: float = 1000.0
+    slope: float = 50.0
+    period: int = 20
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+
+    def size(self, t: int) -> float:
+        return self.initial + self.slope * (t % self.period)
+
+
+class RandomWalkSize(DataSizeProcess):
+    """Multiplicative log-normal random walk, clamped to a band.
+
+    Models production inputs that drift without a clean trend.  The walk is
+    deterministic given the seed, and memoized so ``size(t)`` is consistent
+    across repeated calls.
+    """
+
+    def __init__(
+        self,
+        initial: float = 1000.0,
+        volatility: float = 0.1,
+        min_factor: float = 0.25,
+        max_factor: float = 4.0,
+        seed: Optional[int] = None,
+    ):
+        if initial <= 0:
+            raise ValueError("initial must be > 0")
+        if volatility < 0:
+            raise ValueError("volatility must be >= 0")
+        if not 0 < min_factor <= 1 <= max_factor:
+            raise ValueError("need min_factor <= 1 <= max_factor")
+        self.initial = initial
+        self.volatility = volatility
+        self.min_factor = min_factor
+        self.max_factor = max_factor
+        self._rng = np.random.default_rng(seed)
+        self._path = [initial]
+
+    def size(self, t: int) -> float:
+        while len(self._path) <= t:
+            step = float(np.exp(self._rng.normal(0.0, self.volatility)))
+            nxt = self._path[-1] * step
+            nxt = min(max(nxt, self.initial * self.min_factor), self.initial * self.max_factor)
+            self._path.append(nxt)
+        return self._path[t]

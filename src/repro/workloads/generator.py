@@ -1,0 +1,124 @@
+"""Plan construction from declarative query specs.
+
+Real benchmark kits compile SQL through Spark's optimizer; here a
+:class:`QuerySpec` (fact table, dimension tables, selectivities, shape flags)
+is compiled into a :class:`PhysicalPlan` with consistent cardinality
+estimates.  Specs are deterministic per query id so that "recurrent
+workloads" share a plan signature across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+from ..sparksim.plan import Operator, OpType, PhysicalPlan
+from .tables import Table
+
+__all__ = ["QuerySpec", "build_plan"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Declarative description of a star-schema analytic query.
+
+    Attributes:
+        name: query name (e.g. ``tpch_q3``).
+        fact: fact table scanned at full scale.
+        dimensions: dimension tables joined against the fact, in join order.
+        fact_selectivity: fraction of fact rows surviving the initial filter.
+        dim_selectivities: per-dimension filter selectivity (same order).
+        agg_reduction: output rows of the final aggregate as a fraction of
+            its input (0 disables aggregation).
+        has_sort: append an ORDER BY (Sort operator).
+        has_window: append a window function.
+        has_limit: append a LIMIT.
+        second_fact: optional second fact table (UNION branch), e.g. TPC-DS
+            cross-channel queries.
+    """
+
+    name: str
+    fact: Table
+    dimensions: Tuple[Table, ...] = ()
+    fact_selectivity: float = 0.5
+    dim_selectivities: Tuple[float, ...] = ()
+    agg_reduction: float = 0.01
+    has_sort: bool = False
+    has_window: bool = False
+    has_limit: bool = False
+    second_fact: Optional[Table] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fact_selectivity <= 1:
+            raise ValueError("fact_selectivity must be in (0, 1]")
+        if self.dim_selectivities and len(self.dim_selectivities) != len(self.dimensions):
+            raise ValueError("dim_selectivities must match dimensions")
+        if not 0 <= self.agg_reduction <= 1:
+            raise ValueError("agg_reduction must be in [0, 1]")
+
+
+def build_plan(spec: QuerySpec, scale_factor: float = 1.0) -> PhysicalPlan:
+    """Compile a :class:`QuerySpec` into a physical plan at ``scale_factor``."""
+    ops: List[Operator] = []
+    next_id = 0
+
+    def add(op_type: str, rows_in: float, rows_out: float, row_bytes: float,
+            children: Sequence[int] = ()) -> int:
+        nonlocal next_id
+        op = Operator(
+            op_id=next_id,
+            op_type=op_type,
+            est_rows_in=max(rows_in, 1.0),
+            est_rows_out=max(rows_out, 1.0),
+            row_bytes=row_bytes,
+            children=tuple(children),
+        )
+        ops.append(op)
+        next_id += 1
+        return op.op_id
+
+    def scan_filter(table: Table, selectivity: float) -> Tuple[int, float, float]:
+        rows = table.rows_at(scale_factor)
+        scan = add(OpType.TABLE_SCAN, rows, rows, table.row_bytes)
+        out_rows = rows * selectivity
+        filt = add(OpType.FILTER, rows, out_rows, table.row_bytes, [scan])
+        return filt, out_rows, table.row_bytes
+
+    # Fact side (possibly a union of two channels).
+    current, fact_rows, fact_width = scan_filter(spec.fact, spec.fact_selectivity)
+    if spec.second_fact is not None:
+        other, other_rows, _ = scan_filter(spec.second_fact, spec.fact_selectivity)
+        union_rows = fact_rows + other_rows
+        current = add(OpType.UNION, union_rows, union_rows, fact_width, [current, other])
+        fact_rows = union_rows
+
+    # Join dimensions one at a time (left-deep).
+    dim_sels = spec.dim_selectivities or tuple(0.3 for _ in spec.dimensions)
+    rows = fact_rows
+    width = fact_width
+    for dim, sel in zip(spec.dimensions, dim_sels):
+        dim_node, dim_rows, dim_width = scan_filter(dim, sel)
+        rows = rows * min(sel * 1.5, 1.0)  # each dim filter prunes the fact side
+        width = width + dim_width * 0.3    # a few projected columns widen rows
+        current = add(OpType.JOIN, fact_rows + dim_rows, rows, width, [current, dim_node])
+        fact_rows = rows
+
+    if spec.agg_reduction > 0:
+        out = max(rows * spec.agg_reduction, 1.0)
+        current = add(OpType.HASH_AGGREGATE, rows, out, width * 0.6, [current])
+        rows, width = out, width * 0.6
+
+    if spec.has_window:
+        current = add(OpType.WINDOW, rows, rows, width, [current])
+
+    if spec.has_sort:
+        current = add(OpType.SORT, rows, rows, width, [current])
+
+    if spec.has_limit:
+        out = min(rows, 100.0)
+        current = add(OpType.LIMIT, rows, out, width, [current])
+        rows = out
+
+    final = add(OpType.PROJECT, rows, rows, width, [current])
+    return PhysicalPlan(ops, name=spec.name)

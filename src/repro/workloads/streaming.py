@@ -1,0 +1,118 @@
+"""Streaming micro-batch workloads.
+
+The Sec.-2.1 user study spans "'micro-batch' jobs lasting a few minutes ...
+as well as exploratory notebook jobs and streaming workloads".  A structured
+streaming job looks to the tuner like an extremely recurrent query: the same
+small plan executed every batch interval over bursty input volumes.  This is
+the regime where Spark's defaults hurt most — 200 shuffle partitions on a
+few-MB micro-batch is pure scheduling overhead — and where per-query tuning
+has the most iterations to learn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sparksim.plan import Operator, OpType, PhysicalPlan
+from .dynamics import DataSizeProcess
+
+__all__ = ["micro_batch_plan", "BurstyArrivals", "MicroBatchStream"]
+
+
+def micro_batch_plan(
+    events_per_batch: float = 200_000.0,
+    row_bytes: float = 60.0,
+    name: str = "stream_aggregate",
+) -> PhysicalPlan:
+    """A canonical streaming micro-batch: scan → filter → keyed aggregate.
+
+    Args:
+        events_per_batch: expected events in one batch at burst factor 1.
+        row_bytes: average event width.
+        name: plan name.
+    """
+    if events_per_batch <= 0:
+        raise ValueError("events_per_batch must be > 0")
+    rows = events_per_batch
+    return PhysicalPlan([
+        Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes),
+        Operator(op_id=1, op_type=OpType.FILTER, est_rows_in=rows,
+                 est_rows_out=rows * 0.8, row_bytes=row_bytes, children=(0,)),
+        Operator(op_id=2, op_type=OpType.HASH_AGGREGATE, est_rows_in=rows * 0.8,
+                 est_rows_out=max(rows * 0.01, 1.0), row_bytes=row_bytes * 0.5,
+                 children=(1,)),
+        Operator(op_id=3, op_type=OpType.PROJECT, est_rows_in=max(rows * 0.01, 1.0),
+                 est_rows_out=max(rows * 0.01, 1.0), row_bytes=row_bytes * 0.5,
+                 children=(2,)),
+    ], name=name)
+
+
+class BurstyArrivals(DataSizeProcess):
+    """Batch volumes with a diurnal wave plus log-normal bursts.
+
+    ``p(t) = base · (1 + wave·sin(2πt/period)) · burst_t`` with
+    ``burst_t ~ LogNormal(0, burst_sigma)``, clamped to ``[0.1, 20]×base``.
+    Deterministic and memoized per seed.
+    """
+
+    def __init__(
+        self,
+        base: float = 200_000.0,
+        wave_amplitude: float = 0.5,
+        period: int = 48,
+        burst_sigma: float = 0.35,
+        seed: Optional[int] = None,
+    ):
+        if base <= 0:
+            raise ValueError("base must be > 0")
+        if not 0 <= wave_amplitude < 1:
+            raise ValueError("wave_amplitude must be in [0, 1)")
+        if period < 2:
+            raise ValueError("period must be >= 2")
+        if burst_sigma < 0:
+            raise ValueError("burst_sigma must be >= 0")
+        self.base = base
+        self.wave_amplitude = wave_amplitude
+        self.period = period
+        self.burst_sigma = burst_sigma
+        self._rng = np.random.default_rng(seed)
+        self._bursts: list = []
+
+    def size(self, t: int) -> float:
+        while len(self._bursts) <= t:
+            self._bursts.append(float(np.exp(self._rng.normal(0.0, self.burst_sigma))))
+        wave = 1.0 + self.wave_amplitude * np.sin(2.0 * np.pi * t / self.period)
+        value = self.base * wave * self._bursts[t]
+        return float(np.clip(value, 0.1 * self.base, 20.0 * self.base))
+
+
+@dataclass
+class MicroBatchStream:
+    """One streaming job: a micro-batch plan plus its arrival process.
+
+    ``scale(t)`` converts the arrival volume of batch ``t`` into the relative
+    data scale that :class:`~repro.core.session.TuningSession` consumes.
+    """
+
+    plan: PhysicalPlan
+    arrivals: BurstyArrivals
+
+    @classmethod
+    def create(
+        cls,
+        events_per_batch: float = 200_000.0,
+        burst_sigma: float = 0.35,
+        seed: Optional[int] = None,
+    ) -> "MicroBatchStream":
+        return cls(
+            plan=micro_batch_plan(events_per_batch),
+            arrivals=BurstyArrivals(base=events_per_batch,
+                                    burst_sigma=burst_sigma, seed=seed),
+        )
+
+    def scale(self, t: int) -> float:
+        return self.arrivals(t) / self.arrivals.base

@@ -1,0 +1,87 @@
+"""TPC-H and TPC-DS table catalogs (row counts at scale factor 1).
+
+Row counts follow the TPC specifications; plan generators scale them by the
+benchmark scale factor (``SF``).  Dimension tables that the specs keep fixed
+or sub-linear are scaled accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Table", "TPCH_TABLES", "TPCDS_TABLES"]
+
+
+@dataclass(frozen=True)
+class Table:
+    """A benchmark base table.
+
+    Attributes:
+        name: table name.
+        rows_sf1: row count at scale factor 1.
+        row_bytes: average row width in bytes.
+        scaling: ``"linear"`` (grows with SF), ``"log"`` (sub-linear, e.g.
+            TPC-DS customer), or ``"fixed"`` (constant dimension).
+    """
+
+    name: str
+    rows_sf1: float
+    row_bytes: float
+    scaling: str = "linear"
+
+    def rows_at(self, scale_factor: float) -> float:
+        if scale_factor <= 0:
+            raise ValueError("scale factor must be > 0")
+        if self.scaling == "linear":
+            return self.rows_sf1 * scale_factor
+        if self.scaling == "log":
+            import math
+            return self.rows_sf1 * (1.0 + math.log10(max(scale_factor, 1.0)) * 2.0)
+        if self.scaling == "fixed":
+            return self.rows_sf1
+        raise ValueError(f"unknown scaling {self.scaling!r}")
+
+    def bytes_at(self, scale_factor: float) -> float:
+        return self.rows_at(scale_factor) * self.row_bytes
+
+
+TPCH_TABLES: Dict[str, Table] = {
+    t.name: t
+    for t in [
+        Table("lineitem", 6_001_215, 120),
+        Table("orders", 1_500_000, 110),
+        Table("partsupp", 800_000, 140),
+        Table("part", 200_000, 150),
+        Table("customer", 150_000, 160),
+        Table("supplier", 10_000, 150),
+        Table("nation", 25, 120, scaling="fixed"),
+        Table("region", 5, 120, scaling="fixed"),
+    ]
+}
+
+TPCDS_TABLES: Dict[str, Table] = {
+    t.name: t
+    for t in [
+        Table("store_sales", 2_880_404, 100),
+        Table("catalog_sales", 1_441_548, 160),
+        Table("web_sales", 719_384, 160),
+        Table("store_returns", 287_514, 90),
+        Table("catalog_returns", 144_067, 110),
+        Table("web_returns", 71_763, 110),
+        Table("inventory", 11_745_000, 24),
+        Table("customer", 100_000, 180, scaling="log"),
+        Table("customer_address", 50_000, 110, scaling="log"),
+        Table("customer_demographics", 1_920_800, 40, scaling="fixed"),
+        Table("item", 18_000, 280, scaling="log"),
+        Table("date_dim", 73_049, 140, scaling="fixed"),
+        Table("time_dim", 86_400, 60, scaling="fixed"),
+        Table("store", 12, 260, scaling="log"),
+        Table("catalog_page", 11_718, 140, scaling="log"),
+        Table("web_site", 30, 290, scaling="log"),
+        Table("web_page", 60, 100, scaling="log"),
+        Table("warehouse", 5, 120, scaling="log"),
+        Table("promotion", 300, 130, scaling="log"),
+        Table("household_demographics", 7_200, 30, scaling="fixed"),
+    ]
+}

@@ -1,0 +1,95 @@
+"""TPC-DS benchmark queries (99), generated deterministically per query id.
+
+TPC-DS queries cluster around sales channels (store / catalog / web), join a
+fact (or two, for cross-channel queries) against a handful of dimensions,
+aggregate, and often sort/limit.  We synthesize one spec per query id from a
+seeded RNG so that every ``tpcds_plan(q, sf)`` call is reproducible and every
+query has a distinct but stable plan signature — which is what the offline
+flighting pipeline and transfer-learning experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sparksim.plan import PhysicalPlan
+from .generator import QuerySpec, build_plan
+from .tables import TPCDS_TABLES as T, Table
+
+__all__ = ["TPCDS_QUERY_IDS", "tpcds_spec", "tpcds_plan", "tpcds_suite"]
+
+TPCDS_QUERY_IDS = tuple(range(1, 100))
+
+_FACTS: Tuple[Table, ...] = (
+    T["store_sales"],
+    T["catalog_sales"],
+    T["web_sales"],
+    T["store_returns"],
+    T["inventory"],
+)
+
+_DIMS: Tuple[Table, ...] = (
+    T["date_dim"],
+    T["item"],
+    T["customer"],
+    T["customer_address"],
+    T["customer_demographics"],
+    T["store"],
+    T["promotion"],
+    T["household_demographics"],
+    T["warehouse"],
+    T["time_dim"],
+)
+
+_spec_cache: Dict[int, QuerySpec] = {}
+
+
+def tpcds_spec(query_id: int) -> QuerySpec:
+    """Deterministic spec for TPC-DS query ``query_id`` (1–99)."""
+    if query_id not in range(1, 100):
+        raise ValueError(f"TPC-DS has queries 1..99, got {query_id}")
+    if query_id in _spec_cache:
+        return _spec_cache[query_id]
+
+    rng = np.random.default_rng(97_000 + query_id)
+    fact = _FACTS[int(rng.integers(0, 3))] if query_id % 7 else _FACTS[int(rng.integers(0, 5))]
+    n_dims = int(rng.integers(1, 6))
+    dim_idx = rng.choice(len(_DIMS), size=n_dims, replace=False)
+    dims = tuple(_DIMS[i] for i in dim_idx)
+    fact_sel = float(10 ** rng.uniform(-2.0, 0.0))           # 1%..100%
+    dim_sels = tuple(float(10 ** rng.uniform(-2.0, 0.0)) for _ in dims)
+    agg_reduction = float(10 ** rng.uniform(-5.0, -1.0))
+    # Roughly a third of TPC-DS queries are cross-channel (UNION of facts).
+    second_fact: Optional[Table] = None
+    if rng.uniform() < 0.3:
+        others = [f for f in _FACTS[:3] if f.name != fact.name]
+        second_fact = others[int(rng.integers(0, len(others)))]
+    spec = QuerySpec(
+        name=f"tpcds_q{query_id:02d}",
+        fact=fact,
+        dimensions=dims,
+        fact_selectivity=fact_sel,
+        dim_selectivities=dim_sels,
+        agg_reduction=agg_reduction,
+        has_sort=bool(rng.uniform() < 0.7),
+        has_window=bool(rng.uniform() < 0.25),
+        has_limit=bool(rng.uniform() < 0.6),
+        second_fact=second_fact,
+    )
+    _spec_cache[query_id] = spec
+    return spec
+
+
+def tpcds_plan(query_id: int, scale_factor: float = 1.0) -> PhysicalPlan:
+    """Physical plan of TPC-DS query ``query_id`` at ``scale_factor``."""
+    return build_plan(tpcds_spec(query_id), scale_factor)
+
+
+def tpcds_suite(
+    scale_factor: float = 1.0, query_ids: Optional[List[int]] = None
+) -> List[PhysicalPlan]:
+    """Plans for ``query_ids`` (default: all 99) at ``scale_factor``."""
+    ids = query_ids if query_ids is not None else list(TPCDS_QUERY_IDS)
+    return [tpcds_plan(q, scale_factor) for q in ids]

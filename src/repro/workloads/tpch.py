@@ -1,0 +1,84 @@
+"""TPC-H benchmark queries as declarative specs (all 22).
+
+The table sets and shapes follow the TPC-H specification queries; the
+selectivities approximate the spec's predicate selectivities.  Fig. 14 of the
+paper tunes all 22 queries at SF=100 with a baseline model trained on TPC-DS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sparksim.plan import PhysicalPlan
+from .generator import QuerySpec, build_plan
+from .tables import TPCH_TABLES as T
+
+__all__ = ["TPCH_QUERY_IDS", "tpch_spec", "tpch_plan", "tpch_suite"]
+
+TPCH_QUERY_IDS = tuple(range(1, 23))
+
+# (fact, dims, fact_sel, agg_reduction, sort, limit)
+_SPECS: Dict[int, QuerySpec] = {
+    1: QuerySpec("tpch_q01", T["lineitem"], (), 0.98, (), 1e-6, True, False, False),
+    2: QuerySpec("tpch_q02", T["partsupp"], (T["part"], T["supplier"], T["nation"], T["region"]),
+                 1.0, (0.004, 0.2, 1.0, 0.2), 0.001, True, False, True),
+    3: QuerySpec("tpch_q03", T["lineitem"], (T["orders"], T["customer"]),
+                 0.54, (0.48, 0.2), 0.02, True, False, True),
+    4: QuerySpec("tpch_q04", T["orders"], (T["lineitem"],),
+                 0.038, (0.63,), 1e-5, True, False, False),
+    5: QuerySpec("tpch_q05", T["lineitem"], (T["orders"], T["customer"], T["supplier"],
+                 T["nation"], T["region"]), 1.0, (0.15, 1.0, 1.0, 1.0, 0.2),
+                 1e-5, True, False, False),
+    6: QuerySpec("tpch_q06", T["lineitem"], (), 0.019, (), 1e-6, False, False, False),
+    7: QuerySpec("tpch_q07", T["lineitem"], (T["orders"], T["customer"], T["supplier"],
+                 T["nation"]), 0.3, (1.0, 1.0, 1.0, 0.08), 1e-4, True, False, False),
+    8: QuerySpec("tpch_q08", T["lineitem"], (T["orders"], T["customer"], T["part"],
+                 T["supplier"], T["nation"], T["region"]),
+                 1.0, (0.3, 1.0, 0.007, 1.0, 1.0, 0.2), 1e-5, True, False, False),
+    9: QuerySpec("tpch_q09", T["lineitem"], (T["orders"], T["part"], T["partsupp"],
+                 T["supplier"], T["nation"]), 1.0, (1.0, 0.05, 1.0, 1.0, 1.0),
+                 1e-4, True, False, False),
+    10: QuerySpec("tpch_q10", T["lineitem"], (T["orders"], T["customer"], T["nation"]),
+                  0.25, (0.03, 1.0, 1.0), 0.1, True, False, True),
+    11: QuerySpec("tpch_q11", T["partsupp"], (T["supplier"], T["nation"]),
+                  1.0, (1.0, 0.04), 0.05, True, False, False),
+    12: QuerySpec("tpch_q12", T["lineitem"], (T["orders"],),
+                  0.005, (1.0,), 1e-5, True, False, False),
+    13: QuerySpec("tpch_q13", T["orders"], (T["customer"],),
+                  0.98, (1.0,), 1e-4, True, False, False),
+    14: QuerySpec("tpch_q14", T["lineitem"], (T["part"],),
+                  0.013, (1.0,), 1e-6, False, False, False),
+    15: QuerySpec("tpch_q15", T["lineitem"], (T["supplier"],),
+                  0.04, (1.0,), 0.001, True, False, False),
+    16: QuerySpec("tpch_q16", T["partsupp"], (T["part"], T["supplier"]),
+                  1.0, (0.2, 0.99), 0.02, True, False, False),
+    17: QuerySpec("tpch_q17", T["lineitem"], (T["part"],),
+                  1.0, (0.001,), 1e-6, False, False, False),
+    18: QuerySpec("tpch_q18", T["lineitem"], (T["orders"], T["customer"]),
+                  1.0, (0.0001, 1.0), 0.001, True, False, True),
+    19: QuerySpec("tpch_q19", T["lineitem"], (T["part"],),
+                  0.02, (0.002,), 1e-6, False, False, False),
+    20: QuerySpec("tpch_q20", T["lineitem"], (T["partsupp"], T["part"], T["supplier"],
+                  T["nation"]), 0.15, (1.0, 0.01, 1.0, 0.04), 0.001, True, False, False),
+    21: QuerySpec("tpch_q21", T["lineitem"], (T["orders"], T["supplier"], T["nation"]),
+                  0.5, (0.49, 1.0, 0.04), 0.001, True, False, True),
+    22: QuerySpec("tpch_q22", T["customer"], (T["orders"],),
+                  0.25, (0.98,), 0.01, True, False, False),
+}
+
+
+def tpch_spec(query_id: int) -> QuerySpec:
+    """The declarative spec for TPC-H query ``query_id`` (1–22)."""
+    if query_id not in _SPECS:
+        raise ValueError(f"TPC-H has queries 1..22, got {query_id}")
+    return _SPECS[query_id]
+
+
+def tpch_plan(query_id: int, scale_factor: float = 1.0) -> PhysicalPlan:
+    """Physical plan of TPC-H query ``query_id`` at ``scale_factor``."""
+    return build_plan(tpch_spec(query_id), scale_factor)
+
+
+def tpch_suite(scale_factor: float = 1.0) -> List[PhysicalPlan]:
+    """All 22 TPC-H plans in query order."""
+    return [tpch_plan(q, scale_factor) for q in TPCH_QUERY_IDS]

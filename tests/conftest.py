@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.config_space import ConfigSpace, Parameter
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import no_noise
+from repro.workloads.tpch import tpch_plan
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_space():
+    """A simple 3-knob space with mixed scales."""
+    return ConfigSpace([
+        Parameter(name="linear", low=0.0, high=100.0, default=50.0),
+        Parameter(name="logscale", low=1.0, high=10000.0, default=100.0, log_scale=True),
+        Parameter(name="count", low=1, high=64, default=8, integer=True),
+    ])
+
+
+@pytest.fixture
+def spark_space():
+    return query_level_space()
+
+
+@pytest.fixture
+def q3_plan():
+    return tpch_plan(3, scale_factor=1.0)
+
+
+@pytest.fixture
+def quiet_simulator():
+    return SparkSimulator(noise=no_noise(), seed=0)

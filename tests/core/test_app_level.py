@@ -1,0 +1,124 @@
+"""Tests for Algorithm 2 and the AppCache."""
+
+import numpy as np
+import pytest
+
+from repro.core.app_level import (
+    AppCache,
+    AppCacheEntry,
+    QueryTuningContext,
+    optimize_app_config,
+)
+from repro.core.config_space import ConfigSpace, Parameter
+
+
+@pytest.fixture
+def app_space():
+    return ConfigSpace([
+        Parameter(name="executors", low=1, high=16, default=4, integer=True, scope="app"),
+        Parameter(name="memory", low=2, high=32, default=8, scope="app"),
+    ])
+
+
+@pytest.fixture
+def query_space():
+    return ConfigSpace([
+        Parameter(name="partitions", low=8, high=512, default=64, scope="query"),
+    ])
+
+
+class TestOptimizeAppConfig:
+    def test_requires_queries(self, app_space):
+        with pytest.raises(ValueError, match="at least one query"):
+            optimize_app_config(app_space, app_space.default_vector(), [])
+
+    def test_returns_in_bounds_vector(self, app_space, query_space, rng):
+        ctx = QueryTuningContext(
+            query_space=query_space,
+            centroid=query_space.default_vector(),
+            score_fn=lambda v, w: -float(v[0]),  # fewer executors is better
+        )
+        best = optimize_app_config(app_space, app_space.default_vector(), [ctx], rng=rng)
+        assert app_space.contains_vector(best)
+
+    def test_prefers_high_scoring_app_config(self, app_space, query_space, rng):
+        # Score rewards large executor counts: the chosen candidate should
+        # exceed the current setting (candidates are generated around it).
+        ctx = QueryTuningContext(
+            query_space=query_space,
+            centroid=query_space.default_vector(),
+            score_fn=lambda v, w: float(v[0]),
+        )
+        current = app_space.default_vector()
+        best = optimize_app_config(
+            app_space, current, [ctx], n_app_candidates=30, beta_app=0.3, rng=rng
+        )
+        assert best[0] >= current[0]
+
+    def test_sums_scores_across_queries(self, app_space, query_space, rng):
+        # Query A wants small executors, query B wants large, but B's stake
+        # is 10x bigger — the sum should lean large.
+        ctx_a = QueryTuningContext(
+            query_space=query_space, centroid=query_space.default_vector(),
+            score_fn=lambda v, w: -float(v[0]),
+        )
+        ctx_b = QueryTuningContext(
+            query_space=query_space, centroid=query_space.default_vector(),
+            score_fn=lambda v, w: 10.0 * float(v[0]),
+        )
+        best = optimize_app_config(
+            app_space, app_space.default_vector(), [ctx_a, ctx_b],
+            n_app_candidates=30, beta_app=0.3, rng=rng,
+        )
+        assert best[0] >= app_space.default_vector()[0]
+
+    def test_query_candidates_influence_score(self, app_space, query_space, rng):
+        # The score uses the best w per app candidate; make the score depend
+        # on w so generation around the centroid matters.
+        seen_ws = []
+
+        def score(v, w):
+            seen_ws.append(w.copy())
+            return -abs(float(w[0]) - 64.0)
+
+        ctx = QueryTuningContext(
+            query_space=query_space, centroid=query_space.default_vector(),
+            score_fn=score, beta=0.1,
+        )
+        optimize_app_config(app_space, app_space.default_vector(), [ctx], rng=rng)
+        assert seen_ws
+        assert all(query_space.contains_vector(w) for w in seen_ws)
+
+
+class TestAppCache:
+    def test_put_get_roundtrip(self):
+        cache = AppCache()
+        entry = AppCacheEntry(artifact_id="a1", config={"executors": 8.0}, n_queries=2)
+        cache.put(entry)
+        assert "a1" in cache
+        assert cache.get("a1").config == {"executors": 8.0}
+        assert cache.get("missing") is None
+
+    def test_invalidate(self):
+        cache = AppCache()
+        cache.put(AppCacheEntry(artifact_id="a1", config={}))
+        assert cache.invalidate("a1")
+        assert not cache.invalidate("a1")
+        assert "a1" not in cache
+
+    def test_file_persistence(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = AppCache(path=path)
+        cache.put(AppCacheEntry(artifact_id="a1", config={"x": 1.5}, n_queries=3))
+        reloaded = AppCache(path=path)
+        assert len(reloaded) == 1
+        entry = reloaded.get("a1")
+        assert entry.config == {"x": 1.5}
+        assert entry.n_queries == 3
+
+    def test_overwrite_updates(self):
+        cache = AppCache()
+        cache.put(AppCacheEntry(artifact_id="a1", config={"x": 1.0}))
+        cache.put(AppCacheEntry(artifact_id="a1", config={"x": 2.0}))
+        assert len(cache) == 1
+        assert cache.get("a1").config == {"x": 2.0}

@@ -1,0 +1,97 @@
+"""Tests for ApplicationSession (the Sec.-4.4 recurrent-application loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.app_level import AppCache
+from repro.core.session import ApplicationSession
+from repro.sparksim.configs import app_level_space, query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpcds import tpcds_plan
+
+
+@pytest.fixture
+def session():
+    return ApplicationSession(
+        artifact_id="nightly-etl",
+        plans=[tpcds_plan(8, 20.0), tpcds_plan(23, 20.0)],
+        simulator=SparkSimulator(noise=low_noise(), seed=1),
+        query_space=query_level_space(),
+        app_space=app_level_space(),
+        app_cache=AppCache(),
+        seed=0,
+    )
+
+
+class TestConstruction:
+    def test_requires_plans(self):
+        with pytest.raises(ValueError):
+            ApplicationSession(
+                artifact_id="x", plans=[],
+                simulator=SparkSimulator(seed=0),
+                query_space=query_level_space(),
+                app_space=app_level_space(),
+            )
+
+    def test_first_run_uses_defaults(self, session):
+        assert session.current_app_config() == app_level_space().default_dict()
+
+
+class TestLifecycle:
+    def test_run_returns_summaries(self, session):
+        summaries = session.run(3)
+        assert len(summaries) == 3
+        assert session.iteration == 3
+        assert all(s["total_true_seconds"] > 0 for s in summaries)
+        assert session.run_history == summaries
+
+    def test_invalid_run_count(self, session):
+        with pytest.raises(ValueError):
+            session.run(0)
+
+    def test_app_cache_populated_after_enough_runs(self, session):
+        session.run(4)  # windows need >= 3 observations before Alg. 2 runs
+        assert "nightly-etl" in session.app_cache
+        entry = session.app_cache.get("nightly-etl")
+        assert entry.n_queries == 2
+        assert set(entry.config) == set(app_level_space().names)
+
+    def test_later_runs_read_the_cache(self, session):
+        session.run(4)
+        cached = session.app_cache.get("nightly-etl").config
+        merged = session.current_app_config()
+        for knob, value in cached.items():
+            assert merged[knob] == value
+
+    def test_cache_shared_across_sessions(self, session):
+        session.run(4)
+        # A "new submission" (fresh session object, same artifact + cache)
+        # starts from the pre-computed configuration.
+        successor = ApplicationSession(
+            artifact_id="nightly-etl",
+            plans=session.plans,
+            simulator=SparkSimulator(noise=low_noise(), seed=9),
+            query_space=query_level_space(),
+            app_space=app_level_space(),
+            app_cache=session.app_cache,
+            seed=5,
+        )
+        assert successor.current_app_config() != app_level_space().default_dict()
+
+    def test_joint_tuning_improves_total_time(self):
+        """Over repeated submissions, app+query tuning beats the defaults."""
+        cache = AppCache()
+        session = ApplicationSession(
+            artifact_id="etl",
+            plans=[tpcds_plan(8, 50.0), tpcds_plan(51, 50.0)],
+            simulator=SparkSimulator(noise=low_noise(), seed=3),
+            query_space=query_level_space(),
+            app_space=app_level_space(),
+            app_cache=cache,
+            seed=0,
+        )
+        summaries = session.run(15)
+        first = np.mean([s["total_true_seconds"] for s in summaries[:3]])
+        last = np.mean([s["total_true_seconds"] for s in summaries[-3:]])
+        assert last < first

@@ -1,0 +1,86 @@
+"""Tests for β-neighborhood candidate generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.candidates import generate_candidates
+from repro.core.config_space import ConfigSpace, Parameter
+
+
+def test_candidates_shape_and_bounds(small_space, rng):
+    centroid = small_space.default_vector()
+    cands = generate_candidates(small_space, centroid, beta=0.1, n_candidates=20, rng=rng)
+    assert cands.shape == (20, small_space.dim)
+    for c in cands:
+        assert small_space.contains_vector(c)
+
+
+def test_centroid_included_first(small_space, rng):
+    centroid = small_space.default_vector()
+    cands = generate_candidates(small_space, centroid, 0.1, 5, rng)
+    assert np.allclose(cands[0], centroid)
+
+
+def test_centroid_excluded(small_space, rng):
+    centroid = small_space.default_vector()
+    cands = generate_candidates(
+        small_space, centroid, 0.1, 5, rng, include_centroid=False
+    )
+    assert cands.shape == (5, small_space.dim)
+
+
+def test_neighborhood_respects_beta(small_space, rng):
+    centroid = small_space.default_vector()
+    beta = 0.05
+    cands = generate_candidates(small_space, centroid, beta, 200, rng)
+    bounds = small_space.internal_bounds
+    span = bounds[:, 1] - bounds[:, 0]
+    assert np.all(np.abs(cands - centroid) <= beta * span + 1e-9)
+
+
+def test_out_of_bounds_centroid_clipped(small_space, rng):
+    crazy = np.array([1e9, 1e9, 1e9])
+    cands = generate_candidates(small_space, crazy, 0.1, 10, rng)
+    for c in cands:
+        assert small_space.contains_vector(c)
+
+
+def test_invalid_beta(small_space, rng):
+    with pytest.raises(ValueError, match="beta"):
+        generate_candidates(small_space, small_space.default_vector(), 0.0, 5, rng)
+    with pytest.raises(ValueError, match="beta"):
+        generate_candidates(small_space, small_space.default_vector(), 1.5, 5, rng)
+
+
+def test_invalid_count(small_space, rng):
+    with pytest.raises(ValueError, match="n_candidates"):
+        generate_candidates(small_space, small_space.default_vector(), 0.1, 0, rng)
+
+
+def test_single_candidate_is_centroid(small_space, rng):
+    centroid = small_space.default_vector()
+    cands = generate_candidates(small_space, centroid, 0.1, 1, rng)
+    assert cands.shape == (1, small_space.dim)
+    assert np.allclose(cands[0], centroid)
+
+
+@given(
+    beta=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    n=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_candidates_always_in_neighborhood_property(beta, n, seed):
+    space = ConfigSpace([
+        Parameter(name="a", low=0.0, high=10.0, default=5.0),
+        Parameter(name="b", low=1.0, high=100.0, default=10.0, log_scale=True),
+    ])
+    rng = np.random.default_rng(seed)
+    centroid = space.sample_vector(rng)
+    cands = generate_candidates(space, centroid, beta, n, rng)
+    bounds = space.internal_bounds
+    span = bounds[:, 1] - bounds[:, 0]
+    assert cands.shape == (n, 2)
+    assert np.all(np.abs(cands - centroid) <= beta * span + 1e-9)
+    assert all(space.contains_vector(c) for c in cands)

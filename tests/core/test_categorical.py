@@ -1,0 +1,203 @@
+"""Tests for categorical-knob tuning (Sec. 4.3's continuous embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorical import (
+    CategoricalParameter,
+    CategoricalSpaceAdapter,
+    PerformanceOrderedEncoder,
+)
+from repro.core.config_space import Parameter
+
+
+@pytest.fixture
+def codec():
+    return CategoricalParameter(
+        name="spark.io.compression.codec",
+        choices=("lz4", "snappy", "zstd"),
+        default="lz4",
+    )
+
+
+class TestCategoricalParameter:
+    def test_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter(name="x", choices=("only",), default="only")
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter(name="x", choices=("a", "a"), default="a")
+
+    def test_default_must_be_a_choice(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter(name="x", choices=("a", "b"), default="c")
+
+    def test_scope_validated(self):
+        with pytest.raises(ValueError):
+            CategoricalParameter(name="x", choices=("a", "b"), default="a",
+                                 scope="galaxy")
+
+
+class TestPerformanceOrderedEncoder:
+    def test_initial_positions_span_unit_interval(self, codec):
+        enc = PerformanceOrderedEncoder(codec)
+        positions = sorted(enc.positions.values())
+        assert positions[0] == 0.0
+        assert positions[-1] == 1.0
+        assert not enc.fitted
+
+    def test_encode_decode_roundtrip(self, codec):
+        enc = PerformanceOrderedEncoder(codec)
+        for choice in codec.choices:
+            assert enc.decode(enc.encode(choice)) == choice
+
+    def test_decode_snaps_to_nearest(self, codec):
+        enc = PerformanceOrderedEncoder(codec)
+        assert enc.decode(0.05) == "lz4"       # nominal order: lz4 at 0
+        assert enc.decode(0.95) == "zstd"
+
+    def test_unknown_choice_rejected(self, codec):
+        enc = PerformanceOrderedEncoder(codec)
+        with pytest.raises(ValueError):
+            enc.encode("gzip")
+
+    def test_fit_orders_by_mean_performance(self, codec):
+        enc = PerformanceOrderedEncoder(codec)
+        enc.fit(
+            ["lz4", "lz4", "zstd", "zstd", "snappy"],
+            [10.0, 12.0, 3.0, 5.0, 20.0],
+        )
+        assert enc.fitted
+        pos = enc.positions
+        assert pos["zstd"] < pos["lz4"] < pos["snappy"]   # best → 0
+        assert pos["zstd"] == 0.0
+        assert pos["snappy"] == 1.0
+
+    def test_unobserved_choices_keep_relative_order(self, codec):
+        enc = PerformanceOrderedEncoder(codec)
+        enc.fit(["zstd"], [1.0])
+        pos = enc.positions
+        assert pos["zstd"] == 0.0
+        assert pos["lz4"] < pos["snappy"]  # previous (nominal) order retained
+
+    def test_fit_alignment_checked(self, codec):
+        with pytest.raises(ValueError):
+            PerformanceOrderedEncoder(codec).fit(["lz4"], [1.0, 2.0])
+
+
+class TestCategoricalSpaceAdapter:
+    @pytest.fixture
+    def adapter(self, codec):
+        return CategoricalSpaceAdapter(
+            continuous=[Parameter(name="partitions", low=8, high=512, default=64)],
+            categorical=[codec],
+        )
+
+    def test_requires_categorical(self):
+        with pytest.raises(ValueError):
+            CategoricalSpaceAdapter(
+                continuous=[Parameter(name="x", low=0, high=1, default=0)],
+                categorical=[],
+            )
+
+    def test_space_is_continuous_superset(self, adapter):
+        assert adapter.space.dim == 2
+        assert "spark.io.compression.codec" in adapter.space
+
+    def test_default_vector_maps_to_default_choice(self, adapter):
+        config = adapter.to_config(adapter.space.default_vector())
+        assert config["spark.io.compression.codec"] == "lz4"
+        assert config["partitions"] == 64
+
+    def test_roundtrip(self, adapter):
+        config = {"partitions": 128.0, "spark.io.compression.codec": "zstd"}
+        vec = adapter.to_vector(config)
+        back = adapter.to_config(vec)
+        assert back["spark.io.compression.codec"] == "zstd"
+        assert back["partitions"] == pytest.approx(128.0)
+
+    def test_refit_reorders_axis(self, adapter):
+        # zstd consistently fastest → after refit it sits at position 0.
+        for codec_choice, perf in (("lz4", 10.0), ("zstd", 2.0),
+                                   ("snappy", 20.0), ("zstd", 3.0)):
+            adapter.record(
+                {"partitions": 64, "spark.io.compression.codec": codec_choice}, perf
+            )
+        refit = adapter.refit()
+        assert refit == ["spark.io.compression.codec"]
+        enc = adapter.encoders["spark.io.compression.codec"]
+        assert enc.positions["zstd"] == 0.0
+
+    def test_refit_needs_diverse_data(self, adapter):
+        adapter.record({"partitions": 64, "spark.io.compression.codec": "lz4"}, 1.0)
+        adapter.record({"partitions": 64, "spark.io.compression.codec": "lz4"}, 2.0)
+        assert adapter.refit() == []   # only one distinct choice seen
+
+    def test_warmup_covers_every_choice(self, adapter):
+        configs = adapter.warmup_configs(repeats=2)
+        codecs = [c["spark.io.compression.codec"] for c in configs]
+        assert codecs.count("lz4") == 2
+        assert codecs.count("zstd") == 2
+        assert len(configs) == 6
+        with pytest.raises(ValueError):
+            adapter.warmup_configs(repeats=0)
+
+    def test_optimizer_integration_finds_best_codec(self, codec):
+        """End to end: warmup probes each choice, the encoder re-orders the
+        axis, and CL converges on the choice the objective prefers."""
+        from repro.core.centroid import CentroidLearning
+        from repro.core.observation import Observation
+
+        adapter = CategoricalSpaceAdapter(
+            continuous=[Parameter(name="partitions", low=8, high=512, default=64)],
+            categorical=[codec],
+        )
+        penalty = {"lz4": 5.0, "snappy": 9.0, "zstd": 0.0}
+
+        def objective(config):
+            return 10.0 + penalty[config["spark.io.compression.codec"]] + abs(
+                config["partitions"] - 200.0
+            ) / 50.0
+
+        # Warmup: probe every codec once, then re-order the axis.
+        for config in adapter.warmup_configs():
+            adapter.record(config, objective(config))
+        adapter.refit()
+        enc = adapter.encoders[codec.name]
+        assert enc.positions["zstd"] == 0.0   # best choice now at the origin
+
+        cl = CentroidLearning(adapter.space, alpha=0.08, beta=0.2, seed=0)
+        chosen = []
+        for t in range(40):
+            vec = cl.suggest(data_size=100.0)
+            config = adapter.to_config(vec)
+            r = objective(config)
+            adapter.record(config, r)
+            cl.observe(Observation(config=vec, data_size=100.0,
+                                   performance=r, iteration=t))
+            chosen.append(config["spark.io.compression.codec"])
+        assert chosen[-10:].count("zstd") >= 6
+
+
+class TestSparkCatalog:
+    def test_catalog_exports(self):
+        from repro.sparksim.configs import (
+            COMPRESSION_CODEC,
+            SERIALIZER,
+            categorical_query_knobs,
+        )
+        knobs = categorical_query_knobs()
+        assert COMPRESSION_CODEC in knobs and SERIALIZER in knobs
+
+    def test_cost_model_honors_codec_and_serializer(self, quiet_simulator, q3_plan,
+                                                    spark_space):
+        base = spark_space.default_dict()
+        t_lz4 = quiet_simulator.true_time(q3_plan, {**base,
+                                                    "spark.io.compression.codec": "lz4"})
+        t_zstd = quiet_simulator.true_time(q3_plan, {**base,
+                                                     "spark.io.compression.codec": "zstd"})
+        assert t_zstd != t_lz4
+        t_java = quiet_simulator.true_time(q3_plan, {**base, "spark.serializer": "java"})
+        t_kryo = quiet_simulator.true_time(q3_plan, {**base, "spark.serializer": "kryo"})
+        assert t_kryo < t_java

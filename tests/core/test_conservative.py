@@ -1,0 +1,163 @@
+"""Tests for the conservative explore-only-while-improving policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import CentroidLearning
+from repro.core.conservative import ConservativePolicy
+from repro.core.observation import Observation
+from repro.sparksim.noise import high_noise, no_noise
+from repro.workloads.synthetic import default_synthetic_objective
+
+
+@pytest.fixture
+def objective():
+    return default_synthetic_objective(noise=no_noise(), seed=3)
+
+
+def make_policy(objective, **kwargs):
+    inner = CentroidLearning(objective.space, seed=0)
+    defaults = dict(margin=0.2, recent_window=3, cooldown=4, min_observations=4)
+    defaults.update(kwargs)
+    return ConservativePolicy(inner, **defaults)
+
+
+class TestValidation:
+    def test_margin(self, objective):
+        with pytest.raises(ValueError):
+            make_policy(objective, margin=0.0)
+
+    def test_recent_window(self, objective):
+        with pytest.raises(ValueError):
+            make_policy(objective, recent_window=1)
+
+    def test_cooldown(self, objective):
+        with pytest.raises(ValueError):
+            make_policy(objective, cooldown=0)
+
+
+class TestBehavior:
+    def test_explores_initially(self, objective):
+        policy = make_policy(objective)
+        assert policy.exploring
+        v = policy.suggest(data_size=100.0)
+        assert objective.space.contains_vector(v)
+
+    def test_incumbent_is_best_of_best_window(self, objective):
+        policy = make_policy(objective)  # recent_window=3
+        a = objective.space.default_vector()
+        b = objective.space.clip(a + 1.0)
+        perfs = [50.0, 20.0, 40.0]
+        configs = [a, b, a]
+        for t, (c, r) in enumerate(zip(configs, perfs)):
+            policy.observe(Observation(config=c, data_size=100.0,
+                                       performance=r, iteration=t))
+        # First full window: incumbent = its best-normalized member (b).
+        assert np.allclose(policy.incumbent, b)
+        # A worse window does not displace it.
+        for t in range(3, 6):
+            policy.observe(Observation(config=a, data_size=100.0,
+                                       performance=90.0, iteration=t))
+        assert np.allclose(policy.incumbent, b)
+
+    def test_regression_triggers_cooldown_replaying_incumbent(self, objective):
+        policy = make_policy(objective)
+        good = objective.space.default_vector()
+        # Establish a good incumbent, then regress hard.
+        for t in range(4):
+            policy.observe(Observation(config=good, data_size=100.0,
+                                       performance=10.0, iteration=t))
+        for t in range(4, 8):
+            v = policy.suggest(data_size=100.0)
+            policy.observe(Observation(config=v, data_size=100.0,
+                                       performance=30.0, iteration=t))
+        assert not policy.exploring
+        assert policy.pause_count == 1
+        suggestion = policy.suggest(data_size=100.0)
+        assert np.allclose(suggestion, policy.incumbent)
+
+    def test_cooldown_expires_and_exploration_resumes(self, objective):
+        policy = make_policy(objective, cooldown=2)
+        good = objective.space.default_vector()
+        # Normal operation: every observe follows a suggest.
+        t = 0
+        for perf in (10.0, 10.0, 10.0, 10.0, 40.0, 40.0, 40.0, 40.0):
+            policy.suggest(data_size=100.0)
+            policy.observe(Observation(config=good, data_size=100.0,
+                                       performance=perf, iteration=t))
+            t += 1
+        assert policy.pause_count == 1
+        # Replaying the incumbent at good performance burns the cooldown
+        # (and the post-pause window) without re-triggering.
+        while not policy.exploring:
+            v = policy.suggest(data_size=100.0)
+            policy.observe(Observation(config=v, data_size=100.0,
+                                       performance=10.0, iteration=t))
+            t += 1
+            assert t < 30, "cooldown never expired"
+        # Keep running at good performance: exploration eventually stays on
+        # (one more pause is legitimate while regressed runs age out of the
+        # recent window).
+        for _ in range(12):
+            v = policy.suggest(data_size=100.0)
+            policy.observe(Observation(config=v, data_size=100.0,
+                                       performance=10.0, iteration=t))
+            t += 1
+        assert policy.exploring
+        assert policy.pause_count <= 2
+
+    def test_inner_optimizer_keeps_learning_while_paused(self, objective):
+        policy = make_policy(objective)
+        good = objective.space.default_vector()
+        for t in range(8):
+            policy.observe(Observation(config=good, data_size=100.0,
+                                       performance=10.0 + 5.0 * t, iteration=t))
+        assert policy.inner.iteration == 8  # every run reached the inner state
+
+    def test_data_size_normalization_prevents_false_pauses(self, objective):
+        """Growing inputs alone (time up, rate flat) must not pause tuning."""
+        policy = make_policy(objective, margin=0.2)
+        config = objective.space.default_vector()
+        for t in range(12):
+            size = 100.0 * (1 + t)
+            policy.observe(Observation(config=config, data_size=size,
+                                       performance=0.1 * size, iteration=t))
+        assert policy.pause_count == 0
+
+    def test_no_pauses_without_true_regression_under_moderate_noise(self):
+        """Window-mean comparisons share the noise inflation, so a healthy
+        converging tuner under production-grade noise is not paused."""
+        from repro.sparksim.noise import NoiseModel
+
+        objective = default_synthetic_objective(
+            noise=NoiseModel(fluctuation_level=0.25, spike_level=0.3), seed=7
+        )
+        policy = ConservativePolicy(
+            CentroidLearning(objective.space, seed=0),
+            margin=0.6, recent_window=5, cooldown=5,
+        )
+        rng = np.random.default_rng(11)
+        for t in range(80):
+            v = policy.suggest(data_size=objective.reference_size)
+            r = objective.observe(v, objective.reference_size, rng)
+            policy.observe(Observation(
+                config=v, data_size=objective.reference_size,
+                performance=r, iteration=t,
+            ))
+        assert policy.pause_count <= 1
+
+    def test_pauses_on_genuine_regression(self):
+        """A config-independent 2x slowdown mid-run triggers the policy."""
+        objective = default_synthetic_objective(noise=no_noise(), seed=7)
+        policy = make_policy(objective, margin=0.3, recent_window=3, cooldown=4)
+        rng = np.random.default_rng(0)
+        for t in range(30):
+            v = policy.suggest(data_size=objective.reference_size)
+            r = objective.observe(v, objective.reference_size, rng)
+            if t >= 15:
+                r *= 2.0   # external regression, unrelated to the config
+            policy.observe(Observation(
+                config=v, data_size=objective.reference_size,
+                performance=r, iteration=t,
+            ))
+        assert policy.pause_count >= 1

@@ -1,0 +1,102 @@
+"""Tests for the three FIND_BEST refinements (Eq. 3–5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import default_window_model_factory
+from repro.core.find_best import FindBestMode, find_best, fit_window_model
+from repro.core.observation import Observation, ObservationWindow
+
+
+def window_from(rows):
+    """rows: list of (config, data_size, perf)."""
+    window = ObservationWindow(len(rows) if len(rows) >= 2 else 2)
+    for i, (config, size, perf) in enumerate(rows):
+        window.append(Observation(
+            config=np.asarray(config, dtype=float), data_size=size,
+            performance=perf, iteration=i,
+        ))
+    return window
+
+
+def test_empty_window_raises():
+    with pytest.raises(ValueError, match="empty"):
+        find_best(ObservationWindow(2), FindBestMode.RAW)
+
+
+def test_raw_picks_min_time():
+    window = window_from([
+        ([1.0], 100.0, 10.0),
+        ([2.0], 10.0, 5.0),    # fastest raw, but tiny input
+        ([3.0], 100.0, 8.0),
+    ])
+    best = find_best(window, FindBestMode.RAW)
+    assert best.config[0] == 2.0
+
+
+def test_normalized_corrects_for_size():
+    window = window_from([
+        ([1.0], 100.0, 10.0),  # 0.10 s/row
+        ([2.0], 10.0, 5.0),    # 0.50 s/row — raw winner loses after Eq. 3
+        ([3.0], 100.0, 8.0),   # 0.08 s/row — normalized winner
+    ])
+    best = find_best(window, FindBestMode.NORMALIZED)
+    assert best.config[0] == 3.0
+
+
+def test_model_mode_predicts_at_fixed_size():
+    # Linear world: perf = config + 0.1*size.  At any fixed size the best
+    # config is the smallest one even if it was observed at a large size.
+    rows = []
+    rng = np.random.default_rng(0)
+    for i in range(12):
+        c = float(rng.uniform(1, 10))
+        p = float(rng.uniform(50, 150))
+        rows.append(([c], p, c + 0.1 * p))
+    # Inject the best config observed at the largest (most penalized) size.
+    rows.append(([0.5], 200.0, 0.5 + 20.0))
+    window = window_from(rows)
+    best = find_best(
+        window, FindBestMode.MODEL, model_factory=default_window_model_factory,
+        fixed_data_size=100.0,
+    )
+    assert best.config[0] == 0.5
+
+
+def test_model_mode_requires_model_or_factory():
+    window = window_from([([1.0], 1.0, 1.0), ([2.0], 1.0, 2.0)])
+    with pytest.raises(ValueError, match="model"):
+        find_best(window, FindBestMode.MODEL)
+
+
+def test_model_mode_single_observation_shortcut():
+    window = window_from([([4.0], 1.0, 1.0)])
+    best = find_best(window, FindBestMode.MODEL, model_factory=default_window_model_factory)
+    assert best.config[0] == 4.0
+
+
+def test_model_reuse_skips_refit():
+    window = window_from([
+        ([1.0], 100.0, 10.0),
+        ([2.0], 100.0, 5.0),
+        ([3.0], 100.0, 8.0),
+    ])
+    model = fit_window_model(window, default_window_model_factory)
+    best = find_best(window, FindBestMode.MODEL, model=model)
+    assert best.config[0] == pytest.approx(2.0)
+
+
+def test_fit_window_model_learns_trend():
+    window = window_from([
+        ([float(c)], 100.0, 2.0 * c) for c in range(1, 8)
+    ])
+    model = fit_window_model(window, default_window_model_factory)
+    lo = model.predict(np.array([[1.0, 100.0]]))[0]
+    hi = model.predict(np.array([[7.0, 100.0]]))[0]
+    assert hi > lo
+
+
+def test_unknown_mode_rejected():
+    window = window_from([([1.0], 1.0, 1.0), ([2.0], 1.0, 2.0)])
+    with pytest.raises(ValueError):
+        find_best(window, mode="bogus")

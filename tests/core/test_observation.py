@@ -1,0 +1,74 @@
+"""Tests for Observation and the Ω(t, N) window."""
+
+import numpy as np
+import pytest
+
+from repro.core.observation import Observation, ObservationWindow
+
+
+def make_obs(i, perf=1.0, size=100.0):
+    return Observation(
+        config=np.array([float(i), 2.0 * i]), data_size=size, performance=perf, iteration=i
+    )
+
+
+class TestObservation:
+    def test_config_coerced_to_array(self):
+        obs = Observation(config=[1, 2], data_size=1.0, performance=0.5, iteration=0)
+        assert isinstance(obs.config, np.ndarray)
+
+    def test_negative_performance_rejected(self):
+        with pytest.raises(ValueError, match="performance"):
+            Observation(config=[1], data_size=1.0, performance=-1.0, iteration=0)
+
+    def test_nonpositive_data_size_rejected(self):
+        with pytest.raises(ValueError, match="data_size"):
+            Observation(config=[1], data_size=0.0, performance=1.0, iteration=0)
+
+    def test_embedding_coerced(self):
+        obs = Observation(
+            config=[1], data_size=1.0, performance=1.0, iteration=0, embedding=[1, 2, 3]
+        )
+        assert obs.embedding.dtype == float
+
+
+class TestObservationWindow:
+    def test_window_size_minimum(self):
+        with pytest.raises(ValueError):
+            ObservationWindow(1)
+
+    def test_window_keeps_latest_n(self):
+        window = ObservationWindow(3)
+        for i in range(10):
+            window.append(make_obs(i))
+        assert len(window) == 10                      # full history retained
+        assert [o.iteration for o in window.window] == [7, 8, 9]
+        assert window.latest.iteration == 9
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(IndexError):
+            ObservationWindow(3).latest
+
+    def test_dense_views_shapes(self):
+        window = ObservationWindow(4)
+        for i in range(6):
+            window.append(make_obs(i, perf=float(i), size=10.0 + i))
+        assert window.configs().shape == (4, 2)
+        assert window.performances().tolist() == [2.0, 3.0, 4.0, 5.0]
+        assert window.data_sizes().tolist() == [12.0, 13.0, 14.0, 15.0]
+        dm = window.design_matrix()
+        assert dm.shape == (4, 3)
+        assert np.allclose(dm[:, -1], window.data_sizes())
+
+    def test_full_history_views(self):
+        window = ObservationWindow(2)
+        for i in range(5):
+            window.append(make_obs(i, perf=float(i)))
+        assert window.all_performances().tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert len(window.all_data_sizes()) == 5
+
+    def test_history_is_immutable_view(self):
+        window = ObservationWindow(2)
+        window.append(make_obs(0))
+        history = window.history
+        assert isinstance(history, tuple)

@@ -1,0 +1,60 @@
+"""Tests for the shared Optimizer interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.observation import Observation
+from repro.core.optimizer_base import Optimizer
+from repro.workloads.synthetic import synthetic_space
+
+
+class DummyOptimizer(Optimizer):
+    def suggest(self, data_size=None, embedding=None):
+        return self.space.default_vector()
+
+
+@pytest.fixture
+def opt():
+    return DummyOptimizer(synthetic_space(2))
+
+
+def test_base_suggest_not_implemented():
+    base = Optimizer(synthetic_space(2))
+    with pytest.raises(NotImplementedError):
+        base.suggest()
+
+
+def test_name_is_class_name(opt):
+    assert opt.name == "DummyOptimizer"
+
+
+def test_iteration_counts_observations(opt):
+    assert opt.iteration == 0
+    for t in range(3):
+        opt.observe(Observation(config=opt.suggest(), data_size=1.0,
+                                performance=1.0, iteration=t))
+    assert opt.iteration == 3
+
+
+def test_observation_shape_validated(opt):
+    with pytest.raises(ValueError, match="shape"):
+        opt.observe(Observation(config=np.zeros(5), data_size=1.0,
+                                performance=1.0, iteration=0))
+
+
+def test_best_observation_requires_history(opt):
+    with pytest.raises(RuntimeError):
+        opt.best_observation()
+
+
+def test_best_observation_is_raw_minimum(opt):
+    for t, perf in enumerate((5.0, 2.0, 9.0)):
+        opt.observe(Observation(config=opt.suggest(), data_size=1.0,
+                                performance=perf, iteration=t))
+    assert opt.best_observation().performance == 2.0
+
+
+def test_optimizers_module_reexports():
+    from repro.optimizers.base import Optimizer as Reexported
+
+    assert Reexported is Optimizer

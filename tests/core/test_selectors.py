@@ -1,0 +1,117 @@
+"""Tests for candidate-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import default_window_model_factory
+from repro.core.config_space import ConfigSpace, Parameter
+from repro.core.observation import Observation, ObservationWindow
+from repro.core.selectors import (
+    BaselineModelAdapter,
+    PseudoSurrogateSelector,
+    RandomSelector,
+    SurrogateSelector,
+)
+from repro.ml.linear import LinearRegression
+
+
+@pytest.fixture
+def space1():
+    return ConfigSpace([Parameter(name="x", low=0.0, high=10.0, default=5.0)])
+
+
+def filled_window(n=6):
+    window = ObservationWindow(10)
+    for i in range(n):
+        c = np.array([float(i)])
+        window.append(Observation(
+            config=c, data_size=100.0, performance=(c[0] - 2.0) ** 2 + 1.0, iteration=i
+        ))
+    return window
+
+
+class TestPseudoSurrogateSelector:
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            PseudoSurrogateSelector(lambda c, p: 0.0, level=0)
+        with pytest.raises(ValueError):
+            PseudoSurrogateSelector(lambda c, p: 0.0, level=10)
+
+    def test_level_1_close_to_best(self, rng):
+        true_fn = lambda c, p: float(c[0])
+        candidates = np.arange(11.0).reshape(-1, 1)
+        sel = PseudoSurrogateSelector(true_fn, level=1)
+        idx = sel.select(candidates, ObservationWindow(2), 1.0, None, rng)
+        assert candidates[idx, 0] == 1.0  # 10th percentile of 0..10
+
+    def test_level_9_near_worst(self, rng):
+        true_fn = lambda c, p: float(c[0])
+        candidates = np.arange(11.0).reshape(-1, 1)
+        sel = PseudoSurrogateSelector(true_fn, level=9)
+        idx = sel.select(candidates, ObservationWindow(2), 1.0, None, rng)
+        assert candidates[idx, 0] == 9.0
+
+    def test_levels_are_ordered(self, rng):
+        true_fn = lambda c, p: float(c[0])
+        candidates = rng.uniform(0, 100, size=(50, 1))
+        values = []
+        for level in (1, 5, 9):
+            sel = PseudoSurrogateSelector(true_fn, level=level)
+            idx = sel.select(candidates, ObservationWindow(2), 1.0, None, rng)
+            values.append(candidates[idx, 0])
+        assert values[0] < values[1] < values[2]
+
+
+class TestSurrogateSelector:
+    def test_min_observations_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateSelector(default_window_model_factory, min_observations=1)
+
+    def test_cold_start_random_without_baseline(self, rng):
+        sel = SurrogateSelector(default_window_model_factory, min_observations=3)
+        candidates = np.arange(10.0).reshape(-1, 1)
+        idx = sel.select(candidates, ObservationWindow(5), 1.0, None, rng)
+        assert 0 <= idx < 10
+
+    def test_model_guided_after_warmup(self, rng):
+        sel = SurrogateSelector(default_window_model_factory, min_observations=3)
+        window = filled_window(8)
+        candidates = np.array([[0.0], [2.0], [9.0]])
+        idx = sel.select(candidates, window, 100.0, None, rng)
+        assert candidates[idx, 0] == 2.0  # bowl minimum at x=2
+
+    def test_baseline_used_when_window_small(self, rng):
+        # Baseline over [emb(1), config(1), p] predicting perf = config value.
+        base = LinearRegression()
+        X = np.array([[0.0, c, 100.0] for c in range(10)], dtype=float)
+        base.fit(X, X[:, 1])
+        adapter = BaselineModelAdapter(base, embedding_dim=1)
+        sel = SurrogateSelector(
+            default_window_model_factory, baseline=adapter, min_observations=3
+        )
+        candidates = np.array([[7.0], [1.0], [4.0]])
+        idx = sel.select(candidates, ObservationWindow(5), 100.0, np.zeros(1), rng)
+        assert candidates[idx, 0] == 1.0
+
+
+class TestBaselineModelAdapter:
+    def test_embedding_shape_checked(self):
+        base = LinearRegression().fit(np.ones((3, 4)), np.ones(3))
+        adapter = BaselineModelAdapter(base, embedding_dim=2)
+        with pytest.raises(ValueError, match="embedding"):
+            adapter.predict(np.ones((2, 1)), 1.0, np.zeros(5))
+
+    def test_missing_embedding_defaults_to_zeros(self):
+        base = LinearRegression().fit(np.ones((3, 4)), np.ones(3))
+        adapter = BaselineModelAdapter(base, embedding_dim=2)
+        preds = adapter.predict(np.ones((2, 1)), 1.0, None)
+        assert preds.shape == (2,)
+
+
+def test_random_selector_uniform(rng):
+    sel = RandomSelector()
+    candidates = np.zeros((7, 1))
+    picks = {sel.select(candidates, ObservationWindow(2), 1.0, None, rng)
+             for _ in range(100)}
+    assert picks <= set(range(7))
+    assert len(picks) > 3

@@ -1,0 +1,81 @@
+"""Tests for the workload embedder (Sec. 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.embedding.embedder import WorkloadEmbedder
+from repro.embedding.virtual_ops import VirtualOperatorScheme
+from repro.sparksim.plan import OP_TYPES
+from repro.workloads.tpcds import tpcds_plan
+from repro.workloads.tpch import tpch_plan
+
+
+class TestDimensions:
+    def test_plain_dim(self):
+        emb = WorkloadEmbedder(use_virtual_operators=False)
+        assert emb.dim == 2 + len(OP_TYPES)
+
+    def test_virtual_dim(self):
+        scheme = VirtualOperatorScheme(input_thresholds=(1e4, 1e6),
+                                       ratio_thresholds=(0.1,))
+        emb = WorkloadEmbedder(scheme=scheme)
+        assert emb.dim == 2 + len(OP_TYPES) * 6
+
+    def test_feature_names_match_dim(self):
+        for emb in (WorkloadEmbedder(), WorkloadEmbedder(use_virtual_operators=False)):
+            assert len(emb.feature_names()) == emb.dim
+
+
+class TestEmbedding:
+    def test_deterministic(self, q3_plan):
+        emb = WorkloadEmbedder()
+        assert np.allclose(emb.embed(q3_plan), emb.embed(q3_plan))
+
+    def test_cardinality_components_logged(self, q3_plan):
+        emb = WorkloadEmbedder()
+        vec = emb.embed(q3_plan)
+        assert vec[0] == pytest.approx(math.log10(max(q3_plan.root_cardinality, 1.0)))
+        assert vec[1] == pytest.approx(math.log10(q3_plan.total_leaf_cardinality))
+
+    def test_operator_counts_sum(self, q3_plan):
+        emb = WorkloadEmbedder()
+        vec = emb.embed(q3_plan)
+        assert vec[2:].sum() == pytest.approx(len(q3_plan))
+
+    def test_plain_counts_match_plan(self, q3_plan):
+        emb = WorkloadEmbedder(use_virtual_operators=False)
+        vec = emb.embed(q3_plan)
+        counts = q3_plan.operator_counts()
+        for k, op_type in enumerate(OP_TYPES):
+            assert vec[2 + k] == counts.get(op_type, 0)
+
+    def test_virtual_distinguishes_scaled_plans(self):
+        """Scaling cardinalities moves operators between input buckets, so
+        the virtual embedding separates plans the plain one conflates."""
+        plain = WorkloadEmbedder(use_virtual_operators=False)
+        virtual = WorkloadEmbedder(use_virtual_operators=True)
+        small = tpch_plan(6, 0.01)
+        large = tpch_plan(6, 100.0)
+        # Plain operator counts are identical (same shape).
+        assert np.allclose(plain.embed(small)[2:], plain.embed(large)[2:])
+        # Virtual buckets differ.
+        assert not np.allclose(virtual.embed(small)[2:], virtual.embed(large)[2:])
+
+    def test_embed_many_stacks(self):
+        emb = WorkloadEmbedder()
+        plans = [tpcds_plan(q) for q in (1, 2, 3)]
+        matrix = emb.embed_many(plans)
+        assert matrix.shape == (3, emb.dim)
+
+    def test_different_queries_different_embeddings(self):
+        emb = WorkloadEmbedder()
+        a = emb.embed(tpcds_plan(10))
+        b = emb.embed(tpcds_plan(11))
+        assert not np.allclose(a, b)
+
+    def test_vector_length_stable_across_plans(self):
+        emb = WorkloadEmbedder()
+        lengths = {emb.embed(tpcds_plan(q)).shape for q in (1, 30, 60, 90)}
+        assert lengths == {(emb.dim,)}

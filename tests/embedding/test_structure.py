@@ -1,0 +1,120 @@
+"""Tests for structural plan features (future-work embedding direction)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.embedder import WorkloadEmbedder
+from repro.embedding.structure import STRUCTURE_FEATURE_NAMES, structural_features
+from repro.sparksim.plan import Operator, OpType, PhysicalPlan
+from repro.workloads.tpch import tpch_plan
+
+
+def chain(n_filters: int) -> PhysicalPlan:
+    ops = [Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1000,
+                    est_rows_out=1000)]
+    for i in range(1, n_filters + 1):
+        ops.append(Operator(op_id=i, op_type=OpType.FILTER, est_rows_in=1000,
+                            est_rows_out=1000, children=(i - 1,)))
+    return PhysicalPlan(ops)
+
+
+def bushy_join() -> PhysicalPlan:
+    """((A ⋈ B) ⋈ (C ⋈ D)) — a bushy join tree."""
+    ops = [
+        Operator(op_id=i, op_type=OpType.TABLE_SCAN, est_rows_in=1000,
+                 est_rows_out=1000)
+        for i in range(4)
+    ]
+    ops.append(Operator(op_id=4, op_type=OpType.JOIN, est_rows_in=2000,
+                        est_rows_out=500, children=(0, 1)))
+    ops.append(Operator(op_id=5, op_type=OpType.JOIN, est_rows_in=2000,
+                        est_rows_out=500, children=(2, 3)))
+    ops.append(Operator(op_id=6, op_type=OpType.JOIN, est_rows_in=1000,
+                        est_rows_out=100, children=(4, 5)))
+    return PhysicalPlan(ops)
+
+
+class TestStructuralFeatures:
+    def test_vector_length_matches_names(self):
+        vec = structural_features(tpch_plan(3))
+        assert vec.shape == (len(STRUCTURE_FEATURE_NAMES),)
+
+    def test_chain_depth(self):
+        features = dict(zip(STRUCTURE_FEATURE_NAMES, structural_features(chain(5))))
+        assert features["plan_depth"] == 5
+        assert features["max_fan_in"] == 1
+        assert features["leaf_count"] == 1
+        assert features["bushiness"] == 0.0
+
+    def test_single_node_plan(self):
+        plan = PhysicalPlan([
+            Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1,
+                     est_rows_out=1)
+        ])
+        features = dict(zip(STRUCTURE_FEATURE_NAMES, structural_features(plan)))
+        assert features["plan_depth"] == 0
+        assert features["n_operators"] == 1
+
+    def test_bushy_join_detected(self):
+        features = dict(zip(STRUCTURE_FEATURE_NAMES,
+                            structural_features(bushy_join())))
+        assert features["join_count"] == 3
+        # The top join has joins on both sides: not left-deep.
+        assert features["join_left_deep_fraction"] < 1.0
+        assert features["max_fan_in"] == 2
+        assert features["bushiness"] > 0.5
+
+    def test_left_deep_fraction_one_for_tpch(self):
+        # The generator builds left-deep join chains.
+        features = dict(zip(STRUCTURE_FEATURE_NAMES,
+                            structural_features(tpch_plan(5))))
+        assert features["join_left_deep_fraction"] == 1.0
+
+    def test_pipeline_breakers_counted(self):
+        features = dict(zip(STRUCTURE_FEATURE_NAMES,
+                            structural_features(tpch_plan(3))))
+        # q3 has joins + aggregate + sort — several breakers.
+        assert features["n_pipeline_breakers"] >= 3
+        assert features["longest_breaker_chain"] >= 2
+
+    def test_scale_invariant(self):
+        plan = tpch_plan(5, 1.0)
+        assert np.allclose(
+            structural_features(plan), structural_features(plan.scaled(100.0))
+        )
+
+
+class TestEmbedderIntegration:
+    def test_dim_grows_with_structure(self):
+        base = WorkloadEmbedder()
+        extended = WorkloadEmbedder(include_structure=True)
+        assert extended.dim == base.dim + len(STRUCTURE_FEATURE_NAMES)
+        assert len(extended.feature_names()) == extended.dim
+
+    def test_structure_suffix_matches_direct_computation(self):
+        plan = tpch_plan(3)
+        emb = WorkloadEmbedder(include_structure=True)
+        vec = emb.embed(plan)
+        assert np.allclose(vec[-len(STRUCTURE_FEATURE_NAMES):],
+                           structural_features(plan))
+
+    def test_structure_separates_same_counts(self):
+        """Two plans with identical operator multisets but different shapes
+        get different extended embeddings."""
+        left_deep = PhysicalPlan([
+            Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1000, est_rows_out=1000),
+            Operator(op_id=1, op_type=OpType.TABLE_SCAN, est_rows_in=1000, est_rows_out=1000),
+            Operator(op_id=2, op_type=OpType.TABLE_SCAN, est_rows_in=1000, est_rows_out=1000),
+            Operator(op_id=3, op_type=OpType.TABLE_SCAN, est_rows_in=1000, est_rows_out=1000),
+            Operator(op_id=4, op_type=OpType.JOIN, est_rows_in=2000, est_rows_out=500,
+                     children=(0, 1)),
+            Operator(op_id=5, op_type=OpType.JOIN, est_rows_in=1500, est_rows_out=500,
+                     children=(4, 2)),
+            Operator(op_id=6, op_type=OpType.JOIN, est_rows_in=1500, est_rows_out=100,
+                     children=(5, 3)),
+        ])
+        bushy = bushy_join()
+        plain = WorkloadEmbedder(use_virtual_operators=False)
+        extended = WorkloadEmbedder(use_virtual_operators=False, include_structure=True)
+        assert np.allclose(plain.embed(left_deep)[2:], plain.embed(bushy)[2:])
+        assert not np.allclose(extended.embed(left_deep), extended.embed(bushy))

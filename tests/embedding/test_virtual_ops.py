@@ -1,0 +1,70 @@
+"""Tests for the virtual-operator bucketing scheme (Fig. 4)."""
+
+import pytest
+
+from repro.embedding.virtual_ops import VirtualOperatorScheme
+from repro.sparksim.plan import Operator, OpType
+
+
+def make_filter(rows_in, rows_out, op_id=0):
+    return Operator(op_id=op_id, op_type=OpType.FILTER,
+                    est_rows_in=rows_in, est_rows_out=rows_out)
+
+
+class TestValidation:
+    def test_thresholds_must_ascend(self):
+        with pytest.raises(ValueError):
+            VirtualOperatorScheme(input_thresholds=(100.0, 10.0))
+        with pytest.raises(ValueError):
+            VirtualOperatorScheme(ratio_thresholds=(0.5, 0.1))
+
+    def test_thresholds_positive(self):
+        with pytest.raises(ValueError):
+            VirtualOperatorScheme(input_thresholds=(0.0, 10.0))
+
+
+class TestBucketing:
+    def test_bucket_counts(self):
+        scheme = VirtualOperatorScheme(input_thresholds=(1e3, 1e6),
+                                       ratio_thresholds=(0.1,))
+        assert scheme.n_input_buckets == 3
+        assert scheme.n_ratio_buckets == 2
+        assert scheme.buckets_per_type == 6
+
+    def test_input_bucket_boundaries(self):
+        scheme = VirtualOperatorScheme(input_thresholds=(100.0, 10_000.0))
+        assert scheme.input_bucket(50.0) == 0
+        assert scheme.input_bucket(100.0) == 1    # right-closed boundary
+        assert scheme.input_bucket(5000.0) == 1
+        assert scheme.input_bucket(1e9) == 2
+
+    def test_ratio_bucket_selectivity(self):
+        scheme = VirtualOperatorScheme(ratio_thresholds=(0.01, 0.5))
+        assert scheme.ratio_bucket(1000.0, 1.0) == 0      # highly selective
+        assert scheme.ratio_bucket(1000.0, 100.0) == 1
+        assert scheme.ratio_bucket(1000.0, 900.0) == 2    # pass-through
+
+    def test_zero_input_rows_treated_as_passthrough(self):
+        scheme = VirtualOperatorScheme(ratio_thresholds=(0.5,))
+        assert scheme.ratio_bucket(0.0, 0.0) == 1
+
+    def test_fig4_example_shared_and_distinct_buckets(self):
+        """Two filters with small outputs share a virtual type; a
+        pass-through filter lands in a different one (the paper's Fig. 4)."""
+        scheme = VirtualOperatorScheme(input_thresholds=(1e4,),
+                                       ratio_thresholds=(0.1,))
+        f1 = make_filter(5_000, 100)      # selective, small input
+        f2 = make_filter(8_000, 300)      # selective, small input
+        f3 = make_filter(5_000, 4_900)    # pass-through
+        assert scheme.virtual_index(f1) == scheme.virtual_index(f2)
+        assert scheme.virtual_index(f1) != scheme.virtual_index(f3)
+
+    def test_virtual_index_in_range(self):
+        scheme = VirtualOperatorScheme()
+        op = make_filter(1e7, 1e5)
+        assert 0 <= scheme.virtual_index(op) < scheme.buckets_per_type
+
+    def test_virtual_type_human_readable(self):
+        scheme = VirtualOperatorScheme()
+        label = scheme.virtual_type(make_filter(100.0, 1.0))
+        assert label.startswith("Filter[in=")

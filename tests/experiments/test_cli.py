@@ -1,0 +1,24 @@
+"""Tests for the experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_runs_named_experiment(capsys):
+    assert main(["fig08"]) == 0
+    out = capsys.readouterr().out
+    assert "fig08_synthetic_function" in out
+    assert "took" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_multiple_experiments(capsys):
+    assert main(["fig08", "fig01"]) == 0
+    out = capsys.readouterr().out
+    assert "fig08_synthetic_function" in out
+    assert "fig01_shuffle_partitions" in out

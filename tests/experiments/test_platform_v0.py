@@ -1,0 +1,62 @@
+"""Tests for the V0 pre-recorded evaluation platform."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.platform_v0 import build_v0_platform, platform_training_table
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_v0_platform([1, 2, 3], n_configs=15, scale_factor=10.0, seed=0)
+
+
+class TestBuild:
+    def test_invalid_benchmark(self):
+        with pytest.raises(ValueError):
+            build_v0_platform([1], benchmark="tpcz")
+
+    def test_tables_complete(self, platform):
+        assert set(platform) == {1, 2, 3}
+        for q in platform.values():
+            assert q.configs.shape == (15, 3)
+            assert q.times.shape == (15,)
+            assert np.all(q.times > 0)
+            assert q.default_time > 0
+            assert q.best_time <= q.times.min() + 1e-12
+
+    def test_cached_evaluate(self, platform):
+        q = platform[1]
+        assert q.evaluate(4) == q.times[4]
+
+    def test_recording_noise_only_inflates(self):
+        clean = build_v0_platform([1], n_configs=10, scale_factor=10.0, seed=0)
+        noisy = build_v0_platform(
+            [1], n_configs=10, scale_factor=10.0, seed=0,
+            recording_noise=NoiseModel(fluctuation_level=0.2, spike_level=0.2),
+        )
+        assert np.all(noisy[1].times >= clean[1].times - 1e-9)
+
+
+class TestTrainingTable:
+    def test_row_count(self, platform):
+        table = platform_training_table(platform, query_level_space())
+        assert len(table) == 3 * 15
+
+    def test_exclude_target(self, platform):
+        target_sig = platform[2].plan.signature()
+        table = platform_training_table(platform, query_level_space(), exclude=2)
+        assert len(table) == 2 * 15
+        assert target_sig not in table.signatures
+
+    def test_feature_layout(self, platform):
+        table = platform_training_table(platform, query_level_space())
+        q = platform[1]
+        assert table.embedding_dim == len(q.embedding)
+        assert table.feature_dim == len(q.embedding) + 3 + 1
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            platform_training_table({}, query_level_space())

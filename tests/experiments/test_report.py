@@ -1,0 +1,94 @@
+"""Tests for text rendering of experiment results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    downsample_indices,
+    format_bands,
+    format_series_table,
+    render_result,
+)
+from repro.experiments.runner import ConvergenceBands, ExperimentResult
+
+
+class TestDownsample:
+    def test_includes_endpoints(self):
+        idx = downsample_indices(100, 10)
+        assert idx[0] == 0
+        assert idx[-1] == 99
+
+    def test_short_input_passthrough(self):
+        assert downsample_indices(5, 10).tolist() == [0, 1, 2, 3, 4]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            downsample_indices(0, 5)
+
+
+class TestFormatting:
+    def test_series_table_contains_labels(self):
+        table = format_series_table([0, 1, 2], {"metric": [1.0, 2.0, 3.0]})
+        assert "metric" in table
+        assert "iteration" in table
+
+    def test_bands_table(self, rng):
+        bands = {"algo": ConvergenceBands(rng.normal(10, 1, size=(20, 30)))}
+        out = format_bands(bands, max_rows=5)
+        assert "algo" in out
+        assert "[" in out and "]" in out
+
+    def test_bands_empty(self):
+        assert format_bands({}) == "(no series)"
+
+    def test_render_result_full(self, rng):
+        result = ExperimentResult(
+            name="demo",
+            description="a demo",
+            series={
+                "bands": ConvergenceBands(rng.normal(size=(5, 8))),
+                "raw": np.arange(8.0),
+            },
+            scalars={"final": 1.23},
+            notes=["check the shape"],
+        )
+        out = render_result(result)
+        assert "== demo ==" in out
+        assert "final" in out
+        assert "note: check the shape" in out
+
+    def test_render_result_mixed_lengths(self):
+        result = ExperimentResult(
+            name="demo", description="d",
+            series={"a": np.arange(3.0), "b": np.arange(5.0)},
+        )
+        out = render_result(result)
+        assert "a:" in out and "b:" in out
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self, rng):
+        import json
+
+        from repro.experiments.report import result_to_json
+
+        result = ExperimentResult(
+            name="demo", description="d",
+            series={
+                "bands": ConvergenceBands(rng.normal(size=(6, 120))),
+                "raw": np.arange(200.0),
+            },
+            scalars={"x": 1.5},
+            notes=["n"],
+        )
+        payload = json.loads(result_to_json(result, max_points=20))
+        assert payload["name"] == "demo"
+        assert payload["scalars"]["x"] == 1.5
+        bands = payload["series"]["bands"]
+        assert bands["kind"] == "bands"
+        assert len(bands["median"]) <= 21
+        assert bands["n_runs"] == 6
+        raw = payload["series"]["raw"]
+        assert raw["kind"] == "array"
+        assert len(raw["values"]) <= 21
+        assert raw["values"][0] == 0.0 and raw["values"][-1] == 199.0

@@ -1,0 +1,131 @@
+"""End-to-end integration: offline phase → baseline → online tuning → service.
+
+Mirrors the full Fig.-5 / Fig.-7 loop on the simulator substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.app_level import AppCache
+from repro.core.centroid import CentroidLearning, default_window_model_factory
+from repro.core.selectors import BaselineModelAdapter, SurrogateSelector
+from repro.core.session import TuningSession
+from repro.embedding.embedder import WorkloadEmbedder
+from repro.offline.baseline import BaselineModelTrainer
+from repro.offline.etl import build_training_table
+from repro.offline.flighting import FlightingConfig, FlightingPipeline
+from repro.service.auth import SasTokenIssuer
+from repro.service.backend import AutotuneBackend
+from repro.service.client import AutotuneClient
+from repro.service.dashboard import MonitoringDashboard
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import app_level_space, full_space, query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import NoiseModel, low_noise
+from repro.workloads.tpch import tpch_plan
+
+
+@pytest.mark.integration
+def test_offline_to_online_warm_start_pipeline():
+    """Flight TPC-DS → ETL → baseline model → warm-started CL on TPC-H."""
+    space = query_level_space()
+    embedder = WorkloadEmbedder()
+    flight = FlightingPipeline(
+        FlightingConfig(benchmark="tpcds", query_ids=[1, 2, 3, 4],
+                        scale_factors=[1.0], n_configs=6, seed=0),
+        space=space, embedder=embedder,
+    )
+    events = flight.execute()
+    table = build_training_table(events, space)
+    assert table.embedding_dim == embedder.dim
+
+    baseline = BaselineModelTrainer().train(table)
+    adapter = BaselineModelAdapter(baseline, embedder.dim)
+    selector = SurrogateSelector(
+        default_window_model_factory, baseline=adapter, min_observations=4
+    )
+    optimizer = CentroidLearning(space, selector=selector, seed=0)
+    session = TuningSession(
+        tpch_plan(3, 1.0),
+        SparkSimulator(noise=low_noise(), seed=1),
+        optimizer,
+        embedder=embedder,
+    )
+    trace = session.run(20)
+    assert trace.best_true_so_far()[-1] <= trace.true[0]
+
+
+@pytest.mark.integration
+def test_full_service_loop_with_dashboard(tmp_path):
+    """Client/backend loop for two recurrent apps + dashboard analysis."""
+    qspace = query_level_space()
+    backend = AutotuneBackend(
+        storage=StorageManager(tmp_path),
+        issuer=SasTokenIssuer("secret"),
+        query_space=qspace,
+        app_space=app_level_space(),
+        full_space=full_space(),
+        app_cache=AppCache(),
+    )
+    plan = tpch_plan(10, 1.0)
+    sim = SparkSimulator(noise=NoiseModel(0.2, 0.3), seed=3)
+
+    # Two consecutive runs of the same recurrent artifact.
+    for run_idx in range(2):
+        app_id = f"app-{run_idx}"
+        client = AutotuneClient(
+            backend, app_id, "notebook-7", "customer-1", qspace, seed=run_idx
+        )
+        app_config = client.app_level_config() or app_level_space().default_dict()
+        for t in range(6):
+            config = client.suggest_config(plan)
+            event = sim.run_to_event(
+                plan, {**app_config, **config}, app_id=app_id,
+                artifact_id="notebook-7", user_id="customer-1", iteration=t,
+                embedding=client.embedder.embed(plan),
+            )
+            client.on_query_end(event)
+            client.flush_events()
+        client.finish_app(app_config=app_config)
+
+    assert not backend.hub.failures
+    assert backend.models_trained > 0
+    assert "notebook-7" in backend.app_cache
+
+    # Second run started from the pre-computed app cache.
+    grant = backend.register_job("app-2", "notebook-7", "customer-1")
+    assert grant.app_config is not None
+
+    # Posterior analysis over everything the artifact produced.
+    dash = MonitoringDashboard(window=3)
+    dash.ingest_many(backend.storage.read_artifact_events("notebook-7"))
+    summary = dash.summary(plan.signature())
+    assert summary.iterations == 12
+    assert summary.mean_data_size > 0
+
+
+@pytest.mark.integration
+def test_gdpr_cleanup_preserves_models(tmp_path):
+    clock = {"now": 0.0}
+    storage = StorageManager(tmp_path, clock=lambda: clock["now"])
+    backend = AutotuneBackend(
+        storage=storage, issuer=SasTokenIssuer("s", clock=lambda: clock["now"]),
+        query_space=query_level_space(), min_events_for_model=2,
+    )
+    client = AutotuneClient(backend, "app-1", "art-1", "u1", query_level_space())
+    plan = tpch_plan(6, 1.0)
+    sim = SparkSimulator(noise=low_noise(), seed=0)
+    for t in range(3):
+        config = client.suggest_config(plan)
+        client.on_query_end(sim.run_to_event(
+            plan, config, app_id="app-1", artifact_id="art-1", user_id="u1",
+            iteration=t, embedding=client.embedder.embed(plan),
+        ))
+        client.flush_events()
+    assert backend.models_trained > 0
+
+    clock["now"] = 1e7
+    removed = storage.cleanup(ttl_seconds=3600.0)
+    assert removed                                      # event files purged
+    assert storage.read_app_events("app-1") == []
+    assert storage.read_model("u1", plan.signature()) is not None  # model kept

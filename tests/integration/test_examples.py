@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples double as living documentation of the public API; they run via
+their ``main()`` so import errors, API drift, and broken output formatting
+all fail loudly here.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.integration
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "dynamic_workload",
+    "app_level_tuning",
+    "end_to_end_service",
+    "streaming_tuning",
+    "posterior_analysis",
+])
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+@pytest.mark.integration
+def test_quickstart_reports_speedup(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "speed-up vs default" in out
+
+
+@pytest.mark.integration
+def test_dynamic_workload_guardrail_fires(capsys):
+    load_example("dynamic_workload").main()
+    out = capsys.readouterr().out
+    assert "guardrail disabled autotuning" in out
+    assert "default configuration: True" in out

@@ -1,0 +1,126 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin down invariants the whole system leans on: the cost model's
+monotonicity and determinism over arbitrary generated workloads, and the
+Centroid Learning loop's safety properties under arbitrary observation
+streams.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.centroid import CentroidLearning
+from repro.core.observation import Observation
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import NoiseModel, no_noise
+from repro.workloads.generator import QuerySpec, build_plan
+from repro.workloads.tables import TPCH_TABLES
+
+_SPACE = query_level_space()
+_SIM = SparkSimulator(noise=no_noise(), seed=0)
+
+
+@st.composite
+def query_specs(draw):
+    """Random but valid QuerySpecs over the TPC-H catalog."""
+    tables = list(TPCH_TABLES.values())
+    fact = tables[draw(st.integers(0, len(tables) - 1))]
+    n_dims = draw(st.integers(0, 3))
+    dims = tuple(
+        tables[draw(st.integers(0, len(tables) - 1))] for _ in range(n_dims)
+    )
+    return QuerySpec(
+        name="prop_query",
+        fact=fact,
+        dimensions=dims,
+        fact_selectivity=draw(st.floats(0.01, 1.0)),
+        dim_selectivities=tuple(
+            draw(st.floats(0.01, 1.0)) for _ in range(n_dims)
+        ),
+        agg_reduction=draw(st.floats(0.0, 0.5)),
+        has_sort=draw(st.booleans()),
+        has_window=draw(st.booleans()),
+        has_limit=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=query_specs(), seed=st.integers(0, 100))
+def test_cost_model_positive_and_deterministic(spec, seed):
+    plan = build_plan(spec, scale_factor=1.0)
+    config = _SPACE.to_dict(_SPACE.sample_vector(np.random.default_rng(seed)))
+    t1 = _SIM.true_time(plan, config)
+    t2 = _SIM.true_time(plan, config)
+    assert t1 > 0
+    assert t1 == t2
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=query_specs(), factor=st.floats(8.0, 50.0))
+def test_cost_model_monotone_in_data_scale(spec, factor):
+    """Much more data is never faster.
+
+    Small scale-ups can legitimately *reduce* time (an extra scan partition
+    unlocks idle cores — real Spark behaves the same way), so the property
+    is asserted for large factors where the quantization effects wash out.
+    """
+    plan = build_plan(spec, scale_factor=1.0)
+    config = _SPACE.default_dict()
+    assert _SIM.true_time(plan, config, data_scale=factor) > _SIM.true_time(
+        plan, config, data_scale=1.0
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=query_specs())
+def test_generated_plans_are_valid_dags(spec):
+    plan = build_plan(spec, scale_factor=1.0)
+    assert plan.root_cardinality >= 1
+    assert plan.total_leaf_cardinality >= 1
+    # Topological order: every child precedes its parent.
+    order = {op.op_id: i for i, op in enumerate(plan.operators)}
+    for op in plan.operators:
+        for child in op.children:
+            assert order[child] < order[op.op_id]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    perfs=st.lists(st.floats(0.01, 1e4), min_size=6, max_size=25),
+    sizes=st.lists(st.floats(1.0, 1e6), min_size=6, max_size=25),
+    seed=st.integers(0, 1000),
+)
+def test_centroid_stays_in_bounds_under_arbitrary_observations(perfs, sizes, seed):
+    """Whatever performance stream arrives — adversarial included — the
+    centroid and every suggestion remain inside the configuration space."""
+    cl = CentroidLearning(_SPACE, seed=seed)
+    n = min(len(perfs), len(sizes))
+    for t in range(n):
+        vector = cl.suggest(data_size=sizes[t])
+        assert _SPACE.contains_vector(vector)
+        cl.observe(Observation(
+            config=vector, data_size=sizes[t], performance=perfs[t], iteration=t
+        ))
+        assert _SPACE.contains_vector(cl.centroid)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    fl=st.floats(0.0, 1.5),
+    sl=st.floats(0.0, 2.0),
+    seed=st.integers(0, 1000),
+)
+def test_simulator_noise_never_speeds_up_runs(fl, sl, seed):
+    sim = SparkSimulator(
+        noise=NoiseModel(fluctuation_level=fl, spike_level=sl), seed=seed
+    )
+    from repro.workloads.tpch import tpch_plan
+
+    plan = tpch_plan(6, 1.0)
+    config = _SPACE.default_dict()
+    for _ in range(5):
+        result = sim.run(plan, config)
+        assert result.elapsed_seconds >= result.true_seconds - 1e-9

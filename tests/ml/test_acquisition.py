@@ -1,0 +1,89 @@
+"""Tests for acquisition functions (minimization convention)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    MeanMinimizer,
+    ProbabilityOfImprovement,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+
+
+class TestExpectedImprovement:
+    def test_nonnegative(self, rng):
+        mean = rng.uniform(0, 10, 20)
+        std = rng.uniform(0.1, 2, 20)
+        assert np.all(expected_improvement(mean, std, best=5.0) >= 0)
+
+    def test_prefers_lower_mean(self):
+        ei = expected_improvement(np.array([1.0, 9.0]), np.array([1.0, 1.0]), best=5.0)
+        assert ei[0] > ei[1]
+
+    def test_prefers_higher_std_at_equal_mean(self):
+        ei = expected_improvement(np.array([5.0, 5.0]), np.array([0.1, 3.0]), best=5.0)
+        assert ei[1] > ei[0]
+
+    def test_zero_when_far_above_best_with_tiny_std(self):
+        ei = expected_improvement(np.array([100.0]), np.array([1e-9]), best=5.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_approaches_gap_when_certain(self):
+        ei = expected_improvement(np.array([2.0]), np.array([1e-9]), best=5.0)
+        assert ei[0] == pytest.approx(3.0)
+
+    def test_xi_reduces_scores(self):
+        mean = np.array([4.0])
+        std = np.array([1.0])
+        assert (ExpectedImprovement(xi=1.0)(mean, std, 5.0)
+                < ExpectedImprovement(xi=0.0)(mean, std, 5.0))
+
+
+class TestProbabilityOfImprovement:
+    def test_bounded_01(self, rng):
+        pi = probability_of_improvement(rng.uniform(0, 10, 50), rng.uniform(0.1, 2, 50), 5.0)
+        assert np.all(pi >= 0) and np.all(pi <= 1)
+
+    def test_half_at_best(self):
+        pi = probability_of_improvement(np.array([5.0]), np.array([1.0]), best=5.0)
+        assert pi[0] == pytest.approx(0.5)
+
+    def test_class_wrapper(self):
+        scores = ProbabilityOfImprovement()(np.array([1.0, 9.0]), np.array([1.0, 1.0]), 5.0)
+        assert scores[0] > scores[1]
+
+
+class TestLCB:
+    def test_exploration_bonus(self):
+        scores = lower_confidence_bound(np.array([5.0, 5.0]), np.array([0.1, 2.0]), kappa=2.0)
+        assert scores[1] > scores[0]
+
+    def test_kappa_zero_is_pure_exploitation(self):
+        mean = np.array([3.0, 1.0])
+        scores = LowerConfidenceBound(kappa=0.0)(mean, np.ones(2), 0.0)
+        assert np.allclose(scores, -mean)
+
+
+class TestMeanMinimizer:
+    def test_ignores_std(self):
+        mean = np.array([3.0, 1.0, 2.0])
+        scores = MeanMinimizer()(mean, np.array([10.0, 0.0, 5.0]), 0.0)
+        assert int(np.argmax(scores)) == 1
+
+
+@given(
+    best=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    mean=st.floats(min_value=-10, max_value=10, allow_nan=False),
+    std=st.floats(min_value=1e-6, max_value=5.0, allow_nan=False),
+)
+def test_ei_monotone_in_best_property(best, mean, std):
+    """A looser incumbent (higher best time) can only increase EI."""
+    ei_tight = expected_improvement(np.array([mean]), np.array([std]), best)
+    ei_loose = expected_improvement(np.array([mean]), np.array([std]), best + 1.0)
+    assert ei_loose[0] >= ei_tight[0] - 1e-12

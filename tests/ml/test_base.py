@@ -1,0 +1,59 @@
+"""Tests for the ML base validation helpers and protocols."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import ProbabilisticRegressor, Regressor, check_X, check_X_y
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import LinearRegression
+
+
+class TestCheckX:
+    def test_1d_promoted_to_row(self):
+        X = check_X(np.array([1.0, 2.0, 3.0]))
+        assert X.shape == (1, 3)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_X(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X(np.array([[1.0, np.nan]]))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            check_X(np.array([[np.inf]]))
+
+    def test_list_coerced(self):
+        X = check_X([[1, 2], [3, 4]])
+        assert X.dtype == float
+
+
+class TestCheckXY:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_X_y(np.ones((3, 2)), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_X_y(np.empty((0, 2)), np.empty(0))
+
+    def test_y_flattened(self):
+        _, y = check_X_y(np.ones((3, 1)), np.ones((3, 1)))
+        assert y.shape == (3,)
+
+    def test_nan_target_rejected(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((2, 1)), np.array([1.0, np.nan]))
+
+
+class TestProtocols:
+    def test_linear_satisfies_regressor(self):
+        assert isinstance(LinearRegression(), Regressor)
+
+    def test_forest_satisfies_probabilistic(self):
+        assert isinstance(RandomForestRegressor(), ProbabilisticRegressor)
+
+    def test_linear_is_not_probabilistic(self):
+        assert not isinstance(LinearRegression(), ProbabilisticRegressor)

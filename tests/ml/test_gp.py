@@ -1,0 +1,85 @@
+"""Tests for Gaussian process regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import RBFKernel
+
+
+@pytest.fixture
+def sine_data(rng):
+    X = np.linspace(0, 2 * np.pi, 25).reshape(-1, 1)
+    y = np.sin(X.ravel())
+    return X, y
+
+
+class TestGPFit:
+    def test_interpolates_noiseless_data(self, sine_data):
+        X, y = sine_data
+        gp = GaussianProcessRegressor(noise=1e-6, optimize_hypers=False,
+                                      kernel=RBFKernel(length_scale=1.0))
+        gp.fit(X, y)
+        assert np.allclose(gp.predict(X), y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self, sine_data):
+        X, y = sine_data
+        gp = GaussianProcessRegressor(optimize_hypers=False,
+                                      kernel=RBFKernel(length_scale=1.0))
+        gp.fit(X, y)
+        _, std_at = gp.predict_with_std(X[:1])
+        _, std_far = gp.predict_with_std(np.array([[30.0]]))
+        assert std_far[0] > std_at[0]
+
+    def test_hyperopt_improves_fit(self, rng):
+        X = rng.uniform(0, 10, size=(40, 1))
+        y = np.sin(X.ravel() * 3.0)  # needs a short length scale
+        bad = GaussianProcessRegressor(
+            kernel=RBFKernel(length_scale=5.0), optimize_hypers=False, noise=1e-4
+        ).fit(X, y)
+        tuned = GaussianProcessRegressor(
+            kernel=RBFKernel(length_scale=5.0), optimize_hypers=True, n_restarts=1,
+            seed=0,
+        ).fit(X, y)
+        grid = np.linspace(0, 10, 50).reshape(-1, 1)
+        truth = np.sin(grid.ravel() * 3.0)
+        err_bad = np.mean((bad.predict(grid) - truth) ** 2)
+        err_tuned = np.mean((tuned.predict(grid) - truth) ** 2)
+        assert err_tuned < err_bad
+
+    def test_y_normalization_handles_large_targets(self, rng):
+        X = rng.uniform(size=(20, 2))
+        y = 1e6 + 1e4 * rng.uniform(size=20)
+        gp = GaussianProcessRegressor(optimize_hypers=False).fit(X, y)
+        mean = gp.predict(X)
+        assert np.all(mean > 5e5)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.ones((1, 2)))
+
+    def test_std_positive(self, sine_data):
+        X, y = sine_data
+        gp = GaussianProcessRegressor(optimize_hypers=False).fit(X, y)
+        _, std = gp.predict_with_std(np.linspace(-5, 15, 30).reshape(-1, 1))
+        assert np.all(std > 0)
+
+    def test_isotropic_kernel_expanded_to_ard(self, rng):
+        X = rng.uniform(size=(10, 4))
+        y = rng.uniform(size=10)
+        gp = GaussianProcessRegressor(kernel=RBFKernel(length_scale=1.0),
+                                      optimize_hypers=False).fit(X, y)
+        assert gp.kernel.length_scale.size == 4
+
+    def test_posterior_samples_shape_and_spread(self, sine_data, rng):
+        X, y = sine_data
+        gp = GaussianProcessRegressor(optimize_hypers=False).fit(X, y)
+        grid = np.linspace(0, 2 * np.pi, 10).reshape(-1, 1)
+        samples = gp.sample_posterior(grid, n_samples=20, rng=rng)
+        assert samples.shape == (20, 10)
+        mean, _ = gp.predict_with_std(grid)
+        assert np.allclose(samples.mean(axis=0), mean, atol=0.5)
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(noise=0.0)

@@ -1,0 +1,84 @@
+"""Tests for covariance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import Matern52Kernel, RBFKernel, cdist_sq
+
+
+@pytest.fixture(params=[RBFKernel, Matern52Kernel])
+def kernel_cls(request):
+    return request.param
+
+
+def test_cdist_sq_matches_direct(rng):
+    A = rng.uniform(size=(5, 3))
+    B = rng.uniform(size=(7, 3))
+    ls = np.array([1.0, 2.0, 0.5])
+    d2 = cdist_sq(A, B, ls)
+    direct = np.array([
+        [np.sum(((a - b) / ls) ** 2) for b in B] for a in A
+    ])
+    assert np.allclose(d2, direct)
+
+
+class TestKernelProperties:
+    def test_diagonal_equals_variance(self, kernel_cls, rng):
+        k = kernel_cls(length_scale=1.5, variance=2.5)
+        X = rng.uniform(size=(6, 2))
+        K = k(X, X)
+        assert np.allclose(np.diag(K), 2.5)
+        assert np.allclose(k.diag(X), 2.5)
+
+    def test_symmetry(self, kernel_cls, rng):
+        k = kernel_cls()
+        X = rng.uniform(size=(8, 3))
+        K = k(X, X)
+        assert np.allclose(K, K.T)
+
+    def test_positive_semidefinite(self, kernel_cls, rng):
+        k = kernel_cls()
+        X = rng.uniform(size=(10, 2))
+        K = k(X, X)
+        eigvals = np.linalg.eigvalsh(K)
+        assert np.all(eigvals > -1e-8)
+
+    def test_decay_with_distance(self, kernel_cls):
+        k = kernel_cls(length_scale=1.0)
+        x0 = np.zeros((1, 1))
+        near = k(x0, np.array([[0.1]]))[0, 0]
+        far = k(x0, np.array([[5.0]]))[0, 0]
+        assert near > far
+
+    def test_ard_length_scales(self, kernel_cls):
+        # Huge length scale on dim 1 makes it irrelevant.
+        k = kernel_cls(length_scale=np.array([1.0, 1e6]))
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[0.0, 100.0]])
+        assert k(a, b)[0, 0] == pytest.approx(k.variance, rel=1e-4)
+
+    def test_theta_roundtrip(self, kernel_cls):
+        k = kernel_cls(length_scale=np.array([0.5, 2.0]), variance=3.0)
+        theta = k.get_theta()
+        k2 = kernel_cls(length_scale=np.ones(2))
+        k2.set_theta(theta)
+        assert np.allclose(k2.length_scale, k.length_scale)
+        assert k2.variance == pytest.approx(k.variance)
+
+    def test_invalid_params(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(length_scale=-1.0)
+        with pytest.raises(ValueError):
+            kernel_cls(variance=0.0)
+
+    def test_length_scale_dim_mismatch(self, kernel_cls, rng):
+        k = kernel_cls(length_scale=np.ones(3))
+        X = rng.uniform(size=(4, 2))
+        with pytest.raises(ValueError, match="dimensions"):
+            k(X, X)
+
+    def test_clone_independent(self, kernel_cls):
+        k = kernel_cls(length_scale=2.0, variance=1.0)
+        c = k.clone()
+        c.set_theta(np.log([9.0, 9.0]))
+        assert k.variance == pytest.approx(1.0)

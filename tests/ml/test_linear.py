@@ -1,0 +1,113 @@
+"""Tests for OLS / ridge / polynomial features."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.linear import LinearRegression, PolynomialFeatures, RidgeRegression
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.uniform(-5, 5, size=(60, 3))
+    y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+    return X, y
+
+
+class TestLinearRegression:
+    def test_exact_recovery(self, linear_data):
+        X, y = linear_data
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0)
+        assert np.allclose(model.predict(X), y)
+
+    def test_no_intercept(self, linear_data):
+        X, y = linear_data
+        model = LinearRegression(fit_intercept=False).fit(X, y - 3.0)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-8)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.ones((2, 3)))
+
+    def test_rank_deficient_does_not_crash(self, rng):
+        X = np.ones((10, 3))  # constant columns
+        y = rng.uniform(size=10)
+        model = LinearRegression().fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.ones((3, 2)), np.ones(4))
+
+
+class TestRidgeRegression:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_zero_alpha_matches_ols(self, linear_data):
+        X, y = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+    def test_shrinkage_monotone(self, linear_data):
+        X, y = linear_data
+        norms = [
+            np.linalg.norm(RidgeRegression(alpha=a).fit(X, y).coef_)
+            for a in (0.0, 10.0, 1000.0)
+        ]
+        assert norms[0] >= norms[1] >= norms[2]
+
+    def test_intercept_unpenalized(self, rng):
+        # Pure-intercept data: huge alpha must not shrink the mean.
+        X = rng.uniform(-1, 1, size=(50, 2))
+        y = np.full(50, 42.0)
+        model = RidgeRegression(alpha=1e6).fit(X, y)
+        assert model.predict(X).mean() == pytest.approx(42.0, rel=1e-3)
+
+
+class TestPolynomialFeatures:
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(degree=3)
+
+    def test_degree1_identity(self, rng):
+        X = rng.uniform(size=(5, 3))
+        assert np.allclose(PolynomialFeatures(degree=1).fit_transform(X), X)
+
+    def test_degree2_column_count(self, rng):
+        X = rng.uniform(size=(5, 3))
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        assert out.shape == (5, 3 + 6)  # originals + upper triangle incl. squares
+
+    def test_interaction_only(self, rng):
+        X = rng.uniform(size=(5, 3))
+        out = PolynomialFeatures(degree=2, interaction_only=True).fit_transform(X)
+        assert out.shape == (5, 3 + 3)  # no squared terms
+
+    def test_values_correct(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        assert out.tolist() == [[2.0, 3.0, 4.0, 6.0, 9.0]]
+
+
+@given(
+    coef=st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                  min_size=2, max_size=2),
+    intercept=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+def test_ols_recovers_any_linear_function_property(coef, intercept):
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-3, 3, size=(30, 2))
+    y = X @ np.array(coef) + intercept
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.predict(X), y, atol=1e-6)

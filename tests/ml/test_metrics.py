@@ -1,0 +1,80 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import mae, mape, quantile_band, r2_score, rmse, spearman_rho
+
+
+class TestBasicMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+        assert mae(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+        assert mape(y, y) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_mae_known_value(self):
+        assert mae([0.0, 0.0], [3.0, 4.0]) == pytest.approx(3.5)
+
+    def test_r2_mean_predictor_is_zero(self, rng):
+        y = rng.uniform(size=30)
+        assert r2_score(y, np.full(30, y.mean())) == pytest.approx(0.0, abs=1e-12)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(y, y ** 3) == pytest.approx(1.0)
+
+    def test_reversed(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(y, -y) == pytest.approx(-1.0)
+
+    def test_constant_gives_zero(self):
+        assert spearman_rho([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_single_point(self):
+        assert spearman_rho([1.0], [1.0]) == 0.0
+
+
+class TestQuantileBand:
+    def test_band_ordering(self, rng):
+        samples = rng.normal(size=(200, 10))
+        med, lo, hi = quantile_band(samples)
+        assert np.all(lo <= med)
+        assert np.all(med <= hi)
+
+    def test_custom_percentiles(self, rng):
+        samples = rng.normal(size=(500, 4))
+        _, lo5, hi95 = quantile_band(samples, 5, 95)
+        _, lo25, hi75 = quantile_band(samples, 25, 75)
+        assert np.all(lo5 <= lo25)
+        assert np.all(hi75 <= hi95)
+
+
+@given(
+    ys=st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=2, max_size=20)
+)
+def test_rmse_at_least_mae_property(ys):
+    y = np.array(ys)
+    pred = np.zeros_like(y)
+    assert rmse(y, pred) >= mae(y, pred) - 1e-12

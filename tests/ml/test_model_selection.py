@@ -1,0 +1,73 @@
+"""Tests for train/test splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+from repro.ml.model_selection import KFold, cross_val_score, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X = rng.uniform(size=(40, 2))
+        y = rng.uniform(size=40)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.25, rng=rng)
+        assert len(X_te) == 10
+        assert len(X_tr) == 30
+        assert len(y_tr) == 30 and len(y_te) == 10
+
+    def test_partition_is_disjoint_and_complete(self, rng):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = X.ravel()
+        X_tr, X_te, *_ = train_test_split(X, y, 0.3, rng)
+        combined = sorted(X_tr.ravel().tolist() + X_te.ravel().tolist())
+        assert combined == list(range(20))
+
+    def test_invalid_fraction(self, rng):
+        X = np.ones((5, 1))
+        with pytest.raises(ValueError):
+            train_test_split(X, np.ones(5), test_fraction=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            train_test_split(X, np.ones(5), test_fraction=1.0, rng=rng)
+
+
+class TestKFold:
+    def test_n_splits_validation(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_folds_cover_everything_once(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for train_idx, test_idx in kf.split(22):
+            assert set(train_idx) & set(test_idx) == set()
+            assert len(train_idx) + len(test_idx) == 22
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(22))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_no_shuffle_is_contiguous(self):
+        kf = KFold(n_splits=2, shuffle=False)
+        (train1, test1), _ = list(kf.split(10))
+        assert test1.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestCrossValScore:
+    def test_linear_model_near_zero_error(self, rng):
+        X = rng.uniform(size=(50, 2))
+        y = X @ np.array([1.0, 2.0]) + 1.0
+        scores = cross_val_score(LinearRegression, X, y, n_splits=5, seed=0)
+        assert len(scores) == 5
+        assert max(scores) < 1e-6
+
+    def test_custom_metric(self, rng):
+        X = rng.uniform(size=(30, 1))
+        y = X.ravel()
+        scores = cross_val_score(
+            LinearRegression, X, y, n_splits=3,
+            metric=lambda a, b: float(len(a)), seed=0,
+        )
+        assert sum(scores) == 30.0

@@ -1,0 +1,80 @@
+"""Tests for the Theil–Sen robust regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression
+from repro.ml.robust import TheilSenRegressor
+
+
+class TestTheilSen:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TheilSenRegressor(n_iterations=0)
+        with pytest.raises(ValueError):
+            TheilSenRegressor().fit(np.ones((1, 1)), np.ones(1))
+
+    def test_exact_on_clean_line(self, rng):
+        X = rng.uniform(-5, 5, size=(30, 1))
+        y = 2.0 * X.ravel() + 3.0
+        model = TheilSenRegressor().fit(X, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=1e-9)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-9)
+
+    def test_two_features_backfitting(self, rng):
+        X = rng.uniform(-5, 5, size=(50, 2))
+        y = 1.5 * X[:, 0] - 0.5 * X[:, 1] + 1.0
+        model = TheilSenRegressor(n_iterations=3).fit(X, y)
+        assert np.allclose(model.coef_, [1.5, -0.5], atol=0.05)
+
+    def test_robust_to_spikes_where_ols_is_not(self, rng):
+        """A quarter of observations doubled (Eq.-8 spikes): Theil–Sen keeps
+        the slope, OLS drifts."""
+        X = np.arange(40, dtype=float).reshape(-1, 1)
+        y = 2.0 * X.ravel() + 5.0
+        spike_idx = rng.choice(40, size=10, replace=False)
+        y_noisy = y.copy()
+        y_noisy[spike_idx] *= 2.0
+        ts = TheilSenRegressor().fit(X, y_noisy)
+        ols = LinearRegression().fit(X, y_noisy)
+        assert abs(ts.coef_[0] - 2.0) < abs(ols.coef_[0] - 2.0)
+        assert ts.coef_[0] == pytest.approx(2.0, rel=0.1)
+
+    def test_constant_feature_gets_zero_coef(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        y = 3.0 * X[:, 1]
+        model = TheilSenRegressor().fit(X, y)
+        assert model.coef_[0] == 0.0
+        assert model.coef_[1] == pytest.approx(3.0, abs=1e-9)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            TheilSenRegressor().predict(np.ones((1, 1)))
+
+
+class TestRobustGuardrail:
+    def test_robust_guardrail_ignores_isolated_spikes(self):
+        """Flat performance with occasional 2x spikes must not disable
+        tuning when the robust fitter is used."""
+        from repro.core.guardrail import Guardrail
+        from repro.core.observation import Observation
+
+        rng = np.random.default_rng(3)
+        g = Guardrail(min_iterations=8, threshold=0.15, patience=2, robust=True)
+        for t in range(40):
+            perf = 10.0 * (2.0 if rng.uniform() < 0.15 else 1.0)
+            g.update(Observation(config=np.array([1.0]), data_size=100.0,
+                                 performance=perf, iteration=t))
+        assert g.active
+
+    def test_robust_guardrail_still_fires_on_real_regression(self):
+        from repro.core.guardrail import Guardrail
+        from repro.core.observation import Observation
+
+        g = Guardrail(min_iterations=5, threshold=0.1, patience=2, robust=True)
+        for t in range(30):
+            g.update(Observation(config=np.array([1.0]), data_size=100.0,
+                                 performance=10.0 + 5.0 * t, iteration=t))
+            if not g.active:
+                break
+        assert not g.active

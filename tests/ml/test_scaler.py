@@ -1,0 +1,92 @@
+"""Tests for scalers and the Pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.linear import LinearRegression, PolynomialFeatures
+from repro.ml.scaler import MinMaxScaler, Pipeline, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        X = rng.uniform(10, 20, size=(100, 3))
+        Xt = StandardScaler().fit_transform(X)
+        assert np.allclose(Xt.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Xt.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Xt = StandardScaler().fit_transform(X)
+        assert np.allclose(Xt[:, 0], 0.0)
+        assert np.all(np.isfinite(Xt))
+
+    def test_inverse_transform(self, rng):
+        X = rng.uniform(size=(20, 2))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_01(self, rng):
+        X = rng.uniform(-50, 50, size=(40, 3))
+        Xt = MinMaxScaler().fit_transform(X)
+        assert Xt.min() >= 0.0 and Xt.max() <= 1.0
+        assert np.allclose(Xt.min(axis=0), 0.0)
+        assert np.allclose(Xt.max(axis=0), 1.0)
+
+    def test_inverse_transform(self, rng):
+        X = rng.uniform(size=(15, 2))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_safe(self):
+        X = np.column_stack([np.full(5, 3.0), np.arange(5.0)])
+        Xt = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xt))
+
+
+class TestPipeline:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_scaler_plus_regressor(self, rng):
+        X = rng.uniform(100, 200, size=(50, 2))
+        y = X @ np.array([1.0, -1.0])
+        pipe = Pipeline([("scale", StandardScaler()), ("ols", LinearRegression())])
+        pipe.fit(X, y)
+        assert np.allclose(pipe.predict(X), y, atol=1e-6)
+
+    def test_poly_pipeline_fits_quadratic(self, rng):
+        X = rng.uniform(-2, 2, size=(60, 1))
+        y = X.ravel() ** 2
+        pipe = Pipeline([
+            ("scale", StandardScaler()),
+            ("poly", PolynomialFeatures(degree=2)),
+            ("ols", LinearRegression()),
+        ])
+        pipe.fit(X, y)
+        assert np.allclose(pipe.predict(X), y, atol=1e-6)
+
+    def test_predict_with_std_requires_support(self, rng):
+        X = rng.uniform(size=(10, 1))
+        pipe = Pipeline([("ols", LinearRegression())])
+        pipe.fit(X, X.ravel())
+        with pytest.raises(AttributeError):
+            pipe.predict_with_std(X)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999))
+def test_standard_scaler_roundtrip_property(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(loc=rng.uniform(-10, 10), scale=rng.uniform(0.5, 5),
+                   size=(25, 3))
+    scaler = StandardScaler().fit(X)
+    assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)

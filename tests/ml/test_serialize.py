@@ -1,0 +1,79 @@
+"""Round-trip tests for model serialization (the ONNX stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import Matern52Kernel, RBFKernel
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.serialize import dumps_model, load_model, loads_model, save_model
+from repro.ml.svr import SVR
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.uniform(-2, 2, size=(40, 3))
+    y = X[:, 0] ** 2 + X[:, 1] - 0.5 * X[:, 2]
+    return X, y
+
+
+def roundtrip(model):
+    return loads_model(dumps_model(model))
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: LinearRegression(),
+    lambda: RidgeRegression(alpha=2.0),
+    lambda: DecisionTreeRegressor(max_depth=4),
+    lambda: RandomForestRegressor(n_estimators=8, seed=0),
+    lambda: GradientBoostingRegressor(n_estimators=10, seed=0),
+    lambda: SVR(kernel=RBFKernel(length_scale=1.5), C=5.0, epsilon=0.05),
+    lambda: GaussianProcessRegressor(
+        kernel=Matern52Kernel(length_scale=1.0), optimize_hypers=False
+    ),
+])
+def test_roundtrip_preserves_predictions(factory, data, rng):
+    X, y = data
+    model = factory().fit(X, y)
+    restored = roundtrip(model)
+    test = rng.uniform(-2, 2, size=(15, 3))
+    assert np.allclose(model.predict(test), restored.predict(test), rtol=1e-9)
+
+
+def test_unfitted_model_rejected():
+    with pytest.raises(ValueError, match="unfitted"):
+        dumps_model(LinearRegression())
+
+
+def test_unsupported_type_rejected():
+    class Mystery:
+        coef_ = None
+
+    with pytest.raises(TypeError, match="unsupported"):
+        dumps_model(Mystery())
+
+
+def test_unknown_payload_type_rejected():
+    with pytest.raises(TypeError, match="unsupported"):
+        loads_model('{"type": "Mystery"}')
+
+
+def test_file_roundtrip(tmp_path, data):
+    X, y = data
+    model = RidgeRegression().fit(X, y)
+    path = save_model(model, tmp_path / "sub" / "model.json")
+    assert path.exists()
+    restored = load_model(path)
+    assert np.allclose(model.predict(X), restored.predict(X))
+
+
+def test_payload_is_json_text(data):
+    import json
+    X, y = data
+    payload = dumps_model(RandomForestRegressor(n_estimators=3, seed=0).fit(X, y))
+    parsed = json.loads(payload)
+    assert parsed["type"] == "RandomForestRegressor"
+    assert len(parsed["trees"]) == 3

@@ -1,0 +1,68 @@
+"""Tests for ε-insensitive SVR."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import RBFKernel
+from repro.ml.svr import SVR
+
+
+class TestSVR:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SVR(C=0.0)
+        with pytest.raises(ValueError):
+            SVR(epsilon=-0.1)
+
+    def test_fits_linear_function(self, rng):
+        X = rng.uniform(-2, 2, size=(40, 1))
+        y = 3.0 * X.ravel() + 1.0
+        model = SVR(kernel=RBFKernel(length_scale=2.0), C=100.0, epsilon=0.01)
+        model.fit(X, y)
+        preds = model.predict(X)
+        assert np.mean(np.abs(preds - y)) < 0.25
+
+    def test_fits_convex_bowl(self, rng):
+        X = rng.uniform(-3, 3, size=(60, 2))
+        y = np.sum(X ** 2, axis=1)
+        model = SVR(kernel=RBFKernel(length_scale=2.0), C=50.0, epsilon=0.05)
+        model.fit(X, y)
+        # Ranking fidelity matters more than absolute error for selection.
+        grid = rng.uniform(-3, 3, size=(30, 2))
+        truth = np.sum(grid ** 2, axis=1)
+        preds = model.predict(grid)
+        rho = np.corrcoef(truth, preds)[0, 1]
+        assert rho > 0.8
+
+    def test_robust_to_noise(self, rng):
+        X = rng.uniform(-2, 2, size=(80, 1))
+        clean = X.ravel() ** 2
+        noisy = clean * (1.0 + np.abs(rng.normal(0, 0.5, size=80)))
+        model = SVR(C=10.0, epsilon=0.1).fit(X, noisy)
+        preds = model.predict(X)
+        # Predicted ordering should still track the clean function.
+        rho = np.corrcoef(clean, preds)[0, 1]
+        assert rho > 0.7
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SVR().predict(np.ones((1, 1)))
+
+    def test_support_fraction_between_0_and_1(self, rng):
+        X = rng.uniform(size=(30, 2))
+        y = rng.uniform(size=30)
+        model = SVR(epsilon=0.2).fit(X, y)
+        assert 0.0 <= model.support_fraction <= 1.0
+
+    def test_large_epsilon_gives_sparse_duals(self, rng):
+        X = rng.uniform(size=(40, 1))
+        y = X.ravel() * 0.01  # nearly flat inside a wide tube
+        model = SVR(epsilon=1.0).fit(X, y)
+        assert model.support_fraction < 0.5
+
+    def test_target_scaling_invariance(self, rng):
+        X = rng.uniform(-1, 1, size=(30, 1))
+        y = X.ravel() ** 2
+        small = SVR(C=50.0, epsilon=0.01).fit(X, y).predict(X)
+        big = SVR(C=50.0, epsilon=0.01).fit(X, 1e4 * y).predict(X)
+        assert np.allclose(big / 1e4, small, atol=0.1)

@@ -1,0 +1,85 @@
+"""Tests for the CART regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestDecisionTree:
+    def test_min_samples_leaf_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_fits_step_function_exactly(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X.ravel() >= 10).astype(float) * 5.0
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_constant_target_single_leaf(self, rng):
+        X = rng.uniform(size=(20, 3))
+        y = np.full(20, 7.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(X), 7.0)
+
+    def test_max_depth_respected(self, rng):
+        X = rng.uniform(size=(200, 2))
+        y = rng.uniform(size=200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.uniform(size=(50, 1))
+        y = rng.uniform(size=50)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(X, y)
+
+        def leaf_counts(node, X_sub):
+            if node.is_leaf:
+                return [len(X_sub)]
+            mask = X_sub[:, node.feature] <= node.threshold
+            return leaf_counts(node.left, X_sub[mask]) + leaf_counts(node.right, X_sub[~mask])
+
+        assert min(leaf_counts(tree._root, X)) >= 10
+
+    def test_prediction_within_target_range(self, rng):
+        X = rng.uniform(size=(100, 3))
+        y = rng.uniform(2.0, 9.0, size=100)
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        preds = tree.predict(rng.uniform(size=(50, 3)))
+        assert np.all(preds >= 2.0 - 1e-9)
+        assert np.all(preds <= 9.0 + 1e-9)
+
+    def test_feature_subsampling_limits_splits(self, rng):
+        X = rng.uniform(size=(100, 5))
+        y = X[:, 0] * 10.0  # only feature 0 matters
+        # With max_features=1 and a fixed seed, some splits miss feature 0,
+        # but the tree should still fit and predict finite values.
+        tree = DecisionTreeRegressor(max_features=1, seed=0).fit(X, y)
+        assert np.all(np.isfinite(tree.predict(X)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.uniform(size=(60, 4))
+        y = rng.uniform(size=60)
+        p1 = DecisionTreeRegressor(max_features=2, seed=5).fit(X, y).predict(X)
+        p2 = DecisionTreeRegressor(max_features=2, seed=5).fit(X, y).predict(X)
+        assert np.allclose(p1, p2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_tree_predictions_bounded_by_targets_property(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(40, 2))
+    y = rng.uniform(-5, 5, size=40)
+    tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    preds = tree.predict(rng.uniform(size=(20, 2)))
+    assert np.all(preds >= y.min() - 1e-9)
+    assert np.all(preds <= y.max() + 1e-9)

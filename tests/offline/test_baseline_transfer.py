@@ -1,0 +1,95 @@
+"""Tests for baseline model training and transfer learning."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import spearman_rho
+from repro.offline.baseline import BaselineModelTrainer
+from repro.offline.etl import TrainingTable, build_training_table
+from repro.offline.flighting import FlightingConfig, FlightingPipeline
+from repro.offline.transfer import FineTunedSurrogate, warm_start_cbo
+from repro.sparksim.configs import query_level_space
+
+
+@pytest.fixture(scope="module")
+def table():
+    config = FlightingConfig(benchmark="tpch", query_ids=[1, 3, 6, 12],
+                             n_configs=8, seed=0)
+    events = FlightingPipeline(config).execute()
+    return build_training_table(events, query_level_space())
+
+
+class TestBaselineModelTrainer:
+    def test_train_and_rank_quality(self, table):
+        model = BaselineModelTrainer().train(table)
+        preds = model.predict(table.X)
+        assert spearman_rho(table.y, preds) > 0.8
+
+    def test_too_few_rows_rejected(self, table):
+        tiny = TrainingTable(
+            X=table.X[:3], y=table.y[:3],
+            embedding_dim=table.embedding_dim, config_dim=table.config_dim,
+            signatures=table.signatures[:3], regions=table.regions[:3],
+        )
+        with pytest.raises(ValueError, match="few"):
+            BaselineModelTrainer().train(tiny)
+
+    def test_per_region_training(self, table):
+        mixed = TrainingTable(
+            X=np.vstack([table.X, table.X]),
+            y=np.concatenate([table.y, table.y]),
+            embedding_dim=table.embedding_dim, config_dim=table.config_dim,
+            signatures=table.signatures * 2,
+            regions=["east"] * len(table) + ["west"] * len(table),
+        )
+        models = BaselineModelTrainer().train_per_region(mixed)
+        assert set(models) == {"east", "west"}
+
+    def test_model_persistence(self, table, tmp_path):
+        trainer = BaselineModelTrainer(
+            model_factory=lambda: __import__("repro.ml.forest", fromlist=["f"])
+            .RandomForestRegressor(n_estimators=5, seed=0),
+            model_dir=tmp_path,
+        )
+        trained = trainer.train(table, region="eu")
+        fresh = BaselineModelTrainer(model_dir=tmp_path)
+        loaded = fresh.get("eu")
+        assert np.allclose(loaded.predict(table.X[:5]), trained.predict(table.X[:5]))
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            BaselineModelTrainer().get("atlantis")
+
+
+class TestFineTunedSurrogate:
+    def test_query_weight_validation(self, table):
+        with pytest.raises(ValueError):
+            FineTunedSurrogate(table.X, table.y, query_weight=0)
+
+    def test_baseline_only_prediction(self, table):
+        surrogate = FineTunedSurrogate(table.X, table.y)
+        preds = surrogate.predict(table.X[:4])
+        assert preds.shape == (4,)
+        assert surrogate.n_query_rows == 0
+
+    def test_query_rows_shift_predictions(self, table):
+        surrogate = FineTunedSurrogate(table.X, table.y, query_weight=20)
+        target_row = table.X[:1]
+        before = surrogate.predict(target_row)[0]
+        # Fine-tune with a wildly different label for that exact row.
+        surrogate.fit(target_row, np.array([before * 10.0]))
+        after = surrogate.predict(target_row)[0]
+        assert after > before
+
+    def test_feature_dim_checked(self, table):
+        surrogate = FineTunedSurrogate(table.X, table.y)
+        with pytest.raises(ValueError, match="features"):
+            surrogate.fit(np.ones((2, 3)), np.ones(2))
+
+
+class TestWarmStartCBO:
+    def test_builds_with_subsample(self, table):
+        cbo = warm_start_cbo(query_level_space(), table, n_samples=10, seed=0)
+        assert cbo.has_warm_start
+        v = cbo.suggest(data_size=1e6)
+        assert query_level_space().contains_vector(v)

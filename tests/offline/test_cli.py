@@ -1,0 +1,43 @@
+"""Tests for the offline-phase CLI."""
+
+import json
+
+import pytest
+
+from repro.ml.serialize import load_model
+from repro.offline.__main__ import main
+from repro.sparksim.events import events_from_jsonl
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "flight.json"
+    path.write_text(json.dumps({
+        "benchmark": "tpch",
+        "query_ids": [1, 6],
+        "scale_factors": [1.0],
+        "n_configs": 3,
+        "runs_per_config": 1,
+        "seed": 0,
+    }))
+    return path
+
+
+def test_cli_runs_flighting(config_file, capsys):
+    assert main([str(config_file)]) == 0
+    out = capsys.readouterr().out
+    assert "6 executions" in out
+
+
+def test_cli_writes_events(config_file, tmp_path, capsys):
+    events_path = tmp_path / "out" / "events.jsonl"
+    assert main([str(config_file), "--events", str(events_path)]) == 0
+    events = events_from_jsonl(events_path.read_text())
+    assert len(events) == 6
+
+
+def test_cli_trains_model(config_file, tmp_path, capsys):
+    model_path = tmp_path / "baseline.json"
+    assert main([str(config_file), "--model", str(model_path)]) == 0
+    model = load_model(model_path)
+    assert hasattr(model, "predict")

@@ -1,0 +1,98 @@
+"""Tests for the embedding ETL (events → training tables)."""
+
+import numpy as np
+import pytest
+
+from repro.offline.etl import (
+    TrainingTable,
+    build_training_table,
+    filter_events,
+    group_by_signature,
+)
+from repro.offline.flighting import FlightingConfig, FlightingPipeline
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.events import QueryEndEvent
+
+
+@pytest.fixture(scope="module")
+def events():
+    config = FlightingConfig(benchmark="tpch", query_ids=[1, 3, 6],
+                             n_configs=4, seed=0)
+    return FlightingPipeline(config).execute()
+
+
+@pytest.fixture(scope="module")
+def table(events):
+    return build_training_table(events, query_level_space())
+
+
+class TestBuildTrainingTable:
+    def test_shapes(self, events, table):
+        assert len(table) == len(events)
+        assert table.config_dim == 3
+        assert table.X.shape == (len(events), table.embedding_dim + 3 + 1)
+        assert table.feature_dim == table.X.shape[1]
+
+    def test_target_is_duration(self, events, table):
+        assert np.allclose(table.y, [e.duration_seconds for e in events])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_training_table([], query_level_space())
+
+    def test_embedding_length_mismatch_rejected(self, events):
+        bad = QueryEndEvent(
+            app_id="x", artifact_id="x", query_signature="s", user_id="u",
+            iteration=0, config=events[0].config, data_size=1.0,
+            duration_seconds=1.0, embedding=[1.0, 2.0],
+        )
+        with pytest.raises(ValueError, match="embedding"):
+            build_training_table(list(events) + [bad], query_level_space())
+
+
+class TestTableOperations:
+    def test_subsample(self, table, rng):
+        sub = table.subsample(5, rng)
+        assert len(sub) == 5
+        assert sub.feature_dim == table.feature_dim
+
+    def test_subsample_larger_than_table_is_identity(self, table, rng):
+        assert table.subsample(10**6, rng) is table
+
+    def test_exclude_signature(self, table):
+        target = table.signatures[0]
+        rest = table.exclude_signature(target)
+        assert target not in rest.signatures
+        assert len(rest) < len(table)
+
+    def test_concat(self, table):
+        double = table.concat(table)
+        assert len(double) == 2 * len(table)
+
+    def test_concat_incompatible(self, table):
+        other = TrainingTable(
+            X=np.ones((2, 5)), y=np.ones(2), embedding_dim=1, config_dim=3,
+            signatures=["a", "b"], regions=["r", "r"],
+        )
+        with pytest.raises(ValueError):
+            table.concat(other)
+
+
+class TestPrivacyFilters:
+    def test_filter_by_user(self, events):
+        assert len(filter_events(events, user_id="flighting")) == len(events)
+        assert filter_events(events, user_id="someone-else") == []
+
+    def test_filter_by_signature(self, events):
+        sig = events[0].query_signature
+        subset = filter_events(events, query_signature=sig)
+        assert all(e.query_signature == sig for e in subset)
+        assert len(subset) > 0
+
+    def test_filter_by_region(self, events):
+        assert filter_events(events, region="mars") == []
+
+    def test_group_by_signature(self, events):
+        groups = group_by_signature(events)
+        assert len(groups) == 3
+        assert sum(len(g) for g in groups.values()) == len(events)

@@ -1,0 +1,68 @@
+"""Tests for the flighting pipeline and its configuration file."""
+
+import pytest
+
+from repro.offline.flighting import FlightingConfig, FlightingPipeline
+
+
+class TestFlightingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightingConfig(benchmark="tpcx")
+        with pytest.raises(ValueError):
+            FlightingConfig(pool_id="pool-imaginary")
+        with pytest.raises(ValueError):
+            FlightingConfig(config_generation="genetic")
+        with pytest.raises(ValueError):
+            FlightingConfig(n_configs=0)
+        with pytest.raises(ValueError):
+            FlightingConfig(scale_factors=[])
+
+    def test_file_roundtrip(self, tmp_path):
+        config = FlightingConfig(
+            benchmark="tpch", query_ids=[1, 6], scale_factors=[1.0, 10.0],
+            n_configs=3, runs_per_config=2, pool_id="pool-medium",
+            config_generation="lhs", region="eu", seed=9,
+        )
+        path = config.to_file(tmp_path / "flight.json")
+        restored = FlightingConfig.from_file(path)
+        assert restored == config
+
+
+class TestFlightingPipeline:
+    def test_event_count(self):
+        config = FlightingConfig(
+            benchmark="tpch", query_ids=[1, 6], scale_factors=[1.0],
+            n_configs=3, runs_per_config=2, seed=0,
+        )
+        events = FlightingPipeline(config).execute()
+        assert len(events) == 2 * 3 * 2  # queries × configs × runs
+
+    def test_events_carry_embeddings_and_region(self):
+        config = FlightingConfig(
+            benchmark="tpcds", query_ids=[5], n_configs=2, region="west", seed=0
+        )
+        events = FlightingPipeline(config).execute()
+        assert all(e.region == "west" for e in events)
+        assert all(len(e.embedding) > 0 for e in events)
+        assert all(e.user_id == "flighting" for e in events)
+
+    def test_deterministic_given_seed(self):
+        config = FlightingConfig(benchmark="tpch", query_ids=[3], n_configs=2, seed=5)
+        a = FlightingPipeline(config).execute()
+        b = FlightingPipeline(config).execute()
+        assert [e.duration_seconds for e in a] == [e.duration_seconds for e in b]
+
+    def test_lhs_generation(self):
+        config = FlightingConfig(
+            benchmark="tpch", query_ids=[3], n_configs=4,
+            config_generation="lhs", seed=0,
+        )
+        events = FlightingPipeline(config).execute()
+        partitions = {e.config["spark.sql.shuffle.partitions"] for e in events}
+        assert len(partitions) == 4
+
+    def test_distinct_signatures_per_query(self):
+        config = FlightingConfig(benchmark="tpch", query_ids=[1, 3, 6], n_configs=1, seed=0)
+        events = FlightingPipeline(config).execute()
+        assert len({e.query_signature for e in events}) == 3

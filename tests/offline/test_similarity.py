@@ -1,0 +1,83 @@
+"""Tests for embedding-similarity warm-start selection."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.embedder import WorkloadEmbedder
+from repro.offline.similarity import (
+    embedding_distances,
+    nearest_signatures,
+    select_similar,
+)
+from repro.sparksim.configs import query_level_space
+from repro.experiments.platform_v0 import build_v0_platform, platform_training_table
+from repro.workloads.tpcds import tpcds_plan
+
+
+@pytest.fixture(scope="module")
+def table():
+    platform = build_v0_platform([1, 2, 3, 4], n_configs=10, scale_factor=10.0, seed=0)
+    return platform_training_table(platform, query_level_space())
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return WorkloadEmbedder()
+
+
+class TestDistances:
+    def test_shape_and_nonnegative(self, table, embedder):
+        target = embedder.embed(tpcds_plan(1, 10.0))
+        for metric in ("cosine", "euclidean"):
+            d = embedding_distances(table, target, metric)
+            assert d.shape == (len(table),)
+            assert np.all(d >= -1e-12)
+
+    def test_self_distance_zero(self, table, embedder):
+        target = embedder.embed(tpcds_plan(2, 10.0))
+        d = embedding_distances(table, target, "euclidean")
+        sig = tpcds_plan(2, 10.0).signature()
+        own = [i for i, s in enumerate(table.signatures) if s == sig]
+        assert np.allclose(d[own], 0.0, atol=1e-9)
+
+    def test_bad_metric(self, table, embedder):
+        with pytest.raises(ValueError, match="metric"):
+            embedding_distances(table, embedder.embed(tpcds_plan(1, 10.0)), "manhattan")
+
+    def test_bad_target_shape(self, table):
+        with pytest.raises(ValueError, match="embedding"):
+            embedding_distances(table, np.ones(3))
+
+
+class TestSelectSimilar:
+    def test_returns_requested_rows(self, table, embedder):
+        target = embedder.embed(tpcds_plan(3, 10.0))
+        sub = select_similar(table, target, n_rows=12)
+        assert len(sub) == 12
+        assert sub.feature_dim == table.feature_dim
+
+    def test_own_query_rows_rank_first(self, table, embedder):
+        target = embedder.embed(tpcds_plan(3, 10.0))
+        sub = select_similar(table, target, n_rows=10, metric="euclidean")
+        sig = tpcds_plan(3, 10.0).signature()
+        assert all(s == sig for s in sub.signatures)
+
+    def test_n_rows_validated(self, table, embedder):
+        with pytest.raises(ValueError):
+            select_similar(table, embedder.embed(tpcds_plan(1, 10.0)), 0)
+
+    def test_oversized_request_returns_everything(self, table, embedder):
+        target = embedder.embed(tpcds_plan(1, 10.0))
+        assert len(select_similar(table, target, 10**6)) == len(table)
+
+
+class TestNearestSignatures:
+    def test_self_is_nearest(self, table, embedder):
+        target = embedder.embed(tpcds_plan(4, 10.0))
+        top = nearest_signatures(table, target, k=2, metric="euclidean")
+        assert top[0][0] == tpcds_plan(4, 10.0).signature()
+        assert top[0][1] <= top[1][1]
+
+    def test_k_validated(self, table, embedder):
+        with pytest.raises(ValueError):
+            nearest_signatures(table, embedder.embed(tpcds_plan(1, 10.0)), k=0)

@@ -1,0 +1,98 @@
+"""Tests for Contextual Bayesian Optimization (Eq. 2 features)."""
+
+import numpy as np
+import pytest
+
+from repro.core.observation import Observation
+from repro.optimizers.contextual_bo import ContextualBayesianOptimization
+from repro.sparksim.noise import no_noise
+from repro.workloads.synthetic import default_synthetic_objective
+
+
+@pytest.fixture
+def objective():
+    return default_synthetic_objective(noise=no_noise(), seed=5)
+
+
+def make_warm_start(objective, n=200, embedding_dim=2, seed=0):
+    """Warm-start rows [embedding | config | p] labelled with true values."""
+    rng = np.random.default_rng(seed)
+    configs = objective.space.sample_vectors(n, rng)
+    emb = np.tile([1.0, 2.0], (n, 1))
+    p = np.full((n, 1), objective.reference_size)
+    X = np.hstack([emb, configs, p])
+    y = np.array([objective.true_value(c) for c in configs])
+    return X, y
+
+
+class TestConstruction:
+    def test_warm_start_shape_validated(self, objective):
+        with pytest.raises(ValueError, match="columns"):
+            ContextualBayesianOptimization(
+                objective.space, embedding_dim=2,
+                warm_start=(np.ones((5, 3)), np.ones(5)),
+            )
+
+    def test_negative_embedding_dim(self, objective):
+        with pytest.raises(ValueError):
+            ContextualBayesianOptimization(objective.space, embedding_dim=-1)
+
+
+class TestSuggest:
+    def test_cold_start_random_until_n_init(self, objective):
+        cbo = ContextualBayesianOptimization(
+            objective.space, embedding_dim=0, n_init=3, seed=0
+        )
+        assert not cbo.has_warm_start
+        for t in range(3):
+            v = cbo.suggest(data_size=1.0)
+            assert objective.space.contains_vector(v)
+            cbo.observe(Observation(config=v, data_size=1.0,
+                                    performance=1.0, iteration=t))
+
+    def test_warm_start_guides_iteration_zero(self, objective):
+        """With a good warm start, the very first suggestion should land in
+        the better half of the space — the Fig.-12 warm-start effect."""
+        X, y = make_warm_start(objective)
+        cbo = ContextualBayesianOptimization(
+            objective.space, embedding_dim=2, warm_start=(X, y),
+            n_candidates=256, seed=0,
+        )
+        v = cbo.suggest(data_size=objective.reference_size, embedding=np.array([1.0, 2.0]))
+        rng = np.random.default_rng(1)
+        random_values = [
+            objective.true_value(objective.space.sample_vector(rng)) for _ in range(200)
+        ]
+        assert objective.true_value(v) < np.median(random_values)
+
+    def test_embedding_shape_checked(self, objective):
+        X, y = make_warm_start(objective)
+        cbo = ContextualBayesianOptimization(
+            objective.space, embedding_dim=2, warm_start=(X, y), seed=0
+        )
+        with pytest.raises(ValueError, match="embedding"):
+            cbo.suggest(data_size=1.0, embedding=np.ones(5))
+
+    def test_missing_embedding_defaults_to_zeros(self, objective):
+        X, y = make_warm_start(objective)
+        cbo = ContextualBayesianOptimization(
+            objective.space, embedding_dim=2, warm_start=(X, y), seed=0
+        )
+        v = cbo.suggest(data_size=objective.reference_size, embedding=None)
+        assert objective.space.contains_vector(v)
+
+    def test_observations_refine_model(self, objective, rng):
+        X, y = make_warm_start(objective)
+        cbo = ContextualBayesianOptimization(
+            objective.space, embedding_dim=2, warm_start=(X, y), seed=0
+        )
+        emb = np.array([1.0, 2.0])
+        values = []
+        for t in range(15):
+            v = cbo.suggest(data_size=objective.reference_size, embedding=emb)
+            r = objective.observe(v, objective.reference_size, rng)
+            cbo.observe(Observation(config=v, data_size=objective.reference_size,
+                                    performance=r, iteration=t, embedding=emb))
+            values.append(objective.true_value(v))
+        default = objective.true_value(objective.space.default_vector())
+        assert min(values) < default

@@ -1,0 +1,121 @@
+"""Tests for FLOW2 and hill climbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.observation import Observation
+from repro.optimizers.flow2 import FLOW2
+from repro.optimizers.hill_climbing import HillClimbing
+from repro.sparksim.noise import no_noise
+from repro.workloads.synthetic import default_synthetic_objective
+
+
+@pytest.fixture
+def objective():
+    return default_synthetic_objective(noise=no_noise(), seed=5)
+
+
+def drive(opt, objective, n, rng):
+    for t in range(n):
+        v = opt.suggest()
+        r = objective.observe(v, objective.reference_size, rng)
+        opt.observe(Observation(config=v, data_size=objective.reference_size,
+                                performance=r, iteration=t))
+
+
+@pytest.mark.parametrize("cls", [FLOW2, HillClimbing])
+class TestLocalSearchCommon:
+    def test_step_validation(self, cls, objective):
+        with pytest.raises(ValueError):
+            cls(objective.space, step_size=0.01,
+                **({"step_lower_bound": 0.1} if cls is FLOW2 else {"min_step": 0.1}))
+
+    def test_first_suggestion_is_start(self, cls, objective):
+        opt = cls(objective.space, seed=0)
+        assert np.allclose(opt.suggest(), objective.space.default_vector())
+
+    def test_suggestions_in_bounds(self, cls, objective, rng):
+        opt = cls(objective.space, seed=0)
+        for t in range(30):
+            v = opt.suggest()
+            assert objective.space.contains_vector(v)
+            r = objective.observe(v, objective.reference_size, rng)
+            opt.observe(Observation(config=v, data_size=objective.reference_size,
+                                    performance=r, iteration=t))
+
+    def test_incumbent_improves_noiseless(self, cls, objective, rng):
+        opt = cls(objective.space, seed=0)
+        drive(opt, objective, 100, rng)
+        start_value = objective.true_value(objective.space.default_vector())
+        assert objective.true_value(opt.incumbent) < start_value
+
+    def test_incumbent_only_moves_on_improvement(self, cls, objective):
+        opt = cls(objective.space, seed=0)
+        v0 = opt.suggest()
+        opt.observe(Observation(config=v0, data_size=1.0, performance=10.0, iteration=0))
+        incumbent = opt.incumbent.copy()
+        v1 = opt.suggest()
+        opt.observe(Observation(config=v1, data_size=1.0, performance=50.0, iteration=1))
+        assert np.allclose(opt.incumbent, incumbent)
+
+    def test_custom_start(self, cls, objective, rng):
+        start = objective.space.sample_vector(rng)
+        opt = cls(objective.space, start=start, seed=0)
+        assert np.allclose(opt.suggest(), objective.space.clip(start))
+
+
+class TestFLOW2Specifics:
+    def test_opposite_direction_tried_after_failure(self, objective):
+        opt = FLOW2(objective.space, seed=0)
+        v0 = opt.suggest()
+        opt.observe(Observation(config=v0, data_size=1.0, performance=10.0, iteration=0))
+        v_plus = opt.suggest()
+        opt.observe(Observation(config=v_plus, data_size=1.0, performance=99.0, iteration=1))
+        v_minus = opt.suggest()
+        # v_minus should mirror v_plus around the incumbent.
+        mid = (opt.space.normalize(v_plus) + opt.space.normalize(v_minus)) / 2
+        incumbent_unit = opt.space.normalize(opt.incumbent)
+        # Clipping can break exact symmetry; interior dims should mirror.
+        interior = (mid > 1e-6) & (mid < 1 - 1e-6)
+        assert np.allclose(mid[interior], incumbent_unit[interior], atol=1e-9)
+
+    def test_step_size_shrinks_without_improvement(self, objective):
+        opt = FLOW2(objective.space, step_size=0.2, seed=0)
+        v0 = opt.suggest()
+        opt.observe(Observation(config=v0, data_size=1.0, performance=1.0, iteration=0))
+        initial = opt.step_size
+        for t in range(1, 40):
+            v = opt.suggest()
+            opt.observe(Observation(config=v, data_size=1.0,
+                                    performance=100.0, iteration=t))
+        assert opt.step_size < initial
+
+    def test_step_size_floor(self, objective):
+        opt = FLOW2(objective.space, step_size=0.2, step_lower_bound=0.05, seed=0)
+        v0 = opt.suggest()
+        opt.observe(Observation(config=v0, data_size=1.0, performance=1.0, iteration=0))
+        for t in range(1, 200):
+            v = opt.suggest()
+            opt.observe(Observation(config=v, data_size=1.0,
+                                    performance=100.0, iteration=t))
+        assert opt.step_size >= 0.05
+
+
+class TestHillClimbingSpecifics:
+    def test_moves_are_single_coordinate(self, objective):
+        opt = HillClimbing(objective.space, seed=0)
+        v0 = opt.suggest()
+        opt.observe(Observation(config=v0, data_size=1.0, performance=5.0, iteration=0))
+        v1 = opt.suggest()
+        changed = np.abs(opt.space.normalize(v1) - opt.space.normalize(opt.incumbent)) > 1e-12
+        assert changed.sum() == 1
+
+    def test_step_shrinks_after_barren_cycle(self, objective):
+        opt = HillClimbing(objective.space, step_size=0.2, seed=0)
+        v0 = opt.suggest()
+        opt.observe(Observation(config=v0, data_size=1.0, performance=1.0, iteration=0))
+        for t in range(1, 2 * objective.space.dim + 2):
+            v = opt.suggest()
+            opt.observe(Observation(config=v, data_size=1.0,
+                                    performance=100.0, iteration=t))
+        assert opt.step_size < 0.2

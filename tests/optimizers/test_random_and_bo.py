@@ -1,0 +1,92 @@
+"""Tests for random search and vanilla Bayesian Optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core.observation import Observation
+from repro.optimizers.bayesian import BayesianOptimization
+from repro.optimizers.random_search import RandomSearch
+from repro.sparksim.noise import no_noise
+from repro.workloads.synthetic import default_synthetic_objective
+
+
+@pytest.fixture
+def objective():
+    return default_synthetic_objective(noise=no_noise(), seed=5)
+
+
+def drive(opt, objective, n, rng):
+    values = []
+    for t in range(n):
+        v = opt.suggest(data_size=objective.reference_size)
+        r = objective.observe(v, objective.reference_size, rng)
+        opt.observe(Observation(config=v, data_size=objective.reference_size,
+                                performance=r, iteration=t))
+        values.append(objective.true_value(v))
+    return np.array(values)
+
+
+class TestRandomSearch:
+    def test_suggestions_in_bounds(self, objective, rng):
+        rs = RandomSearch(objective.space, seed=0)
+        for _ in range(20):
+            assert objective.space.contains_vector(rs.suggest())
+
+    def test_reproducible(self, objective):
+        a = RandomSearch(objective.space, seed=3)
+        b = RandomSearch(objective.space, seed=3)
+        assert np.allclose(a.suggest(), b.suggest())
+
+    def test_best_observation_tracked(self, objective, rng):
+        rs = RandomSearch(objective.space, seed=0)
+        drive(rs, objective, 10, rng)
+        best = rs.best_observation()
+        assert best.performance == min(o.performance for o in rs.observations.history)
+
+
+class TestBayesianOptimization:
+    def test_validation(self, objective):
+        with pytest.raises(ValueError):
+            BayesianOptimization(objective.space, n_init=0)
+        with pytest.raises(ValueError):
+            BayesianOptimization(objective.space, refit_hypers_every=0)
+        with pytest.raises(ValueError):
+            BayesianOptimization(objective.space, n_init=10, max_train_points=5)
+
+    def test_initial_designs_are_lhs(self, objective, rng):
+        bo = BayesianOptimization(objective.space, n_init=4, seed=0)
+        inits = []
+        for t in range(4):
+            v = bo.suggest()
+            inits.append(v)
+            bo.observe(Observation(config=v, data_size=1.0,
+                                   performance=1.0, iteration=t))
+        inits = np.array(inits)
+        assert len(np.unique(inits[:, 0])) == 4  # stratified, no repeats
+
+    def test_beats_random_on_noiseless_bowl(self, objective):
+        rng_bo = np.random.default_rng(1)
+        rng_rs = np.random.default_rng(1)
+        bo_vals = drive(BayesianOptimization(objective.space, n_init=5, seed=2),
+                        objective, 30, rng_bo)
+        rs_vals = drive(RandomSearch(objective.space, seed=2), objective, 30, rng_rs)
+        assert bo_vals[-10:].mean() < rs_vals[-10:].mean()
+
+    def test_suggestions_in_bounds(self, objective, rng):
+        bo = BayesianOptimization(objective.space, n_init=3, seed=0)
+        for t in range(8):
+            v = bo.suggest()
+            assert objective.space.contains_vector(v)
+            bo.observe(Observation(config=v, data_size=1.0,
+                                   performance=float(t), iteration=t))
+
+    def test_max_train_points_caps_gp_data(self, objective, rng):
+        bo = BayesianOptimization(objective.space, n_init=3, max_train_points=10, seed=0)
+        drive(bo, objective, 25, rng)
+        assert bo._model._X.shape[0] <= 10
+
+    def test_observation_shape_validated(self, objective):
+        bo = BayesianOptimization(objective.space, seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            bo.observe(Observation(config=np.zeros(7), data_size=1.0,
+                                   performance=1.0, iteration=0))

@@ -1,0 +1,97 @@
+"""Tests for SAS-style token auth."""
+
+import pytest
+
+from repro.service.auth import SasToken, SasTokenIssuer, TokenError
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def issuer(clock):
+    return SasTokenIssuer("top-secret", default_ttl=60.0, clock=clock)
+
+
+class TestIssue:
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SasTokenIssuer("")
+
+    def test_invalid_permissions_rejected(self, issuer):
+        with pytest.raises(ValueError):
+            issuer.issue("r1", permissions="x")
+        with pytest.raises(ValueError):
+            issuer.issue("r1", permissions="")
+
+    def test_expiry_uses_ttl(self, issuer, clock):
+        token = issuer.issue("r1", ttl=30.0)
+        assert token.expires_at == pytest.approx(1030.0)
+
+
+class TestValidate:
+    def test_valid_token_passes(self, issuer):
+        token = issuer.issue("models/u1", "r")
+        issuer.validate(token, "models/u1", "r")  # no raise
+
+    def test_wrong_resource_rejected(self, issuer):
+        token = issuer.issue("models/u1", "r")
+        with pytest.raises(TokenError, match="scoped"):
+            issuer.validate(token, "models/u2", "r")
+
+    def test_missing_permission_rejected(self, issuer):
+        token = issuer.issue("events/a1", "w")
+        with pytest.raises(TokenError, match="grants"):
+            issuer.validate(token, "events/a1", "r")
+
+    def test_rw_grants_both(self, issuer):
+        token = issuer.issue("x", "rw")
+        issuer.validate(token, "x", "r")
+        issuer.validate(token, "x", "w")
+
+    def test_expired_token_rejected(self, issuer, clock):
+        token = issuer.issue("x", "r", ttl=10.0)
+        clock.now += 11.0
+        with pytest.raises(TokenError, match="expired"):
+            issuer.validate(token, "x", "r")
+
+    def test_forged_signature_rejected(self, issuer):
+        token = issuer.issue("x", "r")
+        forged = SasToken(
+            resource=token.resource, permissions="rw",
+            expires_at=token.expires_at, signature=token.signature,
+        )
+        with pytest.raises(TokenError):
+            issuer.validate(forged, "x", "w")
+
+    def test_different_issuer_secret_rejected(self, clock):
+        a = SasTokenIssuer("secret-a", clock=clock)
+        b = SasTokenIssuer("secret-b", clock=clock)
+        token = a.issue("x", "r")
+        with pytest.raises(TokenError, match="signature"):
+            b.validate(token, "x", "r")
+
+
+class TestUrlFormat:
+    def test_url_roundtrip(self, issuer):
+        token = issuer.issue("events/app-1", "rw")
+        parsed = SasToken.parse(token.url)
+        assert parsed == token
+
+    def test_parse_rejects_non_sas(self):
+        with pytest.raises(TokenError):
+            SasToken.parse("https://example.com/x?sig=1")
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(TokenError):
+            SasToken.parse("sas://resource?perm=r")  # missing exp/sig

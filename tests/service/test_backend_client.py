@@ -1,0 +1,194 @@
+"""Integration-style tests for the Autotune backend + client pair."""
+
+import numpy as np
+import pytest
+
+from repro.core.app_level import AppCache
+from repro.core.guardrail import Guardrail
+from repro.service.auth import SasTokenIssuer, TokenError
+from repro.service.backend import AutotuneBackend
+from repro.service.client import AutotuneClient, ENABLE_KNOB
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import app_level_space, full_space, query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpch import tpch_plan
+
+
+@pytest.fixture
+def backend(tmp_path):
+    return AutotuneBackend(
+        storage=StorageManager(tmp_path),
+        issuer=SasTokenIssuer("secret"),
+        query_space=query_level_space(),
+        app_space=app_level_space(),
+        full_space=full_space(),
+        app_cache=AppCache(),
+        min_events_for_model=3,
+    )
+
+
+@pytest.fixture
+def client(backend):
+    return AutotuneClient(
+        backend, "app-1", "artifact-1", "user-1", query_level_space(), seed=0
+    )
+
+
+def run_queries(client, backend, n=6, plan=None, app_id="app-1"):
+    plan = plan or tpch_plan(6, 1.0)
+    sim = SparkSimulator(noise=low_noise(), seed=1)
+    for t in range(n):
+        config = client.suggest_config(plan)
+        event = sim.run_to_event(
+            plan, config, app_id=app_id, artifact_id="artifact-1",
+            user_id="user-1", iteration=t,
+            embedding=client.embedder.embed(plan),
+        )
+        client.on_query_end(event)
+        client.flush_events()
+    return plan
+
+
+class TestRegistration:
+    def test_grant_tokens_are_scoped(self, backend):
+        grant = backend.register_job("app-9", "art-9", "user-9")
+        backend.issuer.validate(grant.event_write_token, "events/app-9", "w")
+        backend.issuer.validate(grant.model_read_token, "models/user-9", "r")
+        with pytest.raises(TokenError):
+            backend.issuer.validate(grant.model_read_token, "models/other", "r")
+
+    def test_no_app_cache_on_first_run(self, backend):
+        grant = backend.register_job("app-9", "art-9", "user-9")
+        assert grant.app_config is None
+
+
+class TestModelUpdater:
+    def test_models_trained_after_min_events(self, backend, client):
+        run_queries(client, backend, n=5)
+        assert backend.models_trained >= 1
+        assert not backend.hub.failures
+
+    def test_model_fetch_requires_valid_token(self, backend, client):
+        plan = run_queries(client, backend, n=5)
+        grant = backend.register_job("app-2", "artifact-1", "user-1")
+        payload = backend.fetch_model(
+            grant.model_read_token, "user-1", plan.signature()
+        )
+        assert payload is not None
+        other = backend.register_job("app-3", "artifact-1", "user-2")
+        with pytest.raises(TokenError):
+            backend.fetch_model(other.model_read_token, "user-1", plan.signature())
+
+    def test_retrain_throttling(self, tmp_path):
+        backend = AutotuneBackend(
+            storage=StorageManager(tmp_path / "throttle"),
+            issuer=SasTokenIssuer("s"),
+            query_space=query_level_space(),
+            min_events_for_model=2,
+            retrain_every=3,
+        )
+        client = AutotuneClient(backend, "app-t", "art-t", "u-t",
+                                query_level_space(), seed=0)
+        run_queries(client, backend, n=8, app_id="app-t")
+        # Trains at event 2, then every 3rd: events 5 and 8 → 3 total.
+        assert backend.models_trained == 3
+
+    def test_retrain_every_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            AutotuneBackend(
+                storage=StorageManager(tmp_path / "bad"),
+                issuer=SasTokenIssuer("s"),
+                query_space=query_level_space(),
+                retrain_every=0,
+            )
+
+    def test_privacy_models_per_user(self, backend, client):
+        plan = run_queries(client, backend, n=5)
+        # Same signature, different user: no model leakage.
+        assert backend.storage.read_model("user-2", plan.signature()) is None
+
+
+class TestClientInference:
+    def test_disabled_client_returns_defaults(self, backend):
+        client = AutotuneClient(
+            backend, "app-d", "art-d", "user-d", query_level_space(), enabled=False
+        )
+        config = client.suggest_config(tpch_plan(6, 1.0))
+        assert config == query_level_space().default_dict()
+
+    def test_from_spark_conf_parses_enabled_flag(self, backend):
+        client = AutotuneClient.from_spark_conf(
+            backend,
+            {
+                "spark.app.id": "a", "spark.autotune.artifact.id": "r",
+                "spark.autotune.user.id": "u", ENABLE_KNOB: "false",
+            },
+            query_level_space(),
+        )
+        assert not client.enabled
+
+    def test_suggestion_log_records_rationale(self, backend, client):
+        run_queries(client, backend, n=5)
+        log = client.suggestion_log
+        assert len(log) == 5
+        assert log[0].model_available is False        # no model at iteration 0
+        assert log[-1].model_available is True        # updater has trained one
+        assert all(entry.tuning_active for entry in log)
+
+    def test_guardrail_integration(self, backend):
+        client = AutotuneClient(
+            backend, "app-g", "art-g", "user-g", query_level_space(),
+            guardrail_factory=lambda: Guardrail(min_iterations=3, threshold=0.05,
+                                                patience=1),
+            seed=0,
+        )
+        plan = tpch_plan(6, 1.0)
+        # Feed events with artificially exploding durations.
+        from repro.sparksim.events import QueryEndEvent
+        for t in range(8):
+            config = client.suggest_config(plan)
+            client.on_query_end(QueryEndEvent(
+                app_id="app-g", artifact_id="art-g",
+                query_signature=plan.signature(), user_id="user-g", iteration=t,
+                config=config, data_size=1e6, duration_seconds=10.0 + 30.0 * t,
+            ))
+        assert client.suggestion_log[-1].tuning_active is False
+        assert client.suggest_config(plan) == query_level_space().default_dict()
+
+
+class TestAppCacheFlow:
+    def test_finish_app_populates_cache(self, backend, client):
+        run_queries(client, backend, n=5)
+        client.finish_app(app_config=app_level_space().default_dict())
+        assert not backend.hub.failures
+        assert "artifact-1" in backend.app_cache
+        # The next submission of the same artifact gets the cached config.
+        grant = backend.register_job("app-2", "artifact-1", "user-1")
+        assert grant.app_config is not None
+        assert set(grant.app_config) == set(app_level_space().names)
+
+    def test_corrupt_model_payload_degrades_gracefully(self, backend, client):
+        plan = run_queries(client, backend, n=5)
+        # Overwrite the stored model with garbage: the next suggestion must
+        # fall back to exploration instead of crashing the submission path.
+        backend.storage.write_model("user-1", plan.signature(), "{not json")
+        client.model_loader.invalidate()
+        config = client.suggest_config(plan)
+        assert set(config) == set(query_level_space().names)
+        assert client.model_loader.decode_failures > 0
+        assert client.suggestion_log[-1].model_available is False
+
+    def test_token_refresh_on_expiry(self, tmp_path):
+        clock = {"now": 0.0}
+        issuer = SasTokenIssuer("s", default_ttl=10.0, clock=lambda: clock["now"])
+        backend = AutotuneBackend(
+            storage=StorageManager(tmp_path / "s"), issuer=issuer,
+            query_space=query_level_space(),
+        )
+        client = AutotuneClient(backend, "app-1", "art-1", "u", query_level_space())
+        run_count = client.credentials.refresh_count
+        plan = run_queries(client, backend, n=2)
+        clock["now"] = 100.0  # expire everything
+        run_queries(client, backend, n=2)
+        assert client.credentials.refresh_count > run_count

@@ -1,0 +1,62 @@
+"""Tests for the in-process event hub."""
+
+import pytest
+
+from repro.service.events_hub import EventHub
+
+
+def test_buffer_size_validation():
+    with pytest.raises(ValueError):
+        EventHub(buffer_size=0)
+
+
+def test_publish_reaches_all_subscribers():
+    hub = EventHub()
+    seen_a, seen_b = [], []
+    hub.subscribe("a", seen_a.append)
+    hub.subscribe("b", seen_b.append)
+    hub.publish("event-1")
+    assert seen_a == ["event-1"]
+    assert seen_b == ["event-1"]
+    assert hub.published_count == 1
+
+
+def test_duplicate_subscriber_rejected():
+    hub = EventHub()
+    hub.subscribe("a", lambda e: None)
+    with pytest.raises(ValueError):
+        hub.subscribe("a", lambda e: None)
+
+
+def test_unsubscribe():
+    hub = EventHub()
+    seen = []
+    hub.subscribe("a", seen.append)
+    assert hub.unsubscribe("a")
+    assert not hub.unsubscribe("a")
+    hub.publish("x")
+    assert seen == []
+
+
+def test_failing_subscriber_does_not_block_others():
+    hub = EventHub()
+    seen = []
+
+    def broken(event):
+        raise RuntimeError("boom")
+
+    hub.subscribe("broken", broken)
+    hub.subscribe("ok", seen.append)
+    hub.publish("e1")
+    assert seen == ["e1"]
+    assert len(hub.failures) == 1
+    assert hub.failures[0].subscriber == "broken"
+    assert isinstance(hub.failures[0].error, RuntimeError)
+
+
+def test_recent_returns_newest_last():
+    hub = EventHub(buffer_size=3)
+    for i in range(5):
+        hub.publish(i)
+    assert hub.recent(10) == [2, 3, 4]   # bounded buffer dropped 0, 1
+    assert hub.recent(2) == [3, 4]

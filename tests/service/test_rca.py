@@ -1,0 +1,65 @@
+"""Tests for dashboard root-cause analysis."""
+
+import numpy as np
+import pytest
+
+from repro.service.dashboard import MonitoringDashboard
+from repro.sparksim.events import QueryEndEvent
+
+
+def make_event(i, duration, size=1e6, partitions=200.0, tasks=100.0):
+    return QueryEndEvent(
+        app_id="app", artifact_id="art", query_signature="sig", user_id="u",
+        iteration=i, config={"spark.sql.shuffle.partitions": partitions},
+        data_size=size, duration_seconds=duration, metrics={"tasks": tasks},
+    )
+
+
+class TestExplain:
+    def test_needs_enough_events(self):
+        dash = MonitoringDashboard()
+        dash.ingest(make_event(0, 1.0))
+        with pytest.raises(ValueError, match="RCA"):
+            dash.explain("sig")
+
+    def test_knob_driven_regression_attributed_to_knob(self, rng):
+        dash = MonitoringDashboard()
+        for i in range(20):
+            partitions = 100.0 + 50.0 * i
+            duration = 5.0 + 0.01 * partitions + rng.normal(0, 0.05)
+            dash.ingest(make_event(i, duration, partitions=partitions,
+                                   tasks=partitions))
+        report = dash.explain("sig")
+        assert report.knob_correlations["spark.sql.shuffle.partitions"] > 0.8
+        assert abs(report.data_size_correlation) < 0.5
+        assert report.dominant_factor != "data_size"
+
+    def test_data_driven_slowdown_attributed_to_data(self, rng):
+        dash = MonitoringDashboard()
+        for i in range(20):
+            size = 1e6 * (1 + i)
+            duration = 1.0 + size * 1e-6 + rng.normal(0, 0.1)
+            # Knob wiggles randomly, uncorrelated with time.
+            dash.ingest(make_event(i, duration, size=size,
+                                   partitions=float(rng.integers(100, 300))))
+        report = dash.explain("sig")
+        assert report.data_size_correlation > 0.9
+        assert report.dominant_factor == "data_size"
+        knob_corr = report.knob_correlations["spark.sql.shuffle.partitions"]
+        assert abs(knob_corr) < 0.6
+
+    def test_constant_knob_excluded(self, rng):
+        dash = MonitoringDashboard()
+        for i in range(10):
+            dash.ingest(make_event(i, 5.0 + rng.normal(0, 0.1)))
+        report = dash.explain("sig")
+        assert "spark.sql.shuffle.partitions" not in report.knob_correlations
+
+    def test_metric_correlations_present(self, rng):
+        dash = MonitoringDashboard()
+        for i in range(15):
+            tasks = 50.0 + 20.0 * i
+            dash.ingest(make_event(i, 1.0 + 0.05 * tasks + rng.normal(0, 0.1),
+                                   partitions=tasks, tasks=tasks))
+        report = dash.explain("sig")
+        assert report.metric_correlations["tasks"] > 0.8

@@ -1,0 +1,115 @@
+"""Tests for posterior trajectory replay and guardrail audits."""
+
+import numpy as np
+import pytest
+
+from repro.core.guardrail import Guardrail
+from repro.service.replay import audit_guardrail, replay_artifact
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.events import QueryEndEvent
+
+
+def make_event(app, i, sig="sig-a", duration=10.0, partitions=200.0, size=1e6):
+    space = query_level_space()
+    config = space.default_dict()
+    config["spark.sql.shuffle.partitions"] = partitions
+    return QueryEndEvent(
+        app_id=app, artifact_id="art", query_signature=sig, user_id="u",
+        iteration=i, config=config, data_size=size, duration_seconds=duration,
+    )
+
+
+@pytest.fixture
+def storage(tmp_path):
+    s = StorageManager(tmp_path)
+    # Two app runs; partitions drift downward; duration improves.
+    for run, app in enumerate(("app-0", "app-1")):
+        events = [
+            make_event(app, i, duration=10.0 - run - 0.2 * i,
+                       partitions=200.0 - 20 * (run * 5 + i))
+            for i in range(5)
+        ]
+        events.append(make_event(app, 0, sig="sig-b", duration=3.0))
+        s.append_events(app, "art", events)
+    return s
+
+
+class TestReplay:
+    def test_trajectories_grouped_and_ordered(self, storage):
+        trajectories = replay_artifact(storage, "art")
+        assert set(trajectories) == {"sig-a", "sig-b"}
+        a = trajectories["sig-a"]
+        assert len(a) == 10
+        assert a.durations[0] == 10.0
+        assert a.durations[-1] < a.durations[0]
+
+    def test_unknown_artifact_empty(self, storage):
+        assert replay_artifact(storage, "nope") == {}
+
+    def test_config_series(self, storage):
+        a = replay_artifact(storage, "art")["sig-a"]
+        series = a.config_series("spark.sql.shuffle.partitions")
+        assert series[0] == 200.0
+        assert series[-1] < series[0]
+
+    def test_knob_travel_sign(self, storage):
+        space = query_level_space()
+        travel = replay_artifact(storage, "art")["sig-a"].knob_travel(space)
+        assert travel["spark.sql.shuffle.partitions"] < 0   # tuned downward
+        assert travel["spark.sql.files.maxPartitionBytes"] == pytest.approx(0.0)
+
+    def test_to_observations_roundtrip(self, storage):
+        space = query_level_space()
+        obs = replay_artifact(storage, "art")["sig-a"].to_observations(space)
+        assert len(obs) == 10
+        assert obs[3].performance == pytest.approx(10.0 - 0.6)
+
+
+class TestGuardrailAudit:
+    def test_healthy_trajectory_not_disabled(self, storage):
+        space = query_level_space()
+        traj = replay_artifact(storage, "art")["sig-a"]
+        audit = audit_guardrail(
+            traj, space,
+            guardrail_factory=lambda: Guardrail(min_iterations=4, threshold=0.2,
+                                                patience=2),
+        )
+        assert not audit.would_disable
+        assert audit.disable_iteration is None
+
+    def test_regressing_trajectory_flagged_with_iteration(self, tmp_path):
+        storage = StorageManager(tmp_path)
+        events = [make_event("app-0", i, duration=5.0 + 4.0 * i) for i in range(20)]
+        storage.append_events("app-0", "art", events)
+        traj = replay_artifact(storage, "art")["sig-a"]
+        audit = audit_guardrail(
+            traj, query_level_space(),
+            guardrail_factory=lambda: Guardrail(min_iterations=4, threshold=0.1,
+                                                patience=2),
+        )
+        assert audit.would_disable
+        assert audit.disable_iteration is not None
+        assert audit.decisions  # the dashboard can show why
+
+    def test_reparameterized_audit_changes_outcome(self, tmp_path):
+        """The what-if workflow: a stricter threshold flags what the
+        production setting tolerated."""
+        storage = StorageManager(tmp_path)
+        events = [make_event("app-0", i, duration=5.0 * (1.03 ** i))
+                  for i in range(40)]
+        storage.append_events("app-0", "art", events)
+        traj = replay_artifact(storage, "art")["sig-a"]
+        space = query_level_space()
+        lax = audit_guardrail(
+            traj, space,
+            guardrail_factory=lambda: Guardrail(min_iterations=5, threshold=0.5,
+                                                patience=3),
+        )
+        strict = audit_guardrail(
+            traj, space,
+            guardrail_factory=lambda: Guardrail(min_iterations=5, threshold=0.02,
+                                                patience=2),
+        )
+        assert not lax.would_disable
+        assert strict.would_disable

@@ -1,0 +1,114 @@
+"""Tests for the storage manager (event folders, models, GDPR cleanup)."""
+
+import pytest
+
+from repro.service.storage import StorageManager
+from repro.sparksim.events import QueryEndEvent
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make_event(app="app-1", artifact="art-1", i=0):
+    return QueryEndEvent(
+        app_id=app, artifact_id=artifact, query_signature="sig",
+        user_id="u1", iteration=i, config={"k": 1.0}, data_size=10.0,
+        duration_seconds=1.0,
+    )
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def storage(tmp_path, clock):
+    return StorageManager(tmp_path, clock=clock)
+
+
+class TestEvents:
+    def test_append_and_read_by_app(self, storage):
+        storage.append_events("app-1", "art-1", [make_event(i=0), make_event(i=1)])
+        events = storage.read_app_events("app-1")
+        assert [e.iteration for e in events] == [0, 1]
+
+    def test_append_is_cumulative(self, storage):
+        storage.append_events("app-1", "art-1", [make_event(i=0)])
+        storage.append_events("app-1", "art-1", [make_event(i=1)])
+        assert len(storage.read_app_events("app-1")) == 2
+
+    def test_read_by_artifact_spans_apps(self, storage):
+        storage.append_events("app-1", "art-1", [make_event(app="app-1")])
+        storage.append_events("app-2", "art-1", [make_event(app="app-2")])
+        events = storage.read_artifact_events("art-1")
+        assert {e.app_id for e in events} == {"app-1", "app-2"}
+
+    def test_missing_app_returns_empty(self, storage):
+        assert storage.read_app_events("nope") == []
+        assert storage.read_artifact_events("nope") == []
+
+    def test_empty_append_is_noop(self, storage):
+        storage.append_events("app-1", "art-1", [])
+        assert storage.read_app_events("app-1") == []
+
+
+class TestModels:
+    def test_write_read_roundtrip(self, storage):
+        storage.write_model("u1", "sig-a", '{"type": "fake"}')
+        assert storage.read_model("u1", "sig-a") == '{"type": "fake"}'
+
+    def test_missing_model_is_none(self, storage):
+        assert storage.read_model("u1", "nope") is None
+
+    def test_models_isolated_per_user(self, storage):
+        storage.write_model("u1", "sig", "m1")
+        storage.write_model("u2", "sig", "m2")
+        assert storage.read_model("u1", "sig") == "m1"
+        assert storage.read_model("u2", "sig") == "m2"
+
+
+class TestGDPRCleanup:
+    def test_old_event_files_removed(self, storage, clock):
+        storage.append_events("app-old", "art-1", [make_event(app="app-old")])
+        clock.now = 100.0
+        storage.append_events("app-new", "art-1", [make_event(app="app-new")])
+        removed = storage.cleanup(ttl_seconds=50.0)
+        assert any("app-old" in r for r in removed)
+        assert storage.read_app_events("app-old") == []
+        assert len(storage.read_app_events("app-new")) == 1
+
+    def test_models_survive_cleanup(self, storage, clock):
+        storage.write_model("u1", "sig", "model")
+        clock.now = 1e9
+        storage.cleanup(ttl_seconds=1.0)
+        assert storage.read_model("u1", "sig") == "model"
+
+    def test_invalid_ttl(self, storage):
+        with pytest.raises(ValueError):
+            storage.cleanup(0.0)
+
+    def test_manifest_survives_restart(self, tmp_path, clock):
+        s1 = StorageManager(tmp_path, clock=clock)
+        s1.append_events("app-1", "art-1", [make_event()])
+        clock.now = 100.0
+        s2 = StorageManager(tmp_path, clock=clock)  # reload manifest
+        removed = s2.cleanup(ttl_seconds=50.0)
+        assert removed
+
+    def test_corrupt_manifest_rebuilt_from_disk(self, tmp_path, clock):
+        s1 = StorageManager(tmp_path, clock=clock)
+        s1.append_events("app-1", "art-1", [make_event()])
+        (tmp_path / "manifest.json").write_text("{corrupt!!")
+        clock.now = 1000.0
+        s2 = StorageManager(tmp_path, clock=clock)
+        assert s2.manifest_recovered
+        # Events are still readable and re-registered for cleanup.
+        assert len(s2.read_app_events("app-1")) == 1
+        clock.now = 5000.0
+        assert s2.cleanup(ttl_seconds=1000.0)  # rebuilt entries age out

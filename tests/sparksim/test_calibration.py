@@ -1,0 +1,71 @@
+"""Tests for the cost-model calibration probes."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim.calibration import (
+    HeadroomReport,
+    knob_sensitivity,
+    measure_headroom,
+)
+from repro.workloads.tpch import tpch_plan
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return [tpch_plan(q, 10.0) for q in (1, 3, 6)]
+
+
+class TestHeadroom:
+    def test_empty_plans_rejected(self):
+        with pytest.raises(ValueError):
+            measure_headroom([])
+
+    def test_headroom_nonnegative(self, plans):
+        report = measure_headroom(plans, n_probe_configs=40, seed=0)
+        assert len(report.per_plan_pct) == 3
+        assert all(pct >= 0 for pct in report.per_plan_pct.values())
+
+    def test_summary_statistics_consistent(self, plans):
+        report = measure_headroom(plans, n_probe_configs=40, seed=0)
+        values = list(report.per_plan_pct.values())
+        assert report.mean_pct == pytest.approx(np.mean(values))
+        assert report.max_pct == pytest.approx(max(values))
+        assert report.median_pct <= report.max_pct
+
+    def test_render_contains_all_plans(self, plans):
+        report = measure_headroom(plans, n_probe_configs=20, seed=0)
+        text = report.render()
+        for plan in plans:
+            assert plan.name in text
+
+    def test_more_probes_never_reduce_headroom(self, plans):
+        # The probe minimum is a lower bound on the true optimum: with a
+        # superset probe set (same seed stream), headroom can only grow.
+        small = measure_headroom(plans[:1], n_probe_configs=10, seed=0)
+        large = measure_headroom(plans[:1], n_probe_configs=200, seed=0)
+        name = plans[0].name
+        assert large.per_plan_pct[name] >= small.per_plan_pct[name] - 1e-9
+
+
+class TestKnobSensitivity:
+    def test_unknown_knob_rejected(self, plans):
+        with pytest.raises(KeyError):
+            knob_sensitivity(plans[0], "spark.bogus.knob")
+
+    def test_sweep_shapes(self, plans):
+        s = knob_sensitivity(plans[0], "spark.sql.shuffle.partitions", n_points=15)
+        assert s.grid.shape == (15,)
+        assert s.times.shape == (15,)
+        assert s.range_ratio >= 1.0
+        assert s.grid.min() <= s.best_value <= s.grid.max()
+
+    def test_partitions_response_is_unimodal(self, plans):
+        for plan in plans:
+            s = knob_sensitivity(plan, "spark.sql.shuffle.partitions", n_points=20)
+            assert s.is_unimodal, plan.name
+
+    def test_scan_knob_sensitive_for_scan_heavy_query(self, plans):
+        # q6 is a pure lineitem scan: maxPartitionBytes must matter.
+        s = knob_sensitivity(tpch_plan(6, 10.0), "spark.sql.files.maxPartitionBytes")
+        assert s.range_ratio > 1.1

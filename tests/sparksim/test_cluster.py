@@ -1,0 +1,73 @@
+"""Tests for pools and executor layouts."""
+
+import pytest
+
+from repro.sparksim.cluster import (
+    ExecutorLayout,
+    NodeType,
+    Pool,
+    STANDARD_POOLS,
+    default_pool,
+)
+
+
+class TestNodeType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeType(name="bad", cores=0, memory_gb=8)
+
+
+class TestPool:
+    def test_capacity_properties(self):
+        pool = STANDARD_POOLS["pool-large"]
+        assert pool.max_cores == pool.node_type.cores * pool.max_nodes
+        assert pool.max_memory_gb == pool.node_type.memory_gb * pool.max_nodes
+
+    def test_max_nodes_validation(self):
+        with pytest.raises(ValueError):
+            Pool(pool_id="x", node_type=STANDARD_POOLS["pool-large"].node_type,
+                 max_nodes=0)
+
+
+class TestExecutorLayout:
+    def test_defaults_from_empty_config(self):
+        layout = ExecutorLayout.from_config({})
+        assert layout.executors == 4
+        assert layout.cores_per_executor == 4
+        assert layout.memory_gb_per_executor == 8
+        assert layout.offheap_gb_per_executor == 0.0
+
+    def test_from_app_config(self):
+        layout = ExecutorLayout.from_config({
+            "spark.executor.instances": 8,
+            "spark.executor.cores": 8,
+            "spark.executor.memory": 16,
+            "spark.memory.offHeap.enabled": 1,
+            "spark.memory.offHeap.size": 4,
+        })
+        assert layout.executors == 8
+        assert layout.total_cores == 64
+        assert layout.offheap_gb_per_executor == 4.0
+        assert layout.memory_gb_per_core == pytest.approx(20 / 8)
+
+    def test_offheap_disabled_ignores_size(self):
+        layout = ExecutorLayout.from_config({
+            "spark.memory.offHeap.enabled": 0,
+            "spark.memory.offHeap.size": 16,
+        })
+        assert layout.offheap_gb_per_executor == 0.0
+
+    def test_pool_caps_executors(self):
+        small = Pool(pool_id="tiny", node_type=NodeType("n", cores=4, memory_gb=16),
+                     max_nodes=1)
+        layout = ExecutorLayout.from_config({"spark.executor.instances": 1000}, small)
+        assert layout.executors <= 8  # per-node host cap × 1 node
+
+    def test_pool_caps_memory(self):
+        small = Pool(pool_id="tiny", node_type=NodeType("n", cores=4, memory_gb=16),
+                     max_nodes=1)
+        layout = ExecutorLayout.from_config({"spark.executor.memory": 512}, small)
+        assert layout.memory_gb_per_executor <= 16
+
+    def test_default_pool_is_standard(self):
+        assert default_pool().pool_id in STANDARD_POOLS

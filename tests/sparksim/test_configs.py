@@ -1,0 +1,56 @@
+"""Tests for the Spark knob catalog."""
+
+import pytest
+
+from repro.sparksim.configs import (
+    app_level_space,
+    full_space,
+    manual_study_space,
+    query_level_space,
+)
+
+
+def test_query_level_space_is_the_production_trio():
+    space = query_level_space()
+    assert space.names == [
+        "spark.sql.files.maxPartitionBytes",
+        "spark.sql.autoBroadcastJoinThreshold",
+        "spark.sql.shuffle.partitions",
+    ]
+    assert all(p.scope == "query" for p in space)
+
+
+def test_manual_study_space_has_seven_knobs():
+    assert len(manual_study_space()) == 7  # Sec. 2.2 user study
+
+
+def test_app_level_space_scopes():
+    assert all(p.scope == "app" for p in app_level_space())
+
+
+def test_full_space_contains_both():
+    joint = full_space()
+    names = set(joint.names)
+    assert set(query_level_space().names) <= names
+    assert "spark.executor.instances" in names
+
+
+def test_defaults_match_spark_conventions():
+    space = query_level_space()
+    d = space.default_dict()
+    assert d["spark.sql.shuffle.partitions"] == 200
+    assert d["spark.sql.files.maxPartitionBytes"] == 128 * 1024 * 1024
+    assert d["spark.sql.autoBroadcastJoinThreshold"] == 10 * 1024 * 1024
+
+
+def test_byte_knobs_are_log_scaled():
+    space = query_level_space()
+    assert space["spark.sql.files.maxPartitionBytes"].log_scale
+    assert space["spark.sql.autoBroadcastJoinThreshold"].log_scale
+
+
+def test_subspace_partition():
+    joint = full_space()
+    q = joint.subspace("query")
+    a = joint.subspace("app")
+    assert len(q) + len(a) == len(joint)

@@ -1,0 +1,148 @@
+"""Tests for the analytic cost model — the knob-response shapes the paper
+relies on."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim.cluster import ExecutorLayout
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.cost_model import CostModel, CostParameters
+from repro.sparksim.plan import Operator, OpType, PhysicalPlan
+from repro.workloads.tables import TPCH_TABLES
+from repro.workloads.tpch import tpch_plan
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+@pytest.fixture
+def layout():
+    return ExecutorLayout(executors=4, cores_per_executor=4,
+                          memory_gb_per_executor=8.0)
+
+
+def scan_plan(rows=50_000_000, row_bytes=100.0):
+    return PhysicalPlan([
+        Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes),
+        Operator(op_id=1, op_type=OpType.PROJECT, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes, children=(0,)),
+    ])
+
+
+def shuffle_plan(rows=20_000_000, row_bytes=100.0):
+    return PhysicalPlan([
+        Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes),
+        Operator(op_id=1, op_type=OpType.EXCHANGE, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes, children=(0,)),
+        Operator(op_id=2, op_type=OpType.PROJECT, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes, children=(1,)),
+    ])
+
+
+def join_plan(build_rows, probe_rows=10_000_000, row_bytes=100.0):
+    return PhysicalPlan([
+        Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=probe_rows,
+                 est_rows_out=probe_rows, row_bytes=row_bytes),
+        Operator(op_id=1, op_type=OpType.TABLE_SCAN, est_rows_in=build_rows,
+                 est_rows_out=build_rows, row_bytes=row_bytes),
+        Operator(op_id=2, op_type=OpType.JOIN, est_rows_in=probe_rows + build_rows,
+                 est_rows_out=probe_rows, row_bytes=row_bytes, children=(0, 1)),
+    ])
+
+
+class TestKnobShapes:
+    def test_max_partition_bytes_is_convex_like(self, model, layout):
+        """Tiny partitions pay overhead; huge ones under-parallelize."""
+        plan = scan_plan()
+        grid = np.logspace(np.log10(1 << 20), np.log10(1 << 30), 15)
+        times = [
+            model.estimate(plan, {"spark.sql.files.maxPartitionBytes": m}, layout).total_seconds
+            for m in grid
+        ]
+        best = int(np.argmin(times))
+        assert 0 < best < len(grid) - 1           # interior optimum
+        assert times[0] > times[best]
+        assert times[-1] > times[best]
+
+    def test_shuffle_partitions_is_convex_like(self, model, layout):
+        plan = shuffle_plan()
+        grid = np.unique(np.logspace(np.log10(8), np.log10(4000), 15).round())
+        times = [
+            model.estimate(plan, {"spark.sql.shuffle.partitions": p}, layout).total_seconds
+            for p in grid
+        ]
+        best = int(np.argmin(times))
+        assert times[0] > times[best]
+        assert times[-1] > times[best]
+
+    def test_broadcast_good_for_small_build_side(self, model, layout):
+        plan = join_plan(build_rows=50_000)  # 5 MB build side
+        smj = model.estimate(
+            plan, {"spark.sql.autoBroadcastJoinThreshold": 1024}, layout
+        ).total_seconds
+        bhj = model.estimate(
+            plan, {"spark.sql.autoBroadcastJoinThreshold": 64 << 20}, layout
+        ).total_seconds
+        assert bhj < smj
+
+    def test_broadcast_penalized_for_huge_build_side(self, model, layout):
+        # Build side = the smaller input; make it 8 GB (way past memory).
+        plan = join_plan(build_rows=80_000_000, probe_rows=200_000_000)
+        smj = model.estimate(
+            plan, {"spark.sql.autoBroadcastJoinThreshold": 1024}, layout
+        ).total_seconds
+        forced_bhj = model.estimate(
+            plan, {"spark.sql.autoBroadcastJoinThreshold": float(2 << 40)}, layout
+        ).total_seconds
+        assert forced_bhj > smj
+
+    def test_more_cores_never_slower_on_scans(self, model):
+        plan = scan_plan()
+        small = ExecutorLayout(executors=2, cores_per_executor=2,
+                               memory_gb_per_executor=8.0)
+        big = ExecutorLayout(executors=16, cores_per_executor=8,
+                             memory_gb_per_executor=8.0)
+        config = {"spark.sql.files.maxPartitionBytes": 64 << 20}
+        assert (model.estimate(plan, config, big).total_seconds
+                <= model.estimate(plan, config, small).total_seconds)
+
+    def test_memory_relieves_spill(self, model):
+        plan = shuffle_plan(rows=200_000_000)
+        config = {"spark.sql.shuffle.partitions": 16}  # few, fat reducers
+        starved = ExecutorLayout(executors=4, cores_per_executor=4,
+                                 memory_gb_per_executor=2.0)
+        roomy = ExecutorLayout(executors=4, cores_per_executor=4,
+                               memory_gb_per_executor=64.0)
+        assert (model.estimate(plan, config, roomy).total_seconds
+                < model.estimate(plan, config, starved).total_seconds)
+
+
+class TestEstimates:
+    def test_breakdown_covers_every_operator(self, model, layout, spark_space):
+        plan = tpch_plan(3, 1.0)
+        breakdown = model.estimate(plan, spark_space.default_dict(), layout)
+        assert set(breakdown.per_operator) == {op.op_id for op in plan.operators}
+        assert breakdown.total_seconds > sum(breakdown.per_operator.values()) - 1e-9
+
+    def test_metrics_present(self, model, layout, spark_space):
+        plan = tpch_plan(3, 1.0)
+        metrics = model.estimate(plan, spark_space.default_dict(), layout).metrics
+        assert metrics["tasks"] > 0
+        assert metrics["input_rows"] == plan.total_leaf_cardinality
+
+    def test_monotone_in_data_scale(self, model, layout, spark_space):
+        config = spark_space.default_dict()
+        t1 = model.estimate(tpch_plan(6, 1.0), config, layout).total_seconds
+        t10 = model.estimate(tpch_plan(6, 10.0), config, layout).total_seconds
+        assert t10 > t1
+
+    def test_deterministic(self, model, layout, spark_space):
+        plan = tpch_plan(5, 1.0)
+        config = spark_space.default_dict()
+        a = model.estimate(plan, config, layout).total_seconds
+        b = model.estimate(plan, config, layout).total_seconds
+        assert a == b

@@ -1,0 +1,68 @@
+"""Tests for listener event records and JSONL serialization."""
+
+import pytest
+
+from repro.sparksim.events import (
+    AppEndEvent,
+    QueryEndEvent,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+
+
+@pytest.fixture
+def query_event():
+    return QueryEndEvent(
+        app_id="app-1",
+        artifact_id="artifact-1",
+        query_signature="sig-1",
+        user_id="user-1",
+        iteration=3,
+        config={"spark.sql.shuffle.partitions": 200.0},
+        data_size=1e6,
+        duration_seconds=12.5,
+        embedding=[0.0, 1.0],
+        metrics={"tasks": 100.0},
+        region="us",
+    )
+
+
+@pytest.fixture
+def app_event():
+    return AppEndEvent(
+        app_id="app-1",
+        artifact_id="artifact-1",
+        user_id="user-1",
+        app_config={"spark.executor.instances": 8.0},
+        query_signatures=["sig-1", "sig-2"],
+        total_duration_seconds=100.0,
+    )
+
+
+def test_query_event_json_roundtrip(query_event):
+    restored = QueryEndEvent.from_json(query_event.to_json())
+    assert restored == query_event
+
+
+def test_app_event_json_roundtrip(app_event):
+    restored = AppEndEvent.from_json(app_event.to_json())
+    assert restored == app_event
+
+
+def test_jsonl_roundtrip_mixed(query_event, app_event):
+    text = events_to_jsonl([query_event, app_event, query_event])
+    restored = events_from_jsonl(text)
+    assert len(restored) == 3
+    assert isinstance(restored[0], QueryEndEvent)
+    assert isinstance(restored[1], AppEndEvent)
+    assert restored[2] == query_event
+
+
+def test_jsonl_skips_blank_lines(query_event):
+    text = "\n\n" + query_event.to_json() + "\n\n"
+    assert len(events_from_jsonl(text)) == 1
+
+
+def test_unknown_event_type_rejected():
+    with pytest.raises(ValueError, match="unknown event type"):
+        events_from_jsonl('{"event_type": "Mystery"}')

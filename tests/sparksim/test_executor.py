@@ -1,0 +1,66 @@
+"""Tests for the SparkSimulator."""
+
+import numpy as np
+import pytest
+
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import high_noise, no_noise
+from repro.workloads.tpch import tpch_plan
+
+
+class TestSimulator:
+    def test_true_time_matches_noiseless_run(self, q3_plan, spark_space):
+        sim = SparkSimulator(noise=no_noise(), seed=0)
+        config = spark_space.default_dict()
+        result = sim.run(q3_plan, config)
+        assert result.elapsed_seconds == pytest.approx(result.true_seconds)
+        assert result.true_seconds == pytest.approx(sim.true_time(q3_plan, config))
+
+    def test_noisy_run_at_least_true(self, q3_plan, spark_space):
+        sim = SparkSimulator(noise=high_noise(), seed=1)
+        for _ in range(20):
+            result = sim.run(q3_plan, spark_space.default_dict())
+            assert result.elapsed_seconds >= result.true_seconds
+
+    def test_same_seed_replays_noise(self, q3_plan, spark_space):
+        config = spark_space.default_dict()
+        a = SparkSimulator(noise=high_noise(), seed=7)
+        b = SparkSimulator(noise=high_noise(), seed=7)
+        times_a = [a.run(q3_plan, config).elapsed_seconds for _ in range(5)]
+        times_b = [b.run(q3_plan, config).elapsed_seconds for _ in range(5)]
+        assert times_a == times_b
+
+    def test_data_scale_scales_size_and_time(self, q3_plan, spark_space):
+        sim = SparkSimulator(noise=no_noise(), seed=0)
+        config = spark_space.default_dict()
+        r1 = sim.run(q3_plan, config, data_scale=1.0)
+        r3 = sim.run(q3_plan, config, data_scale=3.0)
+        assert r3.data_size == pytest.approx(3.0 * r1.data_size)
+        assert r3.true_seconds > r1.true_seconds
+
+    def test_run_count_increments(self, q3_plan, spark_space):
+        sim = SparkSimulator(noise=no_noise(), seed=0)
+        for i in range(3):
+            sim.run(q3_plan, spark_space.default_dict())
+        assert sim.run_count == 3
+
+    def test_result_carries_signature_and_metrics(self, q3_plan, spark_space):
+        sim = SparkSimulator(noise=no_noise(), seed=0)
+        result = sim.run(q3_plan, spark_space.default_dict())
+        assert result.plan_signature == q3_plan.signature()
+        assert result.metrics["tasks"] > 0
+
+    def test_run_to_event_round_trips_fields(self, q3_plan, spark_space):
+        sim = SparkSimulator(noise=no_noise(), seed=0)
+        embedding = np.array([1.0, 2.0, 3.0])
+        event = sim.run_to_event(
+            q3_plan, spark_space.default_dict(),
+            app_id="app", artifact_id="art", user_id="u", iteration=4,
+            embedding=embedding, region="eu",
+        )
+        assert event.app_id == "app"
+        assert event.iteration == 4
+        assert event.embedding == [1.0, 2.0, 3.0]
+        assert event.query_signature == q3_plan.signature()
+        assert event.region == "eu"
+        assert event.duration_seconds > 0

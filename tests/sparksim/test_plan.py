@@ -1,0 +1,104 @@
+"""Tests for physical plans (operator DAGs)."""
+
+import pytest
+
+from repro.sparksim.plan import Operator, OpType, PhysicalPlan
+
+
+def chain_plan():
+    return PhysicalPlan([
+        Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1000, est_rows_out=1000),
+        Operator(op_id=1, op_type=OpType.FILTER, est_rows_in=1000, est_rows_out=100,
+                 children=(0,)),
+        Operator(op_id=2, op_type=OpType.HASH_AGGREGATE, est_rows_in=100, est_rows_out=10,
+                 children=(1,)),
+    ], name="chain")
+
+
+class TestOperator:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="operator type"):
+            Operator(op_id=0, op_type="Teleport", est_rows_in=1, est_rows_out=1)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Operator(op_id=0, op_type=OpType.FILTER, est_rows_in=-1, est_rows_out=0)
+
+    def test_bytes_properties(self):
+        op = Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=10,
+                      est_rows_out=10, row_bytes=50.0)
+        assert op.bytes_in == 500.0
+        assert op.bytes_out == 500.0
+
+
+class TestPhysicalPlan:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalPlan([])
+
+    def test_duplicate_ids_rejected(self):
+        op = Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1, est_rows_out=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            PhysicalPlan([op, op])
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(ValueError, match="unknown child"):
+            PhysicalPlan([
+                Operator(op_id=0, op_type=OpType.FILTER, est_rows_in=1,
+                         est_rows_out=1, children=(99,))
+            ])
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(ValueError, match="root"):
+            PhysicalPlan([
+                Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1, est_rows_out=1),
+                Operator(op_id=1, op_type=OpType.TABLE_SCAN, est_rows_in=1, est_rows_out=1),
+            ])
+
+    def test_topological_order(self):
+        plan = chain_plan()
+        ids = [op.op_id for op in plan.operators]
+        assert ids.index(0) < ids.index(1) < ids.index(2)
+
+    def test_root_and_leaves(self):
+        plan = chain_plan()
+        assert plan.root.op_id == 2
+        assert [op.op_id for op in plan.leaves] == [0]
+
+    def test_embedding_ingredients(self):
+        plan = chain_plan()
+        assert plan.root_cardinality == 10
+        assert plan.total_leaf_cardinality == 1000
+        assert plan.operator_counts() == {
+            OpType.TABLE_SCAN: 1, OpType.FILTER: 1, OpType.HASH_AGGREGATE: 1
+        }
+
+    def test_signature_stable_across_cardinalities(self):
+        plan = chain_plan()
+        scaled = plan.scaled(10.0)
+        assert plan.signature() == scaled.signature()
+
+    def test_signature_differs_for_different_shapes(self):
+        plan = chain_plan()
+        other = PhysicalPlan([
+            Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=1000, est_rows_out=1000),
+            Operator(op_id=1, op_type=OpType.SORT, est_rows_in=1000, est_rows_out=1000,
+                     children=(0,)),
+            Operator(op_id=2, op_type=OpType.HASH_AGGREGATE, est_rows_in=1000,
+                     est_rows_out=10, children=(1,)),
+        ])
+        assert plan.signature() != other.signature()
+
+    def test_scaled_multiplies_cardinalities(self):
+        plan = chain_plan().scaled(3.0)
+        assert plan.total_leaf_cardinality == 3000
+        assert plan.root_cardinality == 30
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            chain_plan().scaled(0.0)
+
+    def test_len_and_iter(self):
+        plan = chain_plan()
+        assert len(plan) == 3
+        assert len(list(plan)) == 3

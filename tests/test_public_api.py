@@ -1,0 +1,58 @@
+"""Public-API surface tests: everything advertised must exist and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.ml", "repro.optimizers", "repro.sparksim",
+    "repro.workloads", "repro.embedding", "repro.offline", "repro.service",
+    "repro.experiments",
+])
+def test_subpackage_all_names_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_readme_quickstart_executes():
+    """The README / package-docstring quickstart must keep working."""
+    from repro import (
+        CentroidLearning,
+        SparkSimulator,
+        TuningSession,
+        low_noise,
+        query_level_space,
+        tpch_plan,
+    )
+
+    space = query_level_space()
+    session = TuningSession(
+        plan=tpch_plan(3, scale_factor=1.0),
+        simulator=SparkSimulator(noise=low_noise(), seed=0),
+        optimizer=CentroidLearning(space, seed=0),
+    )
+    trace = session.run(8)
+    speedup = trace.speedup_vs(session.default_true_time())
+    assert isinstance(speedup, float)
+
+
+def test_lower_is_better_convention_documented():
+    """Performance means execution time, minimized, everywhere."""
+    from repro.core.optimizer_base import Optimizer
+
+    assert "lower is better" in (Optimizer.__module__ and
+                                 importlib.import_module(
+                                     "repro.core.optimizer_base").__doc__.lower())

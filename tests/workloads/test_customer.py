@@ -1,0 +1,67 @@
+"""Tests for the customer workload population generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.customer import CustomerWorkload, generate_population
+
+
+class TestGeneratePopulation:
+    def test_size_and_determinism(self):
+        a = generate_population(10, seed=3)
+        b = generate_population(10, seed=3)
+        assert len(a) == 10
+        assert [w.workload_id for w in a] == [w.workload_id for w in b]
+        assert [len(w.plans) for w in a] == [len(w.plans) for w in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_population(0)
+        with pytest.raises(ValueError):
+            generate_population(5, pathological_fraction=1.0)
+
+    def test_queries_per_workload_range(self):
+        pop = generate_population(20, seed=0, queries_per_workload=(2, 3))
+        assert all(2 <= len(w.plans) <= 3 for w in pop)
+
+    def test_pathological_fraction_roughly_respected(self):
+        pop = generate_population(200, seed=1, pathological_fraction=0.1)
+        frac = sum(1 for w in pop if w.pathology) / len(pop)
+        assert 0.04 < frac < 0.2
+
+    def test_zero_pathologies(self):
+        pop = generate_population(30, seed=2, pathological_fraction=0.0)
+        assert all(w.pathology is None for w in pop)
+
+    def test_unique_ids_shared_users(self):
+        pop = generate_population(40, seed=0)
+        ids = [w.workload_id for w in pop]
+        assert len(set(ids)) == 40
+        assert len({w.user_id for w in pop}) < 40  # users own several notebooks
+
+
+class TestCustomerWorkload:
+    def test_data_scale_starts_at_one(self):
+        w = generate_population(3, seed=0)[0]
+        assert w.data_scale(0) == pytest.approx(w.scale)
+
+    def test_pathology_multiplier_healthy_is_one(self, rng):
+        w = generate_population(3, seed=0, pathological_fraction=0.0)[0]
+        assert w.pathology_multiplier(5, rng) == 1.0
+
+    def test_drift_pathology_grows(self, rng):
+        w = generate_population(3, seed=0)[0]
+        object.__setattr__ if False else setattr(w, "pathology", "drift")
+        assert w.pathology_multiplier(50, rng) > w.pathology_multiplier(0, rng)
+
+    def test_variance_pathology_varies(self, rng):
+        w = generate_population(3, seed=0)[0]
+        setattr(w, "pathology", "variance")
+        values = {w.pathology_multiplier(0, rng) for _ in range(10)}
+        assert len(values) == 10
+
+    def test_plan_signatures_stable_across_population_rebuild(self):
+        a = generate_population(5, seed=9)
+        b = generate_population(5, seed=9)
+        for wa, wb in zip(a, b):
+            assert [p.signature() for p in wa.plans] == [p.signature() for p in wb.plans]

@@ -1,0 +1,101 @@
+"""Tests for data-size processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.dynamics import (
+    ConstantSize,
+    LinearGrowth,
+    PeriodicSize,
+    RandomWalkSize,
+)
+
+
+class TestConstant:
+    def test_constant(self):
+        p = ConstantSize(500.0)
+        assert p(0) == p(100) == 500.0
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSize()( -1)
+
+
+class TestLinear:
+    def test_growth(self):
+        p = LinearGrowth(initial=100.0, slope=5.0)
+        assert p(0) == 100.0
+        assert p(10) == 150.0
+
+    def test_strictly_increasing(self):
+        p = LinearGrowth(initial=10.0, slope=1.0)
+        values = [p(t) for t in range(20)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestPeriodic:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicSize(period=0)
+
+    def test_matches_t_mod_k(self):
+        p = PeriodicSize(initial=100.0, slope=10.0, period=4)
+        assert p(0) == 100.0
+        assert p(3) == 130.0
+        assert p(4) == 100.0  # wraps
+        assert p(7) == 130.0
+
+    def test_full_period_repeats(self):
+        p = PeriodicSize(period=5)
+        first = [p(t) for t in range(5)]
+        second = [p(t) for t in range(5, 10)]
+        assert first == second
+
+
+class TestRandomWalk:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkSize(initial=0.0)
+        with pytest.raises(ValueError):
+            RandomWalkSize(volatility=-1.0)
+        with pytest.raises(ValueError):
+            RandomWalkSize(min_factor=2.0)
+
+    def test_memoized_consistency(self):
+        p = RandomWalkSize(seed=1)
+        assert p(10) == p(10)
+        assert p(3) == p(3)
+
+    def test_deterministic_given_seed(self):
+        a = RandomWalkSize(seed=7)
+        b = RandomWalkSize(seed=7)
+        assert [a(t) for t in range(20)] == [b(t) for t in range(20)]
+
+    def test_band_respected(self):
+        p = RandomWalkSize(initial=100.0, volatility=0.5, min_factor=0.5,
+                           max_factor=2.0, seed=3)
+        values = [p(t) for t in range(200)]
+        assert min(values) >= 50.0
+        assert max(values) <= 200.0
+
+    def test_zero_volatility_constant(self):
+        p = RandomWalkSize(initial=100.0, volatility=0.0, seed=0)
+        assert {p(t) for t in range(10)} == {100.0}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    t=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_all_processes_positive_property(t, seed):
+    processes = [
+        ConstantSize(10.0),
+        LinearGrowth(initial=1.0, slope=0.5),
+        PeriodicSize(initial=5.0, slope=2.0, period=7),
+        RandomWalkSize(initial=50.0, volatility=0.3, seed=seed),
+    ]
+    for p in processes:
+        assert p(t) > 0

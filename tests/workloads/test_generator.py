@@ -1,0 +1,87 @@
+"""Tests for QuerySpec -> PhysicalPlan compilation."""
+
+import pytest
+
+from repro.sparksim.plan import OpType
+from repro.workloads.generator import QuerySpec, build_plan
+from repro.workloads.tables import TPCH_TABLES as T
+
+
+@pytest.fixture
+def basic_spec():
+    return QuerySpec(
+        name="q",
+        fact=T["lineitem"],
+        dimensions=(T["orders"], T["customer"]),
+        fact_selectivity=0.5,
+        dim_selectivities=(0.2, 0.3),
+        agg_reduction=0.01,
+        has_sort=True,
+        has_limit=True,
+    )
+
+
+class TestQuerySpecValidation:
+    def test_selectivity_bounds(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", fact=T["orders"], fact_selectivity=0.0)
+
+    def test_dim_selectivities_length(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", fact=T["orders"], dimensions=(T["customer"],),
+                      dim_selectivities=(0.1, 0.2))
+
+    def test_agg_reduction_bounds(self):
+        with pytest.raises(ValueError):
+            QuerySpec(name="q", fact=T["orders"], agg_reduction=1.5)
+
+
+class TestBuildPlan:
+    def test_plan_shape(self, basic_spec):
+        plan = build_plan(basic_spec, scale_factor=1.0)
+        counts = plan.operator_counts()
+        assert counts[OpType.TABLE_SCAN] == 3      # fact + 2 dims
+        assert counts[OpType.JOIN] == 2
+        assert counts[OpType.HASH_AGGREGATE] == 1
+        assert counts[OpType.SORT] == 1
+        assert counts[OpType.LIMIT] == 1
+        assert plan.root.op_type == OpType.PROJECT
+
+    def test_scale_factor_scales_leaves(self, basic_spec):
+        p1 = build_plan(basic_spec, 1.0)
+        p10 = build_plan(basic_spec, 10.0)
+        assert p10.total_leaf_cardinality == pytest.approx(
+            10 * p1.total_leaf_cardinality, rel=1e-6
+        )
+
+    def test_signature_stable_for_recurrent_runs(self, basic_spec):
+        # The same query over grown input (plan.scaled) keeps its signature;
+        # regenerating at another *benchmark* scale factor may change the
+        # selectivity profile (fixed dimensions don't grow) and hence the id.
+        plan = build_plan(basic_spec, 1.0)
+        assert plan.signature() == plan.scaled(7.0).signature()
+
+    def test_second_fact_adds_union(self):
+        spec = QuerySpec(name="q", fact=T["lineitem"], second_fact=T["orders"])
+        plan = build_plan(spec)
+        assert plan.operator_counts().get(OpType.UNION) == 1
+
+    def test_window_flag(self):
+        spec = QuerySpec(name="q", fact=T["orders"], has_window=True)
+        plan = build_plan(spec)
+        assert plan.operator_counts().get(OpType.WINDOW) == 1
+
+    def test_no_agg(self):
+        spec = QuerySpec(name="q", fact=T["orders"], agg_reduction=0.0)
+        plan = build_plan(spec)
+        assert OpType.HASH_AGGREGATE not in plan.operator_counts()
+
+    def test_filter_reduces_cardinality(self, basic_spec):
+        plan = build_plan(basic_spec)
+        filters = [op for op in plan.operators if op.op_type == OpType.FILTER]
+        assert all(op.est_rows_out <= op.est_rows_in for op in filters)
+
+    def test_limit_caps_rows(self, basic_spec):
+        plan = build_plan(basic_spec)
+        limits = [op for op in plan.operators if op.op_type == OpType.LIMIT]
+        assert limits[0].est_rows_out <= 100

@@ -1,0 +1,95 @@
+"""Tests for streaming micro-batch workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import CentroidLearning
+from repro.core.session import TuningSession
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import NoiseModel, no_noise
+from repro.workloads.streaming import BurstyArrivals, MicroBatchStream, micro_batch_plan
+
+
+class TestMicroBatchPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            micro_batch_plan(events_per_batch=0.0)
+
+    def test_shape(self):
+        plan = micro_batch_plan()
+        counts = plan.operator_counts()
+        assert counts["TableScan"] == 1
+        assert counts["HashAggregate"] == 1
+        assert plan.total_leaf_cardinality == 200_000
+
+    def test_signature_stable_across_batch_volumes(self):
+        plan = micro_batch_plan()
+        assert plan.signature() == plan.scaled(5.0).signature()
+
+
+class TestBurstyArrivals:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(base=0.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(wave_amplitude=1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_sigma=-1.0)
+
+    def test_deterministic_and_memoized(self):
+        a = BurstyArrivals(seed=1)
+        b = BurstyArrivals(seed=1)
+        assert [a(t) for t in range(30)] == [b(t) for t in range(30)]
+        assert a(5) == a(5)
+
+    def test_band_clamped(self):
+        arrivals = BurstyArrivals(base=1000.0, burst_sigma=3.0, seed=2)
+        values = [arrivals(t) for t in range(200)]
+        assert min(values) >= 100.0
+        assert max(values) <= 20_000.0
+
+    def test_diurnal_wave_visible(self):
+        arrivals = BurstyArrivals(base=1000.0, wave_amplitude=0.8,
+                                  burst_sigma=0.0, period=24, seed=0)
+        peak = arrivals(6)    # sin peak at t = period/4
+        trough = arrivals(18)
+        assert peak > 1.5 * trough
+
+
+class TestStreamTuning:
+    def test_stream_scale_normalized_to_base(self):
+        stream = MicroBatchStream.create(seed=0)
+        assert stream.scale(0) > 0
+        scales = [stream.scale(t) for t in range(50)]
+        assert 0.5 < np.mean(scales) < 2.0
+
+    def test_default_partitions_are_terrible_for_micro_batches(self):
+        """200 shuffle partitions on a few-MB batch = scheduling overhead."""
+        space = query_level_space()
+        sim = SparkSimulator(noise=no_noise(), seed=0)
+        plan = micro_batch_plan()
+        base = space.default_dict()
+        default_time = sim.true_time(plan, base)
+        small = dict(base)
+        small["spark.sql.shuffle.partitions"] = 16.0
+        assert sim.true_time(plan, small) < default_time
+
+    def test_tuning_a_stream_converges_to_few_partitions(self):
+        """Over many micro-batches CL pushes partitions far below 200 and
+        cuts per-batch latency."""
+        space = query_level_space()
+        stream = MicroBatchStream.create(seed=3)
+        session = TuningSession(
+            stream.plan,
+            SparkSimulator(noise=NoiseModel(0.2, 0.2), seed=1),
+            CentroidLearning(space, alpha=0.08, beta=0.15, seed=0),
+            scale_fn=stream.scale,
+        )
+        trace = session.run(60)
+        final_partitions = np.mean([
+            r.config["spark.sql.shuffle.partitions"] for r in trace.records[-10:]
+        ])
+        assert final_partitions < 150
+        normed = trace.normalized_true()
+        assert np.mean(normed[-10:]) < np.mean(normed[:10])

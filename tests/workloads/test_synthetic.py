@@ -1,0 +1,120 @@
+"""Tests for the Sec.-6.1 synthetic objective."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparksim.noise import high_noise, no_noise
+from repro.workloads.synthetic import (
+    SyntheticObjective,
+    default_synthetic_objective,
+    synthetic_space,
+)
+
+
+class TestConstruction:
+    def test_weights_shape_checked(self):
+        space = synthetic_space(3)
+        with pytest.raises(ValueError, match="weights"):
+            SyntheticObjective(space=space, optimum=space.default_vector(),
+                               weights=np.ones(2))
+
+    def test_negative_weights_rejected(self):
+        space = synthetic_space(2)
+        with pytest.raises(ValueError):
+            SyntheticObjective(space=space, optimum=space.default_vector(),
+                               weights=np.array([-1.0, 1.0]))
+
+    def test_size_exponent_positive(self):
+        space = synthetic_space(2)
+        with pytest.raises(ValueError):
+            SyntheticObjective(space=space, optimum=space.default_vector(),
+                               weights=np.ones(2), size_exponent=0.0)
+
+    def test_optimum_clipped_into_bounds(self):
+        space = synthetic_space(2)
+        obj = SyntheticObjective(space=space, optimum=np.array([1e9, -1e9]),
+                                 weights=np.ones(2))
+        assert space.contains_vector(obj.optimum)
+
+
+class TestTrueValue:
+    def test_minimum_at_optimum(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        at_opt = obj.true_value(obj.optimum)
+        assert at_opt == pytest.approx(obj.optimal_value)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            v = obj.space.sample_vector(rng)
+            assert obj.true_value(v) >= at_opt - 1e-9
+
+    def test_convexity_along_axes(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        bounds = obj.space.internal_bounds
+        grid = np.linspace(bounds[0, 0], bounds[0, 1], 21)
+        values = []
+        for x in grid:
+            v = obj.optimum.copy()
+            v[0] = x
+            values.append(obj.true_value(v))
+        diffs = np.diff(values)
+        sign_changes = np.sum(np.diff(np.sign(diffs)) != 0)
+        assert sign_changes <= 1  # unimodal
+
+    def test_linear_size_scaling(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        v = obj.space.default_vector()
+        assert obj.true_value(v, 2000.0) == pytest.approx(2 * obj.true_value(v, 1000.0))
+
+    def test_sublinear_size_scaling(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1, size_exponent=0.5)
+        v = obj.space.default_vector()
+        ratio = obj.true_value(v, 4000.0) / obj.true_value(v, 1000.0)
+        assert ratio == pytest.approx(2.0)  # 4^0.5
+
+    def test_sublinear_makes_r_over_p_decrease(self):
+        """The paper's FIND_BEST v2 bias: r/p falls as p grows."""
+        obj = default_synthetic_objective(noise=no_noise(), seed=1, size_exponent=0.6)
+        v = obj.space.default_vector()
+        small = obj.true_value(v, 500.0) / 500.0
+        large = obj.true_value(v, 5000.0) / 5000.0
+        assert large < small
+
+
+class TestOptimalityGap:
+    def test_zero_at_optimum(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        assert obj.optimality_gap(obj.optimum) == 0.0
+
+    def test_per_dimension_gap(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        v = obj.optimum.copy()
+        v[1] += 5.0
+        assert obj.optimality_gap(v, dimension=1) == pytest.approx(5.0)
+        assert obj.optimality_gap(v, dimension=0) == 0.0
+
+    def test_most_impactful_dimension(self):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        assert obj.most_impactful_dimension == int(np.argmax(obj.weights))
+
+
+class TestObserve:
+    def test_noiseless_observation(self, rng):
+        obj = default_synthetic_objective(noise=no_noise(), seed=1)
+        v = obj.space.default_vector()
+        assert obj.observe(v, 1000.0, rng) == pytest.approx(obj.true_value(v))
+
+    def test_noisy_observation_at_least_true(self, rng):
+        obj = default_synthetic_objective(noise=high_noise(), seed=1)
+        v = obj.space.default_vector()
+        for _ in range(50):
+            assert obj.observe(v, 1000.0, rng) >= obj.true_value(v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_default_objective_optimum_off_center_property(seed):
+    obj = default_synthetic_objective(noise=no_noise(), seed=seed)
+    default = obj.true_value(obj.space.default_vector())
+    assert default > obj.optimal_value  # tuning always has work to do

@@ -1,0 +1,56 @@
+"""Tests for the TPC table catalogs."""
+
+import pytest
+
+from repro.workloads.tables import TPCDS_TABLES, TPCH_TABLES, Table
+
+
+def test_tpch_has_all_eight_tables():
+    assert set(TPCH_TABLES) == {
+        "lineitem", "orders", "partsupp", "part", "customer",
+        "supplier", "nation", "region",
+    }
+
+
+def test_tpch_spec_row_counts():
+    assert TPCH_TABLES["lineitem"].rows_sf1 == 6_001_215
+    assert TPCH_TABLES["orders"].rows_sf1 == 1_500_000
+    assert TPCH_TABLES["nation"].rows_sf1 == 25
+
+
+def test_linear_scaling():
+    assert TPCH_TABLES["lineitem"].rows_at(10.0) == pytest.approx(60_012_150)
+
+
+def test_fixed_tables_do_not_scale():
+    assert TPCH_TABLES["nation"].rows_at(1000.0) == 25
+    assert TPCDS_TABLES["date_dim"].rows_at(100.0) == TPCDS_TABLES["date_dim"].rows_sf1
+
+
+def test_log_scaling_sublinear():
+    customer = TPCDS_TABLES["customer"]
+    r1 = customer.rows_at(1.0)
+    r100 = customer.rows_at(100.0)
+    assert r100 > r1
+    assert r100 < 100 * r1
+
+
+def test_invalid_scale_factor():
+    with pytest.raises(ValueError):
+        TPCH_TABLES["orders"].rows_at(0.0)
+
+
+def test_unknown_scaling_mode():
+    t = Table("weird", 10, 10, scaling="quadratic")
+    with pytest.raises(ValueError):
+        t.rows_at(2.0)
+
+
+def test_bytes_at():
+    t = Table("x", rows_sf1=100, row_bytes=10)
+    assert t.bytes_at(2.0) == 2000.0
+
+
+def test_tpcds_fact_tables_present():
+    for name in ("store_sales", "catalog_sales", "web_sales", "inventory"):
+        assert name in TPCDS_TABLES

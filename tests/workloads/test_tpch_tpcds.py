@@ -1,0 +1,88 @@
+"""Tests for the TPC-H and TPC-DS suites."""
+
+import pytest
+
+from repro.sparksim.plan import OpType
+from repro.workloads.tpcds import TPCDS_QUERY_IDS, tpcds_plan, tpcds_spec, tpcds_suite
+from repro.workloads.tpch import TPCH_QUERY_IDS, tpch_plan, tpch_spec, tpch_suite
+
+
+class TestTPCH:
+    def test_all_22_queries(self):
+        assert TPCH_QUERY_IDS == tuple(range(1, 23))
+        suite = tpch_suite(1.0)
+        assert len(suite) == 22
+
+    def test_invalid_query_id(self):
+        with pytest.raises(ValueError):
+            tpch_spec(0)
+        with pytest.raises(ValueError):
+            tpch_plan(23)
+
+    def test_q1_is_lineitem_scan_aggregate(self):
+        plan = tpch_plan(1, 1.0)
+        counts = plan.operator_counts()
+        assert counts[OpType.TABLE_SCAN] == 1
+        assert OpType.JOIN not in counts
+
+    def test_q3_joins_three_tables(self):
+        plan = tpch_plan(3, 1.0)
+        counts = plan.operator_counts()
+        assert counts[OpType.TABLE_SCAN] == 3
+        assert counts[OpType.JOIN] == 2
+
+    def test_signatures_distinct_across_queries(self):
+        signatures = {tpch_plan(q).signature() for q in TPCH_QUERY_IDS}
+        assert len(signatures) >= 20  # a couple of shapes may collide
+
+    def test_deterministic(self):
+        assert tpch_plan(5, 10.0).signature() == tpch_plan(5, 10.0).signature()
+        a = tpch_plan(5, 10.0)
+        b = tpch_plan(5, 10.0)
+        assert a.total_leaf_cardinality == b.total_leaf_cardinality
+
+    def test_scale_factor_scales(self):
+        assert (tpch_plan(6, 100.0).total_leaf_cardinality
+                > 50 * tpch_plan(6, 1.0).total_leaf_cardinality)
+
+
+class TestTPCDS:
+    def test_all_99_queries(self):
+        assert TPCDS_QUERY_IDS == tuple(range(1, 100))
+        assert len(tpcds_suite(1.0)) == 99
+
+    def test_invalid_query_id(self):
+        with pytest.raises(ValueError):
+            tpcds_spec(100)
+
+    def test_specs_deterministic_and_cached(self):
+        a = tpcds_spec(42)
+        b = tpcds_spec(42)
+        assert a is b
+        assert a.fact.name == tpcds_spec(42).fact.name
+
+    def test_plans_deterministic(self):
+        assert tpcds_plan(17, 10.0).signature() == tpcds_plan(17, 10.0).signature()
+
+    def test_signatures_mostly_distinct(self):
+        signatures = {tpcds_plan(q).signature() for q in range(1, 100)}
+        assert len(signatures) > 80
+
+    def test_subset_selection(self):
+        suite = tpcds_suite(1.0, query_ids=[5, 9])
+        assert len(suite) == 2
+        assert suite[0].name == "tpcds_q05"
+
+    def test_some_queries_are_cross_channel(self):
+        from repro.sparksim.plan import OpType
+        unions = sum(
+            1 for q in range(1, 100)
+            if OpType.UNION in tpcds_plan(q).operator_counts()
+        )
+        assert 10 < unions < 60  # ~30% of queries
+
+    def test_every_plan_has_scan_and_root(self):
+        for q in (1, 25, 50, 75, 99):
+            plan = tpcds_plan(q)
+            assert plan.operator_counts()[OpType.TABLE_SCAN] >= 1
+            assert plan.root_cardinality >= 1
