@@ -1,0 +1,14 @@
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test chaos bench all
+
+test:            ## fast tier-1 suite (chaos deselected)
+	$(PYTEST) -x -q
+
+chaos:           ## fault-injection suite (docs/resilience.md)
+	$(PYTEST) -m chaos -q
+
+bench:           ## pytest-benchmark harness
+	$(PYTEST) benchmarks/ --benchmark-only
+
+all: test chaos

@@ -27,7 +27,9 @@ Subpackages:
   data-size dynamics, customer populations.
 * :mod:`repro.embedding` — workload embeddings with virtual operators.
 * :mod:`repro.offline` — flighting pipeline, ETL, baseline models, transfer.
-* :mod:`repro.service` — backend/client production architecture.
+* :mod:`repro.service` — backend/client production architecture, with
+  retry/backoff and idempotent event delivery.
+* :mod:`repro.faults` — deterministic fault injection (chaos harness).
 * :mod:`repro.ml` — from-scratch ML substrate (GP, SVR, forests, ...).
 * :mod:`repro.experiments` — one module per paper figure/table.
 """
@@ -46,6 +48,7 @@ from .core import (
     optimize_app_config,
 )
 from .embedding import VirtualOperatorScheme, WorkloadEmbedder
+from .faults import FaultKind, FaultPlan, FaultSpec
 from .offline import BaselineModelTrainer, FlightingConfig, FlightingPipeline
 from .optimizers import (
     BayesianOptimization,
@@ -82,6 +85,9 @@ __all__ = [
     "ConfigSpace",
     "ContextualBayesianOptimization",
     "FLOW2",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FindBestMode",
     "FlightingConfig",
     "FlightingPipeline",

@@ -11,7 +11,7 @@ time keep tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -47,6 +47,12 @@ class Guardrail:
         robust: fit the trend with the Theil–Sen estimator instead of OLS —
             a single Eq.-8 spike inside the window then cannot tilt the
             prediction.
+        cooldown: observations to sit at the default configuration after a
+            disable before re-enabling tuning on probation.  ``None`` (the
+            paper's behavior) disables permanently.  A latency-spike storm
+            can falsely trip the guardrail; with a cooldown the query
+            recovers once the storm passes, while a genuine regression
+            simply trips it again after each probation.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class Guardrail:
         patience: int = 3,
         fit_window: int = 10,
         robust: bool = False,
+        cooldown: Optional[int] = None,
     ):
         if min_iterations < 2:
             raise ValueError("min_iterations must be >= 2")
@@ -65,16 +72,21 @@ class Guardrail:
             raise ValueError("patience must be >= 1")
         if fit_window < 3:
             raise ValueError("fit_window must be >= 3")
+        if cooldown is not None and cooldown < 1:
+            raise ValueError("cooldown must be >= 1 (or None for permanent)")
         self.min_iterations = min_iterations
         self.threshold = threshold
         self.patience = patience
         self.fit_window = fit_window
         self.robust = robust
+        self.cooldown = cooldown
         self._iterations: List[float] = []
         self._data_sizes: List[float] = []
         self._times: List[float] = []
         self._consecutive_violations = 0
         self._disabled = False
+        self._since_disable = 0
+        self.reenable_count = 0
         self.decisions: List[GuardrailDecision] = []
 
     @property
@@ -91,7 +103,17 @@ class Guardrail:
         self._iterations.append(float(obs.iteration))
         self._data_sizes.append(obs.data_size)
         self._times.append(obs.performance)
-        if self._disabled or len(self._times) < self.min_iterations:
+        if self._disabled:
+            if self.cooldown is not None:
+                self._since_disable += 1
+                if self._since_disable >= self.cooldown:
+                    # Probation: resume tuning with a clean violation count.
+                    self._disabled = False
+                    self._since_disable = 0
+                    self._consecutive_violations = 0
+                    self.reenable_count += 1
+            return self.active
+        if len(self._times) < self.min_iterations:
             return self.active
 
         predicted_next, predicted_current = self._predict()
@@ -127,6 +149,7 @@ class Guardrail:
             "times": list(self._times),
             "consecutive_violations": self._consecutive_violations,
             "disabled": self._disabled,
+            "since_disable": self._since_disable,
         }
 
     def restore_state(self, state: dict) -> "Guardrail":
@@ -136,6 +159,7 @@ class Guardrail:
         self._times = [float(v) for v in state["times"]]
         self._consecutive_violations = int(state["consecutive_violations"])
         self._disabled = bool(state["disabled"])
+        self._since_disable = int(state.get("since_disable", 0))
         return self
 
     def _predict(self) -> tuple:

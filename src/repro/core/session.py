@@ -98,6 +98,12 @@ class TuningSession:
             (``None`` disables embeddings).
         scale_fn: iteration → relative input-data scale (default constant 1);
             models production input drift.
+        fallback_to_default: the session-level escape hatch mirroring
+            ``spark.autotune.query.enabled``: when the optimizer's suggest
+            or observe raises, run the default configuration for that
+            iteration (counted in :attr:`fallback_count`) instead of
+            failing the query.  Off by default — research harnesses want
+            the exception.
     """
 
     def __init__(
@@ -107,12 +113,15 @@ class TuningSession:
         optimizer: Optimizer,
         embedder: Optional[WorkloadEmbedder] = None,
         scale_fn: Optional[Callable[[int], float]] = None,
+        fallback_to_default: bool = False,
     ):
         self.plan = plan
         self.simulator = simulator
         self.optimizer = optimizer
         self.embedder = embedder
         self.scale_fn = scale_fn or (lambda t: 1.0)
+        self.fallback_to_default = fallback_to_default
+        self.fallback_count = 0
         self.trace = TuningTrace()
 
     def default_true_time(self, scale: float = 1.0) -> float:
@@ -130,19 +139,30 @@ class TuningSession:
         # actual input size when scoring candidates.
         estimated_size = max(scaled_plan.total_leaf_cardinality, 1.0)
 
-        vector = self.optimizer.suggest(data_size=estimated_size, embedding=embedding)
+        try:
+            vector = self.optimizer.suggest(data_size=estimated_size, embedding=embedding)
+        except Exception:  # noqa: BLE001 — escape hatch, see fallback_to_default
+            if not self.fallback_to_default:
+                raise
+            self.fallback_count += 1
+            vector = self.optimizer.space.default_vector()
         config = self.optimizer.space.to_dict(vector)
         result = self.simulator.run(self.plan, config, data_scale=scale)
 
-        self.optimizer.observe(
-            Observation(
-                config=vector,
-                data_size=result.data_size,
-                performance=result.elapsed_seconds,
-                iteration=t,
-                embedding=embedding,
+        try:
+            self.optimizer.observe(
+                Observation(
+                    config=vector,
+                    data_size=result.data_size,
+                    performance=result.elapsed_seconds,
+                    iteration=t,
+                    embedding=embedding,
+                )
             )
-        )
+        except Exception:  # noqa: BLE001 — a lost observation beats a lost query
+            if not self.fallback_to_default:
+                raise
+            self.fallback_count += 1
         active = getattr(self.optimizer, "tuning_active", True)
         record = IterationRecord(
             iteration=t,

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the service layer (chaos harness).
+
+``repro.faults`` schedules failures — dropped/duplicated/reordered events,
+flaky storage, corrupt model payloads, SAS-token expiry storms, surrogate
+training exceptions, Eq.-8-style latency spikes — as a seeded
+:class:`FaultPlan`, and injects them through decorators around the real
+service components.  See ``docs/resilience.md`` for the taxonomy and the
+matching resilience mechanisms in :mod:`repro.service`.
+"""
+
+from .injectors import (
+    FaultyBackend,
+    FaultySimulator,
+    FaultyStorage,
+    corrupt_payload,
+    flaky_model_factory,
+)
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyBackend",
+    "FaultySimulator",
+    "FaultyStorage",
+    "corrupt_payload",
+    "flaky_model_factory",
+]

@@ -1,0 +1,173 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` decides, for every *opportunity* (one call through an
+injection point), whether a fault of a given :class:`FaultKind` fires.  Two
+properties make chaos runs reproducible and debuggable:
+
+* **Determinism** — decisions are a pure function of ``(seed, kind,
+  opportunity index)``.  Each kind draws from its own generator, so adding
+  an injection point for one kind never shifts another kind's schedule.
+* **Auditability** — every fired fault is appended to :attr:`FaultPlan.log`
+  with its kind and opportunity index, so a failing chaos test prints
+  exactly which faults the run saw.
+
+Faults fire either probabilistically (``rate`` per opportunity) or at
+explicit opportunity indices (``at``), and can persist for ``duration``
+consecutive opportunities — the paper's SAS-token *expiry storms* are a
+``duration > 1`` schedule on :attr:`FaultKind.TOKEN_EXPIRY`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(str, Enum):
+    """The fault taxonomy (see docs/resilience.md)."""
+
+    DROP_EVENT = "drop_event"              # partial event-batch write + error
+    DUPLICATE_EVENT = "duplicate_event"    # at-least-once transport re-delivery
+    REORDER_EVENTS = "reorder_events"      # batch arrives in shuffled order
+    STORAGE_WRITE_ERROR = "storage_write_error"
+    STORAGE_READ_ERROR = "storage_read_error"
+    MODEL_CORRUPTION = "model_corruption"  # fetched payload is garbage
+    TOKEN_EXPIRY = "token_expiry"          # SAS token rejected (storms supported)
+    TRAIN_ERROR = "train_error"            # surrogate .fit() raises
+    LATENCY_SPIKE = "latency_spike"        # Eq.-8-style observed-time spike
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Schedule for one fault kind.
+
+    Args:
+        kind: which fault this spec schedules.
+        rate: per-opportunity firing probability (0 disables random firing).
+        at: explicit opportunity indices (0-based) that always fire.
+        duration: consecutive opportunities a firing affects (storms).
+        magnitude: fault-specific intensity — the observed-time multiplier
+            for latency spikes, ignored by binary faults.
+    """
+
+    kind: FaultKind
+    rate: float = 0.0
+    at: Tuple[int, ...] = ()
+    duration: int = 1
+    magnitude: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.duration < 1:
+            raise ValueError("duration must be >= 1")
+        if self.magnitude <= 0:
+            raise ValueError("magnitude must be > 0")
+        object.__setattr__(self, "at", tuple(sorted(set(self.at))))
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One audit-log entry: fault ``kind`` fired at opportunity ``index``."""
+
+    kind: FaultKind
+    index: int
+
+
+class FaultPlan:
+    """A deterministic schedule of faults across all injection points.
+
+    Args:
+        specs: the fault kinds to schedule (at most one spec per kind).
+        seed: master seed; per-kind child generators are spawned from it so
+            kinds are mutually independent.
+
+    Injectors call :meth:`should_fire` once per opportunity; helper
+    accessors (:meth:`magnitude`, :meth:`rng_for`) expose the per-kind
+    intensity and a dedicated generator for fault *payloads* (e.g. the
+    shuffle permutation of a reordered batch) so payload randomness is as
+    deterministic as the firing schedule.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self._specs: Dict[FaultKind, FaultSpec] = {}
+        for spec in specs:
+            if spec.kind in self._specs:
+                raise ValueError(f"duplicate spec for {spec.kind.value}")
+            self._specs[spec.kind] = spec
+        self.seed = int(seed)
+        # One child seed per *possible* kind (stable enum order), so the
+        # stream a kind sees does not depend on which other kinds are
+        # scheduled in this plan.
+        children = np.random.SeedSequence(self.seed).spawn(len(FaultKind))
+        self._rng: Dict[FaultKind, np.random.Generator] = {
+            kind: np.random.default_rng(children[i])
+            for i, kind in enumerate(FaultKind)
+        }
+        # Payload generators, derived (not shared) so payload draws never
+        # consume from the firing stream.
+        payload_children = np.random.SeedSequence(self.seed + 0x9E3779B9).spawn(len(FaultKind))
+        self._payload_rng: Dict[FaultKind, np.random.Generator] = {
+            kind: np.random.default_rng(payload_children[i])
+            for i, kind in enumerate(FaultKind)
+        }
+        self._counters: Dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+        self._storm_until: Dict[FaultKind, int] = {}
+        self.log: List[FiredFault] = []
+
+    def spec(self, kind: FaultKind) -> Optional[FaultSpec]:
+        return self._specs.get(kind)
+
+    def opportunities(self, kind: FaultKind) -> int:
+        """How many injection opportunities this kind has seen."""
+        return self._counters[kind]
+
+    def fired(self, kind: Optional[FaultKind] = None) -> int:
+        """How many faults have fired (optionally for one kind)."""
+        if kind is None:
+            return len(self.log)
+        return sum(1 for f in self.log if f.kind is kind)
+
+    def magnitude(self, kind: FaultKind) -> float:
+        spec = self._specs.get(kind)
+        return spec.magnitude if spec is not None else 1.0
+
+    def rng_for(self, kind: FaultKind) -> np.random.Generator:
+        """The payload generator for ``kind`` (shuffles, corruption bytes)."""
+        return self._payload_rng[kind]
+
+    def should_fire(self, kind: FaultKind) -> bool:
+        """Advance ``kind``'s opportunity counter and decide firing.
+
+        The probabilistic draw is consumed on *every* opportunity (even
+        inside a storm or on an explicit ``at`` hit), so the decision at
+        opportunity ``n`` never depends on earlier outcomes — only on
+        ``(seed, kind, n)``.
+        """
+        n = self._counters[kind]
+        self._counters[kind] = n + 1
+        spec = self._specs.get(kind)
+        draw = float(self._rng[kind].uniform()) if spec is not None else 1.0
+        if spec is None:
+            return False
+        in_storm = n < self._storm_until.get(kind, 0)
+        scheduled = n in spec.at
+        random_hit = spec.rate > 0.0 and draw < spec.rate
+        fire = in_storm or scheduled or random_hit
+        if fire:
+            if not in_storm and spec.duration > 1:
+                self._storm_until[kind] = n + spec.duration
+            self.log.append(FiredFault(kind=kind, index=n))
+        return fire
+
+    def summary(self) -> Dict[str, int]:
+        """Fired-fault counts by kind (for test output and dashboards)."""
+        out: Dict[str, int] = {}
+        for f in self.log:
+            out[f.kind.value] = out.get(f.kind.value, 0) + 1
+        return out

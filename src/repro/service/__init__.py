@@ -12,9 +12,13 @@ from .client import (
 from .dashboard import MonitoringDashboard, QuerySummary, RootCauseReport
 from .events_hub import EventHub
 from .replay import GuardrailAudit, QueryTrajectory, audit_guardrail, replay_artifact
+from .resilience import RetryExhaustedError, RetryPolicy, TransientServiceError
 from .storage import StorageManager
 
 __all__ = [
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "TransientServiceError",
     "AutotuneBackend",
     "AutotuneClient",
     "AutotuneCredentialManager",

@@ -30,6 +30,15 @@ class SasToken:
     expires_at: float
     signature: str
 
+    def expires_within(self, now: float, margin: float = 0.0) -> bool:
+        """True when the token is (about to be) expired at time ``now``.
+
+        Clients check this with a safety ``margin`` before using a cached
+        grant, re-registering proactively instead of discovering expiry as
+        a mid-operation :class:`TokenError`.
+        """
+        return now + margin >= self.expires_at
+
     @property
     def url(self) -> str:
         query = urlencode(

@@ -61,6 +61,11 @@ class AutotuneBackend:
         retrain_every: further retrains happen every this many new events per
             (user, signature) — production batches model updates rather than
             retraining on every single query completion.
+        dedup_events: drop sequenced events whose ``(app_id, sequence)`` the
+            backend has already accepted.  This makes :meth:`submit_events`
+            idempotent, so a client may retry a batch whose upload failed
+            mid-write without double-counting anything.  Disable only to
+            demonstrate the vulnerability (chaos tests do).
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class AutotuneBackend:
         model_factory: Optional[Callable[[], Regressor]] = None,
         min_events_for_model: int = 3,
         retrain_every: int = 1,
+        dedup_events: bool = True,
     ):
         if retrain_every < 1:
             raise ValueError("retrain_every must be >= 1")
@@ -88,10 +94,15 @@ class AutotuneBackend:
         self.model_factory = model_factory or _default_query_model_factory
         self.min_events_for_model = min_events_for_model
         self.retrain_every = retrain_every
+        self.dedup_events = dedup_events
         # In-memory per-(user, signature) event groups feeding the updater.
         self._query_events: Dict[Tuple[str, str], List[QueryEndEvent]] = {}
         self._trained_at: Dict[Tuple[str, str], int] = {}
+        self._seen_event_keys: set = set()
+        self._seen_app_ends: set = set()
         self.models_trained = 0
+        self.train_failures = 0
+        self.duplicates_dropped = 0
         self.hub.subscribe("model-updater", self._on_event)
         if self.app_space is not None:
             self.hub.subscribe("app-cache-generator", self._on_app_end)
@@ -112,15 +123,43 @@ class AutotuneBackend:
     def submit_events(
         self, token: SasToken, app_id: str, artifact_id: str,
         events: Sequence[QueryEndEvent],
-    ) -> None:
-        """Client event upload: validate, persist, fan out to streaming jobs."""
+    ) -> int:
+        """Client event upload: validate, dedup, persist, fan out.
+
+        Returns the number of *newly accepted* events.  Sequenced events
+        the backend has already seen (a retried batch after a partial
+        write, or transport-level re-delivery) are dropped before they
+        reach storage or the streaming jobs; seen-keys are recorded only
+        *after* the storage append succeeds, so a failed write is retried
+        rather than mistaken for a duplicate.
+        """
         self.issuer.validate(token, f"events/{app_id}", "w")
-        self.storage.append_events(app_id, artifact_id, events)
+        fresh: List[QueryEndEvent] = []
+        keys: List[object] = []
         for event in events:
+            key = getattr(event, "dedup_key", None)
+            if self.dedup_events and key is not None and (
+                key in self._seen_event_keys or key in keys
+            ):
+                self.duplicates_dropped += 1
+                continue
+            fresh.append(event)
+            keys.append(key)
+        if not fresh:
+            return 0
+        self.storage.append_events(app_id, artifact_id, fresh)
+        self._seen_event_keys.update(k for k in keys if k is not None)
+        for event in fresh:
             self.hub.publish(event)
+        return len(fresh)
 
     def submit_app_end(self, token: SasToken, event: AppEndEvent) -> None:
         self.issuer.validate(token, f"events/{event.app_id}", "w")
+        if self.dedup_events:
+            if event.app_id in self._seen_app_ends:
+                self.duplicates_dropped += 1
+                return
+            self._seen_app_ends.add(event.app_id)
         self.hub.publish(event)
 
     def fetch_model(
@@ -143,22 +182,34 @@ class AutotuneBackend:
         last = self._trained_at.get(key)
         if last is not None and len(group) - last < self.retrain_every:
             return
-        self._train_query_model(key, group)
-        self._trained_at[key] = len(group)
+        if self._train_query_model(key, group):
+            self._trained_at[key] = len(group)
 
     def _train_query_model(
         self, key: Tuple[str, str], events: Sequence[QueryEndEvent]
-    ) -> None:
+    ) -> bool:
+        """Train and persist one per-query model; returns success.
+
+        A failed fit or model write must never poison the event pipeline:
+        the failure is counted, the previously stored model (if any) stays
+        serving, and — because ``_trained_at`` is only advanced on success —
+        the next event for this key retries the training.
+        """
         user_id, signature = key
         X = np.array([
             np.concatenate([self.query_space.to_vector(e.config), [e.data_size]])
             for e in events
         ])
         y = np.array([e.duration_seconds for e in events])
-        model = self.model_factory()
-        model.fit(X, y)
-        self.storage.write_model(user_id, signature, dumps_model(model))
+        try:
+            model = self.model_factory()
+            model.fit(X, y)
+            self.storage.write_model(user_id, signature, dumps_model(model))
+        except Exception:  # noqa: BLE001 — degrade, don't derail the hub
+            self.train_failures += 1
+            return False
         self.models_trained += 1
+        return True
 
     # -- App Cache Generator streaming job -------------------------------------------
 

@@ -18,7 +18,8 @@ Updater (the production split: training server-side, inference client-side).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -32,33 +33,80 @@ from ..sparksim.events import AppEndEvent, QueryEndEvent
 from ..sparksim.plan import PhysicalPlan
 from .auth import TokenError
 from .backend import AutotuneBackend, JobGrant
+from .resilience import RetryExhaustedError, RetryPolicy, TransientServiceError
 
 __all__ = ["AutotuneCredentialManager", "ModelLoader", "RemoteModelSelector", "AutotuneClient"]
 
 ENABLE_KNOB = "spark.autotune.query.enabled"
 
+# Every client↔backend call retries on these; TokenError additionally
+# triggers a credential refresh between attempts.
+_RETRYABLE = (TransientServiceError, TokenError)
+
 
 class AutotuneCredentialManager:
-    """Caches the job grant and re-registers when a token expires."""
+    """Caches the job grant; re-registers on expiry, with retry/backoff.
 
-    def __init__(self, backend: AutotuneBackend, app_id: str, artifact_id: str, user_id: str):
+    The cached grant is never served stale: :attr:`grant` checks both
+    tokens' expiry against ``clock`` (with a safety margin) and re-registers
+    proactively, so a client that sat idle past the SAS TTL does not start
+    its next flush with a dead token.  Reactive refreshes (a backend
+    ``TokenError`` mid-operation) still go through :meth:`refresh`.
+
+    Args:
+        backend: the Autotune backend handle.
+        app_id / artifact_id / user_id: registration identity.
+        retry_policy: backoff policy for ``register_job`` itself (``None``
+            = a single attempt).
+        clock: injectable time source for the expiry check.
+        expiry_margin: seconds before actual expiry at which a cached
+            token already counts as expired.
+    """
+
+    def __init__(
+        self,
+        backend: AutotuneBackend,
+        app_id: str,
+        artifact_id: str,
+        user_id: str,
+        retry_policy: Optional[RetryPolicy] = None,
+        clock=time.time,
+        expiry_margin: float = 1.0,
+    ):
         self.backend = backend
         self.app_id = app_id
         self.artifact_id = artifact_id
         self.user_id = user_id
+        self.retry_policy = retry_policy
+        self._clock = clock
+        self.expiry_margin = expiry_margin
         self._grant: Optional[JobGrant] = None
         self.refresh_count = 0
+
+    def _register(self) -> JobGrant:
+        def attempt() -> JobGrant:
+            return self.backend.register_job(self.app_id, self.artifact_id, self.user_id)
+
+        if self.retry_policy is None:
+            return attempt()
+        return self.retry_policy.call(attempt, retry_on=_RETRYABLE)
+
+    def _expired(self, grant: JobGrant) -> bool:
+        now = self._clock()
+        return grant.event_write_token.expires_within(now, self.expiry_margin) or \
+            grant.model_read_token.expires_within(now, self.expiry_margin)
 
     @property
     def grant(self) -> JobGrant:
         if self._grant is None:
-            self._grant = self.backend.register_job(
-                self.app_id, self.artifact_id, self.user_id
-            )
+            self._grant = self._register()
+        elif self._expired(self._grant):
+            self._grant = self._register()
+            self.refresh_count += 1
         return self._grant
 
     def refresh(self) -> JobGrant:
-        self._grant = self.backend.register_job(self.app_id, self.artifact_id, self.user_id)
+        self._grant = self._register()
         self.refresh_count += 1
         return self._grant
 
@@ -66,31 +114,62 @@ class AutotuneCredentialManager:
 class ModelLoader:
     """Fetches and caches per-query models from the backend.
 
-    A corrupt or incompatible payload must never crash query submission —
-    it is treated as "no model yet" (recorded in :attr:`decode_failures`)
-    and the optimizer falls back to exploration, exactly as on a cold start.
+    Degradation ladder, in order:
+
+    1. transient fetch failures and token rejections retry under
+       ``retry_policy`` (credentials are refreshed between attempts on
+       ``TokenError`` — surviving expiry *storms*, not just single misses);
+    2. a fetch that still fails, or a corrupt/incompatible payload
+       (:attr:`decode_failures`), serves the last good cached model instead
+       (:attr:`stale_serves`) — a slightly stale surrogate beats losing the
+       model mid-tuning;
+    3. with nothing cached, the result is "no model yet" and the optimizer
+       falls back to exploration, exactly as on a cold start.
+
+    Query submission is never crashed by the model path.
     """
 
-    def __init__(self, credentials: AutotuneCredentialManager):
+    def __init__(
+        self,
+        credentials: AutotuneCredentialManager,
+        retry_policy: Optional[RetryPolicy] = None,
+        serve_stale: bool = True,
+    ):
         self.credentials = credentials
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.serve_stale = serve_stale
         self._cache: Dict[str, object] = {}
         self.fetch_count = 0
+        self.fetch_failures = 0
         self.decode_failures = 0
+        self.stale_serves = 0
+
+    def _serve_stale(self, query_signature: str):
+        if self.serve_stale and query_signature in self._cache:
+            self.stale_serves += 1
+            return self._cache[query_signature]
+        return None
 
     def load(self, query_signature: str, use_cache: bool = True):
         """The per-query model, or ``None`` if the backend has none yet."""
         if use_cache and query_signature in self._cache:
             return self._cache[query_signature]
         creds = self.credentials
+
+        def attempt():
+            return creds.backend.fetch_model(
+                creds.grant.model_read_token, creds.user_id, query_signature
+            )
+
+        def on_retry(_attempt: int, error: Exception) -> None:
+            if isinstance(error, TokenError):
+                creds.refresh()
+
         try:
-            payload = creds.backend.fetch_model(
-                creds.grant.model_read_token, creds.user_id, query_signature
-            )
-        except TokenError:
-            creds.refresh()
-            payload = creds.backend.fetch_model(
-                creds.grant.model_read_token, creds.user_id, query_signature
-            )
+            payload = self.retry_policy.call(attempt, retry_on=_RETRYABLE, on_retry=on_retry)
+        except RetryExhaustedError:
+            self.fetch_failures += 1
+            return self._serve_stale(query_signature)
         self.fetch_count += 1
         if payload is None:
             return None
@@ -98,7 +177,7 @@ class ModelLoader:
             model = loads_model(payload)
         except Exception:  # noqa: BLE001 — any decode failure = no model
             self.decode_failures += 1
-            return None
+            return self._serve_stale(query_signature)
         self._cache[query_signature] = model
         return model
 
@@ -112,21 +191,33 @@ class ModelLoader:
 class RemoteModelSelector:
     """Candidate selector backed by the backend-trained model.
 
-    Falls back to uniform-random exploration while no model exists — the
-    backend needs a few events before the Model Updater produces one.
+    Falls back to uniform-random exploration while no model exists yet —
+    the backend needs a few events before the Model Updater produces one.
+    Once a model *has* been seen, an outage is treated differently: the
+    selector holds the centroid candidate (index 0, always included by
+    ``generate_candidates``) instead of re-randomizing, so a degraded
+    period keeps the paper's conservative "stand still" behavior rather
+    than regressing to cold-start exploration.
     """
 
-    def __init__(self, loader: ModelLoader, query_signature: str):
+    def __init__(self, loader: ModelLoader, query_signature: str, hold_when_degraded: bool = True):
         self.loader = loader
         self.query_signature = query_signature
+        self.hold_when_degraded = hold_when_degraded
         self.used_model_last = False
+        self.degraded_holds = 0
+        self._had_model = False
 
     def select(self, candidates, window: ObservationWindow, data_size, embedding, rng) -> int:
         model = self.loader.load(self.query_signature, use_cache=False)
         if model is None:
             self.used_model_last = False
+            if self.hold_when_degraded and self._had_model:
+                self.degraded_holds += 1
+                return 0
             return int(rng.integers(0, len(candidates)))
         self.used_model_last = True
+        self._had_model = True
         rows = np.column_stack([candidates, np.full(len(candidates), data_size)])
         return int(np.argmin(model.predict(rows)))
 
@@ -158,6 +249,15 @@ class AutotuneClient:
         guardrail_factory: per-query guardrail constructor (``None`` = no
             guardrail).
         seed: RNG seed for the per-query optimizers.
+        retry_policy: backoff policy shared by every backend call
+            (registration, model fetches, event flushes).  ``None`` uses
+            the :class:`RetryPolicy` defaults; pass
+            ``RetryPolicy(max_attempts=1)`` for the pre-resilience
+            single-attempt behavior.
+        max_pending_events: bound on the locally buffered event queue while
+            the backend is unreachable; beyond it the *oldest* events are
+            shed (counted in :attr:`events_shed`) so a long outage degrades
+            telemetry instead of exhausting client memory.
     """
 
     def __init__(
@@ -172,22 +272,34 @@ class AutotuneClient:
         guardrail_factory=None,
         seed: Optional[int] = None,
         initial_state: Optional[Dict[str, dict]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_pending_events: int = 10_000,
     ):
+        if max_pending_events < 1:
+            raise ValueError("max_pending_events must be >= 1")
         self.backend = backend
         self.query_space = query_space
         self.embedder = embedder or WorkloadEmbedder()
         self.enabled = enabled
         self.guardrail_factory = guardrail_factory
-        self.credentials = AutotuneCredentialManager(backend, app_id, artifact_id, user_id)
-        self.model_loader = ModelLoader(self.credentials)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.credentials = AutotuneCredentialManager(
+            backend, app_id, artifact_id, user_id, retry_policy=self.retry_policy
+        )
+        self.model_loader = ModelLoader(self.credentials, retry_policy=self.retry_policy)
+        self.max_pending_events = max_pending_events
         self._optimizers: Dict[str, CentroidLearning] = {}
         self._selectors: Dict[str, RemoteModelSelector] = {}
         self._pending_events: List[QueryEndEvent] = []
+        self._next_sequence = 0
         self._seed = seed
         self.suggestion_log: List[SuggestionLog] = []
         self._completed_signatures: List[str] = []
         self._total_duration = 0.0
         self._initial_state = dict(initial_state or {})
+        self.flush_failures = 0
+        self.app_end_failures = 0
+        self.events_shed = 0
 
     @classmethod
     def from_spark_conf(cls, backend: AutotuneBackend, conf: Dict[str, object],
@@ -263,7 +375,12 @@ class AutotuneClient:
     # -- query listener --------------------------------------------------------------
 
     def on_query_end(self, event: QueryEndEvent) -> None:
-        """Record a completed query; updates local state and buffers the event."""
+        """Record a completed query; updates local state and buffers the event.
+
+        Events are stamped with a monotone per-client delivery ``sequence``
+        before buffering — the idempotency key the backend deduplicates on
+        when a flush has to be retried.
+        """
         if self.enabled:
             optimizer = self._optimizer_for(event.query_signature)
             embedding = np.array(event.embedding) if event.embedding else None
@@ -276,29 +393,67 @@ class AutotuneClient:
                     embedding=embedding,
                 )
             )
+        if event.sequence < 0:
+            event = replace(event, sequence=self._next_sequence)
+        self._next_sequence = max(self._next_sequence, event.sequence) + 1
+        if len(self._pending_events) >= self.max_pending_events:
+            self._pending_events.pop(0)
+            self.events_shed += 1
         self._pending_events.append(event)
         self._completed_signatures.append(event.query_signature)
         self._total_duration += event.duration_seconds
 
+    def _call_backend(self, attempt) -> bool:
+        """Run one backend operation under the retry policy.
+
+        ``TokenError`` refreshes credentials between attempts, so the call
+        rides out expiry storms up to the policy's budget.  Returns whether
+        the operation eventually succeeded.
+        """
+        creds = self.credentials
+
+        def on_retry(_attempt: int, error: Exception) -> None:
+            if isinstance(error, TokenError):
+                creds.refresh()
+
+        try:
+            self.retry_policy.call(attempt, retry_on=_RETRYABLE, on_retry=on_retry)
+        except RetryExhaustedError:
+            return False
+        return True
+
     def flush_events(self) -> int:
-        """Upload buffered events via the SAS write token; returns count."""
+        """Upload buffered events via the SAS write token; returns count.
+
+        The buffer is only cleared after the backend accepts the batch: a
+        flush that fails even after retries keeps the events pending (up to
+        :attr:`max_pending_events`) for the next flush, so transient
+        outages delay telemetry instead of losing it.
+        """
         if not self._pending_events:
             return 0
         creds = self.credentials
-        events, self._pending_events = self._pending_events, []
-        try:
+        events = list(self._pending_events)
+
+        def attempt() -> None:
             self.backend.submit_events(
                 creds.grant.event_write_token, creds.app_id, creds.artifact_id, events
             )
-        except TokenError:
-            creds.refresh()
-            self.backend.submit_events(
-                creds.grant.event_write_token, creds.app_id, creds.artifact_id, events
-            )
+
+        if not self._call_backend(attempt):
+            self.flush_failures += 1
+            return 0
+        del self._pending_events[: len(events)]
         return len(events)
 
     def finish_app(self, app_config: Optional[Dict[str, float]] = None) -> AppEndEvent:
-        """Flush events and notify the backend the application completed."""
+        """Flush events and notify the backend the application completed.
+
+        A persistently unreachable backend cannot block application
+        shutdown: the failure is recorded in :attr:`app_end_failures` and
+        the event is still returned — losing an app-end only delays the
+        next app-cache refresh.
+        """
         self.flush_events()
         event = AppEndEvent(
             app_id=self.credentials.app_id,
@@ -308,9 +463,10 @@ class AutotuneClient:
             query_signatures=list(self._completed_signatures),
             total_duration_seconds=self._total_duration,
         )
-        try:
+
+        def attempt() -> None:
             self.backend.submit_app_end(self.credentials.grant.event_write_token, event)
-        except TokenError:
-            self.credentials.refresh()
-            self.backend.submit_app_end(self.credentials.grant.event_write_token, event)
+
+        if not self._call_backend(attempt):
+            self.app_end_failures += 1
         return event

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Tuple
+from typing import Callable, Deque, List, Set, Tuple
 
 __all__ = ["EventHub"]
 
@@ -25,15 +25,24 @@ class _Failure:
 
 
 class EventHub:
-    """Synchronous publish/subscribe with a bounded replay buffer."""
+    """Synchronous publish/subscribe with a bounded replay buffer.
 
-    def __init__(self, buffer_size: int = 1000):
+    With ``dedup=True`` the hub drops re-published events whose
+    ``dedup_key`` it has already seen (at-least-once upstream delivery →
+    exactly-once fan-out).  Events without a ``dedup_key`` (or with a
+    ``None`` one) are never deduplicated.
+    """
+
+    def __init__(self, buffer_size: int = 1000, dedup: bool = False):
         if buffer_size < 1:
             raise ValueError("buffer_size must be >= 1")
         self._subscribers: List[Tuple[str, Subscriber]] = []
         self._buffer: Deque[object] = deque(maxlen=buffer_size)
         self.failures: List[_Failure] = []
         self.published_count = 0
+        self.dedup = dedup
+        self.duplicates_dropped = 0
+        self._seen_keys: Set[object] = set()
 
     def subscribe(self, name: str, callback: Subscriber) -> None:
         if any(n == name for n, _ in self._subscribers):
@@ -46,6 +55,13 @@ class EventHub:
         return len(self._subscribers) < before
 
     def publish(self, event: object) -> None:
+        if self.dedup:
+            key = getattr(event, "dedup_key", None)
+            if key is not None:
+                if key in self._seen_keys:
+                    self.duplicates_dropped += 1
+                    return
+                self._seen_keys.add(key)
         self.published_count += 1
         self._buffer.append(event)
         for name, callback in self._subscribers:

@@ -80,20 +80,40 @@ class QueryTrajectory:
         return out
 
 
+def _replay_sort_key(e: QueryEndEvent):
+    # Sequenced events restore the client's delivery order even when the
+    # transport reordered a batch; unsequenced (legacy) events keep the
+    # historical iteration ordering.
+    return (e.app_id, e.sequence if e.sequence >= 0 else e.iteration, e.iteration)
+
+
 def replay_artifact(
     storage: StorageManager, artifact_id: str
 ) -> Dict[str, QueryTrajectory]:
-    """Rebuild per-signature trajectories from an artifact's event files."""
+    """Rebuild per-signature trajectories from an artifact's event files.
+
+    Replay is canonicalizing: duplicate deliveries (same ``(app_id,
+    sequence)``) are dropped and events are re-sorted by delivery sequence,
+    so the same underlying run replays to an identical trajectory no matter
+    how the transport duplicated or reordered its batches on the way to
+    storage.
+    """
     events = storage.read_artifact_events(artifact_id)
     trajectories: Dict[str, QueryTrajectory] = {}
+    seen: set = set()
     for e in events:
+        key = e.dedup_key
+        if key is not None:
+            if key in seen:
+                continue
+            seen.add(key)
         traj = trajectories.setdefault(
             e.query_signature,
             QueryTrajectory(query_signature=e.query_signature, user_id=e.user_id),
         )
         traj.events.append(e)
     for traj in trajectories.values():
-        traj.events.sort(key=lambda e: (e.app_id, e.iteration))
+        traj.events.sort(key=_replay_sort_key)
     return trajectories
 
 

@@ -1,0 +1,124 @@
+"""Retry/backoff and transient-failure primitives for the service layer.
+
+Production tuning services survive partial failures of the telemetry and
+model pipeline (Sec. 5–6: token expiry, flaky storage, noisy observations).
+This module provides the building blocks the client and backend use:
+
+* :class:`TransientServiceError` — the retryable failure class every
+  injector and storage/transport shim raises for recoverable faults;
+* :class:`RetryPolicy` — exponential backoff with a hard deadline on the
+  cumulative delay, fully deterministic (no jitter, injectable sleep) so
+  chaos runs replay bit-identically.
+
+Backoff delays are monotone non-decreasing and the schedule never exceeds
+``deadline`` seconds of cumulative waiting — both properties are pinned by
+property-based tests in ``tests/service/test_resilience.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Type
+
+__all__ = ["TransientServiceError", "RetryExhaustedError", "RetryPolicy"]
+
+
+class TransientServiceError(Exception):
+    """A recoverable service failure (flaky storage, transport hiccup).
+
+    Callers wrap operations in a :class:`RetryPolicy`; anything still
+    failing after the policy's budget is spent surfaces as
+    :class:`RetryExhaustedError` with this error as its cause.
+    """
+
+
+class RetryExhaustedError(Exception):
+    """Raised when a retried operation fails on every allowed attempt."""
+
+    def __init__(self, attempts: int, last_error: Exception):
+        super().__init__(f"operation failed after {attempts} attempt(s): {last_error!r}")
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass
+class RetryPolicy:
+    """Deterministic exponential backoff with a cumulative-delay deadline.
+
+    Args:
+        max_attempts: total tries (1 = no retries, the pre-resilience
+            behavior).
+        base_delay: delay before the first retry, in seconds.
+        multiplier: geometric growth factor of successive delays.
+        max_delay: per-retry delay cap.
+        deadline: hard cap on the *sum* of all backoff delays; attempts
+            whose delay would push past it are never made.
+        sleep: injectable sleep function.  The default records the delay
+            instead of sleeping — chaos tests and the in-process service
+            never block on wall-clock time.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: float = 10.0
+    sleep: Optional[Callable[[float], None]] = None
+    total_slept: float = field(default=0.0, init=False, repr=False)
+    retries: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.deadline < 0:
+            raise ValueError("delays and deadline must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (delays must not shrink)")
+
+    def delays(self) -> List[float]:
+        """The backoff schedule: one delay per possible retry.
+
+        Monotone non-decreasing, each entry capped at ``max_delay``, and
+        truncated so the running sum never exceeds ``deadline``.
+        """
+        out: List[float] = []
+        budget = self.deadline
+        for i in range(self.max_attempts - 1):
+            delay = min(self.base_delay * self.multiplier**i, self.max_delay)
+            if delay > budget:
+                break
+            out.append(delay)
+            budget -= delay
+        return out
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: Tuple[Type[Exception], ...] = (TransientServiceError,),
+        on_retry: Optional[Callable[[int, Exception], None]] = None,
+    ):
+        """Run ``fn`` under this policy.
+
+        ``on_retry(attempt_index, error)`` is invoked before each retry —
+        the client uses it to refresh expired credentials between attempts.
+        Raises :class:`RetryExhaustedError` once the schedule is spent.
+        """
+        schedule = self.delays()
+        attempts = len(schedule) + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                return fn()
+            except retry_on as exc:  # noqa: PERF203 — retry loop by design
+                last_error = exc
+                if attempt == attempts - 1:
+                    break
+                delay = schedule[attempt]
+                self.retries += 1
+                self.total_slept += delay
+                if self.sleep is not None:
+                    self.sleep(delay)
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+        assert last_error is not None
+        raise RetryExhaustedError(attempts, last_error) from last_error

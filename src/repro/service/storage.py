@@ -14,6 +14,7 @@ GDPR compliance."  File layout under ``root``:
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
@@ -51,8 +52,9 @@ class StorageManager:
                     str(p.relative_to(self.root)): self._clock()
                     for p in self.root.rglob("*")
                     if p.is_file() and p != self._manifest_path
+                    and p.suffix != ".tmp"
                 }
-                self._manifest_path.write_text(json.dumps(self._manifest))
+                self._write_manifest()
 
     # -- paths -------------------------------------------------------------------
 
@@ -65,9 +67,20 @@ class StorageManager:
     def model_path(self, user_id: str, query_signature: str) -> Path:
         return self.root / "models" / user_id / f"{query_signature}.json"
 
+    def _atomic_write(self, path: Path, text: str) -> None:
+        """Write-then-rename so a crash mid-write never leaves a torn file
+        (a torn manifest or model payload is a real corruption source the
+        chaos suite injects)."""
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    def _write_manifest(self) -> None:
+        self._atomic_write(self._manifest_path, json.dumps(self._manifest))
+
     def _record(self, path: Path) -> None:
         self._manifest[str(path.relative_to(self.root))] = self._clock()
-        self._manifest_path.write_text(json.dumps(self._manifest))
+        self._write_manifest()
 
     # -- events ------------------------------------------------------------------
 
@@ -113,7 +126,7 @@ class StorageManager:
     def write_model(self, user_id: str, query_signature: str, payload: str) -> Path:
         path = self.model_path(user_id, query_signature)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(payload)
+        self._atomic_write(path, payload)
         self._record(path)
         return path
 
@@ -140,5 +153,5 @@ class StorageManager:
                 removed.append(rel)
                 del self._manifest[rel]
         if removed:
-            self._manifest_path.write_text(json.dumps(self._manifest))
+            self._write_manifest()
         return removed

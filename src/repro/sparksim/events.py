@@ -8,15 +8,28 @@ payload flowing through the storage manager, event hub, and ETL.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["QueryEndEvent", "AppEndEvent", "events_to_jsonl", "events_from_jsonl"]
 
 
+def _known_fields(cls, payload: dict) -> dict:
+    """Drop unknown keys so newer writers never break older readers."""
+    names = {f.name for f in fields(cls)}
+    return {k: v for k, v in payload.items() if k in names and k != "event_type"}
+
+
 @dataclass(frozen=True)
 class QueryEndEvent:
-    """Emitted by the query listener when a query finishes."""
+    """Emitted by the query listener when a query finishes.
+
+    ``sequence`` is the client-assigned per-application delivery number that
+    makes event upload idempotent: the backend deduplicates on
+    ``(app_id, sequence)`` so at-least-once retries never double-count.  The
+    default ``-1`` marks an unsequenced (legacy or hand-built) event, which
+    is never deduplicated.
+    """
 
     app_id: str
     artifact_id: str
@@ -29,16 +42,20 @@ class QueryEndEvent:
     embedding: List[float] = field(default_factory=list)
     metrics: Dict[str, float] = field(default_factory=dict)
     region: str = "default"
+    sequence: int = -1
     event_type: str = "QueryEnd"
+
+    @property
+    def dedup_key(self) -> Optional[Tuple[str, int]]:
+        """The idempotency key, or ``None`` for unsequenced events."""
+        return (self.app_id, self.sequence) if self.sequence >= 0 else None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self))
 
     @classmethod
     def from_json(cls, data: str) -> "QueryEndEvent":
-        payload = json.loads(data)
-        payload.pop("event_type", None)
-        return cls(**payload)
+        return cls(**_known_fields(cls, json.loads(data)))
 
 
 @dataclass(frozen=True)
@@ -59,9 +76,7 @@ class AppEndEvent:
 
     @classmethod
     def from_json(cls, data: str) -> "AppEndEvent":
-        payload = json.loads(data)
-        payload.pop("event_type", None)
-        return cls(**payload)
+        return cls(**_known_fields(cls, json.loads(data)))
 
 
 _EVENT_TYPES = {"QueryEnd": QueryEndEvent, "AppEnd": AppEndEvent}

@@ -1,7 +1,22 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Chaos-marked tests (the fault-injection suite) are deselected from default
+runs to keep tier-1 fast; run them with ``pytest -m chaos`` (or
+``make chaos``).
+"""
 
 import numpy as np
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    markexpr = config.getoption("-m", default="") or ""
+    if "chaos" in markexpr:
+        return  # the user asked for (or excluded) chaos explicitly
+    skip_chaos = pytest.mark.skip(reason="chaos suite: run with `pytest -m chaos`")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip_chaos)
 
 from repro.core.config_space import ConfigSpace, Parameter
 from repro.sparksim.configs import query_level_space

@@ -1,0 +1,100 @@
+"""FaultPlan determinism and scheduling semantics."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+
+def fire_pattern(plan, kind, n):
+    return [plan.should_fire(kind) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        spec = FaultSpec(kind=FaultKind.DROP_EVENT, rate=0.3)
+        a = fire_pattern(FaultPlan([spec], seed=7), FaultKind.DROP_EVENT, 200)
+        b = fire_pattern(FaultPlan([spec], seed=7), FaultKind.DROP_EVENT, 200)
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(kind=FaultKind.DROP_EVENT, rate=0.3)
+        a = fire_pattern(FaultPlan([spec], seed=1), FaultKind.DROP_EVENT, 200)
+        b = fire_pattern(FaultPlan([spec], seed=2), FaultKind.DROP_EVENT, 200)
+        assert a != b
+
+    def test_kinds_are_independent(self):
+        """Adding a second kind must not shift the first kind's schedule."""
+        drop = FaultSpec(kind=FaultKind.DROP_EVENT, rate=0.3)
+        spike = FaultSpec(kind=FaultKind.LATENCY_SPIKE, rate=0.5)
+        alone = fire_pattern(FaultPlan([drop], seed=3), FaultKind.DROP_EVENT, 100)
+        plan = FaultPlan([drop, spike], seed=3)
+        together = []
+        for _ in range(100):
+            together.append(plan.should_fire(FaultKind.DROP_EVENT))
+            plan.should_fire(FaultKind.LATENCY_SPIKE)  # interleaved draws
+        assert alone == together
+
+    def test_interleaving_does_not_change_decisions(self):
+        """Decision at opportunity n depends only on (seed, kind, n)."""
+        drop = FaultSpec(kind=FaultKind.DROP_EVENT, rate=0.4)
+        dup = FaultSpec(kind=FaultKind.DUPLICATE_EVENT, rate=0.4)
+        p1 = FaultPlan([drop, dup], seed=11)
+        seq1 = [(p1.should_fire(FaultKind.DROP_EVENT),
+                 p1.should_fire(FaultKind.DUPLICATE_EVENT)) for _ in range(50)]
+        p2 = FaultPlan([drop, dup], seed=11)
+        drops = [p2.should_fire(FaultKind.DROP_EVENT) for _ in range(50)]
+        dups = [p2.should_fire(FaultKind.DUPLICATE_EVENT) for _ in range(50)]
+        assert [a for a, _ in seq1] == drops
+        assert [b for _, b in seq1] == dups
+
+
+class TestScheduling:
+    def test_explicit_at_indices_always_fire(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.TOKEN_EXPIRY, at=(2, 5))], seed=0)
+        pattern = fire_pattern(plan, FaultKind.TOKEN_EXPIRY, 8)
+        assert pattern == [False, False, True, False, False, True, False, False]
+
+    def test_storm_duration(self):
+        """A firing with duration d keeps the fault active for d opportunities."""
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.TOKEN_EXPIRY, at=(3,), duration=3)], seed=0
+        )
+        pattern = fire_pattern(plan, FaultKind.TOKEN_EXPIRY, 9)
+        assert pattern == [False] * 3 + [True] * 3 + [False] * 3
+
+    def test_unscheduled_kind_never_fires(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.DROP_EVENT, rate=1.0)], seed=0)
+        assert not any(fire_pattern(plan, FaultKind.TRAIN_ERROR, 50))
+
+    def test_audit_log_records_fired_faults(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.DROP_EVENT, at=(1, 4))], seed=0)
+        fire_pattern(plan, FaultKind.DROP_EVENT, 6)
+        assert [f.index for f in plan.log] == [1, 4]
+        assert plan.fired(FaultKind.DROP_EVENT) == 2
+        assert plan.fired() == 2
+        assert plan.summary() == {"drop_event": 2}
+        assert plan.opportunities(FaultKind.DROP_EVENT) == 6
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.MODEL_CORRUPTION, rate=1.0)], seed=9)
+        assert all(fire_pattern(plan, FaultKind.MODEL_CORRUPTION, 20))
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.DROP_EVENT, rate=1.5)
+
+    def test_duration_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.DROP_EVENT, duration=0)
+
+    def test_magnitude_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.LATENCY_SPIKE, magnitude=0.0)
+
+    def test_duplicate_specs_rejected(self):
+        spec = FaultSpec(kind=FaultKind.DROP_EVENT, rate=0.1)
+        with pytest.raises(ValueError):
+            FaultPlan([spec, spec], seed=0)

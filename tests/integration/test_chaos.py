@@ -1,0 +1,192 @@
+"""Chaos suite: the full tuning loop under every fault class.
+
+Deselected from default runs (see ``tests/conftest.py``); run with
+``PYTHONPATH=src python -m pytest -m chaos`` or ``make chaos``.
+
+For each fault class and each of three seeds the suite drives the real
+client/backend/simulator loop through an injected-fault run and asserts:
+
+* **determinism** — the same seed replays to a bit-identical trace
+  (observed durations, stored event log, and fired-fault audit log);
+* **exactly-once accounting** — no ``QueryEndEvent`` is ever double-counted,
+  in storage or on the event hub, and every acknowledged event landed;
+* **graceful degradation** — nothing leaks into ``hub.failures`` and the
+  tuner still converges within tolerance of the fault-free trace.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    FaultySimulator,
+    flaky_model_factory,
+)
+from repro.ml.linear import RidgeRegression
+from repro.service.auth import SasTokenIssuer
+from repro.service.backend import AutotuneBackend
+from repro.service.client import AutotuneClient
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.events import QueryEndEvent
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpch import tpch_plan
+
+pytestmark = [pytest.mark.chaos, pytest.mark.integration]
+
+ITERATIONS = 14
+SEEDS = (0, 1, 2)
+
+# One entry per fault class from the taxonomy (docs/resilience.md); rates are
+# chosen so every class fires several times in 14 iterations while the
+# default retry policy can still drain the run.
+FAULT_CLASSES = {
+    "drop_event": [FaultSpec(kind=FaultKind.DROP_EVENT, rate=0.3)],
+    "duplicate_event": [FaultSpec(kind=FaultKind.DUPLICATE_EVENT, rate=0.3)],
+    "reorder_events": [FaultSpec(kind=FaultKind.REORDER_EVENTS, rate=0.3)],
+    "storage_write_error": [FaultSpec(kind=FaultKind.STORAGE_WRITE_ERROR, rate=0.25)],
+    "storage_read_error": [FaultSpec(kind=FaultKind.STORAGE_READ_ERROR, rate=0.25)],
+    "model_corruption": [FaultSpec(kind=FaultKind.MODEL_CORRUPTION, rate=0.3)],
+    "token_expiry_storm": [
+        FaultSpec(kind=FaultKind.TOKEN_EXPIRY, rate=0.15, at=(2,), duration=2)
+    ],
+    "train_error": [FaultSpec(kind=FaultKind.TRAIN_ERROR, rate=0.5)],
+    "latency_spike": [
+        FaultSpec(kind=FaultKind.LATENCY_SPIKE, rate=0.25, magnitude=4.0)
+    ],
+}
+
+# A faulted run's best *true* latency may trail the fault-free run's by this
+# factor: faults cost observations (shed batches, inflated measurements) but
+# must not break the optimizer.  Latency spikes get a looser bound — they
+# poison the observations themselves, so the optimizer is steered by bad
+# data rather than merely starved of good data.
+CONVERGENCE_TOL = 1.35
+CONVERGENCE_TOL_BY_CLASS = {"latency_spike": 2.0}
+
+
+class ChaosRun:
+    def __init__(self, durations, true_times, backend, client, plan):
+        self.durations = durations
+        self.true_times = true_times
+        self.backend = backend
+        self.client = client
+        self.plan = plan
+
+    def trace(self):
+        """Bit-exact fingerprint of everything the run produced."""
+        stored = [
+            (e.app_id, e.sequence, e.iteration, e.duration_seconds,
+             tuple(sorted(e.config.items())))
+            for e in self.backend.storage.read_app_events("app-1")
+        ]
+        return (tuple(self.durations), tuple(stored),
+                tuple((f.kind, f.index) for f in self.plan.log))
+
+    def stored_sequences(self):
+        return [e.sequence for e in self.backend.storage.read_app_events("app-1")]
+
+    def hub_sequences(self):
+        return [e.sequence for e in self.backend.hub.recent(10_000)
+                if isinstance(e, QueryEndEvent)]
+
+
+def run_tuning(root, specs, seed):
+    qspace = query_level_space()
+    plan = FaultPlan(specs, seed=seed)
+    backend = AutotuneBackend(
+        storage=StorageManager(root),
+        issuer=SasTokenIssuer("secret"),
+        query_space=qspace,
+        min_events_for_model=4,
+        model_factory=flaky_model_factory(lambda: RidgeRegression(alpha=1.0), plan),
+    )
+    client = AutotuneClient(
+        FaultyBackend(backend, plan), "app-1", "art-1", "u-1", qspace, seed=seed
+    )
+    sim = FaultySimulator(SparkSimulator(noise=low_noise(), seed=seed), plan)
+    query = tpch_plan(3, 1.0)
+    durations, true_times = [], []
+    for t in range(ITERATIONS):
+        config = client.suggest_config(query)
+        event = sim.run_to_event(
+            query, config, app_id="app-1", artifact_id="art-1", user_id="u-1",
+            iteration=t, embedding=client.embedder.embed(query),
+        )
+        client.on_query_end(event)
+        client.flush_events()
+        durations.append(event.duration_seconds)
+        true_times.append(sim.true_time(query, config))
+    for _ in range(30):  # drain anything a storm left buffered
+        if not client._pending_events:
+            break
+        client.flush_events()
+    client.finish_app()
+    return ChaosRun(durations, true_times, backend, client, plan)
+
+
+@pytest.fixture(scope="module")
+def clean_runs(tmp_path_factory):
+    """Fault-free reference trace per seed (shared by every fault class)."""
+    return {
+        seed: run_tuning(tmp_path_factory.mktemp(f"clean-{seed}"), [], seed)
+        for seed in SEEDS
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("fault_class", sorted(FAULT_CLASSES))
+class TestChaos:
+    def test_run_survives_and_converges(self, fault_class, seed, tmp_path, clean_runs):
+        specs = FAULT_CLASSES[fault_class]
+        run = run_tuning(tmp_path / "a", specs, seed)
+
+        # The scheduled fault actually happened — this is a chaos run.
+        assert run.plan.fired() > 0, "fault class never fired; test is vacuous"
+
+        # Determinism: identical seed => bit-identical trace.
+        rerun = run_tuning(tmp_path / "b", specs, seed)
+        assert rerun.trace() == run.trace()
+        assert rerun.plan.summary() == run.plan.summary()
+
+        # Exactly-once accounting, end to end.
+        sequences = run.stored_sequences()
+        assert len(sequences) == len(set(sequences)), "double-counted event"
+        assert sorted(sequences) == list(range(ITERATIONS)), "event lost"
+        hub_seqs = run.hub_sequences()
+        assert len(hub_seqs) == len(set(hub_seqs)), "hub saw an event twice"
+
+        # Graceful degradation: nothing leaked, tuning still worked.
+        assert not run.backend.hub.failures
+        clean = clean_runs[seed]
+        tol = CONVERGENCE_TOL_BY_CLASS.get(fault_class, CONVERGENCE_TOL)
+        assert min(run.true_times) <= tol * min(clean.true_times)
+        # And the run never regressed below its own starting point.
+        assert min(run.true_times) <= run.true_times[0] * 1.05
+
+    def test_clean_baseline_is_deterministic(self, fault_class, seed, clean_runs,
+                                             tmp_path):
+        if fault_class != sorted(FAULT_CLASSES)[0]:
+            pytest.skip("baseline determinism is seed-level, checked once")
+        rerun = run_tuning(tmp_path, [], seed)
+        assert rerun.trace() == clean_runs[seed].trace()
+        assert rerun.plan.fired() == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_combined_fault_storm(seed, tmp_path):
+    """All fault classes at once — the full chaos monkey — still drains to an
+    exactly-once event log and a working model path."""
+    specs = [spec for group in FAULT_CLASSES.values() for spec in group]
+    run = run_tuning(tmp_path, specs, seed)
+    sequences = run.stored_sequences()
+    assert len(sequences) == len(set(sequences))
+    assert sorted(sequences) == list(range(ITERATIONS))
+    assert not run.backend.hub.failures
+    assert run.plan.fired() > 5
+    rerun_sequences = sorted(run.stored_sequences())
+    assert rerun_sequences == sorted(set(rerun_sequences))

@@ -66,6 +66,68 @@ class TestReplay:
         assert obs[3].performance == pytest.approx(10.0 - 0.6)
 
 
+def make_sequenced_event(app, seq, i, duration):
+    e = make_event(app, i, duration=duration)
+    return e.__class__(**{**e.__dict__, "sequence": seq})
+
+
+def trace(trajectories):
+    """A hashable, bit-exact fingerprint of a replayed artifact."""
+    return {
+        sig: [
+            (e.app_id, e.sequence, e.iteration, e.duration_seconds,
+             tuple(sorted(e.config.items())))
+            for e in traj.events
+        ]
+        for sig, traj in trajectories.items()
+    }
+
+
+class TestReplayDeterminism:
+    def _events(self, n=8):
+        return [
+            make_sequenced_event("app-0", seq=i, i=i, duration=10.0 - 0.3 * i)
+            for i in range(n)
+        ]
+
+    def test_same_log_replays_bit_identical(self, tmp_path):
+        a, b = StorageManager(tmp_path / "a"), StorageManager(tmp_path / "b")
+        for s in (a, b):
+            s.append_events("app-0", "art", self._events())
+        assert trace(replay_artifact(a, "art")) == trace(replay_artifact(b, "art"))
+
+    def test_reordered_delivery_replays_identically(self, tmp_path):
+        """A transport that shuffles batches must not change the replayed
+        trajectory: sequence numbers restore the client's delivery order."""
+        events = self._events()
+        clean = StorageManager(tmp_path / "clean")
+        clean.append_events("app-0", "art", events)
+        shuffled = StorageManager(tmp_path / "shuffled")
+        order = np.random.default_rng(5).permutation(len(events))
+        shuffled.append_events("app-0", "art", [events[i] for i in order])
+        assert trace(replay_artifact(clean, "art")) == \
+            trace(replay_artifact(shuffled, "art"))
+
+    def test_duplicated_delivery_replays_identically(self, tmp_path):
+        events = self._events()
+        clean = StorageManager(tmp_path / "clean")
+        clean.append_events("app-0", "art", events)
+        dupped = StorageManager(tmp_path / "dupped")
+        dupped.append_events("app-0", "art", events + events[2:5])
+        assert trace(replay_artifact(clean, "art")) == \
+            trace(replay_artifact(dupped, "art"))
+        assert len(replay_artifact(dupped, "art")["sig-a"]) == len(events)
+
+    def test_legacy_unsequenced_events_keep_iteration_order(self, tmp_path):
+        """Events without sequence numbers (old logs) still replay in
+        iteration order — and duplicates cannot be detected, by design."""
+        storage = StorageManager(tmp_path)
+        events = [make_event("app-0", i, duration=10.0 - i) for i in (3, 0, 2, 1)]
+        storage.append_events("app-0", "art", events)
+        traj = replay_artifact(storage, "art")["sig-a"]
+        assert [e.iteration for e in traj.events] == [0, 1, 2, 3]
+
+
 class TestGuardrailAudit:
     def test_healthy_trajectory_not_disabled(self, storage):
         space = query_level_space()

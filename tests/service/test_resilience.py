@@ -1,0 +1,453 @@
+"""Resilience of the service layer under injected faults.
+
+Each fault class from ``repro.faults`` has at least one test here (or in
+``test_replay.py`` / the chaos suite) that the pre-resilience service layer
+fails — demonstrated where practical by re-running the same fault with the
+resilience knob disabled (``dedup_events=False``, ``serve_stale=False``,
+``cooldown=None``, single-attempt retry policies).
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config_space import ConfigSpace, Parameter
+from repro.core.guardrail import Guardrail
+from repro.core.observation import Observation
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultyBackend,
+    FaultyStorage,
+    flaky_model_factory,
+)
+from repro.ml.linear import RidgeRegression
+from repro.service.auth import SasTokenIssuer, TokenError
+from repro.service.backend import AutotuneBackend
+from repro.service.client import AutotuneClient, AutotuneCredentialManager
+from repro.service.resilience import (
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientServiceError,
+)
+from repro.service.storage import StorageManager
+from repro.sparksim.events import QueryEndEvent
+
+
+def tiny_space() -> ConfigSpace:
+    return ConfigSpace([
+        Parameter(name="a", low=0.0, high=10.0, default=5.0),
+        Parameter(name="b", low=1.0, high=100.0, default=10.0),
+    ])
+
+
+def make_event(i: int, app_id: str = "app-1", signature: str = "q1") -> QueryEndEvent:
+    return QueryEndEvent(
+        app_id=app_id,
+        artifact_id="art-1",
+        query_signature=signature,
+        user_id="u-1",
+        iteration=i,
+        config={"a": 5.0, "b": 10.0},
+        data_size=1e6,
+        duration_seconds=10.0 + i,
+    )
+
+
+def make_backend(root, plan=None, **kwargs):
+    kwargs.setdefault("min_events_for_model", 999)  # keep delivery tests cheap
+    backend = AutotuneBackend(
+        storage=StorageManager(root),
+        issuer=SasTokenIssuer("secret"),
+        query_space=tiny_space(),
+        **kwargs,
+    )
+    return FaultyBackend(backend, plan) if plan is not None else backend
+
+
+def make_client(backend, **kwargs):
+    kwargs.setdefault("enabled", False)  # delivery tests skip the optimizer
+    return AutotuneClient(backend, "app-1", "art-1", "u-1", tiny_space(), **kwargs)
+
+
+def stored_sequences(storage, app_id="app-1"):
+    return [e.sequence for e in storage.read_app_events(app_id)]
+
+
+# -- RetryPolicy properties ----------------------------------------------------------
+
+
+class TestRetryPolicy:
+    @given(
+        max_attempts=st.integers(1, 12),
+        base_delay=st.floats(0.0, 5.0),
+        multiplier=st.floats(1.0, 4.0),
+        max_delay=st.floats(0.0, 10.0),
+        deadline=st.floats(0.0, 30.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_backoff_monotone_and_deadline_bounded(
+        self, max_attempts, base_delay, multiplier, max_delay, deadline
+    ):
+        policy = RetryPolicy(
+            max_attempts=max_attempts, base_delay=base_delay,
+            multiplier=multiplier, max_delay=max_delay, deadline=deadline,
+        )
+        delays = policy.delays()
+        assert len(delays) <= max_attempts - 1
+        assert all(b >= a for a, b in zip(delays, delays[1:]))  # monotone
+        assert all(d <= max_delay for d in delays)
+        assert sum(delays) <= deadline + 1e-9
+
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientServiceError("boom")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.01)
+        assert policy.call(flaky) == "ok"
+        assert calls["n"] == 3
+        assert policy.retries == 2
+
+    def test_exhaustion_raises_with_cause(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01)
+        with pytest.raises(RetryExhaustedError) as exc:
+            policy.call(lambda: (_ for _ in ()).throw(TransientServiceError("x")))
+        assert isinstance(exc.value.last_error, TransientServiceError)
+        assert exc.value.attempts == 3
+
+    def test_non_retryable_errors_propagate(self):
+        policy = RetryPolicy(max_attempts=5)
+
+        def bad():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(bad)
+
+    def test_single_attempt_policy_never_retries(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert policy.delays() == []
+        with pytest.raises(RetryExhaustedError):
+            policy.call(lambda: (_ for _ in ()).throw(TransientServiceError("x")))
+        assert policy.retries == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+# -- idempotent event delivery (drop / duplicate / partial write) -----------------------
+
+
+class TestIdempotentDelivery:
+    def test_partial_batch_write_is_exactly_once(self, tmp_path):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.DROP_EVENT, at=(0,))], seed=3)
+        backend = make_backend(tmp_path, plan)
+        client = make_client(backend)
+        for i in range(5):
+            client.on_query_end(make_event(i))
+        assert client.flush_events() == 5
+        sequences = stored_sequences(backend.storage)
+        assert sorted(sequences) == [0, 1, 2, 3, 4]
+        assert len(set(sequences)) == 5          # no double-counting
+        assert plan.fired(FaultKind.DROP_EVENT) == 1
+
+    def test_duplicate_delivery_deduplicated(self, tmp_path):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.DUPLICATE_EVENT, at=(0,))], seed=0)
+        backend = make_backend(tmp_path, plan)
+        client = make_client(backend)
+        for i in range(3):
+            client.on_query_end(make_event(i))
+        client.flush_events()
+        assert sorted(stored_sequences(backend.storage)) == [0, 1, 2]
+        assert backend.duplicates_dropped == 3
+
+    def test_duplicate_delivery_double_counts_without_dedup(self, tmp_path):
+        """The pre-resilience vulnerability: same fault, dedup disabled."""
+        plan = FaultPlan([FaultSpec(kind=FaultKind.DUPLICATE_EVENT, at=(0,))], seed=0)
+        backend = make_backend(tmp_path, plan, dedup_events=False)
+        client = make_client(backend)
+        for i in range(3):
+            client.on_query_end(make_event(i))
+        client.flush_events()
+        assert len(stored_sequences(backend.inner.storage)) == 6  # double-counted
+
+    def test_flush_failure_keeps_events_buffered(self, tmp_path):
+        """Pre-resilience, a failed flush dropped its buffer on the floor."""
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.STORAGE_WRITE_ERROR, at=(0,), duration=3)], seed=0
+        )
+        backend = make_backend(tmp_path, plan)
+        client = make_client(backend, retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0))
+        client.on_query_end(make_event(0))
+        assert client.flush_events() == 0        # storm outlasts the 2 attempts
+        assert client.flush_failures == 1
+        assert len(client._pending_events) == 1  # nothing lost
+        assert client.flush_events() == 1        # retry lands past the storm
+        assert stored_sequences(backend.storage) == [0]
+
+    @given(
+        seed=st.integers(0, 1_000_000),
+        drop=st.floats(0.0, 0.4),
+        dup=st.floats(0.0, 0.4),
+        reorder=st.floats(0.0, 0.4),
+        n_events=st.integers(1, 12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_fault_plans_never_double_count(self, seed, drop, dup, reorder, n_events):
+        """Property: whatever the fault plan, no QueryEndEvent is ever
+        counted twice, and whatever was acknowledged is stored exactly once."""
+        plan = FaultPlan(
+            [
+                FaultSpec(kind=FaultKind.DROP_EVENT, rate=drop),
+                FaultSpec(kind=FaultKind.DUPLICATE_EVENT, rate=dup),
+                FaultSpec(kind=FaultKind.REORDER_EVENTS, rate=reorder),
+            ],
+            seed=seed,
+        )
+        with tempfile.TemporaryDirectory() as root:
+            backend = make_backend(root, plan)
+            client = make_client(
+                backend, retry_policy=RetryPolicy(max_attempts=6, base_delay=0.0)
+            )
+            for i in range(n_events):
+                client.on_query_end(make_event(i))
+                client.flush_events()
+            for _ in range(20):                   # drain any persistent failures
+                if not client._pending_events:
+                    break
+                client.flush_events()
+            sequences = stored_sequences(backend.storage)
+            assert len(sequences) == len(set(sequences))
+            if not client._pending_events:
+                assert sorted(sequences) == list(range(n_events))
+            # The streaming jobs saw each event at most once too.
+            hub_sequences = [
+                e.sequence for e in backend.hub.recent(10_000)
+                if isinstance(e, QueryEndEvent)
+            ]
+            assert len(hub_sequences) == len(set(hub_sequences))
+
+
+# -- flaky storage under the backend ----------------------------------------------
+
+
+class TestFlakyStorage:
+    def test_transient_write_failures_are_retried_end_to_end(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.STORAGE_WRITE_ERROR, at=(0, 1))], seed=0
+        )
+        storage = FaultyStorage(StorageManager(tmp_path), plan)
+        backend = AutotuneBackend(
+            storage=storage, issuer=SasTokenIssuer("s"),
+            query_space=tiny_space(), min_events_for_model=999,
+        )
+        client = make_client(backend)
+        client.on_query_end(make_event(0))
+        assert client.flush_events() == 1        # two failures, third attempt lands
+        assert stored_sequences(storage.inner) == [0]
+        assert plan.fired(FaultKind.STORAGE_WRITE_ERROR) == 2
+
+
+# -- token expiry (storms) ------------------------------------------------------------
+
+
+class TestTokenExpiry:
+    def test_grant_reregisters_after_ttl(self, tmp_path):
+        """Regression (pre-resilience bug): the credential manager cached a
+        grant forever, serving tokens long past their TTL."""
+        clock = {"now": 0.0}
+        issuer = SasTokenIssuer("s", default_ttl=10.0, clock=lambda: clock["now"])
+        backend = AutotuneBackend(
+            storage=StorageManager(tmp_path), issuer=issuer,
+            query_space=tiny_space(), min_events_for_model=999,
+        )
+        creds = AutotuneCredentialManager(
+            backend, "app-1", "art-1", "u-1", clock=lambda: clock["now"]
+        )
+        first = creds.grant
+        assert creds.grant is first              # cached within TTL
+        clock["now"] = 60.0                      # TTL long gone
+        fresh = creds.grant
+        assert fresh is not first
+        assert creds.refresh_count == 1
+        issuer.validate(fresh.event_write_token, "events/app-1", "w")
+        with pytest.raises(TokenError):          # the stale grant really was dead
+            issuer.validate(first.event_write_token, "events/app-1", "w")
+
+    def test_flush_survives_token_expiry_storm(self, tmp_path):
+        """Pre-resilience the client retried exactly once after a TokenError,
+        so any storm of length >= 2 lost the batch."""
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.TOKEN_EXPIRY, at=(0,), duration=3)], seed=0
+        )
+        backend = make_backend(tmp_path, plan)
+        client = make_client(backend)            # default policy: 5 attempts
+        client.on_query_end(make_event(0))
+        assert client.flush_events() == 1
+        assert stored_sequences(backend.storage) == [0]
+        assert client.credentials.refresh_count >= 3
+
+    def test_single_retry_policy_fails_the_storm_without_losing_events(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.TOKEN_EXPIRY, at=(0,), duration=3)], seed=0
+        )
+        backend = make_backend(tmp_path, plan)
+        client = make_client(backend, retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0))
+        client.on_query_end(make_event(0))
+        assert client.flush_events() == 0
+        assert client.flush_failures == 1
+        assert client.flush_events() == 1        # delivered once the storm passed
+        assert stored_sequences(backend.storage) == [0]
+
+
+# -- model fetch: outages and corruption ----------------------------------------------
+
+
+def train_one_model(tmp_path, plan=None):
+    """Backend + client with one trained ridge surrogate for signature q1."""
+    backend = AutotuneBackend(
+        storage=StorageManager(tmp_path),
+        issuer=SasTokenIssuer("secret"),
+        query_space=tiny_space(),
+        min_events_for_model=3,
+        model_factory=lambda: RidgeRegression(alpha=1.0),
+    )
+    outer = FaultyBackend(backend, plan) if plan is not None else backend
+    client = make_client(outer, enabled=False)
+    rng = np.random.default_rng(0)
+    for i in range(4):
+        client.on_query_end(QueryEndEvent(
+            app_id="app-1", artifact_id="art-1", query_signature="q1",
+            user_id="u-1", iteration=i,
+            config={"a": float(rng.uniform(0, 10)), "b": float(rng.uniform(1, 100))},
+            data_size=1e6, duration_seconds=float(10 + rng.uniform(0, 5)),
+        ))
+    client.flush_events()
+    assert backend.models_trained >= 1
+    return backend, outer, client
+
+
+class TestModelPath:
+    def test_fetch_outage_serves_stale_model(self, tmp_path):
+        """Pre-resilience a transient fetch error crashed query submission."""
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.STORAGE_READ_ERROR, at=(1,), duration=50)], seed=0
+        )
+        _backend, outer, client = train_one_model(tmp_path, plan)
+        loader = client.model_loader
+        loader.retry_policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        good = loader.load("q1", use_cache=False)     # opportunity 0: populates cache
+        assert good is not None
+        stale = loader.load("q1", use_cache=False)    # outage: stale cache served
+        assert stale is good
+        assert loader.stale_serves >= 1
+        assert loader.fetch_failures >= 1
+
+    def test_fetch_outage_without_stale_serving_degrades_to_none(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.STORAGE_READ_ERROR, at=(1,), duration=50)], seed=0
+        )
+        _backend, outer, client = train_one_model(tmp_path, plan)
+        loader = client.model_loader
+        loader.retry_policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        loader.serve_stale = False               # the pre-resilience behavior
+        assert loader.load("q1", use_cache=False) is not None
+        assert loader.load("q1", use_cache=False) is None   # model lost mid-tuning
+
+    def test_corrupt_payload_serves_stale_model(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec(kind=FaultKind.MODEL_CORRUPTION, at=(1,), duration=50)], seed=1
+        )
+        _backend, outer, client = train_one_model(tmp_path, plan)
+        loader = client.model_loader
+        good = loader.load("q1", use_cache=False)
+        assert good is not None
+        served = loader.load("q1", use_cache=False)   # corrupted fetch
+        assert served is good
+        assert loader.decode_failures >= 1
+        assert loader.stale_serves >= 1
+
+
+# -- surrogate training failures ----------------------------------------------------
+
+
+class TestTrainingFailures:
+    def test_training_exceptions_do_not_leak_and_retrain_later(self, tmp_path):
+        plan = FaultPlan([FaultSpec(kind=FaultKind.TRAIN_ERROR, at=(0,))], seed=0)
+        backend = AutotuneBackend(
+            storage=StorageManager(tmp_path),
+            issuer=SasTokenIssuer("s"),
+            query_space=tiny_space(),
+            min_events_for_model=3,
+            model_factory=flaky_model_factory(lambda: RidgeRegression(alpha=1.0), plan),
+        )
+        client = make_client(backend)
+        rng = np.random.default_rng(1)
+        for i in range(5):
+            client.on_query_end(QueryEndEvent(
+                app_id="app-1", artifact_id="art-1", query_signature="q1",
+                user_id="u-1", iteration=i,
+                config={"a": float(rng.uniform(0, 10)), "b": float(rng.uniform(1, 100))},
+                data_size=1e6, duration_seconds=float(10 + rng.uniform(0, 5)),
+            ))
+            client.flush_events()
+        assert backend.train_failures == 1       # event 3's training failed...
+        assert backend.models_trained >= 1       # ...and event 4 retried successfully
+        assert not backend.hub.failures          # nothing leaked to the hub
+        assert backend.storage.read_model("u-1", "q1") is not None
+
+
+# -- latency spikes and the guardrail -------------------------------------------------
+
+
+class TestGuardrailCooldown:
+    def _spiky_times(self):
+        # Healthy flat 10s query with a burst of 4x latency spikes.
+        times = [10.0] * 20
+        times[8:14] = [40.0] * 6
+        return times
+
+    def _run(self, guardrail):
+        for i, t in enumerate(self._spiky_times()):
+            guardrail.update(Observation(
+                config=np.array([0.5]), data_size=1e6, performance=t, iteration=i,
+            ))
+        return guardrail
+
+    def test_spike_storm_disables_tuning_forever_without_cooldown(self):
+        """The pre-resilience failure mode: one storm, tuning dead forever."""
+        g = self._run(Guardrail(min_iterations=5, threshold=0.2, patience=2, fit_window=5))
+        assert not g.active
+        assert g.reenable_count == 0
+
+    def test_cooldown_reenables_after_the_storm(self):
+        g = self._run(Guardrail(
+            min_iterations=5, threshold=0.2, patience=2, fit_window=5, cooldown=3,
+        ))
+        assert g.active                           # recovered once spikes passed
+        assert g.reenable_count >= 1
+
+    def test_cooldown_state_round_trips(self):
+        g = Guardrail(min_iterations=5, threshold=0.2, patience=2, fit_window=5, cooldown=4)
+        self._run(g)
+        clone = Guardrail(
+            min_iterations=5, threshold=0.2, patience=2, fit_window=5, cooldown=4,
+        ).restore_state(g.to_state())
+        assert clone.active == g.active
+        assert clone.to_state() == g.to_state()
+
+    def test_cooldown_validation(self):
+        with pytest.raises(ValueError):
+            Guardrail(cooldown=0)
