@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos bench all
+.PHONY: test chaos bench bench-perf all
 
 test:            ## fast tier-1 suite (chaos deselected)
 	$(PYTEST) -x -q
@@ -10,5 +10,8 @@ chaos:           ## fault-injection suite (docs/resilience.md)
 
 bench:           ## pytest-benchmark harness
 	$(PYTEST) benchmarks/ --benchmark-only
+
+bench-perf:      ## perf micro-benchmarks + regression guards -> BENCH_perf.json
+	$(PYTEST) benchmarks/bench_perf_gp_update.py benchmarks/bench_perf_scoring.py benchmarks/bench_perf_parallel.py -q
 
 all: test chaos

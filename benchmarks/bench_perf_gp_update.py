@@ -1,0 +1,111 @@
+"""Perf: incremental GP ``update()`` vs full ``fit()`` per observation.
+
+The regression guard here is the load-bearing one: absorbing one new
+observation through the rank-1 Cholesky append must scale **sub-cubically**
+with the training-set size (the full refit it replaces is O(n³)).  The
+measured per-observation cost is fit to ``cost ~ n^exponent`` on a log-log
+grid; the PR that accidentally reroutes ``update()`` through the full
+factorization shows up as the exponent snapping back toward 3.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import Matern52Kernel
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+SIZES = (100, 200, 400, 800) if FULL_MODE else (50, 100, 200, 400)
+REPEATS = 7
+DIM = 5
+# O(n²) theory plus constant-factor noise on small problems; an accidental
+# O(n³) reroute measures ≳2.7 on these grids.
+MAX_EXPONENT = 2.6
+
+
+def _training_data(n, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n, DIM))
+    y = np.sin(X @ rng.normal(size=DIM)) + 0.05 * rng.normal(size=n)
+    return X, y
+
+
+def _median_seconds(fn, repeats=REPEATS):
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def _fitted_model(X, y):
+    model = GaussianProcessRegressor(
+        kernel=Matern52Kernel(length_scale=0.8),
+        noise=1e-3,
+        normalize_y=False,  # keep every repeat on the rank-1 path
+        optimize_hypers=False,
+    )
+    return model.fit(X, y)
+
+
+def test_incremental_update_is_subcubic(perf_results):
+    update_costs = []
+    refit_costs = []
+    for n in SIZES:
+        X, y = _training_data(n + REPEATS + 1)
+        x_new = X[n:]
+        y_new = y[n:]
+
+        # One fitted model per repeat so every sample times a single rank-1
+        # append at exactly size n (updating in place would grow the factor).
+        models = [_fitted_model(X[:n], y[:n]) for _ in range(REPEATS)]
+        it = iter(range(REPEATS))
+        update_costs.append(_median_seconds(
+            lambda: models[next(it)].update(x_new[:1], float(y_new[0]))
+        ))
+
+        refit = _fitted_model(X[:n], y[:n])
+        refit_costs.append(_median_seconds(
+            lambda: refit.fit(X[:n + 1], y[:n + 1])
+        ))
+
+    log_n = np.log(np.array(SIZES, dtype=float))
+    exponent = float(np.polyfit(log_n, np.log(np.array(update_costs)), 1)[0])
+    largest = len(SIZES) - 1
+    speedup_at_largest = refit_costs[largest] / update_costs[largest]
+
+    perf_results["gp_update"] = {
+        "train_sizes": list(SIZES),
+        "update_median_seconds": update_costs,
+        "full_refit_median_seconds": refit_costs,
+        "update_cost_exponent": exponent,
+        "max_allowed_exponent": MAX_EXPONENT,
+        "speedup_vs_refit_at_largest": float(speedup_at_largest),
+    }
+
+    assert exponent < MAX_EXPONENT, (
+        f"incremental update cost grew as n^{exponent:.2f} over {SIZES}; "
+        "the rank-1 append has regressed toward a full O(n^3) refit"
+    )
+    assert speedup_at_largest > 1.0, (
+        f"update() slower than a full refit at n={SIZES[largest]} "
+        f"({speedup_at_largest:.2f}x)"
+    )
+
+
+def test_update_equals_refit_posterior(perf_results):
+    # Cheap cross-check riding along with the timing run: the speed must not
+    # come from a different posterior.
+    n = SIZES[0]
+    X, y = _training_data(n + 10, seed=3)
+    incremental = _fitted_model(X[:n], y[:n])
+    for m in range(n, n + 10):
+        incremental.update(X[m:m + 1], float(y[m]))
+    scratch = _fitted_model(X, y)
+    probe = np.random.default_rng(1).uniform(-1, 1, size=(32, DIM))
+    err = float(np.max(np.abs(incremental.predict(probe) - scratch.predict(probe))))
+    perf_results.setdefault("gp_update", {})["posterior_max_abs_error"] = err
+    assert err < 1e-8

@@ -1,0 +1,80 @@
+"""Perf: process-pool speedup on a quick-mode convergence figure.
+
+Times the same quick-mode figure run serially and with one worker per
+available core.  The result is recorded honestly: on a multi-core machine
+the speedup approaches the core count; on a single-core container it is
+~1x (pool overhead included) — which is why the hard assertion is scaled by
+``n_cpus`` instead of demanding a fixed ratio everywhere.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments import fig02_noisy_convergence
+from repro.experiments.parallel import available_workers
+
+
+def _timed_run(n_workers):
+    t0 = time.perf_counter()
+    result = fig02_noisy_convergence.run(quick=True, seed=0, n_workers=n_workers)
+    return time.perf_counter() - t0, result
+
+
+def test_parallel_figure_run_speedup(perf_results):
+    n_cpus = available_workers()
+    serial_seconds, serial_result = _timed_run(1)
+    parallel_seconds, parallel_result = _timed_run("auto")
+    speedup = serial_seconds / parallel_seconds
+
+    perf_results["parallel_engine"] = {
+        "experiment": "fig02_noisy_convergence (quick)",
+        "n_cpus": n_cpus,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+    }
+
+    # Correctness before speed: worker count must never change the science.
+    for key in serial_result.scalars:
+        assert serial_result.scalars[key] == parallel_result.scalars[key], key
+
+    if n_cpus >= 4:
+        # With 4+ cores the quick figure (long independent runs, tiny IPC
+        # payloads) must clear 2x; anything less means the pool is broken.
+        assert speedup >= 2.0, (
+            f"only {speedup:.2f}x on {n_cpus} cores"
+        )
+    elif n_cpus >= 2:
+        assert speedup >= 1.2, (
+            f"only {speedup:.2f}x on {n_cpus} cores"
+        )
+    else:
+        # Single core: the pool cannot win; just bound its overhead.
+        assert speedup >= 0.5, (
+            f"pool overhead {1 / speedup:.2f}x on a single core"
+        )
+
+
+def test_parallel_bit_identity_across_worker_counts(perf_results):
+    # The runs matrices, not just the summary scalars, must match exactly.
+    from repro.core.centroid import CentroidLearning
+    from repro.experiments.parallel import run_replicated_parallel
+    from repro.sparksim.noise import high_noise
+    from repro.workloads.synthetic import default_synthetic_objective
+
+    objective = default_synthetic_objective(noise=high_noise(), seed=7)
+    space = objective.space
+
+    def factory(i):
+        return CentroidLearning(space, seed=i)
+
+    serial, _ = run_replicated_parallel(
+        factory, objective, n_iterations=40, n_runs=8, seed=0, n_workers=1
+    )
+    pooled, _ = run_replicated_parallel(
+        factory, objective, n_iterations=40, n_runs=8, seed=0, n_workers="auto"
+    )
+    identical = bool(np.array_equal(serial, pooled))
+    perf_results.setdefault("parallel_engine", {})["bit_identical"] = identical
+    assert identical

@@ -8,15 +8,49 @@ By default the reduced *quick* configurations run; set ``REPRO_BENCH_FULL=1``
 for paper-scale replication counts.
 """
 
+import inspect
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.experiments.parallel import WORKERS_ENV
 from repro.experiments.report import render_result, result_to_json
 
 FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 OUTPUT_DIR = Path(__file__).parent / "output"
+# Benchmarks default to every available core; $REPRO_WORKERS still wins so a
+# timing run can be pinned serial for apples-to-apples comparisons.
+BENCH_WORKERS = os.environ.get(WORKERS_ENV, "auto")
+
+# The bench_perf_* modules deposit their sections here; pytest_sessionfinish
+# assembles them into BENCH_perf.json at the repo root (docs/performance.md).
+PERF_RESULTS = {}
+PERF_JSON = Path(__file__).parent.parent / "BENCH_perf.json"
+
+
+@pytest.fixture(scope="session")
+def perf_results():
+    return PERF_RESULTS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not PERF_RESULTS:
+        return
+    import json
+    import platform
+
+    from repro.experiments.parallel import available_workers
+
+    payload = {
+        "schema": "repro-bench-perf/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "n_cpus": available_workers(),
+        "full_mode": FULL_MODE,
+        "sections": PERF_RESULTS,
+    }
+    PERF_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -31,9 +65,12 @@ def run_experiment(benchmark, bench_output_dir):
     rendered report."""
 
     def _run(module, **kwargs):
+        run_kwargs = {"quick": not FULL_MODE, **kwargs}
+        if "n_workers" in inspect.signature(module.run).parameters:
+            run_kwargs.setdefault("n_workers", BENCH_WORKERS)
         result = benchmark.pedantic(
             module.run,
-            kwargs={"quick": not FULL_MODE, **kwargs},
+            kwargs=run_kwargs,
             rounds=1,
             iterations=1,
         )

@@ -36,11 +36,35 @@ class FindBestMode(enum.Enum):
 def fit_window_model(
     window: ObservationWindow, model_factory: Callable[[], Regressor]
 ) -> Regressor:
-    """Fit ``H`` on the window's ``[c_i, p_i] → r_i`` pairs (Eq. 4)."""
+    """Fit ``H`` on the window's ``[c_i, p_i] → r_i`` pairs (Eq. 4).
+
+    Fitted models are memoized on the window object, keyed by the window's
+    append version and the factory identity: within one tuning iteration the
+    candidate selector and the centroid update both need ``H`` over the
+    *same* observations, so the second call reuses the first fit.  The
+    cache is only consulted for the exact same factory object, and a fresh
+    fit happens as soon as an observation lands (deterministic factories
+    therefore produce bit-identical models to the uncached path).
+    """
+    version = getattr(window, "version", None)
+    cache: Optional[dict] = None
+    if version is not None:
+        cache = window.__dict__.setdefault("_window_model_cache", {})
+        entry = cache.get(id(model_factory))
+        if entry is not None:
+            cached_version, cached_factory, cached_model = entry
+            if cached_version == version and cached_factory is model_factory:
+                return cached_model
     X = window.design_matrix()
     y = window.performances()
     model = model_factory()
     model.fit(X, y)
+    if cache is not None:
+        # Drop entries from older versions so the cache tracks at most one
+        # generation per factory.
+        for key in [k for k, v in cache.items() if v[0] != version]:
+            del cache[key]
+        cache[id(model_factory)] = (version, model_factory, model)
     return model
 
 

@@ -51,12 +51,21 @@ class ObservationWindow:
             raise ValueError("window_size must be >= 2 to estimate a gradient")
         self.window_size = window_size
         self._history: List[Observation] = []
+        self._version = 0
 
     def __len__(self) -> int:
         return len(self._history)
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every append — cache invalidation key
+        for consumers that fit models on the window (see
+        :func:`repro.core.find_best.fit_window_model`)."""
+        return self._version
+
     def append(self, obs: Observation) -> None:
         self._history.append(obs)
+        self._version += 1
 
     @property
     def history(self) -> Sequence[Observation]:

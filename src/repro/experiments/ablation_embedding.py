@@ -28,6 +28,7 @@ from ..sparksim.configs import query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .platform_v0 import build_v0_platform, platform_training_table
 from .runner import ExperimentResult
 
@@ -40,6 +41,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = query_ids[:5] if quick else query_ids
     n_configs = 40 if quick else 120
@@ -66,8 +68,9 @@ def run(
             query_ids, scale_factor=scale_factor, n_configs=n_configs,
             space=space, embedder=embedder, seed=seed,
         )
-        totals = np.zeros(n_iterations)
-        for k, qid in enumerate(query_ids):
+
+        def tune_query(indexed_qid, embedder=embedder):
+            k, qid = indexed_qid
             table = platform_training_table(platform, space, exclude=qid)
             baseline = BaselineModelTrainer().train(table)
             adapter = BaselineModelAdapter(baseline, table.embedding_dim)
@@ -82,10 +85,17 @@ def run(
                 embedder=embedder,
             )
             trace = session.run(n_iterations)
-            totals += trace.true
             default_time = session.default_true_time()
             from_iter5 = float(trace.true[5:].mean())
-            improvements[label].append((default_time / from_iter5 - 1.0) * 100.0)
+            return trace.true, (default_time / from_iter5 - 1.0) * 100.0
+
+        per_query = parallel_map(
+            tune_query, list(enumerate(query_ids)), n_workers=n_workers
+        )
+        totals = np.zeros(n_iterations)
+        for true_trace, improvement in per_query:
+            totals += true_trace
+            improvements[label].append(improvement)
         result.series[f"{label}_total_true_seconds"] = totals
         result.scalars[f"{label}_mean_improvement_pct"] = float(
             np.mean(improvements[label])

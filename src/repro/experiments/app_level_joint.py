@@ -20,6 +20,7 @@ from ..sparksim.configs import app_level_space, full_space, query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import low_noise, no_noise
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
@@ -31,6 +32,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = query_ids[:2] if quick else query_ids
     n_observations = 40 if quick else 150
@@ -42,9 +44,7 @@ def run(
     query_names = query_space.names
     joint_index = {name: i for i, name in enumerate(joint.names)}
 
-    rng = np.random.default_rng(seed)
     truth = SparkSimulator(noise=no_noise(), seed=seed)
-    observe_sim = SparkSimulator(noise=low_noise(), seed=seed + 1)
     plans = [tpcds_plan(qid, scale_factor) for qid in query_ids]
 
     def assemble(v: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -56,10 +56,14 @@ def run(
         return full
 
     # Phase 1: gather (noisy) observations per query over the joint space.
-    contexts: List[QueryTuningContext] = []
-    per_query_obs = []
-    for k, plan in enumerate(plans):
-        vectors = joint.latin_hypercube(n_observations, rng)
+    # Each query owns its sampling RNG and simulator seed so the fan-out is
+    # deterministic regardless of how the pool interleaves the work.
+    def observe_query(indexed_plan):
+        k, plan = indexed_plan
+        observe_sim = SparkSimulator(noise=low_noise(), seed=seed + 1 + 97 * k)
+        vectors = joint.latin_hypercube(
+            n_observations, np.random.default_rng(seed * 41 + k)
+        )
         times = np.array([
             observe_sim.run(plan, joint.to_dict(v)).elapsed_seconds for v in vectors
         ])
@@ -70,6 +74,12 @@ def run(
         centroid = np.array([
             vectors[best_idx][joint_index[name]] for name in query_names
         ])
+        return vectors, times, model, centroid
+
+    phase1 = parallel_map(observe_query, list(enumerate(plans)), n_workers=n_workers)
+    contexts: List[QueryTuningContext] = []
+    per_query_obs = []
+    for plan, (vectors, times, model, centroid) in zip(plans, phase1):
         p = plan.total_leaf_cardinality
 
         def score_fn(v, w, _model=model, _p=p):

@@ -30,6 +30,7 @@ from ..sparksim.configs import (
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
@@ -41,6 +42,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = query_ids[:2] if quick else query_ids
     n_iterations = 25 if quick else 60
@@ -58,9 +60,9 @@ def run(
         ),
     )
     truth = SparkSimulator(noise=None, seed=0)
-    cont_gains: List[float] = []
-    mixed_gains: List[float] = []
-    for k, qid in enumerate(query_ids):
+
+    def tune_query(indexed_qid):
+        k, qid = indexed_qid
         plan = tpcds_plan(qid, 100.0)
         data_size = max(plan.total_leaf_cardinality, 1.0)
         default_config = cont_space.default_dict()
@@ -77,7 +79,7 @@ def run(
             cl.observe(Observation(config=vec, data_size=res.data_size,
                                    performance=res.elapsed_seconds, iteration=t))
             trues.append(res.true_seconds)
-        cont_gains.append((default_time / float(np.mean(trues[-w:])) - 1.0) * 100.0)
+        cont_gain = (default_time / float(np.mean(trues[-w:])) - 1.0) * 100.0
 
         # Mixed-space tuning: warmup every choice, refit, then tune.
         adapter = CategoricalSpaceAdapter(continuous, categorical)
@@ -96,9 +98,19 @@ def run(
             cl.observe(Observation(config=vec, data_size=res.data_size,
                                    performance=res.elapsed_seconds, iteration=t))
             trues.append(res.true_seconds)
-        mixed_gains.append((default_time / float(np.mean(trues[-w:])) - 1.0) * 100.0)
-        result.scalars[f"tpcds_q{qid:02d}_continuous_gain_pct"] = cont_gains[-1]
-        result.scalars[f"tpcds_q{qid:02d}_mixed_gain_pct"] = mixed_gains[-1]
+        mixed_gain = (default_time / float(np.mean(trues[-w:])) - 1.0) * 100.0
+        return cont_gain, mixed_gain
+
+    per_query = parallel_map(
+        tune_query, list(enumerate(query_ids)), n_workers=n_workers
+    )
+    cont_gains: List[float] = []
+    mixed_gains: List[float] = []
+    for qid, (cont_gain, mixed_gain) in zip(query_ids, per_query):
+        cont_gains.append(cont_gain)
+        mixed_gains.append(mixed_gain)
+        result.scalars[f"tpcds_q{qid:02d}_continuous_gain_pct"] = cont_gain
+        result.scalars[f"tpcds_q{qid:02d}_mixed_gain_pct"] = mixed_gain
 
     result.scalars["mean_continuous_gain_pct"] = float(np.mean(cont_gains))
     result.scalars["mean_mixed_gain_pct"] = float(np.mean(mixed_gains))

@@ -23,12 +23,13 @@ from ..core.conservative import ConservativePolicy
 from ..core.observation import Observation
 from ..sparksim.noise import NoiseModel
 from ..workloads.synthetic import default_synthetic_objective
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0, n_workers=None) -> ExperimentResult:
     n_runs = 8 if quick else 40
     n_iterations = 90 if quick else 240
     regression_start = n_iterations // 3
@@ -61,12 +62,11 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     result.scalars["optimal_value"] = objective.optimal_value
     result.scalars["default_value"] = objective.true_value(space.default_vector())
     for label, build in builders.items():
-        runs = np.empty((n_runs, n_iterations))
-        explore_during_regression = []
-        pauses = []
-        for i in range(n_runs):
+
+        def one_run(i: int, build=build):
             opt = build(i)
             rng = np.random.default_rng(seed * 13 + i)
+            row = np.empty(n_iterations)
             exploring_flags = []
             for t in range(n_iterations):
                 v = opt.suggest(data_size=objective.reference_size)
@@ -77,9 +77,17 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
                     config=v, data_size=objective.reference_size,
                     performance=r, iteration=t,
                 ))
-                runs[i, t] = objective.true_value(v)
-            explore_during_regression.append(float(np.mean(exploring_flags)))
-            pauses.append(float(getattr(opt, "pause_count", 0)))
+                row[t] = objective.true_value(v)
+            return (
+                row,
+                float(np.mean(exploring_flags)),
+                float(getattr(opt, "pause_count", 0)),
+            )
+
+        per_run = parallel_map(one_run, range(n_runs), n_workers=n_workers)
+        runs = np.stack([row for row, _, _ in per_run])
+        explore_during_regression = [e for _, e, _ in per_run]
+        pauses = [p for _, _, p in per_run]
         from .runner import ConvergenceBands
 
         bands = ConvergenceBands(runs)

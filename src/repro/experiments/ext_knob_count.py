@@ -25,6 +25,7 @@ from ..sparksim.configs import manual_study_space, query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
@@ -36,6 +37,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = query_ids[:2] if quick else query_ids
     n_iterations = 30 if quick else 80
@@ -50,17 +52,14 @@ def run(
         ),
     )
     truth = SparkSimulator(noise=None, seed=0)
-    totals = {label: np.zeros(n_iterations) for label in spaces}
-    cost_totals = {label: np.zeros(n_iterations) for label in spaces}
-    default_total = 0.0
-    default_cost_total = 0.0
-    default_cores = ExecutorLayout.from_config({}).total_cores
-    for k, qid in enumerate(query_ids):
+
+    def tune_query(indexed_qid):
+        k, qid = indexed_qid
         plan = tpcds_plan(qid, 100.0)
         data_size = max(plan.total_leaf_cardinality, 1.0)
         default_time = truth.true_time(plan, query_level_space().default_dict())
-        default_total += default_time
-        default_cost_total += default_time * default_cores
+        times = {label: np.zeros(n_iterations) for label in spaces}
+        costs = {label: np.zeros(n_iterations) for label in spaces}
         for label, space in spaces.items():
             sim = SparkSimulator(noise=noise, seed=seed * 5 + k)
             cl = CentroidLearning(space, alpha=0.08, beta=0.15, n_candidates=30,
@@ -71,9 +70,25 @@ def run(
                 res = sim.run(plan, config)
                 cl.observe(Observation(config=vec, data_size=res.data_size,
                                        performance=res.elapsed_seconds, iteration=t))
-                totals[label][t] += res.true_seconds
+                times[label][t] = res.true_seconds
                 cores = ExecutorLayout.from_config(config, sim.pool).total_cores
-                cost_totals[label][t] += res.true_seconds * cores
+                costs[label][t] = res.true_seconds * cores
+        return default_time, times, costs
+
+    per_query = parallel_map(
+        tune_query, list(enumerate(query_ids)), n_workers=n_workers
+    )
+    totals = {label: np.zeros(n_iterations) for label in spaces}
+    cost_totals = {label: np.zeros(n_iterations) for label in spaces}
+    default_total = 0.0
+    default_cost_total = 0.0
+    default_cores = ExecutorLayout.from_config({}).total_cores
+    for default_time, times, costs in per_query:
+        default_total += default_time
+        default_cost_total += default_time * default_cores
+        for label in spaces:
+            totals[label] += times[label]
+            cost_totals[label] += costs[label]
 
     w = max(3, n_iterations // 6)
     result.scalars["default_total_seconds"] = default_total

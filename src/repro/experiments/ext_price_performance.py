@@ -24,6 +24,7 @@ from ..sparksim.configs import manual_study_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
@@ -37,6 +38,7 @@ def run(
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
     weights: Sequence[float] = WEIGHTS,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = query_ids[:2] if quick else query_ids
     n_iterations = 30 if quick else 80
@@ -66,26 +68,41 @@ def run(
     result.scalars["default_total_seconds"] = default_time
     result.scalars["default_core_seconds"] = default_cost
 
-    for weight in weights:
+    def tune_one(item):
+        weight, k, qid = item
         objective = PricePerformanceObjective(weight=weight)
+        plan = tpcds_plan(qid, 100.0)
+        data_size = max(plan.total_leaf_cardinality, 1.0)
+        sim = SparkSimulator(noise=noise, seed=seed * 5 + k)
+        cl = CentroidLearning(space, alpha=0.08, beta=0.15, n_candidates=30,
+                              seed=seed + k)
+        times = np.empty(n_iterations)
+        costs = np.empty(n_iterations)
+        for t in range(n_iterations):
+            vec = cl.suggest(data_size=data_size)
+            config = space.to_dict(vec)
+            res = sim.run(plan, config)
+            # The optimizer minimizes the blended score, not the latency.
+            score = objective.score(res.elapsed_seconds, config, sim.pool)
+            cl.observe(Observation(config=vec, data_size=res.data_size,
+                                   performance=score, iteration=t))
+            times[t] = res.true_seconds
+            costs[t] = objective.cost(res.true_seconds, config, sim.pool)
+        return times, costs
+
+    items = [
+        (weight, k, qid)
+        for weight in weights
+        for k, qid in enumerate(query_ids)
+    ]
+    traces = parallel_map(tune_one, items, n_workers=n_workers)
+    for weight in weights:
         total_time = np.zeros(n_iterations)
         total_cost = np.zeros(n_iterations)
-        for k, qid in enumerate(query_ids):
-            plan = tpcds_plan(qid, 100.0)
-            data_size = max(plan.total_leaf_cardinality, 1.0)
-            sim = SparkSimulator(noise=noise, seed=seed * 5 + k)
-            cl = CentroidLearning(space, alpha=0.08, beta=0.15, n_candidates=30,
-                                  seed=seed + k)
-            for t in range(n_iterations):
-                vec = cl.suggest(data_size=data_size)
-                config = space.to_dict(vec)
-                res = sim.run(plan, config)
-                # The optimizer minimizes the blended score, not the latency.
-                score = objective.score(res.elapsed_seconds, config, sim.pool)
-                cl.observe(Observation(config=vec, data_size=res.data_size,
-                                       performance=score, iteration=t))
-                total_time[t] += res.true_seconds
-                total_cost[t] += objective.cost(res.true_seconds, config, sim.pool)
+        for (w, _, _), (times, costs) in zip(items, traces):
+            if w == weight:
+                total_time += times
+                total_cost += costs
         label = f"weight_{weight:g}"
         result.series[f"{label}_total_seconds"] = total_time
         result.series[f"{label}_core_seconds"] = total_cost

@@ -23,12 +23,13 @@ from ..sparksim.configs import query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.streaming import MicroBatchStream
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0, n_workers=None) -> ExperimentResult:
     n_streams = 4 if quick else 12
     n_batches = 60 if quick else 200
     space = query_level_space()
@@ -45,10 +46,8 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     )
     truth = SparkSimulator(noise=None, seed=0)
     default_config = space.default_dict()
-    latency_gains: List[float] = []
-    final_partitions: List[float] = []
-    improved = 0
-    for k in range(n_streams):
+
+    def tune_stream(k: int):
         stream = MicroBatchStream.create(
             events_per_batch=float(10 ** np.random.default_rng(seed + k).uniform(4.5, 6.0)),
             seed=seed * 7 + k,
@@ -71,11 +70,15 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
                             data_scale=r.data_size / base_rows)
             for r in tail
         ]))
-        latency_gains.append((default / tuned - 1.0) * 100.0)
-        improved += int(tuned < default)
-        final_partitions.append(float(np.mean([
+        partitions = float(np.mean([
             r.config["spark.sql.shuffle.partitions"] for r in tail
-        ])))
+        ]))
+        return (default / tuned - 1.0) * 100.0, tuned < default, partitions
+
+    per_stream = parallel_map(tune_stream, range(n_streams), n_workers=n_workers)
+    latency_gains: List[float] = [g for g, _, _ in per_stream]
+    final_partitions: List[float] = [p for _, _, p in per_stream]
+    improved = sum(int(i) for _, i, _ in per_stream)
 
     result.series["per_stream_latency_gain_pct"] = np.array(latency_gains)
     result.series["final_partitions_per_stream"] = np.array(final_partitions)

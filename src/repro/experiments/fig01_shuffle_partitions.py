@@ -16,6 +16,7 @@ from ..sparksim.configs import SHUFFLE_PARTITIONS, query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import no_noise
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
@@ -30,6 +31,7 @@ def run(
     seed: int = 0,
     query_ids: Optional[Sequence[int]] = None,
     scale_factor: float = 100.0,
+    n_workers=None,
 ) -> ExperimentResult:
     """Sweep shuffle partitions for several queries on the noiseless simulator."""
     query_ids = tuple(query_ids or DEFAULT_QUERIES)
@@ -51,8 +53,8 @@ def run(
         ),
     )
     result.series["partitions_grid"] = grid
-    optima: List[float] = []
-    for qid in query_ids:
+
+    def sweep(qid: int) -> np.ndarray:
         plan = tpcds_plan(qid, scale_factor)
         base = space.default_dict()
         times = []
@@ -60,7 +62,11 @@ def run(
             config = dict(base)
             config["spark.sql.shuffle.partitions"] = float(partitions)
             times.append(simulator.true_time(plan, config))
-        times = np.array(times)
+        return np.array(times)
+
+    sweeps = parallel_map(sweep, query_ids, n_workers=n_workers)
+    optima: List[float] = []
+    for qid, times in zip(query_ids, sweeps):
         label = f"tpcds_q{qid:02d}_seconds"
         result.series[label] = times
         best = float(grid[int(np.argmin(times))])

@@ -22,6 +22,7 @@ from ..sparksim.configs import manual_study_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import no_noise
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run", "ExpertPolicy"]
@@ -110,6 +111,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
+    n_workers=None,
 ) -> ExperimentResult:
     n_experts = 8 if quick else 50
     n_iterations = 15 if quick else 40
@@ -125,9 +127,8 @@ def run(
             "far execution time per iteration."
         ),
     )
-    bo_wins_at_half = 0
-    expert_wins_final = 0
-    for qid in query_ids:
+
+    def tune_query(qid: int):
         plan = tpcds_plan(qid, 100.0)
 
         def cost(vector: np.ndarray) -> float:
@@ -147,7 +148,6 @@ def run(
                 policy.observe(c)
                 best = min(best, c)
                 expert_traces[e, t] = best
-        expert_mean = expert_traces.mean(axis=0)
 
         # Model-based tuning (deterministic platform, so plain BO).
         bo = BayesianOptimization(space, n_init=5, n_candidates=256, seed=seed + qid)
@@ -159,7 +159,16 @@ def run(
             bo.observe(Observation(config=vector, data_size=1.0, performance=c, iteration=t))
             best = min(best, c)
             bo_trace[t] = best
+        return (
+            expert_traces.mean(axis=0),
+            float(expert_traces[:, -1].min()),
+            bo_trace,
+        )
 
+    per_query = parallel_map(tune_query, query_ids, n_workers=n_workers)
+    bo_wins_at_half = 0
+    expert_wins_final = 0
+    for qid, (expert_mean, best_expert_final, bo_trace) in zip(query_ids, per_query):
         label = f"tpcds_q{qid:02d}"
         result.series[f"{label}_experts_mean"] = expert_mean
         result.series[f"{label}_bo"] = bo_trace
@@ -168,7 +177,6 @@ def run(
             bo_wins_at_half += 1
         # "Domain experts occasionally achieved better results": compare the
         # best individual tuner (not the average) against the model.
-        best_expert_final = float(expert_traces[:, -1].min())
         if best_expert_final < bo_trace[-1]:
             expert_wins_final += 1
         result.scalars[f"{label}_expert_final"] = float(expert_mean[-1])

@@ -50,33 +50,37 @@ class InstrumentedSVRSelector(SurrogateSelector):
         return index
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0, n_workers=None) -> ExperimentResult:
     n_runs = 10 if quick else 100
     n_iterations = 80 if quick else 400
     objective = default_synthetic_objective(noise=high_noise(), seed=7)
     space = objective.space
 
-    selectors: List[InstrumentedSVRSelector] = []
-
+    # The selector's percentile log lives inside each run's optimizer, so it
+    # is harvested with a collect hook — parent-side lists would stay empty
+    # when the runs execute in forked pool workers.
     def factory(i: int) -> CentroidLearning:
         selector = InstrumentedSVRSelector(objective.true_value)
-        selectors.append(selector)
         return CentroidLearning(space, selector=selector, seed=seed + i)
 
-    bands = run_replicated(factory, objective, n_iterations, n_runs, seed=seed)
-    selectors_gap: List[InstrumentedSVRSelector] = []
+    def harvest(optimizer: CentroidLearning) -> List[float]:
+        return list(optimizer.selector.selection_percentiles)
+
+    bands, collected = run_replicated(
+        factory, objective, n_iterations, n_runs, seed=seed,
+        n_workers=n_workers, collect=harvest,
+    )
 
     def factory_gap(i: int) -> CentroidLearning:
         selector = InstrumentedSVRSelector(objective.true_value)
-        selectors_gap.append(selector)
         return CentroidLearning(space, selector=selector, seed=1000 + seed + i)
 
     gap_bands = run_replicated(
-        factory_gap, objective, n_iterations, n_runs, seed=seed + 1, track="gap"
+        factory_gap, objective, n_iterations, n_runs, seed=seed + 1,
+        track="gap", n_workers=n_workers,
     )
 
-    percentiles = np.concatenate([s.selection_percentiles for s in selectors if
-                                  s.selection_percentiles])
+    percentiles = np.concatenate([p for p in collected if p])
     result = ExperimentResult(
         name="fig10_svr_surrogate",
         description=(

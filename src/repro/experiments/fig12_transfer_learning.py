@@ -24,6 +24,7 @@ from ..offline.transfer import FineTunedSurrogate
 from ..ml.boosting import GradientBoostingRegressor
 from ..sparksim.configs import query_level_space
 from ..sparksim.noise import NoiseModel
+from .parallel import parallel_map
 from .platform_v0 import PrerecordedQuery, build_v0_platform, platform_training_table
 from .runner import ExperimentResult
 
@@ -83,6 +84,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     sample_sizes: Optional[Sequence[int]] = None,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = (2, 7, 13, 21, 40) if quick else tuple(range(1, 19))
     n_configs = 60 if quick else 275
@@ -111,16 +113,25 @@ def run(
     result.scalars["total_default_seconds"] = total_default
     result.scalars["oracle_speedup"] = total_default / total_best
 
+    def trace_for(size_qid) -> np.ndarray:
+        size, qid = size_qid
+        query = platform[qid]
+        table = platform_training_table(platform, space, exclude=qid)
+        table = table.subsample(size, np.random.default_rng(seed + size + qid))
+        return tune_on_platform(
+            query, table.X, table.y, n_iterations,
+            rng=np.random.default_rng(seed * 31 + qid),
+        )
+
+    # One work item per (sample size, target query): the full cross product
+    # is embarrassingly parallel, so dispatch it in a single pool pass.
+    items = [(size, qid) for size in sizes for qid in platform]
+    traces = parallel_map(trace_for, items, n_workers=n_workers)
     for size in sizes:
         totals = np.zeros(n_iterations)
-        for qid, query in platform.items():
-            table = platform_training_table(platform, space, exclude=qid)
-            table = table.subsample(size, np.random.default_rng(seed + size + qid))
-            trace = tune_on_platform(
-                query, table.X, table.y, n_iterations,
-                rng=np.random.default_rng(seed * 31 + qid),
-            )
-            totals += trace
+        for (s, _), trace in zip(items, traces):
+            if s == size:
+                totals += trace
         label = f"samples_{size}"
         result.series[f"{label}_total_seconds"] = totals
         result.series[f"{label}_speedup"] = total_default / totals

@@ -20,6 +20,7 @@ from ..sparksim.configs import query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.tpcds import tpcds_plan
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run", "poor_start_vector"]
@@ -42,6 +43,7 @@ def run(
     quick: bool = False,
     seed: int = 0,
     query_ids: Sequence[int] = DEFAULT_QUERIES,
+    n_workers=None,
 ) -> ExperimentResult:
     query_ids = query_ids[:3] if quick else query_ids
     n_iterations = 15 if quick else 60
@@ -50,26 +52,24 @@ def run(
     space = query_level_space()
     embedder = WorkloadEmbedder()
 
-    cl_total = np.zeros(n_iterations)
-    cbo_total = np.zeros(n_iterations)
-    poor_total = 0.0
-    default_total = 0.0
-    for k, qid in enumerate(query_ids):
+    def tune_query(indexed_qid):
+        k, qid = indexed_qid
         plan = tpcds_plan(qid, 100.0)
         embedding = embedder.embed(plan)
         data_size = max(plan.total_leaf_cardinality, 1.0)
         truth = SparkSimulator(noise=None, seed=0)
         start = poor_start_vector(space)
-        poor_total += truth.true_time(plan, space.to_dict(start))
-        default_total += truth.true_time(plan, space.default_dict())
+        poor = truth.true_time(plan, space.to_dict(start))
+        default = truth.true_time(plan, space.default_dict())
 
         cl = CentroidLearning(space, start=start, beta=0.15, seed=seed + k)
         cbo = ContextualBayesianOptimization(
             space, embedding_dim=embedder.dim, n_init=5, seed=seed + k
         )
-        # First CBO observation is pinned to the poor start, matching the
+        traces = {"cl": np.zeros(n_iterations), "cbo": np.zeros(n_iterations)}
+        # First observation is pinned to the poor start, matching the
         # paper's setup where the starting point is fixed for both.
-        for name, opt, total in (("cl", cl, cl_total), ("cbo", cbo, cbo_total)):
+        for name, opt in (("cl", cl), ("cbo", cbo)):
             sim = SparkSimulator(noise=noise, seed=seed * 7 + k)
             for t in range(n_iterations):
                 if t == 0:
@@ -82,7 +82,21 @@ def run(
                     performance=res.elapsed_seconds, iteration=t,
                     embedding=embedding,
                 ))
-                total[t] += res.true_seconds
+                traces[name][t] = res.true_seconds
+        return traces["cl"], traces["cbo"], poor, default
+
+    per_query = parallel_map(
+        tune_query, list(enumerate(query_ids)), n_workers=n_workers
+    )
+    cl_total = np.zeros(n_iterations)
+    cbo_total = np.zeros(n_iterations)
+    poor_total = 0.0
+    default_total = 0.0
+    for cl_trace, cbo_trace, poor, default in per_query:
+        cl_total += cl_trace
+        cbo_total += cbo_trace
+        poor_total += poor
+        default_total += default
 
     result = ExperimentResult(
         name="fig13_cl_vs_bo",

@@ -20,6 +20,7 @@ from ..core.observation import Observation
 from ..sparksim.configs import query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..workloads.customer import CustomerWorkload, generate_population
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run", "tune_workload"]
@@ -77,17 +78,21 @@ def tune_workload(
     }
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0, n_workers=None) -> ExperimentResult:
     n_workloads = 12 if quick else 60
     n_iterations = 14 if quick else 40
     population = generate_population(
         n_workloads, seed=seed, pathological_fraction=0.03,
         base_noise=(0.15, 0.45),
     )
-    speedups = np.array([
-        tune_workload(w, n_iterations, seed=seed * 7 + i)["speedup_pct"]
-        for i, w in enumerate(population)
-    ])
+
+    def tune_one(indexed_workload) -> float:
+        i, workload = indexed_workload
+        return tune_workload(workload, n_iterations, seed=seed * 7 + i)["speedup_pct"]
+
+    speedups = np.array(
+        parallel_map(tune_one, list(enumerate(population)), n_workers=n_workers)
+    )
     result = ExperimentResult(
         name="fig15_internal_customers",
         description=(

@@ -22,12 +22,13 @@ import numpy as np
 from ..core.guardrail import Guardrail
 from ..workloads.customer import generate_population
 from .fig15_internal_customers import tune_workload
+from .parallel import parallel_map
 from .runner import ExperimentResult
 
 __all__ = ["run"]
 
 
-def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+def run(quick: bool = False, seed: int = 0, n_workers=None) -> ExperimentResult:
     n_workloads = 16 if quick else 90
     n_iterations = 18 if quick else 50
     guardrail_min = 8 if quick else 30
@@ -39,17 +40,21 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     def guardrail_factory() -> Guardrail:
         return Guardrail(min_iterations=guardrail_min, threshold=0.15, patience=2)
 
-    speedups: List[float] = []
-    disabled_flags: List[bool] = []
-    pathological_flags: List[bool] = []
-    for i, workload in enumerate(population):
-        stats = tune_workload(
+    def tune_one(indexed_workload) -> dict:
+        i, workload = indexed_workload
+        return tune_workload(
             workload, n_iterations, seed=seed * 11 + i,
             guardrail_factory=guardrail_factory,
         )
-        speedups.append(stats["speedup_pct"])
-        disabled_flags.append(stats["disabled"])
-        pathological_flags.append(workload.pathology is not None)
+
+    per_workload = parallel_map(
+        tune_one, list(enumerate(population)), n_workers=n_workers
+    )
+    speedups: List[float] = [s["speedup_pct"] for s in per_workload]
+    disabled_flags: List[bool] = [s["disabled"] for s in per_workload]
+    pathological_flags: List[bool] = [
+        w.pathology is not None for w in population
+    ]
 
     speedups_arr = np.array(speedups)
     disabled = np.array(disabled_flags)

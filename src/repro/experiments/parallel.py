@@ -1,0 +1,220 @@
+"""Process-pool experiment engine.
+
+The paper's convergence figures replicate every tuning run 100–200 times;
+the runs are embarrassingly parallel — each owns a fresh optimizer and an
+RNG derived deterministically from ``(seed, run_index)`` — so dispatching
+them over a process pool is **bit-identical** to the serial loop while
+cutting wall-clock by roughly the core count.
+
+Design notes (see ``docs/performance.md``):
+
+* Workers are **forked** (POSIX ``fork`` start method), so optimizer
+  factories — typically closures over config spaces, objectives, and
+  selectors — never cross a pickle boundary: the work specification is
+  stashed in a module global before the pool starts and inherited by the
+  children.  Only chunk indices (ints) and per-run results (arrays,
+  plain containers) travel through the pool's queues.
+* Dispatch is **chunked** (default ~4 chunks per worker) to amortize IPC
+  overhead on short runs while keeping the pool load-balanced.
+* Everything **falls back to the serial loop** when one worker is
+  requested, the platform lacks ``fork``, the pool cannot be created, or a
+  worker raises — the serial re-run then reproduces any real error with a
+  clean traceback.
+
+``REPRO_WORKERS`` selects the default worker count for every experiment
+module (an integer, or ``auto`` for one worker per available core).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.optimizer_base import Optimizer
+from ..workloads.dynamics import DataSizeProcess
+from ..workloads.synthetic import SyntheticObjective
+
+__all__ = [
+    "WORKERS_ENV",
+    "available_workers",
+    "resolve_workers",
+    "parallel_map",
+    "run_replicated_parallel",
+]
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def available_workers() -> int:
+    """Cores usable by this process (cgroup/affinity aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(n_workers: Union[int, str, None] = None) -> int:
+    """Resolve a worker-count request to a concrete positive integer.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable and
+    defaults to ``1`` (serial) when unset; ``"auto"``, ``0``, or a negative
+    count mean one worker per available core.
+    """
+    if n_workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        n_workers = raw
+    if isinstance(n_workers, str):
+        text = n_workers.strip().lower()
+        if text == "auto":
+            return available_workers()
+        try:
+            n_workers = int(text)
+        except ValueError:
+            raise ValueError(
+                f"n_workers must be an integer or 'auto', got {n_workers!r}"
+            ) from None
+    n_workers = int(n_workers)
+    return available_workers() if n_workers <= 0 else n_workers
+
+
+# The active (fn, items) pair, inherited by forked pool workers.  Only chunk
+# index lists are pickled; the callable and its closed-over state are shared
+# through the fork's copy-on-write memory.
+_ACTIVE_WORK: Optional[Tuple[Callable[[Any], Any], List[Any]]] = None
+
+
+def _run_chunk(indices: List[int]) -> List[Tuple[int, Any]]:
+    fn, items = _ACTIVE_WORK
+    return [(i, fn(items[i])) for i in indices]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    n_workers: Union[int, str, None] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Order-preserving ``[fn(item) for item in items]`` over a process pool.
+
+    ``fn`` must be side-effect free with respect to the parent process (it
+    runs in forked children) and its results must be picklable.  With one
+    worker — or whenever a pool cannot be used — the plain serial list
+    comprehension runs instead, so callers never need to branch.
+    """
+    items = list(items)
+    workers = min(resolve_workers(n_workers), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        # Platform without fork (e.g. Windows): closures can't be shipped.
+        return [fn(item) for item in items]
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(items) / (workers * 4)))
+    chunks = [
+        list(range(start, min(start + chunk_size, len(items))))
+        for start in range(0, len(items), chunk_size)
+    ]
+
+    global _ACTIVE_WORK
+    previous = _ACTIVE_WORK
+    _ACTIVE_WORK = (fn, items)
+    try:
+        with ctx.Pool(processes=workers) as pool:
+            chunk_results = pool.map(_run_chunk, chunks)
+    except Exception as exc:
+        # Pool creation limits, unpicklable results, worker crashes, nested
+        # pools (daemonic workers), ... — re-run serially; a genuine error
+        # in fn then surfaces with its own traceback.
+        warnings.warn(
+            f"parallel execution unavailable ({exc!r}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(item) for item in items]
+    finally:
+        _ACTIVE_WORK = previous
+
+    out: List[Any] = [None] * len(items)
+    for chunk in chunk_results:
+        for index, value in chunk:
+            out[index] = value
+    return out
+
+
+@dataclass
+class _ReplicationSpec:
+    """Everything one replicate needs; lives in fork-shared memory."""
+
+    optimizer_factory: Callable[[int], Optimizer]
+    objective: SyntheticObjective
+    n_iterations: int
+    size_process_factory: Optional[Callable[[int], DataSizeProcess]]
+    seed: int
+    track: str
+    collect: Optional[Callable[[Optimizer], Any]]
+
+    def execute(self, i: int) -> Tuple[np.ndarray, Any]:
+        # Seed derivation identical to the historical serial loop — this is
+        # what makes parallel and serial runs bit-identical.
+        from .runner import run_single
+
+        optimizer = self.optimizer_factory(i)
+        process = self.size_process_factory(i) if self.size_process_factory else None
+        rng = np.random.default_rng(self.seed * 10007 + i)
+        values = run_single(
+            optimizer,
+            self.objective,
+            self.n_iterations,
+            size_process=process,
+            rng=rng,
+            track=self.track,
+        )
+        payload = self.collect(optimizer) if self.collect is not None else None
+        return values, payload
+
+
+def run_replicated_parallel(
+    optimizer_factory: Callable[[int], Optimizer],
+    objective: SyntheticObjective,
+    n_iterations: int,
+    n_runs: int,
+    size_process_factory: Optional[Callable[[int], DataSizeProcess]] = None,
+    seed: int = 0,
+    track: str = "true",
+    n_workers: Union[int, str, None] = None,
+    collect: Optional[Callable[[Optimizer], Any]] = None,
+    chunk_size: Optional[int] = None,
+) -> Tuple[np.ndarray, List[Any]]:
+    """The engine behind :func:`repro.experiments.runner.run_replicated`.
+
+    Returns the raw ``(n_runs, n_iterations)`` matrix plus the per-run
+    ``collect`` payloads (``None`` entries when no collector is given).
+    """
+    if n_runs < 1 or n_iterations < 1:
+        raise ValueError("n_runs and n_iterations must be >= 1")
+    spec = _ReplicationSpec(
+        optimizer_factory=optimizer_factory,
+        objective=objective,
+        n_iterations=n_iterations,
+        size_process_factory=size_process_factory,
+        seed=seed,
+        track=track,
+        collect=collect,
+    )
+    results = parallel_map(
+        spec.execute, range(n_runs), n_workers=n_workers, chunk_size=chunk_size
+    )
+    runs = np.stack([values for values, _ in results])
+    payloads = [payload for _, payload in results]
+    return runs, payloads

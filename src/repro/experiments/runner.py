@@ -10,7 +10,7 @@ matrix for any optimizer on any synthetic objective, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,12 +24,19 @@ __all__ = ["ConvergenceBands", "ExperimentResult", "run_replicated", "run_single
 
 @dataclass
 class ConvergenceBands:
-    """Median + (p5, p95) band of a runs matrix, per iteration."""
+    """Median + (p5, p95) band of a runs matrix, per iteration.
+
+    The runs matrix is copied and frozen on construction: report code reads
+    ``median``/``p5``/``p95`` repeatedly, so each percentile is computed
+    once and cached.
+    """
 
     runs: np.ndarray  # (n_runs, n_iterations)
 
     def __post_init__(self) -> None:
-        self.runs = np.atleast_2d(np.asarray(self.runs, dtype=float))
+        self.runs = np.atleast_2d(np.array(self.runs, dtype=float, copy=True))
+        self.runs.setflags(write=False)
+        self._percentile_cache: Dict[float, np.ndarray] = {}
 
     @property
     def n_runs(self) -> int:
@@ -39,17 +46,25 @@ class ConvergenceBands:
     def n_iterations(self) -> int:
         return self.runs.shape[1]
 
+    def _percentile(self, q: float) -> np.ndarray:
+        cached = self._percentile_cache.get(q)
+        if cached is None:
+            cached = np.percentile(self.runs, q, axis=0)
+            cached.setflags(write=False)
+            self._percentile_cache[q] = cached
+        return cached
+
     @property
     def median(self) -> np.ndarray:
-        return np.percentile(self.runs, 50.0, axis=0)
+        return self._percentile(50.0)
 
     @property
     def p5(self) -> np.ndarray:
-        return np.percentile(self.runs, 5.0, axis=0)
+        return self._percentile(5.0)
 
     @property
     def p95(self) -> np.ndarray:
-        return np.percentile(self.runs, 95.0, axis=0)
+        return self._percentile(95.0)
 
     def final_median(self, tail: int = 10) -> float:
         """Median across runs of the mean of each run's last ``tail`` values."""
@@ -129,26 +144,47 @@ def run_replicated(
     size_process_factory: Optional[Callable[[int], DataSizeProcess]] = None,
     seed: int = 0,
     track: str = "true",
-) -> ConvergenceBands:
+    n_workers: Union[int, str, None] = None,
+    collect: Optional[Callable[[Optimizer], Any]] = None,
+) -> Union[ConvergenceBands, Tuple[ConvergenceBands, List[Any]]]:
     """Repeat :func:`run_single` over ``n_runs`` independent seeds.
 
+    Runs are dispatched over the process-pool engine in
+    :mod:`repro.experiments.parallel`; each run derives its RNG from
+    ``(seed, run_index)`` and owns a fresh optimizer, so the resulting runs
+    matrix is bit-identical regardless of the worker count.
+
     Args:
-        optimizer_factory: ``run_index -> fresh optimizer``.
+        optimizer_factory: ``run_index -> fresh optimizer``.  With more than
+            one worker the factory executes in a forked child, so parent-side
+            side effects (e.g. appending to a list) are lost — use
+            ``collect`` to bring per-run state back instead.
         objective: shared synthetic objective.
         n_iterations: iterations per run.
         n_runs: replication count (the paper uses 100–200).
         size_process_factory: ``run_index -> size process`` (default constant).
         seed: base seed; run ``i`` draws noise from ``seed*10007 + i``.
         track: see :func:`run_single`.
+        n_workers: process count — ``None`` defers to ``$REPRO_WORKERS``
+            (default serial), ``"auto"``/``0`` use every available core.
+        collect: optional ``finished optimizer -> picklable payload`` hook;
+            when given, the return value becomes ``(bands, payloads)`` with
+            one payload per run, in run order.
     """
-    if n_runs < 1 or n_iterations < 1:
-        raise ValueError("n_runs and n_iterations must be >= 1")
-    runs = np.empty((n_runs, n_iterations))
-    for i in range(n_runs):
-        optimizer = optimizer_factory(i)
-        process = size_process_factory(i) if size_process_factory else None
-        rng = np.random.default_rng(seed * 10007 + i)
-        runs[i] = run_single(
-            optimizer, objective, n_iterations, size_process=process, rng=rng, track=track
-        )
-    return ConvergenceBands(runs)
+    from .parallel import run_replicated_parallel
+
+    runs, payloads = run_replicated_parallel(
+        optimizer_factory,
+        objective,
+        n_iterations,
+        n_runs,
+        size_process_factory=size_process_factory,
+        seed=seed,
+        track=track,
+        n_workers=n_workers,
+        collect=collect,
+    )
+    bands = ConvergenceBands(runs)
+    if collect is not None:
+        return bands, payloads
+    return bands

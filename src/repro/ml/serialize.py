@@ -204,7 +204,10 @@ def loads_model(data: str):
         model._alpha = np.array(payload["alpha"])
         K = model.kernel(model._X, model._X)
         K[np.diag_indices_from(K)] += model.noise + 1e-10
-        model._chol = cho_factor(K, lower=True)
+        # Clean lower triangle so the restored model supports update()'s
+        # rank-1 Cholesky extension (cho_factor leaves garbage above it).
+        L, _ = cho_factor(K, lower=True)
+        model._chol = (np.tril(L), True)
         return model
     raise TypeError(f"unsupported serialized model type: {kind}")
 

@@ -68,6 +68,11 @@ class BayesianOptimization(Optimizer):
         self.normalize_inputs = normalize_inputs
         self._rng = np.random.default_rng(seed)
         self._init_designs = None
+        # Incremental-fit bookkeeping: the history index the current GP fit
+        # starts at (None = no fit yet).  While the training window only
+        # *grows*, new observations are absorbed with O(n²) rank-1 updates;
+        # hyperparameter cadence or a sliding window forces a full refit.
+        self._fitted_start: Optional[int] = None
 
     def _features(self, vectors: np.ndarray) -> np.ndarray:
         return self.space.normalize(vectors) if self.normalize_inputs else vectors
@@ -79,13 +84,31 @@ class BayesianOptimization(Optimizer):
                 self._init_designs = self.space.latin_hypercube(self.n_init, self._rng)
             return self._init_designs[t]
 
-        history = self.observations.history[-self.max_train_points:]
+        full_history = self.observations.history
+        start = max(0, len(full_history) - self.max_train_points)
+        history = full_history[start:]
         X = np.array([o.config for o in history])
         y = np.array([o.performance for o in history])
-        # Hyperparameters are re-tuned periodically; in between, the GP is
-        # refit on the grown dataset with the cached kernel parameters.
-        self._model.optimize_hypers = (t - self.n_init) % self.refit_hypers_every == 0
-        self._model.fit(self._features(X), y)
+        features = self._features(X)
+        # Hyperparameters are re-tuned periodically; in between, the GP
+        # absorbs the new observations with rank-1 Cholesky updates (exact
+        # for fixed hyperparameters, with drift/numerical fallbacks inside
+        # the model).
+        hyper_refit_due = (t - self.n_init) % self.refit_hypers_every == 0
+        fitted_n = getattr(self._model, "n_observations", 0)
+        incremental = (
+            not hyper_refit_due
+            and self._fitted_start == start
+            and 0 < fitted_n <= len(history)
+            and hasattr(self._model, "update")
+        )
+        if incremental:
+            for i in range(fitted_n, len(history)):
+                self._model.update(features[i : i + 1], float(y[i]))
+        else:
+            self._model.optimize_hypers = hyper_refit_due
+            self._model.fit(features, y)
+            self._fitted_start = start
 
         candidates = self.space.sample_vectors(self.n_candidates, self._rng)
         mean, std = self._model.predict_with_std(self._features(candidates))

@@ -8,7 +8,7 @@ transfer-learning setting of Fig. 12.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,13 @@ class ContextualBayesianOptimization(Optimizer):
             lambda: RandomForestRegressor(n_estimators=40, min_samples_leaf=2, seed=self._seed)
         )
         self._rng = np.random.default_rng(seed)
+        # Incremental training-set assembly + model reuse: feature rows for
+        # already-seen observations are built once, and the surrogate is
+        # only refit when the observation history actually grew.
+        self._history_rows: List[np.ndarray] = []
+        self._history_targets: List[float] = []
+        self._cached_model: Optional[Regressor] = None
+        self._cached_n_obs: int = -1
         self._warm_X: Optional[np.ndarray] = None
         self._warm_y: Optional[np.ndarray] = None
         if warm_start is not None:
@@ -99,13 +106,13 @@ class ContextualBayesianOptimization(Optimizer):
             rows.append(self._warm_X)
             targets.append(self._warm_y)
         history = self.observations.history
+        # Assemble feature rows only for observations added since last call.
+        for obs in history[len(self._history_rows):]:
+            self._history_rows.append(self._row(obs.config, obs.data_size, obs.embedding))
+            self._history_targets.append(obs.performance)
         if history:
-            rows.append(
-                np.array([
-                    self._row(o.config, o.data_size, o.embedding) for o in history
-                ])
-            )
-            targets.append(np.array([o.performance for o in history]))
+            rows.append(np.array(self._history_rows))
+            targets.append(np.array(self._history_targets))
         if not rows:
             raise RuntimeError("no training data available")
         return np.vstack(rows), np.concatenate(targets)
@@ -121,9 +128,14 @@ class ContextualBayesianOptimization(Optimizer):
         if not self.has_warm_start and self.iteration < self.n_init:
             return self.space.sample_vector(self._rng)
 
-        X, y = self._training_data()
-        model = self._model_factory()
-        model.fit(X, y)
+        n_obs = len(self.observations.history)
+        if self._cached_model is None or n_obs != self._cached_n_obs:
+            X, y = self._training_data()
+            model = self._model_factory()
+            model.fit(X, y)
+            self._cached_model = model
+            self._cached_n_obs = n_obs
+        model = self._cached_model
 
         candidates = self.space.sample_vectors(self.n_candidates, self._rng)
         rows = np.array([self._row(c, data_size, embedding) for c in candidates])
@@ -133,6 +145,9 @@ class ContextualBayesianOptimization(Optimizer):
             mean = model.predict(rows)
             std = np.full(len(rows), 1e-9)
         history = self.observations.history
-        best = min((o.performance for o in history), default=float(np.min(y)))
+        if history:
+            best = min(o.performance for o in history)
+        else:
+            best = float(np.min(self._warm_y))
         scores = self.acquisition(mean, std, float(best))
         return candidates[int(np.argmax(scores))]

@@ -1,0 +1,150 @@
+"""The process-pool experiment engine must be invisible in the results:
+parallel dispatch has to reproduce the serial runs matrix bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import CentroidLearning
+from repro.experiments.parallel import (
+    WORKERS_ENV,
+    available_workers,
+    parallel_map,
+    resolve_workers,
+    run_replicated_parallel,
+)
+from repro.experiments.runner import ConvergenceBands, run_replicated
+from repro.sparksim.noise import NoiseModel
+from repro.workloads.synthetic import default_synthetic_objective
+
+
+# -- worker resolution ------------------------------------------------------
+
+
+def test_resolve_workers_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    assert resolve_workers(None) == 1
+
+
+def test_resolve_workers_reads_environment(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    assert resolve_workers(None) == 3
+    monkeypatch.setenv(WORKERS_ENV, "auto")
+    assert resolve_workers(None) == available_workers()
+
+
+def test_resolve_workers_auto_and_nonpositive():
+    assert resolve_workers("auto") == available_workers()
+    assert resolve_workers(0) == available_workers()
+    assert resolve_workers(-2) == available_workers()
+    assert resolve_workers(5) == 5
+    with pytest.raises(ValueError):
+        resolve_workers("many")
+
+
+# -- parallel_map -----------------------------------------------------------
+
+
+def test_parallel_map_preserves_order_and_closures():
+    offset = 100
+
+    def fn(i):
+        return i * i + offset
+
+    items = list(range(23))
+    expected = [fn(i) for i in items]
+    assert parallel_map(fn, items, n_workers=1) == expected
+    assert parallel_map(fn, items, n_workers=3) == expected
+
+
+def test_parallel_map_falls_back_to_serial_on_pool_failure():
+    # Lambdas returned from workers cannot cross the pickle boundary; the
+    # engine must warn and re-run serially instead of raising.
+    def fn(i):
+        return lambda: i
+
+    with pytest.warns(RuntimeWarning, match="running serially"):
+        out = parallel_map(fn, range(4), n_workers=2)
+    assert [f() for f in out] == [0, 1, 2, 3]
+
+
+def test_parallel_map_empty_and_single():
+    assert parallel_map(lambda x: x + 1, [], n_workers=4) == []
+    assert parallel_map(lambda x: x + 1, [41], n_workers=4) == [42]
+
+
+# -- bit-identical replication ---------------------------------------------
+
+
+def _objective():
+    return default_synthetic_objective(
+        noise=NoiseModel(fluctuation_level=0.3, spike_level=0.3), seed=7
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_run_replicated_parallel_bit_identical(seed):
+    objective = _objective()
+    space = objective.space
+
+    def factory(i):
+        return CentroidLearning(space, seed=seed + i)
+
+    serial, _ = run_replicated_parallel(
+        factory, objective, n_iterations=15, n_runs=6, seed=seed, n_workers=1
+    )
+    parallel, _ = run_replicated_parallel(
+        factory, objective, n_iterations=15, n_runs=6, seed=seed, n_workers=3
+    )
+    assert np.array_equal(serial, parallel)
+
+
+def test_run_replicated_collect_roundtrip():
+    objective = _objective()
+    space = objective.space
+
+    def factory(i):
+        return CentroidLearning(space, seed=i)
+
+    def harvest(optimizer):
+        return len(optimizer.observations)
+
+    bands_s, payloads_s = run_replicated(
+        factory, objective, 12, 5, seed=3, n_workers=1, collect=harvest
+    )
+    bands_p, payloads_p = run_replicated(
+        factory, objective, 12, 5, seed=3, n_workers=2, collect=harvest
+    )
+    assert payloads_s == payloads_p
+    assert len(payloads_p) == 5
+    assert all(isinstance(p, int) for p in payloads_p)
+    assert np.array_equal(bands_s.runs, bands_p.runs)
+
+
+def test_run_replicated_parallel_rejects_empty():
+    objective = _objective()
+    with pytest.raises(ValueError):
+        run_replicated_parallel(lambda i: None, objective, 0, 1)
+    with pytest.raises(ValueError):
+        run_replicated_parallel(lambda i: None, objective, 1, 0)
+
+
+# -- ConvergenceBands percentile cache -------------------------------------
+
+
+def test_convergence_bands_caches_percentiles():
+    runs = np.random.default_rng(0).normal(size=(20, 30))
+    bands = ConvergenceBands(runs)
+    median = bands.median
+    assert bands.median is median  # same frozen array, not a recomputation
+    assert not median.flags.writeable
+    assert not bands.runs.flags.writeable
+    np.testing.assert_allclose(median, np.percentile(runs, 50.0, axis=0))
+    np.testing.assert_allclose(bands.p5, np.percentile(runs, 5.0, axis=0))
+    np.testing.assert_allclose(bands.p95, np.percentile(runs, 95.0, axis=0))
+
+
+def test_convergence_bands_copy_is_isolated():
+    source = np.ones((3, 4))
+    bands = ConvergenceBands(source)
+    source[:] = 99.0  # mutating the caller's array must not leak in
+    np.testing.assert_array_equal(bands.runs, np.ones((3, 4)))

@@ -1,0 +1,184 @@
+"""Rank-1 incremental GP updates vs full refits.
+
+The contract of :meth:`GaussianProcessRegressor.update`: absorbing points
+one at a time must reproduce what a full :meth:`fit` on the same data
+computes — exactly when target normalization is off (the linear algebra is
+identical), and to within the frozen-normalization tolerance when it is on
+(with the drift guard bounding the divergence).
+"""
+
+import numpy as np
+import pytest
+
+import repro.ml.gp as gp_module
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import Matern52Kernel
+
+
+def _trajectory(n: int, dim: int = 3, seed: int = 0, drift: float = 0.0):
+    """A smooth objective sampled along a random trajectory."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n, dim))
+    y = np.sin(X @ np.array([2.0, -1.0, 0.5])[:dim]) + 0.1 * (X ** 2).sum(axis=1)
+    y += drift * np.arange(n) / n
+    return X, y
+
+
+def _fresh_pair(normalize_y: bool, n_init: int, X, y):
+    """An incremental model seeded with ``n_init`` points and a factory for
+    reference models sharing its (fixed) hyperparameters."""
+    kernel = Matern52Kernel(length_scale=0.7)
+    inc = GaussianProcessRegressor(
+        kernel=kernel, noise=1e-3, normalize_y=normalize_y,
+        optimize_hypers=False,
+    )
+    inc.fit(X[:n_init], y[:n_init])
+
+    def reference(m):
+        ref = GaussianProcessRegressor(
+            kernel=kernel.clone(), noise=1e-3, normalize_y=normalize_y,
+            optimize_hypers=False,
+        )
+        return ref.fit(X[:m], y[:m])
+
+    return inc, reference
+
+
+def test_update_matches_fit_exactly_without_normalization():
+    # 100-observation trajectory: with normalization off, the rank-1 append
+    # and the full factorization compute the same posterior to machine
+    # precision at every step.
+    X, y = _trajectory(100)
+    X_test = np.random.default_rng(99).uniform(-1.0, 1.0, size=(40, X.shape[1]))
+    inc, reference = _fresh_pair(normalize_y=False, n_init=10, X=X, y=y)
+    for m in range(10, 100):
+        inc.update(X[m:m + 1], float(y[m]))
+        ref = reference(m + 1)
+        mean_i, std_i = inc.predict_with_std(X_test)
+        mean_r, std_r = ref.predict_with_std(X_test)
+        np.testing.assert_allclose(mean_i, mean_r, atol=1e-8)
+        np.testing.assert_allclose(std_i, std_r, atol=1e-8)
+    assert inc.n_incremental_updates == 90
+    assert inc.n_update_fallbacks == 0
+    assert inc.n_observations == 100
+
+
+def test_update_tracks_fit_with_frozen_normalization():
+    # With normalize_y=True the incremental path freezes (y_mean, y_std) at
+    # the last full fit; the drift guard keeps predictions within a small
+    # relative band of the fully refit model.
+    X, y = _trajectory(100, seed=3)
+    X_test = np.random.default_rng(7).uniform(-1.0, 1.0, size=(40, X.shape[1]))
+    inc, reference = _fresh_pair(normalize_y=True, n_init=10, X=X, y=y)
+    for m in range(10, 100):
+        inc.update(X[m:m + 1], float(y[m]))
+    ref = reference(100)
+    mean_i = inc.predict(X_test)
+    mean_r = ref.predict(X_test)
+    scale = np.abs(mean_r).max()
+    np.testing.assert_allclose(mean_i, mean_r, atol=2e-2 * scale)
+
+
+def test_drift_fallback_refits_and_restores_exactness():
+    # A strong upward trend pushes the running mean past drift_tolerance:
+    # update() must fall back to a full refit (counted), after which the
+    # frozen constants match the data again.
+    X, y = _trajectory(60, seed=5, drift=30.0)
+    inc, reference = _fresh_pair(normalize_y=True, n_init=10, X=X, y=y)
+    for m in range(10, 60):
+        inc.update(X[m:m + 1], float(y[m]))
+    assert inc.n_update_fallbacks > 0
+    assert inc.n_observations == 60
+    # The last operation on this trajectory ends at the same training set as
+    # the reference; a fallback refit re-normalizes, so even under heavy
+    # drift the final posterior stays close to the scratch fit.
+    X_test = X[:20]
+    scale = np.abs(reference(60).predict(X_test)).max()
+    np.testing.assert_allclose(
+        inc.predict(X_test), reference(60).predict(X_test), atol=5e-3 * scale
+    )
+
+
+def test_numerical_fallback_on_unsafe_schur_complement(monkeypatch):
+    # If the Schur complement of the appended row is not safely positive the
+    # rank-1 extension would corrupt the factor; update() must detect it and
+    # refit from scratch instead.
+    X, y = _trajectory(20)
+    inc, reference = _fresh_pair(normalize_y=False, n_init=19, X=X, y=y)
+    monkeypatch.setattr(
+        gp_module, "solve_triangular",
+        lambda L, k, lower=True: np.full(len(k), 1e8),
+    )
+    inc.update(X[19:20], float(y[19]))
+    monkeypatch.undo()
+    assert inc.n_update_fallbacks == 1
+    assert inc.n_incremental_updates == 0
+    np.testing.assert_allclose(
+        inc.predict(X), reference(20).predict(X), atol=1e-8
+    )
+
+
+def test_update_accepts_multiple_rows():
+    X, y = _trajectory(30)
+    inc, reference = _fresh_pair(normalize_y=False, n_init=10, X=X, y=y)
+    inc.update(X[10:30], y[10:30])
+    assert inc.n_observations == 30
+    np.testing.assert_allclose(
+        inc.predict(X), reference(30).predict(X), atol=1e-8
+    )
+    with pytest.raises(ValueError):
+        inc.update(X[:3], y[:2])
+
+
+def test_update_requires_fit_and_matching_dim():
+    model = GaussianProcessRegressor(optimize_hypers=False)
+    with pytest.raises(RuntimeError):
+        model.update(np.zeros((1, 2)), 0.0)
+    X, y = _trajectory(10, dim=2)
+    model.fit(X, y)
+    with pytest.raises(ValueError):
+        model.update(np.zeros((1, 5)), 0.0)
+
+
+def test_predict_mean_matches_predict_with_std():
+    X, y = _trajectory(25)
+    model = GaussianProcessRegressor(optimize_hypers=False).fit(X, y)
+    X_test = np.random.default_rng(1).uniform(-1, 1, size=(15, X.shape[1]))
+    mean_fast = model.predict(X_test)
+    mean_full, std = model.predict_with_std(X_test)
+    np.testing.assert_allclose(mean_fast, mean_full, rtol=0, atol=0)
+    assert np.all(std >= 0)
+
+
+def test_failed_hyperparameter_search_leaves_kernel_untouched(monkeypatch):
+    # Satellite (a): when every L-BFGS-B restart fails (non-finite NLL), the
+    # kernel hyperparameters and noise must stay exactly as they were — no
+    # mutated state from the trial evaluations may leak out.
+    X, y = _trajectory(20)
+    kernel = Matern52Kernel(length_scale=0.7)
+    model = GaussianProcessRegressor(kernel=kernel, noise=1e-2, n_restarts=3)
+    noise_before = model.noise
+
+    class FailedResult:
+        fun = np.nan
+        x = np.zeros(1)
+
+    monkeypatch.setattr(gp_module, "minimize", lambda *a, **kw: FailedResult())
+    model.fit(X, y)
+    # fit() expands isotropic length scales to ARD before optimizing; the
+    # per-dimension values must all still equal the original scalar.
+    assert np.allclose(model.kernel.length_scale, 0.7, rtol=1e-12)
+    assert model.noise == noise_before
+
+
+def test_fit_counts_and_restart_improvement_commits():
+    X, y = _trajectory(30)
+    model = GaussianProcessRegressor(
+        kernel=Matern52Kernel(length_scale=0.7), noise=1e-2, seed=0
+    )
+    model.fit(X, y)
+    assert model.n_full_fits == 1
+    # Committed hyperparameters must not be worse than the warm start.
+    theta = np.concatenate([model.kernel.get_theta(), [np.log(model.noise)]])
+    yn = (y - y.mean()) / (y.std() or 1.0)
+    assert np.isfinite(model._neg_log_marginal_likelihood(theta, X, yn))
