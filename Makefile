@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos bench bench-perf all
+.PHONY: test chaos telemetry bench bench-perf bench-telemetry all
 
 test:            ## fast tier-1 suite (chaos deselected)
 	$(PYTEST) -x -q
@@ -8,10 +8,16 @@ test:            ## fast tier-1 suite (chaos deselected)
 chaos:           ## fault-injection suite (docs/resilience.md)
 	$(PYTEST) -m chaos -q
 
+telemetry:       ## observability-layer suite (docs/observability.md)
+	$(PYTEST) -m telemetry -q
+
 bench:           ## pytest-benchmark harness
 	$(PYTEST) benchmarks/ --benchmark-only
 
 bench-perf:      ## perf micro-benchmarks + regression guards -> BENCH_perf.json
-	$(PYTEST) benchmarks/bench_perf_gp_update.py benchmarks/bench_perf_scoring.py benchmarks/bench_perf_parallel.py -q
+	$(PYTEST) benchmarks/bench_perf_gp_update.py benchmarks/bench_perf_scoring.py benchmarks/bench_perf_parallel.py benchmarks/bench_perf_telemetry.py -q
 
-all: test chaos
+bench-telemetry: ## telemetry overhead bench -> telemetry section of BENCH_perf.json
+	$(PYTEST) benchmarks/bench_perf_telemetry.py -q
+
+all: test chaos telemetry

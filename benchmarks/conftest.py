@@ -42,13 +42,23 @@ def pytest_sessionfinish(session, exitstatus):
 
     from repro.experiments.parallel import available_workers
 
+    # Merge into any existing report so a partial run (e.g. `make
+    # bench-telemetry`) refreshes its own sections without clobbering the
+    # ones it didn't measure.
+    sections = {}
+    if PERF_JSON.exists():
+        try:
+            sections = json.loads(PERF_JSON.read_text()).get("sections", {})
+        except (json.JSONDecodeError, OSError):
+            sections = {}
+    sections.update(PERF_RESULTS)
     payload = {
         "schema": "repro-bench-perf/1",
         "python": platform.python_version(),
         "machine": platform.machine(),
         "n_cpus": available_workers(),
         "full_mode": FULL_MODE,
-        "sections": PERF_RESULTS,
+        "sections": sections,
     }
     PERF_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 

@@ -31,6 +31,8 @@ Subpackages:
   retry/backoff and idempotent event delivery.
 * :mod:`repro.faults` — deterministic fault injection (chaos harness).
 * :mod:`repro.ml` — from-scratch ML substrate (GP, SVR, forests, ...).
+* :mod:`repro.telemetry` — metrics registry, tracing spans, structured
+  events (off by default; see ``docs/observability.md``).
 * :mod:`repro.experiments` — one module per paper figure/table.
 """
 
@@ -47,6 +49,7 @@ from .core import (
     TuningTrace,
     optimize_app_config,
 )
+from . import telemetry
 from .embedding import VirtualOperatorScheme, WorkloadEmbedder
 from .faults import FaultKind, FaultPlan, FaultSpec
 from .offline import BaselineModelTrainer, FlightingConfig, FlightingPipeline
@@ -115,5 +118,6 @@ __all__ = [
     "query_level_space",
     "tpcds_plan",
     "tpch_plan",
+    "telemetry",
     "__version__",
 ]

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..ml.base import Regressor
 from ..ml.linear import PolynomialFeatures, RidgeRegression
 from ..ml.scaler import Pipeline, StandardScaler
@@ -209,6 +210,7 @@ class CentroidLearning(Optimizer):
 
     def suggest(self, data_size: Optional[float] = None, embedding=None) -> np.ndarray:
         if not self.tuning_active:
+            telemetry.counter("centroid.suggests", mode="default").inc()
             return self.space.default_vector()
         data_size = 1.0 if data_size is None else float(data_size)
         candidates = generate_candidates(
@@ -217,6 +219,10 @@ class CentroidLearning(Optimizer):
         index = self.selector.select(
             candidates, self.observations, data_size, embedding, self._rng
         )
+        telemetry.counter("centroid.suggests", mode="tuning").inc()
+        active = telemetry.current_span()
+        active.set_attr("candidate_index", int(index))
+        active.set_attr("n_candidates", int(len(candidates)))
         return candidates[index]
 
     def observe(self, obs: Observation) -> None:
@@ -224,8 +230,10 @@ class CentroidLearning(Optimizer):
         if self.guardrail is not None:
             self.guardrail.update(obs)
             if not self.guardrail.active:
+                telemetry.counter("centroid.updates_skipped", reason="guardrail").inc()
                 return
         if len(self.observations.window) < self.min_update_observations:
+            telemetry.counter("centroid.updates_skipped", reason="window").inc()
             return
         self._update_centroid(obs)
 
@@ -237,35 +245,48 @@ class CentroidLearning(Optimizer):
     # -- the Alg.-1 update ------------------------------------------------------------
 
     def _update_centroid(self, latest: Observation) -> None:
-        window = self.observations
-        model = None
-        if self.find_best_mode is FindBestMode.MODEL or self.gradient_mode == "ml":
-            model = fit_window_model(window, self.model_factory)
+        with telemetry.span("centroid.update", iteration=latest.iteration) as tspan:
+            window = self.observations
+            model = None
+            if self.find_best_mode is FindBestMode.MODEL or self.gradient_mode == "ml":
+                model = fit_window_model(window, self.model_factory)
 
-        best_obs = find_best(
-            window,
-            mode=self.find_best_mode,
-            model=model,
-            model_factory=self.model_factory,
-            fixed_data_size=latest.data_size,
-        )
-        c_star = best_obs.config
-
-        alpha = self.effective_alpha
-        if self.gradient_mode == "ml":
-            delta = ml_sign_gradient(
-                self.space, model, c_star, latest.data_size, alpha, probe=self.probe
+            best_obs = find_best(
+                window,
+                mode=self.find_best_mode,
+                model=model,
+                model_factory=self.model_factory,
+                fixed_data_size=latest.data_size,
             )
-        else:
-            delta = linear_sign_gradient(window)
+            c_star = best_obs.config
 
-        bounds = self.space.internal_bounds
-        span = bounds[:, 1] - bounds[:, 0]
-        if self.probe == "multiplicative":
-            new_centroid = c_star * (1.0 - alpha * delta)
-        else:
-            new_centroid = c_star - alpha * delta * span
-        self._centroid = self.space.clip(new_centroid)
-        self._n_updates += 1
-        self._last_gradient = np.asarray(delta, dtype=float)
-        self._last_best = np.asarray(c_star, dtype=float)
+            alpha = self.effective_alpha
+            if self.gradient_mode == "ml":
+                delta = ml_sign_gradient(
+                    self.space, model, c_star, latest.data_size, alpha, probe=self.probe
+                )
+            else:
+                delta = linear_sign_gradient(window)
+
+            bounds = self.space.internal_bounds
+            span = bounds[:, 1] - bounds[:, 0]
+            if self.probe == "multiplicative":
+                new_centroid = c_star * (1.0 - alpha * delta)
+            else:
+                new_centroid = c_star - alpha * delta * span
+            before = self._centroid
+            self._centroid = self.space.clip(new_centroid)
+            self._n_updates += 1
+            self._last_gradient = np.asarray(delta, dtype=float)
+            self._last_best = np.asarray(c_star, dtype=float)
+            telemetry.counter("centroid.updates").inc()
+            if telemetry.enabled():
+                move = float(np.linalg.norm(self._centroid - before))
+                telemetry.gauge("centroid.last_move_norm").set(move)
+                tspan.set_attr("n_update", self._n_updates)
+                tspan.set_attr("alpha", alpha)
+                tspan.set_attr("centroid_before", before.tolist())
+                tspan.set_attr("centroid_after", self._centroid.tolist())
+                tspan.set_attr("c_star", self._last_best.tolist())
+                tspan.set_attr("sign_gradient", self._last_gradient.tolist())
+                tspan.set_attr("move_norm", move)

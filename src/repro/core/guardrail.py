@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..ml.linear import LinearRegression
 from .observation import Observation
 
@@ -106,37 +107,57 @@ class Guardrail:
         if self._disabled:
             if self.cooldown is not None:
                 self._since_disable += 1
+                telemetry.counter("guardrail.cooldown_holds").inc()
                 if self._since_disable >= self.cooldown:
                     # Probation: resume tuning with a clean violation count.
                     self._disabled = False
                     self._since_disable = 0
                     self._consecutive_violations = 0
                     self.reenable_count += 1
+                    telemetry.counter("guardrail.reenables").inc()
+                    telemetry.emit("guardrail.reenable",
+                                   iteration=int(obs.iteration),
+                                   reenable_count=self.reenable_count)
             return self.active
         if len(self._times) < self.min_iterations:
             return self.active
 
-        predicted_next, predicted_current = self._predict()
-        # Eq.-8 noise only ever inflates observations, so a noisy `previous`
-        # can mask a genuine upward trend; referencing the smaller of the
-        # observation and the model's de-noised current estimate keeps the
-        # check sensitive without firing on healthy queries.
-        previous = min(self._times[-1], predicted_current)
-        violated = predicted_next > previous * (1.0 + self.threshold)
-        self.decisions.append(
-            GuardrailDecision(
-                iteration=int(self._iterations[-1]),
-                predicted_next=predicted_next,
-                previous=previous,
-                violated=violated,
+        with telemetry.span("guardrail.check", iteration=int(obs.iteration)) as tspan:
+            predicted_next, predicted_current = self._predict()
+            # Eq.-8 noise only ever inflates observations, so a noisy `previous`
+            # can mask a genuine upward trend; referencing the smaller of the
+            # observation and the model's de-noised current estimate keeps the
+            # check sensitive without firing on healthy queries.
+            previous = min(self._times[-1], predicted_current)
+            violated = predicted_next > previous * (1.0 + self.threshold)
+            self.decisions.append(
+                GuardrailDecision(
+                    iteration=int(self._iterations[-1]),
+                    predicted_next=predicted_next,
+                    previous=previous,
+                    violated=violated,
+                )
             )
-        )
-        if violated:
-            self._consecutive_violations += 1
-            if self._consecutive_violations >= self.patience:
-                self._disabled = True
-        else:
-            self._consecutive_violations = 0
+            telemetry.counter("guardrail.checks").inc()
+            telemetry.counter("guardrail.verdicts",
+                              verdict="violation" if violated else "ok").inc()
+            if violated:
+                self._consecutive_violations += 1
+                if self._consecutive_violations >= self.patience:
+                    self._disabled = True
+                    telemetry.counter("guardrail.disables").inc()
+                    telemetry.emit("guardrail.disable",
+                                   iteration=int(obs.iteration),
+                                   predicted_next=predicted_next,
+                                   previous=previous)
+            else:
+                self._consecutive_violations = 0
+            if telemetry.enabled():
+                tspan.set_attr("predicted_next", predicted_next)
+                tspan.set_attr("previous", previous)
+                tspan.set_attr("violated", violated)
+                tspan.set_attr("consecutive_violations", self._consecutive_violations)
+                tspan.set_attr("active", self.active)
         return self.active
 
     # -- persistence --------------------------------------------------------------

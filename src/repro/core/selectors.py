@@ -19,6 +19,7 @@ from typing import Callable, Optional, Protocol
 
 import numpy as np
 
+from .. import telemetry
 from ..ml.acquisition import AcquisitionFunction, MeanMinimizer
 from ..ml.base import Regressor
 from .find_best import fit_window_model
@@ -119,7 +120,13 @@ class SurrogateSelector:
             std = np.full(len(candidates), 1e-9)
         best = float(np.min(window.performances()))
         scores = self.acquisition(mean, std, best)
-        return int(np.argmax(scores))
+        chosen = int(np.argmax(scores))
+        if telemetry.enabled():
+            tspan = telemetry.current_span()
+            tspan.set_attr("candidate_scores", np.asarray(scores, dtype=float).tolist())
+            tspan.set_attr("candidate_chosen_score", float(scores[chosen]))
+            tspan.set_attr("candidate_mean_prediction", float(np.mean(mean)))
+        return chosen
 
 
 class PseudoSurrogateSelector:

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..embedding.embedder import WorkloadEmbedder
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.plan import PhysicalPlan
@@ -132,48 +133,59 @@ class TuningSession:
     def step(self) -> IterationRecord:
         """Run one suggest → execute → observe iteration."""
         t = len(self.trace)
-        scale = self.scale_fn(t)
-        scaled_plan = self.plan.scaled(scale) if scale != 1.0 else self.plan
-        embedding = self.embedder.embed(scaled_plan) if self.embedder else None
-        # The compile-time cardinality estimate stands in for the (unknown)
-        # actual input size when scoring candidates.
-        estimated_size = max(scaled_plan.total_leaf_cardinality, 1.0)
+        with telemetry.span("session.step", iteration=t) as tspan:
+            scale = self.scale_fn(t)
+            scaled_plan = self.plan.scaled(scale) if scale != 1.0 else self.plan
+            embedding = self.embedder.embed(scaled_plan) if self.embedder else None
+            # The compile-time cardinality estimate stands in for the (unknown)
+            # actual input size when scoring candidates.
+            estimated_size = max(scaled_plan.total_leaf_cardinality, 1.0)
 
-        try:
-            vector = self.optimizer.suggest(data_size=estimated_size, embedding=embedding)
-        except Exception:  # noqa: BLE001 — escape hatch, see fallback_to_default
-            if not self.fallback_to_default:
-                raise
-            self.fallback_count += 1
-            vector = self.optimizer.space.default_vector()
-        config = self.optimizer.space.to_dict(vector)
-        result = self.simulator.run(self.plan, config, data_scale=scale)
-
-        try:
-            self.optimizer.observe(
-                Observation(
-                    config=vector,
-                    data_size=result.data_size,
-                    performance=result.elapsed_seconds,
-                    iteration=t,
-                    embedding=embedding,
+            try:
+                vector = self.optimizer.suggest(
+                    data_size=estimated_size, embedding=embedding
                 )
+            except Exception:  # noqa: BLE001 — escape hatch, see fallback_to_default
+                if not self.fallback_to_default:
+                    raise
+                self.fallback_count += 1
+                telemetry.counter("session.fallbacks", stage="suggest").inc()
+                vector = self.optimizer.space.default_vector()
+            config = self.optimizer.space.to_dict(vector)
+            result = self.simulator.run(self.plan, config, data_scale=scale)
+
+            try:
+                self.optimizer.observe(
+                    Observation(
+                        config=vector,
+                        data_size=result.data_size,
+                        performance=result.elapsed_seconds,
+                        iteration=t,
+                        embedding=embedding,
+                    )
+                )
+            except Exception:  # noqa: BLE001 — a lost observation beats a lost query
+                if not self.fallback_to_default:
+                    raise
+                self.fallback_count += 1
+                telemetry.counter("session.fallbacks", stage="observe").inc()
+            active = getattr(self.optimizer, "tuning_active", True)
+            record = IterationRecord(
+                iteration=t,
+                config=config,
+                observed_seconds=result.elapsed_seconds,
+                true_seconds=result.true_seconds,
+                data_size=result.data_size,
+                tuning_active=active,
             )
-        except Exception:  # noqa: BLE001 — a lost observation beats a lost query
-            if not self.fallback_to_default:
-                raise
-            self.fallback_count += 1
-        active = getattr(self.optimizer, "tuning_active", True)
-        record = IterationRecord(
-            iteration=t,
-            config=config,
-            observed_seconds=result.elapsed_seconds,
-            true_seconds=result.true_seconds,
-            data_size=result.data_size,
-            tuning_active=active,
-        )
-        self.trace.append(record)
-        return record
+            self.trace.append(record)
+            telemetry.counter("session.steps").inc()
+            if telemetry.enabled():
+                tspan.set_attr("observed_seconds", result.elapsed_seconds)
+                tspan.set_attr("true_seconds", result.true_seconds)
+                tspan.set_attr("data_size", result.data_size)
+                tspan.set_attr("tuning_active", active)
+            return record
 
     def run(self, n_iterations: int) -> TuningTrace:
         """Run ``n_iterations`` steps and return the trace."""

@@ -30,12 +30,14 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..core.optimizer_base import Optimizer
 from ..workloads.dynamics import DataSizeProcess
 from ..workloads.synthetic import SyntheticObjective
@@ -90,10 +92,55 @@ def resolve_workers(n_workers: Union[int, str, None] = None) -> int:
 # through the fork's copy-on-write memory.
 _ACTIVE_WORK: Optional[Tuple[Callable[[Any], Any], List[Any]]] = None
 
+# One worker-side result: (index, value) pairs, the chunk's telemetry
+# registry dump (None when telemetry is disabled), and (pid, chunk_seconds,
+# n_items) timing metadata.
+_ChunkResult = Tuple[List[Tuple[int, Any]], Optional[list], Optional[Tuple[int, float, int]]]
 
-def _run_chunk(indices: List[int]) -> List[Tuple[int, Any]]:
+
+def _run_chunk(indices: List[int]) -> _ChunkResult:
     fn, items = _ACTIVE_WORK
-    return [(i, fn(items[i])) for i in indices]
+    if not telemetry.enabled():
+        return [(i, fn(items[i])) for i in indices], None, None
+    # Child-local reset: the forked registry inherited the parent's counts,
+    # so measure only this chunk's delta and ship it back for merging.
+    telemetry.reset()
+    started = time.perf_counter()
+    pairs = [(i, fn(items[i])) for i in indices]
+    elapsed = time.perf_counter() - started
+    return pairs, telemetry.dump(), (os.getpid(), elapsed, len(indices))
+
+
+def _serial_map(
+    fn: Callable[[Any], Any],
+    items: List[Any],
+    fallback_reason: Optional[str] = None,
+    error: Optional[BaseException] = None,
+) -> List[Any]:
+    """The serial path, instrumented identically to a one-chunk dispatch.
+
+    ``fallback_reason`` is set when a parallel dispatch degraded to serial
+    (``"no_fork"``, ``"pool_error"``) — the telemetry counter/event carry
+    the same reason string as the RuntimeWarning, so the two always agree —
+    and ``None`` when serial was simply the requested mode.
+    """
+    if fallback_reason is not None:
+        telemetry.counter("parallel.serial_fallbacks", reason=fallback_reason).inc()
+        telemetry.emit(
+            "parallel.serial_fallback",
+            reason=fallback_reason,
+            error=None if error is None else repr(error),
+            n_items=len(items),
+        )
+    if not telemetry.enabled():
+        return [fn(item) for item in items]
+    started = time.perf_counter()
+    out = [fn(item) for item in items]
+    elapsed = time.perf_counter() - started
+    telemetry.histogram("parallel.chunk_seconds", mode="serial").observe(elapsed)
+    telemetry.counter("parallel.chunks", mode="serial").inc()
+    telemetry.counter("parallel.items", mode="serial").inc(len(items))
+    return out
 
 
 def parallel_map(
@@ -107,17 +154,30 @@ def parallel_map(
     ``fn`` must be side-effect free with respect to the parent process (it
     runs in forked children) and its results must be picklable.  With one
     worker — or whenever a pool cannot be used — the plain serial list
-    comprehension runs instead, so callers never need to branch.
+    comprehension runs instead, so callers never need to branch.  Fallbacks
+    are announced twice and identically: a ``RuntimeWarning`` naming the
+    reason, and a ``parallel.serial_fallbacks{reason=...}`` counter plus a
+    structured event when telemetry is enabled.
+
+    With telemetry enabled each forked worker records into its own
+    registry; worker deltas are merged back into the parent registry after
+    the pool drains, alongside ``parallel.chunk_seconds`` timings and
+    per-worker ``parallel.worker_utilization`` gauges.
     """
     items = list(items)
     workers = min(resolve_workers(n_workers), len(items))
     if workers <= 1:
-        return [fn(item) for item in items]
+        return _serial_map(fn, items)
     try:
         ctx = multiprocessing.get_context("fork")
-    except ValueError:
+    except ValueError as exc:
         # Platform without fork (e.g. Windows): closures can't be shipped.
-        return [fn(item) for item in items]
+        warnings.warn(
+            f"parallel execution unavailable (no_fork: {exc!r}); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_map(fn, items, fallback_reason="no_fork", error=exc)
 
     if chunk_size is None:
         chunk_size = max(1, math.ceil(len(items) / (workers * 4)))
@@ -129,6 +189,7 @@ def parallel_map(
     global _ACTIVE_WORK
     previous = _ACTIVE_WORK
     _ACTIVE_WORK = (fn, items)
+    pool_started = time.perf_counter()
     try:
         with ctx.Pool(processes=workers) as pool:
             chunk_results = pool.map(_run_chunk, chunks)
@@ -137,19 +198,47 @@ def parallel_map(
         # pools (daemonic workers), ... — re-run serially; a genuine error
         # in fn then surfaces with its own traceback.
         warnings.warn(
-            f"parallel execution unavailable ({exc!r}); running serially",
+            f"parallel execution unavailable (pool_error: {exc!r}); running serially",
             RuntimeWarning,
             stacklevel=2,
         )
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, fallback_reason="pool_error", error=exc)
     finally:
         _ACTIVE_WORK = previous
 
+    if telemetry.enabled():
+        _merge_worker_telemetry(chunk_results, len(items),
+                                time.perf_counter() - pool_started)
+
     out: List[Any] = [None] * len(items)
-    for chunk in chunk_results:
-        for index, value in chunk:
+    for pairs, _dump, _meta in chunk_results:
+        for index, value in pairs:
             out[index] = value
     return out
+
+
+def _merge_worker_telemetry(
+    chunk_results: List[_ChunkResult], n_items: int, wall_seconds: float
+) -> None:
+    """Fold worker registry dumps and chunk timings into the parent."""
+    busy_by_pid: dict = {}
+    for _pairs, dump, meta in chunk_results:
+        if dump:
+            telemetry.merge(dump)
+        if meta is not None:
+            pid, elapsed, _chunk_items = meta
+            telemetry.histogram("parallel.chunk_seconds", mode="parallel").observe(elapsed)
+            telemetry.counter("parallel.chunks", mode="parallel").inc()
+            busy_by_pid[pid] = busy_by_pid.get(pid, 0.0) + elapsed
+    telemetry.counter("parallel.items", mode="parallel").inc(n_items)
+    telemetry.gauge("parallel.workers_used").set(len(busy_by_pid))
+    # Utilization = busy time / pool wall-clock, per worker.  Workers are
+    # numbered by sorted pid so gauge labels stay low-cardinality.
+    if wall_seconds > 0:
+        for index, pid in enumerate(sorted(busy_by_pid)):
+            telemetry.gauge("parallel.worker_utilization", worker=index).set(
+                busy_by_pid[pid] / wall_seconds
+            )
 
 
 @dataclass
@@ -169,6 +258,11 @@ class _ReplicationSpec:
         # what makes parallel and serial runs bit-identical.
         from .runner import run_single
 
+        # Per-run timing lives *here* — inside the unit of work — so every
+        # replicate is timed identically whether it runs in a forked worker,
+        # the intentional serial mode, or a serial fallback after a pool
+        # failure (see ``_serial_map``).
+        started = time.perf_counter() if telemetry.enabled() else None
         optimizer = self.optimizer_factory(i)
         process = self.size_process_factory(i) if self.size_process_factory else None
         rng = np.random.default_rng(self.seed * 10007 + i)
@@ -181,6 +275,11 @@ class _ReplicationSpec:
             track=self.track,
         )
         payload = self.collect(optimizer) if self.collect is not None else None
+        telemetry.counter("experiments.runs").inc()
+        if started is not None:
+            telemetry.histogram("experiments.run_seconds").observe(
+                time.perf_counter() - started
+            )
         return values, payload
 
 

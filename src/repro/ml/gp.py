@@ -19,12 +19,14 @@ two fit paths:
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve, solve_triangular
 from scipy.optimize import minimize
 
+from .. import telemetry
 from .base import check_X, check_X_y
 from .kernels import Kernel, Matern52Kernel
 
@@ -131,6 +133,7 @@ class GaussianProcessRegressor:
     # -- fit / predict -----------------------------------------------------------
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcessRegressor":
+        started = time.perf_counter() if telemetry.enabled() else None
         X, y = check_X_y(X, y)
         if self.normalize_y:
             self._y_mean = float(y.mean())
@@ -155,6 +158,11 @@ class GaussianProcessRegressor:
         self._X = X
         self._y_raw = np.asarray(y, dtype=float).copy()
         self.n_full_fits += 1
+        telemetry.counter("gp.fits", path="full").inc()
+        if started is not None:
+            telemetry.histogram("gp.fit_seconds").observe(
+                time.perf_counter() - started
+            )
         return self
 
     # -- incremental observation ------------------------------------------------
@@ -220,12 +228,14 @@ class GaussianProcessRegressor:
             raise ValueError(
                 f"x has {x.shape[1]} features, expected {self._X.shape[1]}"
             )
+        started = time.perf_counter() if telemetry.enabled() else None
         y = float(y)
         X_all = np.vstack([self._X, x])
         y_all = np.append(self._training_targets(), y)
 
         if self._normalization_drifted(y_all):
             self.n_update_fallbacks += 1
+            telemetry.counter("gp.updates", path="fallback", reason="drift").inc()
             return self._refit_full(X_all, y_all)
 
         k = self.kernel(self._X, x).ravel()
@@ -235,6 +245,7 @@ class GaussianProcessRegressor:
         d2 = k_ss - float(w @ w)
         if not np.isfinite(d2) or d2 <= _JITTER:
             self.n_update_fallbacks += 1
+            telemetry.counter("gp.updates", path="fallback", reason="schur").inc()
             return self._refit_full(X_all, y_all)
 
         n = len(L)
@@ -248,15 +259,26 @@ class GaussianProcessRegressor:
         yn = (y_all - self._y_mean) / self._y_std
         self._alpha = cho_solve(self._chol, yn)
         self.n_incremental_updates += 1
+        telemetry.counter("gp.updates", path="incremental").inc()
+        if started is not None:
+            telemetry.histogram("gp.update_seconds").observe(
+                time.perf_counter() - started
+            )
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Posterior mean only — skips the O(n²·m) variance ``cho_solve``."""
         if self._X is None or self._alpha is None:
             raise RuntimeError("GaussianProcessRegressor is not fitted")
+        started = time.perf_counter() if telemetry.enabled() else None
         X = check_X(X)
         mean_n = self.kernel(X, self._X) @ self._alpha
-        return mean_n * self._y_std + self._y_mean
+        out = mean_n * self._y_std + self._y_mean
+        if started is not None:
+            telemetry.histogram("gp.predict_seconds").observe(
+                time.perf_counter() - started
+            )
+        return out
 
     def predict_with_std(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         if self._X is None or self._alpha is None:

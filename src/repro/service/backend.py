@@ -9,11 +9,13 @@ Sec.-4.2 privacy rule).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..core.app_level import AppCache, AppCacheEntry, QueryTuningContext, optimize_app_config
 from ..core.config_space import ConfigSpace
 from ..ml.base import Regressor
@@ -111,14 +113,23 @@ class AutotuneBackend:
 
     def register_job(self, app_id: str, artifact_id: str, user_id: str) -> JobGrant:
         """Issue scoped tokens and return any pre-computed app config."""
+        started = time.perf_counter() if telemetry.enabled() else None
         cached = self.app_cache.get(artifact_id)
-        return JobGrant(
+        telemetry.counter("backend.requests", op="register_job").inc()
+        telemetry.counter("backend.app_cache_lookups",
+                          result="hit" if cached is not None else "miss").inc()
+        grant = JobGrant(
             app_id=app_id,
             artifact_id=artifact_id,
             event_write_token=self.issuer.issue(f"events/{app_id}", "w"),
             model_read_token=self.issuer.issue(f"models/{user_id}", "r"),
             app_config=dict(cached.config) if cached is not None else None,
         )
+        if started is not None:
+            telemetry.histogram("backend.request_seconds", op="register_job").observe(
+                time.perf_counter() - started
+            )
+        return grant
 
     def submit_events(
         self, token: SasToken, app_id: str, artifact_id: str,
@@ -133,6 +144,8 @@ class AutotuneBackend:
         *after* the storage append succeeds, so a failed write is retried
         rather than mistaken for a duplicate.
         """
+        started = time.perf_counter() if telemetry.enabled() else None
+        telemetry.counter("backend.requests", op="submit_events").inc()
         self.issuer.validate(token, f"events/{app_id}", "w")
         fresh: List[QueryEndEvent] = []
         keys: List[object] = []
@@ -142,6 +155,7 @@ class AutotuneBackend:
                 key in self._seen_event_keys or key in keys
             ):
                 self.duplicates_dropped += 1
+                telemetry.counter("backend.duplicates_dropped").inc()
                 continue
             fresh.append(event)
             keys.append(key)
@@ -151,13 +165,20 @@ class AutotuneBackend:
         self._seen_event_keys.update(k for k in keys if k is not None)
         for event in fresh:
             self.hub.publish(event)
+        telemetry.counter("backend.events_accepted").inc(len(fresh))
+        if started is not None:
+            telemetry.histogram("backend.request_seconds", op="submit_events").observe(
+                time.perf_counter() - started
+            )
         return len(fresh)
 
     def submit_app_end(self, token: SasToken, event: AppEndEvent) -> None:
+        telemetry.counter("backend.requests", op="submit_app_end").inc()
         self.issuer.validate(token, f"events/{event.app_id}", "w")
         if self.dedup_events:
             if event.app_id in self._seen_app_ends:
                 self.duplicates_dropped += 1
+                telemetry.counter("backend.duplicates_dropped").inc()
                 return
             self._seen_app_ends.add(event.app_id)
         self.hub.publish(event)
@@ -166,8 +187,35 @@ class AutotuneBackend:
         self, token: SasToken, user_id: str, query_signature: str
     ) -> Optional[str]:
         """Serialized per-query model, or ``None`` if not trained yet."""
+        started = time.perf_counter() if telemetry.enabled() else None
+        telemetry.counter("backend.requests", op="fetch_model").inc()
         self.issuer.validate(token, f"models/{user_id}", "r")
-        return self.storage.read_model(user_id, query_signature)
+        payload = self.storage.read_model(user_id, query_signature)
+        if started is not None:
+            telemetry.histogram("backend.request_seconds", op="fetch_model").observe(
+                time.perf_counter() - started
+            )
+        return payload
+
+    def metrics(self) -> Dict[str, object]:
+        """The backend's metrics endpoint (the ``/metrics`` stand-in).
+
+        Always reports the backend's own counters; when the global
+        telemetry facade is enabled the full registry snapshot rides
+        along, so one scrape covers the whole process.  Render with
+        :func:`repro.service.dashboard.render_metrics`.
+        """
+        return {
+            "backend": {
+                "models_trained": self.models_trained,
+                "train_failures": self.train_failures,
+                "duplicates_dropped": self.duplicates_dropped,
+                "hub_published": self.hub.published_count,
+                "hub_failures": len(self.hub.failures),
+                "tracked_query_groups": len(self._query_events),
+            },
+            "telemetry": telemetry.snapshot() if telemetry.enabled() else None,
+        }
 
     # -- Model Updater streaming job ----------------------------------------------
 
@@ -201,14 +249,21 @@ class AutotuneBackend:
             for e in events
         ])
         y = np.array([e.duration_seconds for e in events])
+        started = time.perf_counter() if telemetry.enabled() else None
         try:
             model = self.model_factory()
             model.fit(X, y)
             self.storage.write_model(user_id, signature, dumps_model(model))
         except Exception:  # noqa: BLE001 — degrade, don't derail the hub
             self.train_failures += 1
+            telemetry.counter("backend.model_trainings", result="failure").inc()
             return False
         self.models_trained += 1
+        telemetry.counter("backend.model_trainings", result="success").inc()
+        if started is not None:
+            telemetry.histogram("backend.train_seconds").observe(
+                time.perf_counter() - started
+            )
         return True
 
     # -- App Cache Generator streaming job -------------------------------------------

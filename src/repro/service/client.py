@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..core.centroid import CentroidLearning
 from ..core.config_space import ConfigSpace
 from ..core.observation import Observation, ObservationWindow
@@ -103,11 +104,13 @@ class AutotuneCredentialManager:
         elif self._expired(self._grant):
             self._grant = self._register()
             self.refresh_count += 1
+            telemetry.counter("client.token_refreshes", trigger="proactive").inc()
         return self._grant
 
     def refresh(self) -> JobGrant:
         self._grant = self._register()
         self.refresh_count += 1
+        telemetry.counter("client.token_refreshes", trigger="reactive").inc()
         return self._grant
 
 
@@ -147,6 +150,7 @@ class ModelLoader:
     def _serve_stale(self, query_signature: str):
         if self.serve_stale and query_signature in self._cache:
             self.stale_serves += 1
+            telemetry.counter("client.stale_serves").inc()
             return self._cache[query_signature]
         return None
 
@@ -169,14 +173,17 @@ class ModelLoader:
             payload = self.retry_policy.call(attempt, retry_on=_RETRYABLE, on_retry=on_retry)
         except RetryExhaustedError:
             self.fetch_failures += 1
+            telemetry.counter("client.model_fetches", result="failure").inc()
             return self._serve_stale(query_signature)
         self.fetch_count += 1
+        telemetry.counter("client.model_fetches", result="success").inc()
         if payload is None:
             return None
         try:
             model = loads_model(payload)
         except Exception:  # noqa: BLE001 — any decode failure = no model
             self.decode_failures += 1
+            telemetry.counter("client.decode_failures").inc()
             return self._serve_stale(query_signature)
         self._cache[query_signature] = model
         return model
@@ -214,6 +221,7 @@ class RemoteModelSelector:
             self.used_model_last = False
             if self.hold_when_degraded and self._had_model:
                 self.degraded_holds += 1
+                telemetry.counter("client.degraded_holds").inc()
                 return 0
             return int(rng.integers(0, len(candidates)))
         self.used_model_last = True
@@ -399,6 +407,7 @@ class AutotuneClient:
         if len(self._pending_events) >= self.max_pending_events:
             self._pending_events.pop(0)
             self.events_shed += 1
+            telemetry.counter("client.events_shed").inc()
         self._pending_events.append(event)
         self._completed_signatures.append(event.query_signature)
         self._total_duration += event.duration_seconds
@@ -442,8 +451,10 @@ class AutotuneClient:
 
         if not self._call_backend(attempt):
             self.flush_failures += 1
+            telemetry.counter("client.flushes", result="failure").inc()
             return 0
         del self._pending_events[: len(events)]
+        telemetry.counter("client.flushes", result="success").inc()
         return len(events)
 
     def finish_app(self, app_config: Optional[Dict[str, float]] = None) -> AppEndEvent:
@@ -469,4 +480,5 @@ class AutotuneClient:
 
         if not self._call_backend(attempt):
             self.app_end_failures += 1
+            telemetry.counter("client.app_end_failures").inc()
         return event

@@ -17,7 +17,45 @@ from ..ml.linear import LinearRegression
 from ..ml.metrics import spearman_rho
 from ..sparksim.events import QueryEndEvent
 
-__all__ = ["QuerySummary", "RootCauseReport", "MonitoringDashboard"]
+__all__ = ["QuerySummary", "RootCauseReport", "MonitoringDashboard", "render_metrics"]
+
+
+def render_metrics(metrics: Dict[str, object]) -> str:
+    """Fixed-width text render of a backend :meth:`~repro.service.backend.AutotuneBackend.metrics` payload.
+
+    Shows the backend's own counters first, then — when the telemetry
+    facade was enabled at scrape time — the full registry snapshot
+    (counters/gauges sorted by key, histograms as one-line summaries).
+    """
+    lines: List[str] = ["autotune backend metrics", "=" * 24]
+    backend = metrics.get("backend", {})
+    if backend:
+        width = max(len(k) for k in backend)
+        for key in sorted(backend):
+            lines.append(f"  {key:<{width}}  {backend[key]:g}")
+    snapshot = metrics.get("telemetry")
+    if snapshot is None:
+        lines.append("(telemetry disabled — enable repro.telemetry for the full registry)")
+        return "\n".join(lines)
+    for section in ("counters", "gauges"):
+        entries = snapshot.get(section, {})
+        if not entries:
+            continue
+        lines.append(f"[{section}]")
+        width = max(len(k) for k in entries)
+        for key in sorted(entries):
+            lines.append(f"  {key:<{width}}  {entries[key]:g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("[histograms]")
+        width = max(len(k) for k in histograms)
+        for key in sorted(histograms):
+            s = histograms[key]
+            lines.append(
+                f"  {key:<{width}}  count={s['count']:g} mean={s['mean']:.6g} "
+                f"p50={s['p50']:.6g} p99={s['p99']:.6g} max={s['max']:.6g}"
+            )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

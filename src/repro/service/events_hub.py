@@ -12,6 +12,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Set, Tuple
 
+from .. import telemetry
+
 __all__ = ["EventHub"]
 
 Subscriber = Callable[[object], None]
@@ -60,15 +62,18 @@ class EventHub:
             if key is not None:
                 if key in self._seen_keys:
                     self.duplicates_dropped += 1
+                    telemetry.counter("hub.duplicates_dropped").inc()
                     return
                 self._seen_keys.add(key)
         self.published_count += 1
+        telemetry.counter("hub.published").inc()
         self._buffer.append(event)
         for name, callback in self._subscribers:
             try:
                 callback(event)
             except Exception as exc:  # noqa: BLE001 — isolate subscribers
                 self.failures.append(_Failure(subscriber=name, event=event, error=exc))
+                telemetry.counter("hub.subscriber_failures", subscriber=name).inc()
 
     def recent(self, n: int = 10) -> List[object]:
         """The last ``n`` published events (newest last)."""

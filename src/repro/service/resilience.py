@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Type
 
+from .. import telemetry
+
 __all__ = ["TransientServiceError", "RetryExhaustedError", "RetryPolicy"]
 
 
@@ -116,9 +118,11 @@ class RetryPolicy:
                 delay = schedule[attempt]
                 self.retries += 1
                 self.total_slept += delay
+                telemetry.counter("retry.retries", error=type(exc).__name__).inc()
                 if self.sleep is not None:
                     self.sleep(delay)
                 if on_retry is not None:
                     on_retry(attempt, exc)
         assert last_error is not None
+        telemetry.counter("retry.exhausted", error=type(last_error).__name__).inc()
         raise RetryExhaustedError(attempts, last_error) from last_error

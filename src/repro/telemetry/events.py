@@ -1,0 +1,77 @@
+"""Structured event log: discrete, append-only facts about a run.
+
+Where metrics aggregate and spans time, events *narrate*: "the guardrail
+disabled tuning at iteration 41", "the parallel engine fell back to
+serial because the pool died".  Each event is a name plus free-form
+fields, stamped with a monotone sequence number (no wall clock — chaos
+replays must produce bit-identical logs).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List
+
+__all__ = ["TelemetryEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured log entry."""
+
+    name: str
+    sequence: int
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"name": self.name, "sequence": self.sequence, "fields": self.fields},
+            sort_keys=True,
+        )
+
+
+class EventLog:
+    """Bounded, thread-safe event buffer (oldest entries drop first)."""
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self._events: Deque[TelemetryEvent] = deque(maxlen=max_events)
+        self._lock = threading.Lock()
+        self._next_sequence = 0
+
+    def emit(self, name: str, **fields: object) -> TelemetryEvent:
+        with self._lock:
+            event = TelemetryEvent(name=name, sequence=self._next_sequence,
+                                   fields=fields)
+            self._next_sequence += 1
+            self._events.append(event)
+        return event
+
+    @property
+    def records(self) -> List[TelemetryEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def by_name(self, name: str) -> List[TelemetryEvent]:
+        with self._lock:
+            return [e for e in self._events if e.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._next_sequence = 0
+
+    def to_jsonl(self, path) -> int:
+        """Write the buffered events to ``path``; returns the line count."""
+        events = self.records
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(event.to_json() + "\n")
+        return len(events)

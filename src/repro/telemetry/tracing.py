@@ -1,0 +1,235 @@
+"""Context-manager tracing spans with in-memory and JSONL exporters.
+
+A :class:`Tracer` hands out :class:`Span` context managers; nesting is
+tracked per thread, so a span opened inside another span records it as
+its parent.  Finished spans become immutable :class:`SpanRecord`s and are
+pushed to every registered exporter — :class:`InMemoryExporter` for test
+assertions, :class:`JsonlExporter` for on-disk traces that a session can
+be reconstructed from (one JSON object per line, see
+``docs/observability.md`` for the schema).
+
+Span ids are small monotone integers assigned at span *start*, so a
+sorted-by-id read of an exported trace replays the session in the order
+work began even though exporters see spans in completion order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["SpanRecord", "Span", "Tracer", "InMemoryExporter",
+           "JsonlExporter", "read_jsonl"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: int
+    start_seconds: float            # perf_counter timebase
+    duration_seconds: float
+    status: str = "ok"              # "ok" | "error"
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_seconds": self.start_seconds,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+            "attributes": self.attributes,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "SpanRecord":
+        data = json.loads(line)
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data["parent_id"],
+            trace_id=data["trace_id"],
+            start_seconds=data["start_seconds"],
+            duration_seconds=data["duration_seconds"],
+            status=data["status"],
+            attributes=data["attributes"],
+        )
+
+
+class Span:
+    """An open span; use as a context manager.
+
+    Attributes set through :meth:`set_attr` land on the exported record.
+    An exception propagating through the span marks it ``status="error"``
+    (and re-raises — tracing never swallows failures).
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "trace_id",
+                 "attributes", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: Dict[str, object]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self.trace_id = -1
+        self._start = 0.0
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attributes.setdefault("exception", f"{exc_type.__name__}: {exc}")
+        self.tracer._pop(self, duration, "error" if exc_type else "ok")
+        return False
+
+
+class InMemoryExporter:
+    """Collects finished spans for test assertions (completion order)."""
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    def export(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def by_name(self, name: str) -> List[SpanRecord]:
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+
+
+class JsonlExporter:
+    """Appends one JSON object per finished span to ``path``.
+
+    Lines are flushed per span so a crashed run still leaves a readable
+    trace prefix.  Call :meth:`close` (or use as a context manager) when
+    done; :func:`read_jsonl` round-trips the file back into records.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def export(self, record: SpanRecord) -> None:
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(record.to_json() + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_jsonl(path) -> List[SpanRecord]:
+    """Load an exported trace; records come back in file (completion) order."""
+    records = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_json(line))
+    return records
+
+
+class Tracer:
+    """Creates spans and fans finished records out to exporters."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._exporters: List[object] = []
+        self._lock = threading.Lock()
+
+    def add_exporter(self, exporter) -> None:
+        with self._lock:
+            self._exporters.append(exporter)
+
+    def remove_exporter(self, exporter) -> bool:
+        with self._lock:
+            try:
+                self._exporters.remove(exporter)
+                return True
+            except ValueError:
+                return False
+
+    def span(self, name: str, **attributes: object) -> Span:
+        return Span(self, name, dict(attributes))
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- span lifecycle (called by Span) ------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        span.span_id = next(self._ids)
+        if stack:
+            span.parent_id = stack[-1].span_id
+            span.trace_id = stack[-1].trace_id
+        else:
+            span.parent_id = None
+            span.trace_id = span.span_id
+        stack.append(span)
+
+    def _pop(self, span: Span, duration: float, status: str) -> None:
+        stack = self._local.stack
+        assert stack and stack[-1] is span, "span exit out of order"
+        stack.pop()
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            trace_id=span.trace_id,
+            start_seconds=span._start,
+            duration_seconds=duration,
+            status=status,
+            attributes=span.attributes,
+        )
+        with self._lock:
+            exporters = list(self._exporters)
+        for exporter in exporters:
+            exporter.export(record)

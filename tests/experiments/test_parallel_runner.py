@@ -4,6 +4,7 @@ parallel dispatch has to reproduce the serial runs matrix bit for bit."""
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.core.centroid import CentroidLearning
 from repro.experiments.parallel import (
     WORKERS_ENV,
@@ -126,6 +127,113 @@ def test_run_replicated_parallel_rejects_empty():
         run_replicated_parallel(lambda i: None, objective, 0, 1)
     with pytest.raises(ValueError):
         run_replicated_parallel(lambda i: None, objective, 1, 0)
+
+
+# -- telemetry: serial/parallel equivalence and fallback accounting --------
+
+
+def _domain_counters(counters):
+    """Counters the workload itself produced — the parallel engine's own
+    ``parallel.*`` series legitimately differ between dispatch modes."""
+    return {k: v for k, v in counters.items() if not k.startswith("parallel.")}
+
+
+@pytest.mark.telemetry
+def test_serial_and_parallel_runs_emit_equivalent_telemetry():
+    objective = _objective()
+    space = objective.space
+
+    def factory(i):
+        return CentroidLearning(space, seed=i)
+
+    with telemetry.capture() as cap:
+        run_replicated_parallel(factory, objective, n_iterations=12, n_runs=6,
+                                seed=3, n_workers=1)
+        serial_counters = cap.counters()
+        serial_hist = telemetry.snapshot()["histograms"]
+    with telemetry.capture() as cap:
+        run_replicated_parallel(factory, objective, n_iterations=12, n_runs=6,
+                                seed=3, n_workers=3)
+        parallel_counters = cap.counters()
+        parallel_hist = telemetry.snapshot()["histograms"]
+
+    # Bit-identical runs => identical domain counters, merged back from the
+    # forked workers' registries.
+    assert _domain_counters(serial_counters) == _domain_counters(parallel_counters)
+    assert serial_counters["experiments.runs"] == 6
+    # Per-run timing is recorded uniformly in both modes (satellite of the
+    # run_replicated fallback fix): same sample counts, mode-tagged chunks.
+    assert serial_hist["experiments.run_seconds"]["count"] == 6
+    assert parallel_hist["experiments.run_seconds"]["count"] == 6
+    assert serial_hist["parallel.chunk_seconds{mode=serial}"]["count"] == 1
+    assert parallel_hist["parallel.chunk_seconds{mode=parallel}"]["count"] >= 1
+    assert "parallel.chunk_seconds{mode=serial}" not in parallel_hist
+    assert parallel_counters["parallel.items{mode=parallel}"] == 6
+    assert serial_counters["parallel.items{mode=serial}"] == 6
+
+
+@pytest.mark.telemetry
+def test_pool_failure_fallback_keeps_timing_and_records_reason():
+    def fn(i):
+        return lambda: i  # unpicklable result => pool_error fallback
+
+    with telemetry.capture() as cap:
+        with pytest.warns(RuntimeWarning, match="pool_error.*running serially"):
+            out = parallel_map(fn, range(4), n_workers=2)
+        counters = cap.counters()
+        hist = telemetry.snapshot()["histograms"]
+        fallback_events = cap.events.by_name("parallel.serial_fallback")
+    assert [f() for f in out] == [0, 1, 2, 3]
+    # The RuntimeWarning, the counter, and the structured event name the
+    # same reason — no more silent disagreement between the three.
+    assert counters["parallel.serial_fallbacks{reason=pool_error}"] == 1
+    assert len(fallback_events) == 1
+    assert fallback_events[0].fields["reason"] == "pool_error"
+    assert fallback_events[0].fields["n_items"] == 4
+    # And the serial re-run is timed exactly like an intentional serial run.
+    assert hist["parallel.chunk_seconds{mode=serial}"]["count"] == 1
+    assert counters["parallel.items{mode=serial}"] == 4
+
+
+@pytest.mark.telemetry
+def test_replicated_fallback_still_times_every_run():
+    """run_replicated used to lose per-run timing when the pool dispatch
+    degraded to the serial fallback; timing now lives inside the unit of
+    work, so every path records all n_runs samples."""
+    objective = _objective()
+    space = objective.space
+
+    class Unpicklable:
+        def __init__(self, n):
+            self.n = n
+            self.fn = lambda: n  # poisons the result pickle
+
+    def factory(i):
+        return CentroidLearning(space, seed=i)
+
+    def harvest(optimizer):
+        return Unpicklable(len(optimizer.observations))
+
+    with telemetry.capture() as cap:
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            _, payloads = run_replicated_parallel(
+                factory, objective, n_iterations=10, n_runs=5, seed=1,
+                n_workers=2, collect=harvest,
+            )
+        counters = cap.counters()
+        hist = telemetry.snapshot()["histograms"]
+    assert len(payloads) == 5
+    assert counters["experiments.runs"] == 5
+    assert hist["experiments.run_seconds"]["count"] == 5
+    assert counters["parallel.serial_fallbacks{reason=pool_error}"] == 1
+
+
+@pytest.mark.telemetry
+def test_parallel_map_disabled_telemetry_stays_silent():
+    assert not telemetry.enabled()
+    assert parallel_map(lambda x: x * 2, range(8), n_workers=2) == \
+        [x * 2 for x in range(8)]
+    assert telemetry.snapshot()["counters"] == {}
 
 
 # -- ConvergenceBands percentile cache -------------------------------------

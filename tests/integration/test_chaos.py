@@ -17,6 +17,7 @@ client/backend/simulator loop through an injected-fault run and asserts:
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.faults import (
     FaultKind,
     FaultPlan,
@@ -175,6 +176,101 @@ class TestChaos:
         rerun = run_tuning(tmp_path, [], seed)
         assert rerun.trace() == clean_runs[seed].trace()
         assert rerun.plan.fired() == 0
+
+
+def run_traced(root, specs, seed):
+    """A chaos run with telemetry captured; returns (run, counters, events)."""
+    with telemetry.capture() as cap:
+        run = run_tuning(root, specs, seed)
+        counters = cap.counters()
+        events = [(e.name, tuple(sorted(e.fields.items()))) for e in cap.events.records]
+    return run, counters, events
+
+
+class TestChaosTelemetry:
+    """Injected faults must be *visible*: every fault class that exercises a
+    resilience path leaves a counter trail, and the counters agree exactly
+    with the components' own ground-truth tallies — telemetry is a second
+    witness, not a second opinion."""
+
+    def test_storage_write_retries_are_counted(self, tmp_path):
+        run, counters, _ = run_traced(
+            tmp_path, FAULT_CLASSES["storage_write_error"], seed=0)
+        assert run.plan.fired() > 0
+        retries = sum(v for k, v in counters.items()
+                      if k.startswith("retry.retries"))
+        assert retries == run.client.retry_policy.retries
+        assert retries > 0, "write faults fired but no retry was counted"
+
+    def test_model_corruption_visible_as_decode_failures_and_stale_serves(
+            self, tmp_path):
+        run, counters, _ = run_traced(
+            tmp_path, FAULT_CLASSES["model_corruption"], seed=0)
+        assert run.plan.fired() > 0
+        loader = run.client.model_loader
+        assert counters.get("client.decode_failures", 0) == loader.decode_failures
+        assert counters.get("client.stale_serves", 0) == loader.stale_serves
+        assert loader.decode_failures > 0, "corruption fired but nothing decoded badly"
+
+    def test_token_storm_refreshes_are_counted(self, tmp_path):
+        run, counters, _ = run_traced(
+            tmp_path, FAULT_CLASSES["token_expiry_storm"], seed=0)
+        assert run.plan.fired() > 0
+        refreshes = sum(v for k, v in counters.items()
+                        if k.startswith("client.token_refreshes"))
+        assert refreshes == run.client.credentials.refresh_count
+        assert counters.get("client.token_refreshes{trigger=reactive}", 0) > 0
+
+    def test_duplicate_events_dropped_and_counted(self, tmp_path):
+        run, counters, _ = run_traced(
+            tmp_path, FAULT_CLASSES["duplicate_event"], seed=0)
+        assert run.plan.fired() > 0
+        assert counters.get("backend.duplicates_dropped", 0) == \
+            run.backend.duplicates_dropped
+        assert run.backend.duplicates_dropped > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_counter_trail_replays_bit_identically(self, seed, tmp_path):
+        """Same seed, same storm => the *telemetry*, not just the data,
+        is deterministic (counters and structured events alike)."""
+        specs = [spec for group in FAULT_CLASSES.values() for spec in group]
+        _, counters_a, events_a = run_traced(tmp_path / "a", specs, seed)
+        _, counters_b, events_b = run_traced(tmp_path / "b", specs, seed)
+        assert counters_a == counters_b
+        assert events_a == events_b
+
+    def test_guardrail_cooldown_lifecycle_counters(self):
+        """A deterministic worsening series walks the guardrail through
+        disable -> cooldown -> probation re-enable, and the counters
+        reconstruct the whole lifecycle."""
+        from repro.core.guardrail import Guardrail
+        from repro.core.observation import Observation
+
+        guardrail = Guardrail(min_iterations=3, threshold=0.1, patience=2,
+                              fit_window=3, cooldown=2)
+        n_obs = 20
+        with telemetry.capture() as cap:
+            for i in range(n_obs):
+                guardrail.update(Observation(
+                    config=np.zeros(2), data_size=1.0,
+                    performance=float(1.5 ** i), iteration=i,
+                ))
+            counters = cap.counters()
+            events = cap.events
+        assert counters["guardrail.checks"] == len(guardrail.decisions)
+        assert counters["guardrail.verdicts{verdict=violation}"] == \
+            sum(d.violated for d in guardrail.decisions)
+        assert counters["guardrail.disables"] >= 1
+        assert counters["guardrail.reenables"] == guardrail.reenable_count
+        assert guardrail.reenable_count >= 1
+        # Every update is exactly one of: warmup (the first min_iterations-1
+        # appends), a check, or a cooldown hold — so holds are derivable.
+        warmups = guardrail.min_iterations - 1
+        assert counters["guardrail.cooldown_holds"] == \
+            n_obs - warmups - counters["guardrail.checks"]
+        # The structured narration matches the counters one-to-one.
+        assert len(events.by_name("guardrail.disable")) == counters["guardrail.disables"]
+        assert len(events.by_name("guardrail.reenable")) == guardrail.reenable_count
 
 
 @pytest.mark.parametrize("seed", SEEDS)

@@ -192,3 +192,43 @@ class TestAppCacheFlow:
         clock["now"] = 100.0  # expire everything
         run_queries(client, backend, n=2)
         assert client.credentials.refresh_count > run_count
+
+
+class TestMetricsEndpoint:
+    """backend.metrics() + dashboard.render_metrics (docs/observability.md)."""
+
+    def test_metrics_reports_backend_counters(self, backend, client):
+        run_queries(client, backend, n=4)
+        payload = backend.metrics()
+        assert payload["backend"]["hub_published"] == backend.hub.published_count
+        assert payload["backend"]["hub_published"] >= 4
+        assert payload["backend"]["duplicates_dropped"] == backend.duplicates_dropped
+        assert payload["backend"]["tracked_query_groups"] >= 1
+        # Telemetry disabled (the default): the registry snapshot is absent.
+        assert payload["telemetry"] is None
+
+    @pytest.mark.telemetry
+    def test_metrics_carries_registry_snapshot_when_enabled(self, backend, client):
+        from repro import telemetry
+
+        with telemetry.capture():
+            run_queries(client, backend, n=4)
+            payload = backend.metrics()
+        snap = payload["telemetry"]
+        assert snap is not None
+        assert snap["counters"]["backend.requests{op=submit_events}"] == 4.0
+        assert "backend.request_seconds{op=submit_events}" in snap["histograms"]
+
+    @pytest.mark.telemetry
+    def test_render_metrics_text(self, backend, client):
+        from repro import telemetry
+        from repro.service.dashboard import render_metrics
+
+        disabled_text = render_metrics(backend.metrics())
+        assert "telemetry disabled" in disabled_text
+        with telemetry.capture():
+            run_queries(client, backend, n=3)
+            text = render_metrics(backend.metrics())
+        assert "hub_published" in text
+        assert "[counters]" in text and "[histograms]" in text
+        assert "backend.requests{op=submit_events}" in text

@@ -1,0 +1,149 @@
+"""Acceptance: one end-to-end tuning session produces a JSONL trace from
+which every centroid update and guardrail decision can be reconstructed."""
+
+import numpy as np
+import pytest
+
+from repro import CentroidLearning, SparkSimulator, TuningSession, telemetry
+from repro.core.guardrail import Guardrail
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpch import tpch_plan
+
+pytestmark = pytest.mark.telemetry
+
+ITERATIONS = 20
+
+
+@pytest.fixture(scope="module")
+def traced_session(tmp_path_factory):
+    """Run one tuning session with a JSONL trace attached; return everything
+    the reconstruction tests need."""
+    path = tmp_path_factory.mktemp("trace") / "session.jsonl"
+    guardrail = Guardrail(min_iterations=5, fit_window=5)
+    optimizer = CentroidLearning(query_level_space(), seed=0, guardrail=guardrail)
+    session = TuningSession(
+        plan=tpch_plan(3, scale_factor=1.0),
+        simulator=SparkSimulator(noise=low_noise(), seed=0),
+        optimizer=optimizer,
+    )
+    with telemetry.capture(jsonl=path) as cap:
+        trace = session.run(ITERATIONS)
+        counters = cap.counters()
+    return {
+        "path": path,
+        "trace": telemetry.read_jsonl(path),
+        "optimizer": optimizer,
+        "guardrail": guardrail,
+        "session_records": trace.records,
+        "counters": counters,
+    }
+
+
+def _by_name(trace, name):
+    return [r for r in trace if r.name == name]
+
+
+class TestTraceShape:
+    def test_one_step_span_per_iteration(self, traced_session):
+        steps = _by_name(traced_session["trace"], "session.step")
+        assert len(steps) == ITERATIONS
+        assert sorted(s.attributes["iteration"] for s in steps) == list(range(ITERATIONS))
+
+    def test_child_spans_are_parented_under_their_step(self, traced_session):
+        trace = traced_session["trace"]
+        step_ids = {s.span_id for s in _by_name(trace, "session.step")}
+        for name in ("centroid.update", "guardrail.check"):
+            for child in _by_name(trace, name):
+                assert child.parent_id in step_ids, f"{name} span not under a step"
+
+    def test_all_spans_ok(self, traced_session):
+        assert all(r.status == "ok" for r in traced_session["trace"])
+
+    def test_step_spans_carry_observations(self, traced_session):
+        records = traced_session["session_records"]
+        steps = sorted(_by_name(traced_session["trace"], "session.step"),
+                       key=lambda s: s.attributes["iteration"])
+        for rec, span in zip(records, steps):
+            assert span.attributes["observed_seconds"] == pytest.approx(rec.observed_seconds)
+            assert span.attributes["data_size"] == pytest.approx(rec.data_size)
+
+
+class TestCentroidReconstruction:
+    def test_every_update_is_traced(self, traced_session):
+        updates = _by_name(traced_session["trace"], "centroid.update")
+        optimizer = traced_session["optimizer"]
+        assert len(updates) == optimizer._n_updates
+        assert traced_session["counters"]["centroid.updates"] == optimizer._n_updates
+
+    def test_updates_chain_and_end_at_the_final_centroid(self, traced_session):
+        updates = sorted(_by_name(traced_session["trace"], "centroid.update"),
+                         key=lambda s: s.span_id)
+        optimizer = traced_session["optimizer"]
+        assert updates, "session produced no centroid updates to reconstruct"
+        for prev, nxt in zip(updates, updates[1:]):
+            np.testing.assert_allclose(
+                prev.attributes["centroid_after"],
+                nxt.attributes["centroid_before"],
+                err_msg="centroid trajectory has a gap between traced updates",
+            )
+        np.testing.assert_allclose(
+            updates[-1].attributes["centroid_after"], optimizer.centroid
+        )
+
+    def test_update_spans_replay_the_alg1_rule(self, traced_session):
+        # The span attributes are sufficient to replay Alg. 1 exactly:
+        # after = clip(c* - alpha * sign_gradient * bound_width)
+        # (or the multiplicative probe variant).
+        optimizer = traced_session["optimizer"]
+        bounds = optimizer.space.internal_bounds
+        widths = bounds[:, 1] - bounds[:, 0]
+        for span in _by_name(traced_session["trace"], "centroid.update"):
+            c_star = np.asarray(span.attributes["c_star"])
+            grad = np.asarray(span.attributes["sign_gradient"])
+            alpha = span.attributes["alpha"]
+            if optimizer.probe == "multiplicative":
+                predicted = c_star * (1.0 - alpha * grad)
+            else:
+                predicted = c_star - alpha * grad * widths
+            predicted = optimizer.space.clip(predicted)
+            np.testing.assert_allclose(
+                np.asarray(span.attributes["centroid_after"]), predicted,
+                atol=1e-12,
+                err_msg="centroid.update span does not replay the update rule",
+            )
+
+
+class TestGuardrailReconstruction:
+    def test_every_decision_is_traced(self, traced_session):
+        checks = _by_name(traced_session["trace"], "guardrail.check")
+        decisions = traced_session["guardrail"].decisions
+        assert len(checks) == len(decisions)
+        assert traced_session["counters"]["guardrail.checks"] == len(decisions)
+
+    def test_check_spans_mirror_decisions(self, traced_session):
+        checks = sorted(_by_name(traced_session["trace"], "guardrail.check"),
+                        key=lambda s: s.span_id)
+        for span, decision in zip(checks, traced_session["guardrail"].decisions):
+            assert span.attributes["iteration"] == decision.iteration
+            assert span.attributes["violated"] == decision.violated
+            assert span.attributes["predicted_next"] == pytest.approx(
+                decision.predicted_next)
+            assert span.attributes["previous"] == pytest.approx(decision.previous)
+
+    def test_verdict_counters_sum_to_checks(self, traced_session):
+        counters = traced_session["counters"]
+        verdicts = sum(v for k, v in counters.items()
+                       if k.startswith("guardrail.verdicts"))
+        assert verdicts == counters["guardrail.checks"]
+
+
+class TestSelectorAttribution:
+    def test_tuning_steps_record_candidate_scores(self, traced_session):
+        tuning_steps = [s for s in _by_name(traced_session["trace"], "session.step")
+                        if s.attributes.get("tuning_active")
+                        and "candidate_scores" in s.attributes]
+        assert tuning_steps, "no tuning step recorded candidate scores"
+        for span in tuning_steps:
+            scores = span.attributes["candidate_scores"]
+            assert span.attributes["candidate_chosen_score"] == max(scores)

@@ -1,0 +1,148 @@
+"""Tracer semantics: nesting, parent ids, thread isolation, exporters,
+error status, and the JSONL round-trip."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    InMemoryExporter,
+    JsonlExporter,
+    SpanRecord,
+    Tracer,
+    read_jsonl,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer()
+    exporter = InMemoryExporter()
+    tracer.add_exporter(exporter)
+    return tracer, exporter
+
+
+class TestSpans:
+    def test_single_span_records_duration_and_status(self, traced):
+        tracer, exporter = traced
+        with tracer.span("work", task="unit"):
+            pass
+        assert len(exporter.spans) == 1
+        rec = exporter.spans[0]
+        assert rec.name == "work"
+        assert rec.parent_id is None
+        assert rec.status == "ok"
+        assert rec.duration_seconds >= 0.0
+        assert rec.attributes["task"] == "unit"
+
+    def test_nesting_assigns_parent_ids(self, traced):
+        tracer, exporter = traced
+        with tracer.span("outer") as outer:
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        assert exporter.by_name("outer")[0].parent_id is None
+        middle = exporter.by_name("middle")[0]
+        assert middle.parent_id == outer.span_id
+        assert exporter.by_name("inner")[0].parent_id == middle.span_id
+        # All three share the root's trace id.
+        assert {r.trace_id for r in exporter.spans} == {outer.span_id}
+
+    def test_current_span_tracks_the_stack(self, traced):
+        tracer, _ = traced
+        assert tracer.current_span() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span() is a
+            with tracer.span("b") as b:
+                assert tracer.current_span() is b
+            assert tracer.current_span() is a
+        assert tracer.current_span() is None
+
+    def test_set_attr_after_entry(self, traced):
+        tracer, exporter = traced
+        with tracer.span("work") as sp:
+            sp.set_attr("result", [1, 2, 3])
+        assert exporter.spans[0].attributes["result"] == [1, 2, 3]
+
+    def test_exception_marks_error_and_reraises(self, traced):
+        tracer, exporter = traced
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("fail")
+        rec = exporter.spans[0]
+        assert rec.status == "error"
+        assert "RuntimeError" in rec.attributes["exception"]
+
+    def test_sibling_spans_do_not_chain(self, traced):
+        tracer, exporter = traced
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        parent = exporter.by_name("parent")[0]
+        assert exporter.by_name("first")[0].parent_id == parent.span_id
+        assert exporter.by_name("second")[0].parent_id == parent.span_id
+
+    def test_threads_get_independent_stacks(self, traced):
+        tracer, exporter = traced
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as sp:
+                barrier.wait(timeout=5)
+                seen[name] = tracer.current_span() is sp
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"t0": True, "t1": True}
+        # Each thread's span is a root — neither parented under the other.
+        assert all(r.parent_id is None for r in exporter.spans)
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        path = tmp_path / "trace.jsonl"
+        with JsonlExporter(path) as exporter:
+            tracer.add_exporter(exporter)
+            with tracer.span("outer", k=1):
+                with tracer.span("inner"):
+                    pass
+        records = read_jsonl(path)
+        assert [r.name for r in records] == ["inner", "outer"]
+        outer = records[1]
+        assert isinstance(outer, SpanRecord)
+        assert outer.attributes == {"k": 1}
+        assert records[0].parent_id == outer.span_id
+
+    def test_remove_exporter_stops_delivery(self):
+        tracer = Tracer()
+        exporter = InMemoryExporter()
+        tracer.add_exporter(exporter)
+        with tracer.span("kept"):
+            pass
+        tracer.remove_exporter(exporter)
+        with tracer.span("dropped"):
+            pass
+        assert [r.name for r in exporter.spans] == ["kept"]
+
+    def test_record_json_round_trip(self):
+        rec = SpanRecord(
+            name="n",
+            span_id=3,
+            parent_id=1,
+            trace_id=1,
+            start_seconds=0.5,
+            duration_seconds=0.25,
+            status="error",
+            attributes={"a": "b"},
+        )
+        assert SpanRecord.from_json(rec.to_json()) == rec
