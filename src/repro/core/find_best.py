@@ -105,7 +105,10 @@ def find_best(
                 raise ValueError("MODEL mode needs a fitted model or a model_factory")
             model = fit_window_model(window, model_factory)
         p = fixed_data_size if fixed_data_size is not None else obs[-1].data_size
-        rows = np.array([np.concatenate([o.config, [p]]) for o in obs])
+        # Single (N, dim+1) assembly instead of N per-row concatenations.
+        rows = np.column_stack(
+            [np.stack([o.config for o in obs]), np.full(len(obs), p)]
+        )
         predictions = model.predict(rows)
         return obs[int(np.argmin(predictions))]
 

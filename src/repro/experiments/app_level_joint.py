@@ -65,7 +65,8 @@ def run(
             n_observations, np.random.default_rng(seed * 41 + k)
         )
         times = np.array([
-            observe_sim.run(plan, joint.to_dict(v)).elapsed_seconds for v in vectors
+            r.elapsed_seconds
+            for r in observe_sim.run_batch(plan, vectors, space=joint)
         ])
         X = np.column_stack([vectors, np.full(len(vectors), plan.total_leaf_cardinality)])
         model = RandomForestRegressor(n_estimators=30, min_samples_leaf=2, seed=seed + k)

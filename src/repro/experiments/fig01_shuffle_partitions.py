@@ -57,12 +57,11 @@ def run(
     def sweep(qid: int) -> np.ndarray:
         plan = tpcds_plan(qid, scale_factor)
         base = space.default_dict()
-        times = []
-        for partitions in grid:
-            config = dict(base)
-            config["spark.sql.shuffle.partitions"] = float(partitions)
-            times.append(simulator.true_time(plan, config))
-        return np.array(times)
+        configs = [
+            {**base, "spark.sql.shuffle.partitions": float(partitions)}
+            for partitions in grid
+        ]
+        return simulator.true_time_batch(plan, configs)
 
     sweeps = parallel_map(sweep, query_ids, n_workers=n_workers)
     optima: List[float] = []

@@ -79,9 +79,7 @@ def build_v0_platform(
     for qid in query_ids:
         plan = plan_fn(qid, scale_factor)
         configs = space.latin_hypercube(n_configs, rng)
-        times = np.array([
-            simulator.true_time(plan, space.to_dict(v)) for v in configs
-        ])
+        times = simulator.true_time_batch(plan, configs, space=space)
         if recording_noise is not None:
             times = recording_noise.apply_many(times, rng)
         platform[qid] = PrerecordedQuery(

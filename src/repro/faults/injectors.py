@@ -16,9 +16,10 @@ Injection-point map (one :class:`FaultKind` opportunity per call):
                       MODEL_CORRUPTION.
 ``FaultyStorage``     ``append_events``/``write_model`` → STORAGE_WRITE_ERROR;
                       ``read_model``/``read_*_events`` → STORAGE_READ_ERROR.
-``FaultySimulator``   ``run``/``run_to_event`` → LATENCY_SPIKE (multiplies the
-                      *observed* time by the spec magnitude; true time is
-                      untouched, mirroring an Eq.-8 spike).
+``FaultySimulator``   ``run``/``run_batch`` (one opportunity per result, in
+                      batch order)/``run_to_event`` → LATENCY_SPIKE
+                      (multiplies the *observed* time by the spec magnitude;
+                      true time is untouched, mirroring an Eq.-8 spike).
 ``flaky_model_factory``  ``fit`` → TRAIN_ERROR.
 ====================  =========================================================
 """
@@ -164,6 +165,24 @@ class FaultySimulator(_Delegate):
             )
         return result
 
+    def run_batch(self, plan, configs, *, space=None, data_scale: float = 1.0):
+        # The fault schedule is consulted once per result, in batch order, so
+        # a batch of N sees exactly the spikes that N sequential run() calls
+        # would (fault-stream equivalence).
+        results = self.inner.run_batch(
+            plan, configs, space=space, data_scale=data_scale
+        )
+        out = []
+        for result in results:
+            if self.plan.should_fire(FaultKind.LATENCY_SPIKE):
+                result = replace(
+                    result,
+                    elapsed_seconds=result.elapsed_seconds
+                    * self.plan.magnitude(FaultKind.LATENCY_SPIKE),
+                )
+            out.append(result)
+        return out
+
     def run_to_event(self, plan, config, **kwargs) -> QueryEndEvent:
         event = self.inner.run_to_event(plan, config, **kwargs)
         if self.plan.should_fire(FaultKind.LATENCY_SPIKE):
@@ -176,6 +195,12 @@ class FaultySimulator(_Delegate):
 
     def true_time(self, plan, config, data_scale: float = 1.0) -> float:
         return self.inner.true_time(plan, config, data_scale)
+
+    def true_time_batch(self, plan, configs, *, space=None, data_scale: float = 1.0):
+        # True times are never spiked (the injection targets observations).
+        return self.inner.true_time_batch(
+            plan, configs, space=space, data_scale=data_scale
+        )
 
 
 def flaky_model_factory(

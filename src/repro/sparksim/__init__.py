@@ -1,5 +1,14 @@
 """Simulated Spark substrate: knobs, plans, cost model, cluster, noise."""
 
+from .batch import (
+    ConfigColumns,
+    LayoutArrays,
+    PlanArrays,
+    clear_plan_arrays_cache,
+    plan_arrays,
+    plan_arrays_cache_stats,
+    resolve_layouts,
+)
 from .calibration import (
     HeadroomReport,
     KnobSensitivity,
@@ -13,7 +22,7 @@ from .configs import (
     manual_study_space,
     query_level_space,
 )
-from .cost_model import CostBreakdown, CostModel, CostParameters
+from .cost_model import BatchCostBreakdown, CostBreakdown, CostModel, CostParameters
 from .events import AppEndEvent, QueryEndEvent, events_from_jsonl, events_to_jsonl
 from .executor import QueryRunResult, SparkSimulator
 from .noise import NoiseModel, high_noise, low_noise, no_noise
@@ -21,6 +30,8 @@ from .plan import OP_TYPES, Operator, OpType, PhysicalPlan
 
 __all__ = [
     "AppEndEvent",
+    "BatchCostBreakdown",
+    "ConfigColumns",
     "CostBreakdown",
     "HeadroomReport",
     "KnobSensitivity",
@@ -29,18 +40,21 @@ __all__ = [
     "CostModel",
     "CostParameters",
     "ExecutorLayout",
+    "LayoutArrays",
     "NodeType",
     "NoiseModel",
     "OP_TYPES",
     "Operator",
     "OpType",
     "PhysicalPlan",
+    "PlanArrays",
     "Pool",
     "QueryEndEvent",
     "QueryRunResult",
     "STANDARD_POOLS",
     "SparkSimulator",
     "app_level_space",
+    "clear_plan_arrays_cache",
     "default_pool",
     "events_from_jsonl",
     "events_to_jsonl",
@@ -49,5 +63,8 @@ __all__ = [
     "low_noise",
     "manual_study_space",
     "no_noise",
+    "plan_arrays",
+    "plan_arrays_cache_stats",
     "query_level_space",
+    "resolve_layouts",
 ]

@@ -20,13 +20,18 @@ exactly the structure the Centroid Learning algorithm assumes locally.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from .cluster import ExecutorLayout, GIB
+import numpy as np
+
+from .. import telemetry
+from .batch import ConfigColumns, LayoutArrays, plan_arrays, resolve_layouts
+from .cluster import ExecutorLayout, GIB, Pool
 from .plan import Operator, OpType, PhysicalPlan
 
-__all__ = ["CostParameters", "CostBreakdown", "CostModel"]
+__all__ = ["CostParameters", "CostBreakdown", "BatchCostBreakdown", "CostModel"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,42 @@ class CostBreakdown:
     total_seconds: float
     per_operator: Dict[int, float] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BatchCostBreakdown:
+    """Vectorized cost breakdown: one plan evaluated under N configurations.
+
+    ``metric_values[key][i]`` holds config *i*'s accumulated value for
+    ``key``; ``metric_masks[key][i]`` says whether the scalar path would
+    have emitted that key at all for config *i* (the broadcast/sort-merge
+    branch changes which join metrics exist row by row).
+    """
+
+    total_seconds: np.ndarray                 # (N,)
+    per_operator: Dict[int, np.ndarray]       # op_id -> (N,), topological order
+    metric_values: Dict[str, np.ndarray]      # key -> (N,)
+    metric_masks: Dict[str, np.ndarray]       # key -> (N,) bool
+    input_bytes: float
+    input_rows: float
+
+    @property
+    def n(self) -> int:
+        return int(self.total_seconds.shape[0])
+
+    def breakdown_at(self, i: int) -> CostBreakdown:
+        """Config *i*'s result as the scalar :class:`CostBreakdown` shape."""
+        metrics: Dict[str, float] = {}
+        for key, values in self.metric_values.items():
+            if self.metric_masks[key][i]:
+                metrics[key] = float(values[i])
+        metrics["input_bytes"] = self.input_bytes
+        metrics["input_rows"] = self.input_rows
+        return CostBreakdown(
+            total_seconds=float(self.total_seconds[i]),
+            per_operator={op: float(costs[i]) for op, costs in self.per_operator.items()},
+            metrics=metrics,
+        )
 
 
 class CostModel:
@@ -205,7 +246,28 @@ class CostModel:
         config: Mapping[str, float],
         layout: Optional[ExecutorLayout] = None,
     ) -> CostBreakdown:
-        """Noiseless execution-time estimate for ``plan`` under ``config``."""
+        """Noiseless execution-time estimate for ``plan`` under ``config``.
+
+        Thin wrapper over :meth:`estimate_batch` on a 1-row batch; results
+        are bit-identical to :meth:`estimate_scalar`, the legacy
+        per-operator loop kept as the golden reference.
+        """
+        batch = self.estimate_batch(plan, [config], layout=layout, breakdown=True)
+        return batch.breakdown_at(0)
+
+    def estimate_scalar(
+        self,
+        plan: PhysicalPlan,
+        config: Mapping[str, float],
+        layout: Optional[ExecutorLayout] = None,
+    ) -> CostBreakdown:
+        """Reference implementation: the original scalar per-operator loop.
+
+        Kept verbatim as the golden baseline the vectorized kernel is pinned
+        against (tests/sparksim/test_batch.py) and as the bench's scalar
+        comparator; production callers go through :meth:`estimate` /
+        :meth:`estimate_batch`.
+        """
         layout = layout or ExecutorLayout.from_config(config)
         per_op: Dict[int, float] = {}
         metrics: Dict[str, float] = {"tasks": 0.0}
@@ -243,3 +305,251 @@ class CostModel:
         metrics["input_bytes"] = plan.total_input_bytes
         metrics["input_rows"] = plan.total_leaf_cardinality
         return CostBreakdown(total_seconds=total, per_operator=per_op, metrics=metrics)
+
+    # -- vectorized batch estimate ----------------------------------------------------
+
+    def estimate_batch(
+        self,
+        plan: PhysicalPlan,
+        configs: Union[Sequence[Mapping[str, float]], np.ndarray, ConfigColumns],
+        layout: Optional[ExecutorLayout] = None,
+        *,
+        space=None,
+        pool: Optional[Pool] = None,
+        data_scale: float = 1.0,
+        breakdown: bool = False,
+    ) -> Union[np.ndarray, BatchCostBreakdown]:
+        """Noiseless estimates for all N configurations at once.
+
+        ``configs`` may be a sequence of config dicts, an ``(N, dim)`` array
+        of internal vectors (then ``space`` is required), or a prebuilt
+        :class:`ConfigColumns`.  Returns ``(N,)`` seconds, or the full
+        :class:`BatchCostBreakdown` when ``breakdown=True``.  Every value is
+        bit-identical to N calls of :meth:`estimate_scalar` — the kernel
+        replays the scalar arithmetic operation-for-operation on arrays.
+        """
+        started = time.perf_counter() if telemetry.enabled() else None
+        cols = ConfigColumns.coerce(configs, space)
+        arrays = plan_arrays(plan, data_scale)
+        if layout is not None:
+            layouts = LayoutArrays.from_layout(layout)
+        else:
+            layouts = resolve_layouts(cols, pool)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = self._batch_kernel(arrays, cols, layouts, breakdown)
+        if started is not None:
+            telemetry.counter("sparksim.batch_estimates").inc()
+            telemetry.counter("sparksim.batch_configs").inc(cols.n)
+            telemetry.histogram("sparksim.batch_kernel_seconds").observe(
+                time.perf_counter() - started
+            )
+        return result if breakdown else result.total_seconds
+
+    def _batch_kernel(
+        self, arrays, cols: ConfigColumns, layouts: LayoutArrays,
+        want_breakdown: bool,
+    ) -> BatchCostBreakdown:
+        """The vectorized analogue of :meth:`estimate_scalar`.
+
+        Per-operator costs stay a short Python loop (plans have ~10 nodes);
+        the N-config axis is pure NumPy.  Arithmetic mirrors the scalar
+        kernels term for term — same association, same evaluation order —
+        so results match bitwise, not just to tolerance.  When
+        ``want_breakdown`` is false only ``total_seconds`` is populated —
+        per-operator and metric accumulation (pure bookkeeping, no effect
+        on totals) is skipped.
+        """
+        p = self.params
+        n = cols.n
+        cores = layouts.total_cores                       # already max(·, 1)
+        executors = layouts.executors
+
+        # Config columns (arrays, or plain floats when uniform across rows).
+        max_part_col = cols.numeric(
+            "spark.sql.files.maxPartitionBytes", 128 * 1024 * 1024
+        )
+        partitions_col = cols.numeric("spark.sql.shuffle.partitions", 200)
+        threshold = cols.numeric(
+            "spark.sql.autoBroadcastJoinThreshold", 10 * 1024 * 1024
+        )
+        codec_shuffle = cols.factor(
+            "spark.io.compression.codec", "lz4", _CODEC_SHUFFLE_FACTOR
+        )
+        codec_tax = cols.factor("spark.io.compression.codec", "lz4", _CODEC_CPU_TAX)
+        ser_factor = cols.factor("spark.serializer", "java", _SERIALIZER_CPU_FACTOR)
+
+        # When every operand is a uniform scalar (N=1, or a batch that never
+        # varies the relevant knobs) the math/builtin equivalents produce the
+        # same IEEE values as the ufuncs without per-call dispatch overhead —
+        # this keeps the 1-row estimate() wrapper close to the old scalar
+        # loop's speed.  Selection only; the formulas below are shared.
+        uniform = not any(
+            isinstance(c, np.ndarray)
+            for c in (
+                max_part_col, partitions_col, threshold, codec_shuffle,
+                codec_tax, ser_factor, cores, executors,
+                layouts.memory_gb_per_executor, layouts.memory_gb_per_core,
+                layouts.offheap_positive,
+            )
+        )
+        if uniform:
+            ceil_, sqrt_ = math.ceil, math.sqrt
+            maximum_, minimum_ = lambda a, b: max(a, b), lambda a, b: min(a, b)
+            where_ = lambda c, a, b: a if c else b
+        else:
+            ceil_, sqrt_ = np.ceil, np.sqrt
+            maximum_, minimum_, where_ = np.maximum, np.minimum, np.where
+
+        max_part = maximum_(max_part_col, 1.0)
+        partitions = maximum_(1.0, partitions_col)
+
+        # Shuffle throughput, same op order as _shuffle_cost: base, optional
+        # off-heap division, codec multiply, CPU-tax division.
+        tp_base = p.shuffle_throughput_mb_s * 1e6
+        throughput = (
+            where_(layouts.offheap_positive, tp_base / p.offheap_shuffle_discount, tp_base)
+            * codec_shuffle
+            / codec_tax
+        )
+        cpu_rate_cores = (p.cpu_rows_per_s * ser_factor) * cores
+        scan_denom = p.scan_throughput_mb_s * 1e6
+        net_denom = p.network_throughput_mb_s * 1e6
+        shuffle_mem_budget = layouts.memory_gb_per_core * GIB * p.executor_memory_fraction
+        bc_mem_budget = (
+            layouts.memory_gb_per_executor * GIB * p.broadcast_memory_fraction
+        )
+        shuffle_waves = ceil_(maximum_(partitions, 1.0) / cores)
+        shuffle_sched = partitions * p.scheduling_overhead_s
+        straggler = 1.0 + p.skew_coefficient * sqrt_(
+            p.skew_reference_partitions / partitions
+        )
+
+        def shuffle(data_bytes):
+            """(read+write time, spill slowdown) for one exchange of data_bytes."""
+            write_s = data_bytes / (throughput * cores)
+            hot = (data_bytes / partitions) * straggler
+            overflow = hot / shuffle_mem_budget - 1.0
+            spill = where_(
+                hot > shuffle_mem_budget,
+                minimum_(p.spill_coefficient * overflow, 8.0),
+                0.0,
+            )
+            per_task_s = (hot / throughput) * (1.0 + spill) + p.task_overhead_s
+            total = write_s + shuffle_waves * per_task_s + shuffle_sched
+            return total, spill
+
+        def cpu(rows, factor):
+            return factor * rows / cpu_rate_cores
+
+        per_op: Dict[int, np.ndarray] = {}
+        metric_values: Dict[str, np.ndarray] = {}
+        metric_masks: Dict[str, np.ndarray] = {}
+        total = np.zeros(n)
+        if want_breakdown:
+            metric_values["tasks"] = np.zeros(n)
+            metric_masks["tasks"] = np.ones(n, dtype=bool)
+
+        def add_metric(key, value, mask=None):
+            if not want_breakdown:
+                return
+            if key not in metric_values:
+                metric_values[key] = np.zeros(n)
+                metric_masks[key] = np.zeros(n, dtype=bool)
+            if mask is None:
+                metric_values[key] = metric_values[key] + value
+                metric_masks[key] |= True
+            else:
+                metric_values[key] = metric_values[key] + np.where(mask, value, 0.0)
+                metric_masks[key] |= mask
+
+        def add_tasks(value):
+            if want_breakdown:
+                metric_values["tasks"] = metric_values["tasks"] + value
+
+        for i in range(arrays.n_ops):
+            op_type = arrays.op_types[i]
+            rows_in = arrays.rows_in[i]
+            row_bytes = arrays.row_bytes[i]
+            if op_type == OpType.TABLE_SCAN:
+                bytes_total = arrays.bytes_in[i]
+                n_parts = maximum_(1.0, ceil_(bytes_total / max_part))
+                per_task_s = (
+                    (bytes_total / n_parts) / scan_denom + p.task_overhead_s
+                )
+                cost = ceil_(maximum_(n_parts, 1.0) / cores) * per_task_s
+                cost = cost + n_parts * p.scheduling_overhead_s
+                add_tasks(n_parts)
+                add_metric("scan_bytes", bytes_total)
+            elif op_type == OpType.EXCHANGE:
+                cost, spill = shuffle(rows_in * row_bytes)
+                add_tasks(partitions)
+                add_metric("shuffle_bytes", rows_in * row_bytes)
+                add_metric("spilled", where_(spill > 0, 1.0, 0.0))
+            elif op_type == OpType.JOIN:
+                build_bytes = arrays.join_build_bytes[i]
+                probe_rows = arrays.join_probe_rows[i]
+                is_broadcast = build_bytes <= threshold
+                # Broadcast hash join (computed for every config, selected
+                # by mask — matches the scalar branch arithmetic exactly).
+                t_bc = (
+                    build_bytes * executors / net_denom
+                    + cpu(build_bytes / max(row_bytes, 1.0), 2.0)
+                    + cpu(probe_rows, 1.5)
+                )
+                pressure = build_bytes / bc_mem_budget
+                pressured = build_bytes > bc_mem_budget
+                t_bc = where_(
+                    pressured,
+                    t_bc * (1.0 + minimum_(pressure * pressure, 25.0)),
+                    t_bc,
+                )
+                # Sort-merge join.
+                shuffle_s, spill = shuffle(rows_in * row_bytes)
+                n_rows = max(rows_in, 2.0)
+                t_smj = (
+                    shuffle_s
+                    + cpu(n_rows * math.log2(n_rows) / 20.0, 1.0)
+                    + cpu(rows_in, 1.2)
+                )
+                cost = where_(is_broadcast, t_bc, t_smj)
+                if want_breakdown:
+                    is_broadcast = np.broadcast_to(is_broadcast, (n,))
+                    smj = ~is_broadcast
+                    add_tasks(np.where(smj, partitions, 0.0))
+                    add_metric(
+                        "broadcast_memory_pressure", pressure,
+                        is_broadcast & pressured,
+                    )
+                    add_metric("broadcast_joins", 1.0, is_broadcast)
+                    add_metric("shuffle_bytes", rows_in * row_bytes, smj)
+                    add_metric("spilled", where_(spill > 0, 1.0, 0.0), smj)
+                    add_metric("sort_merge_joins", 1.0, smj)
+            elif op_type == OpType.HASH_AGGREGATE:
+                shuffle_s, spill = shuffle((rows_in * 0.5) * row_bytes)
+                cost = shuffle_s + cpu(rows_in, 1.3)
+                add_tasks(partitions)
+                add_metric("shuffle_bytes", (rows_in * 0.5) * row_bytes)
+                add_metric("spilled", where_(spill > 0, 1.0, 0.0))
+            elif op_type in (OpType.SORT, OpType.WINDOW):
+                shuffle_s, spill = shuffle(rows_in * row_bytes)
+                n_rows = max(rows_in, 2.0)
+                factor = 1.5 if op_type == OpType.WINDOW else 1.0
+                cost = shuffle_s + cpu(n_rows * math.log2(n_rows) / 25.0, factor)
+                add_tasks(partitions)
+                add_metric("shuffle_bytes", rows_in * row_bytes)
+                add_metric("spilled", where_(spill > 0, 1.0, 0.0))
+            else:  # Filter, Project, Union, Limit — narrow transforms
+                cost = cpu(rows_in, 0.5)
+            if want_breakdown:
+                per_op[arrays.op_ids[i]] = np.broadcast_to(cost, (n,))
+            total = total + cost
+
+        total = total + p.fixed_query_overhead_s
+        return BatchCostBreakdown(
+            total_seconds=total,
+            per_operator=per_op,
+            metric_values=metric_values,
+            metric_masks=metric_masks,
+            input_bytes=arrays.total_input_bytes,
+            input_rows=arrays.total_leaf_cardinality,
+        )

@@ -8,11 +8,13 @@ cluster's listener would.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from .batch import ConfigColumns
 from .cluster import ExecutorLayout, Pool, default_pool
 from .cost_model import CostBreakdown, CostModel, CostParameters
 from .events import QueryEndEvent
@@ -58,6 +60,11 @@ class SparkSimulator:
         self.cost_model = CostModel(cost_params)
         self._rng = np.random.default_rng(seed)
         self.run_count = 0
+        # plan -> {data_scale: scaled copy}; weak keys so retired plans and
+        # their scaled copies are collectable.
+        self._scaled_cache: "weakref.WeakKeyDictionary[PhysicalPlan, Dict[float, PhysicalPlan]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def true_time(
         self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float = 1.0
@@ -65,10 +72,44 @@ class SparkSimulator:
         """Noiseless execution time — the quantity tuning tries to minimize."""
         return self._estimate(plan, config, data_scale).total_seconds
 
+    def true_time_batch(
+        self,
+        plan: PhysicalPlan,
+        configs,
+        *,
+        space=None,
+        data_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Noiseless execution times for N configurations at once.
+
+        ``configs`` may be config dicts, an ``(N, dim)`` internal-vector
+        array (then ``space`` is required), or a prebuilt
+        :class:`~repro.sparksim.batch.ConfigColumns`.  Element *i* is
+        bit-identical to ``true_time(plan, configs[i], data_scale)``.
+        """
+        scaled = self._scaled_plan(plan, data_scale)
+        return self.cost_model.estimate_batch(
+            scaled, configs, space=space, pool=self.pool
+        )
+
+    def _scaled_plan(self, plan: PhysicalPlan, data_scale: float) -> PhysicalPlan:
+        """Memoized ``plan.scaled(data_scale)`` (identity-keyed, weak refs)."""
+        if data_scale == 1.0:
+            return plan
+        per_scale = self._scaled_cache.get(plan)
+        if per_scale is None:
+            per_scale = {}
+            self._scaled_cache[plan] = per_scale
+        scaled = per_scale.get(data_scale)
+        if scaled is None:
+            scaled = plan.scaled(data_scale)
+            per_scale[data_scale] = scaled
+        return scaled
+
     def _estimate(
         self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float
     ) -> CostBreakdown:
-        scaled = plan.scaled(data_scale) if data_scale != 1.0 else plan
+        scaled = self._scaled_plan(plan, data_scale)
         layout = ExecutorLayout.from_config(config, self.pool)
         return self.cost_model.estimate(scaled, config, layout)
 
@@ -90,6 +131,49 @@ class SparkSimulator:
             metrics=dict(breakdown.metrics),
             plan_signature=plan.signature(),
         )
+
+    def run_batch(
+        self,
+        plan: PhysicalPlan,
+        configs,
+        *,
+        space=None,
+        data_scale: float = 1.0,
+    ) -> List[QueryRunResult]:
+        """Execute ``plan`` under N configurations, one noise draw per config.
+
+        Cost estimation is vectorized; noise is applied per result *in batch
+        order from the simulator's single RNG stream*, so the returned
+        ``elapsed_seconds`` sequence is bit-identical to N sequential
+        :meth:`run` calls on an identically-seeded simulator (the property
+        tests pin this).  ``run_count`` advances by N.
+        """
+        cols = ConfigColumns.coerce(configs, space)
+        scaled = self._scaled_plan(plan, data_scale)
+        batch = self.cost_model.estimate_batch(
+            scaled, cols, pool=self.pool, breakdown=True
+        )
+        data_size = max(plan.total_leaf_cardinality * data_scale, 1.0)
+        signature = plan.signature()
+        results: List[QueryRunResult] = []
+        for i in range(cols.n):
+            true_seconds = float(batch.total_seconds[i])
+            # NoiseModel.apply draws a variable number of RNG variates per
+            # call, so a per-element loop (not apply_many) is what keeps the
+            # noise stream aligned with sequential run() calls.
+            observed = float(self.noise.apply(true_seconds, self._rng))
+            self.run_count += 1
+            results.append(
+                QueryRunResult(
+                    elapsed_seconds=observed,
+                    true_seconds=true_seconds,
+                    data_size=data_size,
+                    config=cols.dict_at(i),
+                    metrics=batch.breakdown_at(i).metrics,
+                    plan_signature=signature,
+                )
+            )
+        return results
 
     def run_to_event(
         self,

@@ -112,6 +112,20 @@ class PhysicalPlan:
             raise ValueError(f"plan must have exactly one root, found {len(roots)}")
         self._graph = graph
         self._root_id = roots[0]
+        # Plans are immutable once constructed, so the topological order and
+        # signature are computed lazily and cached (both sit on hot paths of
+        # the batch-evaluation pipeline).
+        self._topo_ids: List[int] = []
+        self._signature = ""
+        self._leaf_ids: List[int] = [
+            n for n in graph.nodes if graph.in_degree(n) == 0
+        ]
+        self._total_leaf_cardinality = float(
+            sum(self._ops[n].est_rows_in for n in self._leaf_ids)
+        )
+        self._total_input_bytes = float(
+            sum(self._ops[n].bytes_in for n in self._leaf_ids)
+        )
 
     # -- accessors --------------------------------------------------------------
 
@@ -126,11 +140,13 @@ class PhysicalPlan:
     @property
     def operators(self) -> List[Operator]:
         """Operators in topological (execution) order."""
-        return [self._ops[i] for i in nx.topological_sort(self._graph)]
+        if not self._topo_ids:
+            self._topo_ids = list(nx.topological_sort(self._graph))
+        return [self._ops[i] for i in self._topo_ids]
 
     @property
     def leaves(self) -> List[Operator]:
-        return [self._ops[n] for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+        return [self._ops[n] for n in self._leaf_ids]
 
     def operator(self, op_id: int) -> Operator:
         return self._ops[op_id]
@@ -151,11 +167,11 @@ class PhysicalPlan:
     @property
     def total_leaf_cardinality(self) -> float:
         """Total input cardinality of all leaf node operators."""
-        return float(sum(op.est_rows_in for op in self.leaves))
+        return self._total_leaf_cardinality
 
     @property
     def total_input_bytes(self) -> float:
-        return float(sum(op.bytes_in for op in self.leaves))
+        return self._total_input_bytes
 
     def operator_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -174,6 +190,8 @@ class PhysicalPlan:
         share a signature (which is what groups observations for per-query
         tuning), while different queries with the same shape do not collide.
         """
+        if self._signature:
+            return self._signature
         shape = [
             (
                 op.op_id,
@@ -185,7 +203,8 @@ class PhysicalPlan:
             for op in sorted(self._ops.values(), key=lambda o: o.op_id)
         ]
         digest = hashlib.sha256(json.dumps(shape).encode()).hexdigest()
-        return digest[:16]
+        self._signature = digest[:16]
+        return self._signature
 
     def scaled(self, factor: float) -> "PhysicalPlan":
         """Return a copy with all cardinalities multiplied by ``factor``.

@@ -121,6 +121,76 @@ class TestKnobShapes:
                 < model.estimate(plan, config, starved).total_seconds)
 
 
+def self_join_plan(rows=5_000_000, row_bytes=100.0):
+    """A degenerate JOIN with a single input (self-join)."""
+    return PhysicalPlan([
+        Operator(op_id=0, op_type=OpType.TABLE_SCAN, est_rows_in=rows,
+                 est_rows_out=rows, row_bytes=row_bytes),
+        Operator(op_id=1, op_type=OpType.JOIN, est_rows_in=rows,
+                 est_rows_out=rows // 2, row_bytes=row_bytes, children=(0,)),
+    ])
+
+
+class TestJoinCostBranches:
+    def test_single_input_join_splits_the_input(self, model, layout):
+        # build = 20% of the input bytes, so a threshold straddling that
+        # boundary flips the strategy: just above it broadcasts, just below
+        # falls back to sort-merge.
+        plan = self_join_plan(rows=1_000_000)
+        build_bytes = 1_000_000 * 100.0 * 0.2
+        bhj = model.estimate(
+            plan, {"spark.sql.autoBroadcastJoinThreshold": build_bytes + 1.0},
+            layout,
+        )
+        smj = model.estimate(
+            plan, {"spark.sql.autoBroadcastJoinThreshold": build_bytes - 1.0},
+            layout,
+        )
+        assert bhj.metrics.get("broadcast_joins") == 1.0
+        assert "sort_merge_joins" not in bhj.metrics
+        assert smj.metrics.get("sort_merge_joins") == 1.0
+        assert "broadcast_joins" not in smj.metrics
+        assert bhj.total_seconds != smj.total_seconds
+
+    def test_single_input_join_finite_and_positive(self, model, layout):
+        for rows in (1, 2, 10, 1_000_000):
+            breakdown = model.estimate(plan := self_join_plan(rows=rows), {}, layout)
+            assert np.isfinite(breakdown.total_seconds)
+            assert breakdown.total_seconds > 0
+            assert set(breakdown.per_operator) == {op.op_id for op in plan.operators}
+
+    def test_broadcast_memory_pressure_metric_and_penalty(self, model, layout):
+        # Forcing a broadcast past the executor memory budget must surface
+        # the pressure metric and cost more than a comfortable broadcast.
+        comfortable = join_plan(build_rows=50_000)          # ~5 MB build side
+        oversized = join_plan(build_rows=80_000_000,        # ~8 GB build side
+                              probe_rows=200_000_000)
+        force = {"spark.sql.autoBroadcastJoinThreshold": float(2 << 40)}
+        ok = model.estimate(comfortable, force, layout)
+        pressured = model.estimate(oversized, force, layout)
+        assert "broadcast_memory_pressure" not in ok.metrics
+        assert pressured.metrics["broadcast_memory_pressure"] > 1.0
+        assert pressured.metrics.get("broadcast_joins") == 1.0
+
+    def test_memory_pressure_penalty_is_capped(self, model):
+        # The quadratic penalty saturates (min(pressure^2, 25)); past that
+        # point, shrinking memory further must not change the estimate at
+        # all — the join-heavy plan below saturates under both layouts.
+        plan = join_plan(build_rows=200_000_000, probe_rows=2_000_000_000)
+        force = {"spark.sql.autoBroadcastJoinThreshold": float(1 << 50)}
+
+        def run(memory_gb):
+            layout = ExecutorLayout(executors=2, cores_per_executor=2,
+                                    memory_gb_per_executor=memory_gb)
+            return model.estimate(plan, force, layout)
+
+        one_gb, two_gb = run(1.0), run(2.0)
+        assert one_gb.metrics["broadcast_memory_pressure"] > 5.0
+        assert two_gb.metrics["broadcast_memory_pressure"] > 5.0
+        assert np.isfinite(one_gb.total_seconds)
+        assert one_gb.total_seconds == two_gb.total_seconds
+
+
 class TestEstimates:
     def test_breakdown_covers_every_operator(self, model, layout, spark_space):
         plan = tpch_plan(3, 1.0)
