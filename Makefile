@@ -1,8 +1,8 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos telemetry bench bench-perf bench-telemetry all
+.PHONY: test chaos telemetry verify coverage bench bench-perf bench-telemetry all
 
-test:            ## fast tier-1 suite (chaos deselected)
+test:            ## fast tier-1 suite (chaos/verify deselected)
 	$(PYTEST) -x -q
 
 chaos:           ## fault-injection suite (docs/resilience.md)
@@ -10,6 +10,12 @@ chaos:           ## fault-injection suite (docs/resilience.md)
 
 telemetry:       ## observability-layer suite (docs/observability.md)
 	$(PYTEST) -m telemetry -q
+
+verify:          ## invariant + property + differential suites (docs/testing.md)
+	$(PYTEST) -m verify -q
+
+coverage:        ## line-coverage summary for src/repro (stdlib tracer; slow)
+	PYTHONPATH=src python tools/line_coverage.py $(COVERAGE_ARGS)
 
 bench:           ## pytest-benchmark harness
 	$(PYTEST) benchmarks/ --benchmark-only
@@ -20,4 +26,4 @@ bench-perf:      ## perf micro-benchmarks + regression guards -> BENCH_perf.json
 bench-telemetry: ## telemetry overhead bench -> telemetry section of BENCH_perf.json
 	$(PYTEST) benchmarks/bench_perf_telemetry.py -q
 
-all: test chaos telemetry
+all: test chaos telemetry verify

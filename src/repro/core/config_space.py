@@ -72,7 +72,10 @@ class Parameter:
 
     def to_natural(self, internal: float) -> float:
         """Map an internal-axis value back to natural units (clipped, rounded)."""
-        value = 10.0 ** internal if self.log_scale else float(internal)
+        # np.power, not `10.0 ** internal`: Python's pow (libm) and numpy's
+        # ufunc loop disagree by 1 ulp on some inputs, and the batch pipeline
+        # (to_natural_array) must stay bitwise-equal to this scalar path.
+        value = float(np.power(10.0, internal)) if self.log_scale else float(internal)
         value = min(max(value, self.low), self.high)
         if self.integer:
             value = float(round(value))
@@ -82,9 +85,10 @@ class Parameter:
     def to_natural_array(self, internal: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`to_natural`: element *i* matches it bitwise.
 
-        ``10.0 ** x`` and ``np.power`` share libm's pow, and both ``round``
-        and ``np.round`` round half to even, so the batch pipeline built on
-        this stays exactly equal to the scalar path (pinned by tests).
+        Both paths use numpy's pow ufunc (libm's ``pow`` differs from it by
+        1 ulp on some inputs), and both ``round`` and ``np.round`` round
+        half to even, so the batch pipeline built on this stays exactly
+        equal to the scalar path (pinned by tests).
         """
         internal = np.asarray(internal, dtype=float)
         value = np.power(10.0, internal) if self.log_scale else internal.astype(float)

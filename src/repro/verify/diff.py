@@ -1,0 +1,445 @@
+"""Differential oracles: one seeded workload, two redundant paths, diffed.
+
+The repo maintains four pairs of execution paths that must agree:
+
+==========================  ==============================================  =========
+pair                        contract                                        compare
+==========================  ==============================================  =========
+scalar vs. batch            ``SparkSimulator.run`` × N element-wise equals  bitwise
+                            one ``run_batch`` (noise stream included)
+serial vs. parallel         ``run_replicated_parallel`` is worker-count     bitwise
+                            invariant (derived seeds, forked workers)
+refit vs. incremental       ``GaussianProcessRegressor.update`` tracks a    atol
+                            frozen-hyper full ``fit`` (rank-1 Cholesky
+                            vs. O(n³) factorization — numerically equal,
+                            not bit-equal)
+live vs. replay             a JSONL-stored trace replays to the live        bitwise
+                            observation history and guardrail verdicts,
+                            through reordered/duplicated deliveries
+==========================  ==============================================  =========
+
+Each driver runs both paths from the same seed, flattens them into *trails*
+(one dict of comparable fields per step), and returns a :class:`DiffReport`
+naming the first divergent step/field.  Where telemetry counters are part of
+the contract the driver captures both sides' counter maps and diffs those
+too, excluding namespaces that legitimately differ between modes (e.g.
+``parallel.*`` counters carry a ``mode`` label).
+
+``run_all`` sweeps all four drivers — the one command every future PR can
+run to show "the paths still agree".
+"""
+
+from __future__ import annotations
+
+import tempfile
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..core.centroid import CentroidLearning
+from ..core.guardrail import Guardrail
+from ..core.observation import Observation
+from ..experiments.parallel import run_replicated_parallel
+from ..ml.gp import GaussianProcessRegressor
+from ..ml.kernels import Matern52Kernel
+from ..service.replay import audit_guardrail, replay_artifact
+from ..service.storage import StorageManager
+from ..sparksim.configs import query_level_space
+from ..sparksim.executor import SparkSimulator
+from ..sparksim.noise import low_noise
+from ..workloads.synthetic import default_synthetic_objective
+from ..workloads.tpch import tpch_plan
+
+__all__ = [
+    "DiffReport",
+    "Divergence",
+    "diff_live_replay",
+    "diff_refit_incremental",
+    "diff_scalar_batch",
+    "diff_serial_parallel",
+    "diff_trails",
+    "run_all",
+]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first step/field where two trails disagree."""
+
+    step: int
+    field: str
+    lhs: object
+    rhs: object
+
+    def __str__(self) -> str:
+        return f"step {self.step}: {self.field}: {self.lhs!r} != {self.rhs!r}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential-oracle run."""
+
+    name: str
+    steps_compared: int
+    tolerance: float = 0.0
+    divergence: Optional[Divergence] = None
+    length_mismatch: Optional[Tuple[int, int]] = None
+    counter_diffs: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        return (
+            self.divergence is None
+            and self.length_mismatch is None
+            and not self.counter_diffs
+        )
+
+    def summary(self) -> str:
+        if self.equivalent:
+            return (
+                f"{self.name}: equivalent over {self.steps_compared} steps"
+                + (f" (atol={self.tolerance:g})" if self.tolerance else "")
+            )
+        parts = [f"{self.name}: NOT equivalent"]
+        if self.length_mismatch is not None:
+            parts.append(f"trail lengths {self.length_mismatch[0]} != {self.length_mismatch[1]}")
+        if self.divergence is not None:
+            parts.append(str(self.divergence))
+        if self.counter_diffs:
+            parts.append(f"{len(self.counter_diffs)} counter(s) diverge: "
+                         + ", ".join(sorted(self.counter_diffs)))
+        return "; ".join(parts)
+
+
+def _values_equal(a, b, tolerance: float) -> bool:
+    """Field-level comparison: exact by default, atol for float payloads."""
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        if set(a) != set(b):
+            return False
+        return all(_values_equal(a[k], b[k], tolerance) for k in a)
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        if a.shape != b.shape:
+            return False
+        if tolerance:
+            return bool(np.allclose(a, b, rtol=0.0, atol=tolerance, equal_nan=True))
+        return bool(np.array_equal(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if np.isnan(a) and np.isnan(b):
+            return True
+        if tolerance:
+            return abs(a - b) <= tolerance
+        return a == b
+    return a == b
+
+
+def diff_trails(
+    name: str,
+    trail_a: Sequence[Mapping[str, object]],
+    trail_b: Sequence[Mapping[str, object]],
+    tolerance: float = 0.0,
+    counters_a: Optional[Mapping[str, float]] = None,
+    counters_b: Optional[Mapping[str, float]] = None,
+    ignore_counter_prefixes: Sequence[str] = (),
+) -> DiffReport:
+    """Diff two per-step trails (and optionally two counter maps).
+
+    Steps are compared field-by-field in sorted field order; the first
+    mismatch is recorded as the report's :class:`Divergence`.  A length
+    mismatch is reported alongside whatever common prefix compared clean.
+    """
+    report = DiffReport(
+        name=name,
+        steps_compared=min(len(trail_a), len(trail_b)),
+        tolerance=tolerance,
+    )
+    if len(trail_a) != len(trail_b):
+        report.length_mismatch = (len(trail_a), len(trail_b))
+    for step, (sa, sb) in enumerate(zip(trail_a, trail_b)):
+        for fname in sorted(set(sa) | set(sb)):
+            if fname not in sa or fname not in sb:
+                report.divergence = Divergence(
+                    step, fname, sa.get(fname, "<missing>"), sb.get(fname, "<missing>")
+                )
+                break
+            if not _values_equal(sa[fname], sb[fname], tolerance):
+                report.divergence = Divergence(step, fname, sa[fname], sb[fname])
+                break
+        if report.divergence is not None:
+            break
+    if counters_a is not None or counters_b is not None:
+        counters_a = dict(counters_a or {})
+        counters_b = dict(counters_b or {})
+        for key in sorted(set(counters_a) | set(counters_b)):
+            if any(key.startswith(prefix) for prefix in ignore_counter_prefixes):
+                continue
+            va, vb = counters_a.get(key, 0.0), counters_b.get(key, 0.0)
+            if va != vb:
+                report.counter_diffs[key] = (va, vb)
+    telemetry.counter(
+        "verify.diffs",
+        driver=name,
+        outcome="equivalent" if report.equivalent else "divergent",
+    ).inc()
+    return report
+
+
+# -- driver 1: scalar vs. batch -----------------------------------------------------
+
+
+def diff_scalar_batch(
+    plan=None,
+    space=None,
+    n_configs: int = 32,
+    seed: int = 0,
+    data_scale: float = 1.0,
+    noise=None,
+) -> DiffReport:
+    """N sequential ``run()`` calls vs. one ``run_batch`` — bitwise.
+
+    Two identically-seeded simulators consume the same sampled configs; the
+    batch side must reproduce observed/true seconds, configs, and metrics
+    element-for-element (the noise stream advances per element, in batch
+    order).  Counter trails are compared minus ``sparksim.*`` (batch-path
+    cache counters differ by design).
+    """
+    plan = plan if plan is not None else tpch_plan(3)
+    space = space if space is not None else query_level_space()
+    noise = noise if noise is not None else low_noise()
+    vectors = space.sample_vectors(n_configs, np.random.default_rng(seed))
+
+    sim_scalar = SparkSimulator(noise=noise, seed=seed)
+    sim_batch = SparkSimulator(noise=noise, seed=seed)
+    with telemetry.capture() as cap_scalar:
+        scalar_results = [
+            sim_scalar.run(plan, space.to_dict(v), data_scale=data_scale)
+            for v in vectors
+        ]
+    with telemetry.capture() as cap_batch:
+        batch_results = sim_batch.run_batch(
+            plan, vectors, space=space, data_scale=data_scale
+        )
+
+    def trail(results):
+        return [
+            {
+                "observed_seconds": r.elapsed_seconds,
+                "true_seconds": r.true_seconds,
+                "data_size": r.data_size,
+                "config": r.config,
+                "metrics": r.metrics,
+                "plan_signature": r.plan_signature,
+            }
+            for r in results
+        ]
+
+    return diff_trails(
+        "scalar_vs_batch",
+        trail(scalar_results),
+        trail(batch_results),
+        counters_a=cap_scalar.counters(),
+        counters_b=cap_batch.counters(),
+        ignore_counter_prefixes=("sparksim.",),
+    )
+
+
+# -- driver 2: serial vs. parallel --------------------------------------------------
+
+
+def diff_serial_parallel(
+    seed: int = 0,
+    n_runs: int = 8,
+    n_iterations: int = 12,
+    n_workers: int = 2,
+) -> DiffReport:
+    """``run_replicated_parallel`` with 1 worker vs. ``n_workers`` — bitwise.
+
+    Each replicate derives its RNG from ``seed*10007 + i`` and owns a fresh
+    optimizer, so the runs matrix must be identical regardless of worker
+    count.  Counter trails are compared minus ``parallel.*`` (those carry a
+    ``mode`` label by design).  If the pool degrades to serial (e.g. no
+    ``fork``), the comparison still holds — that fallback path is exactly
+    what the bit-equality contract promises.
+    """
+    objective = default_synthetic_objective(seed=11)
+
+    def factory(i: int) -> CentroidLearning:
+        return CentroidLearning(objective.space, window_size=6, seed=1000 + i)
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with telemetry.capture() as cap_serial:
+            serial_runs, _ = run_replicated_parallel(
+                factory, objective, n_iterations, n_runs, seed=seed, n_workers=1
+            )
+        with telemetry.capture() as cap_parallel:
+            parallel_runs, _ = run_replicated_parallel(
+                factory, objective, n_iterations, n_runs, seed=seed,
+                n_workers=n_workers,
+            )
+
+    def trail(runs: np.ndarray):
+        return [{"true_values": runs[i]} for i in range(runs.shape[0])]
+
+    return diff_trails(
+        "serial_vs_parallel",
+        trail(serial_runs),
+        trail(parallel_runs),
+        counters_a=cap_serial.counters(),
+        counters_b=cap_parallel.counters(),
+        ignore_counter_prefixes=("parallel.",),
+    )
+
+
+# -- driver 3: full refit vs. incremental update ------------------------------------
+
+
+def diff_refit_incremental(
+    seed: int = 0,
+    n_points: int = 40,
+    n_init: int = 8,
+    dim: int = 3,
+    n_probes: int = 16,
+    tolerance: float = 1e-7,
+) -> DiffReport:
+    """Rank-1 ``update`` vs. full ``fit`` after every appended point.
+
+    Hyperparameters and normalization are frozen (``normalize_y=False``,
+    ``optimize_hypers=False``) so both paths solve the same linear system;
+    the rank-1 Cholesky append is numerically — not bitwise — equal to the
+    full factorization, hence the atol.  Counters are not compared: the two
+    paths increment ``gp.fits`` vs. ``gp.updates`` by design.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0, 1.0, size=(n_points, dim))
+    w = rng.normal(size=dim)
+    y = np.sin(X @ w) + 0.1 * np.sum(X * X, axis=1)
+    probes = rng.uniform(-1.0, 1.0, size=(n_probes, dim))
+
+    def fresh_gp() -> GaussianProcessRegressor:
+        return GaussianProcessRegressor(
+            kernel=Matern52Kernel(),
+            noise=1e-4,
+            normalize_y=False,
+            optimize_hypers=False,
+        )
+
+    incremental = fresh_gp().fit(X[:n_init], y[:n_init])
+    trail_inc, trail_ref = [], []
+    for m in range(n_init, n_points):
+        incremental.update(X[m:m + 1], float(y[m]))
+        mean, std = incremental.predict_with_std(probes)
+        trail_inc.append({"n": m + 1, "mean": mean, "std": std})
+        reference = fresh_gp().fit(X[:m + 1], y[:m + 1])
+        mean_r, std_r = reference.predict_with_std(probes)
+        trail_ref.append({"n": m + 1, "mean": mean_r, "std": std_r})
+    return diff_trails(
+        "refit_vs_incremental", trail_inc, trail_ref, tolerance=tolerance
+    )
+
+
+# -- driver 4: live session vs. JSONL-trace replay ----------------------------------
+
+
+def diff_live_replay(
+    seed: int = 0,
+    n_iterations: int = 40,
+    cooldown: int = 5,
+) -> DiffReport:
+    """A live tuning loop vs. its trajectory replayed from stored events.
+
+    The live loop emits sequenced ``QueryEndEvent``s into a file-backed
+    :class:`StorageManager` — deliberately reversed, split across batches,
+    and with a duplicated prefix — and ``replay_artifact`` must canonicalize
+    that back to the exact live history.  The guardrail is then re-run over
+    the replayed trajectory (``audit_guardrail``) and its full decision
+    trail must match the live guardrail's, verdict for verdict.
+    """
+    plan = tpch_plan(6)
+    space = query_level_space()
+
+    def make_guardrail() -> Guardrail:
+        return Guardrail(min_iterations=10, patience=2, cooldown=cooldown)
+
+    simulator = SparkSimulator(noise=low_noise(), seed=seed)
+    optimizer = CentroidLearning(
+        space, window_size=8, seed=seed, guardrail=make_guardrail()
+    )
+    estimated = max(plan.total_leaf_cardinality, 1.0)
+    events = []
+    for t in range(n_iterations):
+        vector = optimizer.suggest(data_size=estimated)
+        config = space.to_dict(vector)
+        event = simulator.run_to_event(
+            plan, config,
+            app_id="app-000", artifact_id="artifact-000", user_id="user-0",
+            iteration=t,
+        )
+        event = replace(event, sequence=t)
+        events.append(event)
+        optimizer.observe(Observation(
+            config=vector,
+            data_size=event.data_size,
+            performance=event.duration_seconds,
+            iteration=t,
+        ))
+
+    with tempfile.TemporaryDirectory() as root:
+        storage = StorageManager(root)
+        # Adversarial delivery: reversed order, two batches, duplicated
+        # prefix — replay must canonicalize all of it away.
+        shuffled = list(reversed(events))
+        half = len(shuffled) // 2
+        storage.append_events("app-000", "artifact-000", shuffled[:half])
+        storage.append_events("app-000", "artifact-000", shuffled[half:])
+        storage.append_events("app-000", "artifact-000", events[:3])
+        trajectories = replay_artifact(storage, "artifact-000")
+    trajectory = trajectories[plan.signature()]
+    audit = audit_guardrail(trajectory, space, guardrail_factory=make_guardrail)
+
+    live_trail = [
+        {
+            "iteration": obs.iteration,
+            "duration_seconds": obs.performance,
+            "data_size": obs.data_size,
+            "config": event.config,
+        }
+        for obs, event in zip(optimizer.observations.history, events)
+    ]
+    replay_trail = [
+        {
+            "iteration": e.iteration,
+            "duration_seconds": e.duration_seconds,
+            "data_size": e.data_size,
+            "config": e.config,
+        }
+        for e in trajectory.events
+    ]
+    live_decisions = optimizer.guardrail.decisions
+    for decisions, trail in (
+        (live_decisions, live_trail), (audit.decisions, replay_trail)
+    ):
+        trail.extend(
+            {
+                "decision_iteration": d.iteration,
+                "predicted_next": d.predicted_next,
+                "previous": d.previous,
+                "violated": d.violated,
+            }
+            for d in decisions
+        )
+    return diff_trails("live_vs_replay", live_trail, replay_trail)
+
+
+def run_all(seed: int = 0) -> Dict[str, DiffReport]:
+    """Run every differential driver; keys are the report names."""
+    reports: List[DiffReport] = [
+        diff_scalar_batch(seed=seed),
+        diff_serial_parallel(seed=seed),
+        diff_refit_incremental(seed=seed),
+        diff_live_replay(seed=seed),
+    ]
+    return {report.name: report for report in reports}

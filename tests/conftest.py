@@ -1,22 +1,40 @@
 """Shared fixtures for the test suite.
 
-Chaos-marked tests (the fault-injection suite) are deselected from default
-runs to keep tier-1 fast; run them with ``pytest -m chaos`` (or
-``make chaos``).
+Opt-in suites (``chaos``, ``verify``) are deselected from default runs to
+keep tier-1 fast; run them with ``pytest -m chaos`` / ``pytest -m verify``
+(or ``make chaos`` / ``make verify``).  The ``telemetry`` marker is
+deliberately *not* deselected: telemetry tests run in tier-1, the marker
+only exists to focus them (``pytest -m telemetry``) — the full tier map is
+in ``docs/testing.md``.
 """
+
+import re
 
 import numpy as np
 import pytest
 
+# Markers whose tests are opt-in: skipped unless the marker appears (as a
+# whole word) in the -m expression, so both `-m verify` and `-m "not
+# verify"` address the suite explicitly while unrelated markers that merely
+# contain the word (e.g. a hypothetical `chaos_storm`) do not.
+_OPT_IN_MARKERS = ("chaos", "verify")
+
 
 def pytest_collection_modifyitems(config, items):
     markexpr = config.getoption("-m", default="") or ""
-    if "chaos" in markexpr:
-        return  # the user asked for (or excluded) chaos explicitly
-    skip_chaos = pytest.mark.skip(reason="chaos suite: run with `pytest -m chaos`")
-    for item in items:
-        if "chaos" in item.keywords:
-            item.add_marker(skip_chaos)
+    for marker in _OPT_IN_MARKERS:
+        if re.search(rf"\b{marker}\b", markexpr):
+            continue  # the user asked for (or excluded) this suite explicitly
+        skip = pytest.mark.skip(
+            reason=f"{marker} suite: run with `pytest -m {marker}`"
+        )
+        for item in items:
+            # get_closest_marker, not `marker in item.keywords`: keywords
+            # also contain parent node names, so a tests/verify/ directory
+            # or a test_chaos_* function would otherwise be skipped even
+            # without the marker.
+            if item.get_closest_marker(marker) is not None:
+                item.add_marker(skip)
 
 from repro.core.config_space import ConfigSpace, Parameter
 from repro.sparksim.configs import query_level_space

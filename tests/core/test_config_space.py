@@ -145,6 +145,47 @@ class TestConfiguration:
         assert small_space.contains_vector(c.vector)
 
 
+class TestToNaturalMatrix:
+    def test_rows_match_to_dict_bitwise(self, small_space, rng):
+        vectors = small_space.sample_vectors(50, rng)
+        matrix = small_space.to_natural_matrix(vectors)
+        for i, vec in enumerate(vectors):
+            expected = [small_space.to_dict(vec)[name] for name in small_space.names]
+            assert matrix[i].tolist() == expected  # bitwise, not approx
+
+    def test_integer_column_is_exact_integers(self, small_space, rng):
+        vectors = small_space.sample_vectors(50, rng)
+        matrix = small_space.to_natural_matrix(vectors)
+        count_col = matrix[:, small_space.index_of("count")]
+        assert np.array_equal(count_col, np.round(count_col))
+        assert np.all((count_col >= 1) & (count_col <= 64))
+
+    def test_round_trip_integer_and_log_knobs(self, small_space, rng):
+        vectors = small_space.sample_vectors(50, rng)
+        matrix = small_space.to_natural_matrix(vectors)
+        back = np.column_stack([
+            [p.to_internal(matrix[i, j]) for i in range(len(matrix))]
+            for j, p in enumerate(small_space)
+        ])
+        again = small_space.to_natural_matrix(back)
+        # Integer knob: natural values are whole numbers, so the second
+        # pass must reproduce them exactly.
+        j_int = small_space.index_of("count")
+        assert np.array_equal(again[:, j_int], matrix[:, j_int])
+        # Log knob: 10**log10(x) drifts by ~1 ulp, nothing more.
+        j_log = small_space.index_of("logscale")
+        assert np.allclose(again[:, j_log], matrix[:, j_log], rtol=1e-12, atol=0)
+        # Linear knob: to_internal is the identity inside the bounds.
+        j_lin = small_space.index_of("linear")
+        assert np.array_equal(again[:, j_lin], matrix[:, j_lin])
+
+    def test_shape_validation(self, small_space):
+        with pytest.raises(ValueError, match="shape"):
+            small_space.to_natural_matrix(np.zeros((4, 7)))
+        with pytest.raises(ValueError, match="shape"):
+            small_space.to_natural_matrix(np.zeros(3))
+
+
 @given(
     value=st.floats(min_value=1.0, max_value=10000.0,
                     allow_nan=False, allow_infinity=False)

@@ -1,0 +1,105 @@
+"""FaultySimulator.run_batch ordering guarantee.
+
+The injector consults exactly one LATENCY_SPIKE opportunity per result, in
+batch order — so a batch of N sees the same fault schedule as N sequential
+``run()`` calls (fault-stream equivalence), and explicit ``at=`` indices hit
+the expected batch elements.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultySimulator
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import no_noise
+from repro.workloads.tpch import tpch_plan
+
+MAGNITUDE = 5.0
+
+
+def spiky_plan():
+    return FaultPlan(
+        [FaultSpec(kind=FaultKind.LATENCY_SPIKE, at=(1, 3), magnitude=MAGNITUDE)],
+        seed=0,
+    )
+
+
+@pytest.fixture
+def space():
+    return query_level_space()
+
+
+@pytest.fixture
+def vectors(space):
+    return space.sample_vectors(5, np.random.default_rng(42))
+
+
+def test_run_batch_one_opportunity_per_result_in_order(q3_plan, space, vectors):
+    fault_plan = spiky_plan()
+    sim = FaultySimulator(SparkSimulator(noise=no_noise(), seed=0), fault_plan)
+    results = sim.run_batch(q3_plan, vectors, space=space)
+
+    assert fault_plan.opportunities(FaultKind.LATENCY_SPIKE) == len(vectors)
+    assert [(f.kind, f.index) for f in fault_plan.log] == [
+        (FaultKind.LATENCY_SPIKE, 1), (FaultKind.LATENCY_SPIKE, 3),
+    ]
+    for i, result in enumerate(results):
+        if i in (1, 3):
+            assert result.elapsed_seconds == result.true_seconds * MAGNITUDE
+        else:
+            assert result.elapsed_seconds == result.true_seconds
+
+
+def test_run_batch_matches_sequential_runs(q3_plan, space, vectors):
+    batch_sim = FaultySimulator(
+        SparkSimulator(noise=no_noise(), seed=0), spiky_plan()
+    )
+    batch = batch_sim.run_batch(q3_plan, vectors, space=space)
+
+    scalar_sim = FaultySimulator(
+        SparkSimulator(noise=no_noise(), seed=0), spiky_plan()
+    )
+    sequential = [scalar_sim.run(q3_plan, space.to_dict(v)) for v in vectors]
+
+    assert [r.elapsed_seconds for r in batch] == [
+        r.elapsed_seconds for r in sequential
+    ]
+    assert [r.true_seconds for r in batch] == [
+        r.true_seconds for r in sequential
+    ]
+    assert batch_sim.plan.log == scalar_sim.plan.log
+
+
+def test_true_times_never_spiked(q3_plan, space, vectors):
+    fault_plan = FaultPlan(
+        [FaultSpec(kind=FaultKind.LATENCY_SPIKE, rate=1.0, magnitude=MAGNITUDE)],
+        seed=0,
+    )
+    sim = FaultySimulator(SparkSimulator(noise=no_noise(), seed=0), fault_plan)
+    spiked = sim.run_batch(q3_plan, vectors, space=space)
+    clean = SparkSimulator(noise=no_noise(), seed=0).run_batch(
+        q3_plan, vectors, space=space
+    )
+    for s, c in zip(spiked, clean):
+        assert s.true_seconds == c.true_seconds
+        assert s.elapsed_seconds == c.elapsed_seconds * MAGNITUDE
+    batch_true = sim.true_time_batch(q3_plan, vectors, space=space)
+    assert np.array_equal(batch_true, [c.true_seconds for c in clean])
+
+
+def test_run_to_event_consults_the_same_stream(q3_plan, space):
+    fault_plan = spiky_plan()
+    sim = FaultySimulator(SparkSimulator(noise=no_noise(), seed=0), fault_plan)
+    config = space.default_dict()
+    events = [
+        sim.run_to_event(
+            q3_plan, config, app_id="a", artifact_id="b", user_id="u",
+            iteration=i,
+        )
+        for i in range(4)
+    ]
+    baseline = events[0].duration_seconds
+    assert events[1].duration_seconds == baseline * MAGNITUDE
+    assert events[3].duration_seconds == baseline * MAGNITUDE
+    assert events[2].duration_seconds == baseline

@@ -286,3 +286,41 @@ def test_combined_fault_storm(seed, tmp_path):
     assert run.plan.fired() > 5
     rerun_sequences = sorted(run.stored_sequences())
     assert rerun_sequences == sorted(set(rerun_sequences))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_invariant_registry_sweeps_clean_under_faults(seed):
+    """The chaos suite exercises the verify hook: a session driven by a
+    latency-spiking FaultySimulator must keep every state invariant intact
+    (spiked observations are bad *data*, never broken *state*)."""
+    from repro.core.centroid import CentroidLearning
+    from repro.core.guardrail import Guardrail
+    from repro.core.session import TuningSession
+    from repro.verify import default_registry
+
+    fault_plan = FaultPlan(
+        [FaultSpec(kind=FaultKind.LATENCY_SPIKE, rate=0.25, magnitude=4.0)],
+        seed=seed,
+    )
+    space = query_level_space()
+    registry = default_registry()
+    session = TuningSession(
+        plan=tpch_plan(3, 1.0),
+        simulator=FaultySimulator(
+            SparkSimulator(noise=low_noise(), seed=seed), fault_plan
+        ),
+        optimizer=CentroidLearning(
+            space, window_size=8, seed=seed,
+            guardrail=Guardrail(min_iterations=10, patience=2, cooldown=4),
+        ),
+        verify=registry,  # raises InvariantViolation on any broken invariant
+    )
+    session.run(30)
+    assert fault_plan.fired(FaultKind.LATENCY_SPIKE) > 0
+    checked = {
+        r.invariant
+        for r in registry.check_session(session, raise_on_violation=False)
+        if r.checked and r.violation is None
+    }
+    assert {"centroid_in_bounds", "guardrail_cooldown",
+            "window_statistics", "noise_stream"} <= checked

@@ -19,7 +19,7 @@ def test_all_names_resolve():
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.ml", "repro.optimizers", "repro.sparksim",
     "repro.workloads", "repro.embedding", "repro.offline", "repro.service",
-    "repro.experiments",
+    "repro.experiments", "repro.verify",
 ])
 def test_subpackage_all_names_resolve(module):
     mod = importlib.import_module(module)

@@ -1,0 +1,86 @@
+"""Differential-oracle drivers (verify suite: ``pytest -m verify``).
+
+Includes the deliberate-bug acceptance test: an off-by-one injected into the
+vectorized cost kernel must be caught by ``diff_scalar_batch`` at step 0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparksim.cost_model import CostModel
+from repro.verify import run_all
+from repro.verify.diff import (
+    diff_live_replay,
+    diff_refit_incremental,
+    diff_scalar_batch,
+    diff_serial_parallel,
+)
+
+pytestmark = pytest.mark.verify
+
+
+class TestAllPathsAgree:
+    def test_run_all_is_equivalent(self):
+        reports = run_all(seed=0)
+        assert set(reports) == {
+            "scalar_vs_batch", "serial_vs_parallel",
+            "refit_vs_incremental", "live_vs_replay",
+        }
+        for report in reports.values():
+            assert report.equivalent, report.summary()
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_scalar_batch_bitwise_across_seeds(self, seed):
+        report = diff_scalar_batch(n_configs=16, seed=seed)
+        assert report.equivalent, report.summary()
+        assert report.tolerance == 0.0
+
+    def test_serial_parallel_bitwise(self):
+        report = diff_serial_parallel(seed=1, n_runs=4, n_iterations=8)
+        assert report.equivalent, report.summary()
+
+    def test_refit_incremental_within_atol(self):
+        report = diff_refit_incremental(seed=1, n_points=24, n_init=6)
+        assert report.equivalent, report.summary()
+        assert report.tolerance == 1e-7
+
+    def test_live_replay_bitwise(self):
+        report = diff_live_replay(seed=1, n_iterations=24, cooldown=4)
+        assert report.equivalent, report.summary()
+
+
+class TestDeliberateBugIsCaught:
+    def test_off_by_one_in_batch_kernel_diverges_at_step_zero(self, monkeypatch):
+        original = CostModel.estimate_batch
+
+        def off_by_one(self, plan, configs, layout=None, *, space=None,
+                       pool=None, data_scale=1.0, breakdown=False):
+            out = original(self, plan, configs, layout, space=space,
+                           pool=pool, data_scale=data_scale, breakdown=breakdown)
+            totals = out.total_seconds if breakdown else out
+            if len(totals) > 1:  # scalar path wraps 1-row batches: unaffected
+                totals[:] = np.roll(totals, 1)
+            return out
+
+        monkeypatch.setattr(CostModel, "estimate_batch", off_by_one)
+        report = diff_scalar_batch(n_configs=16, seed=3)
+        assert not report.equivalent
+        assert report.divergence is not None
+        assert report.divergence.step == 0
+        assert report.divergence.field in {"observed_seconds", "true_seconds"}
+        assert "NOT equivalent" in report.summary()
+
+    def test_shrunken_batch_reports_length_mismatch(self, monkeypatch):
+        from repro.sparksim.executor import SparkSimulator
+
+        original_rb = SparkSimulator.run_batch
+
+        def truncating(self, plan, configs, *, space=None, data_scale=1.0):
+            return original_rb(
+                self, plan, configs, space=space, data_scale=data_scale
+            )[:-1]
+
+        monkeypatch.setattr(SparkSimulator, "run_batch", truncating)
+        report = diff_scalar_batch(n_configs=8, seed=0)
+        assert not report.equivalent
+        assert report.length_mismatch == (8, 7)

@@ -1,0 +1,94 @@
+"""Tier-1 unit tests for the trail-diff engine (no workloads involved)."""
+
+import numpy as np
+
+from repro.verify import DiffReport, Divergence, diff_trails
+
+
+def test_identical_trails_are_equivalent():
+    trail = [{"a": 1.0, "b": np.array([1.0, 2.0])}, {"a": 2.0, "b": np.array([3.0, 4.0])}]
+    report = diff_trails("t", trail, [dict(s) for s in trail])
+    assert report.equivalent
+    assert report.steps_compared == 2
+    assert "equivalent over 2 steps" in report.summary()
+
+
+def test_first_divergent_step_and_field_reported():
+    a = [{"x": 1.0, "y": 1.0}, {"x": 2.0, "y": 9.0}, {"x": 0.0, "y": 0.0}]
+    b = [{"x": 1.0, "y": 1.0}, {"x": 2.0, "y": 3.0}, {"x": 5.0, "y": 0.0}]
+    report = diff_trails("t", a, b)
+    assert not report.equivalent
+    assert report.divergence == Divergence(1, "y", 9.0, 3.0)
+    assert "step 1" in report.summary()
+
+
+def test_missing_field_is_a_divergence():
+    report = diff_trails("t", [{"x": 1.0}], [{"x": 1.0, "extra": 2.0}])
+    assert report.divergence is not None
+    assert report.divergence.field == "extra"
+
+
+def test_length_mismatch_reported_with_clean_prefix():
+    a = [{"x": 1.0}, {"x": 2.0}]
+    report = diff_trails("t", a, a[:1])
+    assert not report.equivalent
+    assert report.length_mismatch == (2, 1)
+    assert report.divergence is None  # the common prefix agreed
+    assert report.steps_compared == 1
+
+
+def test_tolerance_applies_to_floats_and_arrays():
+    a = [{"x": 1.0, "v": np.array([1.0, 2.0])}]
+    b = [{"x": 1.0 + 5e-8, "v": np.array([1.0, 2.0 + 5e-8])}]
+    assert not diff_trails("t", a, b).equivalent
+    assert diff_trails("t", a, b, tolerance=1e-7).equivalent
+
+
+def test_nan_equals_nan():
+    a = [{"x": float("nan")}]
+    b = [{"x": float("nan")}]
+    assert diff_trails("t", a, b).equivalent
+
+
+def test_nested_mappings_compared_recursively():
+    a = [{"config": {"k1": 1.0, "k2": 2.0}}]
+    b = [{"config": {"k1": 1.0, "k2": 2.5}}]
+    report = diff_trails("t", a, b)
+    assert report.divergence is not None
+    assert report.divergence.field == "config"
+
+
+def test_array_shape_mismatch_is_a_divergence():
+    a = [{"v": np.zeros(3)}]
+    b = [{"v": np.zeros(4)}]
+    assert not diff_trails("t", a, b, tolerance=1.0).equivalent
+
+
+def test_counter_diffs_respect_ignore_prefixes():
+    trail = [{"x": 1.0}]
+    report = diff_trails(
+        "t", trail, trail,
+        counters_a={"gp.fits": 3, "parallel.tasks{mode=fork}": 8, "shared": 1},
+        counters_b={"gp.fits": 5, "parallel.tasks{mode=serial}": 8, "shared": 1},
+        ignore_counter_prefixes=("parallel.",),
+    )
+    assert not report.equivalent
+    assert report.counter_diffs == {
+        "gp.fits": (3.0, 5.0),
+        # both parallel.* keys ignored; the asymmetric key pair would
+        # otherwise show up as two (0 vs 8) diffs
+    }
+
+
+def test_missing_counter_defaults_to_zero():
+    report = diff_trails(
+        "t", [{"x": 1.0}], [{"x": 1.0}],
+        counters_a={"only.left": 2},
+        counters_b={},
+    )
+    assert report.counter_diffs == {"only.left": (2.0, 0.0)}
+
+
+def test_empty_report_summary_mentions_divergence_count():
+    report = DiffReport(name="t", steps_compared=0)
+    assert report.equivalent

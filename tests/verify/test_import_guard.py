@@ -1,0 +1,72 @@
+"""Tier-1 guard: ``import repro.verify`` must stay dependency-free.
+
+The registry and the differential oracles are meant to run inline in
+production sessions, where hypothesis (a test extra) may not be installed.
+This test imports the package in a subprocess with hypothesis *blocked* at
+the import system, proving the split holds; only
+:mod:`repro.verify.properties` (loaded by the verify-marked suite) may
+import it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+PROBE = """
+import sys
+
+
+class HypothesisBlocker:
+    def find_spec(self, name, path=None, target=None):
+        if name == "hypothesis" or name.startswith("hypothesis."):
+            raise ImportError("hypothesis is blocked in this probe")
+        return None
+
+
+sys.meta_path.insert(0, HypothesisBlocker())
+
+import repro.verify
+from repro.verify import InvariantRegistry, default_registry, diff, run_all
+
+assert "hypothesis" not in sys.modules, "repro.verify pulled in hypothesis"
+registry = default_registry()
+assert len(registry) == 5, registry.names()
+assert registry.names() == [
+    "centroid_in_bounds",
+    "guardrail_cooldown",
+    "window_statistics",
+    "gp_posterior",
+    "noise_stream",
+]
+print("IMPORT-GUARD-OK")
+"""
+
+
+def test_verify_imports_without_hypothesis():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "IMPORT-GUARD-OK" in proc.stdout
+
+
+def test_properties_module_is_the_only_hypothesis_importer():
+    import repro.verify
+
+    root = Path(repro.verify.__file__).parent
+    for path in sorted(root.glob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        uses_hypothesis = "import hypothesis" in source or "from hypothesis" in source
+        if path.name == "properties.py":
+            assert uses_hypothesis
+        else:
+            assert not uses_hypothesis, f"{path.name} imports hypothesis"
