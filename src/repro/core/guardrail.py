@@ -16,7 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import telemetry
-from ..ml.linear import LinearRegression
+from ..ml.batched import ols_predict
 from .observation import Observation
 
 __all__ = ["Guardrail", "GuardrailDecision"]
@@ -189,14 +189,17 @@ class Guardrail:
         w = self.fit_window
         X = np.column_stack([self._iterations[-w:], self._data_sizes[-w:]])
         y = np.array(self._times[-w:])
+        t, p = self._iterations[-1], self._data_sizes[-1]
+        rows = np.array([[t + 1.0, p], [t, p]])
         if self.robust:
             from ..ml.robust import TheilSenRegressor
 
             model = TheilSenRegressor()
+            model.fit(X, y)
+            pred_next, pred_current = model.predict(rows)
         else:
-            model = LinearRegression()
-        model.fit(X, y)
-        t, p = self._iterations[-1], self._data_sizes[-1]
-        rows = np.array([[t + 1.0, p], [t, p]])
-        pred_next, pred_current = model.predict(rows)
+            # Deterministic standardized normal equations — the same solver
+            # the lock-step engine applies to (K, w, 2) stacks, so scalar
+            # and batched guardrail predictions are bitwise identical.
+            pred_next, pred_current = ols_predict(X, y, rows)
         return float(pred_next), float(pred_current)

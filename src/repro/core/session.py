@@ -110,6 +110,12 @@ class TuningSession:
             :class:`repro.verify.InvariantRegistry` (its ``check_session``
             is called) or any ``(session, record) -> None`` callable that
             raises on a broken invariant.  See ``docs/testing.md``.
+        observe_transform: optional ``(iteration, observed_seconds) ->
+            observed_seconds`` hook applied to the simulator's observed time
+            before the optimizer sees it and before it is recorded — the
+            place configuration-independent pathologies (fig15's variance
+            and drift multipliers) enter the loop.  ``true_seconds`` is
+            untouched.
     """
 
     def __init__(
@@ -121,12 +127,14 @@ class TuningSession:
         scale_fn: Optional[Callable[[int], float]] = None,
         fallback_to_default: bool = False,
         verify: Optional[object] = None,
+        observe_transform: Optional[Callable[[int, float], float]] = None,
     ):
         self.plan = plan
         self.simulator = simulator
         self.optimizer = optimizer
         self.embedder = embedder
         self.scale_fn = scale_fn or (lambda t: 1.0)
+        self.observe_transform = observe_transform
         self.fallback_to_default = fallback_to_default
         self.fallback_count = 0
         self.trace = TuningTrace()
@@ -171,13 +179,16 @@ class TuningSession:
                 vector = self.optimizer.space.default_vector()
             config = self.optimizer.space.to_dict(vector)
             result = self.simulator.run(self.plan, config, data_scale=scale)
+            observed = result.elapsed_seconds
+            if self.observe_transform is not None:
+                observed = self.observe_transform(t, observed)
 
             try:
                 self.optimizer.observe(
                     Observation(
                         config=vector,
                         data_size=result.data_size,
-                        performance=result.elapsed_seconds,
+                        performance=observed,
                         iteration=t,
                         embedding=embedding,
                     )
@@ -191,7 +202,7 @@ class TuningSession:
             record = IterationRecord(
                 iteration=t,
                 config=config,
-                observed_seconds=result.elapsed_seconds,
+                observed_seconds=observed,
                 true_seconds=result.true_seconds,
                 data_size=result.data_size,
                 tuning_active=active,
@@ -202,7 +213,7 @@ class TuningSession:
                 self._verify_hook(self, record)
                 telemetry.counter("session.verify_sweeps").inc()
             if telemetry.enabled():
-                tspan.set_attr("observed_seconds", result.elapsed_seconds)
+                tspan.set_attr("observed_seconds", observed)
                 tspan.set_attr("true_seconds", result.true_seconds)
                 tspan.set_attr("data_size", result.data_size)
                 tspan.set_attr("tuning_active", active)

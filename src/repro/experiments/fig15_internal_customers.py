@@ -16,14 +16,52 @@ from typing import List
 import numpy as np
 
 from ..core.centroid import CentroidLearning
-from ..core.observation import Observation
 from ..sparksim.configs import query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..workloads.customer import CustomerWorkload, generate_population
+from .lockstep import LockstepSessions, SessionSpec, run_sequential
 from .parallel import parallel_map
 from .runner import ExperimentResult
 
-__all__ = ["run", "tune_workload"]
+__all__ = ["run", "tune_workload", "workload_specs"]
+
+
+def workload_specs(
+    workload: CustomerWorkload,
+    seed: int,
+    guardrail_factory=None,
+) -> List[SessionSpec]:
+    """One lock-step :class:`SessionSpec` per query of a recurring notebook.
+
+    Seeds derive per query exactly like the historical per-query loop
+    (simulator ``seed*101+q``, optimizer ``seed*13+q``); the pathology
+    multiplier draws from a per-query RNG (``seed*10007+q``, the
+    ``parallel`` engine's derivation pattern) so queries are independent
+    streams under any engine.
+    """
+    space = query_level_space()
+    specs: List[SessionSpec] = []
+    for q_index, plan in enumerate(workload.plans):
+        simulator = SparkSimulator(noise=workload.noise, seed=seed * 101 + q_index)
+        guardrail = guardrail_factory() if guardrail_factory else None
+        optimizer = CentroidLearning(
+            space, guardrail=guardrail, seed=seed * 13 + q_index
+        )
+        transform = None
+        if workload.pathology is not None:
+            path_rng = np.random.default_rng(seed * 10007 + q_index)
+            transform = (
+                lambda t, observed, _rng=path_rng: observed
+                * workload.pathology_multiplier(t, _rng)
+            )
+        specs.append(SessionSpec(
+            plan=plan,
+            simulator=simulator,
+            optimizer=optimizer,
+            scale_fn=workload.data_scale,
+            observe_transform=transform,
+        ))
+    return specs
 
 
 def tune_workload(
@@ -31,43 +69,47 @@ def tune_workload(
     n_iterations: int,
     seed: int,
     guardrail_factory=None,
+    engine: str = "lockstep",
 ) -> dict:
     """Tune every query of one recurring notebook; returns summary stats.
+
+    The notebook's queries run as a lock-step population by default
+    (``engine="lockstep"``); ``engine="sequential"`` drives the identical
+    :class:`~repro.core.session.TuningSession` loop per query and is
+    bit-identical by the engine's contract (the differential oracle in
+    :mod:`repro.verify.diff` pins this).
 
     Returns a dict with ``speedup_pct`` (first vs last window, normalized by
     data scale), ``disabled`` (guardrail fired on any query), and
     ``n_queries``.
     """
-    space = query_level_space()
-    rng = np.random.default_rng(seed)
+    if engine not in ("lockstep", "sequential"):
+        raise ValueError(f"unknown engine {engine!r}")
+    specs = workload_specs(workload, seed, guardrail_factory)
+    if engine == "lockstep":
+        traces = LockstepSessions(specs).run(n_iterations)
+    else:
+        traces = run_sequential(specs, n_iterations)
+
+    scales = np.array([workload.data_scale(t) for t in range(n_iterations)])
+    if workload.pathology == "drift":
+        # The drift multiplier is deterministic in t (consumes no RNG);
+        # fold it into the normalized view like the posterior analysis.
+        drift_rng = np.random.default_rng(0)
+        scales = scales / np.array([
+            workload.pathology_multiplier(t, drift_rng)
+            for t in range(n_iterations)
+        ])
     first_total, last_total = 0.0, 0.0
     disabled = False
     w = max(2, n_iterations // 6)
-    for q_index, plan in enumerate(workload.plans):
-        simulator = SparkSimulator(noise=workload.noise, seed=seed * 101 + q_index)
-        guardrail = guardrail_factory() if guardrail_factory else None
-        optimizer = CentroidLearning(
-            space, guardrail=guardrail, seed=seed * 13 + q_index
-        )
-        normed_true: List[float] = []
-        for t in range(n_iterations):
-            scale = workload.data_scale(t)
-            estimated = max(plan.total_leaf_cardinality * scale, 1.0)
-            vector = optimizer.suggest(data_size=estimated)
-            res = simulator.run(plan, space.to_dict(vector), data_scale=scale)
-            observed = res.elapsed_seconds * workload.pathology_multiplier(t, rng)
-            optimizer.observe(Observation(
-                config=vector, data_size=res.data_size,
-                performance=observed, iteration=t,
-            ))
-            # Normalize by scale so workload growth doesn't masquerade as a
-            # regression (the paper's posterior analysis does the same).
-            base = res.true_seconds / scale
-            if workload.pathology == "drift":
-                base *= workload.pathology_multiplier(t, rng)
-            normed_true.append(base)
+    for spec, trace in zip(specs, traces):
+        # Normalize by scale so workload growth doesn't masquerade as a
+        # regression (the paper's posterior analysis does the same).
+        normed_true = trace.true / scales
         first_total += float(np.mean(normed_true[:w]))
         last_total += float(np.mean(normed_true[-w:]))
+        guardrail = spec.optimizer.guardrail
         if guardrail is not None and not guardrail.active:
             disabled = True
     speedup_pct = (first_total / last_total - 1.0) * 100.0 if last_total > 0 else 0.0

@@ -146,13 +146,19 @@ def run_replicated(
     track: str = "true",
     n_workers: Union[int, str, None] = None,
     collect: Optional[Callable[[Optimizer], Any]] = None,
+    engine: str = "auto",
 ) -> Union[ConvergenceBands, Tuple[ConvergenceBands, List[Any]]]:
     """Repeat :func:`run_single` over ``n_runs`` independent seeds.
 
-    Runs are dispatched over the process-pool engine in
-    :mod:`repro.experiments.parallel`; each run derives its RNG from
-    ``(seed, run_index)`` and owns a fresh optimizer, so the resulting runs
-    matrix is bit-identical regardless of the worker count.
+    When every run is a default-structured Centroid Learning session (one
+    shared workload family), the runs advance in lock-step on the
+    vectorized engine in :mod:`repro.experiments.lockstep` — bit-identical
+    to the serial loop by construction.  Populations outside that envelope
+    (other optimizer types, custom selectors, robust guardrails) dispatch
+    over the process-pool engine in :mod:`repro.experiments.parallel`; each
+    run derives its RNG from ``(seed, run_index)`` and owns a fresh
+    optimizer, so the resulting runs matrix is bit-identical regardless of
+    the worker count or engine choice.
 
     Args:
         optimizer_factory: ``run_index -> fresh optimizer``.  With more than
@@ -170,7 +176,39 @@ def run_replicated(
         collect: optional ``finished optimizer -> picklable payload`` hook;
             when given, the return value becomes ``(bands, payloads)`` with
             one payload per run, in run order.
+        engine: ``"auto"`` (lock-step when the population is compatible,
+            process pool otherwise), ``"lockstep"`` (raise on incompatible
+            populations) or ``"process"``.
     """
+    if engine not in ("auto", "lockstep", "process"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine != "process":
+        from .lockstep import LockstepCompatibilityError, LockstepReplicatedRuns
+
+        if track not in ("true", "normed", "gap"):
+            raise ValueError(f"unknown track mode {track!r}")
+        optimizers = [optimizer_factory(i) for i in range(n_runs)]
+        try:
+            lockstep = LockstepReplicatedRuns(
+                optimizers,
+                objective,
+                [
+                    size_process_factory(i) if size_process_factory
+                    else ConstantSize(objective.reference_size)
+                    for i in range(n_runs)
+                ],
+                [np.random.default_rng(seed * 10007 + i) for i in range(n_runs)],
+            )
+        except LockstepCompatibilityError:
+            if engine == "lockstep":
+                raise
+        else:
+            lockstep.advance(n_iterations)
+            bands = ConvergenceBands(lockstep.runs(track))
+            if collect is not None:
+                return bands, [collect(opt) for opt in optimizers]
+            return bands
+
     from .parallel import run_replicated_parallel
 
     runs, payloads = run_replicated_parallel(

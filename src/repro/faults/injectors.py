@@ -165,6 +165,16 @@ class FaultySimulator(_Delegate):
             )
         return result
 
+    def observe_true(self, true_seconds: float) -> float:
+        # Mirror run(): the inner simulator draws the noise first, then one
+        # LATENCY_SPIKE opportunity multiplies the observed time — so a
+        # lock-step engine feeding precomputed true times through here sees
+        # the same per-session fault stream as sequential run() calls.
+        observed = self.inner.observe_true(true_seconds)
+        if self.plan.should_fire(FaultKind.LATENCY_SPIKE):
+            observed = observed * self.plan.magnitude(FaultKind.LATENCY_SPIKE)
+        return observed
+
     def run_batch(self, plan, configs, *, space=None, data_scale: float = 1.0):
         # The fault schedule is consulted once per result, in batch order, so
         # a batch of N sees exactly the spikes that N sequential run() calls
@@ -196,10 +206,14 @@ class FaultySimulator(_Delegate):
     def true_time(self, plan, config, data_scale: float = 1.0) -> float:
         return self.inner.true_time(plan, config, data_scale)
 
-    def true_time_batch(self, plan, configs, *, space=None, data_scale: float = 1.0):
+    def true_time_batch(
+        self, plan, configs, *, space=None, data_scale: float = 1.0,
+        data_scales=None,
+    ):
         # True times are never spiked (the injection targets observations).
         return self.inner.true_time_batch(
-            plan, configs, space=space, data_scale=data_scale
+            plan, configs, space=space, data_scale=data_scale,
+            data_scales=data_scales,
         )
 
 

@@ -72,6 +72,14 @@ class PlanArrays:
     join_probe_rows: np.ndarray   # (n_ops,) probe-side rows for joins, 0 otherwise
     total_leaf_cardinality: float
     total_input_bytes: float
+    # Join-side components, kept separate so a *per-config* data-scale sweep
+    # can recompute build/probe inputs in the exact scalar multiplication
+    # order ``(rows * scale) * row_bytes`` (see CostModel.estimate_batch's
+    # ``data_scales``): build-side output rows, build-side row width, and a
+    # degenerate-single-input-join mask.
+    join_build_rows: Optional[np.ndarray] = None
+    join_build_row_bytes: Optional[np.ndarray] = None
+    join_degenerate: Optional[np.ndarray] = None
 
     @property
     def n_ops(self) -> int:
@@ -89,6 +97,9 @@ class PlanArrays:
         row_bytes = np.empty(n)
         build_bytes = np.zeros(n)
         probe_rows = np.zeros(n)
+        join_build_rows = np.zeros(n)
+        join_build_row_bytes = np.zeros(n)
+        join_degenerate = np.zeros(n, dtype=bool)
         op_ids: List[int] = []
         op_types: List[str] = []
         for i, op in enumerate(ops):
@@ -112,10 +123,13 @@ class PlanArrays:
                     build, probe = sides[0], sides[-1]
                     build_bytes[i] = (build.est_rows_out * data_scale) * build.row_bytes
                     probe_rows[i] = probe.est_rows_out * data_scale
+                    join_build_rows[i] = build.est_rows_out * data_scale
+                    join_build_row_bytes[i] = build.row_bytes
                 else:
                     # Self-join / degenerate single-input join: split the input.
                     build_bytes[i] = (rows_in[i] * op.row_bytes) * 0.2
                     probe_rows[i] = rows_in[i] * 0.8
+                    join_degenerate[i] = True
         # Leaf sums in the same node order the plan properties use, so the
         # reported metrics match the scalar path exactly.
         leaf_rows = 0.0
@@ -137,6 +151,9 @@ class PlanArrays:
             join_probe_rows=probe_rows,
             total_leaf_cardinality=leaf_rows,
             total_input_bytes=leaf_bytes,
+            join_build_rows=join_build_rows,
+            join_build_row_bytes=join_build_row_bytes,
+            join_degenerate=join_degenerate,
         )
 
 

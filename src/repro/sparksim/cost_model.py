@@ -63,6 +63,19 @@ _CODEC_CPU_TAX = {"lz4": 1.0, "snappy": 0.98, "zstd": 1.06}
 _SERIALIZER_CPU_FACTOR = {"java": 1.0, "kryo": 1.25}
 
 
+def _elementwise_log2(values: np.ndarray) -> np.ndarray:
+    """``math.log2`` applied per element.
+
+    ``np.log2`` and ``math.log2`` disagree in the last ulp on a small
+    fraction of inputs, which would break the kernel's bitwise contract for
+    per-config data scales; plans have few ``n·log2(n)`` operators, so the
+    Python-level loop stays cheap relative to the batch.
+    """
+    return np.fromiter(
+        (math.log2(v) for v in values), dtype=float, count=len(values)
+    )
+
+
 @dataclass
 class CostBreakdown:
     """Estimated cost of one query execution (noiseless)."""
@@ -317,6 +330,7 @@ class CostModel:
         space=None,
         pool: Optional[Pool] = None,
         data_scale: float = 1.0,
+        data_scales: Optional[np.ndarray] = None,
         breakdown: bool = False,
     ) -> Union[np.ndarray, BatchCostBreakdown]:
         """Noiseless estimates for all N configurations at once.
@@ -327,16 +341,39 @@ class CostModel:
         :class:`BatchCostBreakdown` when ``breakdown=True``.  Every value is
         bit-identical to N calls of :meth:`estimate_scalar` — the kernel
         replays the scalar arithmetic operation-for-operation on arrays.
+
+        ``data_scales`` gives every configuration its *own* input scale (an
+        ``(N,)`` array): row counts scale per element in the exact
+        multiplication order of ``plan.scaled(s)``, so element *i* is
+        bit-identical to a scalar estimate on ``plan.scaled(data_scales[i])``.
+        This is what lets the lock-step engine evaluate K sessions with
+        heterogeneous data-size drift in one kernel pass.  Mutually
+        exclusive with a non-unit ``data_scale`` and with ``breakdown``.
         """
         started = time.perf_counter() if telemetry.enabled() else None
         cols = ConfigColumns.coerce(configs, space)
+        if data_scales is not None:
+            data_scales = np.asarray(data_scales, dtype=float)
+            if data_scales.shape != (cols.n,):
+                raise ValueError(
+                    f"data_scales must have shape ({cols.n},), got {data_scales.shape}"
+                )
+            if np.any(data_scales <= 0):
+                raise ValueError("data_scales must be > 0")
+            if data_scale != 1.0:
+                raise ValueError("pass data_scale or data_scales, not both")
+            if breakdown:
+                raise ValueError("breakdown is not supported with data_scales")
+            if np.all(data_scales == 1.0):
+                data_scales = None  # uniform unit scales: plain fast path
         arrays = plan_arrays(plan, data_scale)
         if layout is not None:
             layouts = LayoutArrays.from_layout(layout)
         else:
             layouts = resolve_layouts(cols, pool)
         with np.errstate(divide="ignore", invalid="ignore"):
-            result = self._batch_kernel(arrays, cols, layouts, breakdown)
+            result = self._batch_kernel(arrays, cols, layouts, breakdown,
+                                        scales=data_scales)
         if started is not None:
             telemetry.counter("sparksim.batch_estimates").inc()
             telemetry.counter("sparksim.batch_configs").inc(cols.n)
@@ -347,7 +384,7 @@ class CostModel:
 
     def _batch_kernel(
         self, arrays, cols: ConfigColumns, layouts: LayoutArrays,
-        want_breakdown: bool,
+        want_breakdown: bool, scales: Optional[np.ndarray] = None,
     ) -> BatchCostBreakdown:
         """The vectorized analogue of :meth:`estimate_scalar`.
 
@@ -358,6 +395,13 @@ class CostModel:
         ``want_breakdown`` is false only ``total_seconds`` is populated —
         per-operator and metric accumulation (pure bookkeeping, no effect
         on totals) is skipped.
+
+        With per-config ``scales`` (an ``(N,)`` array; ``arrays`` must then
+        be compiled at scale 1.0) row counts become per-config arrays.  The
+        ``n·log2(n)`` sort terms go through :func:`_elementwise_log2` —
+        ``np.log2`` differs from ``math.log2`` in the last ulp on a few
+        inputs, so the scalar ``math.log2`` is applied per element to keep
+        the bitwise contract.
         """
         p = self.params
         n = cols.n
@@ -383,7 +427,7 @@ class CostModel:
         # same IEEE values as the ufuncs without per-call dispatch overhead —
         # this keeps the 1-row estimate() wrapper close to the old scalar
         # loop's speed.  Selection only; the formulas below are shared.
-        uniform = not any(
+        uniform = scales is None and not any(
             isinstance(c, np.ndarray)
             for c in (
                 max_part_col, partitions_col, threshold, codec_shuffle,
@@ -468,10 +512,16 @@ class CostModel:
 
         for i in range(arrays.n_ops):
             op_type = arrays.op_types[i]
-            rows_in = arrays.rows_in[i]
+            # Per-config scales multiply the *rows* first; bytes derive from
+            # the scaled rows — the exact order of plan.scaled(s).
+            rows_in = (
+                arrays.rows_in[i] if scales is None else arrays.rows_in[i] * scales
+            )
             row_bytes = arrays.row_bytes[i]
             if op_type == OpType.TABLE_SCAN:
-                bytes_total = arrays.bytes_in[i]
+                bytes_total = (
+                    arrays.bytes_in[i] if scales is None else rows_in * row_bytes
+                )
                 n_parts = maximum_(1.0, ceil_(bytes_total / max_part))
                 per_task_s = (
                     (bytes_total / n_parts) / scan_denom + p.task_overhead_s
@@ -486,8 +536,17 @@ class CostModel:
                 add_metric("shuffle_bytes", rows_in * row_bytes)
                 add_metric("spilled", where_(spill > 0, 1.0, 0.0))
             elif op_type == OpType.JOIN:
-                build_bytes = arrays.join_build_bytes[i]
-                probe_rows = arrays.join_probe_rows[i]
+                if scales is None:
+                    build_bytes = arrays.join_build_bytes[i]
+                    probe_rows = arrays.join_probe_rows[i]
+                elif arrays.join_degenerate[i]:
+                    build_bytes = (rows_in * row_bytes) * 0.2
+                    probe_rows = rows_in * 0.8
+                else:
+                    build_bytes = (
+                        arrays.join_build_rows[i] * scales
+                    ) * arrays.join_build_row_bytes[i]
+                    probe_rows = arrays.join_probe_rows[i] * scales
                 is_broadcast = build_bytes <= threshold
                 # Broadcast hash join (computed for every config, selected
                 # by mask — matches the scalar branch arithmetic exactly).
@@ -505,10 +564,15 @@ class CostModel:
                 )
                 # Sort-merge join.
                 shuffle_s, spill = shuffle(rows_in * row_bytes)
-                n_rows = max(rows_in, 2.0)
+                if scales is None:
+                    n_rows = max(rows_in, 2.0)
+                    nlogn = n_rows * math.log2(n_rows)
+                else:
+                    n_rows = np.maximum(rows_in, 2.0)
+                    nlogn = n_rows * _elementwise_log2(n_rows)
                 t_smj = (
                     shuffle_s
-                    + cpu(n_rows * math.log2(n_rows) / 20.0, 1.0)
+                    + cpu(nlogn / 20.0, 1.0)
                     + cpu(rows_in, 1.2)
                 )
                 cost = where_(is_broadcast, t_bc, t_smj)
@@ -532,9 +596,14 @@ class CostModel:
                 add_metric("spilled", where_(spill > 0, 1.0, 0.0))
             elif op_type in (OpType.SORT, OpType.WINDOW):
                 shuffle_s, spill = shuffle(rows_in * row_bytes)
-                n_rows = max(rows_in, 2.0)
+                if scales is None:
+                    n_rows = max(rows_in, 2.0)
+                    nlogn = n_rows * math.log2(n_rows)
+                else:
+                    n_rows = np.maximum(rows_in, 2.0)
+                    nlogn = n_rows * _elementwise_log2(n_rows)
                 factor = 1.5 if op_type == OpType.WINDOW else 1.0
-                cost = shuffle_s + cpu(n_rows * math.log2(n_rows) / 25.0, factor)
+                cost = shuffle_s + cpu(nlogn / 25.0, factor)
                 add_tasks(partitions)
                 add_metric("shuffle_bytes", rows_in * row_bytes)
                 add_metric("spilled", where_(spill > 0, 1.0, 0.0))

@@ -79,18 +79,44 @@ class SparkSimulator:
         *,
         space=None,
         data_scale: float = 1.0,
+        data_scales: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Noiseless execution times for N configurations at once.
 
         ``configs`` may be config dicts, an ``(N, dim)`` internal-vector
         array (then ``space`` is required), or a prebuilt
         :class:`~repro.sparksim.batch.ConfigColumns`.  Element *i* is
-        bit-identical to ``true_time(plan, configs[i], data_scale)``.
+        bit-identical to ``true_time(plan, configs[i], data_scale)`` — or,
+        with per-config ``data_scales`` (an ``(N,)`` array, the lock-step
+        engine's path), to ``true_time(plan, configs[i], data_scales[i])``.
         """
+        if data_scales is not None:
+            if data_scale != 1.0:
+                raise ValueError("pass data_scale or data_scales, not both")
+            return self.cost_model.estimate_batch(
+                plan, configs, space=space, pool=self.pool,
+                data_scales=data_scales,
+            )
         scaled = self._scaled_plan(plan, data_scale)
         return self.cost_model.estimate_batch(
             scaled, configs, space=space, pool=self.pool
         )
+
+    def observe_true(self, true_seconds: float) -> float:
+        """Turn one precomputed noiseless time into the observed time.
+
+        Applies exactly the per-run tail of :meth:`run` — one
+        :meth:`NoiseModel.apply` draw from this simulator's RNG stream plus
+        the ``run_count`` bump — without re-estimating the cost.  A caller
+        that computes true times in bulk (``true_time_batch``) and then
+        feeds them through ``observe_true`` in run order sees a noise
+        stream bit-identical to sequential :meth:`run` calls; the lock-step
+        session engine relies on this to keep per-session observations
+        reproducible.
+        """
+        observed = self.noise.apply(true_seconds, self._rng)
+        self.run_count += 1
+        return observed
 
     def _scaled_plan(self, plan: PhysicalPlan, data_scale: float) -> PhysicalPlan:
         """Memoized ``plan.scaled(data_scale)`` (identity-keyed, weak refs)."""

@@ -1,6 +1,6 @@
 """Differential oracles: one seeded workload, two redundant paths, diffed.
 
-The repo maintains four pairs of execution paths that must agree:
+The repo maintains five pairs of execution paths that must agree:
 
 ==========================  ==============================================  =========
 pair                        contract                                        compare
@@ -16,6 +16,11 @@ refit vs. incremental       ``GaussianProcessRegressor.update`` tracks a    atol
 live vs. replay             a JSONL-stored trace replays to the live        bitwise
                             observation history and guardrail verdicts,
                             through reordered/duplicated deliveries
+lockstep vs. sequential     ``LockstepSessions`` advances a K-session       bitwise
+                            fleet (noisy, guardrailed, fault-injected)
+                            identically to K independent
+                            ``TuningSession`` loops — records,
+                            observation histories, guardrail verdicts
 ==========================  ==============================================  =========
 
 Each driver runs both paths from the same seed, flattens them into *trails*
@@ -25,7 +30,7 @@ the contract the driver captures both sides' counter maps and diffs those
 too, excluding namespaces that legitimately differ between modes (e.g.
 ``parallel.*`` counters carry a ``mode`` label).
 
-``run_all`` sweeps all four drivers — the one command every future PR can
+``run_all`` sweeps all five drivers — the one command every future PR can
 run to show "the paths still agree".
 """
 
@@ -42,7 +47,11 @@ from .. import telemetry
 from ..core.centroid import CentroidLearning
 from ..core.guardrail import Guardrail
 from ..core.observation import Observation
+from ..experiments.fig15_internal_customers import workload_specs
+from ..experiments.lockstep import LockstepSessions, run_sequential
 from ..experiments.parallel import run_replicated_parallel
+from ..faults.injectors import FaultySimulator
+from ..faults.plan import FaultKind, FaultPlan, FaultSpec
 from ..ml.gp import GaussianProcessRegressor
 from ..ml.kernels import Matern52Kernel
 from ..service.replay import audit_guardrail, replay_artifact
@@ -50,6 +59,7 @@ from ..service.storage import StorageManager
 from ..sparksim.configs import query_level_space
 from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import low_noise
+from ..workloads.customer import generate_population
 from ..workloads.synthetic import default_synthetic_objective
 from ..workloads.tpch import tpch_plan
 
@@ -57,6 +67,7 @@ __all__ = [
     "DiffReport",
     "Divergence",
     "diff_live_replay",
+    "diff_lockstep_sequential",
     "diff_refit_incremental",
     "diff_scalar_batch",
     "diff_serial_parallel",
@@ -434,6 +445,113 @@ def diff_live_replay(
     return diff_trails("live_vs_replay", live_trail, replay_trail)
 
 
+# -- driver 5: lock-step fleet vs. sequential sessions ------------------------------
+
+
+def diff_lockstep_sequential(
+    seed: int = 0,
+    n_workloads: int = 26,
+    n_iterations: int = 12,
+    fault_every: int = 5,
+    lockstep_factory=None,
+) -> DiffReport:
+    """A lock-step session fleet vs. its K independent sequential twins.
+
+    The population is fig-15-shaped: customer workloads with per-query
+    plans, heteroscedastic noise, drifting data sizes, ``variance``/``drift``
+    pathologies, a guardrail on every session, and every ``fault_every``-th
+    session's simulator wrapped in a :class:`FaultySimulator` scheduling
+    latency spikes.  Both engines build the population from the same seeds;
+    the trails compare, bitwise:
+
+    - per-iteration trace records across the fleet (config, observed/true
+      seconds, data size, tuning-active flag) — the first divergent *step*
+      names the iteration where lock-step left the sequential trajectory;
+    - each optimizer's synced observation history (what downstream
+      consumers — selectors, guardrails, replay — actually read);
+    - each guardrail's full decision trail and final active flag;
+    - telemetry counters, minus ``sparksim.*`` (the batched estimator path
+      legitimately counts one batch where sequential counts K calls).
+
+    ``lockstep_factory`` swaps the engine under test (the sensitivity suite
+    passes a deliberately-broken subclass to prove the oracle catches a
+    single-session perturbation at the faulting step).
+    """
+    guardrail_factory = lambda: Guardrail(
+        min_iterations=4, threshold=0.15, patience=2
+    )
+
+    def build_specs():
+        population = generate_population(
+            n_workloads, seed=seed, pathological_fraction=0.3,
+            base_noise=(0.2, 0.5),
+        )
+        specs = []
+        for i, workload in enumerate(population):
+            for spec in workload_specs(
+                workload, seed * 7 + i, guardrail_factory=guardrail_factory
+            ):
+                q = len(specs)
+                if fault_every and q % fault_every == 0:
+                    plan = FaultPlan(
+                        [FaultSpec(FaultKind.LATENCY_SPIKE, at=(2, 7),
+                                   magnitude=4.0)],
+                        seed=seed * 31 + q,
+                    )
+                    spec = replace(
+                        spec, simulator=FaultySimulator(spec.simulator, plan)
+                    )
+                specs.append(spec)
+        return specs
+
+    with telemetry.capture() as cap_seq:
+        seq_specs = build_specs()
+        seq_traces = run_sequential(seq_specs, n_iterations)
+    with telemetry.capture() as cap_lock:
+        lock_specs = build_specs()
+        engine = (lockstep_factory or LockstepSessions)(lock_specs)
+        lock_traces = engine.run(n_iterations)
+
+    def trail(specs, traces):
+        steps = []
+        for t in range(n_iterations):
+            records = [trace.records[t] for trace in traces]
+            steps.append({
+                "config": [r.config for r in records],
+                "observed_seconds": np.array([r.observed_seconds for r in records]),
+                "true_seconds": np.array([r.true_seconds for r in records]),
+                "data_size": np.array([r.data_size for r in records]),
+                "tuning_active": [r.tuning_active for r in records],
+            })
+        for spec in specs:
+            history = spec.optimizer.observations.history
+            steps.append({
+                "obs_iterations": [o.iteration for o in history],
+                "obs_configs": np.array([o.config for o in history]),
+                "obs_performance": np.array([o.performance for o in history]),
+                "obs_data_size": np.array([o.data_size for o in history]),
+            })
+        for spec in specs:
+            guardrail = spec.optimizer.guardrail
+            steps.append({
+                "decisions": [
+                    (d.iteration, d.predicted_next, d.previous, d.violated)
+                    for d in guardrail.decisions
+                ],
+                "guardrail_active": guardrail.active,
+            })
+        return steps
+
+    return diff_trails(
+        "lockstep_vs_sequential",
+        trail(seq_specs, seq_traces),
+        trail(lock_specs, lock_traces),
+        counters_a=cap_seq.counters(),
+        counters_b=cap_lock.counters(),
+        ignore_counter_prefixes=("sparksim.",),
+    )
+
+
 def run_all(seed: int = 0) -> Dict[str, DiffReport]:
     """Run every differential driver; keys are the report names."""
     reports: List[DiffReport] = [
@@ -441,5 +559,6 @@ def run_all(seed: int = 0) -> Dict[str, DiffReport]:
         diff_serial_parallel(seed=seed),
         diff_refit_incremental(seed=seed),
         diff_live_replay(seed=seed),
+        diff_lockstep_sequential(seed=seed),
     ]
     return {report.name: report for report in reports}

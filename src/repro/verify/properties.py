@@ -18,6 +18,10 @@ Strategies:
 * :func:`fault_specs` / :func:`fault_plans` — seeded chaos schedules.
 * :func:`noise_models` — Eq.-8 noise across the FL/SL range.
 * :func:`observations` — valid ``(c, p, r)`` triples for a space.
+* :func:`lockstep_populations` — a zero-arg *builder* of fresh lock-step
+  session populations (mixed plans, noise, per-session hyperparameters,
+  drifting sizes, optional guardrails and fault plans).  Call it once per
+  engine under comparison so each side starts from identical fresh state.
 
 The metamorphic properties themselves (permutation-invariance of
 FIND_BEST, noise-free convergence, scale-invariance of normalized
@@ -30,9 +34,15 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import strategies as st
 
+from ..core.centroid import CentroidLearning
 from ..core.config_space import ConfigSpace, Parameter
+from ..core.guardrail import Guardrail
 from ..core.observation import Observation
+from ..experiments.lockstep import SessionSpec
+from ..faults.injectors import FaultySimulator
 from ..faults.plan import FaultKind, FaultPlan, FaultSpec
+from ..sparksim.configs import query_level_space
+from ..sparksim.executor import SparkSimulator
 from ..sparksim.noise import NoiseModel
 from ..workloads.tpch import tpch_plan
 
@@ -41,6 +51,7 @@ __all__ = [
     "fault_plans",
     "fault_specs",
     "internal_vectors",
+    "lockstep_populations",
     "noise_models",
     "observations",
     "parameters",
@@ -160,6 +171,85 @@ def fault_specs(draw, kind: FaultKind = None) -> FaultSpec:
         duration=draw(st.integers(min_value=1, max_value=3)),
         magnitude=draw(st.floats(min_value=0.5, max_value=8.0)),
     )
+
+
+@st.composite
+def lockstep_populations(draw, min_sessions: int = 1, max_sessions: int = 5):
+    """A zero-arg builder of one fresh lock-step session population.
+
+    All randomness is drawn here; the returned ``build()`` closure only
+    *constructs* — so calling it twice yields two populations with
+    identical parameters but independent mutable state (simulators,
+    optimizers, guardrails, fault plans).  That is exactly what the
+    lock-step-vs-sequential and permutation-invariance properties need:
+    one fresh population per engine run.
+
+    Per-session variation: TPC-H query shape and scale factor, Eq.-8 noise
+    levels, simulator/optimizer seeds, ``alpha``/``alpha_decay``/``beta``,
+    an optional linear data-size drift, and an optional latency-spike
+    fault plan.  Guardrail presence and parameters are population-wide
+    (the engine requires them uniform).
+    """
+    k = draw(st.integers(min_value=min_sessions, max_value=max_sessions))
+    guardrailed = draw(st.booleans())
+    cooldown = draw(st.sampled_from([None, 3])) if guardrailed else None
+    sessions = []
+    for _ in range(k):
+        sessions.append({
+            "query": draw(st.sampled_from([1, 3, 5, 6])),
+            "scale_factor": draw(st.floats(min_value=0.5, max_value=2.0)),
+            "fluctuation": draw(st.floats(min_value=0.0, max_value=1.0)),
+            "spike": draw(st.floats(min_value=0.0, max_value=4.0)),
+            "sim_seed": draw(seeds()),
+            "opt_seed": draw(seeds()),
+            "alpha": draw(st.floats(min_value=0.02, max_value=0.3)),
+            "alpha_decay": draw(st.floats(min_value=0.0, max_value=0.5)),
+            "beta": draw(st.floats(min_value=0.05, max_value=0.3)),
+            "growth": draw(st.sampled_from([None, 0.02, 0.1])),
+            "fault_at": tuple(draw(st.lists(
+                st.integers(min_value=0, max_value=12), max_size=3
+            ))) if draw(st.booleans()) else (),
+            "fault_magnitude": draw(st.floats(min_value=1.5, max_value=6.0)),
+        })
+
+    def build():
+        space = query_level_space()
+        specs = []
+        for s in sessions:
+            simulator = SparkSimulator(
+                noise=NoiseModel(
+                    fluctuation_level=s["fluctuation"], spike_level=s["spike"]
+                ),
+                seed=s["sim_seed"],
+            )
+            if s["fault_at"]:
+                simulator = FaultySimulator(simulator, FaultPlan(
+                    [FaultSpec(FaultKind.LATENCY_SPIKE, at=s["fault_at"],
+                               magnitude=s["fault_magnitude"])],
+                    seed=s["sim_seed"],
+                ))
+            guardrail = Guardrail(
+                min_iterations=4, threshold=0.15, patience=2, cooldown=cooldown
+            ) if guardrailed else None
+            optimizer = CentroidLearning(
+                space,
+                alpha=s["alpha"], alpha_decay=s["alpha_decay"], beta=s["beta"],
+                guardrail=guardrail, seed=s["opt_seed"],
+            )
+            growth = s["growth"]
+            scale_fn = (
+                (lambda t, _g=growth: 1.0 + _g * t) if growth is not None
+                else None
+            )
+            specs.append(SessionSpec(
+                plan=tpch_plan(s["query"], scale_factor=s["scale_factor"]),
+                simulator=simulator,
+                optimizer=optimizer,
+                scale_fn=scale_fn,
+            ))
+        return specs
+
+    return build
 
 
 @st.composite

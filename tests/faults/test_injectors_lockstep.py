@@ -1,0 +1,120 @@
+"""Per-session fault streams under the lock-step engine.
+
+Mirror of ``test_injectors_batch.py`` for :class:`LockstepSessions`: each
+session's :class:`FaultySimulator` consults exactly one LATENCY_SPIKE
+opportunity per step, in step order, from its *own* fault plan — so a
+lock-step fleet sees the same per-session fault schedules as K sequential
+:class:`~repro.core.session.TuningSession` loops, and explicit ``at=``
+indices hit the expected iterations regardless of fleet size or position.
+"""
+
+import pytest
+
+from repro.core.centroid import CentroidLearning
+from repro.experiments.lockstep import (
+    LockstepSessions,
+    SessionSpec,
+    run_sequential,
+)
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultySimulator
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import no_noise
+from repro.workloads.tpch import tpch_plan
+
+MAGNITUDE = 5.0
+N_ITERATIONS = 5
+
+
+def spiky_plan(at=(1, 3), rate=0.0):
+    return FaultPlan(
+        [FaultSpec(kind=FaultKind.LATENCY_SPIKE, at=at, rate=rate,
+                   magnitude=MAGNITUDE)],
+        seed=0,
+    )
+
+
+def make_specs(n_sessions=3, fault_plans=None):
+    """Fresh specs; session ``k`` tunes TPC-H query shapes round-robin."""
+    space = query_level_space()
+    queries = (1, 3, 6)
+    specs = []
+    for k in range(n_sessions):
+        simulator = SparkSimulator(noise=no_noise(), seed=100 + k)
+        if fault_plans is not None and fault_plans[k] is not None:
+            simulator = FaultySimulator(simulator, fault_plans[k])
+        specs.append(SessionSpec(
+            plan=tpch_plan(queries[k % len(queries)]),
+            simulator=simulator,
+            optimizer=CentroidLearning(space, seed=k),
+        ))
+    return specs
+
+
+def test_lockstep_one_opportunity_per_step_in_order():
+    fault_plans = [spiky_plan() for _ in range(3)]
+    traces = LockstepSessions(make_specs(3, fault_plans)).run(N_ITERATIONS)
+
+    for fault_plan, trace in zip(fault_plans, traces):
+        # One opportunity per step, consumed in iteration order.
+        assert fault_plan.opportunities(FaultKind.LATENCY_SPIKE) == N_ITERATIONS
+        assert [(f.kind, f.index) for f in fault_plan.log] == [
+            (FaultKind.LATENCY_SPIKE, 1), (FaultKind.LATENCY_SPIKE, 3),
+        ]
+        for t, record in enumerate(trace.records):
+            if t in (1, 3):
+                assert record.observed_seconds == record.true_seconds * MAGNITUDE
+            else:
+                assert record.observed_seconds == record.true_seconds
+
+
+def test_lockstep_fault_streams_match_sequential():
+    # Mixed population: sessions 0 and 2 faulty, session 1 clean.
+    def plans():
+        return [spiky_plan(at=(0, 2)), None, spiky_plan(at=(1, 4))]
+
+    lock_plans, seq_plans = plans(), plans()
+    lock_traces = LockstepSessions(make_specs(3, lock_plans)).run(N_ITERATIONS)
+    seq_traces = run_sequential(make_specs(3, seq_plans), N_ITERATIONS)
+
+    for lock_trace, seq_trace in zip(lock_traces, seq_traces):
+        assert [r.observed_seconds for r in lock_trace.records] == [
+            r.observed_seconds for r in seq_trace.records
+        ]
+        assert [r.true_seconds for r in lock_trace.records] == [
+            r.true_seconds for r in seq_trace.records
+        ]
+    for lock_plan, seq_plan in zip(lock_plans, seq_plans):
+        if lock_plan is not None:
+            assert lock_plan.log == seq_plan.log
+
+
+def test_lockstep_true_times_never_spiked():
+    always = [spiky_plan(at=(), rate=1.0) for _ in range(3)]
+    specs = make_specs(3, always)
+    traces = LockstepSessions(specs).run(N_ITERATIONS)
+
+    for spec, trace in zip(specs, traces):
+        for record in trace.records:
+            # The injection targets observations; truth stays the noiseless
+            # cost of the suggested config.
+            assert record.true_seconds == spec.simulator.true_time(
+                spec.plan, record.config
+            )
+            assert record.observed_seconds == record.true_seconds * MAGNITUDE
+
+
+def test_fault_schedule_is_per_session_not_per_fleet():
+    # A fleet-global stream would give session k its spikes at shifted
+    # steps; per-session plans must be position-independent.
+    solo_plan = [spiky_plan()]
+    solo = LockstepSessions(make_specs(1, solo_plan)).run(N_ITERATIONS)[0]
+
+    fleet_plans = [spiky_plan() for _ in range(3)]
+    fleet = LockstepSessions(make_specs(3, fleet_plans)).run(N_ITERATIONS)
+
+    assert [r.observed_seconds for r in fleet[0].records] == [
+        r.observed_seconds for r in solo.records
+    ]
+    for fault_plan in fleet_plans:
+        assert [f.index for f in fault_plan.log] == [1, 3]

@@ -7,10 +7,12 @@ vectorized cost kernel must be caught by ``diff_scalar_batch`` at step 0.
 import numpy as np
 import pytest
 
+from repro.experiments.lockstep import LockstepSessions
 from repro.sparksim.cost_model import CostModel
 from repro.verify import run_all
 from repro.verify.diff import (
     diff_live_replay,
+    diff_lockstep_sequential,
     diff_refit_incremental,
     diff_scalar_batch,
     diff_serial_parallel,
@@ -25,6 +27,7 @@ class TestAllPathsAgree:
         assert set(reports) == {
             "scalar_vs_batch", "serial_vs_parallel",
             "refit_vs_incremental", "live_vs_replay",
+            "lockstep_vs_sequential",
         }
         for report in reports.values():
             assert report.equivalent, report.summary()
@@ -46,6 +49,20 @@ class TestAllPathsAgree:
 
     def test_live_replay_bitwise(self):
         report = diff_live_replay(seed=1, n_iterations=24, cooldown=4)
+        assert report.equivalent, report.summary()
+
+    def test_lockstep_sequential_bitwise(self):
+        # The default population is fig-15-shaped: K >= 64 sessions, noisy,
+        # guardrailed, with scheduled latency-spike faults.
+        report = diff_lockstep_sequential(seed=0)
+        assert report.equivalent, report.summary()
+        assert report.tolerance == 0.0
+        assert report.steps_compared >= 12 + 2 * 64  # steps + 2 rows/session
+
+    def test_lockstep_sequential_bitwise_across_seeds(self):
+        report = diff_lockstep_sequential(
+            seed=2, n_workloads=6, n_iterations=10, fault_every=3
+        )
         assert report.equivalent, report.summary()
 
 
@@ -84,3 +101,28 @@ class TestDeliberateBugIsCaught:
         report = diff_scalar_batch(n_configs=8, seed=0)
         assert not report.equivalent
         assert report.length_mismatch == (8, 7)
+
+    def test_one_session_centroid_off_by_one_caught_at_faulting_step(self):
+        # A classic vectorization bug: the batched centroid update writes
+        # one session's row from its neighbor's result (index off by one
+        # within the update batch).  The centroid updated at step FAULT_STEP
+        # is first consumed by suggest() at FAULT_STEP + 1, so the oracle
+        # must flag exactly that record — and the 'config' field, since only
+        # the suggestion is perturbed.
+        FAULT_STEP = 5
+
+        class OffByOneEngine(LockstepSessions):
+            def _update_centroids(self, upd, t, n_win):
+                super()._update_centroids(upd, t, n_win)
+                if t == FAULT_STEP and upd.size >= 2:
+                    self._centroids[upd[0]] = self._centroids[upd[1]]
+
+        report = diff_lockstep_sequential(
+            seed=0, n_workloads=6, n_iterations=10, fault_every=3,
+            lockstep_factory=OffByOneEngine,
+        )
+        assert not report.equivalent
+        assert report.divergence is not None
+        assert report.divergence.step == FAULT_STEP + 1
+        assert report.divergence.field == "config"
+        assert "NOT equivalent" in report.summary()

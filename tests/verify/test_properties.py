@@ -11,7 +11,11 @@ the properties themselves:
 * fault plans are pure functions of ``(seed, kind, opportunity)`` and
   per-kind independent;
 * Eq.-8 noise is stream-deterministic and never deflates the baseline;
-* noise-free Centroid Learning converges on the convex synthetic surface.
+* noise-free Centroid Learning converges on the convex synthetic surface;
+* a lock-step population of K=1 is bitwise the plain ``TuningSession`` loop
+  on arbitrary drawn plans/noise/hyperparameters/faults;
+* lock-step traces are invariant under permutation of the session order
+  (including populations mixing faulty and clean simulators).
 """
 
 import numpy as np
@@ -25,12 +29,14 @@ from repro.core.centroid import CentroidLearning
 from repro.core.config_space import ConfigSpace, Parameter
 from repro.core.find_best import FindBestMode, find_best
 from repro.core.observation import Observation, ObservationWindow
+from repro.experiments.lockstep import LockstepSessions
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.sparksim.noise import no_noise
 from repro.verify.diff import diff_scalar_batch
 from repro.verify.properties import (
     config_spaces,
     fault_plans,
+    lockstep_populations,
     noise_models,
     observations,
     physical_plans,
@@ -201,6 +207,55 @@ def test_noise_is_stream_deterministic_and_inflating(noise, seed, baselines):
     many_b = noise.apply_many(arr, np.random.default_rng(seed))
     assert np.array_equal(many_a, many_b)
     assert np.all(many_a >= arr)
+
+
+# -- lock-step engine: K=1 degeneracy and session-order invariance ------------------
+
+
+def _assert_same_trace(a, b):
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra == rb  # frozen dataclass: bitwise field-tuple equality
+
+
+@EXPENSIVE
+@given(
+    build=lockstep_populations(min_sessions=1, max_sessions=1),
+    n=st.integers(min_value=3, max_value=10),
+)
+def test_lockstep_k1_is_the_plain_tuning_session(build, n):
+    # A fleet of one must degenerate to TuningSession exactly — same
+    # suggestions, same noise/fault streams, same guardrail verdicts.
+    lock_specs, seq_specs = build(), build()
+    lock_trace = LockstepSessions(lock_specs).run(n)[0]
+    seq_trace = seq_specs[0].to_session().run(n)
+    _assert_same_trace(lock_trace, seq_trace)
+    lock_opt, seq_opt = lock_specs[0].optimizer, seq_specs[0].optimizer
+    assert np.array_equal(lock_opt.centroid, seq_opt.centroid)
+    assert [o.performance for o in lock_opt.observations.history] == [
+        o.performance for o in seq_opt.observations.history
+    ]
+    if lock_opt.guardrail is not None:
+        assert lock_opt.guardrail.decisions == seq_opt.guardrail.decisions
+        assert lock_opt.guardrail.active == seq_opt.guardrail.active
+
+
+@EXPENSIVE
+@given(
+    build=lockstep_populations(min_sessions=2, max_sessions=5),
+    data=st.data(),
+    n=st.integers(min_value=3, max_value=8),
+)
+def test_lockstep_is_invariant_under_session_reordering(build, data, n):
+    # Sessions are independent: running the same population in a permuted
+    # order (faulty and clean simulators mixed) must yield each session's
+    # exact trace, just relabeled.
+    specs_a, specs_b = build(), build()
+    perm = data.draw(st.permutations(list(range(len(specs_a)))))
+    traces_a = LockstepSessions(specs_a).run(n)
+    traces_b = LockstepSessions([specs_b[i] for i in perm]).run(n)
+    for pos, original in enumerate(perm):
+        _assert_same_trace(traces_a[original], traces_b[pos])
 
 
 # -- noise-free convergence on the convex synthetic surface -------------------------

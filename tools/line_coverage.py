@@ -14,6 +14,13 @@ Usage::
     make coverage                           # tier-1 suite, default args
     PYTHONPATH=src python tools/line_coverage.py -m verify   # custom args
 
+CI gating: ``--fail-under PCT`` exits non-zero when coverage drops below
+``PCT`` percent, and ``--select PREFIX`` (repeatable, repo-relative)
+restricts that floor to an aggregate over matching source files — e.g.
+``--select src/repro/verify --select src/repro/experiments/lockstep.py``
+guards the verification layer and the lock-step engine specifically.  All
+other arguments pass through to pytest.
+
 The tracer is installed for the main thread and (via ``threading.settrace``)
 any threads pytest spawns; forked worker *processes* (the parallel
 experiment engine's process pools) are intentionally not traced — the table
@@ -69,17 +76,28 @@ def _iter_source_files():
                 yield os.path.join(dirpath, name)
 
 
-def _report() -> None:
+def _report(select=()) -> float:
+    """Print the per-file table; return the gated aggregate percentage.
+
+    With ``select`` prefixes the returned (and separately printed)
+    aggregate covers only matching files; otherwise it is the grand total.
+    """
     rows = []
     total_covered = 0
     total_lines = 0
+    sel_covered = 0
+    sel_lines = 0
     for path in _iter_source_files():
         executable = _executable_lines(path)
         covered = _executed.get(path, set()) & executable
         total_covered += len(covered)
         total_lines += len(executable)
+        rel = os.path.relpath(path, REPO_ROOT)
+        if any(rel.startswith(prefix) for prefix in select):
+            sel_covered += len(covered)
+            sel_lines += len(executable)
         pct = 100.0 * len(covered) / len(executable) if executable else 100.0
-        rows.append((os.path.relpath(path, REPO_ROOT), len(covered), len(executable), pct))
+        rows.append((rel, len(covered), len(executable), pct))
 
     name_width = max(len(r[0]) for r in rows) if rows else 4
     print()
@@ -90,13 +108,26 @@ def _report() -> None:
     print("-" * (name_width + 30))
     total_pct = 100.0 * total_covered / total_lines if total_lines else 100.0
     print(f"{'TOTAL'.ljust(name_width)}  {total_covered:7d}  {total_lines:10d}  {total_pct:5.1f}")
+    if not select:
+        return total_pct
+    sel_pct = 100.0 * sel_covered / sel_lines if sel_lines else 100.0
+    label = f"SELECTED ({', '.join(select)})"
+    print(f"{label.ljust(name_width)}  {sel_covered:7d}  {sel_lines:10d}  {sel_pct:5.1f}")
+    return sel_pct
 
 
 def main(argv) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("--fail-under", type=float, default=None)
+    parser.add_argument("--select", action="append", default=[])
+    opts, pytest_args = parser.parse_known_args(list(argv))
+
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     import pytest  # imported late so the tracer doesn't slow module import
 
-    pytest_args = list(argv) or ["-x", "-q", "--tb=no"]
+    pytest_args = pytest_args or ["-x", "-q", "--tb=no"]
 
     threading.settrace(_tracer)
     sys.settrace(_tracer)
@@ -106,7 +137,13 @@ def main(argv) -> int:
         sys.settrace(None)
         threading.settrace(None)
 
-    _report()
+    gated_pct = _report(select=tuple(opts.select))
+    if int(rc) == 0 and opts.fail_under is not None and gated_pct < opts.fail_under:
+        print(
+            f"\nFAIL: coverage {gated_pct:.1f}% is below the "
+            f"--fail-under floor of {opts.fail_under:.1f}%"
+        )
+        return 2
     return int(rc)
 
 
