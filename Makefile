@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos telemetry verify coverage bench bench-perf bench-telemetry all
+.PHONY: test chaos telemetry retrieval verify coverage bench bench-perf bench-telemetry bench-retrieval all
 
 test:            ## fast tier-1 suite (chaos/verify deselected)
 	$(PYTEST) -x -q
@@ -10,6 +10,9 @@ chaos:           ## fault-injection suite (docs/resilience.md)
 
 telemetry:       ## observability-layer suite (docs/observability.md)
 	$(PYTEST) -m telemetry -q
+
+retrieval:       ## ANN retrieval / warm-start suite (docs/performance.md)
+	$(PYTEST) -m retrieval -q
 
 verify:          ## invariant + property + differential suites (docs/testing.md)
 	$(PYTEST) -m verify -q
@@ -21,9 +24,12 @@ bench:           ## pytest-benchmark harness
 	$(PYTEST) benchmarks/ --benchmark-only
 
 bench-perf:      ## perf micro-benchmarks + regression guards -> BENCH_perf.json
-	$(PYTEST) benchmarks/bench_perf_gp_update.py benchmarks/bench_perf_scoring.py benchmarks/bench_perf_batch.py benchmarks/bench_perf_parallel.py benchmarks/bench_perf_telemetry.py -q
+	$(PYTEST) benchmarks/bench_perf_gp_update.py benchmarks/bench_perf_scoring.py benchmarks/bench_perf_batch.py benchmarks/bench_perf_parallel.py benchmarks/bench_perf_telemetry.py benchmarks/bench_perf_retrieval.py -q
 
 bench-telemetry: ## telemetry overhead bench -> telemetry section of BENCH_perf.json
 	$(PYTEST) benchmarks/bench_perf_telemetry.py -q
+
+bench-retrieval: ## ANN index bench (full scale) -> retrieval section of BENCH_perf.json
+	$(PYTEST) benchmarks/bench_perf_retrieval.py -q
 
 all: test chaos telemetry verify

@@ -1,0 +1,21 @@
+"""Extension: zero-execution retrieval warm start vs the baseline model.
+
+Regenerates the experiment's series; see DESIGN.md's per-experiment index.
+Run with ``REPRO_BENCH_FULL=1`` for paper-scale sizes.
+"""
+
+from repro.experiments import ext_retrieval_warm_start
+
+
+def test_ext_retrieval_warm_start(run_experiment):
+    result = run_experiment(ext_retrieval_warm_start)
+    # The ISSUE acceptance bar: first-observation regret on the
+    # TPC-DS -> TPC-H transfer no worse than the baseline-model warm start.
+    assert result.scalar("tpch_mean_regret_retrieval") <= result.scalar(
+        "tpch_mean_regret_baseline"
+    )
+    # Both warm starts must serve through the backend path and beat defaults.
+    assert result.scalar("backend_retrieval_hits") == result.scalar("tpch_targets")
+    assert result.scalar("tpch_mean_regret_retrieval") < result.scalar(
+        "tpch_mean_regret_default"
+    )

@@ -1,0 +1,177 @@
+"""Perf: vectorized ANN retrieval vs the per-pair loop, and IVF vs flat.
+
+Two guards back the zero-execution warm start (``repro.retrieval``):
+
+* **flat vs. loop** — one top-k ``dgemm`` over a 100k-entry corpus against
+  the per-pair ``np.dot`` idiom the vectorized kernels replaced (one Python
+  iteration per (query, entry) pair, the honest pre-index baseline).  The
+  flat index must return *exactly* the brute-force top-k — same ids, same
+  order (recall@k = 1.0 by construction, asserted, not assumed) — at
+  >= 20x the loop's throughput.
+* **IVF vs. flat at 1M** — the inverted-file index probing its default
+  ``nprobe`` lists against the exact flat scan over the same million-entry
+  gaussian-mixture corpus: >= 5x further speedup with recall@10 >= 0.95.
+
+Results land in the ``retrieval`` section of ``BENCH_perf.json``.  Set
+``REPRO_BENCH_SMOKE=1`` (CI) to shrink the corpora and skip the speedup
+guards — exactness and recall are still asserted; wall-clock ratios on a
+loaded shared runner are not meaningful.
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+
+from repro.retrieval import FlatIndex, IVFIndex
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+SMOKE_MODE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+DIM = 32
+K = 10
+FLAT_N = 20_000 if SMOKE_MODE else 100_000
+FLAT_Q = 4 if SMOKE_MODE else 8
+IVF_N = 100_000 if SMOKE_MODE else 1_000_000
+IVF_Q = 16
+N_LISTS = 128 if SMOKE_MODE else 1024
+FLAT_REPEATS = 15 if FULL_MODE else 7
+LOOP_REPEATS = 2
+IVF_REPEATS = 15 if FULL_MODE else 7
+FLAT_1M_REPEATS = 3
+# The ISSUE-level floors; regressions below these fail the bench run.
+MIN_FLAT_SPEEDUP = 20.0
+MIN_IVF_SPEEDUP = 5.0
+MIN_RECALL_AT_10 = 0.95
+
+
+def _best_seconds(fn, repeats):
+    # Best-of-N (timeit convention): scheduler noise only adds time, so the
+    # minimum estimates the intrinsic cost.
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return float(np.min(samples))
+
+
+def _mixture(n, dim, n_centers, seed):
+    """Gaussian-mixture corpus — clustered like real embedding spaces, so
+    the IVF coarse quantizer has actual structure to exploit."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=4.0, size=(n_centers, dim))
+    assign = rng.integers(0, n_centers, size=n)
+    return centers[assign] + rng.normal(size=(n, dim))
+
+
+def _loop_topk(entries, queries, k):
+    """The pre-index idiom: one Python iteration per (query, entry) pair."""
+    out = np.empty((len(queries), k), dtype=np.int64)
+    for qi, q in enumerate(queries):
+        qn = np.sqrt(np.dot(q, q))
+        dists = np.empty(len(entries))
+        for i, row in enumerate(entries):
+            denom = max(np.sqrt(np.dot(row, row)) * qn, 1e-12)
+            dists[i] = 1.0 - np.dot(row, q) / denom
+        out[qi] = np.lexsort((np.arange(len(entries)), dists))[:k]
+    return out
+
+
+def test_flat_index_vs_pair_loop(perf_results):
+    entries = _mixture(FLAT_N, DIM, 64, seed=0)
+    queries = _mixture(FLAT_Q, DIM, 64, seed=1)
+    index = FlatIndex(DIM, metric="cosine")
+    index.add(entries)
+
+    # Warm both paths, and pin exactness: the flat index must reproduce the
+    # brute-force ids in brute-force order.
+    flat_ids, _ = index.search(queries, K)
+    loop_ids = _loop_topk(entries, queries, K)
+    exact = bool(np.array_equal(flat_ids, loop_ids))
+    recall = float(np.mean(flat_ids == loop_ids))
+
+    gc.collect()
+    gc.freeze()
+    flat_seconds = _best_seconds(lambda: index.search(queries, K), FLAT_REPEATS)
+    loop_seconds = _best_seconds(lambda: _loop_topk(entries, queries, K), LOOP_REPEATS)
+    gc.unfreeze()
+    speedup = loop_seconds / flat_seconds
+
+    perf_results.setdefault("retrieval", {})["flat_vs_loop"] = {
+        "corpus_size": FLAT_N,
+        "n_queries": FLAT_Q,
+        "dim": DIM,
+        "k": K,
+        "loop_best_seconds": loop_seconds,
+        "flat_best_seconds": flat_seconds,
+        "queries_per_second": FLAT_Q / flat_seconds,
+        "speedup": speedup,
+        "exact_topk": exact,
+        "recall_at_k": recall,
+        "min_speedup_guard": MIN_FLAT_SPEEDUP,
+        "smoke_mode": SMOKE_MODE,
+    }
+
+    # Exactness first: a fast index returning different neighbors is a
+    # different (wrong) retrieval semantics.
+    assert exact, "flat index diverged from brute-force top-k ordering"
+    if not SMOKE_MODE:
+        assert speedup >= MIN_FLAT_SPEEDUP, (
+            f"flat index regression: only {speedup:.1f}x over the pair loop "
+            f"at N={FLAT_N} (guard {MIN_FLAT_SPEEDUP:.0f}x)"
+        )
+
+
+def test_ivf_index_vs_flat_at_scale(perf_results):
+    entries = _mixture(IVF_N, DIM, 256, seed=2)
+    queries = _mixture(IVF_Q, DIM, 256, seed=3)
+    flat = FlatIndex(DIM, metric="cosine")
+    flat.add(entries)
+    ivf = IVFIndex(DIM, n_lists=N_LISTS, metric="cosine", seed=0)
+    build_t0 = time.perf_counter()
+    ivf.add(entries)
+    build_seconds = time.perf_counter() - build_t0
+
+    # Warm both paths; measure recall@10 against the exact flat answer.
+    exact_ids, _ = flat.search(queries, K)
+    ivf_ids, _ = ivf.search(queries, K)
+    recall = float(np.mean([
+        len(set(ivf_ids[q]) & set(exact_ids[q])) / K for q in range(IVF_Q)
+    ]))
+
+    gc.collect()
+    gc.freeze()
+    flat_seconds = _best_seconds(lambda: flat.search(queries, K), FLAT_1M_REPEATS)
+    ivf_seconds = _best_seconds(lambda: ivf.search(queries, K), IVF_REPEATS)
+    gc.unfreeze()
+    speedup = flat_seconds / ivf_seconds
+
+    perf_results.setdefault("retrieval", {})["ivf_vs_flat"] = {
+        "corpus_size": IVF_N,
+        "n_queries": IVF_Q,
+        "dim": DIM,
+        "k": K,
+        "n_lists": N_LISTS,
+        "nprobe": ivf.nprobe,
+        "build_seconds": build_seconds,
+        "flat_best_seconds": flat_seconds,
+        "ivf_best_seconds": ivf_seconds,
+        "queries_per_second": IVF_Q / ivf_seconds,
+        "speedup": speedup,
+        "recall_at_10": recall,
+        "min_speedup_guard": MIN_IVF_SPEEDUP,
+        "min_recall_guard": MIN_RECALL_AT_10,
+        "smoke_mode": SMOKE_MODE,
+    }
+
+    assert recall >= MIN_RECALL_AT_10, (
+        f"IVF recall regression: {recall:.3f} at nprobe={ivf.nprobe} "
+        f"(guard {MIN_RECALL_AT_10})"
+    )
+    if not SMOKE_MODE:
+        assert speedup >= MIN_IVF_SPEEDUP, (
+            f"IVF regression: only {speedup:.1f}x over the flat scan at "
+            f"N={IVF_N} (guard {MIN_IVF_SPEEDUP:.0f}x)"
+        )

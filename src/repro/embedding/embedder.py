@@ -89,5 +89,47 @@ class WorkloadEmbedder:
         return vec
 
     def embed_many(self, plans) -> np.ndarray:
-        """Stack embeddings for a sequence of plans, shape ``(n, dim)``."""
-        return np.array([self.embed(p) for p in plans])
+        """Stack embeddings for a sequence of plans, shape ``(n, dim)``.
+
+        Exactly equal to stacking :meth:`embed` calls, but the operator
+        counting runs as one vectorized pass over all plans' operators:
+        bucket lookups go through ``np.searchsorted`` (identical to the
+        per-operator ``bisect_right``) and land in the matrix via a single
+        unbuffered ``np.add.at`` scatter.  Counts are small-integer float
+        additions, so the accumulation is exact regardless of order.
+        """
+        plans = list(plans)
+        if not plans:
+            return np.empty((0, self.dim))
+        per_type = self.scheme.buckets_per_type if self.use_virtual_operators else 1
+        counts_dim = 2 + len(OP_TYPES) * per_type
+        mat = np.zeros((len(plans), self.dim))
+        type_index = {t: k for k, t in enumerate(OP_TYPES)}
+        rows: List[int] = []
+        type_codes: List[int] = []
+        rows_in: List[float] = []
+        rows_out: List[float] = []
+        for i, plan in enumerate(plans):
+            mat[i, 0] = _log_cardinality(plan.root_cardinality)
+            mat[i, 1] = _log_cardinality(plan.total_leaf_cardinality)
+            for op in plan.operators:
+                rows.append(i)
+                type_codes.append(type_index[op.op_type])
+                rows_in.append(op.est_rows_in)
+                rows_out.append(op.est_rows_out)
+        columns = 2 + np.asarray(type_codes, dtype=np.intp) * per_type
+        if self.use_virtual_operators and rows:
+            rin = np.asarray(rows_in)
+            rout = np.asarray(rows_out)
+            in_bucket = np.searchsorted(self.scheme.input_thresholds, rin, side="right")
+            ratio = np.where(rin > 0, rout / np.where(rin > 0, rin, 1.0), 1.0)
+            ratio_bucket = np.searchsorted(
+                self.scheme.ratio_thresholds, ratio, side="right"
+            )
+            columns = columns + in_bucket * self.scheme.n_ratio_buckets + ratio_bucket
+        if rows:
+            np.add.at(mat, (np.asarray(rows, dtype=np.intp), columns), 1.0)
+        if self.include_structure:
+            for i, plan in enumerate(plans):
+                mat[i, counts_dim:] = structural_features(plan)
+        return mat

@@ -14,6 +14,7 @@ from . import (
     ext_conservative,
     ext_knob_count,
     ext_price_performance,
+    ext_retrieval_warm_start,
     ext_streaming,
     fig01_shuffle_partitions,
     fig02_noisy_convergence,
@@ -52,6 +53,7 @@ ALL_EXPERIMENTS = {
     "ext_conservative": ext_conservative,
     "ext_knob_count": ext_knob_count,
     "ext_price_performance": ext_price_performance,
+    "ext_retrieval_warm_start": ext_retrieval_warm_start,
     "ext_streaming": ext_streaming,
 }
 

@@ -1,0 +1,221 @@
+"""Extension: zero-execution retrieval warm start vs the baseline model.
+
+The cold-start question (ROADMAP; PAPERS.md 2503.03826's "zero-execution"
+RAG tuning): a workload the tuner has *never executed* needs a first
+configuration.  Rockhopper's baseline answer is a surrogate trained on
+benchmark traces, scored over a candidate sweep.  The retrieval answer
+skips the model: look up the nearest tuned history by workload embedding
+(:mod:`repro.retrieval`) and start from the configuration it converged to.
+
+Measured here as **first-observation regret** — the noiseless cost of the
+very first configuration each path would run, relative to the best
+configuration in the evaluated pool — on two cold-start scenarios:
+
+1. **TPC-DS → TPC-H transfer**: corpora harvested from TPC-DS
+   pre-recordings, targets drawn from TPC-H (disjoint benchmarks, the
+   Fig.-12 setting sharpened to iteration zero).
+2. **Customer population**: half a ``workloads.customer`` population forms
+   the corpus; the unseen other half are the targets.
+
+Also exercised end-to-end: the corpus travels through
+``StorageManager``/``AutotuneBackend.fetch_warm_start``, so the reported
+retrieval regrets come from the *service path* (telemetry-counted hits),
+not a shortcut.  The acceptance bar: mean retrieval regret no worse than
+the baseline model's on the transfer scenario.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config_space import ConfigSpace
+from ..embedding.embedder import WorkloadEmbedder
+from ..offline.baseline import default_baseline_model_factory
+from ..retrieval import (
+    RetrievalCorpus,
+    corpus_from_table,
+    probe_population,
+    recommend_config,
+)
+from ..service.auth import SasTokenIssuer
+from ..service.backend import AutotuneBackend
+from ..service.storage import StorageManager
+from ..sparksim.configs import query_level_space
+from ..sparksim.executor import SparkSimulator
+from ..sparksim.noise import no_noise
+from ..workloads.customer import generate_population
+from ..workloads.tpch import tpch_plan
+from .platform_v0 import build_v0_platform, platform_training_table
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _fit_baseline(table):
+    model = default_baseline_model_factory()
+    model.fit(table.X, table.y)
+    return model
+
+
+def _baseline_pick(model, embedding, candidates, data_size: float) -> int:
+    rows = np.hstack([
+        np.tile(embedding, (len(candidates), 1)),
+        candidates,
+        np.full((len(candidates), 1), data_size),
+    ])
+    return int(np.argmin(model.predict(rows)))
+
+
+def _regrets(
+    simulator: SparkSimulator,
+    plan,
+    space: ConfigSpace,
+    scale: float,
+    picks: Dict[str, Dict[str, float]],
+    candidates: np.ndarray,
+) -> Dict[str, float]:
+    """First-observation regret of each pick vs the evaluated pool's best.
+
+    The pool is the candidate sweep plus every pick, so the oracle is the
+    best configuration any strategy *could* have chosen here and all
+    regrets are >= 0.
+    """
+    times = simulator.true_time_batch(plan, candidates, space=space, data_scale=scale)
+    pick_times = {
+        name: simulator.true_time(plan, config, data_scale=scale)
+        for name, config in picks.items()
+    }
+    oracle = min(float(np.min(times)), min(pick_times.values()))
+    return {name: (t - oracle) / oracle for name, t in pick_times.items()}
+
+
+def _serve_corpus(corpus: RetrievalCorpus, space: ConfigSpace, root: str):
+    """Publish the corpus through the real storage/backend service path."""
+    backend = AutotuneBackend(
+        StorageManager(root), SasTokenIssuer("ext-retrieval"), space
+    )
+    backend.publish_retrieval_corpus(corpus)
+    grant = backend.register_job("app-retrieval", "artifact-retrieval", "user-0")
+    return backend, grant.model_read_token
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    n_source = 8 if quick else 16
+    n_targets = 6 if quick else 14
+    n_probe_configs = 24 if quick else 80
+    n_candidates = 64 if quick else 128
+    scale_factor = 10.0 if quick else 100.0
+    pop_size = 8 if quick else 20
+
+    space = query_level_space()
+    embedder = WorkloadEmbedder()
+    simulator = SparkSimulator(noise=no_noise(), seed=seed)
+    rng = np.random.default_rng(seed)
+    candidates = space.latin_hypercube(n_candidates, rng)
+
+    result = ExperimentResult(
+        name="ext_retrieval_warm_start",
+        description=(
+            "First-observation regret (noiseless cost of the first config "
+            "each path would run, vs the best in the evaluated pool) for "
+            "three cold-start strategies: ANN retrieval over tuned "
+            "histories, the baseline surrogate over a candidate sweep, and "
+            "Spark defaults.  Scenario 1 transfers TPC-DS corpora to TPC-H "
+            "targets through the real backend service path; scenario 2 "
+            "splits a customer population into corpus and unseen halves."
+        ),
+    )
+
+    # -- scenario 1: TPC-DS corpus -> TPC-H targets --------------------------------
+    platform = build_v0_platform(
+        list(range(1, n_source + 1)), benchmark="tpcds",
+        scale_factor=scale_factor, n_configs=n_probe_configs, seed=seed,
+    )
+    table = platform_training_table(platform, space)
+    corpus = corpus_from_table(table, space, workload_prefix="tpcds")
+    corpus.build_index("flat")
+    baseline_model = _fit_baseline(table)
+
+    regrets: Dict[str, List[float]] = {"retrieval": [], "baseline": [], "default": []}
+    hits = 0
+    with tempfile.TemporaryDirectory() as root:
+        backend, token = _serve_corpus(corpus, space, root)
+        for q in range(1, n_targets + 1):
+            plan = tpch_plan(q, scale_factor)
+            embedding = embedder.embed(plan)
+            data_size = max(plan.total_leaf_cardinality, 1.0)
+            suggestion = backend.fetch_warm_start(
+                token, "user-0", plan.signature(), embedding, data_size=data_size
+            )
+            assert suggestion is not None and suggestion.source == "retrieval"
+            hits += 1
+            picks = {
+                "retrieval": suggestion.config,
+                "baseline": space.to_dict(candidates[_baseline_pick(
+                    baseline_model, embedding, candidates, data_size
+                )]),
+                "default": space.default_dict(),
+            }
+            for name, value in _regrets(
+                simulator, plan, space, 1.0, picks, candidates
+            ).items():
+                regrets[name].append(value)
+        assert backend.retrieval_hits == hits
+
+    for name, values in regrets.items():
+        result.series[f"tpch_regret_{name}"] = np.array(values)
+        result.scalars[f"tpch_mean_regret_{name}"] = float(np.mean(values))
+    result.scalars["tpch_targets"] = float(n_targets)
+    result.scalars["backend_retrieval_hits"] = float(hits)
+
+    # -- scenario 2: customer population, unseen half ------------------------------
+    population = generate_population(pop_size, seed=seed)
+    half = pop_size // 2
+    pop_corpus, pop_table = probe_population(
+        population[:half], space, n_configs=n_probe_configs, seed=seed,
+        embedder=embedder,
+    )
+    pop_corpus.build_index("flat")
+    pop_model = _fit_baseline(pop_table)
+
+    pop_regrets: Dict[str, List[float]] = {
+        "retrieval": [], "baseline": [], "default": []
+    }
+    for workload in population[half:]:
+        for plan in workload.plans:
+            embedding = embedder.embed(plan)
+            data_size = max(plan.total_leaf_cardinality, 1.0) * workload.scale
+            neighbors = pop_corpus.search(embedding, k=3)
+            picks = {
+                "retrieval": recommend_config(neighbors, space, data_size=data_size),
+                "baseline": space.to_dict(candidates[_baseline_pick(
+                    pop_model, embedding, candidates, data_size
+                )]),
+                "default": space.default_dict(),
+            }
+            for name, value in _regrets(
+                simulator, plan, space, workload.scale, picks, candidates
+            ).items():
+                pop_regrets[name].append(value)
+
+    for name, values in pop_regrets.items():
+        result.series[f"population_regret_{name}"] = np.array(values)
+        result.scalars[f"population_mean_regret_{name}"] = float(np.mean(values))
+    result.scalars["population_targets"] = float(len(pop_regrets["retrieval"]))
+
+    result.notes.append(
+        "Expected shape: both warm starts beat the defaults by a wide "
+        "margin; retrieval matches or beats the baseline model at zero "
+        "model evaluations (mean TPC-H regret no worse — the acceptance "
+        "bar the bench asserts)."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .report import render_result
+
+    print(render_result(run(quick=True)))

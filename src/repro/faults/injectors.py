@@ -13,9 +13,13 @@ Injection-point map (one :class:`FaultKind` opportunity per call):
                       (at-least-once re-delivery), REORDER_EVENTS;
                       ``submit_app_end`` → TOKEN_EXPIRY, DUPLICATE_EVENT;
                       ``fetch_model`` → TOKEN_EXPIRY, STORAGE_READ_ERROR,
-                      MODEL_CORRUPTION.
-``FaultyStorage``     ``append_events``/``write_model`` → STORAGE_WRITE_ERROR;
-                      ``read_model``/``read_*_events`` → STORAGE_READ_ERROR.
+                      MODEL_CORRUPTION;
+                      ``fetch_warm_start`` → TOKEN_EXPIRY, STORAGE_READ_ERROR.
+``FaultyStorage``     ``append_events``/``write_model``/
+                      ``write_retrieval_corpus`` → STORAGE_WRITE_ERROR;
+                      ``read_model``/``read_*_events``/
+                      ``read_retrieval_corpus`` → STORAGE_READ_ERROR
+                      (+ MODEL_CORRUPTION on the corpus payload).
 ``FaultySimulator``   ``run``/``run_batch`` (one opportunity per result, in
                       batch order)/``run_to_event`` → LATENCY_SPIKE
                       (multiplies the *observed* time by the spec magnitude;
@@ -120,6 +124,15 @@ class FaultyBackend(_Delegate):
             return corrupt_payload(payload, self.plan.rng_for(FaultKind.MODEL_CORRUPTION))
         return payload
 
+    def fetch_warm_start(self, token, user_id, query_signature, embedding, **kwargs):
+        if self.plan.should_fire(FaultKind.TOKEN_EXPIRY):
+            raise TokenError("injected: model-read token rejected")
+        if self.plan.should_fire(FaultKind.STORAGE_READ_ERROR):
+            raise TransientServiceError("injected: warm-start fetch failed")
+        return self.inner.fetch_warm_start(
+            token, user_id, query_signature, embedding, **kwargs
+        )
+
 
 class FaultyStorage(_Delegate):
     """Wraps a :class:`~repro.service.storage.StorageManager` with flaky IO —
@@ -149,6 +162,19 @@ class FaultyStorage(_Delegate):
         if self.plan.should_fire(FaultKind.STORAGE_READ_ERROR):
             raise TransientServiceError("injected: event read failed")
         return self.inner.read_artifact_events(artifact_id)
+
+    def write_retrieval_corpus(self, payload):
+        if self.plan.should_fire(FaultKind.STORAGE_WRITE_ERROR):
+            raise TransientServiceError("injected: corpus write failed")
+        return self.inner.write_retrieval_corpus(payload)
+
+    def read_retrieval_corpus(self):
+        if self.plan.should_fire(FaultKind.STORAGE_READ_ERROR):
+            raise TransientServiceError("injected: corpus read failed")
+        payload = self.inner.read_retrieval_corpus()
+        if payload is not None and self.plan.should_fire(FaultKind.MODEL_CORRUPTION):
+            return corrupt_payload(payload, self.plan.rng_for(FaultKind.MODEL_CORRUPTION))
+        return payload
 
 
 class FaultySimulator(_Delegate):

@@ -23,7 +23,16 @@ from .linear import LinearRegression, RidgeRegression
 from .svr import SVR
 from .tree import DecisionTreeRegressor, _Node
 
-__all__ = ["dumps_model", "loads_model", "save_model", "load_model"]
+__all__ = [
+    "dumps_model",
+    "loads_model",
+    "save_model",
+    "load_model",
+    "dumps_index",
+    "loads_index",
+    "index_to_payload",
+    "index_from_payload",
+]
 
 _KERNELS = {"RBFKernel": RBFKernel, "Matern52Kernel": Matern52Kernel}
 
@@ -210,6 +219,42 @@ def loads_model(data: str):
         model._chol = (np.tril(L), True)
         return model
     raise TypeError(f"unsupported serialized model type: {kind}")
+
+
+def index_to_payload(index) -> Dict[str, Any]:
+    """Serialize an ANN index to a JSON-safe payload dict.
+
+    JSON floats round-trip ``float64`` exactly (shortest-repr encoding), so
+    a reloaded index answers every query with bit-identical ids *and*
+    distances — the save/load byte-identity the retrieval tests pin.
+    """
+    from ..retrieval.index import FlatIndex, IVFIndex
+
+    if not isinstance(index, (FlatIndex, IVFIndex)):
+        raise TypeError(f"unsupported index type: {type(index).__name__}")
+    return index.to_payload()
+
+
+def index_from_payload(payload: Dict[str, Any]):
+    """Restore an ANN index from :func:`index_to_payload` output."""
+    from ..retrieval.index import FlatIndex, IVFIndex
+
+    kind = payload.get("type")
+    if kind == "FlatIndex":
+        return FlatIndex.from_payload(payload)
+    if kind == "IVFIndex":
+        return IVFIndex.from_payload(payload)
+    raise TypeError(f"unsupported serialized index type: {kind!r}")
+
+
+def dumps_index(index) -> str:
+    """Serialize a :mod:`repro.retrieval` index to a JSON string."""
+    return json.dumps(index_to_payload(index))
+
+
+def loads_index(data: str):
+    """Restore an index serialized by :func:`dumps_index`."""
+    return index_from_payload(json.loads(data))
 
 
 def save_model(model, path: Union[str, Path]) -> Path:

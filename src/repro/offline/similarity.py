@@ -6,6 +6,16 @@ warm-starting from the whole benchmark table, keep only the rows whose
 query embeddings are closest to the target workload's.  With Fig.-12's
 adaptability mechanism in mind, fewer-but-relevant rows beat
 more-but-diluting ones.
+
+All distance kernels here are single NumPy broadcasts and accept either one
+target embedding ``(d,)`` or a batch ``(q, d)``.  The batched result is
+**bitwise identical** to stacking single-target calls: reductions go
+through ``np.einsum``, whose summation order along the feature axis does
+not depend on how many targets ride in the batch (BLAS ``dgemm`` would be
+faster but reassociates, so a fleet-sized batch would not reproduce the
+per-query path bit-for-bit — the ANN index in :mod:`repro.retrieval` makes
+the opposite trade and is checked against this kernel by a differential
+oracle instead).
 """
 
 from __future__ import annotations
@@ -18,31 +28,48 @@ from .etl import TrainingTable
 
 __all__ = ["embedding_distances", "select_similar", "nearest_signatures"]
 
+_EPS = 1e-12
+
+
+def _distance_kernel(
+    embeddings: np.ndarray, targets: np.ndarray, metric: str
+) -> np.ndarray:
+    """``(q, n)`` distances from each target row to each corpus row."""
+    if metric == "euclidean":
+        return np.linalg.norm(embeddings[None, :, :] - targets[:, None, :], axis=2)
+    if metric == "cosine":
+        dots = np.einsum("nd,qd->qn", embeddings, targets)
+        norms = np.einsum("nd,nd->n", embeddings, embeddings)
+        np.sqrt(norms, out=norms)
+        target_norms = np.sqrt(np.einsum("qd,qd->q", targets, targets))
+        scale = np.maximum(norms[None, :] * target_norms[:, None], _EPS)
+        return 1.0 - dots / scale
+    raise ValueError(f"unknown metric {metric!r}")
+
 
 def embedding_distances(
     table: TrainingTable, target_embedding: np.ndarray, metric: str = "cosine"
 ) -> np.ndarray:
-    """Distance from each table row's embedding to the target.
+    """Distance from each table row's embedding to the target(s).
 
     Args:
         table: an Eq.-2 training table (embedding columns lead each row).
-        target_embedding: the target workload's embedding vector.
+        target_embedding: one target embedding ``(d,)`` — returns ``(n,)``
+            — or a batch ``(q, d)`` — returns ``(q, n)``.  The batch is
+            bitwise-equal to stacking the single-target results.
         metric: ``"cosine"`` (1 − cosine similarity) or ``"euclidean"``.
     """
     target = np.asarray(target_embedding, dtype=float)
-    if target.shape != (table.embedding_dim,):
+    single = target.ndim == 1
+    targets = target[None, :] if single else target
+    if targets.ndim != 2 or targets.shape[1] != table.embedding_dim:
         raise ValueError(
             f"target embedding has shape {target.shape}, "
-            f"expected ({table.embedding_dim},)"
+            f"expected ({table.embedding_dim},) or (q, {table.embedding_dim})"
         )
     embeddings = table.X[:, : table.embedding_dim]
-    if metric == "euclidean":
-        return np.linalg.norm(embeddings - target, axis=1)
-    if metric == "cosine":
-        norms = np.linalg.norm(embeddings, axis=1) * np.linalg.norm(target)
-        norms = np.maximum(norms, 1e-12)
-        return 1.0 - (embeddings @ target) / norms
-    raise ValueError(f"unknown metric {metric!r}")
+    distances = _distance_kernel(embeddings, targets, metric)
+    return distances[0] if single else distances
 
 
 def select_similar(
@@ -55,6 +82,8 @@ def select_similar(
     if n_rows < 1:
         raise ValueError("n_rows must be >= 1")
     distances = embedding_distances(table, target_embedding, metric)
+    if distances.ndim != 1:
+        raise ValueError("select_similar takes a single target embedding")
     order = np.argsort(distances, kind="stable")[: min(n_rows, len(table))]
     idx = np.sort(order)
     return TrainingTable(
@@ -73,15 +102,34 @@ def nearest_signatures(
     k: int = 3,
     metric: str = "cosine",
 ) -> List[Tuple[str, float]]:
-    """The ``k`` most similar query signatures with their mean distances."""
+    """The ``k`` most similar query signatures with their mean distances.
+
+    Per-signature means are accumulated with one unbuffered ``np.add.at``
+    scatter in row order — bitwise-equal to the per-row Python loop this
+    replaced — and ties on the mean distance are broken by the signature
+    string itself (stable secondary key), so the ranking is reproducible
+    across platforms and dict-iteration orders.
+    """
     if k < 1:
         raise ValueError("k must be >= 1")
     distances = embedding_distances(table, target_embedding, metric)
-    per_sig: dict = {}
-    counts: dict = {}
-    for sig, dist in zip(table.signatures, distances):
-        per_sig[sig] = per_sig.get(sig, 0.0) + float(dist)
-        counts[sig] = counts.get(sig, 0) + 1
-    means = [(sig, per_sig[sig] / counts[sig]) for sig in per_sig]
-    means.sort(key=lambda item: item[1])
-    return means[:k]
+    if distances.ndim != 1:
+        raise ValueError("nearest_signatures takes a single target embedding")
+    # First-appearance order of each signature, matching the historical
+    # dict-insertion grouping (np.unique would sort, changing group ids).
+    sig_index: dict = {}
+    codes = np.empty(len(table.signatures), dtype=np.intp)
+    for i, sig in enumerate(table.signatures):
+        code = sig_index.get(sig)
+        if code is None:
+            code = len(sig_index)
+            sig_index[sig] = code
+        codes[i] = code
+    sums = np.zeros(len(sig_index))
+    counts = np.zeros(len(sig_index))
+    np.add.at(sums, codes, distances)
+    np.add.at(counts, codes, 1.0)
+    signatures = list(sig_index)
+    means = sums / counts
+    order = sorted(range(len(signatures)), key=lambda i: (means[i], signatures[i]))
+    return [(signatures[i], float(means[i])) for i in order[:k]]

@@ -13,7 +13,7 @@ observations and benchmark workload data."  Two mechanisms are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +32,7 @@ def warm_start_cbo(
     n_samples: Optional[int] = None,
     model_factory: Optional[Callable[[], Regressor]] = None,
     seed: Optional[int] = None,
+    neighbors: Optional[Sequence] = None,
     **cbo_kwargs,
 ) -> ContextualBayesianOptimization:
     """Contextual BO warm-started with ``n_samples`` benchmark rows.
@@ -39,10 +40,20 @@ def warm_start_cbo(
     Fig. 12 trains the baseline on 100 / 500 / 1000 random samples drawn from
     all queries except the optimization target; pass the leave-one-out table
     (see :meth:`TrainingTable.exclude_signature`) and the sample budget here.
+
+    ``neighbors`` — retrieved tuned histories
+    (:class:`repro.retrieval.RetrievedNeighbor`) — are appended as extra
+    prior rows *after* subsampling, so the ANN warm start is never
+    subsampled away: each neighbor's tuned configuration enters the
+    surrogate as a known-good (embedding, config, cost) observation.
     """
     rng = np.random.default_rng(seed)
     if n_samples is not None:
         table = table.subsample(n_samples, rng)
+    if neighbors:
+        from ..retrieval.corpus import neighbors_table
+
+        table = table.concat(neighbors_table(list(neighbors), space))
     return ContextualBayesianOptimization(
         space=space,
         embedding_dim=table.embedding_dim,

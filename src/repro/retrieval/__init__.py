@@ -1,0 +1,41 @@
+"""Vectorized ANN retrieval over workload embeddings (zero-execution warm start).
+
+``repro.retrieval`` turns tuned histories into a nearest-neighbor service:
+:mod:`index` holds the NumPy-only ANN structures (exact
+:class:`FlatIndex`, partitioned :class:`IVFIndex`); :mod:`corpus` holds the
+record store and offline builders that harvest (embedding, tuned config,
+observed cost) triples from ``repro.offline`` tables and
+``workloads.customer`` populations.  The serving side lives in
+:meth:`repro.service.backend.AutotuneBackend.fetch_warm_start`.
+"""
+
+from .corpus import (
+    DATA_PROPORTIONAL_KNOBS,
+    CorpusRecord,
+    RetrievalCorpus,
+    RetrievedNeighbor,
+    adapt_config,
+    corpus_from_population,
+    corpus_from_table,
+    neighbors_table,
+    probe_population,
+    recommend_config,
+)
+from .index import FlatIndex, IVFIndex, assign_clusters, kmeans
+
+__all__ = [
+    "CorpusRecord",
+    "DATA_PROPORTIONAL_KNOBS",
+    "FlatIndex",
+    "IVFIndex",
+    "RetrievalCorpus",
+    "RetrievedNeighbor",
+    "adapt_config",
+    "assign_clusters",
+    "corpus_from_population",
+    "corpus_from_table",
+    "kmeans",
+    "neighbors_table",
+    "probe_population",
+    "recommend_config",
+]

@@ -1,0 +1,423 @@
+"""Tuned-history corpus: (embedding, tuned config, observed cost) records.
+
+The retrieval warm start (ROADMAP; PAPERS.md 2503.03826 "zero-execution"
+RAG tuning, Rover's transfer backbone) answers: *given a never-executed
+workload's embedding, which tuned history is closest, and what config did
+it converge to?*  This module is the corpus side of that question:
+
+* :class:`CorpusRecord` — one tuned history: the workload embedding, the
+  best configuration observed for it, that configuration's cost, and
+  provenance (workload/signature/region, reference data size).
+* :class:`RetrievalCorpus` — records plus an ANN index
+  (:class:`~repro.retrieval.index.FlatIndex` or
+  :class:`~repro.retrieval.index.IVFIndex`) over their embeddings, with a
+  JSON payload round-trip for backend storage.
+* builders — :func:`corpus_from_table` harvests an Eq.-2
+  :class:`~repro.offline.etl.TrainingTable` (best row per query
+  signature); :func:`probe_population` runs a seeded noiseless
+  configuration sweep over a :mod:`repro.workloads.customer` population
+  through the batch cost kernel, yielding both the corpus and the Eq.-2
+  probe table (the baseline model's training data — same observations,
+  two consumers).
+* :func:`neighbors_table` — retrieved neighbors as warm-start prior rows
+  for :func:`repro.offline.transfer.warm_start_cbo`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import telemetry
+from ..core.config_space import ConfigSpace
+from ..offline.etl import TrainingTable
+from .index import FlatIndex, IVFIndex
+
+__all__ = [
+    "CorpusRecord",
+    "DATA_PROPORTIONAL_KNOBS",
+    "RetrievalCorpus",
+    "RetrievedNeighbor",
+    "adapt_config",
+    "corpus_from_table",
+    "corpus_from_population",
+    "probe_population",
+    "neighbors_table",
+    "recommend_config",
+]
+
+#: Knobs whose optimum tracks the input data size roughly linearly (the
+#: paper's Fig.-1 observation for shuffle partitions: work per partition is
+#: data volume over partition count, so the sweet spot moves with volume).
+#: :func:`adapt_config` rescales these when transferring a tuned config to
+#: a workload of a different size; everything else transfers verbatim.
+DATA_PROPORTIONAL_KNOBS = ("spark.sql.shuffle.partitions",)
+
+
+@dataclass(frozen=True)
+class CorpusRecord:
+    """One tuned history the index can recommend from."""
+
+    workload_id: str
+    signature: str
+    embedding: np.ndarray
+    config: Dict[str, float]
+    observed_cost: float
+    default_cost: float = float("nan")
+    data_size: float = 1.0
+    region: str = "default"
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "workload_id": self.workload_id,
+            "signature": self.signature,
+            "embedding": np.asarray(self.embedding, dtype=float).tolist(),
+            "config": {k: float(v) for k, v in self.config.items()},
+            "observed_cost": float(self.observed_cost),
+            "default_cost": float(self.default_cost),
+            "data_size": float(self.data_size),
+            "region": self.region,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CorpusRecord":
+        return cls(
+            workload_id=str(payload["workload_id"]),
+            signature=str(payload["signature"]),
+            embedding=np.asarray(payload["embedding"], dtype=float),
+            config={k: float(v) for k, v in payload["config"].items()},
+            observed_cost=float(payload["observed_cost"]),
+            default_cost=float(payload["default_cost"]),
+            data_size=float(payload["data_size"]),
+            region=str(payload["region"]),
+        )
+
+
+@dataclass(frozen=True)
+class RetrievedNeighbor:
+    """One search hit: the record plus its embedding distance."""
+
+    record: CorpusRecord
+    distance: float
+
+
+class RetrievalCorpus:
+    """Records + ANN index over their embeddings.
+
+    Record ids are positions in :attr:`records`; the index is rebuilt on
+    demand (``build_index``) or extended incrementally (``add``).
+    """
+
+    def __init__(self, embedding_dim: int, metric: str = "cosine"):
+        if embedding_dim < 1:
+            raise ValueError("embedding_dim must be >= 1")
+        self.embedding_dim = int(embedding_dim)
+        self.metric = metric
+        self.records: List[CorpusRecord] = []
+        self.index: Optional[Union[FlatIndex, IVFIndex]] = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def add(self, records: Sequence[CorpusRecord]) -> None:
+        """Append records, extending any existing index incrementally."""
+        fresh = list(records)
+        for record in fresh:
+            if np.asarray(record.embedding).shape != (self.embedding_dim,):
+                raise ValueError(
+                    f"record {record.workload_id!r} embedding has shape "
+                    f"{np.asarray(record.embedding).shape}, "
+                    f"expected ({self.embedding_dim},)"
+                )
+        start = len(self.records)
+        self.records.extend(fresh)
+        if self.index is not None and fresh:
+            self.index.add(
+                np.array([r.embedding for r in fresh]),
+                np.arange(start, start + len(fresh), dtype=np.int64),
+            )
+
+    def build_index(
+        self, kind: str = "flat", **index_kwargs
+    ) -> Union[FlatIndex, IVFIndex]:
+        """(Re)build the ANN index over all current records."""
+        if kind == "flat":
+            index = FlatIndex(self.embedding_dim, metric=self.metric)
+        elif kind == "ivf":
+            index_kwargs.setdefault(
+                "n_lists", max(1, int(round(np.sqrt(max(len(self.records), 1)))))
+            )
+            index = IVFIndex(self.embedding_dim, metric=self.metric, **index_kwargs)
+        else:
+            raise ValueError(f"unknown index kind {kind!r}")
+        if self.records:
+            index.add(np.array([r.embedding for r in self.records]))
+        self.index = index
+        return index
+
+    def search(
+        self, embedding: np.ndarray, k: int = 3
+    ) -> List[RetrievedNeighbor]:
+        """The ``k`` nearest tuned histories for one target embedding."""
+        if not self.records:
+            return []
+        if self.index is None:
+            self.build_index()
+        ids, distances = self.index.search(np.asarray(embedding, dtype=float), k)
+        out = [
+            RetrievedNeighbor(record=self.records[int(i)], distance=float(d))
+            for i, d in zip(np.atleast_1d(ids), np.atleast_1d(distances))
+            if i >= 0
+        ]
+        telemetry.counter("retrieval.corpus_queries").inc()
+        return out
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        from ..ml.serialize import index_to_payload
+
+        return {
+            "type": "RetrievalCorpus",
+            "embedding_dim": self.embedding_dim,
+            "metric": self.metric,
+            "records": [r.to_payload() for r in self.records],
+            "index": None if self.index is None else index_to_payload(self.index),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "RetrievalCorpus":
+        from ..ml.serialize import index_from_payload
+
+        corpus = cls(int(payload["embedding_dim"]), metric=str(payload["metric"]))
+        corpus.records = [CorpusRecord.from_payload(p) for p in payload["records"]]
+        if payload["index"] is not None:
+            corpus.index = index_from_payload(payload["index"])
+        return corpus
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_payload())
+
+    @classmethod
+    def loads(cls, data: str) -> "RetrievalCorpus":
+        return cls.from_payload(json.loads(data))
+
+
+# -- builders ------------------------------------------------------------------------
+
+
+def corpus_from_table(
+    table: TrainingTable, space: ConfigSpace, workload_prefix: str = "table"
+) -> RetrievalCorpus:
+    """Harvest the best observed row per query signature from an Eq.-2 table.
+
+    Ties on the observed cost keep the earliest row (stable ``argmin``),
+    so repeated builds from the same table agree.
+    """
+    if space.dim != table.config_dim:
+        raise ValueError(
+            f"space dim {space.dim} != table config dim {table.config_dim}"
+        )
+    corpus = RetrievalCorpus(table.embedding_dim)
+    groups: Dict[str, List[int]] = {}
+    for i, sig in enumerate(table.signatures):
+        groups.setdefault(sig, []).append(i)
+    records = []
+    for sig in sorted(groups):
+        rows = groups[sig]
+        best = rows[int(np.argmin(table.y[rows]))]
+        x = table.X[best]
+        emb = x[: table.embedding_dim]
+        config_vec = x[table.embedding_dim : table.embedding_dim + table.config_dim]
+        records.append(
+            CorpusRecord(
+                workload_id=f"{workload_prefix}:{sig[:12]}",
+                signature=sig,
+                embedding=emb.copy(),
+                config=space.to_dict(config_vec),
+                observed_cost=float(table.y[best]),
+                data_size=float(x[-1]),
+                region=table.regions[best],
+            )
+        )
+    corpus.add(records)
+    return corpus
+
+
+def probe_population(
+    population: Sequence,
+    space: ConfigSpace,
+    n_configs: int = 48,
+    seed: int = 0,
+    embedder=None,
+) -> Tuple[RetrievalCorpus, TrainingTable]:
+    """Sweep each workload's plans and harvest corpus + probe table.
+
+    For every plan of every :class:`~repro.workloads.customer
+    .CustomerWorkload`, a seeded Latin-hypercube sweep of ``n_configs``
+    configurations is scored noiselessly through the batch cost kernel
+    (``SparkSimulator.true_time_batch`` — no live executions, the
+    zero-execution premise).  The best configuration becomes a
+    :class:`CorpusRecord`; *all* probe rows become the returned Eq.-2
+    :class:`TrainingTable` (train the baseline warm-start model on it, so
+    both warm-start paths see identical data).
+    """
+    from ..embedding.embedder import WorkloadEmbedder
+    from ..sparksim.executor import SparkSimulator
+    from ..sparksim.noise import no_noise
+
+    if n_configs < 2:
+        raise ValueError("n_configs must be >= 2")
+    embedder = embedder or WorkloadEmbedder()
+    simulator = SparkSimulator(noise=no_noise(), seed=seed)
+    rng = np.random.default_rng(seed)
+    corpus = RetrievalCorpus(embedder.dim)
+    records: List[CorpusRecord] = []
+    rows: List[np.ndarray] = []
+    targets: List[float] = []
+    signatures: List[str] = []
+    regions: List[str] = []
+    for workload in population:
+        embeddings = embedder.embed_many(workload.plans)
+        for plan, embedding in zip(workload.plans, embeddings):
+            configs = space.latin_hypercube(n_configs, rng)
+            times = simulator.true_time_batch(
+                plan, configs, space=space, data_scale=workload.scale
+            )
+            default_cost = simulator.true_time(
+                plan, space.default_dict(), data_scale=workload.scale
+            )
+            best = int(np.argmin(times))
+            data_size = max(plan.total_leaf_cardinality, 1.0) * workload.scale
+            signature = plan.signature()
+            records.append(
+                CorpusRecord(
+                    workload_id=workload.workload_id,
+                    signature=signature,
+                    embedding=embedding.copy(),
+                    config=space.to_dict(configs[best]),
+                    observed_cost=float(times[best]),
+                    default_cost=float(default_cost),
+                    data_size=data_size,
+                )
+            )
+            for vector, seconds in zip(configs, times):
+                rows.append(np.concatenate([embedding, vector, [data_size]]))
+                targets.append(float(seconds))
+                signatures.append(signature)
+                regions.append("default")
+    corpus.add(records)
+    table = TrainingTable(
+        X=np.array(rows),
+        y=np.array(targets),
+        embedding_dim=embedder.dim,
+        config_dim=space.dim,
+        signatures=signatures,
+        regions=regions,
+    )
+    return corpus, table
+
+
+def corpus_from_population(
+    population: Sequence,
+    space: ConfigSpace,
+    n_configs: int = 48,
+    seed: int = 0,
+    embedder=None,
+) -> RetrievalCorpus:
+    """:func:`probe_population`, keeping only the corpus."""
+    corpus, _ = probe_population(
+        population, space, n_configs=n_configs, seed=seed, embedder=embedder
+    )
+    return corpus
+
+
+def adapt_config(
+    record: CorpusRecord,
+    space: ConfigSpace,
+    data_size: Optional[float] = None,
+    data_scaled_knobs: Sequence[str] = DATA_PROPORTIONAL_KNOBS,
+) -> Dict[str, float]:
+    """One neighbor's tuned config, rescaled to the target's data size.
+
+    A history tuned at 1e8 rows recommends ~20 shuffle partitions; replayed
+    verbatim on a 6e8-row workload that is a 10x regression (measured in
+    ``ext_retrieval_warm_start``).  Scaling the data-proportional knobs by
+    ``data_size / record.data_size`` (then clipping into the space) moves
+    the transferred config into the target's operating regime while keeping
+    the shape-specific knobs the neighbor actually tuned.
+    """
+    config = dict(record.config)
+    if (
+        data_size is not None
+        and np.isfinite(record.data_size)
+        and record.data_size > 0.0
+    ):
+        ratio = float(data_size) / float(record.data_size)
+        for knob in data_scaled_knobs:
+            if knob in config:
+                config[knob] = config[knob] * ratio
+    return space.to_dict(space.clip(space.to_vector(config)))
+
+
+def recommend_config(
+    neighbors: Sequence[RetrievedNeighbor],
+    space: ConfigSpace,
+    data_size: Optional[float] = None,
+    data_scaled_knobs: Sequence[str] = DATA_PROPORTIONAL_KNOBS,
+) -> Dict[str, float]:
+    """Zero-execution recommendation from retrieved neighbors.
+
+    Each neighbor's config is size-adapted (:func:`adapt_config`), then the
+    adapted vectors are averaged in the space's *internal* scale (a
+    geometric mean for log-scaled knobs) and clipped.  The mean is
+    deliberate: a single neighbor transplants that workload's
+    idiosyncrasies, while the centroid of k size-adjusted tuned histories
+    lands mid-basin — in the transfer experiment it roughly halves the
+    single-neighbor regret.
+    """
+    if not neighbors:
+        raise ValueError("no neighbors to recommend from")
+    vectors = np.array([
+        space.to_vector(
+            adapt_config(n.record, space, data_size, data_scaled_knobs)
+        )
+        for n in neighbors
+    ])
+    return space.to_dict(space.clip(vectors.mean(axis=0)))
+
+
+def neighbors_table(
+    neighbors: Sequence[RetrievedNeighbor], space: ConfigSpace
+) -> TrainingTable:
+    """Retrieved neighbors as Eq.-2 warm-start prior rows.
+
+    Each neighbor contributes one row ``[embedding | tuned config | data
+    size] → observed cost`` — the shape :func:`repro.offline.transfer
+    .warm_start_cbo` seeds a Contextual BO with.
+    """
+    if not neighbors:
+        raise ValueError("no neighbors to build a table from")
+    dims = {np.asarray(n.record.embedding).shape for n in neighbors}
+    if len(dims) != 1:
+        raise ValueError(f"neighbors carry mixed embedding shapes: {dims}")
+    rows = []
+    for n in neighbors:
+        rows.append(
+            np.concatenate([
+                np.asarray(n.record.embedding, dtype=float),
+                space.to_vector(n.record.config),
+                [n.record.data_size],
+            ])
+        )
+    return TrainingTable(
+        X=np.array(rows),
+        y=np.array([n.record.observed_cost for n in neighbors]),
+        embedding_dim=len(rows[0]) - space.dim - 1,
+        config_dim=space.dim,
+        signatures=[n.record.signature for n in neighbors],
+        regions=[n.record.region for n in neighbors],
+    )

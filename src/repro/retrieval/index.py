@@ -1,0 +1,546 @@
+"""Vectorized ANN indexes over workload-embedding vectors.
+
+Two NumPy-only index structures back the zero-execution warm start
+(ROADMAP: retrieval-augmented cold start; PAPERS.md 2503.03826, Rover):
+
+* :class:`FlatIndex` — the exact reference: a row-normalized corpus matrix,
+  one top-k ``dgemm`` per *query batch*, and deterministic tie-breaking
+  (descending similarity, then ascending entry id).  Search results are
+  identical — ordering included — to a brute-force stable sort over the
+  same score matrix, which the bench and the ``verify.diff`` oracle check.
+* :class:`IVFIndex` — an inverted-file index for corpora in the millions:
+  a seeded k-means coarse quantizer partitions entries into ``n_lists``
+  contiguous slabs; a query scores the ``nprobe`` nearest lists only.
+  Recall is < 1 by construction (measured in ``bench_perf_retrieval``);
+  tie-breaking and per-list scoring follow the flat rules, and with
+  ``n_lists=1, nprobe=1`` the index degenerates to the flat search.
+
+Both support incremental :meth:`add` with amortized re-packing (capacity
+doubling for the flat buffer; per-list pending blocks for IVF, re-packed
+once they outgrow a fraction of the packed storage) and an exact save/load
+round-trip through :func:`repro.ml.serialize.dumps_index` — JSON floats
+round-trip ``float64`` bit-for-bit, so a reloaded index returns the same
+ids *and the same distances* as the original.
+
+Distances use the convention of :mod:`repro.offline.similarity`:
+``"cosine"`` returns ``1 − cosine similarity``; ``"euclidean"`` the L2
+distance.  Queries may be a single vector ``(d,)`` or a batch ``(q, d)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+
+__all__ = ["FlatIndex", "IVFIndex", "kmeans"]
+
+_EPS = 1e-12
+_METRICS = ("cosine", "euclidean")
+
+
+def _as_matrix(vectors: np.ndarray, dim: int, what: str) -> np.ndarray:
+    out = np.ascontiguousarray(np.atleast_2d(np.asarray(vectors, dtype=float)))
+    if out.ndim != 2 or out.shape[1] != dim:
+        raise ValueError(f"{what} must have shape (n, {dim}), got {np.asarray(vectors).shape}")
+    return out
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.sqrt(np.einsum("nd,nd->n", matrix, matrix))
+    return matrix / np.maximum(norms, _EPS)[:, None]
+
+
+def _similarities(stored: np.ndarray, queries: np.ndarray, metric: str) -> np.ndarray:
+    """``(q, n)`` scores, **higher = closer** for both metrics.
+
+    ``stored`` rows are pre-normalized for cosine.  Euclidean uses the
+    expansion trick: ranking by ``-(‖s‖² − 2 s·q)`` equals ranking by
+    ``-‖s − q‖²`` (the ``‖q‖²`` term is constant per query row).
+    """
+    if metric == "cosine":
+        qn = _normalize_rows(queries)
+        return qn @ stored.T
+    sq = np.einsum("nd,nd->n", stored, stored)
+    return 2.0 * (queries @ stored.T) - sq[None, :]
+
+
+def _distances_from_scores(
+    scores: np.ndarray, queries: np.ndarray, metric: str
+) -> np.ndarray:
+    if metric == "cosine":
+        return 1.0 - scores
+    qq = np.einsum("nd,nd->n", queries, queries)
+    return np.sqrt(np.maximum(qq[:, None] - scores, 0.0))
+
+
+def _top_k_row(scores_row: np.ndarray, ids_row: np.ndarray, k: int) -> np.ndarray:
+    """Positions of the top-``k`` entries: descending score, ties broken by
+    ascending id — including ties that straddle the partition boundary."""
+    n = len(scores_row)
+    if k >= n:
+        candidates = np.arange(n)
+    else:
+        cut = np.argpartition(-scores_row, k - 1)[:k]
+        threshold = scores_row[cut].min()
+        candidates = np.flatnonzero(scores_row >= threshold)
+    order = np.lexsort((ids_row[candidates], -scores_row[candidates]))
+    return candidates[order[:k]]
+
+
+class FlatIndex:
+    """Exact top-k retrieval: one matmul per query batch.
+
+    Args:
+        dim: embedding dimensionality.
+        metric: ``"cosine"`` (default) or ``"euclidean"``.
+
+    Entries carry integer ids (caller-assigned or auto-incrementing) that
+    key into whatever metadata store rides alongside (see
+    :class:`repro.retrieval.corpus.RetrievalCorpus`).
+    """
+
+    kind = "flat"
+
+    def __init__(self, dim: int, metric: str = "cosine"):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        self.dim = int(dim)
+        self.metric = metric
+        self._store = np.empty((0, dim))      # capacity buffer (normalized for cosine)
+        self._raw = np.empty((0, dim))        # original vectors (save/load fidelity)
+        self._ids = np.empty(0, dtype=np.int64)
+        self._size = 0
+        self._next_id = 0
+        self.repack_count = 0                 # capacity growths (amortization probe)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self._ids[: self._size]
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The stored (raw, un-normalized) vectors, in insertion order."""
+        return self._raw[: self._size]
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= len(self._store):
+            return
+        capacity = max(needed, 2 * len(self._store), 8)
+        for name in ("_store", "_raw"):
+            old = getattr(self, name)
+            grown = np.empty((capacity, self.dim))
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+        ids = np.empty(capacity, dtype=np.int64)
+        ids[: self._size] = self._ids[: self._size]
+        self._ids = ids
+        self.repack_count += 1
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Append entries; returns their ids.  Amortized O(1) per row."""
+        block = _as_matrix(vectors, self.dim, "vectors")
+        n = len(block)
+        if ids is None:
+            ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids must have shape ({n},)")
+        if n == 0:
+            return ids
+        self._reserve(n)
+        self._raw[self._size : self._size + n] = block
+        self._store[self._size : self._size + n] = (
+            _normalize_rows(block) if self.metric == "cosine" else block
+        )
+        self._ids[self._size : self._size + n] = ids
+        self._size += n
+        self._next_id = int(max(self._next_id, int(ids.max()) + 1))
+        return ids
+
+    def search(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` neighbors for one query ``(d,)`` or a batch ``(q, d)``.
+
+        Returns ``(ids, distances)`` of shape ``(q, k)``; when the corpus
+        holds fewer than ``k`` entries the tail is padded with id ``-1``
+        and distance ``+inf``.  A single-vector query returns ``(k,)``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = np.asarray(queries, dtype=float)
+        single = q.ndim == 1
+        qm = _as_matrix(q, self.dim, "queries")
+        out_ids = np.full((len(qm), k), -1, dtype=np.int64)
+        out_dist = np.full((len(qm), k), np.inf)
+        n = self._size
+        if n:
+            stored = self._store[:n]
+            ids = self._ids[:n]
+            scores = _similarities(stored, qm, self.metric)
+            dists = _distances_from_scores(scores, qm, self.metric)
+            k_eff = min(k, n)
+            for row in range(len(qm)):
+                top = _top_k_row(scores[row], ids, k_eff)
+                out_ids[row, :k_eff] = ids[top]
+                out_dist[row, :k_eff] = dists[row, top]
+        telemetry.counter("retrieval.searches", kind=self.kind).inc(len(qm))
+        if single:
+            return out_ids[0], out_dist[0]
+        return out_ids, out_dist
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "type": "FlatIndex",
+            "dim": self.dim,
+            "metric": self.metric,
+            "vectors": self.vectors.tolist(),
+            "ids": self.ids.tolist(),
+            "next_id": self._next_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "FlatIndex":
+        index = cls(int(payload["dim"]), str(payload["metric"]))
+        vectors = np.array(payload["vectors"], dtype=float).reshape(-1, index.dim)
+        if len(vectors):
+            index.add(vectors, np.asarray(payload["ids"], dtype=np.int64))
+        index._next_id = int(payload["next_id"])
+        return index
+
+
+def kmeans(
+    data: np.ndarray,
+    n_clusters: int,
+    seed: int = 0,
+    n_iters: int = 10,
+    sample_limit: Optional[int] = None,
+    chunk: int = 65536,
+) -> np.ndarray:
+    """Seeded Lloyd's k-means; returns ``(n_clusters, dim)`` centroids.
+
+    Deterministic for a given ``(data, n_clusters, seed)``: init draws
+    distinct rows with a seeded generator, assignment chunks never change
+    the per-row arithmetic, and empty clusters keep their previous
+    centroid.  ``sample_limit`` trains on a seeded subsample — at
+    million-entry scale the quantizer needs the data's shape, not every
+    row.
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=float))
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    if len(data) < n_clusters:
+        raise ValueError(f"need >= {n_clusters} rows to fit {n_clusters} clusters")
+    rng = np.random.default_rng(seed)
+    train = data
+    if sample_limit is not None and len(data) > max(sample_limit, n_clusters):
+        pick = rng.choice(len(data), size=max(sample_limit, n_clusters), replace=False)
+        train = data[np.sort(pick)]
+    centroids = train[np.sort(rng.choice(len(train), size=n_clusters, replace=False))].copy()
+    for _ in range(n_iters):
+        assign = assign_clusters(train, centroids, chunk=chunk)
+        sums = np.zeros_like(centroids)
+        counts = np.zeros(n_clusters)
+        np.add.at(sums, assign, train)
+        np.add.at(counts, assign, 1.0)
+        occupied = counts > 0
+        centroids[occupied] = sums[occupied] / counts[occupied, None]
+    return centroids
+
+
+def assign_clusters(
+    data: np.ndarray, centroids: np.ndarray, chunk: int = 65536
+) -> np.ndarray:
+    """Nearest-centroid (squared-L2) assignment, chunked to bound memory.
+
+    Ties go to the lowest centroid id (``argmin`` convention), and chunking
+    cannot change results: each row's distances are computed independently.
+    """
+    cc = np.einsum("kd,kd->k", centroids, centroids)
+    out = np.empty(len(data), dtype=np.intp)
+    for start in range(0, len(data), chunk):
+        block = data[start : start + chunk]
+        # ‖x−c‖² = ‖x‖² − 2 x·c + ‖c‖²; the ‖x‖² term is constant per row.
+        scores = cc[None, :] - 2.0 * (block @ centroids.T)
+        out[start : start + chunk] = np.argmin(scores, axis=1)
+    return out
+
+
+class IVFIndex:
+    """Inverted-file ANN index: k-means partitions + ``nprobe`` search.
+
+    Args:
+        dim: embedding dimensionality.
+        n_lists: number of coarse partitions (k-means clusters).
+        metric: ``"cosine"`` or ``"euclidean"``.
+        nprobe: how many nearest lists a query scans (default
+            ``max(1, round(sqrt(n_lists)))`` — the classic recall/latency
+            sweet spot; override per-search via ``search(..., nprobe=)``).
+        seed: quantizer RNG seed.
+        train_iters / train_sample: k-means iteration count and training
+            subsample cap.
+        pending_fraction: pending (un-packed) entries are folded into the
+            contiguous per-list slabs once they exceed this fraction of the
+            packed entry count — amortizing re-pack cost over many ``add``
+            calls while keeping slab scans contiguous.
+
+    The quantizer trains lazily on the first ``add`` (or explicitly via
+    :meth:`train`); entries added before training are buffered and
+    assigned when it runs.
+    """
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        dim: int,
+        n_lists: int,
+        metric: str = "cosine",
+        nprobe: Optional[int] = None,
+        seed: int = 0,
+        train_iters: int = 8,
+        train_sample: Optional[int] = 131072,
+        pending_fraction: float = 0.25,
+    ):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if n_lists < 1:
+            raise ValueError("n_lists must be >= 1")
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        if nprobe is not None and not 1 <= nprobe <= n_lists:
+            raise ValueError("nprobe must be in [1, n_lists]")
+        if not 0.0 < pending_fraction <= 1.0:
+            raise ValueError("pending_fraction must be in (0, 1]")
+        self.dim = int(dim)
+        self.n_lists = int(n_lists)
+        self.metric = metric
+        self.nprobe = int(nprobe) if nprobe is not None else max(
+            1, int(round(np.sqrt(n_lists)))
+        )
+        self.seed = int(seed)
+        self.train_iters = int(train_iters)
+        self.train_sample = train_sample
+        self.pending_fraction = float(pending_fraction)
+        self._centroids: Optional[np.ndarray] = None
+        # Packed per-list contiguous storage (CSR-style).
+        self._packed = np.empty((0, dim))
+        self._packed_raw = np.empty((0, dim))
+        self._packed_ids = np.empty(0, dtype=np.int64)
+        self._offsets = np.zeros(n_lists + 1, dtype=np.int64)
+        # Per-list pending blocks awaiting the next re-pack.
+        self._pending: List[List[np.ndarray]] = [[] for _ in range(n_lists)]
+        self._pending_raw: List[List[np.ndarray]] = [[] for _ in range(n_lists)]
+        self._pending_ids: List[List[np.ndarray]] = [[] for _ in range(n_lists)]
+        self._pending_count = 0
+        self._next_id = 0
+        self.repack_count = 0
+
+    def __len__(self) -> int:
+        return len(self._packed_ids) + self._pending_count
+
+    @property
+    def trained(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def centroids(self) -> Optional[np.ndarray]:
+        return self._centroids
+
+    def train(self, vectors: np.ndarray) -> "IVFIndex":
+        """Fit the coarse quantizer on (a sample of) ``vectors``."""
+        block = _as_matrix(vectors, self.dim, "training vectors")
+        if len(block) < self.n_lists:
+            raise ValueError(
+                f"need >= {self.n_lists} training vectors, got {len(block)}"
+            )
+        space = _normalize_rows(block) if self.metric == "cosine" else block
+        self._centroids = kmeans(
+            space, self.n_lists, seed=self.seed, n_iters=self.train_iters,
+            sample_limit=self.train_sample,
+        )
+        return self
+
+    def add(self, vectors: np.ndarray, ids: Optional[np.ndarray] = None) -> np.ndarray:
+        """Append entries (training the quantizer on first use)."""
+        block = _as_matrix(vectors, self.dim, "vectors")
+        n = len(block)
+        if ids is None:
+            ids = np.arange(self._next_id, self._next_id + n, dtype=np.int64)
+        else:
+            ids = np.asarray(ids, dtype=np.int64)
+            if ids.shape != (n,):
+                raise ValueError(f"ids must have shape ({n},)")
+        if n == 0:
+            return ids
+        if self._centroids is None:
+            self.train(block)
+        space = _normalize_rows(block) if self.metric == "cosine" else block
+        assign = assign_clusters(space, self._centroids)
+        order = np.argsort(assign, kind="stable")
+        bounds = np.searchsorted(assign[order], np.arange(self.n_lists + 1))
+        for lst in range(self.n_lists):
+            lo, hi = bounds[lst], bounds[lst + 1]
+            if lo == hi:
+                continue
+            rows = order[lo:hi]
+            self._pending[lst].append(space[rows])
+            self._pending_raw[lst].append(block[rows])
+            self._pending_ids[lst].append(ids[rows])
+        self._pending_count += n
+        self._next_id = int(max(self._next_id, int(ids.max()) + 1))
+        if self._pending_count > max(
+            64, self.pending_fraction * len(self._packed_ids)
+        ):
+            self._repack()
+        return ids
+
+    def _repack(self) -> None:
+        """Fold pending blocks into the contiguous per-list slabs."""
+        if self._pending_count == 0:
+            return
+        total = len(self._packed_ids) + self._pending_count
+        packed = np.empty((total, self.dim))
+        packed_raw = np.empty((total, self.dim))
+        packed_ids = np.empty(total, dtype=np.int64)
+        offsets = np.zeros(self.n_lists + 1, dtype=np.int64)
+        cursor = 0
+        for lst in range(self.n_lists):
+            lo, hi = self._offsets[lst], self._offsets[lst + 1]
+            parts = [
+                (self._packed[lo:hi], self._packed_raw[lo:hi], self._packed_ids[lo:hi])
+            ] + list(zip(self._pending[lst], self._pending_raw[lst], self._pending_ids[lst]))
+            for vec, raw, pid in parts:
+                m = len(pid)
+                if not m:
+                    continue
+                packed[cursor : cursor + m] = vec
+                packed_raw[cursor : cursor + m] = raw
+                packed_ids[cursor : cursor + m] = pid
+                cursor += m
+            offsets[lst + 1] = cursor
+        self._packed, self._packed_raw, self._packed_ids = packed, packed_raw, packed_ids
+        self._offsets = offsets
+        self._pending = [[] for _ in range(self.n_lists)]
+        self._pending_raw = [[] for _ in range(self.n_lists)]
+        self._pending_ids = [[] for _ in range(self.n_lists)]
+        self._pending_count = 0
+        self.repack_count += 1
+
+    def _list_members(self, lst: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self._offsets[lst], self._offsets[lst + 1]
+        vecs = [self._packed[lo:hi]]
+        ids = [self._packed_ids[lo:hi]]
+        vecs.extend(self._pending[lst])
+        ids.extend(self._pending_ids[lst])
+        if len(vecs) == 1:
+            return vecs[0], ids[0]
+        return np.concatenate(vecs), np.concatenate(ids)
+
+    def search(
+        self, queries: np.ndarray, k: int, nprobe: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` over the ``nprobe`` nearest partitions per query.
+
+        Same return convention and tie-breaking as :meth:`FlatIndex.search`
+        (partition ties break on the lower list id).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        nprobe = self.nprobe if nprobe is None else int(nprobe)
+        if not 1 <= nprobe <= self.n_lists:
+            raise ValueError("nprobe must be in [1, n_lists]")
+        q = np.asarray(queries, dtype=float)
+        single = q.ndim == 1
+        qm = _as_matrix(q, self.dim, "queries")
+        out_ids = np.full((len(qm), k), -1, dtype=np.int64)
+        out_dist = np.full((len(qm), k), np.inf)
+        if len(self) and self._centroids is not None:
+            qspace = _normalize_rows(qm) if self.metric == "cosine" else qm
+            # One matmul ranks every (query, partition) pair.
+            cc = np.einsum("kd,kd->k", self._centroids, self._centroids)
+            coarse = cc[None, :] - 2.0 * (qspace @ self._centroids.T)
+            list_ids = np.arange(self.n_lists, dtype=np.int64)
+            for row in range(len(qm)):
+                probes = _top_k_row(-coarse[row], list_ids, min(nprobe, self.n_lists))
+                cand_vecs, cand_ids = [], []
+                for lst in probes:
+                    vecs, ids = self._list_members(int(lst))
+                    if len(ids):
+                        cand_vecs.append(vecs)
+                        cand_ids.append(ids)
+                if not cand_ids:
+                    continue
+                stored = cand_vecs[0] if len(cand_vecs) == 1 else np.concatenate(cand_vecs)
+                ids = cand_ids[0] if len(cand_ids) == 1 else np.concatenate(cand_ids)
+                query_row = qm[row : row + 1]
+                scores = _similarities(stored, query_row, self.metric)
+                k_eff = min(k, len(ids))
+                top = _top_k_row(scores[0], ids, k_eff)
+                out_ids[row, :k_eff] = ids[top]
+                out_dist[row, :k_eff] = _distances_from_scores(
+                    scores, query_row, self.metric
+                )[0, top]
+        telemetry.counter("retrieval.searches", kind=self.kind).inc(len(qm))
+        if single:
+            return out_ids[0], out_dist[0]
+        return out_ids, out_dist
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        self._repack()
+        return {
+            "type": "IVFIndex",
+            "dim": self.dim,
+            "n_lists": self.n_lists,
+            "metric": self.metric,
+            "nprobe": self.nprobe,
+            "seed": self.seed,
+            "train_iters": self.train_iters,
+            "train_sample": self.train_sample,
+            "pending_fraction": self.pending_fraction,
+            "centroids": None if self._centroids is None else self._centroids.tolist(),
+            "packed": self._packed.tolist(),
+            "packed_raw": self._packed_raw.tolist(),
+            "packed_ids": self._packed_ids.tolist(),
+            "offsets": self._offsets.tolist(),
+            "next_id": self._next_id,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "IVFIndex":
+        index = cls(
+            int(payload["dim"]),
+            int(payload["n_lists"]),
+            metric=str(payload["metric"]),
+            nprobe=int(payload["nprobe"]),
+            seed=int(payload["seed"]),
+            train_iters=int(payload["train_iters"]),
+            train_sample=payload["train_sample"],
+            pending_fraction=float(payload["pending_fraction"]),
+        )
+        if payload["centroids"] is not None:
+            index._centroids = np.array(payload["centroids"], dtype=float).reshape(
+                index.n_lists, index.dim
+            )
+        index._packed = np.array(payload["packed"], dtype=float).reshape(-1, index.dim)
+        index._packed_raw = np.array(payload["packed_raw"], dtype=float).reshape(
+            -1, index.dim
+        )
+        index._packed_ids = np.asarray(payload["packed_ids"], dtype=np.int64)
+        index._offsets = np.asarray(payload["offsets"], dtype=np.int64)
+        index._next_id = int(payload["next_id"])
+        return index

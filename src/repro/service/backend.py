@@ -26,7 +26,7 @@ from .auth import SasToken, SasTokenIssuer
 from .events_hub import EventHub
 from .storage import StorageManager
 
-__all__ = ["JobGrant", "AutotuneBackend"]
+__all__ = ["JobGrant", "WarmStartSuggestion", "AutotuneBackend"]
 
 
 def _default_query_model_factory() -> Regressor:
@@ -44,6 +44,23 @@ class JobGrant:
     event_write_token: SasToken
     model_read_token: SasToken
     app_config: Optional[Dict[str, float]] = None   # pre-computed app_cache hit
+
+
+@dataclass(frozen=True)
+class WarmStartSuggestion:
+    """A cold-start configuration recommendation.
+
+    ``source`` records which path produced it: ``"retrieval"`` (ANN hit in
+    the tuned-history corpus — the zero-execution path) or ``"baseline"``
+    (argmin of the stored per-query model over a seeded candidate sweep).
+    ``neighbors`` carries the retrieved histories (empty on the baseline
+    path) so the client can seed its optimizer with them as priors.
+    """
+
+    config: Dict[str, float]
+    source: str
+    distance: float = float("nan")
+    neighbors: tuple = ()
 
 
 class AutotuneBackend:
@@ -68,6 +85,12 @@ class AutotuneBackend:
             idempotent, so a client may retry a batch whose upload failed
             mid-write without double-counting anything.  Disable only to
             demonstrate the vulnerability (chaos tests do).
+        retrieval_max_distance: reject ANN warm-start hits farther than
+            this embedding distance (``None`` accepts any hit) — guards
+            against recommending a tuned config from a dissimilar workload
+            when the corpus has no good neighbor.
+        warm_start_candidates: size of the seeded Latin-hypercube sweep the
+            baseline-model fallback scores when the retrieval path misses.
     """
 
     def __init__(
@@ -83,6 +106,8 @@ class AutotuneBackend:
         min_events_for_model: int = 3,
         retrain_every: int = 1,
         dedup_events: bool = True,
+        retrieval_max_distance: Optional[float] = None,
+        warm_start_candidates: int = 64,
     ):
         if retrain_every < 1:
             raise ValueError("retrain_every must be >= 1")
@@ -105,6 +130,16 @@ class AutotuneBackend:
         self.models_trained = 0
         self.train_failures = 0
         self.duplicates_dropped = 0
+        self.retrieval_max_distance = retrieval_max_distance
+        self.warm_start_candidates = warm_start_candidates
+        # Retrieval cold-start state: the corpus loads lazily from storage
+        # (and re-loads after publish); load errors degrade to the baseline.
+        self._corpus = None
+        self._corpus_loaded = False
+        self.retrieval_hits = 0
+        self.retrieval_fallbacks = 0
+        self.warm_start_misses = 0
+        self.corpus_load_failures = 0
         self.hub.subscribe("model-updater", self._on_event)
         if self.app_space is not None:
             self.hub.subscribe("app-cache-generator", self._on_app_end)
@@ -197,6 +232,111 @@ class AutotuneBackend:
             )
         return payload
 
+    # -- retrieval cold start ------------------------------------------------------
+
+    def publish_retrieval_corpus(self, corpus) -> None:
+        """Persist a :class:`repro.retrieval.RetrievalCorpus` and serve it.
+
+        The offline pipeline calls this after harvesting tuned histories;
+        the cached in-memory corpus is dropped so the next
+        :meth:`fetch_warm_start` reads the fresh payload.
+        """
+        self.storage.write_retrieval_corpus(corpus.dumps())
+        self._corpus = None
+        self._corpus_loaded = False
+
+    def _load_corpus(self):
+        """Lazy corpus load; any storage/decode fault degrades to baseline."""
+        if self._corpus_loaded:
+            return self._corpus
+        self._corpus_loaded = True
+        try:
+            payload = self.storage.read_retrieval_corpus()
+            if payload is not None:
+                from ..retrieval.corpus import RetrievalCorpus
+
+                self._corpus = RetrievalCorpus.loads(payload)
+        except Exception:  # noqa: BLE001 — a broken corpus must not 500 the path
+            self.corpus_load_failures += 1
+            telemetry.counter("backend.corpus_load_failures").inc()
+            self._corpus = None
+        return self._corpus
+
+    def fetch_warm_start(
+        self,
+        token: SasToken,
+        user_id: str,
+        query_signature: str,
+        embedding: np.ndarray,
+        data_size: float = 1.0,
+        k: int = 3,
+    ) -> Optional[WarmStartSuggestion]:
+        """Zero-execution cold-start recommendation for a new workload.
+
+        Consults the ANN retrieval corpus first: sufficiently close tuned
+        histories answer immediately with the size-adapted mean of their
+        converged configurations (``repro.retrieval.recommend_config``; the
+        retrieved neighbors ride along as optimizer priors).  On a miss
+        — no corpus, no neighbor within ``retrieval_max_distance``, or a
+        corpus read fault — falls back to the stored per-query baseline
+        model, scored over a seeded Latin-hypercube sweep.  Returns ``None``
+        when neither path can recommend (counted as a miss).
+        """
+        started = time.perf_counter() if telemetry.enabled() else None
+        telemetry.counter("backend.requests", op="fetch_warm_start").inc()
+        self.issuer.validate(token, f"models/{user_id}", "r")
+        suggestion = None
+        corpus = self._load_corpus()
+        if corpus is not None and len(corpus):
+            neighbors = corpus.search(np.asarray(embedding, dtype=float), k=k)
+            if neighbors and (
+                self.retrieval_max_distance is None
+                or neighbors[0].distance <= self.retrieval_max_distance
+            ):
+                self.retrieval_hits += 1
+                telemetry.counter("backend.cold_start", result="hit").inc()
+                from ..retrieval.corpus import recommend_config
+
+                suggestion = WarmStartSuggestion(
+                    config=recommend_config(
+                        neighbors, self.query_space, data_size=data_size
+                    ),
+                    source="retrieval",
+                    distance=neighbors[0].distance,
+                    neighbors=tuple(neighbors),
+                )
+        if suggestion is None:
+            suggestion = self._baseline_warm_start(user_id, query_signature, data_size)
+            if suggestion is not None:
+                self.retrieval_fallbacks += 1
+                telemetry.counter("backend.cold_start", result="fallback").inc()
+            else:
+                self.warm_start_misses += 1
+                telemetry.counter("backend.cold_start", result="miss").inc()
+        if started is not None:
+            telemetry.histogram("backend.request_seconds", op="fetch_warm_start").observe(
+                time.perf_counter() - started
+            )
+        return suggestion
+
+    def _baseline_warm_start(
+        self, user_id: str, query_signature: str, data_size: float
+    ) -> Optional[WarmStartSuggestion]:
+        """Argmin of the stored per-query model over a seeded LHS sweep."""
+        payload = self.storage.read_model(user_id, query_signature)
+        if payload is None:
+            return None
+        from ..ml.serialize import loads_model
+
+        model = loads_model(payload)
+        rng = np.random.default_rng(0)
+        candidates = self.query_space.latin_hypercube(self.warm_start_candidates, rng)
+        X = np.hstack([candidates, np.full((len(candidates), 1), float(data_size))])
+        best = int(np.argmin(model.predict(X)))
+        return WarmStartSuggestion(
+            config=self.query_space.to_dict(candidates[best]), source="baseline"
+        )
+
     def metrics(self) -> Dict[str, object]:
         """The backend's metrics endpoint (the ``/metrics`` stand-in).
 
@@ -210,6 +350,10 @@ class AutotuneBackend:
                 "models_trained": self.models_trained,
                 "train_failures": self.train_failures,
                 "duplicates_dropped": self.duplicates_dropped,
+                "retrieval_hits": self.retrieval_hits,
+                "retrieval_fallbacks": self.retrieval_fallbacks,
+                "warm_start_misses": self.warm_start_misses,
+                "corpus_load_failures": self.corpus_load_failures,
                 "hub_published": self.hub.published_count,
                 "hub_failures": len(self.hub.failures),
                 "tracked_query_groups": len(self._query_events),

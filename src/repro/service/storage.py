@@ -134,6 +134,24 @@ class StorageManager:
         path = self.model_path(user_id, query_signature)
         return path.read_text() if path.exists() else None
 
+    # -- retrieval corpus ------------------------------------------------------------
+
+    def corpus_path(self) -> Path:
+        """The retrieval corpus lives outside ``events/`` on purpose: like
+        models, it holds no raw trace rows, so GDPR cleanup retains it."""
+        return self.root / "retrieval" / "corpus.json"
+
+    def write_retrieval_corpus(self, payload: str) -> Path:
+        path = self.corpus_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, payload)
+        self._record(path)
+        return path
+
+    def read_retrieval_corpus(self) -> Optional[str]:
+        path = self.corpus_path()
+        return path.read_text() if path.exists() else None
+
     # -- GDPR cleanup ---------------------------------------------------------------
 
     def cleanup(self, ttl_seconds: float) -> List[str]:

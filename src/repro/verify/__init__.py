@@ -10,8 +10,8 @@ burden (see ``docs/testing.md``):
   purity) that runs inline in any session via ``TuningSession(verify=...)``.
 * :mod:`repro.verify.diff` — differential oracles driving one seeded
   workload through both sides of each redundant path pair (scalar/batch,
-  serial/parallel, refit/incremental, live/replay, lockstep/sequential)
-  and reporting the first divergent step.
+  serial/parallel, refit/incremental, live/replay, lockstep/sequential,
+  retrieval-index/brute-force) and reporting the first divergent step.
 * :mod:`repro.verify.properties` — Hypothesis strategies for spaces, plans,
   fault plans, and noise models.  **Not** imported here: hypothesis is a
   test-extra dependency, and ``import repro.verify`` must stay
@@ -20,7 +20,13 @@ burden (see ``docs/testing.md``):
 """
 
 from . import diff
-from .diff import DiffReport, Divergence, diff_trails, run_all
+from .diff import (
+    DiffReport,
+    Divergence,
+    diff_retrieval_bruteforce,
+    diff_trails,
+    run_all,
+)
 from .invariants import (
     CheckResult,
     Invariant,
@@ -40,6 +46,7 @@ __all__ = [
     "VerificationContext",
     "default_registry",
     "diff",
+    "diff_retrieval_bruteforce",
     "diff_trails",
     "run_all",
 ]

@@ -1,6 +1,6 @@
 """Differential oracles: one seeded workload, two redundant paths, diffed.
 
-The repo maintains five pairs of execution paths that must agree:
+The repo maintains six pairs of execution paths that must agree:
 
 ==========================  ==============================================  =========
 pair                        contract                                        compare
@@ -21,6 +21,10 @@ lockstep vs. sequential     ``LockstepSessions`` advances a K-session       bitw
                             identically to K independent
                             ``TuningSession`` loops — records,
                             observation histories, guardrail verdicts
+index vs. brute force       ``FlatIndex`` / full-probe ``IVFIndex`` top-k   ids exact,
+                            equals an einsum brute-force stable sort over   atol dist
+                            the same corpus (dgemm vs. einsum kernels —
+                            equal ranking, distances to tolerance)
 ==========================  ==============================================  =========
 
 Each driver runs both paths from the same seed, flattens them into *trails*
@@ -30,7 +34,7 @@ the contract the driver captures both sides' counter maps and diffs those
 too, excluding namespaces that legitimately differ between modes (e.g.
 ``parallel.*`` counters carry a ``mode`` label).
 
-``run_all`` sweeps all five drivers — the one command every future PR can
+``run_all`` sweeps all six drivers — the one command every future PR can
 run to show "the paths still agree".
 """
 
@@ -69,6 +73,7 @@ __all__ = [
     "diff_live_replay",
     "diff_lockstep_sequential",
     "diff_refit_incremental",
+    "diff_retrieval_bruteforce",
     "diff_scalar_batch",
     "diff_serial_parallel",
     "diff_trails",
@@ -552,6 +557,98 @@ def diff_lockstep_sequential(
     )
 
 
+# -- driver 6: ANN index vs. brute force --------------------------------------------
+
+
+def diff_retrieval_bruteforce(
+    seed: int = 0,
+    n_entries: int = 400,
+    n_queries: int = 12,
+    dim: int = 24,
+    k: int = 10,
+    tolerance: float = 1e-9,
+) -> DiffReport:
+    """ANN index search vs. an einsum brute-force reference — both metrics.
+
+    The reference ranks the full corpus with the shape-independent einsum
+    kernel of :mod:`repro.offline.similarity` and a stable
+    ``lexsort(ids, distance)``; the :class:`~repro.retrieval.index
+    .FlatIndex` (and an :class:`~repro.retrieval.index.IVFIndex` probing
+    *every* list, whose candidate set is then the whole corpus) rank with
+    the fast ``dgemm`` kernel.  The contract: identical neighbor ids —
+    ordering and deterministic tie-breaks included (the corpus carries
+    duplicated rows and self-queries to force exact ties) — with distances
+    agreeing to ``tolerance`` (the two kernels reassociate differently, so
+    distances are numerically, not bitwise, equal).  Euclidean distances
+    are compared *squared*: the index recovers them from the norm
+    expansion ``sqrt(|q|^2 - score)``, whose cancellation error near zero
+    (~``sqrt(eps)·|q|``) dwarfs ``tolerance`` even when the squared
+    distances agree to machine precision.
+    """
+    from ..retrieval.index import FlatIndex, IVFIndex
+
+    rng = np.random.default_rng(seed)
+    entries = rng.normal(size=(n_entries, dim))
+    entries[n_entries // 2] = entries[0]       # duplicate rows → exact score ties
+    entries[n_entries // 2 + 1] = entries[0]
+    queries = rng.normal(size=(n_queries, dim))
+    queries[0] = entries[0]                    # self-query over the duplicates
+    ids = np.arange(n_entries)
+
+    def reference(metric: str):
+        if metric == "euclidean":
+            dists = np.linalg.norm(entries[None, :, :] - queries[:, None, :], axis=2)
+        else:
+            dots = np.einsum("nd,qd->qn", entries, queries)
+            norms = np.sqrt(np.einsum("nd,nd->n", entries, entries))
+            qnorms = np.sqrt(np.einsum("qd,qd->q", queries, queries))
+            dists = 1.0 - dots / np.maximum(norms[None, :] * qnorms[:, None], 1e-12)
+        steps = []
+        for row in range(n_queries):
+            order = np.lexsort((ids, dists[row]))[:k]
+            out = dists[row][order]
+            if metric == "euclidean":
+                out = out * out
+            steps.append({"ids": ids[order], "distances": out})
+        return steps
+
+    def indexed(index, metric):
+        got_ids, got_dists = index.search(queries, k)
+        if metric == "euclidean":
+            got_dists = got_dists * got_dists
+        return [
+            {"ids": got_ids[row], "distances": got_dists[row]}
+            for row in range(n_queries)
+        ]
+
+    reports = []
+    for metric in ("cosine", "euclidean"):
+        flat = FlatIndex(dim, metric=metric)
+        flat.add(entries)
+        ivf = IVFIndex(dim, n_lists=8, metric=metric, nprobe=8, seed=seed)
+        ivf.add(entries)
+        ref = reference(metric)
+        reports.append(diff_trails(
+            f"retrieval_vs_bruteforce[{metric},flat]", indexed(flat, metric), ref,
+            tolerance=tolerance,
+        ))
+        reports.append(diff_trails(
+            f"retrieval_vs_bruteforce[{metric},ivf]", indexed(ivf, metric), ref,
+            tolerance=tolerance,
+        ))
+    merged = DiffReport(
+        name="retrieval_vs_bruteforce",
+        steps_compared=sum(r.steps_compared for r in reports),
+        tolerance=tolerance,
+    )
+    for r in reports:
+        if r.divergence is not None and merged.divergence is None:
+            merged.divergence = r.divergence
+        if r.length_mismatch is not None and merged.length_mismatch is None:
+            merged.length_mismatch = r.length_mismatch
+    return merged
+
+
 def run_all(seed: int = 0) -> Dict[str, DiffReport]:
     """Run every differential driver; keys are the report names."""
     reports: List[DiffReport] = [
@@ -560,5 +657,6 @@ def run_all(seed: int = 0) -> Dict[str, DiffReport]:
         diff_refit_incremental(seed=seed),
         diff_live_replay(seed=seed),
         diff_lockstep_sequential(seed=seed),
+        diff_retrieval_bruteforce(seed=seed),
     ]
     return {report.name: report for report in reports}

@@ -79,3 +79,40 @@ class TestEmbedding:
         emb = WorkloadEmbedder()
         lengths = {emb.embed(tpcds_plan(q)).shape for q in (1, 30, 60, 90)}
         assert lengths == {(emb.dim,)}
+
+
+class TestEmbedManyVectorized:
+    """The single-pass ``embed_many`` must be *exactly* equal to stacked
+    ``embed`` calls (counts are small-integer additions, so no tolerance)."""
+
+    def _plans(self):
+        return (
+            [tpcds_plan(q, 10.0) for q in (1, 2, 3, 23)]
+            + [tpch_plan(3, 5.0), tpch_plan(6, 0.01), tpch_plan(6, 100.0)]
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"use_virtual_operators": False},
+            {"include_structure": True},
+            {"use_virtual_operators": False, "include_structure": True},
+        ],
+    )
+    def test_exactly_equal_to_stacked_embed(self, kwargs):
+        emb = WorkloadEmbedder(**kwargs)
+        plans = self._plans()
+        stacked = np.array([emb.embed(p) for p in plans])
+        assert np.array_equal(emb.embed_many(plans), stacked)
+
+    def test_empty_sequence(self):
+        emb = WorkloadEmbedder()
+        assert emb.embed_many([]).shape == (0, emb.dim)
+
+    def test_accepts_iterator(self):
+        emb = WorkloadEmbedder()
+        plans = self._plans()
+        assert np.array_equal(
+            emb.embed_many(iter(plans)), emb.embed_many(plans)
+        )

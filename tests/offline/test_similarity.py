@@ -1,5 +1,7 @@
 """Tests for embedding-similarity warm-start selection."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -81,3 +83,91 @@ class TestNearestSignatures:
     def test_k_validated(self, table, embedder):
         with pytest.raises(ValueError):
             nearest_signatures(table, embedder.embed(tpcds_plan(1, 10.0)), k=0)
+
+
+class TestVectorizedKernel:
+    """The broadcast kernel's bitwise contracts (retrieval warm start
+    depends on these being reproducible across batch shapes/platforms)."""
+
+    def _targets(self, embedder, n=5):
+        return np.array([embedder.embed(tpcds_plan(q, 10.0)) for q in range(1, n + 1)])
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_batch_bitwise_equals_single(self, table, embedder, metric):
+        targets = self._targets(embedder)
+        batch = embedding_distances(table, targets, metric)
+        assert batch.shape == (len(targets), len(table))
+        for j, target in enumerate(targets):
+            assert np.array_equal(batch[j], embedding_distances(table, target, metric))
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_matches_per_pair_python_loop(self, table, embedder, metric):
+        """The broadcast replaces a per-pair loop; results must agree to
+        float-reassociation tolerance on every pair."""
+        target = embedder.embed(tpcds_plan(2, 10.0))
+        embeddings = table.X[:, : table.embedding_dim]
+        if metric == "euclidean":
+            ref = np.array([
+                math.sqrt(sum((e - t) ** 2 for e, t in zip(row, target)))
+                for row in embeddings
+            ])
+        else:
+            tn = math.sqrt(sum(t * t for t in target))
+            ref = np.array([
+                1.0 - sum(e * t for e, t in zip(row, target))
+                / max(math.sqrt(sum(e * e for e in row)) * tn, 1e-12)
+                for row in embeddings
+            ])
+        assert np.allclose(embedding_distances(table, target, metric), ref,
+                           rtol=0.0, atol=1e-9)
+
+    def test_batch_target_rejected_by_selectors(self, table, embedder):
+        targets = self._targets(embedder, n=2)
+        with pytest.raises(ValueError, match="single target"):
+            select_similar(table, targets, n_rows=3)
+        with pytest.raises(ValueError, match="single target"):
+            nearest_signatures(table, targets, k=2)
+
+    def test_nearest_signatures_bitwise_equals_dict_loop(self, table, embedder):
+        """Reference: the per-row dict-accumulation loop this replaced."""
+        target = embedder.embed(tpcds_plan(3, 10.0))
+        distances = embedding_distances(table, target)
+        per, cnt = {}, {}
+        for sig, dist in zip(table.signatures, distances):
+            per[sig] = per.get(sig, 0.0) + float(dist)
+            cnt[sig] = cnt.get(sig, 0) + 1
+        ref = sorted(
+            ((sig, per[sig] / cnt[sig]) for sig in per),
+            key=lambda item: (item[1], item[0]),
+        )
+        assert nearest_signatures(table, target, k=len(per)) == ref
+
+
+class TestTieDeterminism:
+    def test_ties_break_on_signature_id(self):
+        """Four signatures at *exactly* equal distance must rank in
+        signature order, independent of row order."""
+        from repro.offline.etl import TrainingTable
+
+        emb = np.array([[1.0, 0.0], [1.0, 0.0], [1.0, 0.0], [1.0, 0.0]])
+        base = TrainingTable(
+            X=np.hstack([emb, np.ones((4, 1))]),
+            y=np.zeros(4),
+            embedding_dim=2,
+            config_dim=0,
+            signatures=["sig-c", "sig-a", "sig-d", "sig-b"],
+            regions=["r"] * 4,
+        )
+        target = np.array([1.0, 0.0])
+        expected = [("sig-a", 0.0), ("sig-b", 0.0), ("sig-c", 0.0), ("sig-d", 0.0)]
+        got = nearest_signatures(base, target, k=4)
+        assert [s for s, _ in got] == [s for s, _ in expected]
+        assert all(abs(m) < 1e-12 for _, m in got)
+        # Permuting the rows must not change the ranking.
+        perm = [2, 0, 3, 1]
+        shuffled = TrainingTable(
+            X=base.X[perm], y=base.y[perm], embedding_dim=2, config_dim=0,
+            signatures=[base.signatures[i] for i in perm], regions=["r"] * 4,
+        )
+        assert [s for s, _ in nearest_signatures(shuffled, target, k=4)] == \
+            [s for s, _ in got]

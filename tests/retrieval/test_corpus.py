@@ -1,0 +1,234 @@
+"""Corpus records, builders, serialization, and warm-start wiring."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.embedder import WorkloadEmbedder
+from repro.offline.transfer import warm_start_cbo
+from repro.retrieval import (
+    CorpusRecord,
+    RetrievalCorpus,
+    RetrievedNeighbor,
+    adapt_config,
+    corpus_from_population,
+    corpus_from_table,
+    neighbors_table,
+    probe_population,
+    recommend_config,
+)
+from repro.sparksim.configs import query_level_space
+from repro.workloads.customer import generate_population
+
+pytestmark = pytest.mark.retrieval
+
+DIM = 8
+
+
+def make_record(i, dim=DIM):
+    rng = np.random.default_rng(i)
+    return CorpusRecord(
+        workload_id=f"wl-{i}",
+        signature=f"sig-{i}",
+        embedding=rng.normal(size=dim),
+        config={"spark.executor.cores": float(i + 1)},
+        observed_cost=10.0 + i,
+        default_cost=20.0 + i,
+        data_size=float(i + 1),
+        region="eu",
+    )
+
+
+class TestRecords:
+    def test_payload_round_trip(self):
+        record = make_record(3)
+        restored = CorpusRecord.from_payload(record.to_payload())
+        assert restored.workload_id == record.workload_id
+        assert restored.signature == record.signature
+        assert np.array_equal(restored.embedding, record.embedding)
+        assert restored.config == record.config
+        assert restored.observed_cost == record.observed_cost
+        assert restored.data_size == record.data_size
+        assert restored.region == "eu"
+
+
+class TestCorpus:
+    def test_search_returns_nearest_records(self):
+        corpus = RetrievalCorpus(DIM)
+        corpus.add([make_record(i) for i in range(20)])
+        target = make_record(7)
+        neighbors = corpus.search(target.embedding, k=3)
+        assert len(neighbors) == 3
+        assert neighbors[0].record.workload_id == "wl-7"
+        assert neighbors[0].distance == pytest.approx(0.0, abs=1e-12)
+        assert all(isinstance(n, RetrievedNeighbor) for n in neighbors)
+
+    def test_empty_corpus_searches_empty(self):
+        assert RetrievalCorpus(DIM).search(np.zeros(DIM)) == []
+
+    def test_add_extends_existing_index(self):
+        corpus = RetrievalCorpus(DIM)
+        corpus.add([make_record(i) for i in range(6)])
+        corpus.build_index("flat")
+        corpus.add([make_record(6)])
+        assert corpus.search(make_record(6).embedding, k=1)[0].record.workload_id == "wl-6"
+
+    def test_embedding_shape_validated(self):
+        corpus = RetrievalCorpus(DIM)
+        bad = CorpusRecord("w", "s", np.zeros(DIM + 1), {}, 1.0)
+        with pytest.raises(ValueError, match="shape"):
+            corpus.add([bad])
+
+    def test_ivf_index_kind(self):
+        corpus = RetrievalCorpus(DIM)
+        corpus.add([make_record(i) for i in range(30)])
+        corpus.build_index("ivf", n_lists=3, seed=0)
+        hit = corpus.search(make_record(11).embedding, k=1)[0]
+        assert hit.record.workload_id == "wl-11"
+        with pytest.raises(ValueError, match="index kind"):
+            corpus.build_index("hnsw")
+
+    def test_dumps_loads_round_trip_with_index(self):
+        corpus = RetrievalCorpus(DIM)
+        corpus.add([make_record(i) for i in range(10)])
+        corpus.build_index("flat")
+        payload = corpus.dumps()
+        restored = RetrievalCorpus.loads(payload)
+        assert restored.dumps() == payload
+        a = corpus.search(make_record(4).embedding, k=2)
+        b = restored.search(make_record(4).embedding, k=2)
+        assert [n.record.signature for n in a] == [n.record.signature for n in b]
+        assert [n.distance for n in a] == [n.distance for n in b]
+
+
+class TestBuilders:
+    @pytest.fixture(scope="class")
+    def probe(self):
+        space = query_level_space()
+        population = generate_population(3, seed=5)
+        corpus, table = probe_population(population, space, n_configs=8, seed=5)
+        return space, population, corpus, table
+
+    def test_probe_population_shapes(self, probe):
+        space, population, corpus, table = probe
+        n_plans = sum(len(w.plans) for w in population)
+        assert len(corpus) == n_plans
+        assert table.X.shape == (n_plans * 8, table.embedding_dim + space.dim + 1)
+        # Each record's observed cost is the best of its plan's probe rows.
+        for record in corpus.records:
+            rows = [i for i, s in enumerate(table.signatures) if s == record.signature]
+            assert record.observed_cost == pytest.approx(float(np.min(table.y[rows])))
+            assert np.isfinite(record.default_cost)
+
+    def test_corpus_from_table_takes_best_row(self, probe):
+        space, _, probe_corpus, table = probe
+        corpus = corpus_from_table(table, space, workload_prefix="probe")
+        assert len(corpus) == len({s for s in table.signatures})
+        by_sig = {r.signature: r for r in corpus.records}
+        for record in probe_corpus.records:
+            assert by_sig[record.signature].observed_cost == pytest.approx(
+                record.observed_cost
+            )
+        assert all(r.workload_id.startswith("probe:") for r in corpus.records)
+
+    def test_corpus_from_table_validates_space(self, probe):
+        space, _, _, table = probe
+        from repro.core.config_space import ConfigSpace
+
+        with pytest.raises(ValueError, match="dim"):
+            corpus_from_table(table, ConfigSpace(list(space)[:2]))
+
+    def test_corpus_from_population_matches_probe(self, probe):
+        space, population, probe_corpus, _ = probe
+        corpus = corpus_from_population(population, space, n_configs=8, seed=5)
+        assert [r.signature for r in corpus.records] == [
+            r.signature for r in probe_corpus.records
+        ]
+        assert [r.observed_cost for r in corpus.records] == [
+            r.observed_cost for r in probe_corpus.records
+        ]
+
+
+class TestRecommendation:
+    PARTS = "spark.sql.shuffle.partitions"
+
+    def record_with(self, parts, data_size, i=0):
+        space = query_level_space()
+        config = space.default_dict()
+        config[self.PARTS] = parts
+        return CorpusRecord(
+            f"w{i}", f"s{i}", np.full(4, float(i)), config, 5.0,
+            data_size=data_size,
+        )
+
+    def test_adapt_scales_partitions_with_data_size(self):
+        space = query_level_space()
+        record = self.record_with(parts=50.0, data_size=1e8)
+        adapted = adapt_config(record, space, data_size=4e8)
+        assert adapted[self.PARTS] == pytest.approx(200.0)
+        # Non-proportional knobs transfer verbatim.
+        assert adapted["spark.sql.files.maxPartitionBytes"] == pytest.approx(
+            record.config["spark.sql.files.maxPartitionBytes"]
+        )
+
+    def test_adapt_clips_into_bounds(self):
+        space = query_level_space()
+        record = self.record_with(parts=1000.0, data_size=1.0)
+        adapted = adapt_config(record, space, data_size=1e9)
+        assert adapted[self.PARTS] == space[self.PARTS].high
+
+    def test_adapt_without_target_size_is_identity(self):
+        space = query_level_space()
+        record = self.record_with(parts=50.0, data_size=1e8)
+        assert adapt_config(record, space) == pytest.approx(dict(record.config))
+
+    def test_recommend_is_mean_of_adapted_neighbors(self):
+        space = query_level_space()
+        neighbors = [
+            RetrievedNeighbor(self.record_with(20.0, 1e8, i=0), 0.1),
+            RetrievedNeighbor(self.record_with(60.0, 1e8, i=1), 0.2),
+        ]
+        config = recommend_config(neighbors, space, data_size=2e8)
+        # 20 and 60 scale 2x to 40 and 120; the mean runs in the space's
+        # internal (log) scale, so the result is their geometric mean.
+        assert config[self.PARTS] == pytest.approx(
+            np.sqrt(40.0 * 120.0), abs=1.0
+        )
+        with pytest.raises(ValueError, match="no neighbors"):
+            recommend_config([], space)
+
+
+class TestWarmStartPriors:
+    def test_neighbors_table_layout(self):
+        space = query_level_space()
+        embedder = WorkloadEmbedder()
+        neighbors = [
+            RetrievedNeighbor(
+                CorpusRecord(
+                    f"w{i}", f"s{i}", np.full(embedder.dim, float(i)),
+                    space.default_dict(), 5.0 + i, data_size=2.0,
+                ),
+                distance=0.1 * i,
+            )
+            for i in range(3)
+        ]
+        table = neighbors_table(neighbors, space)
+        assert table.X.shape == (3, embedder.dim + space.dim + 1)
+        assert table.embedding_dim == embedder.dim
+        assert np.array_equal(table.y, [5.0, 6.0, 7.0])
+        assert np.all(table.X[:, -1] == 2.0)
+        with pytest.raises(ValueError, match="no neighbors"):
+            neighbors_table([], space)
+
+    def test_warm_start_cbo_accepts_neighbors(self):
+        space = query_level_space()
+        population = generate_population(2, seed=3)
+        corpus, table = probe_population(population, space, n_configs=6, seed=3)
+        target = corpus.records[0]
+        neighbors = [RetrievedNeighbor(target, 0.0)]
+        cbo = warm_start_cbo(
+            space, table, n_samples=10, seed=0, neighbors=neighbors
+        )
+        plain = warm_start_cbo(space, table, n_samples=10, seed=0)
+        # The neighbor rows ride along after subsampling.
+        assert len(cbo._warm_X) == len(plain._warm_X) + 1
+        assert cbo._warm_y[-1] == pytest.approx(target.observed_cost)

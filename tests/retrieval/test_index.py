@@ -1,0 +1,228 @@
+"""ANN index contracts: exactness, tie-breaks, edge cases, serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ml.serialize import dumps_index, loads_index
+from repro.retrieval import FlatIndex, IVFIndex, assign_clusters, kmeans
+
+pytestmark = pytest.mark.retrieval
+
+DIM = 12
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return np.random.default_rng(7).normal(size=(300, DIM))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return np.random.default_rng(8).normal(size=(5, DIM))
+
+
+def brute_force_ids(entries, query, k, metric):
+    """Reference ranking: stable lexsort over per-pair distances."""
+    if metric == "euclidean":
+        dists = np.linalg.norm(entries - query[None, :], axis=1)
+    else:
+        dots = entries @ query
+        norms = np.linalg.norm(entries, axis=1) * max(np.linalg.norm(query), 1e-12)
+        dists = 1.0 - dots / np.maximum(norms, 1e-12)
+    return np.lexsort((np.arange(len(entries)), dists))[:k]
+
+
+class TestFlatExactness:
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_matches_brute_force_ordering(self, entries, queries, metric):
+        index = FlatIndex(DIM, metric=metric)
+        index.add(entries)
+        ids, dists = index.search(queries, 10)
+        for row, query in enumerate(queries):
+            assert np.array_equal(
+                ids[row], brute_force_ids(entries, query, 10, metric)
+            )
+        assert np.all(np.diff(dists, axis=1) >= -1e-12)
+        assert np.all(dists >= -1e-12)
+
+    def test_single_query_equals_batch_row(self, entries, queries):
+        index = FlatIndex(DIM)
+        index.add(entries)
+        batch_ids, batch_dists = index.search(queries, 7)
+        one_ids, one_dists = index.search(queries[2], 7)
+        assert one_ids.shape == (7,)
+        assert np.array_equal(one_ids, batch_ids[2])
+        # dgemm reassociates with batch shape; ids are exact, distances near.
+        assert np.allclose(one_dists, batch_dists[2], rtol=0.0, atol=1e-9)
+
+    def test_incremental_adds_equal_bulk(self, entries, queries):
+        bulk = FlatIndex(DIM)
+        bulk.add(entries)
+        incremental = FlatIndex(DIM)
+        for start in range(0, len(entries), 37):   # ragged blocks force growth
+            incremental.add(entries[start : start + 37])
+        assert incremental.repack_count > 1
+        b = bulk.search(queries, 10)
+        i = incremental.search(queries, 10)
+        assert np.array_equal(b[0], i[0]) and np.array_equal(b[1], i[1])
+
+
+class TestEdgeCases:
+    def test_empty_corpus_returns_padding(self, queries):
+        index = FlatIndex(DIM)
+        ids, dists = index.search(queries, 4)
+        assert np.all(ids == -1) and np.all(np.isinf(dists))
+        assert len(index) == 0
+
+    def test_k_exceeding_corpus_pads_tail(self, entries, queries):
+        index = FlatIndex(DIM)
+        index.add(entries[:3])
+        ids, dists = index.search(queries[0], 8)
+        assert sorted(ids[:3]) == [0, 1, 2]
+        assert np.all(ids[3:] == -1) and np.all(np.isinf(dists[3:]))
+
+    def test_duplicate_embeddings_tie_break_on_id(self):
+        index = FlatIndex(4)
+        index.add(np.tile([1.0, 2.0, 3.0, 4.0], (6, 1)))
+        ids, dists = index.search(np.array([1.0, 2.0, 3.0, 4.0]), 4)
+        assert np.array_equal(ids, [0, 1, 2, 3])
+        assert np.allclose(dists, 0.0, atol=1e-12)
+
+    def test_custom_ids_returned(self, entries):
+        index = FlatIndex(DIM)
+        custom = np.arange(100, 100 + len(entries), dtype=np.int64)
+        assert np.array_equal(index.add(entries, custom), custom)
+        ids, _ = index.search(entries[5], 1)
+        assert ids[0] == 105
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="metric"):
+            FlatIndex(4, metric="manhattan")
+        with pytest.raises(ValueError, match="dim"):
+            FlatIndex(0)
+        index = FlatIndex(4)
+        with pytest.raises(ValueError, match="shape"):
+            index.add(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="k must be"):
+            index.search(np.ones(4), 0)
+        with pytest.raises(ValueError, match="ids"):
+            index.add(np.ones((2, 4)), np.array([1]))
+
+
+class TestIVF:
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_single_partition_equals_flat(self, entries, queries, metric):
+        flat = FlatIndex(DIM, metric=metric)
+        flat.add(entries)
+        ivf = IVFIndex(DIM, n_lists=1, metric=metric)
+        ivf.add(entries)
+        f_ids, f_dists = flat.search(queries, 10)
+        i_ids, i_dists = ivf.search(queries, 10)
+        assert np.array_equal(f_ids, i_ids)
+        assert np.allclose(f_dists, i_dists, rtol=0.0, atol=1e-12)
+
+    def test_full_probe_equals_flat_ids(self, entries, queries):
+        flat = FlatIndex(DIM)
+        flat.add(entries)
+        ivf = IVFIndex(DIM, n_lists=8, seed=3)
+        ivf.add(entries)
+        f_ids, _ = flat.search(queries, 10)
+        i_ids, _ = ivf.search(queries, 10, nprobe=8)
+        assert np.array_equal(f_ids, i_ids)
+
+    def test_incremental_adds_preserve_members(self, entries, queries):
+        bulk = IVFIndex(DIM, n_lists=4, seed=1)
+        bulk.add(entries)
+        incremental = IVFIndex(DIM, n_lists=4, seed=1)
+        incremental.train(entries)
+        for start in range(0, len(entries), 23):
+            incremental.add(entries[start : start + 23])
+        assert len(incremental) == len(entries)
+        b = bulk.search(queries, 10, nprobe=4)
+        i = incremental.search(queries, 10, nprobe=4)
+        assert np.array_equal(b[0], i[0])
+        assert np.allclose(b[1], i[1], rtol=0.0, atol=1e-12)
+
+    def test_lazy_training_needs_enough_vectors(self):
+        ivf = IVFIndex(DIM, n_lists=16)
+        with pytest.raises(ValueError, match="training vectors"):
+            ivf.add(np.ones((4, DIM)))
+        assert not ivf.trained
+
+    def test_nprobe_validation(self, entries):
+        with pytest.raises(ValueError, match="nprobe"):
+            IVFIndex(DIM, n_lists=4, nprobe=5)
+        ivf = IVFIndex(DIM, n_lists=4)
+        ivf.add(entries)
+        with pytest.raises(ValueError, match="nprobe"):
+            ivf.search(entries[0], 3, nprobe=0)
+
+    def test_default_nprobe_is_sqrt(self):
+        assert IVFIndex(DIM, n_lists=64).nprobe == 8
+        assert IVFIndex(DIM, n_lists=1).nprobe == 1
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_flat_round_trip_byte_identity(self, entries, queries, metric):
+        index = FlatIndex(DIM, metric=metric)
+        index.add(entries)
+        payload = dumps_index(index)
+        restored = loads_index(payload)
+        # Byte identity: serializing the restored index reproduces the
+        # payload exactly (float64 survives the JSON repr round-trip).
+        assert dumps_index(restored) == payload
+        a, b = index.search(queries, 10), restored.search(queries, 10)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_ivf_round_trip_byte_identity(self, entries, queries):
+        index = IVFIndex(DIM, n_lists=6, seed=2)
+        index.add(entries[:200])
+        index.add(entries[200:])   # leaves pending blocks for to_payload to pack
+        payload = dumps_index(index)
+        restored = loads_index(payload)
+        assert dumps_index(restored) == payload
+        a, b = index.search(queries, 10), restored.search(queries, 10)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_round_trip_preserves_next_id(self):
+        index = FlatIndex(4)
+        index.add(np.ones((2, 4)), np.array([5, 9]))
+        restored = loads_index(dumps_index(index))
+        assert np.array_equal(restored.add(np.ones((1, 4))), [10])
+
+    def test_rejects_unknown_payloads(self):
+        with pytest.raises(TypeError, match="index type"):
+            dumps_index(object())
+        with pytest.raises(TypeError, match="serialized index"):
+            loads_index(json.dumps({"type": "HNSW"}))
+
+
+class TestKMeans:
+    def test_deterministic_and_chunking_invariant(self, entries):
+        a = kmeans(entries, 5, seed=4)
+        b = kmeans(entries, 5, seed=4)
+        assert np.array_equal(a, b)
+        assert np.array_equal(
+            assign_clusters(entries, a, chunk=16),
+            assign_clusters(entries, a, chunk=10**6),
+        )
+
+    def test_needs_enough_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            kmeans(np.ones((3, 2)), 4)
+
+    def test_separated_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [100.0, 0.0], [0.0, 100.0]])
+        data = np.vstack([
+            c + rng.normal(scale=0.1, size=(40, 2)) for c in centers
+        ])
+        fitted = kmeans(data, 3, seed=2)
+        assign = assign_clusters(data, fitted)
+        # Each true cluster maps to exactly one fitted centroid.
+        groups = [set(assign[i * 40 : (i + 1) * 40]) for i in range(3)]
+        assert all(len(g) == 1 for g in groups)
+        assert len(set().union(*groups)) == 3

@@ -1,0 +1,231 @@
+"""Backend cold-start path: retrieval hit / baseline fallback / miss."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.injectors import FaultyBackend, FaultyStorage
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.service.resilience import TransientServiceError
+from repro.ml.serialize import dumps_model
+from repro.retrieval import CorpusRecord, RetrievalCorpus
+from repro.service.auth import SasTokenIssuer, TokenError
+from repro.service.backend import AutotuneBackend, WarmStartSuggestion
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import query_level_space
+
+pytestmark = pytest.mark.retrieval
+
+DIM = 6
+SPACE = query_level_space()
+
+
+def make_corpus(n=5):
+    corpus = RetrievalCorpus(DIM)
+    rng = np.random.default_rng(0)
+    corpus.add([
+        CorpusRecord(
+            workload_id=f"wl-{i}",
+            signature=f"sig-{i}",
+            embedding=rng.normal(size=DIM),
+            config=SPACE.to_dict(SPACE.sample_vector(rng)),
+            observed_cost=float(i + 1),
+        )
+        for i in range(n)
+    ])
+    corpus.build_index("flat")
+    return corpus
+
+
+def make_backend(tmp_path, **kwargs):
+    backend = AutotuneBackend(
+        storage=StorageManager(tmp_path),
+        issuer=SasTokenIssuer("secret"),
+        query_space=SPACE,
+        **kwargs,
+    )
+    grant = backend.register_job("app-ws", "artifact-ws", "user-ws")
+    return backend, grant.model_read_token
+
+
+def publish_model(backend, signature):
+    """Store a per-query baseline model the fallback path can score."""
+    rng = np.random.default_rng(1)
+    X = np.hstack([
+        SPACE.sample_vectors(12, rng), np.ones((12, 1))
+    ])
+    y = rng.uniform(1.0, 5.0, size=12)
+    model = backend.model_factory()
+    model.fit(X, y)
+    backend.storage.write_model("user-ws", signature, dumps_model(model))
+
+
+class TestRetrievalHit:
+    def test_near_neighbor_answers_from_corpus(self, tmp_path):
+        backend, token = make_backend(tmp_path)
+        corpus = make_corpus()
+        backend.publish_retrieval_corpus(corpus)
+        target = corpus.records[2]
+        suggestion = backend.fetch_warm_start(
+            token, "user-ws", "sig-new", target.embedding, k=1
+        )
+        assert isinstance(suggestion, WarmStartSuggestion)
+        assert suggestion.source == "retrieval"
+        assert suggestion.config == pytest.approx(target.config)
+        assert suggestion.distance == pytest.approx(0.0, abs=1e-9)
+        assert len(suggestion.neighbors) == 1
+        assert suggestion.neighbors[0].record.signature == "sig-2"
+        # With k neighbors the served config is their size-adapted mean.
+        from repro.retrieval import recommend_config
+
+        multi = backend.fetch_warm_start(
+            token, "user-ws", "sig-new", target.embedding, k=3
+        )
+        assert len(multi.neighbors) == 3
+        assert multi.config == pytest.approx(
+            recommend_config(multi.neighbors, SPACE, data_size=1.0)
+        )
+        assert backend.retrieval_hits == 2
+        assert backend.retrieval_fallbacks == 0
+        assert backend.warm_start_misses == 0
+
+    def test_token_scope_enforced(self, tmp_path):
+        backend, _ = make_backend(tmp_path)
+        backend.publish_retrieval_corpus(make_corpus())
+        other = backend.register_job("app-x", "art-x", "user-other")
+        with pytest.raises(TokenError):
+            backend.fetch_warm_start(
+                other.model_read_token, "user-ws", "sig", np.zeros(DIM)
+            )
+
+    def test_republish_resets_cached_corpus(self, tmp_path):
+        backend, token = make_backend(tmp_path)
+        backend.publish_retrieval_corpus(make_corpus(n=2))
+        assert backend.fetch_warm_start(token, "user-ws", "s", np.zeros(DIM)) is not None
+        bigger = make_corpus(n=5)
+        backend.publish_retrieval_corpus(bigger)
+        suggestion = backend.fetch_warm_start(
+            token, "user-ws", "s", bigger.records[4].embedding, k=1
+        )
+        assert suggestion.neighbors[0].record.workload_id == "wl-4"
+
+
+class TestFallbackAndMiss:
+    def test_no_corpus_no_model_is_miss(self, tmp_path):
+        backend, token = make_backend(tmp_path)
+        assert backend.fetch_warm_start(token, "user-ws", "sig", np.zeros(DIM)) is None
+        assert backend.warm_start_misses == 1
+
+    def test_distance_gate_falls_back_to_model(self, tmp_path):
+        backend, token = make_backend(tmp_path, retrieval_max_distance=1e-6)
+        corpus = make_corpus()
+        backend.publish_retrieval_corpus(corpus)
+        publish_model(backend, "sig-far")
+        far = -corpus.records[0].embedding  # cosine distance ~2 from wl-0
+        suggestion = backend.fetch_warm_start(token, "user-ws", "sig-far", far)
+        assert suggestion.source == "baseline"
+        assert suggestion.neighbors == ()
+        assert np.isnan(suggestion.distance)
+        assert backend.retrieval_hits == 0
+        assert backend.retrieval_fallbacks == 1
+        assert set(suggestion.config) == set(SPACE.names)
+
+    def test_baseline_respects_candidate_budget(self, tmp_path):
+        backend, token = make_backend(tmp_path, warm_start_candidates=4)
+        publish_model(backend, "sig-b")
+        suggestion = backend.fetch_warm_start(token, "user-ws", "sig-b", np.zeros(DIM))
+        assert suggestion.source == "baseline"
+        # Deterministic: same seeded sweep, same argmin.
+        again = backend.fetch_warm_start(token, "user-ws", "sig-b", np.zeros(DIM))
+        assert suggestion.config == again.config
+
+    def test_corrupt_corpus_counts_failure_and_falls_back(self, tmp_path):
+        backend, token = make_backend(tmp_path)
+        backend.publish_retrieval_corpus(make_corpus())
+        backend.storage.corpus_path().write_text("{not json", encoding="utf-8")
+        backend._corpus_loaded = False
+        backend._corpus = None
+        publish_model(backend, "sig-c")
+        suggestion = backend.fetch_warm_start(token, "user-ws", "sig-c", np.zeros(DIM))
+        assert suggestion.source == "baseline"
+        assert backend.corpus_load_failures == 1
+        # The failure is cached: the next request does not re-read the file.
+        backend.fetch_warm_start(token, "user-ws", "sig-c", np.zeros(DIM))
+        assert backend.corpus_load_failures == 1
+
+    def test_metrics_expose_cold_start_counters(self, tmp_path):
+        backend, token = make_backend(tmp_path)
+        backend.publish_retrieval_corpus(make_corpus())
+        backend.fetch_warm_start(token, "user-ws", "s", np.zeros(DIM))
+        stats = backend.metrics()["backend"]
+        assert stats["retrieval_hits"] == 1
+        assert stats["retrieval_fallbacks"] == 0
+        assert stats["warm_start_misses"] == 0
+        assert stats["corpus_load_failures"] == 0
+
+
+class TestStorageRoundTrip:
+    def test_corpus_lives_outside_events_tree(self, tmp_path):
+        storage = StorageManager(tmp_path)
+        storage.write_retrieval_corpus(make_corpus().dumps())
+        path = storage.corpus_path()
+        assert path.exists()
+        assert "events" not in path.relative_to(tmp_path).parts
+        restored = RetrievalCorpus.loads(storage.read_retrieval_corpus())
+        assert len(restored) == 5
+
+    def test_missing_corpus_reads_none(self, tmp_path):
+        assert StorageManager(tmp_path).read_retrieval_corpus() is None
+
+
+class TestFaultInjection:
+    def test_faulty_storage_read_and_corruption(self, tmp_path):
+        storage = StorageManager(tmp_path)
+        storage.write_retrieval_corpus(make_corpus().dumps())
+        plan = FaultPlan([
+            FaultSpec(FaultKind.STORAGE_READ_ERROR, at=(0,)),
+            FaultSpec(FaultKind.MODEL_CORRUPTION, at=(0,)),
+        ])
+        faulty = FaultyStorage(storage, plan)
+        with pytest.raises(TransientServiceError):
+            faulty.read_retrieval_corpus()
+        # Corruption opportunities only tick on successful reads, so the
+        # second call (first success) returns a mangled payload.
+        corrupted = faulty.read_retrieval_corpus()
+        clean = faulty.read_retrieval_corpus()
+        assert corrupted != clean
+        assert RetrievalCorpus.loads(clean) is not None
+
+    def test_faulty_storage_write_error(self, tmp_path):
+        storage = StorageManager(tmp_path)
+        plan = FaultPlan([FaultSpec(FaultKind.STORAGE_WRITE_ERROR, at=(0,))])
+        faulty = FaultyStorage(storage, plan)
+        with pytest.raises(TransientServiceError):
+            faulty.write_retrieval_corpus(make_corpus().dumps())
+        assert storage.read_retrieval_corpus() is None
+
+    def test_faulty_backend_warm_start_faults_then_recovers(self, tmp_path):
+        backend, token = make_backend(tmp_path)
+        backend.publish_retrieval_corpus(make_corpus())
+        plan = FaultPlan([FaultSpec(FaultKind.STORAGE_READ_ERROR, at=(0,))])
+        faulty = FaultyBackend(backend, plan)
+        with pytest.raises(TransientServiceError):
+            faulty.fetch_warm_start(token, "user-ws", "s", np.zeros(DIM))
+        assert faulty.fetch_warm_start(token, "user-ws", "s", np.zeros(DIM)) is not None
+
+    def test_backend_survives_storage_fault_on_corpus_load(self, tmp_path):
+        """A storage-layer read fault degrades to fallback/miss, not a crash."""
+        storage = StorageManager(tmp_path)
+        plan = FaultPlan([FaultSpec(FaultKind.STORAGE_READ_ERROR, at=(0,))])
+        backend = AutotuneBackend(
+            storage=FaultyStorage(storage, plan),
+            issuer=SasTokenIssuer("secret"),
+            query_space=SPACE,
+        )
+        grant = backend.register_job("app-f", "art-f", "user-ws")
+        assert backend.fetch_warm_start(
+            grant.model_read_token, "user-ws", "s", np.zeros(DIM)
+        ) is None
+        assert backend.corpus_load_failures == 1
+        assert backend.warm_start_misses == 1

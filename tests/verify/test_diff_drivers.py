@@ -14,6 +14,7 @@ from repro.verify.diff import (
     diff_live_replay,
     diff_lockstep_sequential,
     diff_refit_incremental,
+    diff_retrieval_bruteforce,
     diff_scalar_batch,
     diff_serial_parallel,
 )
@@ -27,7 +28,7 @@ class TestAllPathsAgree:
         assert set(reports) == {
             "scalar_vs_batch", "serial_vs_parallel",
             "refit_vs_incremental", "live_vs_replay",
-            "lockstep_vs_sequential",
+            "lockstep_vs_sequential", "retrieval_vs_bruteforce",
         }
         for report in reports.values():
             assert report.equivalent, report.summary()
@@ -63,6 +64,11 @@ class TestAllPathsAgree:
         report = diff_lockstep_sequential(
             seed=2, n_workloads=6, n_iterations=10, fault_every=3
         )
+        assert report.equivalent, report.summary()
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_retrieval_bruteforce_across_seeds(self, seed):
+        report = diff_retrieval_bruteforce(seed=seed)
         assert report.equivalent, report.summary()
 
 
@@ -125,4 +131,21 @@ class TestDeliberateBugIsCaught:
         assert report.divergence is not None
         assert report.divergence.step == FAULT_STEP + 1
         assert report.divergence.field == "config"
+        assert "NOT equivalent" in report.summary()
+
+    def test_broken_tie_break_in_index_topk_diverges(self, monkeypatch):
+        # Drop the deterministic id tie-break: equal-score entries (the
+        # planted duplicates) then surface in partition order, which the
+        # brute-force lexsort reference must flag.
+        import repro.retrieval.index as index_mod
+
+        original = index_mod._top_k_row
+
+        def reversed_ranking(scores_row, ids_row, k):
+            return original(scores_row, ids_row, k)[::-1]
+
+        monkeypatch.setattr(index_mod, "_top_k_row", reversed_ranking)
+        report = diff_retrieval_bruteforce(seed=0)
+        assert not report.equivalent
+        assert report.divergence is not None
         assert "NOT equivalent" in report.summary()
