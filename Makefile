@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos telemetry retrieval verify coverage bench bench-perf bench-telemetry bench-retrieval all
+.PHONY: test chaos telemetry retrieval verify drift coverage bench bench-perf bench-telemetry bench-retrieval all
 
 test:            ## fast tier-1 suite (chaos/verify deselected)
 	$(PYTEST) -x -q
@@ -16,6 +16,9 @@ retrieval:       ## ANN retrieval / warm-start suite (docs/performance.md)
 
 verify:          ## invariant + property + differential suites (docs/testing.md)
 	$(PYTEST) -m verify -q
+
+drift:           ## task-switch / adversarial-drift battery (docs/testing.md)
+	$(PYTEST) -m "drift or chaos" -q tests/verify/test_switch_properties.py tests/verify/test_switch_oracle.py tests/faults/test_switch_chaos.py tests/experiments/test_ext_drift.py
 
 coverage:        ## line-coverage summary for src/repro (stdlib tracer; slow)
 	PYTHONPATH=src python tools/line_coverage.py $(COVERAGE_ARGS)

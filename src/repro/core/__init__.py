@@ -25,6 +25,7 @@ from .selectors import (
     SurrogateSelector,
 )
 from .session import ApplicationSession, IterationRecord, TuningSession, TuningTrace
+from .switch import SafeExplorationGate, SwitchDecision, TaskSwitchDetector
 
 __all__ = [
     "AppCache",
@@ -52,7 +53,10 @@ __all__ = [
     "PseudoSurrogateSelector",
     "QueryTuningContext",
     "RandomSelector",
+    "SafeExplorationGate",
     "SurrogateSelector",
+    "SwitchDecision",
+    "TaskSwitchDetector",
     "TuningSession",
     "TuningTrace",
     "default_window_model_factory",

@@ -33,6 +33,7 @@ from .guardrail import Guardrail
 from .observation import Observation, ObservationWindow
 from .optimizer_base import Optimizer
 from .selectors import CandidateSelector, SurrogateSelector
+from .switch import SafeExplorationGate, TaskSwitchDetector
 
 __all__ = ["CentroidLearning", "default_window_model_factory"]
 
@@ -79,6 +80,19 @@ class CentroidLearning(Optimizer):
             moves (needs enough data for a meaningful fit).
         probe: gradient probe geometry, ``"span"`` or ``"multiplicative"``.
         seed: RNG seed.
+        switch_detector: optional
+            :class:`~repro.core.switch.TaskSwitchDetector`; on a detected
+            regime change the session re-anchors — fresh window seeded with
+            the firing observation, guardrail reset, centroid re-seeded from
+            ``switch_warm_start`` when provided.
+        switch_warm_start: ``(Observation) -> Optional[vector]`` consulted
+            on each detection for the new regime's starting centroid —
+            typically :func:`repro.retrieval.warm_start_from_corpus`.
+            Failures (e.g. a flaky backend) are swallowed and counted; the
+            session keeps its current centroid.
+        safe_gate: optional :class:`~repro.core.switch.SafeExplorationGate`
+            restricting candidates to those whose predicted cost stays
+            within a bound of the default configuration's.
     """
 
     def __init__(
@@ -98,6 +112,9 @@ class CentroidLearning(Optimizer):
         min_update_observations: int = 3,
         probe: str = "span",
         seed: Optional[int] = None,
+        switch_detector: Optional[TaskSwitchDetector] = None,
+        switch_warm_start: Optional[Callable[[Observation], Optional[np.ndarray]]] = None,
+        safe_gate: Optional[SafeExplorationGate] = None,
     ):
         super().__init__(space, window_size=window_size)
         if not 0 < alpha < 1:
@@ -120,6 +137,10 @@ class CentroidLearning(Optimizer):
         self.guardrail = guardrail
         self.min_update_observations = min_update_observations
         self.probe = probe
+        self.switch_detector = switch_detector
+        self.switch_warm_start = switch_warm_start
+        self.safe_gate = safe_gate
+        self.reanchor_count = 0
         self._rng = np.random.default_rng(seed)
         e0 = space.default_vector() if start is None else np.asarray(start, dtype=float)
         self._centroid = space.clip(e0)
@@ -173,6 +194,10 @@ class CentroidLearning(Optimizer):
             "n_updates": self._n_updates,
             "history": history,
             "guardrail": self.guardrail.to_state() if self.guardrail else None,
+            "reanchors": self.reanchor_count,
+            "switch": (
+                self.switch_detector.to_state() if self.switch_detector else None
+            ),
         }
 
     def restore_state(self, state: dict) -> "CentroidLearning":
@@ -204,6 +229,14 @@ class CentroidLearning(Optimizer):
                     "state carries guardrail data but this optimizer has no guardrail"
                 )
             self.guardrail.restore_state(state["guardrail"])
+        self.reanchor_count = int(state.get("reanchors", 0))
+        if state.get("switch") is not None:
+            if self.switch_detector is None:
+                raise ValueError(
+                    "state carries switch-detector data but this optimizer "
+                    "has no switch detector"
+                )
+            self.switch_detector.restore_state(state["switch"])
         return self
 
     # -- ask/tell -----------------------------------------------------------------
@@ -216,6 +249,14 @@ class CentroidLearning(Optimizer):
         candidates = generate_candidates(
             self.space, self._centroid, self.beta, self.n_candidates, self._rng
         )
+        if (
+            self.safe_gate is not None
+            and len(self.observations.window) >= self.safe_gate.min_observations
+        ):
+            model = fit_window_model(self.observations, self.model_factory)
+            candidates = self.safe_gate.apply(
+                candidates, model, data_size, self.space.default_vector()
+            )
         index = self.selector.select(
             candidates, self.observations, data_size, embedding, self._rng
         )
@@ -227,6 +268,14 @@ class CentroidLearning(Optimizer):
 
     def observe(self, obs: Observation) -> None:
         super().observe(obs)
+        if self.switch_detector is not None:
+            decision = self.switch_detector.update(
+                obs.performance, obs.data_size,
+                embedding=obs.embedding, iteration=obs.iteration,
+            )
+            if decision.detected:
+                self._re_anchor(obs, decision)
+                return
         if self.guardrail is not None:
             self.guardrail.update(obs)
             if not self.guardrail.active:
@@ -236,6 +285,40 @@ class CentroidLearning(Optimizer):
             telemetry.counter("centroid.updates_skipped", reason="window").inc()
             return
         self._update_centroid(obs)
+
+    def _re_anchor(self, obs: Observation, decision) -> None:
+        """Regime change: reset the window/guardrail, re-seed the centroid.
+
+        The firing observation seeds the fresh window (it belongs to the new
+        regime); the centroid either jumps to the retrieval warm start or
+        stays put (the old optimum is still the best available guess).  The
+        guardrail check and the Alg.-1 update are both skipped this step —
+        one observation of a new regime supports neither.
+        """
+        window = ObservationWindow(self.observations.window_size)
+        window.append(obs)
+        self.observations = window
+        self._n_updates = 0
+        if self.guardrail is not None:
+            self.guardrail.reset()
+        if self.switch_warm_start is not None:
+            try:
+                vector = self.switch_warm_start(obs)
+            except Exception:  # noqa: BLE001 — a lost warm start beats a lost session
+                telemetry.counter("switch.warm_start_failures").inc()
+                vector = None
+            if vector is not None:
+                self._centroid = self.space.clip(np.asarray(vector, dtype=float))
+                telemetry.counter("switch.warm_starts").inc()
+        self.reanchor_count += 1
+        telemetry.counter("switch.reanchors", reason=decision.reason).inc()
+        telemetry.emit(
+            "switch.reanchor",
+            iteration=obs.iteration,
+            reason=decision.reason,
+            statistic=decision.statistic,
+            centroid=self._centroid.tolist(),
+        )
 
     @property
     def effective_alpha(self) -> float:

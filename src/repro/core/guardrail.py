@@ -88,7 +88,26 @@ class Guardrail:
         self._disabled = False
         self._since_disable = 0
         self.reenable_count = 0
+        self.reset_count = 0
         self.decisions: List[GuardrailDecision] = []
+
+    def reset(self) -> None:
+        """Forget the regression history and re-enable tuning.
+
+        Called when a task switch re-anchors the session: the trend the
+        guardrail fit belongs to the *old* regime, and holding the session
+        through disable/cooldown probation on stale evidence is exactly the
+        failure mode the switch detector exists to avoid.  The decision log
+        is kept (it is an audit trail, not fit state).
+        """
+        self._iterations = []
+        self._data_sizes = []
+        self._times = []
+        self._consecutive_violations = 0
+        self._disabled = False
+        self._since_disable = 0
+        self.reset_count += 1
+        telemetry.counter("guardrail.resets").inc()
 
     @property
     def active(self) -> bool:

@@ -156,6 +156,12 @@ class TuningSession:
         default = self.optimizer.space.default_dict()
         return self.simulator.true_time(self.plan, default, data_scale=scale)
 
+    @property
+    def switch_count(self) -> int:
+        """Task switches the optimizer's detector has declared (0 without one)."""
+        detector = getattr(self.optimizer, "switch_detector", None)
+        return detector.switch_count if detector is not None else 0
+
     def step(self) -> IterationRecord:
         """Run one suggest → execute → observe iteration."""
         t = len(self.trace)
@@ -217,6 +223,10 @@ class TuningSession:
                 tspan.set_attr("true_seconds", result.true_seconds)
                 tspan.set_attr("data_size", result.data_size)
                 tspan.set_attr("tuning_active", active)
+                detector = getattr(self.optimizer, "switch_detector", None)
+                if detector is not None:
+                    tspan.set_attr("switch_count", detector.switch_count)
+                    tspan.set_attr("switch_statistic", detector.statistic)
             return record
 
     def run(self, n_iterations: int) -> TuningTrace:

@@ -12,6 +12,7 @@ from . import (
     app_level_joint,
     ext_categorical,
     ext_conservative,
+    ext_drift_adversarial,
     ext_knob_count,
     ext_price_performance,
     ext_retrieval_warm_start,
@@ -51,6 +52,7 @@ ALL_EXPERIMENTS = {
     "app_level_joint": app_level_joint,
     "ext_categorical": ext_categorical,
     "ext_conservative": ext_conservative,
+    "ext_drift_adversarial": ext_drift_adversarial,
     "ext_knob_count": ext_knob_count,
     "ext_price_performance": ext_price_performance,
     "ext_retrieval_warm_start": ext_retrieval_warm_start,

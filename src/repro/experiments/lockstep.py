@@ -25,7 +25,17 @@ sequentially.  The ingredients:
 * :meth:`SparkSimulator.observe_true` (and its
   :class:`~repro.faults.injectors.FaultySimulator` wrapper), which applies
   exactly the per-run noise/fault tail of ``run()`` to precomputed true
-  times.
+  times;
+* per-session task-switch state (:class:`_SwitchState`): the
+  :class:`~repro.core.switch.TaskSwitchDetector` CUSUM recursion runs
+  vectorized across sessions, while rare events (warmup freezes,
+  detections, re-anchors, warm-start consults) drop to per-session loops
+  replaying the scalar arithmetic — sessions that fire at different steps
+  keep ragged window/guardrail epochs (``_win_start``/``_gr_start``) that
+  the suggest, guardrail and centroid phases group by length;
+* :class:`~repro.core.switch.SafeExplorationGate` masking applied to the
+  batched candidate scores (``-inf`` at rejected candidates is
+  argmax-equivalent to the scalar gate's subset selection).
 
 ``repro.verify.diff.diff_lockstep_sequential`` pins the contract end to
 end on fig15-style populations; Hypothesis properties in
@@ -56,6 +66,12 @@ from ..core.guardrail import Guardrail, GuardrailDecision
 from ..core.observation import Observation
 from ..core.selectors import SurrogateSelector
 from ..core.session import IterationRecord, TuningSession, TuningTrace
+from ..core.switch import (
+    SafeExplorationGate,
+    SwitchDecision,
+    TaskSwitchDetector,
+    _record_detection,
+)
 from ..ml.acquisition import (
     ExpectedImprovement,
     LowerConfidenceBound,
@@ -139,6 +155,8 @@ class _Uniform:
     degree: int
     interaction_only: bool
     guardrail: Optional[Guardrail]  # parameter template (state lives in SoA)
+    detector: Optional[TaskSwitchDetector] = None  # parameter template
+    gate: Optional[SafeExplorationGate] = None
 
 
 @dataclass
@@ -149,7 +167,28 @@ class _GuardrailState:
     disabled: np.ndarray
     since_disable: np.ndarray
     reenable_count: np.ndarray
+    reset_count: np.ndarray
     decisions: List[List[GuardrailDecision]] = field(default_factory=list)
+
+
+@dataclass
+class _SwitchState:
+    """Per-session task-switch-detector state, struct-of-arrays.
+
+    Mirrors :class:`~repro.core.switch.TaskSwitchDetector` field for field;
+    ``nan`` stands in for the scalar detector's ``None`` (unset reference /
+    anchor).  ``reanchors`` tracks the owning optimizer's ``reanchor_count``.
+    """
+
+    n: np.ndarray
+    block: np.ndarray  # (K, warmup) warmup scratch
+    ref_mean: np.ndarray
+    ref_scale: np.ndarray
+    g: np.ndarray
+    anchor_size: np.ndarray
+    switch_counts: np.ndarray
+    reanchors: np.ndarray
+    decisions: List[List[SwitchDecision]] = field(default_factory=list)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -271,10 +310,38 @@ class LockstepSessions:
                 disabled=np.zeros(self.k, dtype=bool),
                 since_disable=np.zeros(self.k, dtype=int),
                 reenable_count=np.zeros(self.k, dtype=int),
+                reset_count=np.zeros(self.k, dtype=int),
                 decisions=[[] for _ in range(self.k)],
             )
         else:
             self._grs = None
+
+        # Task-switch re-anchoring: per-session window / guardrail epochs.
+        # ``_win_start[k]`` is the step index of the first observation in
+        # session k's current ObservationWindow; ``_gr_start[k]`` the first
+        # step in its guardrail history.  Both stay 0 (the construction-time
+        # epoch) until a detector fires, so detector-free populations take
+        # exactly the pre-switch code paths.
+        self._win_start = np.zeros(self.k, dtype=int)
+        self._gr_start = np.zeros(self.k, dtype=int)
+        self._synced_start = np.zeros(self.k, dtype=int)
+        self._warm_starts = [
+            getattr(o, "switch_warm_start", None) for o in opts
+        ]
+        if u.detector is not None:
+            self._sws: Optional[_SwitchState] = _SwitchState(
+                n=np.zeros(self.k, dtype=int),
+                block=np.zeros((self.k, u.detector.warmup)),
+                ref_mean=np.full(self.k, np.nan),
+                ref_scale=np.full(self.k, np.nan),
+                g=np.zeros(self.k),
+                anchor_size=np.full(self.k, np.nan),
+                switch_counts=np.zeros(self.k, dtype=int),
+                reanchors=np.zeros(self.k, dtype=int),
+                decisions=[[] for _ in range(self.k)],
+            )
+        else:
+            self._sws = None
 
         # Step-indexed history buffers, grown on demand.
         self._t = 0
@@ -290,6 +357,8 @@ class LockstepSessions:
 
     def _validate(self, opts: Sequence[CentroidLearning]) -> _Uniform:
         first = opts[0]
+        det0 = getattr(first, "switch_detector", None)
+        gate0 = getattr(first, "safe_gate", None)
         _require(
             type(first) is CentroidLearning,
             f"lock-step supports CentroidLearning, got {type(first).__name__}",
@@ -380,6 +449,51 @@ class LockstepSessions:
                         gr0.fit_window, gr0.cooldown),
                     "guardrail parameters must be uniform",
                 )
+            det = getattr(opt, "switch_detector", None)
+            _require(
+                (det is None) == (det0 is None),
+                "switch detectors must be all absent or all present",
+            )
+            if det is not None:
+                _require(
+                    type(det) is TaskSwitchDetector,
+                    f"lock-step supports TaskSwitchDetector, "
+                    f"got {type(det).__name__}",
+                )
+                _require(
+                    det.n_since_anchor == 0 and det.switch_count == 0,
+                    "lock-step requires fresh switch detectors",
+                )
+                _require(
+                    (det.warmup, det.threshold, det.drift, det.clip,
+                     det.min_rel_scale, det.size_jump, det.embedding_jump)
+                    == (det0.warmup, det0.threshold, det0.drift, det0.clip,
+                        det0.min_rel_scale, det0.size_jump,
+                        det0.embedding_jump),
+                    "switch-detector parameters must be uniform",
+                )
+            gate = getattr(opt, "safe_gate", None)
+            _require(
+                (gate is None) == (gate0 is None),
+                "safe gates must be all absent or all present",
+            )
+            if gate is not None:
+                _require(
+                    type(gate) is SafeExplorationGate,
+                    f"lock-step supports SafeExplorationGate, "
+                    f"got {type(gate).__name__}",
+                )
+                _require(
+                    (gate.bound, gate.min_observations)
+                    == (gate0.bound, gate0.min_observations),
+                    "safe-gate parameters must be uniform",
+                )
+        if det0 is not None:
+            ids = {id(getattr(o, "switch_detector", None)) for o in opts}
+            _require(
+                len(ids) == len(opts),
+                "each session needs its own TaskSwitchDetector instance",
+            )
         degree = interaction_only = None
         for opt in opts:
             model = opt.model_factory()
@@ -404,6 +518,16 @@ class LockstepSessions:
                 and poly_step.interaction_only == interaction_only,
                 "polynomial expansion must be uniform",
             )
+        if gate0 is not None:
+            # Gate active ⟹ the selector is in its model branch: the gate
+            # must never strip candidates while the selector would still be
+            # consuming a cold-start RNG draw, or the lock-step mirror (which
+            # routes gated sessions through the batched model path) diverges.
+            _require(
+                gate0.min_observations >= sel0.min_observations,
+                "safe_gate.min_observations must be >= the selector's "
+                "min_observations",
+            )
         return _Uniform(
             window_size=first.observations.window_size,
             n_candidates=first.n_candidates,
@@ -415,6 +539,8 @@ class LockstepSessions:
             degree=degree,
             interaction_only=interaction_only,
             guardrail=gr0,
+            detector=det0,
+            gate=gate0,
         )
 
     # -- buffers -----------------------------------------------------------------
@@ -440,18 +566,25 @@ class LockstepSessions:
 
     # -- window models -----------------------------------------------------------
 
-    def _models_for(self, idx: np.ndarray, version: int) -> BatchedRidgePipeline:
+    def _models_for(
+        self, idx: np.ndarray, version: int, n: Optional[int] = None
+    ) -> BatchedRidgePipeline:
         """Fitted window models for sessions ``idx`` at window ``version``.
 
-        ``version`` is the number of observations each session holds; stale
+        ``version`` is the number of observations taken so far; stale
         sessions are refit in one batched call (others keep their cached
         fit, exactly like the sequential memoization in
-        :func:`repro.core.find_best.fit_window_model`).
+        :func:`repro.core.find_best.fit_window_model`).  ``n`` is the shared
+        window length of the ``idx`` sessions — callers with task-switch
+        re-anchored populations group sessions by window length first; the
+        default covers the never-re-anchored epoch.  A re-anchor invalidates
+        the cache by pinning ``_model_version`` to -1.
         """
         stale = idx[self._model_version[idx] != version]
         if stale.size:
             u = self._u
-            n = min(version, u.window_size)
+            if n is None:
+                n = min(version, u.window_size)
             lo = version - n
             X = np.empty((stale.size, n, self.dim + 1))
             X[:, :, : self.dim] = self._vectors[stale, lo:version]
@@ -586,59 +719,238 @@ class LockstepSessions:
                     low[:, None, :]
                     + np.subtract(high, low)[:, None, :] * draws
                 )
-            n_window = min(t, u.window_size)
-            if n_window < u.sel_min_obs:
+            # Window lengths are per-session once task switches re-anchor;
+            # without a detector every win_start is 0 and there is exactly
+            # one group — the pre-switch fast path.
+            n_windows = np.minimum(t - self._win_start[act], u.window_size)
+            cold = n_windows < u.sel_min_obs
+            if cold.any():
                 # Cold start: uniform choice from each session's RNG.
-                for j, k in enumerate(act):
+                for j in np.flatnonzero(cold):
+                    k = act[j]
                     vectors[k] = cands[j, int(self._rngs[k].integers(0, m))]
-            else:
-                model = self._models_for(act, version=t)
-                rows = np.empty((act.size, m, dim + 1))
-                rows[:, :, :dim] = cands
-                rows[:, :, dim] = est_sizes[act, None]
+            hot_pos = np.flatnonzero(~cold)
+            for n_w in np.unique(n_windows[hot_pos]):
+                pos = hot_pos[n_windows[hot_pos] == n_w]
+                grp = act[pos]
+                n_w = int(n_w)
+                model = self._models_for(grp, version=t, n=n_w)
+                gated = u.gate is not None and n_w >= u.gate.min_observations
+                n_rows = m + 1 if gated else m
+                rows = np.empty((grp.size, n_rows, dim + 1))
+                rows[:, :m, :dim] = cands[pos]
+                rows[:, :, dim] = est_sizes[grp, None]
+                if gated:
+                    rows[:, m, :dim] = self._default
                 mean = model.predict(rows)
-                std = np.full((act.size, m), 1e-9)
-                best = np.min(self._perfs[act, t - n_window : t], axis=1)
-                scores = u.acquisition(mean, std, best[:, None])
-                chosen = np.argmax(scores, axis=1)
-                vectors[act] = cands[np.arange(act.size), chosen]
+                std = np.full((grp.size, m), 1e-9)
+                best = np.min(self._perfs[grp, t - n_w : t], axis=1)
+                scores = u.acquisition(mean[:, :m], std, best[:, None])
+                if gated:
+                    # Same mask the scalar gate computes; rejecting a
+                    # candidate zeroes its score via -inf, which is
+                    # argmax-equivalent to selecting over the safe subset.
+                    bound = u.gate.bound
+                    mask = mean[:, :m] <= mean[:, m:] * (1.0 + bound)
+                    telemetry.counter("safe.checks").inc(grp.size)
+                    n_rejected = int(grp.size * m - np.count_nonzero(mask))
+                    if n_rejected:
+                        telemetry.counter("safe.rejected").inc(n_rejected)
+                    unsafe = ~mask.any(axis=1)
+                    if unsafe.any():
+                        telemetry.counter("safe.fallbacks").inc(
+                            int(np.count_nonzero(unsafe))
+                        )
+                        vectors[grp[unsafe]] = self._default
+                        scores = scores[~unsafe]
+                        mask = mask[~unsafe]
+                        pos = pos[~unsafe]
+                        grp = grp[~unsafe]
+                    scores = np.where(mask, scores, -np.inf)
+                if grp.size:
+                    chosen = np.argmax(scores, axis=1)
+                    vectors[grp] = cands[pos, chosen]
         self._vectors[:, t] = vectors
 
         # 3. Execute on the workload substrate.
         self._execute(t, vectors, scales)
 
-        # 4. Observe: guardrail sweep, then the vectorized Alg.-1 centroid
-        #    update for every session that is active with a full-enough
-        #    window.
+        # 4. Observe: task-switch sweep first (fired sessions re-anchor and
+        #    skip the guardrail and centroid phases this step, exactly like
+        #    the sequential early return), then the guardrail sweep, then
+        #    the vectorized Alg.-1 centroid update for every session that is
+        #    active with a full-enough window.
         telemetry.counter("session.steps").inc(k_total)
+        if self._sws is not None:
+            fired = self._switch_step(t)
+            not_fired = ~fired
+        else:
+            not_fired = np.ones(k_total, dtype=bool)
         if self._grs is not None:
-            active_after = self._guardrail_step(t)
-            held = int(np.count_nonzero(~active_after))
+            active_after = self._guardrail_step(t, not_fired)
+            held = int(np.count_nonzero(~active_after & not_fired))
             if held:
                 telemetry.counter(
                     "centroid.updates_skipped", reason="guardrail"
                 ).inc(held)
-            updatable = np.flatnonzero(active_after)
+            updatable = np.flatnonzero(active_after & not_fired)
         else:
             active_after = np.ones(k_total, dtype=bool)
-            updatable = np.arange(k_total)
+            updatable = np.flatnonzero(not_fired)
         self._active[:, t] = active_after
-        n_win = min(t + 1, u.window_size)
-        if n_win < u.min_update_obs:
-            if updatable.size:
-                telemetry.counter(
-                    "centroid.updates_skipped", reason="window"
-                ).inc(updatable.size)
-        elif updatable.size:
-            self._update_centroids(updatable, t, n_win)
+        n_wins = np.minimum(t + 1 - self._win_start[updatable], u.window_size)
+        small = n_wins < u.min_update_obs
+        n_small = int(np.count_nonzero(small))
+        if n_small:
+            telemetry.counter(
+                "centroid.updates_skipped", reason="window"
+            ).inc(n_small)
+        full = updatable[~small]
+        if full.size:
+            full_wins = n_wins[~small]
+            for n_win in np.unique(full_wins):
+                self._update_centroids(
+                    full[full_wins == n_win], t, int(n_win)
+                )
         self._t = t + 1
+
+    def _switch_step(self, t: int) -> np.ndarray:
+        """Vectorized :meth:`TaskSwitchDetector.update` sweep for step ``t``.
+
+        The elementwise CUSUM recursion runs across all sessions at once
+        (float64 elementwise ops are bitwise equal to the scalar update);
+        the rare events — warmup-block freezes and detections — drop to
+        per-session loops that replay the scalar arithmetic exactly.
+        Returns the fired mask; fired sessions are fully re-anchored
+        (detector, window epoch, guardrail, warm-started centroid) before
+        returning, mirroring ``CentroidLearning._re_anchor``.
+        """
+        det = self._u.detector
+        s = self._sws
+        k_total = self.k
+        telemetry.counter("switch.checks").inc(k_total)
+        perfs = self._perfs[:, t]
+        sizes = self._sizes[:, t]
+        x = perfs / sizes
+        fired = np.zeros(k_total, dtype=bool)
+        stats = np.zeros(k_total)
+        bounds = np.zeros(k_total)
+        reasons = [""] * k_total
+
+        # Input-size channel: immediate fire on a size_jump× ratio versus
+        # the anchor, either direction, before any warmup accumulation.
+        anchored = ~np.isnan(s.anchor_size)
+        if det.size_jump is not None and anchored.any():
+            ratio = sizes / np.where(anchored, s.anchor_size, 1.0)
+            size_fire = anchored & (
+                (ratio > det.size_jump) | (ratio * det.size_jump < 1.0)
+            )
+            if size_fire.any():
+                fired |= size_fire
+                stats[size_fire] = ratio[size_fire]
+                bounds[size_fire] = det.size_jump
+                for k in np.flatnonzero(size_fire):
+                    reasons[k] = "input_size"
+        # (Plan-shape channel: lock-step sessions carry no embeddings, so
+        # the scalar detector's cosine check is inert here by construction.)
+
+        quiet = ~fired
+        new_anchor = quiet & ~anchored
+        if new_anchor.any():
+            s.anchor_size[new_anchor] = sizes[new_anchor]
+
+        warm = quiet & (s.n < det.warmup)
+        if warm.any():
+            idx = np.flatnonzero(warm)
+            s.block[idx, s.n[idx]] = x[idx]
+            s.n[idx] += 1
+            for k in idx[s.n[idx] == det.warmup]:
+                # Freeze the reference exactly as the scalar detector does.
+                block = s.block[k, : det.warmup]
+                mean = float(block.mean())
+                s.ref_mean[k] = mean
+                s.ref_scale[k] = max(
+                    float(block.std()), det.min_rel_scale * abs(mean), 1e-12
+                )
+
+        hot = quiet & ~warm
+        if hot.any():
+            idx = np.flatnonzero(hot)
+            z = (x[idx] - s.ref_mean[idx]) / s.ref_scale[idx]
+            g = np.maximum(0.0, s.g[idx] + np.minimum(z, det.clip) - det.drift)
+            s.g[idx] = g
+            s.n[idx] += 1
+            over = g > det.threshold
+            if over.any():
+                cusum_fire = idx[over]
+                fired[cusum_fire] = True
+                stats[cusum_fire] = g[over]
+                bounds[cusum_fire] = det.threshold
+                for k in cusum_fire:
+                    reasons[k] = "cost_shift"
+
+        for k in np.flatnonzero(fired):
+            decision = SwitchDecision(
+                t, float(stats[k]), float(bounds[k]), True, reasons[k]
+            )
+            s.switch_counts[k] += 1
+            s.decisions[k].append(decision)
+            # Detector re-anchor on the firing observation.
+            s.n[k] = 1
+            s.block[k, 0] = x[k]
+            s.g[k] = 0.0
+            s.ref_mean[k] = np.nan
+            s.ref_scale[k] = np.nan
+            s.anchor_size[k] = sizes[k]
+            _record_detection(decision)
+            # Optimizer re-anchor: fresh window epoch seeded with the firing
+            # observation, guardrail reset, warm-started centroid.
+            self._win_start[k] = t
+            self._model_version[k] = -1
+            self._n_updates[k] = 0.0
+            if self._grs is not None:
+                gs = self._grs
+                gs.consecutive[k] = 0
+                gs.disabled[k] = False
+                gs.since_disable[k] = 0
+                gs.reset_count[k] += 1
+                self._gr_start[k] = t + 1
+                telemetry.counter("guardrail.resets").inc()
+            warm_start = self._warm_starts[k]
+            if warm_start is not None:
+                obs = Observation(
+                    config=self._vectors[k, t].copy(),
+                    data_size=float(sizes[k]),
+                    performance=float(perfs[k]),
+                    iteration=t,
+                )
+                try:
+                    vector = warm_start(obs)
+                except Exception:  # noqa: BLE001 — mirror the scalar path
+                    telemetry.counter("switch.warm_start_failures").inc()
+                    vector = None
+                if vector is not None:
+                    self._centroids[k] = self.space.clip(
+                        np.asarray(vector, dtype=float)
+                    )
+                    telemetry.counter("switch.warm_starts").inc()
+            s.reanchors[k] += 1
+            telemetry.counter("switch.reanchors", reason=decision.reason).inc()
+            telemetry.emit(
+                "switch.reanchor",
+                iteration=t,
+                reason=decision.reason,
+                statistic=decision.statistic,
+                centroid=self._centroids[k].tolist(),
+            )
+        return fired
 
     def _update_centroids(self, upd: np.ndarray, t: int, n_win: int) -> None:
         """FIND_BEST + ml sign gradient + overshoot, for sessions ``upd``."""
         u = self._u
         dim = self.dim
         lo = t + 1 - n_win
-        model = self._models_for(upd, version=t + 1)
+        model = self._models_for(upd, version=t + 1, n=n_win)
         w_conf = self._vectors[upd, lo : t + 1]
         w_perf = self._perfs[upd, lo : t + 1]
         p_latest = self._sizes[upd, t]
@@ -681,12 +993,17 @@ class LockstepSessions:
         self._ever_updated[upd] = True
         telemetry.counter("centroid.updates").inc(upd.size)
 
-    def _guardrail_step(self, t: int) -> np.ndarray:
-        """Vectorized :meth:`Guardrail.update` sweep; returns the active mask."""
+    def _guardrail_step(self, t: int, eligible: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`Guardrail.update` sweep; returns the active mask.
+
+        ``eligible`` masks out sessions whose detector fired this step —
+        the sequential path re-anchors and returns before ever calling
+        ``guardrail.update``, so they take no cooldown tick and no check.
+        """
         g = self._u.guardrail
         s = self._grs
         was_disabled = s.disabled.copy()
-        dis = np.flatnonzero(was_disabled)
+        dis = np.flatnonzero(was_disabled & eligible)
         if dis.size and g.cooldown is not None:
             s.since_disable[dis] += 1
             telemetry.counter("guardrail.cooldown_holds").inc(dis.size)
@@ -705,10 +1022,18 @@ class LockstepSessions:
                     )
         # Sessions disabled at entry (even ones re-enabled just above) skip
         # the check this step, exactly like the sequential early return.
-        if t + 1 >= g.min_iterations:
-            chk = np.flatnonzero(~was_disabled)
-            if chk.size:
-                w = min(t + 1, g.fit_window)
+        # History lengths are per-session once a task switch resets a
+        # guardrail (``_gr_start`` moves); group by fit-window length so
+        # each batched trend solve sees a rectangular stack.
+        n_obs = t + 1 - self._gr_start
+        chk_all = np.flatnonzero(
+            eligible & ~was_disabled & (n_obs >= g.min_iterations)
+        )
+        if chk_all.size:
+            w_all = np.minimum(n_obs[chk_all], g.fit_window)
+            for w in np.unique(w_all):
+                chk = chk_all[w_all == w]
+                w = int(w)
                 lo = t + 1 - w
                 X = np.empty((chk.size, w, 2))
                 X[:, :, 0] = np.arange(lo, t + 1, dtype=float)[None, :]
@@ -828,8 +1153,10 @@ class LockstepSessions:
 
     def _sync_state(self) -> None:
         """Write lock-step state back into the real optimizer objects."""
+        from ..core.observation import ObservationWindow
+
         n = self._t
-        lo = self._synced_obs
+        u = self._u
         iterations = np.arange(n, dtype=float).tolist()
         for k, opt in enumerate(self._opts):
             opt._centroid = self._centroids[k].copy()
@@ -837,6 +1164,17 @@ class LockstepSessions:
             if self._ever_updated[k]:
                 opt._last_best = self._last_best[k].copy()
                 opt._last_gradient = self._last_delta[k].copy()
+            # Observations: append incrementally, unless a task switch moved
+            # this session's window epoch since the last sync — then mirror
+            # the sequential re-anchor with a fresh window holding only the
+            # current epoch's observations.
+            win_start = int(self._win_start[k])
+            if win_start != self._synced_start[k]:
+                opt.observations = ObservationWindow(u.window_size)
+                self._synced_start[k] = win_start
+                lo = win_start
+            else:
+                lo = self._synced_obs
             # One private copy per session; each Observation holds a row
             # view of it (the copy is never mutated, so the rows are as
             # immutable as the per-record copies the sequential path makes).
@@ -867,14 +1205,35 @@ class LockstepSessions:
             guardrail = opt.guardrail
             if guardrail is not None and self._grs is not None:
                 s = self._grs
-                guardrail._iterations = iterations.copy()
-                guardrail._data_sizes = self._sizes[k, :n].tolist()
-                guardrail._times = self._perfs[k, :n].tolist()
+                g_lo = int(self._gr_start[k])
+                guardrail._iterations = iterations[g_lo:]
+                guardrail._data_sizes = self._sizes[k, g_lo:n].tolist()
+                guardrail._times = self._perfs[k, g_lo:n].tolist()
                 guardrail._consecutive_violations = int(s.consecutive[k])
                 guardrail._disabled = bool(s.disabled[k])
                 guardrail._since_disable = int(s.since_disable[k])
                 guardrail.reenable_count = int(s.reenable_count[k])
+                guardrail.reset_count = int(s.reset_count[k])
                 guardrail.decisions = list(s.decisions[k])
+            if self._sws is not None:
+                sw = self._sws
+                det = opt.switch_detector
+                n_k = int(sw.n[k])
+                det._n = n_k
+                det._block = [
+                    float(v)
+                    for v in sw.block[k, : min(n_k, u.detector.warmup)]
+                ]
+                ref_mean = float(sw.ref_mean[k])
+                det._ref_mean = None if np.isnan(ref_mean) else ref_mean
+                ref_scale = float(sw.ref_scale[k])
+                det._ref_scale = None if np.isnan(ref_scale) else ref_scale
+                det._g = float(sw.g[k])
+                anchor = float(sw.anchor_size[k])
+                det._anchor_size = None if np.isnan(anchor) else anchor
+                det.switch_count = int(sw.switch_counts[k])
+                det.detections = list(sw.decisions[k])
+                opt.reanchor_count = int(sw.reanchors[k])
         self._synced_obs = n
 
 

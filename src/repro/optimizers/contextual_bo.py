@@ -4,6 +4,15 @@ The surrogate follows Eq. 2: ``f([workload embedding, configs]) = perf``.
 A warm-start dataset collected offline from benchmark workloads (Sec. 4.2)
 can seed the model before any query-specific observation exists — the
 transfer-learning setting of Fig. 12.
+
+With a :class:`~repro.core.switch.TaskSwitchDetector` attached this becomes
+the ATO ``contextBO_tsd`` shape: a detected regime change drops the
+per-regime observation history (the surrogate stops averaging two regimes),
+and an optional ``switch_refresh`` hook replaces the warm-start dataset
+with one matched to the new regime — e.g. re-queried from the retrieval
+corpus.  A :class:`~repro.core.switch.SafeExplorationGate` mirrors ATO's
+``--safe_flag``: candidates predicted worse than the default configuration
+by more than the bound never reach the acquisition argmax.
 """
 
 from __future__ import annotations
@@ -12,7 +21,10 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..core.config_space import ConfigSpace
+from ..core.observation import Observation, ObservationWindow
+from ..core.switch import SafeExplorationGate, TaskSwitchDetector
 from ..ml.acquisition import AcquisitionFunction, ExpectedImprovement
 from ..ml.base import Regressor
 from ..ml.forest import RandomForestRegressor
@@ -38,6 +50,16 @@ class ContextualBayesianOptimization(Optimizer):
             start is available* (with a warm start the model guides from
             iteration 0).
         seed: RNG seed.
+        switch_detector: optional task-switch detector; a detection drops
+            the per-regime history (window, feature rows, cached model) and
+            seeds the fresh window with the firing observation.  Without a
+            warm start the ``n_init`` random phase restarts — a new regime
+            warrants new exploration.
+        switch_refresh: ``(Observation) -> Optional[(X, y)]`` consulted on
+            each detection for a new-regime warm-start dataset (e.g. from
+            the retrieval corpus); ``None``/failure keeps the current one.
+        safe_gate: optional bounded-regret candidate gate over the
+            surrogate's mean predictions.
     """
 
     def __init__(
@@ -50,6 +72,9 @@ class ContextualBayesianOptimization(Optimizer):
         acquisition: Optional[AcquisitionFunction] = None,
         n_init: int = 3,
         seed: Optional[int] = None,
+        switch_detector: Optional[TaskSwitchDetector] = None,
+        switch_refresh: Optional[Callable[[Observation], Optional[Tuple]]] = None,
+        safe_gate: Optional[SafeExplorationGate] = None,
     ):
         super().__init__(space)
         if embedding_dim < 0:
@@ -72,18 +97,25 @@ class ContextualBayesianOptimization(Optimizer):
         self._cached_n_obs: int = -1
         self._warm_X: Optional[np.ndarray] = None
         self._warm_y: Optional[np.ndarray] = None
+        self.switch_detector = switch_detector
+        self.switch_refresh = switch_refresh
+        self.safe_gate = safe_gate
+        self.reanchor_count = 0
         if warm_start is not None:
-            X, y = warm_start
-            X = np.asarray(X, dtype=float)
-            y = np.asarray(y, dtype=float).ravel()
-            expected = embedding_dim + space.dim + 1
-            if X.ndim != 2 or X.shape[1] != expected:
-                raise ValueError(
-                    f"warm-start features must have {expected} columns "
-                    f"([embedding({embedding_dim}), config({space.dim}), data_size]), "
-                    f"got shape {X.shape}"
-                )
-            self._warm_X, self._warm_y = X, y
+            self._set_warm_start(warm_start)
+
+    def _set_warm_start(self, warm_start: Tuple[np.ndarray, np.ndarray]) -> None:
+        X, y = warm_start
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        expected = self.embedding_dim + self.space.dim + 1
+        if X.ndim != 2 or X.shape[1] != expected:
+            raise ValueError(
+                f"warm-start features must have {expected} columns "
+                f"([embedding({self.embedding_dim}), config({self.space.dim}), "
+                f"data_size]), got shape {X.shape}"
+            )
+        self._warm_X, self._warm_y = X, y
 
     # -- feature assembly ---------------------------------------------------------
 
@@ -121,6 +153,46 @@ class ContextualBayesianOptimization(Optimizer):
     def has_warm_start(self) -> bool:
         return self._warm_X is not None
 
+    # -- tell (with task-switch re-anchoring) ----------------------------------------
+
+    def observe(self, obs) -> None:
+        super().observe(obs)
+        if self.switch_detector is None:
+            return
+        decision = self.switch_detector.update(
+            obs.performance, obs.data_size,
+            embedding=obs.embedding, iteration=obs.iteration,
+        )
+        if not decision.detected:
+            return
+        # Regime change: the history rows belong to the old regime and would
+        # only mislead the surrogate.  Keep the firing observation — it is
+        # the first evidence of the new regime.
+        window = ObservationWindow(self.observations.window_size)
+        window.append(obs)
+        self.observations = window
+        self._history_rows = []
+        self._history_targets = []
+        self._cached_model = None
+        self._cached_n_obs = -1
+        if self.switch_refresh is not None:
+            try:
+                refreshed = self.switch_refresh(obs)
+            except Exception:  # noqa: BLE001 — a lost warm start beats a lost session
+                telemetry.counter("switch.warm_start_failures").inc()
+                refreshed = None
+            if refreshed is not None:
+                self._set_warm_start(refreshed)
+                telemetry.counter("switch.warm_starts").inc()
+        self.reanchor_count += 1
+        telemetry.counter("switch.reanchors", reason=decision.reason).inc()
+        telemetry.emit(
+            "switch.reanchor",
+            iteration=obs.iteration,
+            reason=decision.reason,
+            statistic=decision.statistic,
+        )
+
     # -- ask ------------------------------------------------------------------------
 
     def suggest(self, data_size: Optional[float] = None, embedding=None) -> np.ndarray:
@@ -150,4 +222,15 @@ class ContextualBayesianOptimization(Optimizer):
         else:
             best = float(np.min(self._warm_y))
         scores = self.acquisition(mean, std, float(best))
+        if (
+            self.safe_gate is not None
+            and n_obs >= self.safe_gate.min_observations
+        ):
+            default_row = self._row(self.space.default_vector(), data_size, embedding)
+            default_mean = float(model.predict(default_row[None, :])[0])
+            mask = self.safe_gate.safe_mask(mean, default_mean)
+            if not mask.any():
+                telemetry.counter("safe.fallbacks").inc()
+                return self.space.default_vector()
+            scores = np.where(mask, scores, -np.inf)
         return candidates[int(np.argmax(scores))]

@@ -20,6 +20,7 @@ from .corpus import (
     neighbors_table,
     probe_population,
     recommend_config,
+    warm_start_from_corpus,
 )
 from .index import FlatIndex, IVFIndex, assign_clusters, kmeans
 
@@ -38,4 +39,5 @@ __all__ = [
     "neighbors_table",
     "probe_population",
     "recommend_config",
+    "warm_start_from_corpus",
 ]

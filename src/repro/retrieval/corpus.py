@@ -47,6 +47,7 @@ __all__ = [
     "probe_population",
     "neighbors_table",
     "recommend_config",
+    "warm_start_from_corpus",
 ]
 
 #: Knobs whose optimum tracks the input data size roughly linearly (the
@@ -388,6 +389,44 @@ def recommend_config(
         for n in neighbors
     ])
     return space.to_dict(space.clip(vectors.mean(axis=0)))
+
+
+def warm_start_from_corpus(
+    corpus: RetrievalCorpus,
+    space: ConfigSpace,
+    plan,
+    embedder=None,
+    k: int = 3,
+):
+    """Task-switch warm-start hook backed by the retrieval corpus.
+
+    Returns an ``(Observation) -> Optional[np.ndarray]`` callable suitable
+    for :class:`~repro.core.centroid.CentroidLearning`'s
+    ``switch_warm_start``: on a detected regime change, the plan is re-scaled
+    to the firing observation's data size, embedded, and the corpus is asked
+    for its ``k`` nearest tuned histories; their size-adapted centroid
+    (:func:`recommend_config`) becomes the new-regime starting vector.  An
+    empty corpus (or a search with no hits) yields ``None``, which the
+    caller treats as "keep the current centroid".
+    """
+    from ..embedding.embedder import WorkloadEmbedder
+
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    embedder = embedder or WorkloadEmbedder()
+    base_size = max(plan.total_leaf_cardinality, 1.0)
+
+    def _warm_start(obs) -> Optional[np.ndarray]:
+        scale = max(float(obs.data_size), 1.0) / base_size
+        embedding = embedder.embed(plan.scaled(scale))
+        neighbors = corpus.search(embedding, k=k)
+        if not neighbors:
+            return None
+        telemetry.counter("retrieval.switch_consults").inc()
+        config = recommend_config(neighbors, space, data_size=float(obs.data_size))
+        return space.to_vector(config)
+
+    return _warm_start
 
 
 def neighbors_table(

@@ -24,6 +24,7 @@ from .diff import (
     DiffReport,
     Divergence,
     diff_retrieval_bruteforce,
+    diff_switch_inert,
     diff_trails,
     run_all,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "default_registry",
     "diff",
     "diff_retrieval_bruteforce",
+    "diff_switch_inert",
     "diff_trails",
     "run_all",
 ]

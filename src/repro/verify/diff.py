@@ -1,6 +1,6 @@
 """Differential oracles: one seeded workload, two redundant paths, diffed.
 
-The repo maintains six pairs of execution paths that must agree:
+The repo maintains seven pairs of execution paths that must agree:
 
 ==========================  ==============================================  =========
 pair                        contract                                        compare
@@ -25,6 +25,10 @@ index vs. brute force       ``FlatIndex`` / full-probe ``IVFIndex`` top-k   ids 
                             equals an einsum brute-force stable sort over   atol dist
                             the same corpus (dgemm vs. einsum kernels —
                             equal ranking, distances to tolerance)
+armed vs. unarmed detector  a ``TaskSwitchDetector``-armed session on a     bitwise
+                            drift-free stream is indistinguishable from
+                            its detector-free twin — the detector is
+                            inert unless a regime actually changes
 ==========================  ==============================================  =========
 
 Each driver runs both paths from the same seed, flattens them into *trails*
@@ -34,7 +38,7 @@ the contract the driver captures both sides' counter maps and diffs those
 too, excluding namespaces that legitimately differ between modes (e.g.
 ``parallel.*`` counters carry a ``mode`` label).
 
-``run_all`` sweeps all six drivers — the one command every future PR can
+``run_all`` sweeps all seven drivers — the one command every future PR can
 run to show "the paths still agree".
 """
 
@@ -51,8 +55,9 @@ from .. import telemetry
 from ..core.centroid import CentroidLearning
 from ..core.guardrail import Guardrail
 from ..core.observation import Observation
+from ..core.switch import SafeExplorationGate, TaskSwitchDetector
 from ..experiments.fig15_internal_customers import workload_specs
-from ..experiments.lockstep import LockstepSessions, run_sequential
+from ..experiments.lockstep import LockstepSessions, SessionSpec, run_sequential
 from ..experiments.parallel import run_replicated_parallel
 from ..faults.injectors import FaultySimulator
 from ..faults.plan import FaultKind, FaultPlan, FaultSpec
@@ -76,6 +81,7 @@ __all__ = [
     "diff_retrieval_bruteforce",
     "diff_scalar_batch",
     "diff_serial_parallel",
+    "diff_switch_inert",
     "diff_trails",
     "run_all",
 ]
@@ -459,6 +465,8 @@ def diff_lockstep_sequential(
     n_iterations: int = 12,
     fault_every: int = 5,
     lockstep_factory=None,
+    switching: bool = False,
+    safe: bool = False,
 ) -> DiffReport:
     """A lock-step session fleet vs. its K independent sequential twins.
 
@@ -481,10 +489,20 @@ def diff_lockstep_sequential(
     ``lockstep_factory`` swaps the engine under test (the sensitivity suite
     passes a deliberately-broken subclass to prove the oracle catches a
     single-session perturbation at the faulting step).
+
+    ``switching=True`` arms every session with a
+    :class:`~repro.core.switch.TaskSwitchDetector` and gives each a
+    staggered step-change in data scale (a 5× jump at ``4 + q % 4``), so
+    sessions re-anchor at *different* steps — the ragged-epoch case the
+    vectorized detector state must keep bit-identical.  Odd sessions get a
+    deterministic warm-start hook; every sixth a failing one (the swallowed
+    -failure path).  ``safe=True`` adds a uniform
+    :class:`~repro.core.switch.SafeExplorationGate` to every session.
     """
     guardrail_factory = lambda: Guardrail(
         min_iterations=4, threshold=0.15, patience=2
     )
+    space = query_level_space()
 
     def build_specs():
         population = generate_population(
@@ -505,6 +523,35 @@ def diff_lockstep_sequential(
                     )
                     spec = replace(
                         spec, simulator=FaultySimulator(spec.simulator, plan)
+                    )
+                if switching:
+                    opt = spec.optimizer
+                    opt.switch_detector = TaskSwitchDetector(
+                        warmup=4, threshold=4.0, size_jump=3.0
+                    )
+                    if q % 2 == 1:
+                        if q % 6 == 5:
+                            def _failing_warm_start(obs):
+                                raise RuntimeError("warm-start backend down")
+                            opt.switch_warm_start = _failing_warm_start
+                        else:
+                            target = space.sample_vector(
+                                np.random.default_rng(seed * 97 + q)
+                            )
+                            opt.switch_warm_start = (
+                                lambda obs, _v=target: _v
+                            )
+                    base = spec.scale_fn
+                    step_at = 4 + (q % 4)
+                    spec.scale_fn = (
+                        lambda t, _base=base, _at=step_at: (
+                            (_base(t) if _base is not None else 1.0)
+                            * (5.0 if t >= _at else 1.0)
+                        )
+                    )
+                if safe:
+                    spec.optimizer.safe_gate = SafeExplorationGate(
+                        bound=0.5, min_observations=3
                     )
                 specs.append(spec)
         return specs
@@ -544,7 +591,19 @@ def diff_lockstep_sequential(
                     for d in guardrail.decisions
                 ],
                 "guardrail_active": guardrail.active,
+                "guardrail_resets": guardrail.reset_count,
             })
+        if switching:
+            for spec in specs:
+                det = spec.optimizer.switch_detector
+                steps.append({
+                    "switch_decisions": [
+                        (d.iteration, d.statistic, d.bound, d.reason)
+                        for d in det.detections
+                    ],
+                    "detector_state": det.to_state(),
+                    "reanchors": spec.optimizer.reanchor_count,
+                })
         return steps
 
     return diff_trails(
@@ -554,6 +613,93 @@ def diff_lockstep_sequential(
         counters_a=cap_seq.counters(),
         counters_b=cap_lock.counters(),
         ignore_counter_prefixes=("sparksim.",),
+    )
+
+
+# -- driver 7: switch detector inert on drift-free streams --------------------------
+
+
+def diff_switch_inert(
+    seed: int = 0,
+    n_sessions: int = 4,
+    n_iterations: int = 16,
+    detector_factory=None,
+) -> DiffReport:
+    """Detector-armed sessions vs. detector-free twins on drift-free streams.
+
+    The task-switch detector must be *inert* when nothing switches: on a
+    stationary workload (constant data scale, Eq.-8 noise only) a session
+    with a :class:`~repro.core.switch.TaskSwitchDetector` attached must be
+    bitwise identical to the same session without one — every suggestion,
+    observation, guardrail verdict and centroid move.  The detector consumes
+    no RNG and a non-detection changes no optimizer state, so any divergence
+    means the detector fired a false alarm (or mutated state it must not
+    touch).  Counter trails are compared minus ``switch.*`` (the armed side
+    legitimately counts its per-step checks).
+
+    ``detector_factory`` (``(session_index) -> TaskSwitchDetector``) swaps
+    the detector under test — the sensitivity suite passes one rigged to
+    fire at a planted step and pins the first divergence to the very next
+    suggestion.
+    """
+    space = query_level_space()
+    factory = detector_factory or (lambda q: TaskSwitchDetector())
+
+    def build_specs(armed: bool):
+        specs = []
+        for q in range(n_sessions):
+            specs.append(SessionSpec(
+                plan=tpch_plan(1 + 2 * q),
+                simulator=SparkSimulator(noise=low_noise(), seed=seed * 101 + q),
+                optimizer=CentroidLearning(
+                    space,
+                    guardrail=Guardrail(
+                        min_iterations=4, threshold=0.15, patience=2
+                    ),
+                    seed=seed * 13 + q,
+                    switch_detector=factory(q) if armed else None,
+                ),
+            ))
+        return specs
+
+    with telemetry.capture() as cap_plain:
+        plain_specs = build_specs(armed=False)
+        plain_traces = run_sequential(plain_specs, n_iterations)
+    with telemetry.capture() as cap_armed:
+        armed_specs = build_specs(armed=True)
+        armed_traces = run_sequential(armed_specs, n_iterations)
+
+    def trail(specs, traces):
+        steps = []
+        for t in range(n_iterations):
+            records = [trace.records[t] for trace in traces]
+            steps.append({
+                "config": [r.config for r in records],
+                "observed_seconds": np.array(
+                    [r.observed_seconds for r in records]
+                ),
+                "true_seconds": np.array([r.true_seconds for r in records]),
+                "data_size": np.array([r.data_size for r in records]),
+                "tuning_active": [r.tuning_active for r in records],
+            })
+        for spec in specs:
+            history = spec.optimizer.observations.history
+            steps.append({
+                "obs_iterations": [o.iteration for o in history],
+                "obs_configs": np.array([o.config for o in history]),
+                "obs_performance": np.array([o.performance for o in history]),
+                "reanchors": spec.optimizer.reanchor_count,
+                "guardrail_resets": spec.optimizer.guardrail.reset_count,
+            })
+        return steps
+
+    return diff_trails(
+        "switch_inert",
+        trail(plain_specs, plain_traces),
+        trail(armed_specs, armed_traces),
+        counters_a=cap_plain.counters(),
+        counters_b=cap_armed.counters(),
+        ignore_counter_prefixes=("switch.",),
     )
 
 
@@ -658,5 +804,6 @@ def run_all(seed: int = 0) -> Dict[str, DiffReport]:
         diff_live_replay(seed=seed),
         diff_lockstep_sequential(seed=seed),
         diff_retrieval_bruteforce(seed=seed),
+        diff_switch_inert(seed=seed),
     ]
     return {report.name: report for report in reports}

@@ -20,6 +20,9 @@ __all__ = [
     "LinearGrowth",
     "PeriodicSize",
     "RandomWalkSize",
+    "StepSize",
+    "RampSize",
+    "FlipFlopSize",
 ]
 
 
@@ -73,6 +76,80 @@ class PeriodicSize(DataSizeProcess):
 
     def size(self, t: int) -> float:
         return self.initial + self.slope * (t % self.period)
+
+
+@dataclass(frozen=True)
+class StepSize(DataSizeProcess):
+    """``p(t) = p0`` before ``at``, ``p0 · factor`` from ``at`` on.
+
+    The canonical adversarial regime change: a pipeline repointed at a
+    ``factor``× input overnight.  Used by the ``ext_drift_adversarial``
+    schedules and the task-switch test battery.
+    """
+
+    initial: float = 1000.0
+    factor: float = 6.0
+    at: int = 20
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+
+    def size(self, t: int) -> float:
+        return self.initial * self.factor if t >= self.at else self.initial
+
+
+@dataclass(frozen=True)
+class RampSize(DataSizeProcess):
+    """Linear ramp from ``p0`` to ``p0 · factor`` over ``length`` steps.
+
+    The slow-drift adversary: each individual step is too small for a
+    signature check, so only the accumulated cost shift reveals the change.
+    """
+
+    initial: float = 1000.0
+    factor: float = 6.0
+    start: int = 10
+    length: int = 10
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.length < 1:
+            raise ValueError("length must be >= 1")
+
+    def size(self, t: int) -> float:
+        if t < self.start:
+            return self.initial
+        frac = min((t - self.start) / self.length, 1.0)
+        return self.initial * (1.0 + (self.factor - 1.0) * frac)
+
+
+@dataclass(frozen=True)
+class FlipFlopSize(DataSizeProcess):
+    """A→B→A square wave: ``period`` steps at ``p0``, ``period`` at ``p0 · factor``.
+
+    The flip-flop adversary — every boundary is a fresh regime change, and
+    returning to A tests that the detector re-anchors instead of treating
+    the original regime as one long anomaly.
+    """
+
+    initial: float = 1000.0
+    factor: float = 6.0
+    period: int = 15
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0")
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+
+    def size(self, t: int) -> float:
+        return self.initial * self.factor if (t // self.period) % 2 else self.initial
 
 
 class RandomWalkSize(DataSizeProcess):

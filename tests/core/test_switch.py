@@ -1,0 +1,291 @@
+"""Tests for task-switch detection and safe online tuning (repro.core.switch)."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.centroid import CentroidLearning
+from repro.core.guardrail import Guardrail
+from repro.core.observation import Observation
+from repro.core.session import TuningSession
+from repro.core.switch import (
+    SafeExplorationGate,
+    SwitchDecision,
+    TaskSwitchDetector,
+    cosine_distance,
+)
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.dynamics import StepSize
+from repro.workloads.tpch import tpch_plan
+
+
+def feed(det, values, size=100.0, start=0):
+    """Push normalized costs ``x`` as (performance, data_size) pairs."""
+    return [
+        det.update(x * size, size, iteration=start + i)
+        for i, x in enumerate(values)
+    ]
+
+
+class TestDetectorValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"warmup": 1},
+        {"threshold": 0.0},
+        {"drift": -0.1},
+        {"clip": 0.5, "drift": 0.5},
+        {"min_rel_scale": 0.0},
+        {"size_jump": 1.0},
+        {"embedding_jump": 0.0},
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            TaskSwitchDetector(**kwargs)
+
+
+class TestCostChannel:
+    def test_warmup_never_detects(self):
+        det = TaskSwitchDetector(warmup=8)
+        decisions = feed(det, [1.0, 100.0, 1.0, 50.0, 1.0, 1.0, 1.0, 1.0])
+        assert all(not d.detected for d in decisions)
+        assert all(d.reason == "warmup" for d in decisions)
+        assert det.reference is not None  # frozen at the 8th observation
+
+    def test_stationary_stream_is_quiet(self):
+        rng = np.random.default_rng(0)
+        det = TaskSwitchDetector(warmup=8)
+        xs = 1.0 + 0.05 * rng.standard_normal(200)
+        decisions = feed(det, xs)
+        assert det.switch_count == 0
+        assert all(not d.detected for d in decisions)
+
+    def test_sustained_shift_fires(self):
+        det = TaskSwitchDetector(warmup=4, threshold=4.0)
+        feed(det, [1.0, 1.02, 0.98, 1.0])
+        decisions = feed(det, [3.0] * 10, start=4)
+        assert det.switch_count == 1
+        fired = [d for d in decisions if d.detected]
+        assert fired and fired[0].reason == "cost_shift"
+        # clip=3, drift=0.5 => at most 2.5 sigma per step; threshold 4
+        # needs at least ceil(4 / 2.5) = 2 sustained observations.
+        assert fired[0].iteration >= 5
+
+    def test_single_spike_is_absorbed(self):
+        det = TaskSwitchDetector(warmup=4, threshold=4.0)
+        feed(det, [1.0, 1.02, 0.98, 1.0])
+        # One 50x fault spike, then back to normal: clip bounds its
+        # contribution to clip - drift and the drift drains the rest.
+        decisions = feed(det, [50.0] + [1.0] * 20, start=4)
+        assert det.switch_count == 0
+        assert all(not d.detected for d in decisions)
+
+    def test_improving_costs_never_fire(self):
+        det = TaskSwitchDetector(warmup=4, threshold=4.0)
+        feed(det, [1.0, 1.02, 0.98, 1.0])
+        decisions = feed(det, np.linspace(1.0, 0.01, 40), start=4)
+        assert det.switch_count == 0
+        assert all(not d.detected for d in decisions)
+
+    def test_reanchor_restarts_warmup_on_firing_observation(self):
+        det = TaskSwitchDetector(warmup=4, threshold=4.0)
+        feed(det, [1.0] * 4 + [5.0] * 10)
+        assert det.switch_count == 1
+        assert det.n_since_anchor >= 1  # firing obs seeds the new block
+        assert det.statistic == 0.0 or det.reference is not None
+
+
+class TestSignatureChannels:
+    def test_size_jump_fires_immediately_upward(self):
+        det = TaskSwitchDetector(warmup=8, size_jump=4.0)
+        det.update(100.0, 100.0, iteration=0)
+        decision = det.update(600.0, 600.0, iteration=1)
+        assert decision.detected and decision.reason == "input_size"
+
+    def test_size_jump_fires_downward(self):
+        det = TaskSwitchDetector(warmup=8, size_jump=4.0)
+        det.update(600.0, 600.0, iteration=0)
+        decision = det.update(100.0, 100.0, iteration=1)
+        assert decision.detected and decision.reason == "input_size"
+
+    def test_size_channel_disabled_with_none(self):
+        det = TaskSwitchDetector(warmup=8, size_jump=None)
+        det.update(100.0, 100.0, iteration=0)
+        decision = det.update(600.0, 600.0, iteration=1)
+        assert not decision.detected
+
+    def test_embedding_jump_fires(self):
+        det = TaskSwitchDetector(warmup=8, embedding_jump=0.25)
+        e0 = np.array([1.0, 0.0, 0.0])
+        e1 = np.array([0.0, 1.0, 0.0])
+        det.update(100.0, 100.0, embedding=e0, iteration=0)
+        decision = det.update(100.0, 100.0, embedding=e1, iteration=1)
+        assert decision.detected and decision.reason == "plan_shape"
+
+    def test_cosine_distance_basics(self):
+        assert cosine_distance([1, 0], [1, 0]) == pytest.approx(0.0)
+        assert cosine_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert cosine_distance([1, 0], [-1, 0]) == pytest.approx(2.0)
+
+
+class TestDetectorPersistence:
+    def test_round_trip_mid_stream(self):
+        a = TaskSwitchDetector(warmup=4, threshold=4.0)
+        feed(a, [1.0] * 4 + [1.1, 2.0, 2.5])
+        b = TaskSwitchDetector(warmup=4, threshold=4.0).restore_state(a.to_state())
+        tail = [3.0] * 6
+        da = feed(a, tail, start=7)
+        db = feed(b, tail, start=7)
+        assert da == db
+        assert a.switch_count == b.switch_count == 1
+        assert a.to_state() == b.to_state()
+
+    def test_state_is_json_friendly(self):
+        import json
+
+        det = TaskSwitchDetector(warmup=4)
+        feed(det, [1.0] * 6)
+        json.dumps(det.to_state())  # must not raise
+
+
+class TestSafeExplorationGate:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SafeExplorationGate(bound=0.0)
+        with pytest.raises(ValueError):
+            SafeExplorationGate(min_observations=1)
+
+    def test_safe_mask_threshold(self):
+        gate = SafeExplorationGate(bound=0.25)
+        preds = np.array([1.0, 1.2, 1.26, 2.0])
+        mask = gate.safe_mask(preds, 1.0)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_apply_filters_candidates(self, small_space):
+        gate = SafeExplorationGate(bound=0.25)
+
+        class Flat:
+            def predict(self, rows):
+                # Cost = first knob; default (50) sits mid-range.
+                return rows[:, 0]
+
+        rng = np.random.default_rng(3)
+        candidates = small_space.latin_hypercube(16, rng)
+        safe = gate.apply(candidates, Flat(), 10.0, small_space.default_vector())
+        assert len(safe) >= 1
+        assert np.all(safe[:, 0] <= 50.0 * 1.25)
+
+    def test_apply_falls_back_to_default(self, small_space):
+        gate = SafeExplorationGate(bound=0.1)
+
+        class Hostile:
+            def predict(self, rows):
+                out = np.full(len(rows), 100.0)
+                out[-1] = 1.0  # only the default row is cheap
+                return out
+
+        rng = np.random.default_rng(4)
+        candidates = small_space.latin_hypercube(8, rng)
+        with telemetry.capture() as cap:
+            safe = gate.apply(
+                candidates, Hostile(), 10.0, small_space.default_vector()
+            )
+            assert cap.counters().get("safe.fallbacks") == 1.0
+        assert safe.shape == (1, small_space.dim)
+        np.testing.assert_array_equal(safe[0], small_space.default_vector())
+
+
+class TestCentroidIntegration:
+    def _session(self, space, plan, optimizer, at=8, factor=6.0):
+        return TuningSession(
+            plan,
+            SparkSimulator(noise=low_noise(), seed=0),
+            optimizer,
+            scale_fn=StepSize(initial=1.0, factor=factor, at=at),
+        )
+
+    def test_detector_reanchors_window_and_guardrail(self, spark_space, q3_plan):
+        opt = CentroidLearning(
+            spark_space,
+            guardrail=Guardrail(min_iterations=4, threshold=0.3, patience=2),
+            seed=0,
+            switch_detector=TaskSwitchDetector(warmup=4, threshold=4.0, size_jump=3.0),
+        )
+        session = self._session(spark_space, q3_plan, opt, at=8)
+        session.run(10)
+        assert session.switch_count >= 1
+        assert opt.reanchor_count >= 1
+        assert opt.guardrail.reset_count >= 1
+        # The window was rebuilt at the switch: it holds only post-switch
+        # observations (switch at t=8 of 10 steps -> at most 2).
+        assert len(opt.observations.window) <= 2
+
+    def test_warm_start_jumps_centroid(self, spark_space, q3_plan):
+        target = spark_space.sample_vector(np.random.default_rng(7))
+        opt = CentroidLearning(
+            spark_space, seed=0,
+            switch_detector=TaskSwitchDetector(warmup=4, threshold=4.0, size_jump=3.0),
+            switch_warm_start=lambda obs: target,
+        )
+        session = self._session(spark_space, q3_plan, opt, at=8)
+        with telemetry.capture() as cap:
+            session.run(10)
+            assert cap.counters().get("switch.warm_starts", 0) >= 1.0
+        np.testing.assert_array_equal(opt._centroid, spark_space.clip(target))
+
+    def test_failing_warm_start_is_contained(self, spark_space, q3_plan):
+        def boom(obs):
+            raise RuntimeError("corpus offline")
+
+        opt = CentroidLearning(
+            spark_space, seed=0,
+            switch_detector=TaskSwitchDetector(warmup=4, threshold=4.0, size_jump=3.0),
+            switch_warm_start=boom,
+        )
+        session = self._session(spark_space, q3_plan, opt, at=8)
+        with telemetry.capture() as cap:
+            session.run(10)  # must not raise
+            assert cap.counters().get("switch.warm_start_failures", 0) >= 1.0
+        assert opt.reanchor_count >= 1
+
+    def test_safe_gate_keeps_suggestions_in_space(self, spark_space, q3_plan):
+        opt = CentroidLearning(
+            spark_space, seed=0,
+            safe_gate=SafeExplorationGate(bound=0.5, min_observations=3),
+        )
+        session = self._session(spark_space, q3_plan, opt, at=100)
+        with telemetry.capture() as cap:
+            trace = session.run(8)
+            assert cap.counters().get("safe.checks", 0) >= 1.0
+        for record in trace.records:
+            vec = spark_space.to_vector(record.config)
+            np.testing.assert_array_equal(vec, spark_space.clip(vec))
+
+    def test_state_round_trip_carries_switch_state(self, spark_space, q3_plan):
+        opt = CentroidLearning(
+            spark_space, seed=0,
+            switch_detector=TaskSwitchDetector(warmup=4, threshold=4.0, size_jump=3.0),
+        )
+        session = self._session(spark_space, q3_plan, opt, at=6)
+        session.run(9)
+        assert opt.reanchor_count >= 1
+        state = opt.to_state()
+        clone = CentroidLearning(
+            spark_space, seed=0,
+            switch_detector=TaskSwitchDetector(warmup=4, threshold=4.0, size_jump=3.0),
+        ).restore_state(state)
+        assert clone.reanchor_count == opt.reanchor_count
+        assert clone.switch_detector.to_state() == opt.switch_detector.to_state()
+
+    def test_session_switch_count_without_detector(self, spark_space, q3_plan):
+        opt = CentroidLearning(spark_space, seed=0)
+        session = self._session(spark_space, q3_plan, opt, at=100)
+        session.run(3)
+        assert session.switch_count == 0
+
+
+class TestDecisionRecord:
+    def test_decision_fields(self):
+        d = SwitchDecision(3, 5.0, 4.0, True, "cost_shift")
+        assert (d.iteration, d.statistic, d.bound, d.detected, d.reason) == (
+            3, 5.0, 4.0, True, "cost_shift"
+        )

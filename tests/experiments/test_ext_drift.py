@@ -1,0 +1,67 @@
+"""Acceptance test for the adversarial-drift experiment (``make drift``).
+
+The PR's headline claim, asserted: on the step and flip-flop schedules the
+detector + retrieval strategy's post-switch regret is strictly below the
+guardrail-only baseline's, and the mechanism is visible in the diagnostics
+(the baseline grinds through disabled probation steps; the detector
+strategies declare switches and never disable on the flip-flop).
+"""
+
+import pytest
+
+from repro.experiments import ext_drift_adversarial
+from repro.experiments.ext_drift_adversarial import SCHEDULES, post_switch_steps
+
+pytestmark = pytest.mark.drift
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_drift_adversarial.run(quick=True, seed=0)
+
+
+class TestAcceptanceBar:
+    @pytest.mark.parametrize("schedule", ["step", "flipflop"])
+    def test_detector_retrieval_beats_guardrail(self, result, schedule):
+        winner = result.scalars[f"{schedule}_post_switch_regret_detector_retrieval"]
+        baseline = result.scalars[f"{schedule}_post_switch_regret_guardrail"]
+        assert winner < baseline
+
+    @pytest.mark.parametrize("schedule", ["step", "flipflop"])
+    def test_retrieval_warm_start_helps_over_bare_detector(self, result, schedule):
+        with_corpus = result.scalars[
+            f"{schedule}_post_switch_regret_detector_retrieval"
+        ]
+        bare = result.scalars[f"{schedule}_post_switch_regret_detector"]
+        assert with_corpus <= bare
+
+
+class TestMechanism:
+    @pytest.mark.parametrize("schedule", ["step", "ramp", "periodic", "flipflop"])
+    def test_detector_declares_switches(self, result, schedule):
+        assert result.scalars[f"{schedule}_switches_detector"] >= 1.0
+        assert result.scalars[f"{schedule}_switches_guardrail"] == 0.0
+
+    def test_guardrail_baseline_grinds_through_probation(self, result):
+        # The switch shows up to the baseline as a tuning regression: it
+        # spends post-switch steps disabled on the default configuration.
+        assert result.scalars["flipflop_disabled_steps_guardrail"] > 0.0
+        assert result.scalars["flipflop_disabled_steps_detector"] == 0.0
+
+
+class TestScheduleGeometry:
+    def test_schedules_cover_the_four_adversaries(self):
+        schedules = SCHEDULES(36)
+        assert set(schedules) == {"step", "ramp", "periodic", "flipflop"}
+        step = schedules["step"]
+        assert step(11) == 1.0 and step(12) == 6.0
+
+    def test_post_switch_windows_follow_boundaries(self):
+        steps = post_switch_steps("step", 36, horizon=6)
+        assert steps == list(range(12, 18))
+        flip = post_switch_steps("flipflop", 36, horizon=6)
+        assert flip[0] == 9 and len(flip) == 18  # 3 boundaries x horizon
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            post_switch_steps("nope", 36, horizon=6)

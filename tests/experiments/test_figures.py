@@ -26,7 +26,7 @@ from repro.experiments import (
 
 
 def test_registry_complete():
-    assert len(ALL_EXPERIMENTS) == 22
+    assert len(ALL_EXPERIMENTS) == 23
     for name, module in ALL_EXPERIMENTS.items():
         assert hasattr(module, "run"), name
 

@@ -1,0 +1,176 @@
+"""Chaos mirror for the task-switch detector (``pytest -m chaos``).
+
+The detector exists to catch *regime changes*, not *faults* — the CUSUM
+clip bounds any single observation's contribution, so injected latency
+spikes and short blowup storms must never re-anchor a session, while a
+real regime change must still be declared through the fault noise.  The
+counter-trail contract: a faulty run and its clean twin emit identical
+``switch.*`` counter trails when nothing switches.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.centroid import CentroidLearning
+from repro.core.guardrail import Guardrail
+from repro.core.session import TuningSession
+from repro.core.switch import TaskSwitchDetector
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultySimulator
+from repro.faults.injectors import FaultyBackend
+from repro.service.auth import SasTokenIssuer
+from repro.service.backend import AutotuneBackend
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.dynamics import StepSize
+from repro.workloads.tpch import tpch_plan
+
+pytestmark = pytest.mark.chaos
+
+
+def make_session(space, detector=None, faults=None, scale_fn=None,
+                 warm_start=None, seed=0):
+    simulator = SparkSimulator(noise=low_noise(), seed=seed)
+    if faults is not None:
+        simulator = FaultySimulator(simulator, faults)
+    optimizer = CentroidLearning(
+        space,
+        guardrail=Guardrail(min_iterations=4, threshold=0.3, patience=3),
+        seed=seed,
+        switch_detector=detector,
+        switch_warm_start=warm_start,
+    )
+    return TuningSession(
+        tpch_plan(3), simulator, optimizer, scale_fn=scale_fn
+    )
+
+
+class TestFaultsDoNotReanchor:
+    def test_isolated_10x_spikes_are_absorbed(self, spark_space):
+        faults = FaultPlan(
+            [FaultSpec(kind=FaultKind.LATENCY_SPIKE, at=(10, 15, 20),
+                       magnitude=10.0)],
+            seed=1,
+        )
+        session = make_session(
+            spark_space, detector=TaskSwitchDetector(), faults=faults,
+        )
+        session.run(25)
+        assert faults.fired(FaultKind.LATENCY_SPIKE) == 3
+        assert session.switch_count == 0
+        assert session.optimizer.reanchor_count == 0
+
+    def test_three_step_blowup_storm_is_absorbed(self, spark_space):
+        # Three consecutive clipped residuals contribute at most
+        # 3 * (clip - drift) = 7.5 < threshold = 8.
+        faults = FaultPlan(
+            [FaultSpec(kind=FaultKind.LATENCY_SPIKE, at=(12,), duration=3,
+                       magnitude=10.0)],
+            seed=2,
+        )
+        session = make_session(
+            spark_space, detector=TaskSwitchDetector(), faults=faults,
+        )
+        session.run(25)
+        assert faults.fired(FaultKind.LATENCY_SPIKE) == 3
+        assert session.switch_count == 0
+
+    def test_random_spike_shower_is_absorbed(self, spark_space):
+        # 10% isolated 8x spikes: each drains before the next accumulates.
+        faults = FaultPlan(
+            [FaultSpec(kind=FaultKind.LATENCY_SPIKE, rate=0.1,
+                       magnitude=8.0)],
+            seed=3,
+        )
+        session = make_session(
+            spark_space, detector=TaskSwitchDetector(), faults=faults,
+        )
+        session.run(40)
+        assert faults.fired(FaultKind.LATENCY_SPIKE) >= 1
+        assert session.switch_count == 0
+
+
+class TestRealSwitchStillFires:
+    def test_regime_change_detected_through_fault_noise(self, spark_space):
+        faults = FaultPlan(
+            [FaultSpec(kind=FaultKind.LATENCY_SPIKE, rate=0.1,
+                       magnitude=8.0)],
+            seed=4,
+        )
+        session = make_session(
+            spark_space,
+            detector=TaskSwitchDetector(warmup=4, threshold=4.0, size_jump=3.0),
+            faults=faults,
+            scale_fn=StepSize(initial=1.0, factor=6.0, at=12),
+        )
+        session.run(18)
+        assert session.switch_count >= 1
+        assert session.optimizer.reanchor_count >= 1
+
+
+class TestCounterTrailEquivalence:
+    def test_switch_counters_identical_with_and_without_faults(self, spark_space):
+        def switch_counters(faults):
+            with telemetry.capture() as cap:
+                session = make_session(
+                    spark_space, detector=TaskSwitchDetector(), faults=faults,
+                )
+                session.run(20)
+                return {
+                    k: v for k, v in cap.counters().items()
+                    if k.startswith("switch.")
+                }
+
+        clean = switch_counters(None)
+        faulty = switch_counters(FaultPlan(
+            [FaultSpec(kind=FaultKind.LATENCY_SPIKE, at=(8, 14),
+                       magnitude=10.0)],
+            seed=5,
+        ))
+        assert clean == faulty
+        assert clean.get("switch.checks") == 20.0
+        assert not any(k.startswith("switch.reanchors") for k in clean)
+
+
+class TestFaultyBackendWarmStart:
+    def test_warm_start_outage_is_contained(self, spark_space):
+        """A dead retrieval service fails the warm start, not the session."""
+        with tempfile.TemporaryDirectory() as root:
+            backend = AutotuneBackend(
+                StorageManager(root), SasTokenIssuer("chaos-switch"),
+                spark_space,
+            )
+            grant = backend.register_job("app-chaos", "artifact-chaos", "user-0")
+            flaky = FaultyBackend(backend, FaultPlan(
+                [FaultSpec(kind=FaultKind.STORAGE_READ_ERROR, rate=1.0)],
+                seed=6,
+            ))
+            plan = tpch_plan(3)
+
+            def warm_start(obs):
+                suggestion = flaky.fetch_warm_start(
+                    grant.model_read_token, "user-0", plan.signature(),
+                    np.zeros(8), data_size=float(obs.data_size),
+                )
+                if suggestion is None:
+                    return None
+                return spark_space.to_vector(suggestion.config)
+
+            with telemetry.capture() as cap:
+                session = make_session(
+                    spark_space,
+                    detector=TaskSwitchDetector(
+                        warmup=4, threshold=4.0, size_jump=3.0
+                    ),
+                    scale_fn=StepSize(initial=1.0, factor=6.0, at=8),
+                    warm_start=warm_start,
+                )
+                session.run(12)  # must not raise
+                counters = cap.counters()
+            assert session.switch_count >= 1
+            assert counters.get("switch.warm_start_failures", 0) >= 1.0
+            assert not counters.get("switch.warm_starts")
