@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos telemetry retrieval verify drift coverage bench bench-perf bench-telemetry bench-retrieval all
+.PHONY: test chaos telemetry retrieval service verify drift coverage bench bench-perf bench-telemetry bench-retrieval bench-service all
 
 test:            ## fast tier-1 suite (chaos/verify deselected)
 	$(PYTEST) -x -q
@@ -13,6 +13,9 @@ telemetry:       ## observability-layer suite (docs/observability.md)
 
 retrieval:       ## ANN retrieval / warm-start suite (docs/performance.md)
 	$(PYTEST) -m retrieval -q
+
+service:         ## sharded multi-tenant service suite (docs/service.md)
+	$(PYTEST) -m service -q
 
 verify:          ## invariant + property + differential suites (docs/testing.md)
 	$(PYTEST) -m verify -q
@@ -35,4 +38,7 @@ bench-telemetry: ## telemetry overhead bench -> telemetry section of BENCH_perf.
 bench-retrieval: ## ANN index bench (full scale) -> retrieval section of BENCH_perf.json
 	$(PYTEST) benchmarks/bench_perf_retrieval.py -q
 
-all: test chaos telemetry verify
+bench-service:   ## fleet-scale service bench (full scale) -> BENCH_service.json
+	REPRO_BENCH_FULL=1 $(PYTEST) benchmarks/bench_perf_service.py -q
+
+all: test chaos telemetry service verify

@@ -28,15 +28,23 @@ BENCH_WORKERS = os.environ.get(WORKERS_ENV, "auto")
 PERF_RESULTS = {}
 PERF_JSON = Path(__file__).parent.parent / "BENCH_perf.json"
 
+# bench_perf_service.py deposits its sections here; they land in their own
+# BENCH_service.json (the fleet-scale service report, docs/service.md).
+SERVICE_RESULTS = {}
+SERVICE_JSON = Path(__file__).parent.parent / "BENCH_service.json"
+
 
 @pytest.fixture(scope="session")
 def perf_results():
     return PERF_RESULTS
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not PERF_RESULTS:
-        return
+@pytest.fixture(scope="session")
+def service_results():
+    return SERVICE_RESULTS
+
+
+def _write_report(path, schema, results):
     import json
     import platform
 
@@ -46,21 +54,28 @@ def pytest_sessionfinish(session, exitstatus):
     # bench-telemetry`) refreshes its own sections without clobbering the
     # ones it didn't measure.
     sections = {}
-    if PERF_JSON.exists():
+    if path.exists():
         try:
-            sections = json.loads(PERF_JSON.read_text()).get("sections", {})
+            sections = json.loads(path.read_text()).get("sections", {})
         except (json.JSONDecodeError, OSError):
             sections = {}
-    sections.update(PERF_RESULTS)
+    sections.update(results)
     payload = {
-        "schema": "repro-bench-perf/1",
+        "schema": schema,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "n_cpus": available_workers(),
         "full_mode": FULL_MODE,
         "sections": sections,
     }
-    PERF_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if PERF_RESULTS:
+        _write_report(PERF_JSON, "repro-bench-perf/1", PERF_RESULTS)
+    if SERVICE_RESULTS:
+        _write_report(SERVICE_JSON, "repro-bench-service/1", SERVICE_RESULTS)
 
 
 @pytest.fixture(scope="session")

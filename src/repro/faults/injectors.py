@@ -25,6 +25,12 @@ Injection-point map (one :class:`FaultKind` opportunity per call):
                       (multiplies the *observed* time by the spec magnitude;
                       true time is untouched, mirroring an Eq.-8 spike).
 ``flaky_model_factory``  ``fit`` → TRAIN_ERROR.
+``FaultyShardedService``  ``drain_all`` → SHARD_OUTAGE (one opportunity per
+                      drain; kills a deterministically chosen shard via
+                      ``fail_shard`` — ring removal, session failover, and
+                      requeue run the production path);
+                      ``submit`` → QUEUE_OVERFLOW (the request is shed with
+                      a synthetic ``queue_full`` verdict before admission).
 ====================  =========================================================
 """
 
@@ -44,6 +50,7 @@ __all__ = [
     "FaultyBackend",
     "FaultyStorage",
     "FaultySimulator",
+    "FaultyShardedService",
     "flaky_model_factory",
     "corrupt_payload",
 ]
@@ -241,6 +248,50 @@ class FaultySimulator(_Delegate):
             plan, configs, space=space, data_scale=data_scale,
             data_scales=data_scales,
         )
+
+
+class FaultyShardedService(_Delegate):
+    """Wraps a :class:`~repro.service.sharded.ShardedAutotuneService` with
+    scheduled shard outages and forced queue overflows.
+
+    * ``SHARD_OUTAGE`` — one opportunity per :meth:`drain_all`.  On firing,
+      the victim shard (chosen deterministically from the kind's payload
+      RNG) is killed through the service's own ``fail_shard``, so the ring
+      removal, live-session failover, and requeue of its backlog are the
+      production code path, not a shortcut.  The last shard is never
+      killed (the service forbids it).
+    * ``QUEUE_OVERFLOW`` — one opportunity per :meth:`submit`.  On firing,
+      the request is rejected with a synthetic ``queue_full`` shed verdict
+      *before* admission, exercising every caller's shed-handling path
+      even when the real queues have headroom.
+    """
+
+    def submit(self, request):
+        from ..service.admission import ShedVerdict
+
+        if self.plan.should_fire(FaultKind.QUEUE_OVERFLOW):
+            verdict = ShedVerdict(False, "queue_full", retry_after=0.05)
+            self.inner.shed += 1
+            self.inner.submitted += 1
+            return verdict
+        return self.inner.submit(request)
+
+    def drain_all(self, parallel: bool = False):
+        if self.plan.should_fire(FaultKind.SHARD_OUTAGE) and self.inner.n_shards > 1:
+            rng = self.plan.rng_for(FaultKind.SHARD_OUTAGE)
+            shard_ids = self.inner.shard_ids
+            victim = shard_ids[int(rng.integers(0, len(shard_ids)))]
+            self.inner.fail_shard(victim)
+        return self.inner.drain_all(parallel=parallel)
+
+    def call(self, request):
+        from ..service.admission import ShedError
+
+        verdict = self.submit(request)
+        if not verdict.accepted:
+            raise ShedError(verdict)
+        self.inner.drain_shard(request.shard_id)
+        return request.result
 
 
 def flaky_model_factory(

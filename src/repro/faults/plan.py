@@ -40,6 +40,11 @@ class FaultKind(str, Enum):
     TOKEN_EXPIRY = "token_expiry"          # SAS token rejected (storms supported)
     TRAIN_ERROR = "train_error"            # surrogate .fit() raises
     LATENCY_SPIKE = "latency_spike"        # Eq.-8-style observed-time spike
+    # Appended after the kinds above on purpose: per-kind child seeds are
+    # spawned in enum order, so appending keeps every older kind's fault
+    # stream byte-for-byte stable (chaos runs replay identically).
+    SHARD_OUTAGE = "shard_outage"          # a service shard dies mid-fleet
+    QUEUE_OVERFLOW = "queue_overflow"      # ingress queue forced to shed
 
 
 @dataclass(frozen=True)

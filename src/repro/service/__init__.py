@@ -1,6 +1,9 @@
 """Production service architecture (Sec. 5): backend, client, storage,
-SAS-style auth, event hub, and the monitoring dashboard."""
+SAS-style auth, event hub, the monitoring dashboard, and the sharded
+multi-tenant serving tier (consistent-hash ring, admission-controlled
+queues, batched shard drains, fleet driver)."""
 
+from .admission import AdmissionController, Priority, ShardQueue, ShedError, ShedVerdict
 from .auth import SasToken, SasTokenIssuer, TokenError
 from .backend import AutotuneBackend, JobGrant
 from .client import (
@@ -9,25 +12,49 @@ from .client import (
     ModelLoader,
     RemoteModelSelector,
 )
-from .dashboard import MonitoringDashboard, QuerySummary, RootCauseReport
+from .dashboard import (
+    MonitoringDashboard,
+    QuerySummary,
+    RootCauseReport,
+    render_service_metrics,
+)
 from .events_hub import EventHub
+from .fleet import FleetReport, FleetSession, build_fleet, run_fleet
 from .replay import GuardrailAudit, QueryTrajectory, audit_guardrail, replay_artifact
 from .resilience import RetryExhaustedError, RetryPolicy, TransientServiceError
+from .ring import ConsistentHashRing
+from .sessions import TenantSession, TenantSessionHost
+from .sharded import ShardedAutotuneService, TuneRequest
 from .storage import StorageManager
 
 __all__ = [
+    "AdmissionController",
     "RetryExhaustedError",
     "RetryPolicy",
     "TransientServiceError",
     "AutotuneBackend",
     "AutotuneClient",
     "AutotuneCredentialManager",
+    "ConsistentHashRing",
     "EventHub",
+    "FleetReport",
+    "FleetSession",
     "GuardrailAudit",
     "JobGrant",
+    "Priority",
     "QueryTrajectory",
+    "ShardQueue",
+    "ShardedAutotuneService",
+    "ShedError",
+    "ShedVerdict",
+    "TenantSession",
+    "TenantSessionHost",
+    "TuneRequest",
     "audit_guardrail",
+    "build_fleet",
+    "render_service_metrics",
     "replay_artifact",
+    "run_fleet",
     "ModelLoader",
     "MonitoringDashboard",
     "QuerySummary",

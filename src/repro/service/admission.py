@@ -1,0 +1,184 @@
+"""Bounded ingress queues, priority-class admission control, load shedding.
+
+Each shard of the sharded Autotune service fronts its request processing
+with a :class:`ShardQueue`: a bounded FIFO whose *admission* depends on the
+request's :class:`Priority` class.  As the queue fills, lower classes are
+shed first — ``BEST_EFFORT`` traffic stops being admitted at half capacity,
+``BATCH`` at three quarters, and ``INTERACTIVE`` only when the queue is
+actually full — so an overloaded shard degrades by dropping the traffic
+that tolerates it.
+
+A rejected request gets a :class:`ShedVerdict` with a ``retry_after`` hint
+that grows with the overload; :class:`ShedError` wraps the verdict as a
+:class:`~repro.service.resilience.TransientServiceError` subclass, so the
+client's existing :class:`~repro.service.resilience.RetryPolicy` retries it
+— and, since PR 9, honors ``retry_after`` as a backoff floor (see
+``RetryPolicy.call``).  Everything is deterministic: no randomized drop
+probabilities, no wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .. import telemetry
+from .resilience import TransientServiceError
+
+__all__ = [
+    "AdmissionController",
+    "Priority",
+    "ShardQueue",
+    "ShedError",
+    "ShedVerdict",
+]
+
+
+class Priority(enum.IntEnum):
+    """Request criticality — lower value = more important, shed last."""
+
+    INTERACTIVE = 0
+    BATCH = 1
+    BEST_EFFORT = 2
+
+
+# Fraction of queue capacity each class may fill before being shed.
+_DEFAULT_FRACTIONS: Dict[Priority, float] = {
+    Priority.INTERACTIVE: 1.0,
+    Priority.BATCH: 0.75,
+    Priority.BEST_EFFORT: 0.5,
+}
+
+
+class ShedVerdict:
+    """Outcome of one admission decision."""
+
+    __slots__ = ("accepted", "reason", "retry_after")
+
+    def __init__(self, accepted: bool, reason: str, retry_after: float = 0.0):
+        self.accepted = accepted
+        self.reason = reason
+        self.retry_after = retry_after
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    def __repr__(self) -> str:
+        if self.accepted:
+            return "ShedVerdict(accepted)"
+        return f"ShedVerdict(shed, reason={self.reason!r}, retry_after={self.retry_after:g})"
+
+
+class ShedError(TransientServiceError):
+    """Backpressure response: the request was shed, retry after a delay.
+
+    Subclassing :class:`TransientServiceError` means every existing
+    ``RetryPolicy.call`` site retries sheds without modification; the
+    ``retry_after`` attribute is the backoff floor the policy honors.
+    """
+
+    def __init__(self, verdict: ShedVerdict, shard_id: Optional[str] = None):
+        super().__init__(
+            f"request shed ({verdict.reason})"
+            + (f" by {shard_id}" if shard_id else "")
+            + f"; retry after {verdict.retry_after:g}s"
+        )
+        self.verdict = verdict
+        self.shard_id = shard_id
+        self.retry_after = verdict.retry_after
+
+
+class AdmissionController:
+    """Priority-thresholded admission over a bounded queue.
+
+    Args:
+        capacity: the fronted queue's capacity.
+        fractions: per-class fill fraction at which that class is shed;
+            defaults to 1.0 / 0.75 / 0.5 for INTERACTIVE / BATCH /
+            BEST_EFFORT.
+        base_retry_after: ``retry_after`` hint at the shed threshold; the
+            hint scales up linearly with queue depth beyond it.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        fractions: Optional[Dict[Priority, float]] = None,
+        base_retry_after: float = 0.05,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        fractions = dict(_DEFAULT_FRACTIONS if fractions is None else fractions)
+        for priority in Priority:
+            share = fractions.get(priority)
+            if share is None or not 0 < share <= 1:
+                raise ValueError(f"fractions[{priority.name}] must be in (0, 1]")
+        self.capacity = capacity
+        self.base_retry_after = base_retry_after
+        self.thresholds: Dict[Priority, int] = {
+            priority: max(1, math.ceil(capacity * fractions[priority]))
+            for priority in Priority
+        }
+
+    def admit(self, depth: int, priority: Priority) -> ShedVerdict:
+        """Decide whether a request of ``priority`` enters at ``depth``."""
+        threshold = self.thresholds[Priority(priority)]
+        if depth < threshold:
+            return ShedVerdict(True, "ok")
+        reason = "queue_full" if depth >= self.capacity else "priority_shed"
+        overload = 1.0 + (depth - threshold + 1) / self.capacity
+        return ShedVerdict(False, reason, retry_after=self.base_retry_after * overload)
+
+
+class ShardQueue:
+    """Bounded FIFO ingress queue with priority-class admission.
+
+    Processing order is strictly FIFO across classes — priorities shape
+    *admission* (who gets in under load), not reordering, so per-tenant
+    request order is preserved end-to-end.
+    """
+
+    def __init__(self, capacity: int, admission: Optional[AdmissionController] = None):
+        self.admission = admission or AdmissionController(capacity)
+        if self.admission.capacity != capacity:
+            raise ValueError("admission controller capacity must match the queue's")
+        self.capacity = capacity
+        self._items: Deque[object] = deque()
+        self.enqueued = 0
+        self.shed = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def offer(self, request: object, priority: Priority = Priority.BATCH) -> ShedVerdict:
+        """Admit-or-shed ``request``; never blocks, never reorders."""
+        verdict = self.admission.admit(len(self._items), priority)
+        if not verdict.accepted:
+            self.shed += 1
+            self.shed_by_reason[verdict.reason] = (
+                self.shed_by_reason.get(verdict.reason, 0) + 1
+            )
+            telemetry.counter(
+                "service.queue.sheds",
+                reason=verdict.reason,
+                priority=Priority(priority).name,
+            ).inc()
+            return verdict
+        self._items.append(request)
+        self.enqueued += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+        return verdict
+
+    def drain(self, max_items: Optional[int] = None) -> List[object]:
+        """Dequeue up to ``max_items`` requests (all, by default) in FIFO order."""
+        count = len(self._items) if max_items is None else min(max_items, len(self._items))
+        return [self._items.popleft() for _ in range(count)]

@@ -355,6 +355,7 @@ class AutotuneBackend:
                 "warm_start_misses": self.warm_start_misses,
                 "corpus_load_failures": self.corpus_load_failures,
                 "hub_published": self.hub.published_count,
+                "hub_deduped": self.hub.duplicates_dropped,
                 "hub_failures": len(self.hub.failures),
                 "tracked_query_groups": len(self._query_events),
             },

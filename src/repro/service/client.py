@@ -32,6 +32,7 @@ from ..embedding.embedder import WorkloadEmbedder
 from ..ml.serialize import loads_model
 from ..sparksim.events import AppEndEvent, QueryEndEvent
 from ..sparksim.plan import PhysicalPlan
+from .admission import ShedError
 from .auth import TokenError
 from .backend import AutotuneBackend, JobGrant
 from .resilience import RetryExhaustedError, RetryPolicy, TransientServiceError
@@ -308,6 +309,7 @@ class AutotuneClient:
         self.flush_failures = 0
         self.app_end_failures = 0
         self.events_shed = 0
+        self.requests_shed = 0
 
     @classmethod
     def from_spark_conf(cls, backend: AutotuneBackend, conf: Dict[str, object],
@@ -416,18 +418,28 @@ class AutotuneClient:
         """Run one backend operation under the retry policy.
 
         ``TokenError`` refreshes credentials between attempts, so the call
-        rides out expiry storms up to the policy's budget.  Returns whether
-        the operation eventually succeeded.
+        rides out expiry storms up to the policy's budget.  A
+        :class:`~repro.service.admission.ShedError` (backpressure from an
+        overloaded shard) is retried like any transient failure, but the
+        policy raises its backoff to at least the verdict's ``retry_after``
+        hint, and every shed is counted in :attr:`requests_shed`.  Returns
+        whether the operation eventually succeeded.
         """
         creds = self.credentials
 
         def on_retry(_attempt: int, error: Exception) -> None:
             if isinstance(error, TokenError):
                 creds.refresh()
+            elif isinstance(error, ShedError):
+                self.requests_shed += 1
+                telemetry.counter("client.requests_shed", phase="retried").inc()
 
         try:
             self.retry_policy.call(attempt, retry_on=_RETRYABLE, on_retry=on_retry)
-        except RetryExhaustedError:
+        except RetryExhaustedError as exc:
+            if isinstance(exc.last_error, ShedError):
+                self.requests_shed += 1
+                telemetry.counter("client.requests_shed", phase="exhausted").inc()
             return False
         return True
 

@@ -17,7 +17,13 @@ from ..ml.linear import LinearRegression
 from ..ml.metrics import spearman_rho
 from ..sparksim.events import QueryEndEvent
 
-__all__ = ["QuerySummary", "RootCauseReport", "MonitoringDashboard", "render_metrics"]
+__all__ = [
+    "MonitoringDashboard",
+    "QuerySummary",
+    "RootCauseReport",
+    "render_metrics",
+    "render_service_metrics",
+]
 
 
 def render_metrics(metrics: Dict[str, object]) -> str:
@@ -55,6 +61,45 @@ def render_metrics(metrics: Dict[str, object]) -> str:
                 f"  {key:<{width}}  count={s['count']:g} mean={s['mean']:.6g} "
                 f"p50={s['p50']:.6g} p99={s['p99']:.6g} max={s['max']:.6g}"
             )
+    return "\n".join(lines)
+
+
+def render_service_metrics(metrics: Dict[str, object]) -> str:
+    """Fixed-width render of a :meth:`~repro.service.sharded.ShardedAutotuneService.metrics` payload.
+
+    One row per shard (sessions, queue depth/high-water, shed and processed
+    counts) with a utilization bar scaled to the busiest shard, then the
+    fleet aggregates (shed rate, utilization skew) — the at-a-glance view
+    for "is one shard running hot".
+    """
+    service = metrics.get("service", {})
+    shards: Dict[str, Dict[str, object]] = service.get("shards", {})
+    header = (
+        f"{'shard':<12}{'sessions':>9}{'depth':>7}{'hiwater':>9}"
+        f"{'shed':>6}{'processed':>11}  utilization"
+    )
+    lines = [
+        f"sharded autotune service — {service.get('n_shards', len(shards))} shard(s), "
+        f"coalesce={'on' if service.get('coalesce') else 'off'}",
+        header,
+        "-" * len(header),
+    ]
+    busiest = max((s["processed"] for s in shards.values()), default=0)
+    for shard_id in sorted(shards):
+        shard = shards[shard_id]
+        bar = "#" * int(round(12 * shard["processed"] / busiest)) if busiest else ""
+        lines.append(
+            f"{shard_id:<12}{shard['sessions']:>9}{shard['queue_depth']:>7}"
+            f"{shard['queue_high_watermark']:>9}{shard['shed']:>6}"
+            f"{shard['processed']:>11}  {bar}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"submitted={service.get('submitted', 0)} shed={service.get('shed', 0)} "
+        f"(rate {100.0 * service.get('shed_rate', 0.0):.1f}%) "
+        f"outages={service.get('outages', 0)} "
+        f"skew={service.get('utilization_skew', 1.0):.2f}x"
+    )
     return "\n".join(lines)
 
 

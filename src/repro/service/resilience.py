@@ -104,6 +104,11 @@ class RetryPolicy:
         ``on_retry(attempt_index, error)`` is invoked before each retry —
         the client uses it to refresh expired credentials between attempts.
         Raises :class:`RetryExhaustedError` once the schedule is spent.
+
+        Backpressure: an error carrying a positive ``retry_after`` attribute
+        (a shed verdict from an overloaded shard) raises the next delay to
+        at least that hint, still capped at ``max_delay`` so the schedule's
+        cumulative-deadline bound keeps holding.
         """
         schedule = self.delays()
         attempts = len(schedule) + 1
@@ -116,6 +121,9 @@ class RetryPolicy:
                 if attempt == attempts - 1:
                     break
                 delay = schedule[attempt]
+                retry_after = getattr(exc, "retry_after", 0.0) or 0.0
+                if retry_after > 0:
+                    delay = min(max(delay, retry_after), self.max_delay)
                 self.retries += 1
                 self.total_slept += delay
                 telemetry.counter("retry.retries", error=type(exc).__name__).inc()

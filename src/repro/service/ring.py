@@ -1,0 +1,114 @@
+"""Deterministic consistent-hash ring over backend shards.
+
+The sharded Autotune service (see :mod:`repro.service.sharded`) routes every
+request by its *workload id* so one tenant's recurring sessions always land
+on the same shard — the shard owns the tenant's optimizer state, and
+co-tenant requests coalesce into batched model calls there.
+
+The ring hashes with :func:`hashlib.blake2b`, **not** Python's builtin
+``hash``: the builtin is salted per process (``PYTHONHASHSEED``), while
+routing must be a pure function of ``(shard ids, replicas, key)`` so two
+processes — or one process before and after a restart — agree on every
+owner.  Each shard contributes ``replicas`` virtual nodes, which bounds the
+key movement when the shard set changes:
+
+* ``add_shard`` only moves keys *into* the new shard (each moved key's new
+  owner is the added shard);
+* ``remove_shard`` only moves keys that the removed shard owned.
+
+Both guarantees are structural (a key's owner changes only when a virtual
+node is inserted or deleted between the key and its old owner) and are
+pinned by tests together with the expected ≤ K/N movement volume.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit hash (blake2b, process-restart invariant)."""
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Maps string keys onto shard ids with bounded-movement rebalancing.
+
+    Args:
+        shard_ids: initial shard identifiers (order-insensitive — the ring
+            layout depends only on the *set* of ids).
+        replicas: virtual nodes per shard.  More replicas smooth the load
+            split (the per-shard share concentrates around 1/N) at the cost
+            of a longer sorted point list.
+    """
+
+    def __init__(self, shard_ids: Iterable[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[int] = []       # sorted virtual-node hashes
+        self._owners: List[str] = []       # owner of each point (parallel)
+        self._shards: Dict[str, List[int]] = {}
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # -- membership --------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Current shard ids, sorted."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def add_shard(self, shard_id: str) -> None:
+        """Insert a shard's virtual nodes (keys move only *into* it)."""
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} already on the ring")
+        points = [_hash64(f"{shard_id}#{i}") for i in range(self.replicas)]
+        self._shards[shard_id] = points
+        for point in points:
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Delete a shard's virtual nodes (only its keys move)."""
+        if shard_id not in self._shards:
+            raise KeyError(f"shard {shard_id!r} not on the ring")
+        del self._shards[shard_id]
+        keep = [i for i, owner in enumerate(self._owners) if owner != shard_id]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -- routing -----------------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` (first virtual node clockwise)."""
+        if not self._points:
+            raise RuntimeError("ring has no shards")
+        index = bisect.bisect_right(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignment(self, keys: Sequence[str]) -> Dict[str, str]:
+        """Owner per key — convenience for rebalance bookkeeping."""
+        return {key: self.owner(key) for key in keys}
+
+    def load_split(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Keys-per-shard histogram (every shard present, even if empty)."""
+        split = {shard_id: 0 for shard_id in self._shards}
+        for key in keys:
+            split[self.owner(key)] += 1
+        return split

@@ -29,6 +29,13 @@ armed vs. unarmed detector  a ``TaskSwitchDetector``-armed session on a     bitw
                             drift-free stream is indistinguishable from
                             its detector-free twin — the detector is
                             inert unless a regime actually changes
+sharded vs. single          a fleet served by the sharded, queue-driven     bitwise
+                            service (consistent-hash routing, batched
+                            shard drains, per-shard backends) leaves
+                            every tenant session's observation trail,
+                            centroid walk, and counter map identical to
+                            the single-backend scalar deployment —
+                            minus ``service.*`` (deployment-shaped)
 ==========================  ==============================================  =========
 
 Each driver runs both paths from the same seed, flattens them into *trails*
@@ -38,7 +45,7 @@ the contract the driver captures both sides' counter maps and diffs those
 too, excluding namespaces that legitimately differ between modes (e.g.
 ``parallel.*`` counters carry a ``mode`` label).
 
-``run_all`` sweeps all seven drivers — the one command every future PR can
+``run_all`` sweeps all eight drivers — the one command every future PR can
 run to show "the paths still agree".
 """
 
@@ -81,6 +88,7 @@ __all__ = [
     "diff_retrieval_bruteforce",
     "diff_scalar_batch",
     "diff_serial_parallel",
+    "diff_sharded_single",
     "diff_switch_inert",
     "diff_trails",
     "run_all",
@@ -795,6 +803,111 @@ def diff_retrieval_bruteforce(
     return merged
 
 
+# -- driver 8: sharded service vs. single backend -----------------------------------
+
+
+def diff_sharded_single(
+    seed: int = 0,
+    n_workloads: int = 8,
+    n_iterations: int = 8,
+    n_shards: int = 4,
+    events: bool = True,
+    mutate_sharded=None,
+) -> DiffReport:
+    """One fleet, two deployments: sharded batched service vs. single scalar.
+
+    The same fleet spec (customer workload population, derived seeds) runs
+    once against an ``n_shards``-way :class:`ShardedAutotuneService` with
+    batched drains and per-shard backends, and once against the
+    single-shard, scalar (``coalesce=False``) reference with one backend.
+    The contract: every tenant session's observation history, centroid
+    walk, update count, and request count — plus the whole telemetry
+    counter map minus ``service.*`` (shard counts, queue stats, and
+    handoffs are deployment-shaped by design) — is **bitwise identical**.
+    This is what makes sharding and request coalescing safe to deploy: a
+    tenant cannot tell how the fleet is sharded.
+
+    Each trail step carries a ``session`` field, so a divergence names the
+    offending tenant session and observation index directly.
+
+    ``mutate_sharded`` (``(service) -> None``) perturbs the sharded arm
+    before the fleet runs — the sensitivity suite passes
+    ``lambda svc: svc.plant_misroute(...)`` to prove a hash-ring misroute
+    (a session landing on the wrong shard without state handoff) is caught
+    and pinned to the first divergent session/step.
+    """
+    from ..service.backend import AutotuneBackend
+    from ..service.auth import SasTokenIssuer
+    from ..service.fleet import (
+        build_fleet, default_optimizer_factory, fleet_user_map, run_fleet,
+    )
+    from ..service.sharded import ShardedAutotuneService
+
+    def backend_factory(root):
+        def build(shard_id: str) -> AutotuneBackend:
+            return AutotuneBackend(
+                storage=StorageManager(f"{root}/{shard_id}"),
+                issuer=SasTokenIssuer(f"secret-{shard_id}"),
+                query_space=query_level_space(),
+                min_events_for_model=3,
+            )
+        return build
+
+    def run_arm(root, arm_shards, coalesce, mutate=None):
+        fleet = build_fleet(n_workloads, seed=seed)
+        service = ShardedAutotuneService(
+            arm_shards,
+            default_optimizer_factory(fleet, base_seed=seed),
+            coalesce=coalesce,
+            backend_factory=backend_factory(root) if events else None,
+            user_id_fn=fleet_user_map(fleet),
+            queue_capacity=max(4096, 4 * len(fleet)),
+        )
+        if mutate is not None:
+            mutate(service)
+        with telemetry.capture() as cap:
+            run_fleet(service, fleet, n_iterations, events=events)
+        return service, cap
+
+    def trail(service):
+        steps = []
+        for key in sorted(service.sessions()):
+            session = service.sessions()[key]
+            optimizer = session.optimizer
+            for index, obs in enumerate(optimizer.observations.history):
+                steps.append({
+                    "session": key,
+                    "index": index,
+                    "config": obs.config,
+                    "performance": obs.performance,
+                    "data_size": obs.data_size,
+                    "iteration": obs.iteration,
+                })
+            steps.append({
+                "session": key,
+                "index": "summary",
+                "centroid": optimizer._centroid,
+                "n_updates": optimizer._n_updates,
+                "requests": session.requests,
+            })
+        return steps
+
+    with tempfile.TemporaryDirectory() as root_sharded, \
+            tempfile.TemporaryDirectory() as root_single:
+        sharded, cap_sharded = run_arm(
+            root_sharded, n_shards, coalesce=True, mutate=mutate_sharded
+        )
+        single, cap_single = run_arm(root_single, 1, coalesce=False)
+        return diff_trails(
+            "sharded_vs_single",
+            trail(sharded),
+            trail(single),
+            counters_a=cap_sharded.counters(),
+            counters_b=cap_single.counters(),
+            ignore_counter_prefixes=("service.",),
+        )
+
+
 def run_all(seed: int = 0) -> Dict[str, DiffReport]:
     """Run every differential driver; keys are the report names."""
     reports: List[DiffReport] = [
@@ -805,5 +918,6 @@ def run_all(seed: int = 0) -> Dict[str, DiffReport]:
         diff_lockstep_sequential(seed=seed),
         diff_retrieval_bruteforce(seed=seed),
         diff_switch_inert(seed=seed),
+        diff_sharded_single(seed=seed),
     ]
     return {report.name: report for report in reports}

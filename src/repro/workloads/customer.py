@@ -24,7 +24,18 @@ from .dynamics import DataSizeProcess, RandomWalkSize
 from .generator import QuerySpec, build_plan
 from .tables import TPCDS_TABLES, Table
 
-__all__ = ["CustomerWorkload", "generate_population"]
+__all__ = ["CustomerWorkload", "fleet_priority_class", "generate_population"]
+
+# Deterministic interactive / batch / best-effort mix for fleet-scale
+# serving: every 4th workload is an interactive notebook, every other one a
+# scheduled batch job, the rest best-effort backfill.  Index-keyed (not
+# random) so the same population gets the same priorities on every run.
+_PRIORITY_CYCLE = ("interactive", "batch", "best_effort", "batch")
+
+
+def fleet_priority_class(workload_index: int) -> str:
+    """Admission-priority class name for the ``workload_index``-th workload."""
+    return _PRIORITY_CYCLE[workload_index % len(_PRIORITY_CYCLE)]
 
 _FACTS: Tuple[Table, ...] = (
     TPCDS_TABLES["store_sales"],

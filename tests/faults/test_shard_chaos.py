@@ -1,0 +1,171 @@
+"""Chaos: shard outages and forced queue overflows against the sharded service."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import CentroidLearning
+from repro.core.observation import Observation
+from repro.faults.injectors import FaultyShardedService
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.service.sharded import ShardedAutotuneService, TuneRequest
+from repro.sparksim.configs import query_level_space
+
+pytestmark = pytest.mark.chaos
+
+SPACE = query_level_space()
+WORKLOADS = [f"artifact-{i:04d}" for i in range(10)]
+
+
+def seed_of(workload_id: str, signature: str) -> int:
+    digest = hashlib.blake2b(
+        f"{workload_id}/{signature}".encode(), digest_size=4
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def optimizer_factory(workload_id: str, signature: str) -> CentroidLearning:
+    return CentroidLearning(SPACE, seed=seed_of(workload_id, signature))
+
+
+def observation_for(vector, iteration):
+    return Observation(
+        config=np.asarray(vector, dtype=float),
+        performance=10.0 + 0.1 * iteration,
+        data_size=1000.0,
+        iteration=iteration,
+    )
+
+
+def drive(service, n_iterations=6, workloads=WORKLOADS, start=0):
+    """Phased rounds with shed-tolerant submission; returns session trails."""
+    for t in range(start, start + n_iterations):
+        requests = [TuneRequest.suggest(w, f"{w}/q0") for w in workloads]
+        for request in requests:
+            while not service.submit(request).accepted:
+                service.drain_all()
+        service.drain_all()
+        for w, request in zip(workloads, requests):
+            obs = observation_for(request.result, t)
+            observe = TuneRequest.observe(w, f"{w}/q0", obs)
+            while not service.submit(observe).accepted:
+                service.drain_all()
+        service.drain_all()
+    return {
+        key: [tuple(o.config) for o in s.optimizer.observations.history]
+        for key, s in service.sessions().items()
+    }
+
+
+def reference_trails():
+    return drive(
+        ShardedAutotuneService(4, optimizer_factory, queue_capacity=256)
+    )
+
+
+class TestShardOutage:
+    def test_explicit_failover_keeps_all_tenants_bit_identical(self):
+        reference = reference_trails()
+        service = ShardedAutotuneService(4, optimizer_factory, queue_capacity=256)
+        drive(service, n_iterations=3)
+        victim = service.shard_ids[0]
+        moved_tenants = {
+            key[0] for key in service.shard(victim).host.sessions
+        }
+        lost = service.fail_shard(victim)
+        assert lost == []  # queues were drained, nothing stranded
+        drive(service, n_iterations=3, start=3)
+        trails = {
+            key: [tuple(o.config) for o in s.optimizer.observations.history]
+            for key, s in service.sessions().items()
+        }
+        assert trails == reference
+        # The failed shard's tenants now live on survivors that own them.
+        for workload_id in moved_tenants:
+            owner = service.ring.owner(workload_id)
+            assert (workload_id, f"{workload_id}/q0") in service.shard(owner).host.sessions
+
+    def test_outage_with_queued_requests_requeues_them(self):
+        service = ShardedAutotuneService(4, optimizer_factory, queue_capacity=256)
+        requests = [TuneRequest.suggest(w, f"{w}/q0") for w in WORKLOADS]
+        for request in requests:
+            service.submit(request)
+        victim = service.shard_ids[0]
+        stranded = [r for r in requests if r.shard_id == victim]
+        service.fail_shard(victim)
+        service.drain_all()
+        # Every request — including the failed shard's backlog — completed.
+        assert all(r.done for r in requests)
+        assert all(r.shard_id != victim for r in stranded)
+
+    def test_scheduled_outages_converge_to_reference(self):
+        reference = reference_trails()
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.SHARD_OUTAGE, at=(3, 9))], seed=7
+        )
+        service = FaultyShardedService(
+            ShardedAutotuneService(4, optimizer_factory, queue_capacity=256), plan
+        )
+        trails = drive(service)
+        assert plan.fired(FaultKind.SHARD_OUTAGE) == 2
+        assert service.n_shards == 2
+        assert trails == reference
+
+    def test_outage_never_kills_last_shard(self):
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.SHARD_OUTAGE, rate=1.0)], seed=3
+        )
+        service = FaultyShardedService(
+            ShardedAutotuneService(2, optimizer_factory, queue_capacity=256), plan
+        )
+        drive(service, n_iterations=2, workloads=WORKLOADS[:4])
+        assert service.n_shards == 1
+
+
+class TestQueueOverflow:
+    def test_forced_sheds_are_retryable_and_lossless(self):
+        reference = reference_trails()
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.QUEUE_OVERFLOW, rate=0.2)], seed=11
+        )
+        service = FaultyShardedService(
+            ShardedAutotuneService(4, optimizer_factory, queue_capacity=256), plan
+        )
+        trails = drive(service)
+        assert plan.fired(FaultKind.QUEUE_OVERFLOW) > 0
+        assert trails == reference
+
+    def test_call_surfaces_forced_shed(self):
+        from repro.service.admission import ShedError
+
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.QUEUE_OVERFLOW, at=(0,))], seed=0
+        )
+        service = FaultyShardedService(
+            ShardedAutotuneService(2, optimizer_factory, queue_capacity=256), plan
+        )
+        with pytest.raises(ShedError):
+            service.call(TuneRequest.suggest("w", "w/q0"))
+        # The next opportunity does not fire; the call goes through.
+        assert service.call(TuneRequest.suggest("w", "w/q0")) is not None
+
+
+class TestFaultStreamStability:
+    def test_new_kinds_do_not_shift_existing_streams(self):
+        # The per-kind child seeds are spawned in enum order; appending
+        # SHARD_OUTAGE / QUEUE_OVERFLOW must leave LATENCY_SPIKE's stream
+        # untouched.  Golden draw pinned when the kind was introduced.
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.LATENCY_SPIKE, rate=0.5)], seed=42
+        )
+        fired = [plan.should_fire(FaultKind.LATENCY_SPIKE) for _ in range(16)]
+        plan2 = FaultPlan(
+            [
+                FaultSpec(FaultKind.LATENCY_SPIKE, rate=0.5),
+                FaultSpec(FaultKind.SHARD_OUTAGE, rate=0.5),
+            ],
+            seed=42,
+        )
+        fired2 = [plan2.should_fire(FaultKind.LATENCY_SPIKE) for _ in range(16)]
+        assert fired == fired2

@@ -1,0 +1,160 @@
+"""Admission control: priority thresholds, shed verdicts, queue bookkeeping."""
+
+import pytest
+
+from repro import telemetry
+from repro.service.admission import (
+    AdmissionController,
+    Priority,
+    ShardQueue,
+    ShedError,
+    ShedVerdict,
+)
+from repro.service.resilience import RetryPolicy, TransientServiceError
+
+pytestmark = pytest.mark.service
+
+
+class TestAdmissionController:
+    def test_thresholds_follow_default_fractions(self):
+        ctrl = AdmissionController(capacity=100)
+        assert ctrl.thresholds[Priority.INTERACTIVE] == 100
+        assert ctrl.thresholds[Priority.BATCH] == 75
+        assert ctrl.thresholds[Priority.BEST_EFFORT] == 50
+
+    def test_sheds_lower_classes_first(self):
+        ctrl = AdmissionController(capacity=100)
+        # At depth 60: best-effort shed, batch and interactive admitted.
+        assert not ctrl.admit(60, Priority.BEST_EFFORT)
+        assert ctrl.admit(60, Priority.BATCH)
+        assert ctrl.admit(60, Priority.INTERACTIVE)
+        # At depth 80: only interactive admitted.
+        assert not ctrl.admit(80, Priority.BATCH)
+        assert ctrl.admit(80, Priority.INTERACTIVE)
+        # At capacity: everyone shed, reason flips to queue_full.
+        full = ctrl.admit(100, Priority.INTERACTIVE)
+        assert not full and full.reason == "queue_full"
+
+    def test_priority_shed_reason(self):
+        verdict = AdmissionController(capacity=100).admit(60, Priority.BEST_EFFORT)
+        assert verdict.reason == "priority_shed"
+
+    def test_retry_after_grows_with_overload(self):
+        ctrl = AdmissionController(capacity=100)
+        light = ctrl.admit(50, Priority.BEST_EFFORT).retry_after
+        heavy = ctrl.admit(99, Priority.BEST_EFFORT).retry_after
+        assert 0 < light < heavy
+
+    def test_capacity_one_always_admits_empty(self):
+        ctrl = AdmissionController(capacity=1)
+        assert ctrl.admit(0, Priority.BEST_EFFORT)
+        assert not ctrl.admit(1, Priority.INTERACTIVE)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=10, fractions={Priority.BATCH: 0.5})
+        with pytest.raises(ValueError):
+            AdmissionController(
+                capacity=10,
+                fractions={p: 1.5 for p in Priority},
+            )
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+
+class TestShardQueue:
+    def test_fifo_order_preserved_across_priorities(self):
+        queue = ShardQueue(capacity=10)
+        queue.offer("a", Priority.BEST_EFFORT)
+        queue.offer("b", Priority.INTERACTIVE)
+        queue.offer("c", Priority.BATCH)
+        assert queue.drain() == ["a", "b", "c"]
+
+    def test_shed_counts_by_reason(self):
+        queue = ShardQueue(capacity=4)
+        queue.offer(0, Priority.INTERACTIVE)
+        queue.offer(1, Priority.INTERACTIVE)
+        assert not queue.offer("x", Priority.BEST_EFFORT)  # depth 2 ≥ ceil(4·0.5)
+        queue.offer(2, Priority.INTERACTIVE)
+        queue.offer(3, Priority.INTERACTIVE)
+        assert not queue.offer("y", Priority.INTERACTIVE)  # depth 4 = capacity
+        assert queue.shed == 2
+        assert queue.shed_by_reason == {"priority_shed": 1, "queue_full": 1}
+
+    def test_high_watermark_tracks_peak_depth(self):
+        queue = ShardQueue(capacity=10)
+        for item in range(7):
+            queue.offer(item)
+        queue.drain(5)
+        queue.offer("more")
+        assert queue.high_watermark == 7
+        assert queue.depth == 3
+
+    def test_drain_respects_max_items(self):
+        queue = ShardQueue(capacity=10)
+        for item in range(6):
+            queue.offer(item)
+        assert queue.drain(4) == [0, 1, 2, 3]
+        assert queue.drain() == [4, 5]
+
+    def test_shed_telemetry_labels(self):
+        with telemetry.capture() as cap:
+            queue = ShardQueue(capacity=1)
+            queue.offer("a", Priority.BATCH)
+            queue.offer("b", Priority.BATCH)
+        counters = cap.counters()
+        assert counters["service.queue.sheds{priority=BATCH,reason=queue_full}"] == 1
+
+    def test_mismatched_admission_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShardQueue(capacity=10, admission=AdmissionController(capacity=5))
+
+
+class TestShedError:
+    def test_is_retryable_transient_error(self):
+        error = ShedError(ShedVerdict(False, "queue_full", retry_after=0.2), "shard-1")
+        assert isinstance(error, TransientServiceError)
+        assert error.retry_after == 0.2
+        assert "shard-1" in str(error)
+
+    def test_retry_policy_honors_retry_after_floor(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=5.0, sleep=slept.append
+        )
+        error = ShedError(ShedVerdict(False, "queue_full", retry_after=0.5))
+
+        def always_shed():
+            raise error
+
+        with pytest.raises(Exception):
+            policy.call(always_shed)
+        # Schedule would be [0.01, 0.02]; the shed verdict floors both at 0.5.
+        assert slept == [0.5, 0.5]
+
+    def test_retry_after_still_capped_by_max_delay(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=2, base_delay=0.01, max_delay=0.1, sleep=slept.append
+        )
+        error = ShedError(ShedVerdict(False, "queue_full", retry_after=9.0))
+
+        def always_shed():
+            raise error
+
+        with pytest.raises(Exception):
+            policy.call(always_shed)
+        assert slept == [0.1]
+
+    def test_plain_transient_errors_keep_schedule(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.01, multiplier=2.0, sleep=slept.append
+        )
+
+        def flaky():
+            raise TransientServiceError("no retry_after attr")
+
+        with pytest.raises(Exception):
+            policy.call(flaky)
+        assert slept == [0.01, 0.02]

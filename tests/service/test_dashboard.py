@@ -86,3 +86,53 @@ class TestViews:
     def test_render_report_respects_max_rows(self, dashboard):
         text = dashboard.render_report(max_rows=1)
         assert ("sig-fast" in text) != ("sig-flat" in text)
+
+
+class TestServiceMetricsRender:
+    @pytest.fixture
+    def payload(self):
+        return {
+            "service": {
+                "n_shards": 2,
+                "submitted": 40,
+                "shed": 4,
+                "shed_rate": 0.1,
+                "outages": 1,
+                "utilization_skew": 1.25,
+                "coalesce": True,
+                "shards": {
+                    "shard-0": {
+                        "sessions": 3, "queue_depth": 0,
+                        "queue_high_watermark": 5, "enqueued": 20, "shed": 4,
+                        "shed_by_reason": {"queue_full": 4}, "processed": 24,
+                        "runs": 6, "drain_seconds": 0.01,
+                    },
+                    "shard-1": {
+                        "sessions": 2, "queue_depth": 1,
+                        "queue_high_watermark": 3, "enqueued": 12, "shed": 0,
+                        "shed_by_reason": {}, "processed": 12,
+                        "runs": 4, "drain_seconds": 0.005,
+                    },
+                },
+            }
+        }
+
+    def test_render_lists_every_shard_and_aggregates(self, payload):
+        from repro.service.dashboard import render_service_metrics
+
+        text = render_service_metrics(payload)
+        assert "2 shard(s)" in text and "coalesce=on" in text
+        assert "shard-0" in text and "shard-1" in text
+        assert "rate 10.0%" in text
+        assert "skew=1.25x" in text
+        lines = {l.split()[0]: l for l in text.splitlines() if l.startswith("shard-")}
+        # Bar scaled to the busiest shard: full bar for shard-0, half for shard-1.
+        assert lines["shard-0"].count("#") == 12
+        assert lines["shard-1"].count("#") == 6
+
+    def test_render_handles_empty_service(self):
+        from repro.service.dashboard import render_service_metrics
+
+        text = render_service_metrics({"service": {"shards": {}}})
+        assert "0 shard(s)" in text
+        assert "submitted=0" in text

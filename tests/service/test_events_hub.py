@@ -60,3 +60,72 @@ def test_recent_returns_newest_last():
         hub.publish(i)
     assert hub.recent(10) == [2, 3, 4]   # bounded buffer dropped 0, 1
     assert hub.recent(2) == [3, 4]
+
+
+class _Keyed:
+    def __init__(self, dedup_key, payload=None):
+        self.dedup_key = dedup_key
+        self.payload = payload
+
+
+class TestDedupBookkeeping:
+    """Pin the dedup counters: drops must never inflate published_count."""
+
+    def test_published_count_excludes_dropped_duplicates(self):
+        hub = EventHub(dedup=True)
+        seen = []
+        hub.subscribe("a", seen.append)
+        first = _Keyed("k1")
+        hub.publish(first)
+        hub.publish(_Keyed("k1"))   # duplicate: dropped before fan-out
+        hub.publish(_Keyed("k2"))
+        assert hub.published_count == 2
+        assert hub.duplicates_dropped == 1
+        assert seen == [first, hub.recent(1)[0]]
+        assert len(hub.recent(10)) == 2   # replay buffer untouched by dupes
+
+    def test_keyless_events_never_deduplicated(self):
+        hub = EventHub(dedup=True)
+        hub.publish("same")
+        hub.publish("same")
+        hub.publish(_Keyed(None))
+        hub.publish(_Keyed(None))
+        assert hub.published_count == 4
+        assert hub.duplicates_dropped == 0
+
+    def test_dedup_disabled_by_default(self):
+        hub = EventHub()
+        hub.publish(_Keyed("k1"))
+        hub.publish(_Keyed("k1"))
+        assert hub.published_count == 2
+        assert hub.duplicates_dropped == 0
+
+    def test_drop_counted_in_telemetry(self):
+        from repro import telemetry
+
+        with telemetry.capture() as cap:
+            hub = EventHub(dedup=True)
+            hub.publish(_Keyed("k"))
+            hub.publish(_Keyed("k"))
+        counters = cap.counters()
+        assert counters["hub.duplicates_dropped"] == 1
+        assert counters["hub.published"] == 1
+
+    def test_backend_metrics_expose_hub_deduped(self, tmp_path):
+        from repro.service.auth import SasTokenIssuer
+        from repro.service.backend import AutotuneBackend
+        from repro.service.storage import StorageManager
+        from repro.sparksim.configs import query_level_space
+
+        backend = AutotuneBackend(
+            storage=StorageManager(tmp_path),
+            issuer=SasTokenIssuer("secret"),
+            query_space=query_level_space(),
+            hub=EventHub(dedup=True),
+            min_events_for_model=3,
+        )
+        backend.hub.publish(_Keyed("k"))
+        backend.hub.publish(_Keyed("k"))
+        payload = backend.metrics()["backend"]
+        assert payload["hub_published"] == 1
+        assert payload["hub_deduped"] == 1

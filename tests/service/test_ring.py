@@ -1,0 +1,124 @@
+"""Consistent-hash ring: determinism, bounded movement, structural guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.service.ring import ConsistentHashRing, _hash64
+
+pytestmark = pytest.mark.service
+
+KEYS = [f"artifact-{i:04d}" for i in range(400)]
+
+
+def fresh_ring(n=4, replicas=64):
+    return ConsistentHashRing([f"shard-{i}" for i in range(n)], replicas=replicas)
+
+
+class TestDeterminism:
+    def test_hash_is_process_restart_stable(self):
+        # Golden values: blake2b is keyless and unsalted, so these must
+        # never change across runs, processes, or Python versions.
+        assert _hash64("shard-0#0") == 0x3A138B1616E0D2C1
+        assert _hash64("artifact-0000") == 0xEFA2A1708D231272
+
+    def test_same_shard_set_same_assignment(self):
+        a = fresh_ring().assignment(KEYS)
+        b = fresh_ring().assignment(KEYS)
+        assert a == b
+
+    def test_order_of_addition_is_irrelevant(self):
+        forward = ConsistentHashRing(["s0", "s1", "s2"])
+        backward = ConsistentHashRing(["s2", "s1", "s0"])
+        assert forward.assignment(KEYS) == backward.assignment(KEYS)
+
+    def test_owner_matches_assignment(self):
+        ring = fresh_ring()
+        for key in KEYS[:50]:
+            assert ring.owner(key) == ring.assignment([key])[key]
+
+    def test_golden_assignment_snapshot(self):
+        # A routing change is a *state migration* for a deployed fleet —
+        # pin a few concrete owners so one shows up in review.
+        ring = fresh_ring()
+        assert ring.owner("artifact-0000") == "shard-1"
+        assert ring.owner("artifact-0001") == "shard-3"
+        assert ring.owner("artifact-0007") == "shard-3"
+
+
+class TestBoundedMovement:
+    def test_add_moves_at_most_expected_share(self):
+        ring = fresh_ring(4)
+        before = ring.assignment(KEYS)
+        ring.add_shard("shard-new")
+        after = ring.assignment(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # Expected movement is K/N = 1/5 of keys; allow generous slack for
+        # hash-placement variance at 64 replicas.
+        assert len(moved) <= len(KEYS) * 2 / 5
+
+    def test_add_moves_keys_only_into_new_shard(self):
+        ring = fresh_ring(4)
+        before = ring.assignment(KEYS)
+        ring.add_shard("shard-new")
+        after = ring.assignment(KEYS)
+        for key in KEYS:
+            if before[key] != after[key]:
+                assert after[key] == "shard-new"
+
+    def test_remove_moves_only_removed_shards_keys(self):
+        ring = fresh_ring(4)
+        before = ring.assignment(KEYS)
+        ring.remove_shard("shard-1")
+        after = ring.assignment(KEYS)
+        for key in KEYS:
+            if before[key] == "shard-1":
+                assert after[key] != "shard-1"
+            else:
+                assert after[key] == before[key]
+
+    def test_add_then_remove_round_trips(self):
+        ring = fresh_ring(4)
+        before = ring.assignment(KEYS)
+        ring.add_shard("shard-new")
+        ring.remove_shard("shard-new")
+        assert ring.assignment(KEYS) == before
+
+
+class TestLoadSplit:
+    def test_split_covers_all_keys_and_shards(self):
+        ring = fresh_ring(4)
+        split = ring.load_split(KEYS)
+        assert sorted(split) == [f"shard-{i}" for i in range(4)]
+        assert sum(split.values()) == len(KEYS)
+
+    def test_split_is_roughly_balanced(self):
+        split = fresh_ring(4, replicas=128).load_split(KEYS)
+        counts = np.array(list(split.values()))
+        assert counts.max() <= 2.5 * len(KEYS) / 4
+        assert counts.min() >= len(KEYS) / 4 / 2.5
+
+
+class TestMembershipErrors:
+    def test_duplicate_add_rejected(self):
+        ring = fresh_ring(2)
+        with pytest.raises(ValueError):
+            ring.add_shard("shard-0")
+
+    def test_unknown_remove_rejected(self):
+        with pytest.raises(KeyError):
+            fresh_ring(2).remove_shard("shard-9")
+
+    def test_empty_ring_cannot_route(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().owner("k")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(replicas=0)
+
+    def test_contains_and_len(self):
+        ring = fresh_ring(3)
+        assert len(ring) == 3
+        assert "shard-1" in ring
+        assert "shard-7" not in ring
+        assert ring.shards == ("shard-0", "shard-1", "shard-2")

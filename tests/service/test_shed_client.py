@@ -1,0 +1,130 @@
+"""Client-side load-shed handling: retry_after honored, sheds counted."""
+
+import pytest
+
+from repro import telemetry
+from repro.core.app_level import AppCache
+from repro.service.admission import ShedError, ShedVerdict
+from repro.service.auth import SasTokenIssuer
+from repro.service.backend import AutotuneBackend
+from repro.service.client import AutotuneClient
+from repro.service.resilience import RetryPolicy
+from repro.service.storage import StorageManager
+from repro.sparksim.configs import app_level_space, full_space, query_level_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpch import tpch_plan
+
+pytestmark = pytest.mark.service
+
+
+def shed_error(retry_after=0.25):
+    return ShedError(ShedVerdict(False, "queue_full", retry_after=retry_after))
+
+
+@pytest.fixture
+def backend(tmp_path):
+    return AutotuneBackend(
+        storage=StorageManager(tmp_path),
+        issuer=SasTokenIssuer("secret"),
+        query_space=query_level_space(),
+        app_space=app_level_space(),
+        full_space=full_space(),
+        app_cache=AppCache(),
+        min_events_for_model=3,
+    )
+
+
+def make_client(backend, sleeps, max_attempts=3):
+    policy = RetryPolicy(
+        max_attempts=max_attempts, base_delay=0.01, max_delay=5.0,
+        sleep=sleeps.append,
+    )
+    return AutotuneClient(
+        backend, "app-1", "artifact-1", "user-1", query_level_space(),
+        seed=0, retry_policy=policy,
+    )
+
+
+def buffer_one_event(client):
+    plan = tpch_plan(6, 1.0)
+    config = client.suggest_config(plan)
+    event = SparkSimulator(noise=low_noise(), seed=1).run_to_event(
+        plan, config, app_id="app-1", artifact_id="artifact-1",
+        user_id="user-1", iteration=0,
+        embedding=client.embedder.embed(plan),
+    )
+    client.on_query_end(event)
+
+
+class ShedNTimes:
+    """Wrap a backend method to shed the first ``n`` calls."""
+
+    def __init__(self, inner, n, retry_after=0.25):
+        self.inner = inner
+        self.remaining = n
+        self.retry_after = retry_after
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise shed_error(self.retry_after)
+        return self.inner(*args, **kwargs)
+
+
+class TestClientShedHandling:
+    def test_transient_shed_retried_and_counted(self, backend):
+        sleeps = []
+        client = make_client(backend, sleeps)
+        buffer_one_event(client)
+        backend.submit_events = ShedNTimes(backend.submit_events, n=2)
+        with telemetry.capture() as cap:
+            flushed = client.flush_events()
+        assert flushed == 1
+        assert client.requests_shed == 2
+        assert client.flush_failures == 0
+        assert cap.counters()["client.requests_shed{phase=retried}"] == 2
+        # Backoff floored at the verdict's retry_after hint (schedule would
+        # have been [0.01, 0.02]).
+        assert sleeps == [0.25, 0.25]
+
+    def test_exhausted_sheds_keep_events_pending(self, backend):
+        sleeps = []
+        client = make_client(backend, sleeps, max_attempts=2)
+        buffer_one_event(client)
+        backend.submit_events = ShedNTimes(backend.submit_events, n=99)
+        with telemetry.capture() as cap:
+            flushed = client.flush_events()
+        assert flushed == 0
+        assert client.flush_failures == 1
+        # One shed per retry sleep plus one for the exhaustion itself.
+        assert client.requests_shed == 2
+        counters = cap.counters()
+        assert counters["client.requests_shed{phase=retried}"] == 1
+        assert counters["client.requests_shed{phase=exhausted}"] == 1
+        # The buffered event survives for the next flush.
+        backend.submit_events = backend.submit_events.inner
+        assert client.flush_events() == 1
+        assert client.requests_shed == 2
+
+    def test_non_shed_transients_do_not_count(self, backend):
+        from repro.service.resilience import TransientServiceError
+
+        sleeps = []
+        client = make_client(backend, sleeps)
+        buffer_one_event(client)
+        original = backend.submit_events
+        state = {"failed": False}
+
+        def flaky(*args, **kwargs):
+            if not state["failed"]:
+                state["failed"] = True
+                raise TransientServiceError("blip")
+            return original(*args, **kwargs)
+
+        backend.submit_events = flaky
+        assert client.flush_events() == 1
+        assert client.requests_shed == 0
+        assert sleeps == [0.01]

@@ -29,7 +29,7 @@ class TestAllPathsAgree:
             "scalar_vs_batch", "serial_vs_parallel",
             "refit_vs_incremental", "live_vs_replay",
             "lockstep_vs_sequential", "retrieval_vs_bruteforce",
-            "switch_inert",
+            "switch_inert", "sharded_vs_single",
         }
         for report in reports.values():
             assert report.equivalent, report.summary()
