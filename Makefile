@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test chaos telemetry retrieval service verify drift coverage bench bench-perf bench-telemetry bench-retrieval bench-service all
+.PHONY: test chaos telemetry retrieval service verify drift stages coverage bench bench-perf bench-telemetry bench-retrieval bench-service bench-importance all
 
 test:            ## fast tier-1 suite (chaos/verify deselected)
 	$(PYTEST) -x -q
@@ -23,6 +23,9 @@ verify:          ## invariant + property + differential suites (docs/testing.md)
 drift:           ## task-switch / adversarial-drift battery (docs/testing.md)
 	$(PYTEST) -m "drift or chaos" -q tests/verify/test_switch_properties.py tests/verify/test_switch_oracle.py tests/faults/test_switch_chaos.py tests/experiments/test_ext_drift.py
 
+stages:          ## knob-importance / stage-scoped tuning battery (docs/testing.md)
+	$(PYTEST) -m "stages or chaos" -q tests/sparksim/test_stage_battery.py tests/verify/test_pruned_oracle.py tests/verify/test_pruned_lockstep.py tests/verify/test_properties_importance.py tests/faults/test_importance_chaos.py tests/experiments/test_stage_experiments.py
+
 coverage:        ## line-coverage summary for src/repro (stdlib tracer; slow)
 	PYTHONPATH=src python tools/line_coverage.py $(COVERAGE_ARGS)
 
@@ -40,5 +43,8 @@ bench-retrieval: ## ANN index bench (full scale) -> retrieval section of BENCH_p
 
 bench-service:   ## fleet-scale service bench (full scale) -> BENCH_service.json
 	REPRO_BENCH_FULL=1 $(PYTEST) benchmarks/bench_perf_service.py -q
+
+bench-importance: ## sensitivity-sweep + pruning benches -> importance section of BENCH_perf.json
+	$(PYTEST) benchmarks/bench_perf_importance.py -q
 
 all: test chaos telemetry service verify

@@ -14,6 +14,13 @@ from .conservative import ConservativePolicy
 from .find_best import FindBestMode, find_best, fit_window_model
 from .gradient import linear_sign_gradient, ml_sign_gradient, probe_points
 from .guardrail import Guardrail, GuardrailDecision
+from .importance import (
+    ImportanceTracker,
+    KnobRanking,
+    KnobScore,
+    PrunedSpace,
+    rank_knobs,
+)
 from .objective import LatencyObjective, PricePerformanceObjective
 from .observation import Observation, ObservationWindow
 from .optimizer_base import Optimizer
@@ -43,11 +50,15 @@ __all__ = [
     "FindBestMode",
     "Guardrail",
     "GuardrailDecision",
+    "ImportanceTracker",
     "IterationRecord",
+    "KnobRanking",
+    "KnobScore",
     "LatencyObjective",
     "Observation",
     "ObservationWindow",
     "PricePerformanceObjective",
+    "PrunedSpace",
     "Optimizer",
     "Parameter",
     "PseudoSurrogateSelector",
@@ -67,4 +78,5 @@ __all__ = [
     "ml_sign_gradient",
     "optimize_app_config",
     "probe_points",
+    "rank_knobs",
 ]

@@ -1,0 +1,584 @@
+"""Knob-importance pruning: per-workload sensitivity ranking + subspaces.
+
+LOCAT (PAPERS.md, 2203.14889) gets "low-overhead" Spark tuning by shrinking
+the search space to the knobs that actually matter for the workload at hand.
+This module is that pass for our reproduction, built on the vectorized cost
+kernel so the whole sensitivity sweep is **one** ``estimate_batch`` call:
+
+* :func:`rank_knobs` — a deterministic sensitivity analysis combining a
+  one-at-a-time (OAT) grid per knob with a *radial* Morris design
+  (Campolongo-style: every elementary effect perturbs one knob away from
+  the same trajectory base point).  Both designs are per-knob independent,
+  so the ranking is bitwise invariant to the order knobs are swept in
+  (``sweep_order`` only permutes row assembly; the property battery pins
+  this).  Produces a :class:`KnobRanking`.
+* :class:`KnobRanking` — the per-knob scores, JSON round-trippable like
+  detector state (``to_state``/``from_state``/``to_json``/``from_json``).
+* :class:`PrunedSpace` — a :class:`~repro.core.config_space.ConfigSpace`
+  view over the kept knobs that optimizers tune inside while every
+  materialized configuration decodes back to the **full** space: kept
+  knobs pass through bitwise, dropped knobs are pinned to their defaults
+  (or a supplied centroid).  ``TuningSession``/``ContextualBO``/
+  ``find_best`` need no changes — ``to_dict``/``default_dict`` already
+  return full-space dicts, and the batch pipeline decodes through
+  :meth:`PrunedSpace.decode_matrix` (see ``ConfigColumns.from_vectors``).
+* :class:`ImportanceTracker` — re-ranks when a
+  :class:`~repro.core.switch.TaskSwitchDetector` fires, by chaining onto
+  the optimizer's ``switch_warm_start`` hook (the session's dimensionality
+  is fixed, so the refreshed ranking informs the *next* session / the
+  fleet controller rather than resizing the live space).
+
+``repro.verify.diff.diff_pruned_full`` pins the subspace-equivalence
+contract: tuning in the pruned subspace is bitwise identical to tuning the
+kept knobs with the dropped ones frozen.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .. import telemetry
+from .config_space import ConfigSpace, Parameter
+
+__all__ = [
+    "KnobScore",
+    "KnobRanking",
+    "PrunedSpace",
+    "ImportanceTracker",
+    "build_sweep",
+    "rank_knobs",
+]
+
+
+@dataclass(frozen=True)
+class KnobScore:
+    """Sensitivity summary for one knob of one workload.
+
+    ``oat_range`` is the max-minus-min cost (seconds) over the knob's OAT
+    grid with every other knob at its default; ``morris_mu_star`` is the
+    mean absolute elementary effect (seconds per unit-cube step) over the
+    radial Morris trajectories and ``morris_sigma`` its standard deviation
+    (interaction/nonlinearity indicator).  ``score`` is the monotone
+    combination the ranking sorts by — zero iff the cost model never reads
+    the knob on this workload.
+    """
+
+    name: str
+    index: int
+    oat_range: float
+    morris_mu_star: float
+    morris_sigma: float
+
+    @property
+    def score(self) -> float:
+        return self.oat_range + self.morris_mu_star
+
+
+class KnobRanking:
+    """Per-workload knob importance ranking (JSON round-trippable)."""
+
+    def __init__(
+        self,
+        workload_signature: str,
+        scores: Sequence[KnobScore],
+        *,
+        data_scale: float = 1.0,
+        n_oat_points: int = 0,
+        n_trajectories: int = 0,
+        seed: int = 0,
+    ):
+        if not scores:
+            raise ValueError("a ranking needs at least one knob score")
+        self.workload_signature = workload_signature
+        # Stored in full-space parameter order; ranked views sort on demand.
+        self.scores: List[KnobScore] = sorted(scores, key=lambda s: s.index)
+        self.data_scale = float(data_scale)
+        self.n_oat_points = int(n_oat_points)
+        self.n_trajectories = int(n_trajectories)
+        self.seed = int(seed)
+
+    @property
+    def ranked(self) -> List[KnobScore]:
+        """Scores sorted most-important first; ties break on space index,
+        so zero-sensitivity knobs sort strictly after every knob the cost
+        model responds to."""
+        return sorted(self.scores, key=lambda s: (-s.score, s.index))
+
+    @property
+    def ranked_names(self) -> List[str]:
+        return [s.name for s in self.ranked]
+
+    def top(self, k: int) -> List[str]:
+        """The ``k`` most important knob names."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self.ranked_names[:k]
+
+    def score_of(self, name: str) -> KnobScore:
+        for s in self.scores:
+            if s.name == name:
+                return s
+        raise KeyError(f"unknown knob {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KnobRanking):
+            return NotImplemented
+        return self.to_state() == other.to_state()
+
+    # -- serialization (same shape discipline as TaskSwitchDetector.to_state) --
+
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "workload_signature": self.workload_signature,
+            "data_scale": self.data_scale,
+            "n_oat_points": self.n_oat_points,
+            "n_trajectories": self.n_trajectories,
+            "seed": self.seed,
+            "scores": [
+                {
+                    "name": s.name,
+                    "index": s.index,
+                    "oat_range": s.oat_range,
+                    "morris_mu_star": s.morris_mu_star,
+                    "morris_sigma": s.morris_sigma,
+                }
+                for s in self.scores
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "KnobRanking":
+        return cls(
+            str(state["workload_signature"]),
+            [KnobScore(**s) for s in state["scores"]],  # type: ignore[arg-type]
+            data_scale=float(state.get("data_scale", 1.0)),
+            n_oat_points=int(state.get("n_oat_points", 0)),
+            n_trajectories=int(state.get("n_trajectories", 0)),
+            seed=int(state.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_state(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, data: str) -> "KnobRanking":
+        return cls.from_state(json.loads(data))
+
+
+# -- sweep construction -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SweepPlan:
+    """Row layout of one assembled sensitivity sweep.
+
+    ``rows`` stacks, per knob in sweep order, its OAT grid; then the Morris
+    trajectory base points; then, per knob in sweep order, one radial
+    perturbation per trajectory.  The index arrays let per-knob scores
+    gather *their* rows regardless of where sweep order placed them — the
+    mechanism behind bitwise permutation invariance.
+    """
+
+    rows: np.ndarray                      # (M, dim) internal vectors
+    oat_indices: Dict[str, np.ndarray]    # knob -> its OAT row indices
+    base_indices: np.ndarray              # (R,) trajectory base rows
+    perturb_indices: Dict[str, np.ndarray]  # knob -> (R,) perturbed rows
+    delta_unit: float                     # Morris step in unit-cube units
+
+
+def build_sweep(
+    space: ConfigSpace,
+    *,
+    n_oat_points: int = 9,
+    n_trajectories: int = 8,
+    morris_delta: float = 0.25,
+    seed: int = 0,
+    sweep_order: Optional[Sequence[str]] = None,
+) -> _SweepPlan:
+    """Assemble the OAT + radial-Morris row matrix for one ranking pass.
+
+    Every row is an internal-axis vector; the whole matrix goes through a
+    single ``estimate_batch`` call.  ``sweep_order`` permutes only the row
+    *assembly* order: each knob's OAT grid depends on nothing but that
+    knob, and each radial elementary effect perturbs one coordinate of a
+    trajectory base point drawn before any sweeping starts — so per-knob
+    gathers return identical values for any order.
+    """
+    if n_oat_points < 2:
+        raise ValueError("n_oat_points must be >= 2")
+    if n_trajectories < 1:
+        raise ValueError("n_trajectories must be >= 1")
+    if not 0.0 < morris_delta < 1.0:
+        raise ValueError("morris_delta must be in (0, 1)")
+    order = list(sweep_order) if sweep_order is not None else list(space.names)
+    if sorted(order) != sorted(space.names):
+        raise ValueError(
+            f"sweep_order must be a permutation of the space's knobs, got {order}"
+        )
+    bounds = space.internal_bounds
+    defaults = space.default_vector()
+    # Trajectory bases are drawn once, before any per-knob work, from the
+    # seeded generator — the same bases for every sweep order.
+    rng = np.random.default_rng(seed)
+    unit_bases = rng.uniform(size=(n_trajectories, space.dim))
+    bases = space.denormalize(unit_bases)
+
+    blocks: List[np.ndarray] = []
+    oat_indices: Dict[str, np.ndarray] = {}
+    offset = 0
+    for name in order:
+        j = space.index_of(name)
+        grid = np.tile(defaults, (n_oat_points, 1))
+        grid[:, j] = np.linspace(bounds[j, 0], bounds[j, 1], n_oat_points)
+        blocks.append(grid)
+        oat_indices[name] = np.arange(offset, offset + n_oat_points)
+        offset += n_oat_points
+
+    blocks.append(bases)
+    base_indices = np.arange(offset, offset + n_trajectories)
+    offset += n_trajectories
+
+    spans = bounds[:, 1] - bounds[:, 0]
+    perturb_indices: Dict[str, np.ndarray] = {}
+    for name in order:
+        j = space.index_of(name)
+        delta = morris_delta * spans[j]
+        perturbed = bases.copy()
+        # Step up when it stays in bounds, else step down — radial design,
+        # each effect measured from the same base (never a cumulative path).
+        up = bases[:, j] + delta <= bounds[j, 1]
+        perturbed[:, j] = np.where(up, bases[:, j] + delta, bases[:, j] - delta)
+        blocks.append(perturbed)
+        perturb_indices[name] = np.arange(offset, offset + n_trajectories)
+        offset += n_trajectories
+
+    return _SweepPlan(
+        rows=np.vstack(blocks),
+        oat_indices=oat_indices,
+        base_indices=base_indices,
+        perturb_indices=perturb_indices,
+        delta_unit=float(morris_delta),
+    )
+
+
+def batch_estimator(
+    plan,
+    space: ConfigSpace,
+    *,
+    simulator=None,
+    data_scale: float = 1.0,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """The default noiseless batched cost oracle for :func:`rank_knobs`.
+
+    ``(M, dim)`` internal vectors -> ``(M,)`` seconds in one
+    ``estimate_batch``/``true_time_batch`` pass.  Pass a
+    :class:`~repro.sparksim.executor.SparkSimulator` to inherit its pool
+    and cost parameters; otherwise a fresh default :class:`CostModel` is
+    used.  Sensitivity is a property of the *cost surface*, so observation
+    noise and fault injection never enter here — the chaos mirror in the
+    ``stages`` tier pins that fault-inflated observations cannot flip a
+    ranking.
+    """
+    if simulator is not None:
+        def estimate(vectors: np.ndarray) -> np.ndarray:
+            return simulator.true_time_batch(
+                plan, vectors, space=space, data_scale=data_scale
+            )
+        return estimate
+
+    from ..sparksim.cost_model import CostModel
+
+    model = CostModel()
+
+    def estimate(vectors: np.ndarray) -> np.ndarray:
+        return model.estimate_batch(
+            plan, vectors, space=space, data_scale=data_scale
+        )
+
+    return estimate
+
+
+def rank_knobs(
+    plan,
+    space: ConfigSpace,
+    *,
+    simulator=None,
+    estimator: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    n_oat_points: int = 9,
+    n_trajectories: int = 8,
+    morris_delta: float = 0.25,
+    data_scale: float = 1.0,
+    seed: int = 0,
+    sweep_order: Optional[Sequence[str]] = None,
+) -> KnobRanking:
+    """Rank ``space``'s knobs by sensitivity on ``plan``'s cost surface.
+
+    One batched evaluation covers the whole design (``dim`` OAT grids +
+    ``n_trajectories`` radial Morris trajectories); per-knob scores gather
+    their rows by index, so the result is deterministic for a seed and
+    bitwise invariant to ``sweep_order``.  A knob with a provably flat
+    response (the cost model never reads it) scores exactly 0.0 and ranks
+    strictly below every knob with nonzero sensitivity.
+    """
+    sweep = build_sweep(
+        space,
+        n_oat_points=n_oat_points,
+        n_trajectories=n_trajectories,
+        morris_delta=morris_delta,
+        seed=seed,
+        sweep_order=sweep_order,
+    )
+    estimate = estimator or batch_estimator(
+        plan, space, simulator=simulator, data_scale=data_scale
+    )
+    costs = np.asarray(estimate(sweep.rows), dtype=float)
+    if costs.shape != (len(sweep.rows),):
+        raise ValueError(
+            f"estimator returned shape {costs.shape}, expected ({len(sweep.rows)},)"
+        )
+    base_costs = costs[sweep.base_indices]
+    scores: List[KnobScore] = []
+    for j, name in enumerate(space.names):
+        oat = costs[sweep.oat_indices[name]]
+        effects = (
+            np.abs(costs[sweep.perturb_indices[name]] - base_costs)
+            / sweep.delta_unit
+        )
+        scores.append(KnobScore(
+            name=name,
+            index=j,
+            oat_range=float(np.max(oat) - np.min(oat)),
+            morris_mu_star=float(np.mean(effects)),
+            morris_sigma=float(np.std(effects)),
+        ))
+    telemetry.counter("importance.rankings").inc()
+    return KnobRanking(
+        plan.signature() if hasattr(plan, "signature") else str(plan),
+        scores,
+        data_scale=data_scale,
+        n_oat_points=n_oat_points,
+        n_trajectories=n_trajectories,
+        seed=seed,
+    )
+
+
+# -- the pruned-subspace view -------------------------------------------------------
+
+
+class PrunedSpace(ConfigSpace):
+    """A kept-knob view of a full :class:`ConfigSpace`.
+
+    Optimizers see an ordinary space over the kept parameters (in
+    full-space order): ``dim``, bounds, sampling, candidate generation and
+    gradient enumeration all shrink accordingly.  Every materialization
+    decodes back to the full space — kept coordinates pass through
+    **bitwise**, dropped coordinates are pinned to their parameter defaults
+    (or the supplied ``pins``) — so the simulator, the batch kernel and the
+    trace records always carry complete configurations:
+
+    * :meth:`to_dict` / :meth:`default_dict` return full-space dicts (this
+      is the single per-step decode point ``TuningSession`` relies on);
+    * :meth:`decode_matrix` is the batch analogue, consumed by
+      ``ConfigColumns.from_vectors`` so ``estimate_batch(..., space=pruned)``
+      and the lock-step engine evaluate full configurations.
+    """
+
+    def __init__(
+        self,
+        full_space: ConfigSpace,
+        keep: Sequence[str],
+        pins: Optional[Mapping[str, float]] = None,
+    ):
+        keep_set = set(keep)
+        if not keep_set:
+            raise ValueError("PrunedSpace needs at least one kept knob")
+        unknown = keep_set - set(full_space.names)
+        if unknown:
+            raise KeyError(f"unknown knobs in keep: {sorted(unknown)}")
+        kept_params: List[Parameter] = [
+            p for p in full_space if p.name in keep_set
+        ]
+        super().__init__(kept_params)
+        self.full_space = full_space
+        self.kept_indices = np.array(
+            [full_space.index_of(p.name) for p in kept_params], dtype=int
+        )
+        self.dropped_names: List[str] = [
+            name for name in full_space.names if name not in keep_set
+        ]
+        self.dropped_indices = np.array(
+            [full_space.index_of(n) for n in self.dropped_names], dtype=int
+        )
+        pins = dict(pins or {})
+        unknown_pins = set(pins) - set(self.dropped_names)
+        if unknown_pins:
+            raise KeyError(
+                f"pins given for non-dropped knobs: {sorted(unknown_pins)}"
+            )
+        # Full-dim internal vector; decode() overwrites the kept positions,
+        # so only the dropped entries (defaults or pins) ever surface.
+        self._pinned_full = full_space.default_vector()
+        for name, value in pins.items():
+            p = full_space[name]
+            self._pinned_full[full_space.index_of(name)] = p.to_internal(value)
+
+    @classmethod
+    def from_ranking(
+        cls,
+        ranking: KnobRanking,
+        full_space: ConfigSpace,
+        k: int,
+        pins: Optional[Mapping[str, float]] = None,
+    ) -> "PrunedSpace":
+        """Keep the ``k`` most important knobs of ``ranking``."""
+        return cls(full_space, ranking.top(k), pins=pins)
+
+    def __repr__(self) -> str:
+        kept = ", ".join(self.names)
+        return f"PrunedSpace([{kept}] of {self.full_space.dim} knobs)"
+
+    # -- pruned <-> full ------------------------------------------------------
+
+    def decode(self, vector: np.ndarray) -> np.ndarray:
+        """Scatter a kept-dim internal vector into the full space."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.dim,):
+            raise ValueError(
+                f"expected vector of shape ({self.dim},), got {vector.shape}"
+            )
+        out = self._pinned_full.copy()
+        out[self.kept_indices] = vector
+        return out
+
+    def decode_matrix(self, vectors: np.ndarray) -> np.ndarray:
+        """Batch :meth:`decode`: ``(N, dim)`` -> ``(N, full_dim)``."""
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected vectors of shape (N, {self.dim}), got {vectors.shape}"
+            )
+        out = np.tile(self._pinned_full, (vectors.shape[0], 1))
+        out[:, self.kept_indices] = vectors
+        return out
+
+    def encode(self, full_vector: np.ndarray) -> np.ndarray:
+        """Gather a full-space internal vector down to the kept knobs."""
+        full_vector = np.asarray(full_vector, dtype=float)
+        if full_vector.shape != (self.full_space.dim,):
+            raise ValueError(
+                f"expected vector of shape ({self.full_space.dim},), "
+                f"got {full_vector.shape}"
+            )
+        return full_vector[self.kept_indices].copy()
+
+    # -- full-space materialization -------------------------------------------
+
+    def to_dict(self, vector: np.ndarray) -> Dict[str, float]:
+        """A **full-space** dict: kept knobs decoded, dropped knobs pinned."""
+        return self.full_space.to_dict(self.decode(vector))
+
+    def default_dict(self) -> Dict[str, float]:
+        return self.full_space.to_dict(self.decode(self.default_vector()))
+
+    def pinned_dict(self) -> Dict[str, float]:
+        """Natural-unit values of the dropped (pinned) knobs."""
+        full = self.full_space.to_dict(self._pinned_full)
+        return {name: full[name] for name in self.dropped_names}
+
+
+# -- re-ranking on task switches ----------------------------------------------------
+
+
+class ImportanceTracker:
+    """Keeps a workload's :class:`KnobRanking` fresh across regime changes.
+
+    :meth:`attach` chains onto an optimizer's ``switch_warm_start`` hook:
+    when its :class:`~repro.core.switch.TaskSwitchDetector` fires, the
+    tracker re-runs the deterministic sensitivity sweep at the firing
+    observation's data scale (each re-rank derives its seed from the base
+    seed plus the re-rank count, so histories replay exactly), appends the
+    result to :attr:`rankings`, and then delegates to any previously
+    installed warm start.  The live session's dimensionality stays fixed —
+    a refreshed ranking selects the subspace for the *next* session.
+    """
+
+    def __init__(
+        self,
+        plan,
+        space: ConfigSpace,
+        *,
+        simulator=None,
+        top_k: int = 3,
+        n_oat_points: int = 9,
+        n_trajectories: int = 8,
+        morris_delta: float = 0.25,
+        seed: int = 0,
+    ):
+        self.plan = plan
+        self.space = space
+        self.simulator = simulator
+        self.top_k = int(top_k)
+        self.n_oat_points = int(n_oat_points)
+        self.n_trajectories = int(n_trajectories)
+        self.morris_delta = float(morris_delta)
+        self.seed = int(seed)
+        self._base_size = max(
+            float(getattr(plan, "total_leaf_cardinality", 1.0)), 1.0
+        )
+        self.rankings: List[KnobRanking] = [self._rank(data_scale=1.0, index=0)]
+
+    def _rank(self, data_scale: float, index: int) -> KnobRanking:
+        return rank_knobs(
+            self.plan,
+            self.space,
+            simulator=self.simulator,
+            n_oat_points=self.n_oat_points,
+            n_trajectories=self.n_trajectories,
+            morris_delta=self.morris_delta,
+            data_scale=data_scale,
+            seed=self.seed + index,
+        )
+
+    @property
+    def ranking(self) -> KnobRanking:
+        """The latest ranking."""
+        return self.rankings[-1]
+
+    @property
+    def rerank_count(self) -> int:
+        return len(self.rankings) - 1
+
+    def pruned_space(
+        self, k: Optional[int] = None, pins: Optional[Mapping[str, float]] = None
+    ) -> PrunedSpace:
+        """A :class:`PrunedSpace` over the latest ranking's top knobs."""
+        return PrunedSpace.from_ranking(
+            self.ranking, self.space, k if k is not None else self.top_k,
+            pins=pins,
+        )
+
+    def rerank(self, data_scale: float = 1.0) -> KnobRanking:
+        """Force a re-rank at ``data_scale`` (what a switch fire triggers)."""
+        ranking = self._rank(data_scale=data_scale, index=len(self.rankings))
+        self.rankings.append(ranking)
+        telemetry.counter("importance.reranks").inc()
+        return ranking
+
+    def attach(self, optimizer) -> None:
+        """Chain the re-rank onto ``optimizer.switch_warm_start``."""
+        previous = getattr(optimizer, "switch_warm_start", None)
+
+        def rerank_then_warm_start(obs):
+            self.rerank(data_scale=max(obs.data_size, 1.0) / self._base_size)
+            return previous(obs) if previous is not None else None
+
+        optimizer.switch_warm_start = rerank_then_warm_start

@@ -116,6 +116,29 @@ class TuningSession:
             place configuration-independent pathologies (fig15's variance
             and drift multipliers) enter the loop.  ``true_seconds`` is
             untouched.
+
+    The remaining extension hooks live on the *optimizer*, not the session
+    (the session reads them through the ``Optimizer`` surface):
+
+    * ``optimizer.switch_detector`` — a
+      :class:`~repro.core.switch.TaskSwitchDetector` consulted per
+      observation; when it declares a regime change the optimizer
+      re-anchors and :attr:`switch_count` reflects it here.
+    * ``optimizer.switch_warm_start`` — ``(Observation) ->
+      Optional[vector]`` consulted on a declared switch for a
+      post-re-anchor starting point (the retrieval corpus plugs in here,
+      and :meth:`repro.core.importance.ImportanceTracker.attach` chains a
+      deterministic knob re-rank onto it).
+    * ``optimizer.safe_gate`` — a
+      :class:`~repro.core.switch.SafeExplorationGate` clamping post-switch
+      exploration.
+    * ``optimizer.space`` — any :class:`~repro.core.config_space.ConfigSpace`,
+      including a :class:`~repro.core.importance.PrunedSpace`: the
+      session's single per-step ``space.to_dict(vector)`` call is the
+      decode point, so a pruned optimizer still materializes full-space
+      configs (dropped knobs pinned) for the simulator and the trace.
+
+    The tier map for everything above is in ``docs/testing.md``.
     """
 
     def __init__(

@@ -8,6 +8,7 @@ mode by default, ``--full`` for paper-scale replication counts).
 from . import (
     ablation_embedding,
     ablation_find_best,
+    ablation_knob_pruning,
     ablation_window,
     app_level_joint,
     ext_categorical,
@@ -16,6 +17,7 @@ from . import (
     ext_knob_count,
     ext_price_performance,
     ext_retrieval_warm_start,
+    ext_stage_tuning,
     ext_streaming,
     fig01_shuffle_partitions,
     fig02_noisy_convergence,
@@ -48,6 +50,7 @@ ALL_EXPERIMENTS = {
     "fig16": fig16_external_customers,
     "ablation_embedding": ablation_embedding,
     "ablation_find_best": ablation_find_best,
+    "ablation_knob_pruning": ablation_knob_pruning,
     "ablation_window": ablation_window,
     "app_level_joint": app_level_joint,
     "ext_categorical": ext_categorical,
@@ -56,6 +59,7 @@ ALL_EXPERIMENTS = {
     "ext_knob_count": ext_knob_count,
     "ext_price_performance": ext_price_performance,
     "ext_retrieval_warm_start": ext_retrieval_warm_start,
+    "ext_stage_tuning": ext_stage_tuning,
     "ext_streaming": ext_streaming,
 }
 

@@ -1,0 +1,132 @@
+"""Ablation: tuning the top-k knobs of a sensitivity ranking vs. all eight.
+
+LOCAT-style space pruning (PAPERS.md, 2203.14889) claims most of a Spark
+workload's headroom lives in a handful of knobs; the rest only slow the
+search down.  This ablation quantifies that on the simulator with the
+optimizer for which dimensionality has a real price: Bayesian optimization
+under the standard ``n_init = 2 * dim + 1`` random initial design.  For
+each TPC-DS workload a deterministic
+:func:`repro.core.importance.rank_knobs` sweep selects the top-4 of the
+8-knob catalog (on these workloads every knob past rank 4 scores at or
+near zero, so the subspace still contains the full-space optimum), and two
+otherwise identical BO sessions tune the full space and the
+:class:`~repro.core.importance.PrunedSpace` (dropped knobs pinned at their
+defaults through the decode path).  The full space burns 17 random steps
+before its surrogate leads; the pruned space needs 9.
+
+The headline metric is *steps to parity*, replicated over ``R`` seeds: the
+per-seed first step at which the pruned session's best-seen true time
+reaches the full session's best-by-step-``N_REF``, summarized by the
+median.  The acceptance bar (asserted by
+``tests/experiments/test_stage_experiments.py`` and the ``importance``
+section of ``BENCH_perf.json``) is a median strictly under ``N_REF`` —
+pruning reaches the full space's best-by-step-N cost in strictly fewer
+steps — on at least 2 of the 3 workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.importance import PrunedSpace, rank_knobs
+from ..core.session import TuningSession
+from ..optimizers.contextual_bo import ContextualBayesianOptimization
+from ..sparksim.configs import full_space
+from ..sparksim.executor import SparkSimulator
+from ..sparksim.noise import low_noise
+from ..workloads.tpcds import tpcds_plan
+from .runner import ExperimentResult
+
+__all__ = ["run", "steps_to_reach", "DEFAULT_QUERIES", "TOP_K", "N_REF"]
+
+DEFAULT_QUERIES = (3, 7, 19)
+TOP_K = 4
+N_REF = 20     # the full arm's budget that defines each seed's target cost
+N_SEEDS = 8
+
+
+def steps_to_reach(best_so_far: np.ndarray, target: float) -> int:
+    """First 1-based step at which ``best_so_far`` <= ``target``.
+
+    Returns ``len(best_so_far) + 1`` when the target is never reached, so
+    "fewer steps" comparisons stay well-defined.
+    """
+    best_so_far = np.asarray(best_so_far, dtype=float)
+    hits = np.nonzero(best_so_far <= target)[0]
+    return int(hits[0]) + 1 if len(hits) else len(best_so_far) + 1
+
+
+def _tune(plan, space, *, seed: int, n_iterations: int) -> np.ndarray:
+    """Best-seen true seconds after each iteration of one BO session."""
+    simulator = SparkSimulator(noise=low_noise(), seed=seed * 101 + 1)
+    optimizer = ContextualBayesianOptimization(
+        space, embedding_dim=0, n_init=2 * space.dim + 1, seed=seed * 13 + 7,
+    )
+    trace = TuningSession(plan, simulator, optimizer).run(n_iterations)
+    return np.minimum.accumulate([r.true_seconds for r in trace.records])
+
+
+def run(
+    quick: bool = False,
+    seed: int = 0,
+    query_ids: Sequence[int] = DEFAULT_QUERIES,
+) -> ExperimentResult:
+    n_iterations = 24 if quick else 30
+    space = full_space()
+
+    result = ExperimentResult(
+        name="ablation_knob_pruning",
+        description=(
+            "Full 8-knob BO vs. the ranking's top-4 subspace on TPC-DS "
+            f"(n_init = 2*dim+1, {N_SEEDS} seeds): median steps for the "
+            f"pruned arm to reach the full arm's best-by-step-{N_REF}."
+        ),
+    )
+
+    wins = 0
+    for qid in query_ids:
+        plan = tpcds_plan(qid, 100.0)
+        ranking = rank_knobs(
+            plan, space,
+            simulator=SparkSimulator(noise=low_noise(), seed=seed),
+            seed=seed,
+        )
+        pruned = PrunedSpace.from_ranking(ranking, space, TOP_K)
+
+        steps = []
+        mean_full = np.zeros(n_iterations)
+        mean_pruned = np.zeros(n_iterations)
+        for s in range(N_SEEDS):
+            run_seed = seed * 997 + s * 31 + qid
+            best_full = _tune(plan, space, seed=run_seed, n_iterations=n_iterations)
+            best_pruned = _tune(plan, pruned, seed=run_seed, n_iterations=n_iterations)
+            steps.append(steps_to_reach(best_pruned, float(best_full[N_REF - 1])))
+            mean_full += best_full / N_SEEDS
+            mean_pruned += best_pruned / N_SEEDS
+        median_steps = float(np.median(steps))
+        if median_steps < N_REF:
+            wins += 1
+
+        result.series[f"q{qid}_mean_best_full"] = mean_full
+        result.series[f"q{qid}_mean_best_pruned"] = mean_pruned
+        result.scalars[f"q{qid}_median_steps_pruned"] = median_steps
+        result.scalars[f"q{qid}_kept_knobs"] = float(pruned.dim)
+
+    result.scalars["n_workloads"] = float(len(query_ids))
+    result.scalars["pruned_faster_workloads"] = float(wins)
+    result.scalars["top_k"] = float(TOP_K)
+    result.scalars["n_ref"] = float(N_REF)
+    result.notes.append(
+        "Acceptance bar: the pruned subspace reaches the full space's "
+        f"best-by-step-{N_REF} cost in strictly fewer steps (median over "
+        f"{N_SEEDS} seeds) on at least 2 of the 3 workloads."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .report import render_result
+
+    print(render_result(run(quick=True)))

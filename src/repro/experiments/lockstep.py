@@ -1115,12 +1115,19 @@ class LockstepSessions:
     def traces(self) -> List[TuningTrace]:
         """Materialize per-session :class:`TuningTrace` objects."""
         n = self._t
-        names = list(self.space.names)
+        flat = self._vectors[:, :n].reshape(self.k * n, self.dim)
+        # Pruned-subspace sessions (repro.core.importance.PrunedSpace)
+        # decode to full-space vectors so trace configs are complete —
+        # matching the full dicts the sequential path's to_dict() emits.
+        space = self.space
+        decode = getattr(space, "decode_matrix", None)
+        if decode is not None:
+            flat = decode(flat)
+            space = space.full_space
+        names = list(space.names)
         # One flattened conversion for all sessions (bitwise identical to
         # per-session calls: every transform is elementwise).
-        all_natural = self.space.to_natural_matrix(
-            self._vectors[:, :n].reshape(self.k * n, self.dim)
-        ).reshape(self.k, n, -1)
+        all_natural = space.to_natural_matrix(flat).reshape(self.k, n, -1)
         # IterationRecord is a frozen dataclass, so its generated __init__
         # routes every field through object.__setattr__; at K·N records that
         # becomes the dominant materialization cost.  Build instances by

@@ -21,7 +21,15 @@ from .forest import RandomForestRegressor
 from .gp import GaussianProcessRegressor
 from .kernels import Kernel, Matern52Kernel, RBFKernel
 from .linear import LinearRegression, PolynomialFeatures, RidgeRegression
-from .metrics import mae, mape, quantile_band, r2_score, rmse, spearman_rho
+from .metrics import (
+    mae,
+    mape,
+    permutation_importance,
+    quantile_band,
+    r2_score,
+    rmse,
+    spearman_rho,
+)
 from .model_selection import KFold, cross_val_score, train_test_split
 from .robust import TheilSenRegressor
 from .scaler import MinMaxScaler, Pipeline, StandardScaler
@@ -62,6 +70,7 @@ __all__ = [
     "mae",
     "mape",
     "probability_of_improvement",
+    "permutation_importance",
     "quantile_band",
     "r2_score",
     "rmse",

@@ -23,10 +23,23 @@ from .configs import (
     query_level_space,
 )
 from .cost_model import BatchCostBreakdown, CostBreakdown, CostModel, CostParameters
-from .events import AppEndEvent, QueryEndEvent, events_from_jsonl, events_to_jsonl
+from .events import (
+    AppEndEvent,
+    QueryEndEvent,
+    StageRuntimeEvent,
+    events_from_jsonl,
+    events_to_jsonl,
+)
 from .executor import QueryRunResult, SparkSimulator
 from .noise import NoiseModel, high_noise, low_noise, no_noise
+from .overlay import StageConfigOverlay, StageOverride
 from .plan import OP_TYPES, Operator, OpType, PhysicalPlan
+from .replan import (
+    ReplanPolicy,
+    ReplanResult,
+    TargetBytesPerPartition,
+    run_with_replan,
+)
 
 __all__ = [
     "AppEndEvent",
@@ -51,8 +64,14 @@ __all__ = [
     "Pool",
     "QueryEndEvent",
     "QueryRunResult",
+    "ReplanPolicy",
+    "ReplanResult",
     "STANDARD_POOLS",
     "SparkSimulator",
+    "StageConfigOverlay",
+    "StageOverride",
+    "StageRuntimeEvent",
+    "TargetBytesPerPartition",
     "app_level_space",
     "clear_plan_arrays_cache",
     "default_pool",
@@ -67,4 +86,5 @@ __all__ = [
     "plan_arrays_cache_stats",
     "query_level_space",
     "resolve_layouts",
+    "run_with_replan",
 ]

@@ -252,6 +252,13 @@ class ConfigColumns:
         vectors = np.asarray(vectors, dtype=float)
         if vectors.ndim == 1:
             vectors = vectors[None, :]
+        # Pruned-subspace batches (repro.core.importance.PrunedSpace) decode
+        # to full-space vectors here, so the kernel always sees complete
+        # configurations — kept knobs bitwise, dropped knobs pinned.
+        decode = getattr(space, "decode_matrix", None)
+        if decode is not None:
+            vectors = decode(vectors)
+            space = space.full_space
         matrix = space.to_natural_matrix(vectors)
         return cls(
             n=matrix.shape[0],

@@ -29,6 +29,7 @@ import numpy as np
 from .. import telemetry
 from .batch import ConfigColumns, LayoutArrays, plan_arrays, resolve_layouts
 from .cluster import ExecutorLayout, GIB, Pool
+from .overlay import StageConfigOverlay, StageOverride
 from .plan import Operator, OpType, PhysicalPlan
 
 __all__ = ["CostParameters", "CostBreakdown", "BatchCostBreakdown", "CostModel"]
@@ -135,26 +136,36 @@ class CostModel:
         return waves * per_task_s
 
     def _scan_cost(
-        self, op: Operator, config: Mapping[str, float], layout: ExecutorLayout
+        self, op: Operator, config: Mapping[str, float], layout: ExecutorLayout,
+        override: Optional[StageOverride] = None,
     ) -> Tuple[float, Dict[str, float]]:
         bytes_total = op.bytes_in
-        max_part = float(config.get("spark.sql.files.maxPartitionBytes", 128 * 1024 * 1024))
+        if override is not None and override.max_partition_bytes is not None:
+            max_part = float(override.max_partition_bytes)
+        else:
+            max_part = float(config.get("spark.sql.files.maxPartitionBytes", 128 * 1024 * 1024))
+        cores = layout.total_cores
+        if override is not None and override.task_parallelism is not None:
+            cores = min(cores, max(int(override.task_parallelism), 1))
         n_parts = max(1.0, math.ceil(bytes_total / max(max_part, 1.0)))
         per_task_bytes = bytes_total / n_parts
         per_task_s = (
             per_task_bytes / (self.params.scan_throughput_mb_s * 1e6)
             + self.params.task_overhead_s
         )
-        time = self._wave_time(n_parts, per_task_s, layout.total_cores)
+        time = self._wave_time(n_parts, per_task_s, cores)
         time += n_parts * self.params.scheduling_overhead_s
         return time, {"scan_tasks": n_parts, "scan_bytes": bytes_total}
 
     def _shuffle_cost(
         self, rows: float, row_bytes: float, config: Mapping[str, float],
-        layout: ExecutorLayout,
+        layout: ExecutorLayout, override: Optional[StageOverride] = None,
     ) -> Tuple[float, Dict[str, float]]:
         data_bytes = rows * row_bytes
-        partitions = max(1.0, float(config.get("spark.sql.shuffle.partitions", 200)))
+        if override is not None and override.shuffle_partitions is not None:
+            partitions = max(1.0, float(override.shuffle_partitions))
+        else:
+            partitions = max(1.0, float(config.get("spark.sql.shuffle.partitions", 200)))
         throughput = self.params.shuffle_throughput_mb_s * 1e6
         if layout.offheap_gb_per_executor > 0:
             throughput /= self.params.offheap_shuffle_discount  # faster with off-heap
@@ -162,8 +173,12 @@ class CostModel:
         throughput *= _CODEC_SHUFFLE_FACTOR.get(codec, 1.0)
         throughput /= _CODEC_CPU_TAX.get(codec, 1.0)
 
+        cores = layout.total_cores
+        if override is not None and override.task_parallelism is not None:
+            cores = min(cores, max(int(override.task_parallelism), 1))
+
         # Map side: write all data once, fully parallel.
-        write_s = data_bytes / (throughput * layout.total_cores)
+        write_s = data_bytes / (throughput * cores)
 
         # Reduce side: the slowest task governs each wave.  Skewed keys make
         # the hottest partition larger; more partitions dilute the skew.
@@ -174,15 +189,16 @@ class CostModel:
         hot_task_bytes = per_task_bytes * straggler
 
         # Memory spill: reducers that exceed their memory share hit disk.
-        mem_budget = (
-            layout.memory_gb_per_core * GIB * self.params.executor_memory_fraction
-        )
+        fraction = self.params.executor_memory_fraction
+        if override is not None and override.memory_fraction is not None:
+            fraction = float(override.memory_fraction)
+        mem_budget = layout.memory_gb_per_core * GIB * fraction
         spill = 0.0
         if hot_task_bytes > mem_budget:
             overflow = hot_task_bytes / mem_budget - 1.0
             spill = min(self.params.spill_coefficient * overflow, 8.0)
         per_task_s = (hot_task_bytes / throughput) * (1.0 + spill) + self.params.task_overhead_s
-        read_s = self._wave_time(partitions, per_task_s, layout.total_cores)
+        read_s = self._wave_time(partitions, per_task_s, cores)
         sched_s = partitions * self.params.scheduling_overhead_s
         total = write_s + read_s + sched_s
         return total, {
@@ -203,7 +219,7 @@ class CostModel:
 
     def _join_cost(
         self, op: Operator, plan: PhysicalPlan, config: Mapping[str, float],
-        layout: ExecutorLayout,
+        layout: ExecutorLayout, override: Optional[StageOverride] = None,
     ) -> Tuple[float, Dict[str, float]]:
         children = [plan.operator(c) for c in op.children]
         if len(children) >= 2:
@@ -240,8 +256,10 @@ class CostModel:
             metrics["broadcast_joins"] = 1.0
         else:
             # Sort-merge join: shuffle both sides on the join key, then merge.
+            # Stage overrides scope to the shuffle terms; the broadcast
+            # branch above has no per-stage knob in the catalog this models.
             shuffle_s, shuffle_m = self._shuffle_cost(
-                op.est_rows_in, op.row_bytes, config, layout
+                op.est_rows_in, op.row_bytes, config, layout, override
             )
             n = max(op.est_rows_in, 2.0)
             sort_s = self._cpu_cost(n * math.log2(n) / 20.0, layout, 1.0, config)
@@ -258,14 +276,18 @@ class CostModel:
         plan: PhysicalPlan,
         config: Mapping[str, float],
         layout: Optional[ExecutorLayout] = None,
+        overlay: Optional[StageConfigOverlay] = None,
     ) -> CostBreakdown:
         """Noiseless execution-time estimate for ``plan`` under ``config``.
 
         Thin wrapper over :meth:`estimate_batch` on a 1-row batch; results
         are bit-identical to :meth:`estimate_scalar`, the legacy
-        per-operator loop kept as the golden reference.
+        per-operator loop kept as the golden reference.  ``overlay``
+        applies per-stage knob overrides (see ``repro.sparksim.overlay``).
         """
-        batch = self.estimate_batch(plan, [config], layout=layout, breakdown=True)
+        batch = self.estimate_batch(
+            plan, [config], layout=layout, overlay=overlay, breakdown=True
+        )
         return batch.breakdown_at(0)
 
     def estimate_scalar(
@@ -273,6 +295,7 @@ class CostModel:
         plan: PhysicalPlan,
         config: Mapping[str, float],
         layout: Optional[ExecutorLayout] = None,
+        overlay: Optional[StageConfigOverlay] = None,
     ) -> CostBreakdown:
         """Reference implementation: the original scalar per-operator loop.
 
@@ -285,23 +308,24 @@ class CostModel:
         per_op: Dict[int, float] = {}
         metrics: Dict[str, float] = {"tasks": 0.0}
         for op in plan.operators:
+            ov = overlay.get(op.op_id) if overlay is not None else None
             if op.op_type == OpType.TABLE_SCAN:
-                cost, m = self._scan_cost(op, config, layout)
+                cost, m = self._scan_cost(op, config, layout, ov)
                 metrics["tasks"] += m.get("scan_tasks", 0.0)
             elif op.op_type == OpType.EXCHANGE:
-                cost, m = self._shuffle_cost(op.est_rows_in, op.row_bytes, config, layout)
+                cost, m = self._shuffle_cost(op.est_rows_in, op.row_bytes, config, layout, ov)
                 metrics["tasks"] += m.get("shuffle_partitions", 0.0)
             elif op.op_type == OpType.JOIN:
-                cost, m = self._join_cost(op, plan, config, layout)
+                cost, m = self._join_cost(op, plan, config, layout, ov)
                 metrics["tasks"] += m.get("shuffle_partitions", 0.0)
             elif op.op_type == OpType.HASH_AGGREGATE:
                 shuffle_s, m = self._shuffle_cost(
-                    op.est_rows_in * 0.5, op.row_bytes, config, layout
+                    op.est_rows_in * 0.5, op.row_bytes, config, layout, ov
                 )
                 cost = shuffle_s + self._cpu_cost(op.est_rows_in, layout, 1.3, config)
                 metrics["tasks"] += m.get("shuffle_partitions", 0.0)
             elif op.op_type in (OpType.SORT, OpType.WINDOW):
-                shuffle_s, m = self._shuffle_cost(op.est_rows_in, op.row_bytes, config, layout)
+                shuffle_s, m = self._shuffle_cost(op.est_rows_in, op.row_bytes, config, layout, ov)
                 n = max(op.est_rows_in, 2.0)
                 factor = 1.5 if op.op_type == OpType.WINDOW else 1.0
                 cost = shuffle_s + self._cpu_cost(n * math.log2(n) / 25.0, layout, factor, config)
@@ -331,6 +355,7 @@ class CostModel:
         pool: Optional[Pool] = None,
         data_scale: float = 1.0,
         data_scales: Optional[np.ndarray] = None,
+        overlay: Optional[StageConfigOverlay] = None,
         breakdown: bool = False,
     ) -> Union[np.ndarray, BatchCostBreakdown]:
         """Noiseless estimates for all N configurations at once.
@@ -349,6 +374,10 @@ class CostModel:
         This is what lets the lock-step engine evaluate K sessions with
         heterogeneous data-size drift in one kernel pass.  Mutually
         exclusive with a non-unit ``data_scale`` and with ``breakdown``.
+
+        ``overlay`` applies the same per-stage knob overrides to every row
+        (see ``repro.sparksim.overlay``); results stay bit-identical to N
+        calls of ``estimate_scalar(..., overlay=overlay)``.
         """
         started = time.perf_counter() if telemetry.enabled() else None
         cols = ConfigColumns.coerce(configs, space)
@@ -373,7 +402,7 @@ class CostModel:
             layouts = resolve_layouts(cols, pool)
         with np.errstate(divide="ignore", invalid="ignore"):
             result = self._batch_kernel(arrays, cols, layouts, breakdown,
-                                        scales=data_scales)
+                                        scales=data_scales, overlay=overlay)
         if started is not None:
             telemetry.counter("sparksim.batch_estimates").inc()
             telemetry.counter("sparksim.batch_configs").inc(cols.n)
@@ -385,6 +414,7 @@ class CostModel:
     def _batch_kernel(
         self, arrays, cols: ConfigColumns, layouts: LayoutArrays,
         want_breakdown: bool, scales: Optional[np.ndarray] = None,
+        overlay: Optional[StageConfigOverlay] = None,
     ) -> BatchCostBreakdown:
         """The vectorized analogue of :meth:`estimate_scalar`.
 
@@ -468,19 +498,49 @@ class CostModel:
             p.skew_reference_partitions / partitions
         )
 
-        def shuffle(data_bytes):
-            """(read+write time, spill slowdown) for one exchange of data_bytes."""
-            write_s = data_bytes / (throughput * cores)
-            hot = (data_bytes / partitions) * straggler
-            overflow = hot / shuffle_mem_budget - 1.0
+        def shuffle(data_bytes, parts=partitions, strag=straggler,
+                    waves=shuffle_waves, sched=shuffle_sched,
+                    budget=shuffle_mem_budget, c=cores):
+            """(read+write time, spill slowdown) for one exchange of data_bytes.
+
+            Defaults are the app-level columns bound at definition time; a
+            stage override passes its own terms via :func:`stage_terms`.
+            """
+            write_s = data_bytes / (throughput * c)
+            hot = (data_bytes / parts) * strag
+            overflow = hot / budget - 1.0
             spill = where_(
-                hot > shuffle_mem_budget,
+                hot > budget,
                 minimum_(p.spill_coefficient * overflow, 8.0),
                 0.0,
             )
             per_task_s = (hot / throughput) * (1.0 + spill) + p.task_overhead_s
-            total = write_s + shuffle_waves * per_task_s + shuffle_sched
+            total = write_s + waves * per_task_s + sched
             return total, spill
+
+        def stage_terms(ov):
+            """Per-stage shuffle terms for one override, mirroring the
+            scalar ``_shuffle_cost`` arithmetic order exactly."""
+            if ov.task_parallelism is None:
+                c = cores
+            else:
+                c = minimum_(cores, float(max(int(ov.task_parallelism), 1)))
+            if ov.shuffle_partitions is None:
+                parts = partitions
+            else:
+                parts = maximum_(1.0, float(ov.shuffle_partitions))
+            strag = 1.0 + p.skew_coefficient * sqrt_(
+                p.skew_reference_partitions / parts
+            )
+            waves = ceil_(maximum_(parts, 1.0) / c)
+            sched = parts * p.scheduling_overhead_s
+            if ov.memory_fraction is None:
+                budget = shuffle_mem_budget
+            else:
+                budget = (
+                    layouts.memory_gb_per_core * GIB * float(ov.memory_fraction)
+                )
+            return parts, strag, waves, sched, budget, c
 
         def cpu(rows, factor):
             return factor * rows / cpu_rate_cores
@@ -512,6 +572,10 @@ class CostModel:
 
         for i in range(arrays.n_ops):
             op_type = arrays.op_types[i]
+            # Stage override for this operator (None on every existing path).
+            ov = overlay.get(arrays.op_ids[i]) if overlay is not None else None
+            sh = () if ov is None else stage_terms(ov)
+            op_parts = partitions if ov is None else sh[0]
             # Per-config scales multiply the *rows* first; bytes derive from
             # the scaled rows — the exact order of plan.scaled(s).
             rows_in = (
@@ -522,17 +586,25 @@ class CostModel:
                 bytes_total = (
                     arrays.bytes_in[i] if scales is None else rows_in * row_bytes
                 )
-                n_parts = maximum_(1.0, ceil_(bytes_total / max_part))
+                if ov is None:
+                    mp, c = max_part, cores
+                else:
+                    if ov.max_partition_bytes is None:
+                        mp = max_part
+                    else:
+                        mp = maximum_(float(ov.max_partition_bytes), 1.0)
+                    c = sh[5]
+                n_parts = maximum_(1.0, ceil_(bytes_total / mp))
                 per_task_s = (
                     (bytes_total / n_parts) / scan_denom + p.task_overhead_s
                 )
-                cost = ceil_(maximum_(n_parts, 1.0) / cores) * per_task_s
+                cost = ceil_(maximum_(n_parts, 1.0) / c) * per_task_s
                 cost = cost + n_parts * p.scheduling_overhead_s
                 add_tasks(n_parts)
                 add_metric("scan_bytes", bytes_total)
             elif op_type == OpType.EXCHANGE:
-                cost, spill = shuffle(rows_in * row_bytes)
-                add_tasks(partitions)
+                cost, spill = shuffle(rows_in * row_bytes, *sh)
+                add_tasks(op_parts)
                 add_metric("shuffle_bytes", rows_in * row_bytes)
                 add_metric("spilled", where_(spill > 0, 1.0, 0.0))
             elif op_type == OpType.JOIN:
@@ -562,8 +634,8 @@ class CostModel:
                     t_bc * (1.0 + minimum_(pressure * pressure, 25.0)),
                     t_bc,
                 )
-                # Sort-merge join.
-                shuffle_s, spill = shuffle(rows_in * row_bytes)
+                # Sort-merge join (stage overrides scope to its shuffle).
+                shuffle_s, spill = shuffle(rows_in * row_bytes, *sh)
                 if scales is None:
                     n_rows = max(rows_in, 2.0)
                     nlogn = n_rows * math.log2(n_rows)
@@ -579,7 +651,7 @@ class CostModel:
                 if want_breakdown:
                     is_broadcast = np.broadcast_to(is_broadcast, (n,))
                     smj = ~is_broadcast
-                    add_tasks(np.where(smj, partitions, 0.0))
+                    add_tasks(np.where(smj, op_parts, 0.0))
                     add_metric(
                         "broadcast_memory_pressure", pressure,
                         is_broadcast & pressured,
@@ -589,13 +661,13 @@ class CostModel:
                     add_metric("spilled", where_(spill > 0, 1.0, 0.0), smj)
                     add_metric("sort_merge_joins", 1.0, smj)
             elif op_type == OpType.HASH_AGGREGATE:
-                shuffle_s, spill = shuffle((rows_in * 0.5) * row_bytes)
+                shuffle_s, spill = shuffle((rows_in * 0.5) * row_bytes, *sh)
                 cost = shuffle_s + cpu(rows_in, 1.3)
-                add_tasks(partitions)
+                add_tasks(op_parts)
                 add_metric("shuffle_bytes", (rows_in * 0.5) * row_bytes)
                 add_metric("spilled", where_(spill > 0, 1.0, 0.0))
             elif op_type in (OpType.SORT, OpType.WINDOW):
-                shuffle_s, spill = shuffle(rows_in * row_bytes)
+                shuffle_s, spill = shuffle(rows_in * row_bytes, *sh)
                 if scales is None:
                     n_rows = max(rows_in, 2.0)
                     nlogn = n_rows * math.log2(n_rows)
@@ -604,7 +676,7 @@ class CostModel:
                     nlogn = n_rows * _elementwise_log2(n_rows)
                 factor = 1.5 if op_type == OpType.WINDOW else 1.0
                 cost = shuffle_s + cpu(nlogn / 25.0, factor)
-                add_tasks(partitions)
+                add_tasks(op_parts)
                 add_metric("shuffle_bytes", rows_in * row_bytes)
                 add_metric("spilled", where_(spill > 0, 1.0, 0.0))
             else:  # Filter, Project, Union, Limit — narrow transforms

@@ -11,7 +11,13 @@ import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["QueryEndEvent", "AppEndEvent", "events_to_jsonl", "events_from_jsonl"]
+__all__ = [
+    "QueryEndEvent",
+    "AppEndEvent",
+    "StageRuntimeEvent",
+    "events_to_jsonl",
+    "events_from_jsonl",
+]
 
 
 def _known_fields(cls, payload: dict) -> dict:
@@ -79,7 +85,40 @@ class AppEndEvent:
         return cls(**_known_fields(cls, json.loads(data)))
 
 
-_EVENT_TYPES = {"QueryEnd": QueryEndEvent, "AppEnd": AppEndEvent}
+@dataclass(frozen=True)
+class StageRuntimeEvent:
+    """Emitted after an exchange materializes, with *observed* sizes.
+
+    This is the AQE-style runtime feedback channel: the planner's
+    ``estimated_bytes`` for the exchange versus the ``observed_bytes`` it
+    actually shuffled.  A :class:`~repro.sparksim.replan.ReplanPolicy`
+    consumes these mid-query to swap the overrides of stages that have not
+    started yet (see ``repro.sparksim.replan``).
+    """
+
+    app_id: str
+    query_signature: str
+    op_id: int
+    op_type: str
+    estimated_bytes: float
+    observed_bytes: float
+    observed_rows: float = 0.0
+    iteration: int = 0
+    event_type: str = "StageRuntime"
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, data: str) -> "StageRuntimeEvent":
+        return cls(**_known_fields(cls, json.loads(data)))
+
+
+_EVENT_TYPES = {
+    "QueryEnd": QueryEndEvent,
+    "AppEnd": AppEndEvent,
+    "StageRuntime": StageRuntimeEvent,
+}
 
 
 def events_to_jsonl(events) -> str:

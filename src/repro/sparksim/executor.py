@@ -67,10 +67,11 @@ class SparkSimulator:
         )
 
     def true_time(
-        self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float = 1.0
+        self, plan: PhysicalPlan, config: Mapping[str, float],
+        data_scale: float = 1.0, overlay=None,
     ) -> float:
         """Noiseless execution time — the quantity tuning tries to minimize."""
-        return self._estimate(plan, config, data_scale).total_seconds
+        return self._estimate(plan, config, data_scale, overlay).total_seconds
 
     def true_time_batch(
         self,
@@ -80,6 +81,7 @@ class SparkSimulator:
         space=None,
         data_scale: float = 1.0,
         data_scales: Optional[np.ndarray] = None,
+        overlay=None,
     ) -> np.ndarray:
         """Noiseless execution times for N configurations at once.
 
@@ -89,17 +91,19 @@ class SparkSimulator:
         bit-identical to ``true_time(plan, configs[i], data_scale)`` — or,
         with per-config ``data_scales`` (an ``(N,)`` array, the lock-step
         engine's path), to ``true_time(plan, configs[i], data_scales[i])``.
+        ``overlay`` applies stage-scoped knob overrides to every row (see
+        ``repro.sparksim.overlay``).
         """
         if data_scales is not None:
             if data_scale != 1.0:
                 raise ValueError("pass data_scale or data_scales, not both")
             return self.cost_model.estimate_batch(
                 plan, configs, space=space, pool=self.pool,
-                data_scales=data_scales,
+                data_scales=data_scales, overlay=overlay,
             )
         scaled = self._scaled_plan(plan, data_scale)
         return self.cost_model.estimate_batch(
-            scaled, configs, space=space, pool=self.pool
+            scaled, configs, space=space, pool=self.pool, overlay=overlay
         )
 
     def observe_true(self, true_seconds: float) -> float:
@@ -133,20 +137,26 @@ class SparkSimulator:
         return scaled
 
     def _estimate(
-        self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float
+        self, plan: PhysicalPlan, config: Mapping[str, float], data_scale: float,
+        overlay=None,
     ) -> CostBreakdown:
         scaled = self._scaled_plan(plan, data_scale)
         layout = ExecutorLayout.from_config(config, self.pool)
-        return self.cost_model.estimate(scaled, config, layout)
+        return self.cost_model.estimate(scaled, config, layout, overlay)
 
     def run(
         self,
         plan: PhysicalPlan,
         config: Mapping[str, float],
         data_scale: float = 1.0,
+        overlay=None,
     ) -> QueryRunResult:
-        """Execute ``plan`` once and return the (noisy) observed result."""
-        breakdown = self._estimate(plan, config, data_scale)
+        """Execute ``plan`` once and return the (noisy) observed result.
+
+        ``overlay`` applies stage-scoped knob overrides (see
+        ``repro.sparksim.overlay``); ``None`` is the whole-app path.
+        """
+        breakdown = self._estimate(plan, config, data_scale, overlay)
         observed = self.noise.apply(breakdown.total_seconds, self._rng)
         self.run_count += 1
         return QueryRunResult(
@@ -165,6 +175,7 @@ class SparkSimulator:
         *,
         space=None,
         data_scale: float = 1.0,
+        overlay=None,
     ) -> List[QueryRunResult]:
         """Execute ``plan`` under N configurations, one noise draw per config.
 
@@ -177,7 +188,7 @@ class SparkSimulator:
         cols = ConfigColumns.coerce(configs, space)
         scaled = self._scaled_plan(plan, data_scale)
         batch = self.cost_model.estimate_batch(
-            scaled, cols, pool=self.pool, breakdown=True
+            scaled, cols, pool=self.pool, overlay=overlay, breakdown=True
         )
         data_size = max(plan.total_leaf_cardinality * data_scale, 1.0)
         signature = plan.signature()

@@ -148,6 +148,25 @@ class PhysicalPlan:
     def leaves(self) -> List[Operator]:
         return [self._ops[n] for n in self._leaf_ids]
 
+    def exchange_ops(self) -> List[Operator]:
+        """The shuffle boundaries, in topological (execution) order.
+
+        Covers explicit ``Exchange`` nodes *and* the operators whose cost
+        embeds a shuffle (joins resolve to sort-merge past the broadcast
+        threshold; aggregates, sorts and windows always repartition).
+        These are the stage cut points: per-exchange overrides
+        (``repro.sparksim.overlay``) and the AQE-style re-plan hook
+        (``repro.sparksim.replan``) key on their ``op_id``.
+        """
+        boundaries = (
+            OpType.EXCHANGE,
+            OpType.JOIN,
+            OpType.HASH_AGGREGATE,
+            OpType.SORT,
+            OpType.WINDOW,
+        )
+        return [op for op in self.operators if op.op_type in boundaries]
+
     def operator(self, op_id: int) -> Operator:
         return self._ops[op_id]
 

@@ -1,0 +1,145 @@
+"""AQE-style mid-query re-planning over stage overrides.
+
+Spark's adaptive query execution re-optimizes the not-yet-started stages of
+a running query from the *observed* sizes of completed exchanges.  The
+simulator analogue walks a plan's exchanges in execution order, emits a
+:class:`~repro.sparksim.events.StageRuntimeEvent` per materialized exchange
+(planner estimate vs observed bytes), and lets a :class:`ReplanPolicy`
+swap the downstream stage's :class:`~repro.sparksim.overlay.StageOverride`
+before that stage runs.  Overrides freeze once their stage has started —
+re-planning only ever touches the future, never the past.
+
+Determinism contract (pinned by the ``stages`` tier): policies are pure
+functions of the event, so the same observed sizes always produce the same
+overlay and the same event stream — replaying a recorded actuals map
+reproduces the run bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .. import telemetry
+from .events import StageRuntimeEvent
+from .executor import QueryRunResult, SparkSimulator
+from .overlay import StageConfigOverlay, StageOverride
+from .plan import PhysicalPlan
+
+__all__ = [
+    "ReplanPolicy",
+    "TargetBytesPerPartition",
+    "ReplanResult",
+    "run_with_replan",
+]
+
+
+class ReplanPolicy:
+    """Decides a stage's override from its exchange's observed runtime size.
+
+    Subclasses implement :meth:`override_for` as a **pure function** of the
+    event (and the stage's current override): no RNG, no mutable state —
+    that is what makes re-planned runs replayable from recorded events.
+    Returning ``None`` keeps the current override.
+    """
+
+    def override_for(
+        self, event: StageRuntimeEvent, current: Optional[StageOverride]
+    ) -> Optional[StageOverride]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TargetBytesPerPartition(ReplanPolicy):
+    """Spark AQE's coalescing rule: size partitions to a target byte count.
+
+    ``partitions = clip(ceil(observed_bytes / target_bytes), min, max)`` —
+    undersized exchanges coalesce to fewer, larger partitions (less
+    scheduling and straggler overhead), oversized exchanges split further
+    (less spill).
+    """
+
+    target_bytes: float = 64.0 * 1024 * 1024
+    min_partitions: int = 1
+    max_partitions: int = 4000
+
+    def __post_init__(self) -> None:
+        if self.target_bytes <= 0:
+            raise ValueError("target_bytes must be > 0")
+        if not 1 <= self.min_partitions <= self.max_partitions:
+            raise ValueError("need 1 <= min_partitions <= max_partitions")
+
+    def override_for(
+        self, event: StageRuntimeEvent, current: Optional[StageOverride]
+    ) -> Optional[StageOverride]:
+        want = -(-int(event.observed_bytes) // int(self.target_bytes))  # ceil
+        partitions = min(max(want, self.min_partitions), self.max_partitions)
+        if current is not None and current.shuffle_partitions == partitions:
+            return None
+        base = current or StageOverride()
+        return StageOverride(
+            shuffle_partitions=partitions,
+            max_partition_bytes=base.max_partition_bytes,
+            memory_fraction=base.memory_fraction,
+            task_parallelism=base.task_parallelism,
+        )
+
+
+@dataclass
+class ReplanResult:
+    """Outcome of one re-planned execution."""
+
+    result: QueryRunResult
+    overlay: StageConfigOverlay
+    events: List[StageRuntimeEvent] = field(default_factory=list)
+    replans: int = 0
+
+
+def run_with_replan(
+    simulator: SparkSimulator,
+    plan: PhysicalPlan,
+    config: Mapping[str, float],
+    policy: ReplanPolicy,
+    *,
+    data_scale: float = 1.0,
+    actuals: Optional[Mapping[int, float]] = None,
+    initial_overlay: Optional[StageConfigOverlay] = None,
+    app_id: str = "app",
+    iteration: int = 0,
+) -> ReplanResult:
+    """Execute ``plan`` once with mid-query re-planning.
+
+    Walks the exchanges in execution order; each one's observed size is its
+    planner estimate times ``actuals.get(op_id, 1.0)`` (the cardinality
+    misestimation factor a real run would reveal — skew, bad statistics).
+    The policy may then re-plan *that* exchange's shuffle before it runs.
+    The accumulated overlay drives the final simulated execution, so the
+    noise stream advances exactly once, like a plain ``run``.
+    """
+    overlay = initial_overlay or StageConfigOverlay()
+    actuals = dict(actuals or {})
+    signature = plan.signature()
+    events: List[StageRuntimeEvent] = []
+    replans = 0
+    for op in plan.exchange_ops():
+        estimated = op.est_rows_in * op.row_bytes * data_scale
+        factor = float(actuals.get(op.op_id, 1.0))
+        event = StageRuntimeEvent(
+            app_id=app_id,
+            query_signature=signature,
+            op_id=op.op_id,
+            op_type=op.op_type,
+            estimated_bytes=estimated,
+            observed_bytes=estimated * factor,
+            observed_rows=op.est_rows_in * data_scale * factor,
+            iteration=iteration,
+        )
+        events.append(event)
+        override = policy.override_for(event, overlay.get(op.op_id))
+        if override is not None:
+            overlay = overlay.with_override(op.op_id, override)
+            replans += 1
+    if replans:
+        telemetry.counter("sparksim.replans").inc(replans)
+    result = simulator.run(plan, config, data_scale=data_scale, overlay=overlay)
+    return ReplanResult(result=result, overlay=overlay, events=events, replans=replans)

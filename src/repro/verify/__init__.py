@@ -23,6 +23,7 @@ from . import diff
 from .diff import (
     DiffReport,
     Divergence,
+    diff_pruned_full,
     diff_retrieval_bruteforce,
     diff_switch_inert,
     diff_trails,
@@ -47,6 +48,7 @@ __all__ = [
     "VerificationContext",
     "default_registry",
     "diff",
+    "diff_pruned_full",
     "diff_retrieval_bruteforce",
     "diff_switch_inert",
     "diff_trails",

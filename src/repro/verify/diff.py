@@ -1,6 +1,6 @@
 """Differential oracles: one seeded workload, two redundant paths, diffed.
 
-The repo maintains seven pairs of execution paths that must agree:
+The repo maintains nine pairs of execution paths that must agree:
 
 ==========================  ==============================================  =========
 pair                        contract                                        compare
@@ -36,6 +36,15 @@ sharded vs. single          a fleet served by the sharded, queue-driven     bitw
                             centroid walk, and counter map identical to
                             the single-backend scalar deployment —
                             minus ``service.*`` (deployment-shaped)
+pruned vs. frozen full      a ``TuningSession`` over a                      bitwise
+                            ``PrunedSpace`` (kept knobs tuned, dropped
+                            knobs pinned to defaults) is
+                            indistinguishable from the same session
+                            tuning the kept knobs directly with the
+                            dropped knobs frozen in the config dict —
+                            every suggestion, full-space config,
+                            observation, guardrail verdict and
+                            centroid move
 ==========================  ==============================================  =========
 
 Each driver runs both paths from the same seed, flattens them into *trails*
@@ -45,7 +54,7 @@ the contract the driver captures both sides' counter maps and diffs those
 too, excluding namespaces that legitimately differ between modes (e.g.
 ``parallel.*`` counters carry a ``mode`` label).
 
-``run_all`` sweeps all eight drivers — the one command every future PR can
+``run_all`` sweeps all nine drivers — the one command every future PR can
 run to show "the paths still agree".
 """
 
@@ -60,6 +69,7 @@ import numpy as np
 
 from .. import telemetry
 from ..core.centroid import CentroidLearning
+from ..core.config_space import ConfigSpace
 from ..core.guardrail import Guardrail
 from ..core.observation import Observation
 from ..core.switch import SafeExplorationGate, TaskSwitchDetector
@@ -84,6 +94,7 @@ __all__ = [
     "Divergence",
     "diff_live_replay",
     "diff_lockstep_sequential",
+    "diff_pruned_full",
     "diff_refit_incremental",
     "diff_retrieval_bruteforce",
     "diff_scalar_batch",
@@ -908,6 +919,131 @@ def diff_sharded_single(
         )
 
 
+# -- driver 9: pruned subspace vs. frozen full space --------------------------------
+
+
+class _FrozenFullSpace(ConfigSpace):
+    """Independent reference arm for :func:`diff_pruned_full`.
+
+    An ordinary :class:`ConfigSpace` over the kept parameters whose
+    ``to_dict`` merges the frozen natural values of the dropped knobs back
+    in, walking the full space's name order.  Deliberately *not* built on
+    :class:`~repro.core.importance.PrunedSpace` — it shares no decode code
+    with the arm under test, so agreement is evidence, not tautology.
+    """
+
+    def __init__(self, full_space, keep, frozen: Mapping[str, float]):
+        keep = set(keep)
+        super().__init__([p for p in full_space if p.name in keep])
+        self._full_names = list(full_space.names)
+        self._frozen = dict(frozen)
+
+    def to_dict(self, vector):
+        kept = super().to_dict(vector)
+        return {
+            name: kept[name] if name in kept else self._frozen[name]
+            for name in self._full_names
+        }
+
+    def default_dict(self):
+        return self.to_dict(self.default_vector())
+
+
+def diff_pruned_full(
+    seed: int = 0,
+    n_iterations: int = 20,
+    top_k: int = 3,
+    pruned_space_factory=None,
+) -> DiffReport:
+    """Pruned-subspace tuning vs. frozen-knob full-space tuning — bitwise.
+
+    A knob ranking (noiseless OAT + radial-Morris sweep) selects the
+    ``top_k`` knobs of the 8-knob catalog.  Arm A runs a
+    :class:`~repro.core.session.TuningSession` over a
+    :class:`~repro.core.importance.PrunedSpace` (dropped knobs pinned at
+    their defaults through the decode path); arm B runs the *same* session
+    over a :class:`_FrozenFullSpace` — the kept parameters as a plain
+    space, with the dropped knobs' natural defaults merged into every
+    config dict by an independent code path.  Both optimizers see
+    identical kept-knob spaces, so their RNG streams align; the contract
+    is that every materialized full-space config, observation, guardrail
+    verdict and centroid move matches bitwise.  Any decode misalignment —
+    a pruned knob silently unpinned, a kept coordinate perturbed — breaks
+    the config dict at the first step it materializes.
+
+    ``pruned_space_factory`` (``(full_space, keep) -> PrunedSpace``) swaps
+    arm A's space — the sensitivity suite passes a subclass that silently
+    unpins one dropped knob from a planted step onward and pins the first
+    divergence to exactly that step, on the ``config`` field.
+    """
+    from ..core.importance import PrunedSpace, rank_knobs
+    from ..core.session import TuningSession
+    from ..sparksim.configs import full_space as full_space_factory
+
+    space = full_space_factory()
+    plan = tpch_plan(3)
+    ranking = rank_knobs(
+        plan, space,
+        simulator=SparkSimulator(noise=low_noise(), seed=seed),
+        seed=seed,
+    )
+    keep = ranking.top(top_k)
+    factory = pruned_space_factory or (
+        lambda full, kept: PrunedSpace(full, kept)
+    )
+    pruned = factory(space, keep)
+    frozen = _FrozenFullSpace(space, keep, pruned.pinned_dict())
+
+    def run_arm(arm_space):
+        simulator = SparkSimulator(noise=low_noise(), seed=seed * 101 + 1)
+        optimizer = CentroidLearning(
+            arm_space, window_size=8, seed=seed * 13 + 7,
+            guardrail=Guardrail(min_iterations=4, threshold=0.15, patience=2),
+        )
+        session = TuningSession(plan, simulator, optimizer)
+        with telemetry.capture() as cap:
+            trace = session.run(n_iterations)
+        return optimizer, trace, cap
+
+    def trail(optimizer, trace):
+        steps = [
+            {
+                "config": r.config,
+                "observed_seconds": r.observed_seconds,
+                "true_seconds": r.true_seconds,
+                "data_size": r.data_size,
+                "tuning_active": r.tuning_active,
+            }
+            for r in trace.records
+        ]
+        history = optimizer.observations.history
+        steps.append({
+            "obs_iterations": [o.iteration for o in history],
+            "obs_configs": np.array([o.config for o in history]),
+            "obs_performance": np.array([o.performance for o in history]),
+        })
+        steps.append({
+            "centroid": optimizer._centroid,
+            "n_updates": optimizer._n_updates,
+            "decisions": [
+                (d.iteration, d.predicted_next, d.previous, d.violated)
+                for d in optimizer.guardrail.decisions
+            ],
+            "guardrail_active": optimizer.guardrail.active,
+        })
+        return steps
+
+    opt_pruned, trace_pruned, cap_pruned = run_arm(pruned)
+    opt_frozen, trace_frozen, cap_frozen = run_arm(frozen)
+    return diff_trails(
+        "pruned_vs_full",
+        trail(opt_pruned, trace_pruned),
+        trail(opt_frozen, trace_frozen),
+        counters_a=cap_pruned.counters(),
+        counters_b=cap_frozen.counters(),
+    )
+
+
 def run_all(seed: int = 0) -> Dict[str, DiffReport]:
     """Run every differential driver; keys are the report names."""
     reports: List[DiffReport] = [
@@ -919,5 +1055,6 @@ def run_all(seed: int = 0) -> Dict[str, DiffReport]:
         diff_retrieval_bruteforce(seed=seed),
         diff_switch_inert(seed=seed),
         diff_sharded_single(seed=seed),
+        diff_pruned_full(seed=seed),
     ]
     return {report.name: report for report in reports}

@@ -17,7 +17,7 @@ import pytest
 # whole word) in the -m expression, so both `-m verify` and `-m "not
 # verify"` address the suite explicitly while unrelated markers that merely
 # contain the word (e.g. a hypothetical `chaos_storm`) do not.
-_OPT_IN_MARKERS = ("chaos", "verify", "drift")
+_OPT_IN_MARKERS = ("chaos", "verify", "drift", "stages")
 
 
 def pytest_collection_modifyitems(config, items):

@@ -1,0 +1,328 @@
+"""Unit tests for knob-importance ranking and the pruned-subspace view."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core.importance import (
+    ImportanceTracker,
+    KnobRanking,
+    KnobScore,
+    PrunedSpace,
+    build_sweep,
+    rank_knobs,
+)
+from repro.core.observation import Observation
+from repro.sparksim.configs import full_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpch import tpch_plan
+
+
+def make_scores():
+    return [
+        KnobScore(name="a", index=0, oat_range=1.0, morris_mu_star=2.0,
+                  morris_sigma=0.1),
+        KnobScore(name="b", index=1, oat_range=5.0, morris_mu_star=1.0,
+                  morris_sigma=0.5),
+        KnobScore(name="c", index=2, oat_range=0.0, morris_mu_star=0.0,
+                  morris_sigma=0.0),
+    ]
+
+
+class TestKnobRanking:
+    def test_score_is_oat_plus_mu_star(self):
+        s = KnobScore(name="x", index=0, oat_range=2.5, morris_mu_star=1.5,
+                      morris_sigma=0.0)
+        assert s.score == 4.0
+
+    def test_ranked_sorts_by_score_then_index(self):
+        ranking = KnobRanking("wl", make_scores())
+        assert ranking.ranked_names == ["b", "a", "c"]
+        assert ranking.top(2) == ["b", "a"]
+        assert len(ranking) == 3
+
+    def test_zero_score_ties_break_on_space_index(self):
+        scores = [
+            KnobScore(name="z2", index=2, oat_range=0.0, morris_mu_star=0.0,
+                      morris_sigma=0.0),
+            KnobScore(name="z1", index=1, oat_range=0.0, morris_mu_star=0.0,
+                      morris_sigma=0.0),
+            KnobScore(name="hot", index=0, oat_range=1.0, morris_mu_star=0.0,
+                      morris_sigma=0.0),
+        ]
+        ranking = KnobRanking("wl", scores)
+        assert ranking.ranked_names == ["hot", "z1", "z2"]
+
+    def test_score_of_and_unknown_name(self):
+        ranking = KnobRanking("wl", make_scores())
+        assert ranking.score_of("b").oat_range == 5.0
+        with pytest.raises(KeyError):
+            ranking.score_of("nope")
+
+    def test_top_rejects_nonpositive_k(self):
+        ranking = KnobRanking("wl", make_scores())
+        with pytest.raises(ValueError):
+            ranking.top(0)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ValueError):
+            KnobRanking("wl", [])
+
+    def test_json_roundtrip_and_equality(self):
+        ranking = KnobRanking(
+            "wl", make_scores(),
+            data_scale=2.0, n_oat_points=9, n_trajectories=8, seed=3,
+        )
+        twin = KnobRanking.from_json(ranking.to_json())
+        assert twin == ranking
+        assert twin.data_scale == 2.0
+        assert twin.seed == 3
+        state = json.loads(ranking.to_json())
+        assert state["workload_signature"] == "wl"
+
+    def test_inequality_on_different_scores(self):
+        a = KnobRanking("wl", make_scores())
+        scores = make_scores()
+        scores[0] = KnobScore(name="a", index=0, oat_range=9.0,
+                              morris_mu_star=2.0, morris_sigma=0.1)
+        assert a != KnobRanking("wl", scores)
+
+
+class TestBuildSweep:
+    def test_validation_errors(self, small_space):
+        with pytest.raises(ValueError):
+            build_sweep(small_space, n_oat_points=1)
+        with pytest.raises(ValueError):
+            build_sweep(small_space, n_trajectories=0)
+        with pytest.raises(ValueError):
+            build_sweep(small_space, morris_delta=0.0)
+        with pytest.raises(ValueError):
+            build_sweep(small_space, morris_delta=1.0)
+        with pytest.raises(ValueError):
+            build_sweep(small_space, sweep_order=["linear", "logscale"])
+
+    def test_row_layout_covers_design(self, small_space):
+        sweep = build_sweep(small_space, n_oat_points=5, n_trajectories=3)
+        dim = small_space.dim
+        assert sweep.rows.shape == (dim * 5 + 3 + dim * 3, dim)
+        assert sweep.base_indices.shape == (3,)
+        for name in small_space.names:
+            assert sweep.oat_indices[name].shape == (5,)
+            assert sweep.perturb_indices[name].shape == (3,)
+
+    def test_rows_stay_in_bounds(self, small_space):
+        sweep = build_sweep(small_space, seed=7)
+        bounds = small_space.internal_bounds
+        assert np.all(sweep.rows >= bounds[:, 0] - 1e-12)
+        assert np.all(sweep.rows <= bounds[:, 1] + 1e-12)
+
+    def test_gathered_rows_invariant_to_sweep_order(self, small_space):
+        forward = build_sweep(small_space, seed=1)
+        backward = build_sweep(
+            small_space, seed=1, sweep_order=list(reversed(small_space.names))
+        )
+        for name in small_space.names:
+            np.testing.assert_array_equal(
+                forward.rows[forward.oat_indices[name]],
+                backward.rows[backward.oat_indices[name]],
+            )
+            np.testing.assert_array_equal(
+                forward.rows[forward.perturb_indices[name]],
+                backward.rows[backward.perturb_indices[name]],
+            )
+        np.testing.assert_array_equal(
+            forward.rows[forward.base_indices],
+            backward.rows[backward.base_indices],
+        )
+
+
+class TestRankKnobs:
+    def test_deterministic_for_a_seed(self, q3_plan):
+        space = full_space()
+        a = rank_knobs(q3_plan, space, seed=5)
+        b = rank_knobs(q3_plan, space, seed=5)
+        assert a == b
+
+    def test_sweep_order_is_bitwise_irrelevant(self, q3_plan):
+        space = full_space()
+        a = rank_knobs(q3_plan, space, seed=2)
+        b = rank_knobs(
+            q3_plan, space, seed=2, sweep_order=list(reversed(space.names))
+        )
+        assert a == b
+
+    def test_unread_knobs_score_exactly_zero(self, q3_plan):
+        # TPC-H Q3 at the default memory budget never spills, so the cost
+        # model provably ignores these two app-level knobs on this plan.
+        ranking = rank_knobs(q3_plan, full_space())
+        assert ranking.score_of("spark.executor.memory").score == 0.0
+        assert ranking.score_of("spark.memory.offHeap.size").score == 0.0
+        assert ranking.ranked_names[0] == "spark.sql.shuffle.partitions"
+        # Zero-score knobs rank strictly below every responsive knob.
+        scores = [s.score for s in ranking.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_simulator_and_cost_model_paths_agree(self, q3_plan):
+        space = full_space()
+        via_model = rank_knobs(q3_plan, space, seed=0)
+        via_sim = rank_knobs(
+            q3_plan, space, seed=0,
+            simulator=SparkSimulator(noise=low_noise(), seed=0),
+        )
+        # true_time_batch is the noiseless surface — identical scores.
+        assert via_sim == via_model
+
+    def test_bad_estimator_shape_rejected(self, q3_plan):
+        with pytest.raises(ValueError):
+            rank_knobs(
+                q3_plan, full_space(),
+                estimator=lambda rows: np.zeros((len(rows), 2)),
+            )
+
+    def test_emits_ranking_counter(self, q3_plan):
+        with telemetry.capture() as cap:
+            rank_knobs(q3_plan, full_space())
+        assert cap.counters().get("importance.rankings") == 1.0
+
+
+class TestPrunedSpace:
+    def make(self, keep=("spark.sql.shuffle.partitions",
+                         "spark.executor.instances"), pins=None):
+        space = full_space()
+        return space, PrunedSpace(space, keep, pins=pins)
+
+    def test_kept_params_in_full_space_order(self):
+        space, pruned = self.make(
+            keep=("spark.executor.instances", "spark.sql.shuffle.partitions")
+        )
+        assert pruned.dim == 2
+        assert pruned.names == [
+            "spark.sql.shuffle.partitions", "spark.executor.instances",
+        ]
+        assert pruned.full_space is space
+        assert len(pruned.dropped_names) == space.dim - 2
+
+    def test_empty_keep_rejected(self):
+        with pytest.raises(ValueError):
+            PrunedSpace(full_space(), [])
+
+    def test_unknown_keep_rejected(self):
+        with pytest.raises(KeyError):
+            PrunedSpace(full_space(), ["nope"])
+
+    def test_pins_for_kept_knob_rejected(self):
+        with pytest.raises(KeyError):
+            self.make(pins={"spark.sql.shuffle.partitions": 100.0})
+
+    def test_decode_encode_identity_is_bitwise(self, rng):
+        space, pruned = self.make()
+        vecs = pruned.sample_vectors(16, rng)
+        for v in vecs:
+            full = pruned.decode(v)
+            np.testing.assert_array_equal(pruned.encode(full), v)
+
+    def test_decode_pins_dropped_knobs_to_defaults(self):
+        space, pruned = self.make()
+        config = pruned.to_dict(pruned.default_vector())
+        assert set(config) == set(space.names)
+        defaults = space.default_dict()
+        for name in pruned.dropped_names:
+            assert config[name] == defaults[name]
+
+    def test_explicit_pins_surface_in_decoded_dicts(self):
+        space, pruned = self.make(pins={"spark.executor.memory": 16.0})
+        assert pruned.pinned_dict()["spark.executor.memory"] == 16.0
+        assert pruned.default_dict()["spark.executor.memory"] == 16.0
+
+    def test_decode_matrix_matches_scalar_decode(self, rng):
+        space, pruned = self.make()
+        vecs = pruned.sample_vectors(8, rng)
+        batch = pruned.decode_matrix(vecs)
+        assert batch.shape == (8, space.dim)
+        for i, v in enumerate(vecs):
+            np.testing.assert_array_equal(batch[i], pruned.decode(v))
+
+    def test_shape_errors(self):
+        space, pruned = self.make()
+        with pytest.raises(ValueError):
+            pruned.decode(np.zeros(space.dim))
+        with pytest.raises(ValueError):
+            pruned.decode_matrix(np.zeros((4, space.dim)))
+        with pytest.raises(ValueError):
+            pruned.encode(np.zeros(pruned.dim))
+
+    def test_from_ranking_keeps_top_k(self, q3_plan):
+        space = full_space()
+        ranking = rank_knobs(q3_plan, space)
+        pruned = PrunedSpace.from_ranking(ranking, space, 3)
+        assert set(pruned.names) == set(ranking.top(3))
+        assert "PrunedSpace" in repr(pruned)
+
+    def test_default_dict_round_trips_through_full_space(self):
+        space, pruned = self.make()
+        assert pruned.default_dict() == space.default_dict()
+
+
+class TestImportanceTracker:
+    def test_initial_ranking_computed_eagerly(self, q3_plan):
+        tracker = ImportanceTracker(q3_plan, full_space(), top_k=3, seed=4)
+        assert tracker.rerank_count == 0
+        assert len(tracker.rankings) == 1
+        assert tracker.ranking == rank_knobs(q3_plan, full_space(), seed=4)
+
+    def test_pruned_space_uses_latest_ranking(self, q3_plan):
+        tracker = ImportanceTracker(q3_plan, full_space(), top_k=3)
+        pruned = tracker.pruned_space()
+        assert pruned.dim == 3
+        assert set(pruned.names) == set(tracker.ranking.top(3))
+        assert tracker.pruned_space(k=5).dim == 5
+
+    def test_rerank_derives_seed_from_count(self, q3_plan):
+        tracker = ImportanceTracker(q3_plan, full_space(), seed=9)
+        with telemetry.capture() as cap:
+            second = tracker.rerank()
+        assert tracker.rerank_count == 1
+        assert second.seed == 10  # base seed + ranking index
+        assert second == rank_knobs(q3_plan, full_space(), seed=10)
+        assert cap.counters().get("importance.reranks") == 1.0
+
+    def test_attach_reranks_then_delegates(self, q3_plan):
+        tracker = ImportanceTracker(q3_plan, full_space())
+        calls = []
+
+        class FakeOptimizer:
+            def switch_warm_start(self, obs):
+                calls.append(obs)
+                return "warm"
+
+        opt = FakeOptimizer()
+        previous = opt.switch_warm_start
+        tracker.attach(opt)
+        assert opt.switch_warm_start is not previous
+        obs = Observation(
+            config=np.zeros(8), data_size=3e6, performance=10.0, iteration=7,
+        )
+        assert opt.switch_warm_start(obs) == "warm"
+        assert calls == [obs]
+        assert tracker.rerank_count == 1
+        # The rerank ran at the firing observation's data scale.
+        assert tracker.ranking.data_scale == pytest.approx(
+            3e6 / max(q3_plan.total_leaf_cardinality, 1.0)
+        )
+
+    def test_attach_without_previous_hook_returns_none(self, q3_plan):
+        tracker = ImportanceTracker(q3_plan, full_space())
+
+        class BareOptimizer:
+            switch_warm_start = None
+
+        opt = BareOptimizer()
+        tracker.attach(opt)
+        obs = Observation(
+            config=np.zeros(8), data_size=1.0, performance=1.0, iteration=0,
+        )
+        assert opt.switch_warm_start(obs) is None
+        assert tracker.rerank_count == 1

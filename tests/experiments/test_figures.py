@@ -26,7 +26,7 @@ from repro.experiments import (
 
 
 def test_registry_complete():
-    assert len(ALL_EXPERIMENTS) == 23
+    assert len(ALL_EXPERIMENTS) == 25
     for name, module in ALL_EXPERIMENTS.items():
         assert hasattr(module, "run"), name
 

@@ -1,0 +1,94 @@
+"""Acceptance tests for the PR's two experiment families (``make stages``).
+
+* ``ablation_knob_pruning`` — tuning the ranking's top-4 subspace reaches
+  the full 8-knob space's best-by-step-N cost in strictly fewer steps
+  (median over seeds) on at least 2 of the 3 TPC-DS workloads.
+* ``ext_stage_tuning`` — per-exchange AQE-style partition sizing beats the
+  best whole-app ``shuffle.partitions`` from an exhaustive grid sweep on
+  every heterogeneous-exchange plan.
+"""
+
+import pytest
+
+from repro.experiments import ablation_knob_pruning, ext_stage_tuning
+from repro.experiments.ablation_knob_pruning import steps_to_reach
+
+pytestmark = pytest.mark.stages
+
+
+@pytest.fixture(scope="module")
+def pruning_result():
+    return ablation_knob_pruning.run(quick=True, seed=0)
+
+
+@pytest.fixture(scope="module")
+def stage_result():
+    return ext_stage_tuning.run(quick=True, seed=0)
+
+
+class TestKnobPruningAcceptanceBar:
+    def test_pruned_reaches_parity_faster_on_most_workloads(self, pruning_result):
+        assert pruning_result.scalars["pruned_faster_workloads"] >= 2.0
+        assert pruning_result.scalars["n_workloads"] == 3.0
+
+    def test_per_workload_medians_recorded(self, pruning_result):
+        n_ref = pruning_result.scalars["n_ref"]
+        for qid in ablation_knob_pruning.DEFAULT_QUERIES:
+            median = pruning_result.scalars[f"q{qid}_median_steps_pruned"]
+            assert median >= 1.0
+            assert pruning_result.scalars[f"q{qid}_kept_knobs"] == float(
+                ablation_knob_pruning.TOP_K
+            )
+            # Winning workloads beat the reference budget strictly.
+        wins = sum(
+            1 for qid in ablation_knob_pruning.DEFAULT_QUERIES
+            if pruning_result.scalars[f"q{qid}_median_steps_pruned"] < n_ref
+        )
+        assert wins == pruning_result.scalars["pruned_faster_workloads"]
+
+    def test_convergence_series_cover_the_run(self, pruning_result):
+        for qid in ablation_knob_pruning.DEFAULT_QUERIES:
+            full = pruning_result.series[f"q{qid}_mean_best_full"]
+            pruned = pruning_result.series[f"q{qid}_mean_best_pruned"]
+            assert len(full) == len(pruned) >= pruning_result.scalars["n_ref"]
+            # best-so-far curves are monotone non-increasing
+            assert all(b <= a + 1e-12 for a, b in zip(full, full[1:]))
+            assert all(b <= a + 1e-12 for a, b in zip(pruned, pruned[1:]))
+
+
+class TestStepsToReach:
+    def test_first_hit_is_one_based(self):
+        assert steps_to_reach([5.0, 3.0, 2.0], 3.0) == 2
+
+    def test_never_reached_returns_len_plus_one(self):
+        assert steps_to_reach([5.0, 4.0], 1.0) == 3
+
+
+class TestStageTuningAcceptanceBar:
+    @pytest.mark.parametrize("plan_name", ["skew_heavy", "mixed_pipeline"])
+    def test_stage_overlay_beats_best_whole_app_setting(self, stage_result, plan_name):
+        stage = stage_result.scalars[f"{plan_name}_stage_seconds"]
+        best_single = stage_result.scalars[f"{plan_name}_best_single_seconds"]
+        assert stage < best_single
+        assert stage_result.scalars[f"{plan_name}_stage_gain_pct"] > 0.0
+
+    @pytest.mark.parametrize("plan_name", ["skew_heavy", "mixed_pipeline"])
+    def test_replans_actually_happened(self, stage_result, plan_name):
+        assert stage_result.scalars[f"{plan_name}_replans"] >= 1.0
+
+    @pytest.mark.parametrize("plan_name", ["skew_heavy", "mixed_pipeline"])
+    def test_both_arms_beat_the_default(self, stage_result, plan_name):
+        default = stage_result.scalars[f"{plan_name}_default_seconds"]
+        assert stage_result.scalars[f"{plan_name}_best_single_seconds"] <= default
+        assert stage_result.scalars[f"{plan_name}_stage_seconds"] < default
+
+    def test_sweep_series_are_aligned(self, stage_result):
+        for plan_name in ("skew_heavy", "mixed_pipeline"):
+            sweep = stage_result.series[f"{plan_name}_sweep_seconds"]
+            grid = stage_result.series[f"{plan_name}_sweep_partitions"]
+            assert len(sweep) == len(grid) > 1
+            targets = stage_result.series[f"{plan_name}_target_sweep_seconds"]
+            mib = stage_result.series[f"{plan_name}_target_sweep_mib"]
+            assert len(targets) == len(mib) == len(
+                ext_stage_tuning.TARGET_MIB_GRID
+            )

@@ -1,0 +1,152 @@
+"""Chaos mirror for knob-importance ranking (``pytest -m chaos``, ``make stages``).
+
+A ranking is a property of the noiseless cost *surface*, not of any
+observation stream — so injected latency spikes, spike storms and random
+showers must never flip one, and a re-rank triggered mid-session through a
+fault-ridden observation stream must still equal its clean twin bit for
+bit.  The counter-trail contract mirrors the switch-detector chaos suite:
+a faulty run and its clean twin emit identical ``importance.*`` trails.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.core.centroid import CentroidLearning
+from repro.core.importance import ImportanceTracker, rank_knobs
+from repro.core.session import TuningSession
+from repro.core.switch import TaskSwitchDetector
+from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultySimulator
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.dynamics import StepSize
+from repro.workloads.tpch import tpch_plan
+
+pytestmark = pytest.mark.chaos
+
+
+def spike_plan(at=(), rate=0.0, magnitude=8.0, seed=0):
+    return FaultPlan(
+        [FaultSpec(kind=FaultKind.LATENCY_SPIKE, at=at, rate=rate,
+                   magnitude=magnitude)],
+        seed=seed,
+    )
+
+
+class TestFaultsCannotFlipRankings:
+    def test_scheduled_spikes_leave_the_ranking_bitwise_identical(
+        self, spark_space, q3_plan
+    ):
+        clean = rank_knobs(
+            q3_plan, spark_space,
+            simulator=SparkSimulator(noise=low_noise(), seed=0), seed=0,
+        )
+        faults = spike_plan(at=(0, 1, 2, 3), magnitude=10.0, seed=1)
+        faulty = rank_knobs(
+            q3_plan, spark_space,
+            simulator=FaultySimulator(
+                SparkSimulator(noise=low_noise(), seed=0), faults
+            ),
+            seed=0,
+        )
+        assert faulty == clean
+        # The sweep reads the true surface: the fault schedule never even
+        # sees an opportunity.
+        assert faults.fired(FaultKind.LATENCY_SPIKE) == 0
+
+    def test_full_rate_spike_shower_cannot_flip_a_ranking(
+        self, spark_space, q3_plan
+    ):
+        clean = rank_knobs(
+            q3_plan, spark_space,
+            simulator=SparkSimulator(noise=low_noise(), seed=3), seed=7,
+        )
+        faulty = rank_knobs(
+            q3_plan, spark_space,
+            simulator=FaultySimulator(
+                SparkSimulator(noise=low_noise(), seed=3),
+                spike_plan(rate=1.0, magnitude=10.0, seed=4),
+            ),
+            seed=7,
+        )
+        assert faulty == clean
+        assert faulty.ranked_names == clean.ranked_names
+
+
+class TestRerankThroughFaultySession:
+    def test_rerank_fired_amid_spikes_equals_its_clean_twin(self, spark_space):
+        # A real regime change declared *through* fault noise triggers the
+        # tracker's re-rank; the resulting ranking must equal the one a
+        # clean session would have produced at the same data scale.
+        plan = tpch_plan(3)
+        faults = spike_plan(rate=0.1, magnitude=8.0, seed=5)
+        simulator = FaultySimulator(
+            SparkSimulator(noise=low_noise(), seed=2), faults
+        )
+        tracker = ImportanceTracker(plan, spark_space, simulator=simulator, seed=11)
+        optimizer = CentroidLearning(
+            spark_space, seed=3,
+            switch_detector=TaskSwitchDetector(
+                warmup=4, threshold=4.0, size_jump=3.0
+            ),
+        )
+        tracker.attach(optimizer)
+        session = TuningSession(
+            plan, simulator, optimizer,
+            scale_fn=StepSize(initial=1.0, factor=6.0, at=12),
+        )
+        session.run(18)
+        assert session.switch_count >= 1
+        assert tracker.rerank_count >= 1
+        clean_twin = rank_knobs(
+            plan, spark_space,
+            simulator=SparkSimulator(noise=low_noise(), seed=99),
+            data_scale=tracker.ranking.data_scale,
+            seed=11 + (len(tracker.rankings) - 1),
+        )
+        assert tracker.ranking == clean_twin
+
+    def test_absorbed_spikes_never_trigger_a_rerank(self, spark_space):
+        plan = tpch_plan(3)
+        faults = spike_plan(at=(10, 15, 20), magnitude=10.0, seed=1)
+        simulator = FaultySimulator(
+            SparkSimulator(noise=low_noise(), seed=0), faults
+        )
+        tracker = ImportanceTracker(plan, spark_space, simulator=simulator)
+        optimizer = CentroidLearning(
+            spark_space, seed=0, switch_detector=TaskSwitchDetector(),
+        )
+        tracker.attach(optimizer)
+        TuningSession(plan, simulator, optimizer).run(25)
+        assert faults.fired(FaultKind.LATENCY_SPIKE) == 3
+        assert tracker.rerank_count == 0
+        assert len(tracker.rankings) == 1
+
+
+class TestCounterTrailEquivalence:
+    def test_importance_counters_identical_with_and_without_faults(
+        self, spark_space
+    ):
+        def importance_counters(faults):
+            plan = tpch_plan(3)
+            simulator = SparkSimulator(noise=low_noise(), seed=0)
+            if faults is not None:
+                simulator = FaultySimulator(simulator, faults)
+            with telemetry.capture() as cap:
+                tracker = ImportanceTracker(plan, spark_space, simulator=simulator)
+                optimizer = CentroidLearning(
+                    spark_space, seed=0, switch_detector=TaskSwitchDetector(),
+                )
+                tracker.attach(optimizer)
+                TuningSession(plan, simulator, optimizer).run(20)
+                return {
+                    k: v for k, v in cap.counters().items()
+                    if k.startswith("importance.")
+                }
+
+        clean = importance_counters(None)
+        faulty = importance_counters(
+            spike_plan(at=(8, 14), magnitude=10.0, seed=5)
+        )
+        assert clean == faulty
+        assert clean.get("importance.rankings") == 1.0
+        assert "importance.reranks" not in clean

@@ -1,0 +1,125 @@
+"""Unit tests for AQE-style re-planning (``repro.sparksim.replan``)."""
+
+import pytest
+
+from repro import telemetry
+from repro.sparksim.configs import full_space
+from repro.sparksim.events import StageRuntimeEvent, events_from_jsonl, events_to_jsonl
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.overlay import StageOverride
+from repro.sparksim.replan import (
+    ReplanPolicy,
+    TargetBytesPerPartition,
+    run_with_replan,
+)
+from repro.workloads.tpch import tpch_plan
+
+
+def make_event(observed_bytes, op_id=1):
+    return StageRuntimeEvent(
+        app_id="app", query_signature="sig", op_id=op_id, op_type="Exchange",
+        estimated_bytes=observed_bytes, observed_bytes=observed_bytes,
+    )
+
+
+class TestTargetBytesPerPartition:
+    def test_partitions_ceil_of_bytes_over_target(self):
+        policy = TargetBytesPerPartition(target_bytes=64 * 2**20)
+        ov = policy.override_for(make_event(100 * 2**20), None)
+        assert ov.shuffle_partitions == 2  # ceil(100/64)
+
+    def test_clips_to_min_and_max(self):
+        policy = TargetBytesPerPartition(
+            target_bytes=1024, min_partitions=4, max_partitions=16
+        )
+        assert policy.override_for(make_event(1.0), None).shuffle_partitions == 4
+        assert policy.override_for(make_event(1e12), None).shuffle_partitions == 16
+
+    def test_no_op_when_current_already_matches(self):
+        policy = TargetBytesPerPartition(target_bytes=2**20)
+        current = StageOverride(shuffle_partitions=3)
+        assert policy.override_for(make_event(3 * 2**20), current) is None
+
+    def test_preserves_unrelated_override_fields(self):
+        policy = TargetBytesPerPartition(target_bytes=2**20)
+        current = StageOverride(shuffle_partitions=99, memory_fraction=0.5)
+        ov = policy.override_for(make_event(8 * 2**20), current)
+        assert ov.shuffle_partitions == 8
+        assert ov.memory_fraction == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetBytesPerPartition(target_bytes=0)
+        with pytest.raises(ValueError):
+            TargetBytesPerPartition(min_partitions=0)
+        with pytest.raises(ValueError):
+            TargetBytesPerPartition(min_partitions=5, max_partitions=2)
+
+    def test_base_policy_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ReplanPolicy().override_for(make_event(1.0), None)
+
+
+class TestRunWithReplan:
+    def test_emits_one_event_per_exchange(self, q3_plan, quiet_simulator):
+        config = full_space().default_dict()
+        policy = TargetBytesPerPartition()
+        out = run_with_replan(
+            quiet_simulator, q3_plan, config, policy, app_id="t"
+        )
+        exchanges = q3_plan.exchange_ops()
+        assert len(out.events) == len(exchanges)
+        assert [e.op_id for e in out.events] == [op.op_id for op in exchanges]
+        assert all(e.app_id == "t" for e in out.events)
+        assert out.replans == len(out.overlay)
+        assert out.replans >= 1
+
+    def test_actuals_factor_scales_observed_bytes(self, q3_plan, quiet_simulator):
+        config = full_space().default_dict()
+        policy = TargetBytesPerPartition()
+        op_id = q3_plan.exchange_ops()[0].op_id
+        out = run_with_replan(
+            quiet_simulator, q3_plan, config, policy, actuals={op_id: 4.0},
+        )
+        event = next(e for e in out.events if e.op_id == op_id)
+        assert event.observed_bytes == pytest.approx(4.0 * event.estimated_bytes)
+
+    def test_deterministic_for_same_actuals(self, q3_plan):
+        config = full_space().default_dict()
+        policy = TargetBytesPerPartition(target_bytes=8 * 2**20)
+        actuals = {op.op_id: 2.0 for op in q3_plan.exchange_ops()}
+
+        def one_run():
+            from repro.sparksim.noise import no_noise
+            sim = SparkSimulator(noise=no_noise(), seed=0)
+            return run_with_replan(sim, q3_plan, config, policy, actuals=actuals)
+
+        a, b = one_run(), one_run()
+        assert a.overlay == b.overlay
+        assert a.result.true_seconds == b.result.true_seconds
+        assert [e.to_json() for e in a.events] == [e.to_json() for e in b.events]
+
+    def test_replan_counter_emitted(self, q3_plan, quiet_simulator):
+        config = full_space().default_dict()
+        with telemetry.capture() as cap:
+            out = run_with_replan(
+                quiet_simulator, q3_plan, config, TargetBytesPerPartition()
+            )
+        assert cap.counters().get("sparksim.replans") == float(out.replans)
+
+    def test_final_result_uses_the_accumulated_overlay(self, q3_plan, quiet_simulator):
+        config = full_space().default_dict()
+        out = run_with_replan(
+            quiet_simulator, q3_plan, config,
+            TargetBytesPerPartition(target_bytes=2**20),
+        )
+        direct = quiet_simulator.true_time(q3_plan, config, overlay=out.overlay)
+        assert out.result.true_seconds == direct
+
+    def test_events_round_trip_through_jsonl(self, q3_plan, quiet_simulator):
+        config = full_space().default_dict()
+        out = run_with_replan(
+            quiet_simulator, q3_plan, config, TargetBytesPerPartition()
+        )
+        restored = events_from_jsonl(events_to_jsonl(out.events))
+        assert restored == out.events

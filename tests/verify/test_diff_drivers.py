@@ -29,7 +29,7 @@ class TestAllPathsAgree:
             "scalar_vs_batch", "serial_vs_parallel",
             "refit_vs_incremental", "live_vs_replay",
             "lockstep_vs_sequential", "retrieval_vs_bruteforce",
-            "switch_inert", "sharded_vs_single",
+            "switch_inert", "sharded_vs_single", "pruned_vs_full",
         }
         for report in reports.values():
             assert report.equivalent, report.summary()
@@ -78,9 +78,11 @@ class TestDeliberateBugIsCaught:
         original = CostModel.estimate_batch
 
         def off_by_one(self, plan, configs, layout=None, *, space=None,
-                       pool=None, data_scale=1.0, breakdown=False):
+                       pool=None, data_scale=1.0, overlay=None,
+                       breakdown=False):
             out = original(self, plan, configs, layout, space=space,
-                           pool=pool, data_scale=data_scale, breakdown=breakdown)
+                           pool=pool, data_scale=data_scale, overlay=overlay,
+                           breakdown=breakdown)
             totals = out.total_seconds if breakdown else out
             if len(totals) > 1:  # scalar path wraps 1-row batches: unaffected
                 totals[:] = np.roll(totals, 1)

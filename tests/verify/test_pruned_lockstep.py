@@ -1,0 +1,111 @@
+"""Lock-step parity for pruned-subspace sessions (``make stages``).
+
+The vectorized lock-step engine earned bitwise parity with the sequential
+loop on full spaces (tests/experiments/test_lockstep.py, ``make verify``);
+this battery pins the same contract when the population tunes inside a
+:class:`~repro.core.importance.PrunedSpace` — the engine's trace
+materialization must decode kept-dim vectors through ``decode_matrix`` to
+the same full-space config dicts the sequential path's per-step
+``to_dict`` emits, dropped knobs pinned and all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import CentroidLearning
+from repro.core.guardrail import Guardrail
+from repro.core.importance import PrunedSpace, rank_knobs
+from repro.experiments.lockstep import (
+    LockstepSessions,
+    SessionSpec,
+    run_sequential,
+)
+from repro.sparksim.configs import full_space
+from repro.sparksim.executor import SparkSimulator
+from repro.sparksim.noise import low_noise
+from repro.workloads.tpch import tpch_plan
+
+pytestmark = pytest.mark.stages
+
+QUERIES = (1, 3, 5, 6)
+
+
+def make_population(seed, k=6, top_k=3, guardrailed=True):
+    """A fresh K-session population over one shared pruned subspace."""
+    space = full_space()
+    ranking = rank_knobs(tpch_plan(3), space, seed=seed)
+    pruned = PrunedSpace.from_ranking(ranking, space, top_k)
+    specs = []
+    for i in range(k):
+        guardrail = Guardrail(
+            min_iterations=4, threshold=0.15, patience=2
+        ) if guardrailed else None
+        specs.append(SessionSpec(
+            plan=tpch_plan(QUERIES[i % len(QUERIES)]),
+            simulator=SparkSimulator(noise=low_noise(), seed=seed * 101 + i),
+            optimizer=CentroidLearning(
+                pruned,
+                window_size=8,
+                alpha=0.05 + 0.02 * i,
+                seed=seed * 13 + i,
+                guardrail=guardrail,
+            ),
+        ))
+    return specs, pruned
+
+
+def record_fields(record):
+    return (
+        record.config,
+        record.observed_seconds,
+        record.true_seconds,
+        record.data_size,
+        record.tuning_active,
+    )
+
+
+class TestPrunedLockstepParity:
+    @pytest.mark.parametrize("seed", [0, 1, 4])
+    def test_lockstep_matches_sequential_bitwise(self, seed):
+        lock_specs, _ = make_population(seed)
+        seq_specs, _ = make_population(seed)
+        lock_traces = LockstepSessions(lock_specs).run(12)
+        seq_traces = run_sequential(seq_specs, 12)
+        assert len(lock_traces) == len(seq_traces)
+        for lock, seq in zip(lock_traces, seq_traces):
+            assert len(lock.records) == len(seq.records) == 12
+            for a, b in zip(lock.records, seq.records):
+                assert record_fields(a) == record_fields(b)
+
+    def test_unguardrailed_population_also_matches(self):
+        lock_specs, _ = make_population(2, k=4, guardrailed=False)
+        seq_specs, _ = make_population(2, k=4, guardrailed=False)
+        lock_traces = LockstepSessions(lock_specs).run(10)
+        seq_traces = run_sequential(seq_specs, 10)
+        for lock, seq in zip(lock_traces, seq_traces):
+            for a, b in zip(lock.records, seq.records):
+                assert record_fields(a) == record_fields(b)
+
+    def test_traces_carry_full_space_configs_with_pins(self):
+        specs, pruned = make_population(0, k=3)
+        traces = LockstepSessions(specs).run(8)
+        pinned = pruned.pinned_dict()
+        full_names = set(pruned.full_space.names)
+        for trace in traces:
+            for record in trace.records:
+                assert set(record.config) == full_names
+                for name, value in pinned.items():
+                    assert record.config[name] == value
+
+    def test_final_optimizer_state_syncs_back(self):
+        lock_specs, pruned = make_population(3, k=4)
+        seq_specs, _ = make_population(3, k=4)
+        LockstepSessions(lock_specs).run(10)
+        run_sequential(seq_specs, 10)
+        for lock_spec, seq_spec in zip(lock_specs, seq_specs):
+            np.testing.assert_array_equal(
+                lock_spec.optimizer._centroid, seq_spec.optimizer._centroid
+            )
+            assert (
+                lock_spec.optimizer._centroid.shape == (pruned.dim,)
+            )  # the engine tunes in the kept-dim space

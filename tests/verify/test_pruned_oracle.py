@@ -1,0 +1,80 @@
+"""Subspace-equivalence oracle (``make stages``).
+
+``diff_pruned_full`` runs the same tuning session over a
+:class:`~repro.core.importance.PrunedSpace` and over an independently
+implemented frozen-knob reference space; every materialized config must
+match bitwise.  The sensitivity half plants the bug the oracle exists to
+catch — a pruned knob silently unpinned partway through a session — and
+asserts the report pins the first divergence to exactly that step, on the
+``config`` field.
+"""
+
+import pytest
+
+from repro.core.importance import PrunedSpace
+from repro.verify.diff import diff_pruned_full
+
+pytestmark = pytest.mark.stages
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 3])
+    def test_pruned_and_frozen_full_agree_bitwise(self, seed):
+        report = diff_pruned_full(seed=seed)
+        assert report.equivalent, report.summary()
+        assert report.tolerance == 0.0
+
+    def test_wider_subspace_still_agrees(self):
+        report = diff_pruned_full(seed=0, top_k=5, n_iterations=12)
+        assert report.equivalent, report.summary()
+
+
+class _MisalignedPrunedSpace(PrunedSpace):
+    """The planted bug: one dropped knob drifts off its pin mid-session.
+
+    ``TuningSession.step`` materializes each suggestion through exactly one
+    ``space.to_dict`` call, so the materialization counter *is* the step
+    index; from ``unpin_from_step`` onward the first dropped knob silently
+    reports its upper bound instead of its pinned default.
+    """
+
+    def __init__(self, full_space, keep, *, unpin_from_step):
+        super().__init__(full_space, keep)
+        self.unpin_from_step = unpin_from_step
+        self.materializations = 0
+
+    def to_dict(self, vector):
+        step = self.materializations
+        self.materializations += 1
+        config = super().to_dict(vector)
+        if step >= self.unpin_from_step:
+            loose = self.dropped_names[0]
+            config[loose] = float(self.full_space[loose].high)
+        return config
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize("planted_step", [0, 3, 7])
+    def test_unpinned_knob_caught_at_the_exact_step(self, planted_step):
+        report = diff_pruned_full(
+            seed=0,
+            pruned_space_factory=lambda full, keep: _MisalignedPrunedSpace(
+                full, keep, unpin_from_step=planted_step
+            ),
+        )
+        assert not report.equivalent
+        assert report.divergence is not None
+        assert report.divergence.step == planted_step
+        assert report.divergence.field == "config"
+        assert "NOT equivalent" in report.summary()
+
+    def test_unpin_after_the_horizon_is_invisible(self):
+        # The bug arms only after the session ends: nothing to catch, and
+        # the oracle must not false-positive.
+        report = diff_pruned_full(
+            seed=0, n_iterations=10,
+            pruned_space_factory=lambda full, keep: _MisalignedPrunedSpace(
+                full, keep, unpin_from_step=10
+            ),
+        )
+        assert report.equivalent, report.summary()
